@@ -1,0 +1,63 @@
+// Ablation A3 (paper §III-C): dynamic join-algorithm selection vs forcing
+// the merge join or the index join for every step. The paper's claim: at
+// very low frequencies the index join is the right pick, beyond ~1000 the
+// dynamic optimizer switches to merge ("if we force the query plan to use
+// the index join, the performance can be as bad as the index-based
+// algorithm").
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/join_search.h"
+
+namespace {
+
+double AvgMs(const xtopk::JDeweyIndex& jindex, xtopk::JoinPolicy policy,
+             const std::vector<std::vector<std::string>>& queries,
+             uint64_t* index_joins, uint64_t* merge_joins) {
+  double total = 0;
+  *index_joins = *merge_joins = 0;
+  for (const auto& query : queries) {
+    xtopk::JoinSearchOptions options;
+    options.compute_scores = false;
+    options.planner.policy = policy;
+    xtopk::JoinSearch search(jindex, options);
+    total += xtopk::bench::TimeOnceMs([&] { search.Search(query); });
+    *index_joins += search.stats().join_ops.index_joins;
+    *merge_joins += search.stats().join_ops.merge_joins;
+  }
+  return total / queries.size();
+}
+
+}  // namespace
+
+int main() {
+  xtopk::bench::BenchCorpus corpus = xtopk::bench::BuildDblpBenchCorpus();
+  xtopk::JDeweyIndex jindex = corpus.builder->BuildJDeweyIndex();
+
+  std::printf("=== Ablation A3: dynamic join selection (3 keywords) ===\n");
+  std::printf("%-10s %12s %12s %12s   %s\n", "low freq", "dynamic",
+              "force-merge", "force-index", "dynamic picks (index/merge)");
+  for (uint32_t f : xtopk::bench::kLowFreqs) {
+    std::vector<std::vector<std::string>> queries;
+    for (size_t i = 0; i < xtopk::bench::kQueriesPerPoint; ++i) {
+      queries.push_back(xtopk::bench::MixedQuery(f, 3, i));
+    }
+    uint64_t dyn_idx, dyn_merge, tmp_a, tmp_b;
+    double dynamic =
+        AvgMs(jindex, xtopk::JoinPolicy::kDynamic, queries, &dyn_idx,
+              &dyn_merge);
+    double merge =
+        AvgMs(jindex, xtopk::JoinPolicy::kForceMerge, queries, &tmp_a, &tmp_b);
+    double index =
+        AvgMs(jindex, xtopk::JoinPolicy::kForceIndex, queries, &tmp_a,
+              &tmp_b);
+    std::printf("%-10u %9.3f ms %9.3f ms %9.3f ms   %llu/%llu\n", f, dynamic,
+                merge, index, (unsigned long long)dyn_idx,
+                (unsigned long long)dyn_merge);
+  }
+  std::printf(
+      "\nexpected shape: dynamic tracks the best forced plan at both ends\n");
+  return 0;
+}

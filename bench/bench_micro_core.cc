@@ -1,0 +1,114 @@
+// Micro-benchmarks of the substrate operations every query touches: the
+// two join operators, JDewey LCA, B+-tree probes, interval-set pruning,
+// and the score-segment heap. Not a paper figure — regression guardrails
+// for the operators the figure benches are built from.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "btree/btree.h"
+#include "core/join_ops.h"
+#include "util/interval_set.h"
+#include "util/rng.h"
+#include "xml/jdewey.h"
+
+namespace {
+
+xtopk::Column MakeColumn(uint64_t seed, uint32_t values, double keep) {
+  xtopk::Rng rng(seed);
+  xtopk::Column col;
+  uint32_t row = 0;
+  for (uint32_t v = 1; v <= values; ++v) {
+    if (rng.NextBernoulli(keep)) col.Append(row++, v);
+  }
+  return col;
+}
+
+void BM_MergeJoin(benchmark::State& state) {
+  xtopk::Column a = MakeColumn(1, 100000, 0.5);
+  xtopk::Column b = MakeColumn(2, 100000, 0.5);
+  for (auto _ : state) {
+    xtopk::JoinOpStats stats;
+    auto out = xtopk::MergeIntersect(xtopk::SeedMatches(a), b, &stats);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (a.run_count() + b.run_count()));
+}
+BENCHMARK(BM_MergeJoin);
+
+void BM_IndexJoinSmallProbe(benchmark::State& state) {
+  xtopk::Column small = MakeColumn(3, 100000, 0.002);  // ~200 runs
+  xtopk::Column big = MakeColumn(4, 100000, 0.9);
+  for (auto _ : state) {
+    xtopk::JoinOpStats stats;
+    auto out = xtopk::IndexIntersect(xtopk::SeedMatches(small), big, &stats);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * small.run_count());
+}
+BENCHMARK(BM_IndexJoinSmallProbe);
+
+void BM_JDeweyLca(benchmark::State& state) {
+  xtopk::Rng rng(5);
+  std::vector<xtopk::JDeweySeq> seqs;
+  for (int i = 0; i < 1024; ++i) {
+    xtopk::JDeweySeq seq = {1};
+    uint32_t len = 2 + static_cast<uint32_t>(rng.NextBounded(10));
+    for (uint32_t l = 1; l < len; ++l) {
+      seq.push_back(seq.back() * 3 + static_cast<uint32_t>(
+                                         rng.NextBounded(3)));
+    }
+    seqs.push_back(std::move(seq));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto lca = xtopk::JDeweyLca(seqs[i & 1023], seqs[(i * 7 + 3) & 1023]);
+    benchmark::DoNotOptimize(lca);
+    ++i;
+  }
+}
+BENCHMARK(BM_JDeweyLca);
+
+void BM_BTreeLowerBound(benchmark::State& state) {
+  xtopk::BTree tree(128);
+  xtopk::Rng rng(6);
+  for (int i = 0; i < 100000; ++i) {
+    char key[8];
+    uint64_t v = rng.NextU64();
+    std::memcpy(key, &v, 8);
+    tree.Insert(std::string_view(key, 8), i);
+  }
+  for (auto _ : state) {
+    char key[8];
+    uint64_t v = rng.NextU64();
+    std::memcpy(key, &v, 8);
+    auto it = tree.LowerBound(std::string_view(key, 8));
+    benchmark::DoNotOptimize(it.Valid());
+  }
+}
+BENCHMARK(BM_BTreeLowerBound);
+
+void BM_IntervalSetPruning(benchmark::State& state) {
+  // The range-checking access pattern: nested adds + overlap counts.
+  xtopk::Rng rng(7);
+  for (auto _ : state) {
+    xtopk::IntervalSet set;
+    for (int i = 0; i < 1000; ++i) {
+      uint32_t a = static_cast<uint32_t>(rng.NextBounded(1u << 20));
+      uint32_t b = a + 1 + static_cast<uint32_t>(rng.NextBounded(512));
+      if (rng.NextBernoulli(0.5)) {
+        set.Add(a, b);
+      } else {
+        benchmark::DoNotOptimize(set.CountOverlap(a, b));
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_IntervalSetPruning);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Quickstart: parse an XML document, build the engine, and run keyword
+// queries under both semantics — the five-minute tour of the public API.
+//
+//   ./quickstart            # uses the built-in bibliography document
+//   ./quickstart file.xml   # or your own document
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "xml/xml_parser.h"
+
+namespace {
+
+constexpr const char* kDemoXml = R"(
+<bib>
+  <book year="2008">
+    <title>XML data management</title>
+    <author>alice</author>
+    <chapter>keyword search over xml data</chapter>
+  </book>
+  <book year="2010">
+    <title>top k query processing</title>
+    <author>bob</author>
+    <chapter>ranked keyword search in databases</chapter>
+  </book>
+  <article>
+    <title>supporting top k keyword search in xml databases</title>
+    <author>alice</author>
+    <author>bob</author>
+  </article>
+</bib>)";
+
+void PrintHits(const char* heading,
+               const std::vector<xtopk::QueryHit>& hits) {
+  std::printf("%s (%zu hits)\n", heading, hits.size());
+  for (const auto& hit : hits) {
+    std::printf("  <%s> at level %u, score %.4f", hit.tag.c_str(), hit.level,
+                hit.score);
+    if (!hit.snippet.empty()) {
+      std::printf("  \"%.60s\"", hit.snippet.c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  xtopk::XmlTree tree;
+  if (argc > 1) {
+    auto parsed = xtopk::ParseXmlFile(argv[1]);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    tree = std::move(parsed).value();
+  } else {
+    tree = xtopk::ParseXmlStringOrDie(kDemoXml);
+  }
+  std::printf("document: %zu elements, depth %u\n\n", tree.node_count(),
+              tree.max_level());
+
+  xtopk::Engine engine(tree);
+
+  const std::vector<std::string> query = {"keyword", "search"};
+  std::printf("query: {keyword, search}\n");
+  std::printf("  frequency(keyword) = %u, frequency(search) = %u\n\n",
+              engine.Frequency("keyword"), engine.Frequency("search"));
+
+  PrintHits("ELCA, complete result set",
+            engine.Search(query, xtopk::Semantics::kElca));
+  std::printf("\n");
+  PrintHits("SLCA, complete result set",
+            engine.Search(query, xtopk::Semantics::kSlca));
+  std::printf("\n");
+  PrintHits("ELCA, top-2 via the join-based top-K algorithm",
+            engine.SearchTopK(query, 2));
+  return 0;
+}

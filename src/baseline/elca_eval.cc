@@ -1,0 +1,153 @@
+#include "baseline/elca_eval.h"
+
+#include <algorithm>
+
+namespace xtopk {
+
+ElcaCandidateEvaluator::ElcaCandidateEvaluator(
+    std::vector<const DeweyList*> lists, ScoringParams scoring)
+    : lists_(std::move(lists)), scoring_(scoring) {}
+
+bool ElcaCandidateEvaluator::ContainsAll(const DeweyId& u) const {
+  for (const DeweyList* list : lists_) {
+    auto [lo, hi] = list->SubtreeRange(u);
+    if (lo == hi) return false;
+  }
+  return true;
+}
+
+std::vector<DeweyId> ElcaCandidateEvaluator::MatchedChildren(
+    const DeweyId& u) {
+  std::vector<DeweyId> children;
+  // A matched child has an occurrence in every list, so enumerating child
+  // prefixes from the first list is exhaustive.
+  const DeweyList* first = lists_[0];
+  auto [lo, hi] = first->SubtreeRange(u);
+  ++stats_.range_probes;
+  uint32_t cursor = lo;
+  while (cursor < hi) {
+    const DeweyId& occ = first->deweys[cursor];
+    if (occ.length() == u.length()) {
+      // The occurrence is u itself; it belongs to no child subtree.
+      ++cursor;
+      continue;
+    }
+    DeweyId child = occ.Prefix(u.length() + 1);
+    ++stats_.children_checked;
+    if (ContainsAll(child)) {
+      stats_.range_probes += lists_.size();
+      children.push_back(child);
+    }
+    // Jump past this child's occurrences in the first list.
+    auto [clo, chi] = first->SubtreeRange(child);
+    ++stats_.range_probes;
+    cursor = std::max(chi, cursor + 1);
+  }
+  return children;
+}
+
+const ElcaCandidateEvaluator::NodeInfo& ElcaCandidateEvaluator::Evaluate(
+    const DeweyId& u) {
+  std::string key = EncodeDeweyKey(u);
+  auto it = memo_.find(key);
+  if (it != memo_.end()) return it->second;
+
+  NodeInfo info;
+  info.consumed.assign(lists_.size(), 0);
+  std::vector<DeweyId> matched_children = MatchedChildren(u);
+  // Recurse first (bounded by the matched-node chain depth).
+  for (const DeweyId& child : matched_children) {
+    const NodeInfo& child_info = Evaluate(child);
+    for (size_t i = 0; i < lists_.size(); ++i) {
+      info.consumed[i] += child_info.consumed[i];
+    }
+    if (child_info.is_elca) {
+      info.holes.push_back(child);
+    } else {
+      info.holes.insert(info.holes.end(), child_info.holes.begin(),
+                        child_info.holes.end());
+    }
+  }
+  // u is an ELCA iff every keyword keeps a non-consumed occurrence.
+  info.is_elca = true;
+  for (size_t i = 0; i < lists_.size(); ++i) {
+    ++stats_.range_probes;
+    auto [lo, hi] = lists_[i]->SubtreeRange(u);
+    if (hi - lo <= info.consumed[i]) {
+      info.is_elca = false;
+      break;
+    }
+  }
+  if (info.is_elca) {
+    // An ELCA consumes its whole subtree (what it exposes upward).
+    for (size_t i = 0; i < lists_.size(); ++i) {
+      ++stats_.range_probes;
+      auto [lo, hi] = lists_[i]->SubtreeRange(u);
+      info.consumed[i] = hi - lo;
+    }
+  }
+  return memo_.emplace(std::move(key), std::move(info)).first->second;
+}
+
+bool ElcaCandidateEvaluator::IsElca(const DeweyId& u, double* score) {
+  if (!ContainsAll(u)) return false;
+  const NodeInfo& info = Evaluate(u);
+  if (!info.is_elca) return false;
+  if (score != nullptr) {
+    // Surviving occurrences = u's ranges minus the subtree ranges of the
+    // maximal ELCAs strictly below u.
+    *score = 0.0;
+    for (const DeweyList* list : lists_) {
+      ++stats_.range_probes;
+      auto [lo, hi] = list->SubtreeRange(u);
+      std::vector<std::pair<uint32_t, uint32_t>> holes;
+      for (const DeweyId& e : info.holes) {
+        ++stats_.range_probes;
+        holes.push_back(list->SubtreeRange(e));
+      }
+      std::sort(holes.begin(), holes.end());
+      double best = 0.0;
+      size_t hole = 0;
+      for (uint32_t row = lo; row < hi; ++row) {
+        while (hole < holes.size() && row >= holes[hole].second) ++hole;
+        if (hole < holes.size() && row >= holes[hole].first) {
+          row = holes[hole].second - 1;  // skip the consumed range
+          continue;
+        }
+        ++stats_.rows_scanned;
+        double damped = DampedScore(
+            scoring_, list->scores[row],
+            static_cast<uint32_t>(list->deweys[row].length()),
+            static_cast<uint32_t>(u.length()));
+        best = std::max(best, damped);
+      }
+      *score += best;
+    }
+  }
+  return true;
+}
+
+bool ElcaCandidateEvaluator::IsSlca(const DeweyId& u, double* score) {
+  if (!ContainsAll(u)) return false;
+  if (!MatchedChildren(u).empty()) return false;
+  if (score != nullptr) {
+    *score = 0.0;
+    for (const DeweyList* list : lists_) {
+      ++stats_.range_probes;
+      auto [lo, hi] = list->SubtreeRange(u);
+      double best = 0.0;
+      for (uint32_t row = lo; row < hi; ++row) {
+        ++stats_.rows_scanned;
+        double damped = DampedScore(
+            scoring_, list->scores[row],
+            static_cast<uint32_t>(list->deweys[row].length()),
+            static_cast<uint32_t>(u.length()));
+        best = std::max(best, damped);
+      }
+      *score += best;
+    }
+  }
+  return true;
+}
+
+}  // namespace xtopk

@@ -1,0 +1,73 @@
+#ifndef XTOPK_BASELINE_ELCA_EVAL_H_
+#define XTOPK_BASELINE_ELCA_EVAL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/scoring.h"
+#include "index/dewey_index.h"
+
+namespace xtopk {
+
+/// Probe counters shared by the Dewey-side candidate machinery.
+struct CandidateEvalStats {
+  uint64_t range_probes = 0;    ///< binary searches over Dewey lists
+  uint64_t children_checked = 0;
+  uint64_t rows_scanned = 0;    ///< rows touched for score computation
+};
+
+/// Dewey-side evaluation of one candidate node `u` against the query's
+/// inverted lists — the verification step of the index-based baseline and
+/// of RDIL. Implements the recursive ELCA semantics (DESIGN.md §5): an
+/// ELCA consumes its whole subtree, and u is an ELCA iff every keyword
+/// keeps an occurrence under u outside the subtrees of u's descendant
+/// ELCAs. The recursion over matched (all-containing) descendants is
+/// memoized per node, so repeated candidates — RDIL probes the same region
+/// many times — stay cheap.
+class ElcaCandidateEvaluator {
+ public:
+  ElcaCandidateEvaluator(std::vector<const DeweyList*> lists,
+                         ScoringParams scoring);
+
+  /// True iff the subtree at `u` contains every keyword.
+  bool ContainsAll(const DeweyId& u) const;
+
+  /// True iff `u` is an ELCA. With `score` non-null also computes the
+  /// ranking score (per-keyword damped maximum over surviving
+  /// occurrences).
+  bool IsElca(const DeweyId& u, double* score);
+
+  /// True iff `u` is an SLCA (contains all keywords, no child does).
+  bool IsSlca(const DeweyId& u, double* score);
+
+  CandidateEvalStats* stats() { return &stats_; }
+
+ private:
+  struct NodeInfo {
+    bool is_elca = false;
+    /// Per keyword: occurrences under the node consumed by ELCAs in its
+    /// subtree (the whole range when the node is an ELCA itself).
+    std::vector<uint32_t> consumed;
+    /// Maximal ELCAs strictly below the node — the consumption "holes"
+    /// used when scoring the node itself.
+    std::vector<DeweyId> holes;
+  };
+
+  /// Matched (all-containing) children of `u`, enumerated by child-prefix
+  /// jumps over the first list's occurrences under u.
+  std::vector<DeweyId> MatchedChildren(const DeweyId& u);
+
+  /// Computes (memoized) the recursive ELCA state of matched node `u`.
+  const NodeInfo& Evaluate(const DeweyId& u);
+
+  std::vector<const DeweyList*> lists_;
+  ScoringParams scoring_;
+  CandidateEvalStats stats_;
+  std::unordered_map<std::string, NodeInfo> memo_;  // key: EncodeDeweyKey
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_BASELINE_ELCA_EVAL_H_

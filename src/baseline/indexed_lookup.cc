@@ -1,0 +1,118 @@
+#include "baseline/indexed_lookup.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace xtopk {
+namespace {
+
+/// Longest common prefix between `v` and its closest occurrence in `list`
+/// (the deeper of predecessor / successor around v's sorted position).
+size_t ClosestLcp(const DeweyList& list, const DeweyId& v,
+                  IndexedLookupStats* stats) {
+  ++stats->probes;
+  uint32_t lb = list.LowerBound(v);
+  size_t best = 0;
+  if (lb < list.num_rows()) {
+    best = std::max(best, v.CommonPrefixLength(list.deweys[lb]));
+  }
+  if (lb > 0) {
+    best = std::max(best, v.CommonPrefixLength(list.deweys[lb - 1]));
+  }
+  return best;
+}
+
+}  // namespace
+
+IndexedLookupSearch::IndexedLookupSearch(const XmlTree& tree,
+                                         const DeweyIndex& index,
+                                         IndexedLookupOptions options)
+    : tree_(tree), index_(index), options_(options) {}
+
+std::vector<SearchResult> IndexedLookupSearch::Search(
+    const std::vector<std::string>& keywords) {
+  stats_ = IndexedLookupStats{};
+  std::vector<SearchResult> results;
+  if (keywords.empty()) return results;
+
+  std::vector<const DeweyList*> lists;
+  for (const std::string& kw : keywords) {
+    const DeweyList* list = index_.GetList(kw);
+    if (list == nullptr || list->num_rows() == 0) return results;
+    lists.push_back(list);
+  }
+  // Drive from the shortest list.
+  size_t shortest = 0;
+  for (size_t i = 1; i < lists.size(); ++i) {
+    if (lists[i]->num_rows() < lists[shortest]->num_rows()) shortest = i;
+  }
+
+  // slca_cand(v) = prefix of v at the shallowest closest-match depth: the
+  // lowest node containing v together with every other keyword.
+  const DeweyList& drive = *lists[shortest];
+  std::vector<DeweyId> candidates;
+  candidates.reserve(drive.num_rows());
+  for (uint32_t row = 0; row < drive.num_rows(); ++row) {
+    const DeweyId& v = drive.deweys[row];
+    size_t depth = v.length();
+    for (size_t j = 0; j < lists.size(); ++j) {
+      if (j == shortest) continue;
+      depth = std::min(depth, ClosestLcp(*lists[j], v, &stats_));
+    }
+    // All Dewey ids share the root component, so depth >= 1.
+    candidates.push_back(v.Prefix(depth));
+  }
+
+  ElcaCandidateEvaluator evaluator(lists, options_.scoring);
+
+  if (options_.semantics == Semantics::kSlca) {
+    // Dedup, sort in document order, and drop every candidate that has a
+    // candidate descendant (in sorted order the first descendant, if any,
+    // is the immediate successor).
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (i + 1 < candidates.size() &&
+          candidates[i].IsAncestorOf(candidates[i + 1])) {
+        continue;
+      }
+      ++stats_.candidates;
+      double score = 0.0;
+      if (options_.compute_scores) {
+        bool ok = evaluator.IsSlca(candidates[i], &score);
+        (void)ok;
+      }
+      NodeId node = NodeByDewey(tree_, candidates[i]);
+      results.push_back(SearchResult{
+          node, static_cast<uint32_t>(candidates[i].length()), score});
+    }
+  } else {
+    // ELCA: every answer is an ancestor-or-self of some candidate
+    // (DESIGN.md §5); expand, dedup, verify each against the definition.
+    std::unordered_set<std::string> seen;
+    std::vector<DeweyId> expanded;
+    for (const DeweyId& cand : candidates) {
+      for (size_t len = 1; len <= cand.length(); ++len) {
+        DeweyId prefix = cand.Prefix(len);
+        if (seen.insert(EncodeDeweyKey(prefix)).second) {
+          expanded.push_back(std::move(prefix));
+        }
+      }
+    }
+    std::sort(expanded.begin(), expanded.end());
+    for (const DeweyId& u : expanded) {
+      ++stats_.candidates;
+      double score = 0.0;
+      if (evaluator.IsElca(u, options_.compute_scores ? &score : nullptr)) {
+        NodeId node = NodeByDewey(tree_, u);
+        results.push_back(
+            SearchResult{node, static_cast<uint32_t>(u.length()), score});
+      }
+    }
+  }
+  stats_.eval = *evaluator.stats();
+  return results;
+}
+
+}  // namespace xtopk

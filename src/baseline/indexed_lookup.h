@@ -1,0 +1,57 @@
+#ifndef XTOPK_BASELINE_INDEXED_LOOKUP_H_
+#define XTOPK_BASELINE_INDEXED_LOOKUP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baseline/elca_eval.h"
+#include "core/scoring.h"
+#include "core/search_result.h"
+#include "index/dewey_index.h"
+#include "xml/xml_tree.h"
+
+namespace xtopk {
+
+struct IndexedLookupOptions {
+  Semantics semantics = Semantics::kElca;
+  /// The paper's Fig. 9 runs compute unranked complete sets; scores are
+  /// optional because they force occurrence-range scans per result.
+  bool compute_scores = false;
+  ScoringParams scoring;
+};
+
+struct IndexedLookupStats {
+  uint64_t probes = 0;       ///< closest-occurrence binary searches
+  uint64_t candidates = 0;   ///< candidate nodes evaluated
+  CandidateEvalStats eval;
+};
+
+/// The index-based baseline (paper §II-C; Xu & Papakonstantinou's Indexed
+/// Lookup family): for every node v of the shortest inverted list, probe
+/// the other lists for the occurrence closest to v (the neighbour with the
+/// longest common Dewey prefix) — the LCA of v with those is the lowest
+/// node containing v and all keywords. SLCA answers are the candidates
+/// without a candidate descendant; ELCA answers are found among the
+/// candidates' ancestors-or-selves and verified against the definition.
+/// Cost scales with the shortest list times log of the longest — the
+/// behaviour Fig. 9 contrasts with both other algorithms.
+class IndexedLookupSearch {
+ public:
+  IndexedLookupSearch(const XmlTree& tree, const DeweyIndex& index,
+                      IndexedLookupOptions options = {});
+
+  std::vector<SearchResult> Search(const std::vector<std::string>& keywords);
+
+  const IndexedLookupStats& stats() const { return stats_; }
+
+ private:
+  const XmlTree& tree_;
+  const DeweyIndex& index_;
+  IndexedLookupOptions options_;
+  IndexedLookupStats stats_;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_BASELINE_INDEXED_LOOKUP_H_

@@ -1,0 +1,159 @@
+#include "baseline/naive.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace xtopk {
+
+NaiveOracle::NaiveOracle(const XmlTree& tree, const DeweyIndex& index,
+                         NaiveOptions options)
+    : tree_(tree), index_(index), options_(options) {}
+
+std::vector<SearchResult> NaiveOracle::Search(
+    const std::vector<std::string>& keywords, Semantics semantics) {
+  std::vector<SearchResult> results;
+  const size_t k = keywords.size();
+  if (k == 0) return results;
+
+  std::vector<const DeweyList*> lists;
+  for (const std::string& kw : keywords) {
+    const DeweyList* list = index_.GetList(kw);
+    if (list == nullptr || list->num_rows() == 0) return results;
+    lists.push_back(list);
+  }
+
+  const size_t n = tree_.node_count();
+  // counts[u][i]: occurrences of keyword i in the subtree of u.
+  // own[u][i]: local score of u's direct occurrence (0 if none).
+  std::vector<std::vector<uint32_t>> counts(n, std::vector<uint32_t>(k, 0));
+  std::vector<std::vector<double>> own(n, std::vector<double>(k, 0.0));
+  for (size_t i = 0; i < k; ++i) {
+    for (uint32_t row = 0; row < lists[i]->num_rows(); ++row) {
+      NodeId node = lists[i]->nodes[row];
+      counts[node][i] += 1;
+      own[node][i] = lists[i]->scores[row];
+    }
+  }
+  // Children are created after parents, so a reverse NodeId sweep is a
+  // bottom-up traversal.
+  for (NodeId id = static_cast<NodeId>(n); id-- > 1;) {
+    NodeId parent = tree_.parent(id);
+    for (size_t i = 0; i < k; ++i) counts[parent][i] += counts[id][i];
+  }
+  auto contains_all = [&](NodeId u) {
+    for (size_t i = 0; i < k; ++i) {
+      if (counts[u][i] == 0) return false;
+    }
+    return true;
+  };
+
+  const double lambda = options_.scoring.damping_base;
+
+  if (semantics == Semantics::kSlca) {
+    // best_all[u][i]: damped per-keyword maxima over every occurrence.
+    std::vector<std::vector<double>> best_all;
+    if (options_.compute_scores) {
+      best_all = own;
+      for (NodeId id = static_cast<NodeId>(n); id-- > 1;) {
+        NodeId parent = tree_.parent(id);
+        for (size_t i = 0; i < k; ++i) {
+          best_all[parent][i] =
+              std::max(best_all[parent][i], best_all[id][i] * lambda);
+        }
+      }
+    }
+    for (NodeId u = 0; u < n; ++u) {
+      if (!contains_all(u)) continue;
+      bool is_result = true;
+      for (NodeId c = tree_.node(u).first_child; c != kInvalidNode;
+           c = tree_.node(c).next_sibling) {
+        if (contains_all(c)) {
+          is_result = false;
+          break;
+        }
+      }
+      if (!is_result) continue;
+      double score = 0.0;
+      if (options_.compute_scores) {
+        for (size_t i = 0; i < k; ++i) score += best_all[u][i];
+      }
+      results.push_back(SearchResult{u, tree_.level(u), score});
+    }
+    return results;
+  }
+
+  // ELCA, recursive: bottom-up, nc[u][i] counts the keyword-i occurrences
+  // under u not consumed by a descendant ELCA; an ELCA consumes its whole
+  // subtree (contributes nothing upward). Children have larger NodeIds, so
+  // a descending sweep visits children before parents.
+  std::vector<std::vector<uint32_t>> nc(n, std::vector<uint32_t>(k, 0));
+  std::vector<std::vector<double>> best(n, std::vector<double>(k, 0.0));
+  std::vector<char> is_elca(n, 0);
+  for (NodeId id = static_cast<NodeId>(n); id-- > 0;) {
+    for (size_t i = 0; i < k; ++i) {
+      nc[id][i] = own[id][i] > 0.0 ? 1u : 0u;
+      best[id][i] = own[id][i];
+    }
+    for (NodeId c = tree_.node(id).first_child; c != kInvalidNode;
+         c = tree_.node(c).next_sibling) {
+      if (is_elca[c]) continue;
+      for (size_t i = 0; i < k; ++i) {
+        nc[id][i] += nc[c][i];
+        best[id][i] = std::max(best[id][i], best[c][i] * lambda);
+      }
+    }
+    bool all = true;
+    for (size_t i = 0; i < k; ++i) {
+      if (nc[id][i] == 0) all = false;
+    }
+    is_elca[id] = all ? 1 : 0;
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    if (!is_elca[u]) continue;
+    double score = 0.0;
+    if (options_.compute_scores) {
+      for (size_t i = 0; i < k; ++i) score += best[u][i];
+    }
+    results.push_back(SearchResult{u, tree_.level(u), score});
+  }
+  return results;
+}
+
+std::vector<NodeId> NaiveOracle::AllLcas(
+    const std::vector<std::string>& keywords) {
+  std::vector<const DeweyList*> lists;
+  for (const std::string& kw : keywords) {
+    const DeweyList* list = index_.GetList(kw);
+    if (list == nullptr || list->num_rows() == 0) return {};
+    lists.push_back(list);
+  }
+  std::vector<NodeId> lcas;
+  std::vector<uint32_t> pick(lists.size(), 0);
+  // Odometer over all combinations (exponential; tiny inputs only).
+  while (true) {
+    // LCA of the picked nodes via repeated parent alignment.
+    NodeId lca = lists[0]->nodes[pick[0]];
+    for (size_t i = 1; i < lists.size(); ++i) {
+      NodeId a = lca, b = lists[i]->nodes[pick[i]];
+      while (tree_.level(a) > tree_.level(b)) a = tree_.parent(a);
+      while (tree_.level(b) > tree_.level(a)) b = tree_.parent(b);
+      while (a != b) {
+        a = tree_.parent(a);
+        b = tree_.parent(b);
+      }
+      lca = a;
+    }
+    lcas.push_back(lca);
+    // Advance the odometer.
+    size_t i = 0;
+    while (i < lists.size()) {
+      if (++pick[i] < lists[i]->num_rows()) break;
+      pick[i] = 0;
+      ++i;
+    }
+    if (i == lists.size()) break;
+  }
+  return lcas;
+}
+
+}  // namespace xtopk

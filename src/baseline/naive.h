@@ -1,0 +1,52 @@
+#ifndef XTOPK_BASELINE_NAIVE_H_
+#define XTOPK_BASELINE_NAIVE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/scoring.h"
+#include "core/search_result.h"
+#include "index/dewey_index.h"
+#include "xml/xml_tree.h"
+
+namespace xtopk {
+
+struct NaiveOptions {
+  bool compute_scores = true;
+  ScoringParams scoring;
+};
+
+/// Direct-from-definition evaluation of the ELCA / SLCA semantics (§II-A),
+/// by whole-tree aggregation. O(n·k) per query — the correctness oracle for
+/// the property tests, not a competitive baseline.
+///
+/// Semantics (the paper's operational definition — see DESIGN.md §5):
+///  * ELCA is recursive: processing the tree bottom-up, u is an ELCA iff
+///    every keyword keeps >= 1 occurrence under u that is not consumed by a
+///    descendant ELCA (an ELCA consumes its whole subtree). This is what
+///    Algorithm 1, the range checking of §III-E, and XRank's DIL compute;
+///    the paper's §II example (1.1 loses to the ELCA 1.1.2) matches.
+///  * u is an SLCA iff u contains all keywords and no child of u does
+///    ("contains all" is upward-closed, so no-descendant == no-child).
+class NaiveOracle {
+ public:
+  NaiveOracle(const XmlTree& tree, const DeweyIndex& index,
+              NaiveOptions options = {});
+
+  std::vector<SearchResult> Search(const std::vector<std::string>& keywords,
+                                   Semantics semantics);
+
+  /// The full LCA set {lca(v_1..v_k) : v_i ∈ L_i} by exhaustive
+  /// combination enumeration — exponential in k; callers must keep inputs
+  /// tiny (the motivation example / blow-up test).
+  std::vector<NodeId> AllLcas(const std::vector<std::string>& keywords);
+
+ private:
+  const XmlTree& tree_;
+  const DeweyIndex& index_;
+  NaiveOptions options_;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_BASELINE_NAIVE_H_

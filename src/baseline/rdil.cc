@@ -1,0 +1,162 @@
+#include "baseline/rdil.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <unordered_set>
+
+namespace xtopk {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// Component-level common prefix of two order-preserving encoded keys
+/// (4 bytes per component).
+size_t KeyLcpComponents(std::string_view a, std::string_view b) {
+  size_t n = std::min(a.size(), b.size());
+  size_t bytes = 0;
+  while (bytes < n && a[bytes] == b[bytes]) ++bytes;
+  return bytes / 4;
+}
+
+}  // namespace
+
+RdilSearch::RdilSearch(const XmlTree& tree, const RdilIndex& index,
+                       RdilOptions options)
+    : tree_(tree), index_(index), options_(options) {}
+
+std::vector<SearchResult> RdilSearch::Search(
+    const std::vector<std::string>& keywords) {
+  stats_ = RdilStats{};
+  std::vector<SearchResult> emitted;
+  const size_t k = keywords.size();
+  if (k == 0 || options_.k == 0) return emitted;
+
+  std::vector<const RdilList*> lists;
+  std::vector<const DeweyList*> base_lists;
+  for (const std::string& kw : keywords) {
+    const RdilList* list = index_.GetList(kw);
+    if (list == nullptr || list->base->num_rows() == 0) return emitted;
+    lists.push_back(list);
+    base_lists.push_back(list->base);
+  }
+
+  ElcaCandidateEvaluator evaluator(base_lists, options_.scoring);
+
+  std::vector<size_t> pos(k, 0);  // cursor into by_score per keyword
+  std::vector<double> s_next(k), s_max(k);
+  for (size_t i = 0; i < k; ++i) {
+    s_max[i] = lists[i]->base->scores[lists[i]->by_score[0]];
+    s_next[i] = s_max[i];
+  }
+
+  struct Pending {
+    double score;
+    NodeId node;
+    uint32_t level;
+  };
+  auto pending_less = [](const Pending& a, const Pending& b) {
+    if (a.score != b.score) return a.score < b.score;
+    return a.node > b.node;
+  };
+  std::priority_queue<Pending, std::vector<Pending>, decltype(pending_less)>
+      pending(pending_less);
+  std::unordered_set<std::string> checked;  // candidate memo by encoded key
+
+  auto threshold = [&]() {
+    // Classic TA bound over the ranked streams; damping bounded by d(0)=1.
+    double bound = kNegInf;
+    for (size_t i = 0; i < k; ++i) {
+      if (s_next[i] == kNegInf) continue;
+      double b = s_next[i];
+      for (size_t j = 0; j < k; ++j) {
+        if (j != i) b += s_max[j];
+      }
+      bound = std::max(bound, b);
+    }
+    return bound;
+  };
+
+  auto flush = [&](double bound) {
+    while (!pending.empty() && emitted.size() < options_.k &&
+           pending.top().score >= bound) {
+      const Pending& top = pending.top();
+      emitted.push_back(SearchResult{top.node, top.level, top.score});
+      pending.pop();
+    }
+  };
+
+  size_t turn = 0;
+  while (emitted.size() < options_.k) {
+    // Round-robin over non-exhausted lists.
+    size_t chosen = k;
+    for (size_t step = 0; step < k; ++step) {
+      size_t i = (turn + step) % k;
+      if (pos[i] < lists[i]->by_score.size()) {
+        chosen = i;
+        turn = (i + 1) % k;
+        break;
+      }
+    }
+    if (chosen == k) {
+      flush(kNegInf);
+      break;
+    }
+
+    const RdilList& list = *lists[chosen];
+    uint32_t row = list.by_score[pos[chosen]++];
+    ++stats_.entries_read;
+    s_next[chosen] = pos[chosen] < list.by_score.size()
+                         ? list.base->scores[list.by_score[pos[chosen]]]
+                         : kNegInf;
+
+    // Candidate: the lowest node containing v and every other keyword —
+    // prefix of v at the shallowest closest-match depth, probed through
+    // the Dewey B+-trees.
+    const DeweyId& v = list.base->deweys[row];
+    std::string v_key = EncodeDeweyKey(v);
+    size_t depth = v.length();
+    for (size_t j = 0; j < k && depth > 0; ++j) {
+      if (j == chosen) continue;
+      ++stats_.btree_probes;
+      const BTree& btree = *lists[j]->dewey_btree;
+      BTree::Iterator succ = btree.LowerBound(v_key);
+      size_t best = 0;
+      if (succ.Valid()) {
+        best = std::max(best, KeyLcpComponents(succ.key(), v_key));
+      }
+      // Predecessor: step back from the successor, or take the last entry
+      // when v sorts past everything.
+      BTree::Iterator pred = succ.Valid() ? succ : btree.Last();
+      if (succ.Valid()) pred.Prev();
+      if (pred.Valid()) {
+        best = std::max(best, KeyLcpComponents(pred.key(), v_key));
+      }
+      depth = std::min(depth, best);
+    }
+    if (depth == 0) continue;  // disjoint trees cannot happen (shared root)
+
+    DeweyId candidate = v.Prefix(depth);
+    std::string cand_key = EncodeDeweyKey(candidate);
+    if (checked.insert(cand_key).second) {
+      ++stats_.candidates_checked;
+      double score = 0.0;
+      bool ok = options_.semantics == Semantics::kElca
+                    ? evaluator.IsElca(candidate, &score)
+                    : evaluator.IsSlca(candidate, &score);
+      if (ok) {
+        NodeId node = NodeByDewey(tree_, candidate);
+        assert(node != kInvalidNode);
+        pending.push(
+            Pending{score, node, static_cast<uint32_t>(candidate.length())});
+      }
+    }
+
+    flush(threshold());
+  }
+  stats_.eval = *evaluator.stats();
+  return emitted;
+}
+
+}  // namespace xtopk

@@ -1,0 +1,57 @@
+#ifndef XTOPK_BASELINE_RDIL_H_
+#define XTOPK_BASELINE_RDIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baseline/elca_eval.h"
+#include "core/scoring.h"
+#include "core/search_result.h"
+#include "index/rdil_index.h"
+#include "xml/xml_tree.h"
+
+namespace xtopk {
+
+struct RdilOptions {
+  Semantics semantics = Semantics::kElca;
+  size_t k = 10;
+  ScoringParams scoring;
+};
+
+struct RdilStats {
+  uint64_t entries_read = 0;        ///< score-ordered entries popped
+  uint64_t btree_probes = 0;        ///< Dewey B+-tree lookups
+  uint64_t candidates_checked = 0;  ///< distinct candidate LCAs verified
+  CandidateEvalStats eval;
+};
+
+/// XRank's RDIL top-K baseline (paper §II-C): pop entries from the
+/// score-ordered lists round-robin; for each popped occurrence v probe the
+/// other keywords' Dewey B+-trees for their occurrence closest to v; the
+/// common prefix is the lowest node containing v and all keywords —
+/// a candidate, verified against the ELCA/SLCA definition out of document
+/// order (the expensive part the paper criticizes). Results are released
+/// under the classic TA threshold max_i (s^i + Σ_{j≠i} s_m^j); the damping
+/// is bounded by d(0) = 1, which is why the bound is loose and RDIL blocks
+/// long (Fig. 10).
+class RdilSearch {
+ public:
+  RdilSearch(const XmlTree& tree, const RdilIndex& index,
+             RdilOptions options = {});
+
+  /// Up to `options.k` results in descending score order.
+  std::vector<SearchResult> Search(const std::vector<std::string>& keywords);
+
+  const RdilStats& stats() const { return stats_; }
+
+ private:
+  const XmlTree& tree_;
+  const RdilIndex& index_;
+  RdilOptions options_;
+  RdilStats stats_;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_BASELINE_RDIL_H_

@@ -1,0 +1,151 @@
+#include "baseline/stack_search.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace xtopk {
+namespace {
+
+/// One stack frame = one component of the current Dewey path.
+struct Frame {
+  NodeId node = kInvalidNode;
+  /// Per keyword: best damped score of a (non-consumed, for ELCA)
+  /// occurrence in the part of the subtree seen so far; < 0 means absent.
+  std::vector<double> best;
+  /// SLCA only: some strict descendant contained all keywords.
+  bool descendant_matched = false;
+
+  explicit Frame(size_t k) : best(k, -1.0) {}
+
+  bool ContainsAll() const {
+    for (double b : best) {
+      if (b < 0.0) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+StackSearch::StackSearch(const XmlTree& tree, const DeweyIndex& index,
+                         StackSearchOptions options)
+    : tree_(tree), index_(index), options_(options) {}
+
+std::vector<SearchResult> StackSearch::Search(
+    const std::vector<std::string>& keywords) {
+  stats_ = StackSearchStats{};
+  std::vector<SearchResult> results;
+  const size_t k = keywords.size();
+  if (k == 0) return results;
+
+  std::vector<const DeweyList*> lists;
+  for (const std::string& kw : keywords) {
+    const DeweyList* list = index_.GetList(kw);
+    if (list == nullptr || list->num_rows() == 0) return results;
+    lists.push_back(list);
+  }
+
+  // K-way merge of the Dewey lists in document order.
+  struct Cursor {
+    size_t list = 0;
+    uint32_t row = 0;
+  };
+  auto cursor_greater = [&](const Cursor& a, const Cursor& b) {
+    int cmp = lists[a.list]->deweys[a.row].Compare(lists[b.list]->deweys[b.row]);
+    if (cmp != 0) return cmp > 0;
+    return a.list > b.list;
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(cursor_greater)>
+      merge(cursor_greater);
+  for (size_t i = 0; i < k; ++i) merge.push(Cursor{i, 0});
+
+  const double lambda = options_.scoring.damping_base;
+  std::vector<Frame> stack;
+  // The Dewey path of the current stack (stack[i] <-> path component i).
+  DeweyId stack_path;
+
+  // Pops the deepest frame, deciding answers and propagating state.
+  auto pop_frame = [&]() {
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+    bool all = frame.ContainsAll();
+    Frame* parent = stack.empty() ? nullptr : &stack.back();
+
+    if (options_.semantics == Semantics::kElca) {
+      if (all) {
+        double score = 0.0;
+        if (options_.compute_scores) {
+          for (double b : frame.best) score += b;
+        }
+        results.push_back(
+            SearchResult{frame.node, tree_.level(frame.node), score});
+        // Consumed: nothing propagates past an ELCA.
+      } else if (parent != nullptr) {
+        for (size_t i = 0; i < k; ++i) {
+          if (frame.best[i] >= 0.0) {
+            parent->best[i] =
+                std::max(parent->best[i], frame.best[i] * lambda);
+          }
+        }
+      }
+    } else {  // SLCA
+      if (all && !frame.descendant_matched) {
+        double score = 0.0;
+        if (options_.compute_scores) {
+          for (double b : frame.best) score += b;
+        }
+        results.push_back(
+            SearchResult{frame.node, tree_.level(frame.node), score});
+      }
+      if (parent != nullptr) {
+        parent->descendant_matched |= all || frame.descendant_matched;
+        for (size_t i = 0; i < k; ++i) {
+          if (frame.best[i] >= 0.0) {
+            parent->best[i] =
+                std::max(parent->best[i], frame.best[i] * lambda);
+          }
+        }
+      }
+    }
+  };
+
+  while (!merge.empty()) {
+    Cursor cur = merge.top();
+    merge.pop();
+    const DeweyList& list = *lists[cur.list];
+    const DeweyId& dewey = list.deweys[cur.row];
+    ++stats_.ids_scanned;
+
+    // Align the stack with this id: pop below the common prefix, push the
+    // remainder.
+    size_t lcp = stack_path.CommonPrefixLength(dewey);
+    while (stack.size() > lcp) pop_frame();
+    if (stack.size() < dewey.length()) {
+      std::vector<NodeId> path = tree_.PathTo(list.nodes[cur.row]);
+      assert(path.size() == dewey.length());
+      for (size_t depth = stack.size(); depth < dewey.length(); ++depth) {
+        Frame frame(k);
+        frame.node = path[depth];
+        stack.push_back(std::move(frame));
+        ++stats_.frames_pushed;
+      }
+    }
+    stack_path = dewey;
+
+    Frame& top = stack.back();
+    assert(top.node == list.nodes[cur.row]);
+    top.best[cur.list] =
+        std::max(top.best[cur.list],
+                 static_cast<double>(list.scores[cur.row]));
+
+    if (cur.row + 1 < list.num_rows()) {
+      merge.push(Cursor{cur.list, cur.row + 1});
+    }
+  }
+  while (!stack.empty()) pop_frame();
+
+  return results;
+}
+
+}  // namespace xtopk

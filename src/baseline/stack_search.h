@@ -1,0 +1,56 @@
+#ifndef XTOPK_BASELINE_STACK_SEARCH_H_
+#define XTOPK_BASELINE_STACK_SEARCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scoring.h"
+#include "core/search_result.h"
+#include "index/dewey_index.h"
+#include "xml/xml_tree.h"
+
+namespace xtopk {
+
+struct StackSearchOptions {
+  Semantics semantics = Semantics::kElca;
+  bool compute_scores = true;
+  ScoringParams scoring;
+};
+
+struct StackSearchStats {
+  uint64_t ids_scanned = 0;   ///< Dewey ids consumed from the k-way merge.
+  uint64_t frames_pushed = 0;
+};
+
+/// The stack-based baseline (paper §II-C; XRank's DIL family): all k Dewey
+/// inverted lists are merged in document order, and a stack mirroring the
+/// current root-to-node path carries per-keyword state upward. The whole of
+/// every list is always scanned — the behaviour the paper contrasts with
+/// the join-based algorithm (execution time bound by the most frequent
+/// keyword, Fig. 9).
+///
+/// ELCA: a frame popped with every keyword present is an answer and its
+/// keyword state is consumed (not propagated); otherwise state merges into
+/// the parent frame with one damping step.
+/// SLCA: keyword state always propagates; a frame containing all keywords
+/// is an answer iff no descendant frame already contained all keywords.
+class StackSearch {
+ public:
+  StackSearch(const XmlTree& tree, const DeweyIndex& index,
+              StackSearchOptions options = {});
+
+  std::vector<SearchResult> Search(const std::vector<std::string>& keywords);
+
+  const StackSearchStats& stats() const { return stats_; }
+
+ private:
+  const XmlTree& tree_;
+  const DeweyIndex& index_;
+  StackSearchOptions options_;
+  StackSearchStats stats_;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_BASELINE_STACK_SEARCH_H_

@@ -1,0 +1,305 @@
+#include "btree/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xtopk {
+
+struct BTree::Node {
+  bool leaf = true;
+  std::vector<std::string> keys;
+  std::vector<uint64_t> values;                 // leaves only
+  std::vector<std::unique_ptr<Node>> children;  // inner only; keys.size()+1
+  Node* next = nullptr;                         // leaf chain
+  Node* prev = nullptr;
+};
+
+struct BTree::SplitResult {
+  // Empty promoted key means no split happened.
+  std::string promoted_key;
+  std::unique_ptr<Node> right;
+  bool split = false;
+};
+
+BTree::BTree(size_t fanout) : fanout_(std::max<size_t>(4, fanout)) {
+  root_ = std::make_unique<Node>();
+}
+
+BTree::~BTree() = default;
+BTree::BTree(BTree&&) noexcept = default;
+BTree& BTree::operator=(BTree&&) noexcept = default;
+
+namespace {
+
+/// Index of the first key >= `key` in `keys`.
+size_t LowerBoundIndex(const std::vector<std::string>& keys,
+                       std::string_view key) {
+  auto it = std::lower_bound(keys.begin(), keys.end(), key,
+                             [](const std::string& a, std::string_view b) {
+                               return std::string_view(a) < b;
+                             });
+  return static_cast<size_t>(it - keys.begin());
+}
+
+}  // namespace
+
+BTree::SplitResult BTree::InsertInto(Node* node, std::string_view key,
+                                     uint64_t value) {
+  if (node->leaf) {
+    size_t idx = LowerBoundIndex(node->keys, key);
+    if (idx < node->keys.size() && node->keys[idx] == key) {
+      node->values[idx] = value;  // overwrite
+      return SplitResult{};
+    }
+    node->keys.insert(node->keys.begin() + idx, std::string(key));
+    node->values.insert(node->values.begin() + idx, value);
+    ++size_;
+    if (node->keys.size() < fanout_) return SplitResult{};
+
+    // Split the leaf in half; the first key of the right half is promoted
+    // (and kept in the leaf, B+-tree style).
+    size_t mid = node->keys.size() / 2;
+    auto right = std::make_unique<Node>();
+    right->leaf = true;
+    right->keys.assign(node->keys.begin() + mid, node->keys.end());
+    right->values.assign(node->values.begin() + mid, node->values.end());
+    node->keys.resize(mid);
+    node->values.resize(mid);
+    right->next = node->next;
+    if (right->next != nullptr) right->next->prev = right.get();
+    right->prev = node;
+    node->next = right.get();
+    SplitResult result;
+    result.split = true;
+    result.promoted_key = right->keys.front();
+    result.right = std::move(right);
+    return result;
+  }
+
+  size_t idx = LowerBoundIndex(node->keys, key);
+  // Inner separators equal the first key of the right subtree, so equal
+  // keys descend to the right child.
+  if (idx < node->keys.size() && node->keys[idx] == key) ++idx;
+  SplitResult child_split = InsertInto(node->children[idx].get(), key, value);
+  if (!child_split.split) return SplitResult{};
+
+  node->keys.insert(node->keys.begin() + idx,
+                    std::move(child_split.promoted_key));
+  node->children.insert(node->children.begin() + idx + 1,
+                        std::move(child_split.right));
+  if (node->keys.size() < fanout_) return SplitResult{};
+
+  size_t mid = node->keys.size() / 2;
+  auto right = std::make_unique<Node>();
+  right->leaf = false;
+  SplitResult result;
+  result.split = true;
+  result.promoted_key = std::move(node->keys[mid]);
+  right->keys.assign(std::make_move_iterator(node->keys.begin() + mid + 1),
+                     std::make_move_iterator(node->keys.end()));
+  for (size_t i = mid + 1; i < node->children.size(); ++i) {
+    right->children.push_back(std::move(node->children[i]));
+  }
+  node->keys.resize(mid);
+  node->children.resize(mid + 1);
+  result.right = std::move(right);
+  return result;
+}
+
+void BTree::Insert(std::string_view key, uint64_t value) {
+  SplitResult split = InsertInto(root_.get(), key, value);
+  if (!split.split) return;
+  auto new_root = std::make_unique<Node>();
+  new_root->leaf = false;
+  new_root->keys.push_back(std::move(split.promoted_key));
+  new_root->children.push_back(std::move(root_));
+  new_root->children.push_back(std::move(split.right));
+  root_ = std::move(new_root);
+  ++height_;
+}
+
+const uint64_t* BTree::Find(std::string_view key) const {
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    size_t idx = LowerBoundIndex(node->keys, key);
+    if (idx < node->keys.size() && node->keys[idx] == key) ++idx;
+    node = node->children[idx].get();
+  }
+  size_t idx = LowerBoundIndex(node->keys, key);
+  if (idx < node->keys.size() && node->keys[idx] == key) {
+    return &node->values[idx];
+  }
+  return nullptr;
+}
+
+bool BTree::Iterator::Valid() const { return node_ != nullptr; }
+
+std::string_view BTree::Iterator::key() const {
+  return static_cast<const Node*>(node_)->keys[index_];
+}
+
+uint64_t BTree::Iterator::value() const {
+  return static_cast<const Node*>(node_)->values[index_];
+}
+
+void BTree::Iterator::Next() {
+  const Node* node = static_cast<const Node*>(node_);
+  if (node == nullptr) return;
+  if (index_ + 1 < node->keys.size()) {
+    ++index_;
+    return;
+  }
+  // Skip any empty leaves (only the root can be empty, but be safe).
+  const Node* next = node->next;
+  while (next != nullptr && next->keys.empty()) next = next->next;
+  node_ = next;
+  index_ = 0;
+}
+
+void BTree::Iterator::Prev() {
+  const Node* node = static_cast<const Node*>(node_);
+  if (node == nullptr) return;
+  if (index_ > 0) {
+    --index_;
+    return;
+  }
+  const Node* prev = node->prev;
+  while (prev != nullptr && prev->keys.empty()) prev = prev->prev;
+  node_ = prev;
+  index_ = prev != nullptr ? prev->keys.size() - 1 : 0;
+}
+
+BTree::Iterator BTree::LowerBound(std::string_view key) const {
+  const Node* node = root_.get();
+  while (!node->leaf) {
+    size_t idx = LowerBoundIndex(node->keys, key);
+    if (idx < node->keys.size() && node->keys[idx] == key) ++idx;
+    node = node->children[idx].get();
+  }
+  size_t idx = LowerBoundIndex(node->keys, key);
+  Iterator it;
+  if (idx < node->keys.size()) {
+    it.node_ = node;
+    it.index_ = idx;
+    return it;
+  }
+  // All keys in this leaf are smaller; the answer is the first key of the
+  // next non-empty leaf.
+  const Node* next = node->next;
+  while (next != nullptr && next->keys.empty()) next = next->next;
+  it.node_ = next;
+  it.index_ = 0;
+  return it;
+}
+
+BTree::Iterator BTree::Begin() const {
+  const Node* node = root_.get();
+  while (!node->leaf) node = node->children.front().get();
+  Iterator it;
+  if (!node->keys.empty()) it.node_ = node;
+  return it;
+}
+
+BTree::Iterator BTree::Last() const {
+  const Node* node = root_.get();
+  while (!node->leaf) node = node->children.back().get();
+  Iterator it;
+  if (!node->keys.empty()) {
+    it.node_ = node;
+    it.index_ = node->keys.size() - 1;
+  }
+  return it;
+}
+
+namespace {
+
+// On-disk footprint model (per the BerkeleyDB-style store the paper's
+// index-based implementation used): every page pays a fixed header; every
+// entry pays its key bytes plus a slot pointer; leaf entries pay the value,
+// inner entries a child pointer.
+constexpr size_t kPageHeaderBytes = 32;
+constexpr size_t kSlotOverheadBytes = 8;
+constexpr size_t kValueBytes = 8;
+constexpr size_t kChildPtrBytes = 8;
+
+}  // namespace
+
+size_t BTree::EncodedSizeBytes() const {
+  size_t total = 0;
+  // Iterative DFS over nodes.
+  std::vector<const Node*> stack = {root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    total += kPageHeaderBytes;
+    for (const std::string& key : node->keys) {
+      total += key.size() + kSlotOverheadBytes;
+    }
+    if (node->leaf) {
+      total += node->values.size() * kValueBytes;
+    } else {
+      total += node->children.size() * kChildPtrBytes;
+      for (const auto& child : node->children) stack.push_back(child.get());
+    }
+  }
+  return total;
+}
+
+Status BTree::Validate() const {
+  // DFS carrying (node, depth, lower, upper) bounds.
+  struct Frame {
+    const Node* node;
+    size_t depth;
+    const std::string* lower;  // keys must be >= *lower (nullable)
+    const std::string* upper;  // keys must be <  *upper (nullable)
+  };
+  std::vector<Frame> stack = {{root_.get(), 1, nullptr, nullptr}};
+  size_t leaf_depth = 0;
+  size_t counted = 0;
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const Node* n = f.node;
+    for (size_t i = 1; i < n->keys.size(); ++i) {
+      if (!(n->keys[i - 1] < n->keys[i])) {
+        return Status::Internal("btree: keys not strictly sorted");
+      }
+    }
+    if (!n->keys.empty()) {
+      if (f.lower != nullptr && n->keys.front() < *f.lower) {
+        return Status::Internal("btree: key below subtree lower bound");
+      }
+      if (f.upper != nullptr && !(n->keys.back() < *f.upper)) {
+        return Status::Internal("btree: key above subtree upper bound");
+      }
+    }
+    if (n != root_.get() && n->keys.size() >= fanout_) {
+      return Status::Internal("btree: node overflow");
+    }
+    if (n->leaf) {
+      if (leaf_depth == 0) leaf_depth = f.depth;
+      if (leaf_depth != f.depth) {
+        return Status::Internal("btree: leaves at differing depths");
+      }
+      if (n->keys.size() != n->values.size()) {
+        return Status::Internal("btree: leaf key/value count mismatch");
+      }
+      counted += n->keys.size();
+    } else {
+      if (n->children.size() != n->keys.size() + 1) {
+        return Status::Internal("btree: inner child count mismatch");
+      }
+      for (size_t i = 0; i < n->children.size(); ++i) {
+        const std::string* lo = i == 0 ? f.lower : &n->keys[i - 1];
+        const std::string* hi = i == n->keys.size() ? f.upper : &n->keys[i];
+        stack.push_back({n->children[i].get(), f.depth + 1, lo, hi});
+      }
+    }
+  }
+  if (counted != size_) {
+    return Status::Internal("btree: size counter mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace xtopk

@@ -1,0 +1,93 @@
+#ifndef XTOPK_BTREE_BTREE_H_
+#define XTOPK_BTREE_BTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xtopk {
+
+/// An in-memory B+-tree over byte-string keys with uint64 payloads.
+///
+/// This is the BerkeleyDB stand-in for the two baselines that depend on
+/// keyed Dewey-id access (paper §II-C, §V-A):
+///  * the index-based algorithm stores every (keyword, Dewey id) pair as a
+///    key — the reason its Table I footprint is an order of magnitude above
+///    the column-oriented lists;
+///  * RDIL builds a B-tree per keyword over Dewey ids to probe the entry
+///    with the longest common prefix of a candidate node.
+///
+/// Keys must be inserted unique; duplicates overwrite. Leaves are doubly
+/// linked so probes can inspect both the successor and the predecessor of a
+/// lookup key (longest-common-prefix probes need both neighbours).
+class BTree {
+ public:
+  explicit BTree(size_t fanout = 128);
+  ~BTree();
+
+  BTree(BTree&&) noexcept;
+  BTree& operator=(BTree&&) noexcept;
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  /// Inserts or overwrites `key`.
+  void Insert(std::string_view key, uint64_t value);
+
+  /// Value for `key`, or nullptr if absent. The pointer is invalidated by
+  /// the next Insert.
+  const uint64_t* Find(std::string_view key) const;
+
+  /// Position in the leaf chain. Valid() is false past either end.
+  class Iterator {
+   public:
+    Iterator() = default;
+    bool Valid() const;
+    std::string_view key() const;
+    uint64_t value() const;
+    void Next();
+    void Prev();
+
+   private:
+    friend class BTree;
+    const void* node_ = nullptr;  // leaf node
+    size_t index_ = 0;
+  };
+
+  /// First entry with key >= `key` (invalid iterator if none).
+  Iterator LowerBound(std::string_view key) const;
+  /// First entry.
+  Iterator Begin() const;
+  /// Last entry (invalid iterator when empty).
+  Iterator Last() const;
+
+  size_t size() const { return size_; }
+  size_t height() const { return height_; }
+
+  /// Modeled on-disk footprint: per-node page header plus per-entry key
+  /// bytes and fixed slot overheads. Used by the Table I bench; the model
+  /// constants are documented in btree.cc.
+  size_t EncodedSizeBytes() const;
+
+  /// Checks structural invariants (sorted keys, uniform leaf depth, fanout
+  /// bounds, separator consistency, leaf-chain order). Test support.
+  Status Validate() const;
+
+ private:
+  struct Node;
+  struct SplitResult;
+
+  SplitResult InsertInto(Node* node, std::string_view key, uint64_t value);
+
+  std::unique_ptr<Node> root_;
+  size_t fanout_;
+  size_t size_ = 0;
+  size_t height_ = 1;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_BTREE_BTREE_H_

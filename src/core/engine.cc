@@ -1,0 +1,127 @@
+#include "core/engine.h"
+
+#include <unordered_set>
+
+#include "xml/tokenizer.h"
+
+namespace xtopk {
+
+Engine::Engine(const XmlTree& tree, EngineOptions options)
+    : tree_(tree), options_(options) {
+  options_.index.scoring = options_.scoring;
+  builder_ = std::make_unique<IndexBuilder>(tree_, options_.index);
+  jdewey_index_ = builder_->BuildJDeweyIndex();
+  topk_index_ = builder_->BuildTopKIndex(jdewey_index_);
+}
+
+std::vector<QueryHit> Engine::Materialize(
+    const std::vector<SearchResult>& results) {
+  std::vector<QueryHit> hits;
+  hits.reserve(results.size());
+  for (const SearchResult& r : results) {
+    QueryHit hit;
+    hit.node = r.node;
+    hit.level = r.level;
+    hit.score = r.score;
+    hit.tag = tree_.TagName(r.node);
+    hit.snippet = tree_.text(r.node);
+    hits.push_back(std::move(hit));
+  }
+  return hits;
+}
+
+std::vector<std::string> Engine::Normalize(
+    const std::vector<std::string>& keywords) const {
+  // Same analyzer as indexing; multi-token inputs expand, duplicates drop.
+  Tokenizer tokenizer(options_.index.tokenizer);
+  std::vector<std::string> normalized;
+  std::unordered_set<std::string> seen;
+  for (const std::string& keyword : keywords) {
+    for (const std::string& token : tokenizer.Tokenize(keyword)) {
+      if (seen.insert(token).second) normalized.push_back(token);
+    }
+  }
+  return normalized;
+}
+
+std::vector<QueryHit> Engine::Search(const std::vector<std::string>& keywords,
+                                     Semantics semantics) {
+  JoinSearchOptions join_options;
+  join_options.semantics = semantics;
+  join_options.compute_scores = true;
+  join_options.scoring = options_.scoring;
+  JoinSearch search(jdewey_index_, join_options);
+  std::vector<SearchResult> results = search.Search(Normalize(keywords));
+  SortByScoreDesc(&results);
+  return Materialize(results);
+}
+
+std::string HighlightKeywords(const std::string& text,
+                              const std::vector<std::string>& keywords,
+                              const std::string& open,
+                              const std::string& close) {
+  std::unordered_set<std::string> wanted;
+  Tokenizer tokenizer;
+  for (const std::string& keyword : keywords) {
+    for (const std::string& token : tokenizer.Tokenize(keyword)) {
+      wanted.insert(token);
+    }
+  }
+  std::string out;
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    bool alnum = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                 (c >= '0' && c <= '9');
+    if (!alnum) {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    std::string token;
+    while (i < text.size()) {
+      char t = text[i];
+      bool a = (t >= 'a' && t <= 'z') || (t >= 'A' && t <= 'Z') ||
+               (t >= '0' && t <= '9');
+      if (!a) break;
+      token.push_back(t >= 'A' && t <= 'Z' ? static_cast<char>(t - 'A' + 'a')
+                                           : t);
+      ++i;
+    }
+    if (wanted.count(token) > 0) {
+      out += open;
+      out.append(text, start, i - start);
+      out += close;
+    } else {
+      out.append(text, start, i - start);
+    }
+  }
+  return out;
+}
+
+std::vector<QueryHit> Engine::SearchTopK(
+    const std::vector<std::string>& keywords, size_t k, Semantics semantics) {
+  TopKSearchOptions topk_options;
+  topk_options.semantics = semantics;
+  topk_options.k = k;
+  topk_options.scoring = options_.scoring;
+  TopKSearch search(topk_index_, topk_options);
+  return Materialize(search.Search(Normalize(keywords)));
+}
+
+std::vector<QueryHit> Engine::SearchHybrid(
+    const std::vector<std::string>& keywords, size_t k, Semantics semantics) {
+  HybridOptions hybrid_options;
+  hybrid_options.semantics = semantics;
+  hybrid_options.k = k;
+  hybrid_options.scoring = options_.scoring;
+  HybridSearch search(topk_index_, hybrid_options);
+  return Materialize(search.Search(Normalize(keywords)));
+}
+
+uint32_t Engine::Frequency(const std::string& keyword) const {
+  return jdewey_index_.Frequency(keyword);
+}
+
+}  // namespace xtopk

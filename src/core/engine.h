@@ -1,0 +1,99 @@
+#ifndef XTOPK_CORE_ENGINE_H_
+#define XTOPK_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hybrid.h"
+#include "core/join_search.h"
+#include "core/search_result.h"
+#include "core/topk_search.h"
+#include "index/index_builder.h"
+#include "index/jdewey_index.h"
+#include "index/topk_index.h"
+#include "xml/xml_tree.h"
+
+namespace xtopk {
+
+/// Engine construction options.
+struct EngineOptions {
+  IndexBuildOptions index;
+  /// Planner / scoring defaults applied to queries unless overridden.
+  ScoringParams scoring;
+};
+
+/// A materialized search answer with presentation context.
+struct QueryHit {
+  NodeId node = kInvalidNode;
+  uint32_t level = 0;
+  double score = 0.0;
+  std::string tag;      ///< Element tag of the answer root.
+  std::string snippet;  ///< Direct text of the answer root (may be empty).
+};
+
+/// Marks every occurrence of `keywords` (tokenizer-normalized, whole-token
+/// matches, case-insensitive) in `text` with `open`/`close`, e.g.
+/// "xml [data] management" for keyword "data". Presentation helper for
+/// QueryHit snippets.
+std::string HighlightKeywords(const std::string& text,
+                              const std::vector<std::string>& keywords,
+                              const std::string& open = "[",
+                              const std::string& close = "]");
+
+/// The library facade: builds the indexes for one document and runs keyword
+/// queries under either semantics.
+///
+///   XmlTree doc = ParseXmlStringOrDie(xml);
+///   Engine engine(doc);
+///   auto all  = engine.Search({"xml", "data"}, Semantics::kElca);
+///   auto topk = engine.SearchTopK({"xml", "data"}, 10);
+///
+/// The tree must outlive the engine.
+class Engine {
+ public:
+  explicit Engine(const XmlTree& tree, EngineOptions options = {});
+
+  /// Complete result set (join-based Algorithm 1), scored and sorted by
+  /// score descending.
+  ///
+  /// Query keywords are normalized through the same tokenizer the index
+  /// used ("XML" matches, "top-k" splits into {top, k}); duplicates are
+  /// dropped. This applies to every Search* method.
+  std::vector<QueryHit> Search(const std::vector<std::string>& keywords,
+                               Semantics semantics = Semantics::kElca);
+
+  /// Top-k results (join-based top-K algorithm, §IV).
+  std::vector<QueryHit> SearchTopK(const std::vector<std::string>& keywords,
+                                   size_t k,
+                                   Semantics semantics = Semantics::kElca);
+
+  /// Top-k through the hybrid planner (§V-D): picks the top-K join or the
+  /// complete join by estimated cardinality.
+  std::vector<QueryHit> SearchHybrid(const std::vector<std::string>& keywords,
+                                     size_t k,
+                                     Semantics semantics = Semantics::kElca);
+
+  /// Keyword frequency (inverted-list length); 0 for unknown keywords.
+  uint32_t Frequency(const std::string& keyword) const;
+
+  const XmlTree& tree() const { return tree_; }
+  const JDeweyIndex& jdewey_index() const { return jdewey_index_; }
+  const TopKIndex& topk_index() const { return topk_index_; }
+  const IndexBuilder& builder() const { return *builder_; }
+
+ private:
+  std::vector<QueryHit> Materialize(const std::vector<SearchResult>& results);
+  std::vector<std::string> Normalize(
+      const std::vector<std::string>& keywords) const;
+
+  const XmlTree& tree_;
+  EngineOptions options_;
+  std::unique_ptr<IndexBuilder> builder_;
+  JDeweyIndex jdewey_index_;
+  TopKIndex topk_index_;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_CORE_ENGINE_H_

@@ -1,0 +1,78 @@
+#include "core/hybrid.h"
+
+#include <algorithm>
+
+namespace xtopk {
+
+HybridSearch::HybridSearch(const TopKIndex& index, HybridOptions options)
+    : index_(index), options_(options) {}
+
+double HybridSearch::EstimateResultCount(
+    const std::vector<std::string>& keywords) const {
+  // Sample the overlap of run values between the two shortest lists at each
+  // level: |A ∩ B| estimated as |A_sample ∩ B| * (|A| / |A_sample|).
+  // Summed over levels this approximates the total match count, the "join
+  // cardinality" §V-D keys the plan choice on.
+  std::vector<const JDeweyList*> lists;
+  for (const std::string& kw : keywords) {
+    const TopKList* list = index_.GetList(kw);
+    if (list == nullptr || list->base->num_rows() == 0) return 0.0;
+    lists.push_back(list->base);
+  }
+  if (lists.size() < 2) {
+    return static_cast<double>(lists.empty() ? 0 : lists[0]->num_rows());
+  }
+  std::sort(lists.begin(), lists.end(),
+            [](const JDeweyList* a, const JDeweyList* b) {
+              return a->num_rows() < b->num_rows();
+            });
+  const JDeweyList* a = lists[0];
+  const JDeweyList* b = lists[1];
+  uint32_t max_level = std::min(a->max_length, b->max_length);
+  double estimate = 0.0;
+  for (uint32_t level = 1; level <= max_level; ++level) {
+    const Column& ca = a->column(level);
+    const Column& cb = b->column(level);
+    if (ca.empty() || cb.empty()) continue;
+    size_t stride = std::max<size_t>(1, ca.run_count() / options_.sample_runs);
+    size_t sampled = 0, hits = 0;
+    for (size_t i = 0; i < ca.run_count(); i += stride) {
+      ++sampled;
+      if (cb.FindValue(ca.runs()[i].value) != nullptr) ++hits;
+    }
+    if (sampled > 0) {
+      estimate += static_cast<double>(hits) / static_cast<double>(sampled) *
+                  static_cast<double>(ca.run_count());
+    }
+  }
+  return estimate;
+}
+
+std::vector<SearchResult> HybridSearch::Search(
+    const std::vector<std::string>& keywords) {
+  decision_ = HybridDecision{};
+  decision_.estimated_results = EstimateResultCount(keywords);
+  decision_.used_topk_join =
+      decision_.estimated_results >= options_.topk_min_estimated_results;
+
+  if (decision_.used_topk_join) {
+    TopKSearchOptions topk_options;
+    topk_options.semantics = options_.semantics;
+    topk_options.k = options_.k;
+    topk_options.scoring = options_.scoring;
+    TopKSearch search(index_, topk_options);
+    return search.Search(keywords);
+  }
+
+  JoinSearchOptions join_options;
+  join_options.semantics = options_.semantics;
+  join_options.compute_scores = true;
+  join_options.scoring = options_.scoring;
+  JoinSearch search(*index_.base(), join_options);
+  std::vector<SearchResult> results = search.Search(keywords);
+  SortByScoreDesc(&results);
+  if (results.size() > options_.k) results.resize(options_.k);
+  return results;
+}
+
+}  // namespace xtopk

@@ -1,0 +1,61 @@
+#ifndef XTOPK_CORE_HYBRID_H_
+#define XTOPK_CORE_HYBRID_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/join_search.h"
+#include "core/search_result.h"
+#include "core/topk_search.h"
+#include "index/topk_index.h"
+
+namespace xtopk {
+
+/// Options of the hybrid top-K planner.
+struct HybridOptions {
+  Semantics semantics = Semantics::kElca;
+  size_t k = 10;
+  /// Estimated result-count threshold at or above which the top-K join is
+  /// chosen; below it the query keywords are assumed weakly correlated and
+  /// the complete join-based evaluation (+ sort) wins (paper Fig. 10
+  /// discussion: the top-K join "only performs well when the number of
+  /// results is fairly large").
+  double topk_min_estimated_results = 8.0;
+  /// Number of runs sampled from the two shortest lists per level for the
+  /// cardinality estimate.
+  size_t sample_runs = 256;
+  ScoringParams scoring;
+};
+
+/// What the planner decided and why (exposed for tests/benches).
+struct HybridDecision {
+  bool used_topk_join = false;
+  double estimated_results = 0.0;
+};
+
+/// The hybrid index/planner the paper sketches in §V-D: both the
+/// JDewey-order and the score-order representations are available, and a
+/// join-cardinality estimate — sampled value-overlap between the shortest
+/// lists' columns — selects the top-K join for correlated keywords and the
+/// complete join for uncorrelated ones.
+class HybridSearch {
+ public:
+  HybridSearch(const TopKIndex& index, HybridOptions options = {});
+
+  std::vector<SearchResult> Search(const std::vector<std::string>& keywords);
+
+  const HybridDecision& decision() const { return decision_; }
+
+  /// The sampled cardinality estimate on its own (tests).
+  double EstimateResultCount(const std::vector<std::string>& keywords) const;
+
+ private:
+  const TopKIndex& index_;
+  HybridOptions options_;
+  HybridDecision decision_;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_CORE_HYBRID_H_

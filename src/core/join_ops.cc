@@ -1,0 +1,56 @@
+#include "core/join_ops.h"
+
+namespace xtopk {
+
+std::vector<LevelMatch> SeedMatches(const Column& column) {
+  std::vector<LevelMatch> matches;
+  matches.reserve(column.run_count());
+  for (const Run& run : column.runs()) {
+    LevelMatch m;
+    m.value = run.value;
+    m.runs.push_back(&run);
+    matches.push_back(std::move(m));
+  }
+  return matches;
+}
+
+std::vector<LevelMatch> MergeIntersect(std::vector<LevelMatch> matches,
+                                       const Column& column,
+                                       JoinOpStats* stats) {
+  ++stats->merge_joins;
+  std::vector<LevelMatch> out;
+  const auto& runs = column.runs();
+  size_t i = 0, j = 0;
+  while (i < matches.size() && j < runs.size()) {
+    ++stats->run_comparisons;
+    if (matches[i].value < runs[j].value) {
+      ++i;
+    } else if (matches[i].value > runs[j].value) {
+      ++j;
+    } else {
+      matches[i].runs.push_back(&runs[j]);
+      out.push_back(std::move(matches[i]));
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+std::vector<LevelMatch> IndexIntersect(std::vector<LevelMatch> matches,
+                                       const Column& column,
+                                       JoinOpStats* stats) {
+  ++stats->index_joins;
+  std::vector<LevelMatch> out;
+  for (LevelMatch& m : matches) {
+    ++stats->probes;
+    const Run* run = column.FindValue(m.value);
+    if (run != nullptr) {
+      m.runs.push_back(run);
+      out.push_back(std::move(m));
+    }
+  }
+  return out;
+}
+
+}  // namespace xtopk

@@ -1,0 +1,47 @@
+#ifndef XTOPK_CORE_JOIN_OPS_H_
+#define XTOPK_CORE_JOIN_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/column.h"
+
+namespace xtopk {
+
+/// A value matched across several columns of one level, carrying the run of
+/// each joined column (runs arrive in join order; JoinSearch remaps them to
+/// query keyword order). The joins follow set semantics (§III-B): one match
+/// per value, regardless of run lengths.
+struct LevelMatch {
+  uint32_t value = 0;
+  std::vector<const Run*> runs;
+};
+
+/// Execution counters for the join operators (tests assert on the dynamic
+/// optimizer through these; benches report them).
+struct JoinOpStats {
+  uint64_t merge_joins = 0;
+  uint64_t index_joins = 0;
+  uint64_t run_comparisons = 0;  ///< merge-join cursor steps
+  uint64_t probes = 0;           ///< index-join binary searches
+};
+
+/// Sort-merge intersection of the current matches with `column` (both are
+/// value-sorted). Appends the matching run to each surviving match.
+std::vector<LevelMatch> MergeIntersect(std::vector<LevelMatch> matches,
+                                       const Column& column,
+                                       JoinOpStats* stats);
+
+/// Index-join intersection: binary-probes `column` for every current match
+/// value. Preferable when |matches| << |column| (§III-C).
+std::vector<LevelMatch> IndexIntersect(std::vector<LevelMatch> matches,
+                                       const Column& column,
+                                       JoinOpStats* stats);
+
+/// Seeds the match list from a column's runs (the left-most input of the
+/// left-deep join).
+std::vector<LevelMatch> SeedMatches(const Column& column);
+
+}  // namespace xtopk
+
+#endif  // XTOPK_CORE_JOIN_OPS_H_

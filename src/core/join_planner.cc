@@ -1,0 +1,31 @@
+#include "core/join_planner.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace xtopk {
+
+bool UseIndexJoin(size_t left_size, size_t right_size,
+                  const PlannerOptions& options) {
+  switch (options.policy) {
+    case JoinPolicy::kForceMerge:
+      return false;
+    case JoinPolicy::kForceIndex:
+      return true;
+    case JoinPolicy::kDynamic:
+      return static_cast<double>(left_size) * options.index_join_ratio <
+             static_cast<double>(right_size);
+  }
+  return false;
+}
+
+std::vector<size_t> PlanJoinOrder(const std::vector<size_t>& list_sizes) {
+  std::vector<size_t> order(list_sizes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return list_sizes[a] < list_sizes[b];
+  });
+  return order;
+}
+
+}  // namespace xtopk

@@ -1,0 +1,37 @@
+#ifndef XTOPK_CORE_JOIN_PLANNER_H_
+#define XTOPK_CORE_JOIN_PLANNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xtopk {
+
+/// Join-algorithm selection policy (§III-C "dynamic optimization").
+enum class JoinPolicy {
+  /// Per join, pick the index join when the left side is much smaller than
+  /// the right column; otherwise merge. Re-decided at every level, which is
+  /// what makes the selection context-aware.
+  kDynamic,
+  kForceMerge,
+  kForceIndex,
+};
+
+struct PlannerOptions {
+  JoinPolicy policy = JoinPolicy::kDynamic;
+  /// kDynamic picks the index join when
+  /// left_size * index_join_ratio < right_size.
+  double index_join_ratio = 16.0;
+};
+
+/// True iff the next join step should probe (index join) rather than merge.
+bool UseIndexJoin(size_t left_size, size_t right_size,
+                  const PlannerOptions& options);
+
+/// Left-deep join order: indexes of `list_sizes` sorted ascending by size
+/// ("from the shortest inverted list to the longest", §III-C).
+std::vector<size_t> PlanJoinOrder(const std::vector<size_t>& list_sizes);
+
+}  // namespace xtopk
+
+#endif  // XTOPK_CORE_JOIN_PLANNER_H_

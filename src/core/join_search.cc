@@ -1,0 +1,215 @@
+#include "core/join_search.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xtopk {
+
+JoinSearch::Erasure::Erasure(bool use_ranges, uint32_t rows,
+                             uint64_t* touches)
+    : use_ranges_(use_ranges), touches_(touches) {
+  if (!use_ranges_) bitmap_.assign(rows, 0);
+}
+
+void JoinSearch::Erasure::EraseRange(uint32_t begin, uint32_t end) {
+  if (use_ranges_) {
+    size_t before = ranges_.interval_count();
+    ranges_.Add(begin, end);
+    // Cost model: intervals merged away plus the insertion itself.
+    *touches_ += before - ranges_.interval_count() + 2;
+  } else {
+    for (uint32_t r = begin; r < end; ++r) bitmap_[r] = 1;
+    *touches_ += end - begin;
+  }
+}
+
+uint32_t JoinSearch::Erasure::CountErased(uint32_t begin, uint32_t end) const {
+  if (use_ranges_) {
+    // Binary search plus a walk over the overlapped intervals (§III-E:
+    // "the range checking is simply a binary search process").
+    uint32_t overlap = ranges_.CountOverlap(begin, end);
+    *touches_ += 2;
+    return overlap;
+  }
+  uint32_t count = 0;
+  for (uint32_t r = begin; r < end; ++r) count += bitmap_[r];
+  *touches_ += end - begin;
+  return count;
+}
+
+template <typename Fn>
+void JoinSearch::Erasure::ForEachAlive(uint32_t begin, uint32_t end,
+                                       Fn&& fn) const {
+  if (use_ranges_) {
+    ranges_.ForEachUncovered(begin, end, fn);
+    return;
+  }
+  uint32_t r = begin;
+  while (r < end) {
+    while (r < end && bitmap_[r]) ++r;
+    uint32_t lo = r;
+    while (r < end && !bitmap_[r]) ++r;
+    if (lo < r) fn(lo, r);
+  }
+}
+
+JoinSearch::JoinSearch(const JDeweyIndex& index, JoinSearchOptions options)
+    : index_(index), options_(options) {}
+
+std::vector<SearchResult> JoinSearch::Search(
+    const std::vector<std::string>& keywords) {
+  return SearchWithTrace(keywords, nullptr);
+}
+
+std::vector<SearchResult> JoinSearch::SearchWithTrace(
+    const std::vector<std::string>& keywords,
+    std::vector<LevelTrace>* trace) {
+  stats_ = JoinSearchStats{};
+  if (trace != nullptr) trace->clear();
+  std::vector<SearchResult> results;
+  if (keywords.empty()) return results;
+
+  // Resolve inverted lists; a missing keyword means no answers.
+  std::vector<const JDeweyList*> lists;
+  lists.reserve(keywords.size());
+  for (const std::string& kw : keywords) {
+    const JDeweyList* list = index_.GetList(kw);
+    if (list == nullptr || list->num_rows() == 0) return results;
+    lists.push_back(list);
+  }
+  const size_t k = lists.size();
+
+  // Left-deep join order: shortest list first (§III-C).
+  std::vector<size_t> sizes(k);
+  for (size_t i = 0; i < k; ++i) sizes[i] = lists[i]->num_rows();
+  std::vector<size_t> order = PlanJoinOrder(sizes);
+
+  // The scan starts at the lowest level that every keyword reaches: there
+  // cannot be an LCA of all keywords lower than min over lists of their
+  // deepest occurrence level.
+  uint32_t start_level = lists[0]->max_length;
+  for (const JDeweyList* list : lists) {
+    start_level = std::min(start_level, list->max_length);
+  }
+
+  std::vector<Erasure> erasure;
+  erasure.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    erasure.emplace_back(options_.use_range_check, lists[i]->num_rows(),
+                         &stats_.erasure_touches);
+  }
+
+  for (uint32_t level = start_level; level >= 1; --level) {
+    ++stats_.levels_processed;
+    LevelTrace level_trace;
+    level_trace.level = level;
+    uint64_t erased_before = stats_.rows_erased;
+    uint64_t candidates_before = stats_.candidates;
+    uint64_t results_before = stats_.results;
+
+    // Left-deep pipeline over this level's columns in join order.
+    const Column& first = lists[order[0]]->column(level);
+    std::vector<LevelMatch> matches = SeedMatches(first);
+    for (size_t j = 1; j < k && !matches.empty(); ++j) {
+      const Column& next = lists[order[j]]->column(level);
+      // Dynamic optimization (§III-C): the choice is re-made per level, so
+      // different contexts (conference vs paper) can pick differently.
+      bool use_index =
+          UseIndexJoin(matches.size(), next.run_count(), options_.planner);
+      if (use_index) {
+        matches = IndexIntersect(std::move(matches), next, &stats_.join_ops);
+      } else {
+        matches = MergeIntersect(std::move(matches), next, &stats_.join_ops);
+      }
+      if (trace != nullptr) {
+        level_trace.steps.push_back(JoinStepTrace{
+            order[j], use_index, next.run_count(), matches.size()});
+      }
+    }
+
+    for (const LevelMatch& match : matches) {
+      ++stats_.candidates;
+      // match.runs[j] belongs to list order[j]; fetch per query position.
+      auto run_of = [&](size_t query_pos) -> const Run* {
+        for (size_t j = 0; j < k; ++j) {
+          if (order[j] == query_pos) return match.runs[j];
+        }
+        assert(false);
+        return nullptr;
+      };
+
+      bool is_result = false;
+      if (options_.semantics == Semantics::kElca) {
+        // ELCA (§III-E): every keyword must retain at least one occurrence
+        // not consumed by a lower ELCA. Failed candidates erase nothing —
+        // their surviving occurrences must stay visible to ancestors.
+        is_result = true;
+        for (size_t i = 0; i < k && is_result; ++i) {
+          const Run* run = run_of(i);
+          uint32_t erased =
+              erasure[i].CountErased(run->first_row, run->end_row());
+          if (erased >= run->count) is_result = false;
+        }
+      } else {
+        // SLCA (§III-F): the candidate is an answer iff no occurrence below
+        // it was already matched (no descendant LCA). Every matched value
+        // erases its runs so that ancestors observe the descendant match.
+        is_result = true;
+        for (size_t i = 0; i < k && is_result; ++i) {
+          const Run* run = run_of(i);
+          if (erasure[i].CountErased(run->first_row, run->end_row()) > 0) {
+            is_result = false;
+          }
+        }
+      }
+
+      double score = 0.0;
+      if (is_result && options_.compute_scores) {
+        // Sum over keywords of the damped maximum among the occurrences
+        // that belong to this result (non-erased rows of the run).
+        for (size_t i = 0; i < k; ++i) {
+          const Run* run = run_of(i);
+          const JDeweyList* list = lists[i];
+          double best = 0.0;
+          erasure[i].ForEachAlive(
+              run->first_row, run->end_row(), [&](uint32_t lo, uint32_t hi) {
+                for (uint32_t row = lo; row < hi; ++row) {
+                  double damped =
+                      DampedScore(options_.scoring, list->scores[row],
+                                  list->lengths[row], level);
+                  best = std::max(best, damped);
+                }
+              });
+          score += best;
+        }
+      }
+
+      bool erase_runs =
+          options_.semantics == Semantics::kSlca ? true : is_result;
+      if (erase_runs) {
+        for (size_t i = 0; i < k; ++i) {
+          const Run* run = run_of(i);
+          erasure[i].EraseRange(run->first_row, run->end_row());
+          stats_.rows_erased += run->count;
+        }
+      }
+
+      if (is_result) {
+        ++stats_.results;
+        NodeId node = index_.NodeAt(level, match.value);
+        assert(node != kInvalidNode);
+        results.push_back(SearchResult{node, level, score});
+      }
+    }
+
+    if (trace != nullptr) {
+      level_trace.candidates = stats_.candidates - candidates_before;
+      level_trace.results = stats_.results - results_before;
+      level_trace.rows_erased = stats_.rows_erased - erased_before;
+      trace->push_back(std::move(level_trace));
+    }
+  }
+  return results;
+}
+
+}  // namespace xtopk

@@ -1,0 +1,107 @@
+#ifndef XTOPK_CORE_JOIN_SEARCH_H_
+#define XTOPK_CORE_JOIN_SEARCH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/join_ops.h"
+#include "core/join_planner.h"
+#include "core/scoring.h"
+#include "core/search_result.h"
+#include "index/jdewey_index.h"
+#include "util/interval_set.h"
+
+namespace xtopk {
+
+/// Options of the complete-result join-based algorithm.
+struct JoinSearchOptions {
+  Semantics semantics = Semantics::kElca;
+  /// Compute ranking scores for results (Fig. 9 experiments disable this;
+  /// the engine enables it).
+  bool compute_scores = true;
+  /// Range-granular semantic pruning (§III-E). false switches to per-row
+  /// erasure — the ablation A4 baseline.
+  bool use_range_check = true;
+  PlannerOptions planner;
+  ScoringParams scoring;
+};
+
+/// Execution counters exposed for tests and benches.
+struct JoinSearchStats {
+  JoinOpStats join_ops;
+  uint32_t levels_processed = 0;
+  uint64_t candidates = 0;       ///< values matched across all lists
+  uint64_t results = 0;
+  uint64_t rows_erased = 0;      ///< total rows covered by semantic pruning
+  /// Work units spent inside the erasure structure: interval-map nodes
+  /// visited in range mode, individual rows touched in per-row mode. This
+  /// is the cost the paper's range checking optimizes (ablation A4).
+  uint64_t erasure_touches = 0;
+};
+
+/// One join step inside a level (EXPLAIN output).
+struct JoinStepTrace {
+  size_t query_position = 0;  ///< which keyword's column was joined in
+  bool index_join = false;    ///< probe vs merge (the dynamic choice)
+  uint64_t input_runs = 0;    ///< right-hand column's run count
+  uint64_t output_matches = 0;
+};
+
+/// Per-level EXPLAIN record of Algorithm 1's execution.
+struct LevelTrace {
+  uint32_t level = 0;
+  std::vector<JoinStepTrace> steps;
+  uint64_t candidates = 0;
+  uint64_t results = 0;
+  uint64_t rows_erased = 0;
+};
+
+/// Algorithm 1 (paper §III): evaluates a keyword query bottom-up with one
+/// relational join per level per keyword pair, pruning ELCA/SLCA semantics
+/// by erasing matched row ranges. Results come out lowest-level-first;
+/// scores, when enabled, follow §II-B (sum over keywords of the damped
+/// maximum among occurrences belonging to the result).
+class JoinSearch {
+ public:
+  explicit JoinSearch(const JDeweyIndex& index, JoinSearchOptions options = {});
+
+  /// Evaluates `keywords`. Unknown keywords yield an empty result set.
+  std::vector<SearchResult> Search(const std::vector<std::string>& keywords);
+
+  /// Search with an EXPLAIN trace: which join algorithm each step picked
+  /// (the §III-C dynamic decision), and what each level produced/erased.
+  std::vector<SearchResult> SearchWithTrace(
+      const std::vector<std::string>& keywords,
+      std::vector<LevelTrace>* trace);
+
+  /// Counters of the last Search call.
+  const JoinSearchStats& stats() const { return stats_; }
+
+ private:
+  /// Erasure state of one inverted list: either an interval set over rows
+  /// (range checking) or a plain bitmap (ablation).
+  class Erasure {
+   public:
+    Erasure(bool use_ranges, uint32_t rows, uint64_t* touches);
+    void EraseRange(uint32_t begin, uint32_t end);
+    uint32_t CountErased(uint32_t begin, uint32_t end) const;
+    /// fn(lo, hi) over maximal non-erased sub-ranges of [begin, end).
+    template <typename Fn>
+    void ForEachAlive(uint32_t begin, uint32_t end, Fn&& fn) const;
+
+   private:
+    bool use_ranges_;
+    IntervalSet ranges_;
+    std::vector<char> bitmap_;
+    uint64_t* touches_;  // not owned
+  };
+
+  const JDeweyIndex& index_;
+  JoinSearchOptions options_;
+  JoinSearchStats stats_;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_CORE_JOIN_SEARCH_H_

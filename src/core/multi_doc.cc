@@ -1,0 +1,67 @@
+#include "core/multi_doc.h"
+
+#include <algorithm>
+
+#include "xml/xml_parser.h"
+
+namespace xtopk {
+
+MultiDocCorpus::MultiDocCorpus() { tree_.CreateRoot("collection"); }
+
+size_t MultiDocCorpus::AddDocument(const std::string& name,
+                                   const XmlTree& doc) {
+  NodeId wrapper = tree_.AddChild(tree_.root(), "doc");
+  tree_.AddAttribute(wrapper, "name", name);
+  // Deep-copy `doc` under the wrapper, preserving sibling order. The copy
+  // walks explicit child links so out-of-creation-order trees transfer
+  // correctly.
+  if (!doc.empty()) {
+    std::vector<std::pair<NodeId, NodeId>> stack;  // (src, dst parent)
+    NodeId doc_root_copy = tree_.AddChild(wrapper, doc.TagName(doc.root()));
+    tree_.AppendText(doc_root_copy, doc.text(doc.root()));
+    stack.emplace_back(doc.root(), doc_root_copy);
+    while (!stack.empty()) {
+      auto [src, dst] = stack.back();
+      stack.pop_back();
+      // Collect children first so they can be pushed in reverse and
+      // created in document order.
+      std::vector<NodeId> kids = doc.Children(src);
+      std::vector<NodeId> copies;
+      copies.reserve(kids.size());
+      for (NodeId child : kids) {
+        NodeId copy = tree_.AddChild(dst, doc.TagName(child));
+        tree_.AppendText(copy, doc.text(child));
+        copies.push_back(copy);
+      }
+      for (size_t i = 0; i < kids.size(); ++i) {
+        stack.emplace_back(kids[i], copies[i]);
+      }
+    }
+  }
+  doc_roots_.push_back(wrapper);
+  doc_names_.push_back(name);
+  return doc_roots_.size() - 1;
+}
+
+StatusOr<size_t> MultiDocCorpus::AddDocumentXml(const std::string& name,
+                                                const std::string& xml) {
+  StatusOr<XmlTree> parsed = XmlParser::Parse(xml);
+  if (!parsed.ok()) return parsed.status();
+  return AddDocument(name, *parsed);
+}
+
+std::optional<size_t> MultiDocCorpus::DocumentOf(NodeId node) const {
+  // Walk up to the level-2 ancestor (the <doc> wrapper).
+  NodeId cur = node;
+  while (cur != kInvalidNode && tree_.level(cur) > 2) {
+    cur = tree_.parent(cur);
+  }
+  if (cur == kInvalidNode || tree_.level(cur) != 2) return std::nullopt;
+  auto it = std::lower_bound(doc_roots_.begin(), doc_roots_.end(), cur);
+  if (it != doc_roots_.end() && *it == cur) {
+    return static_cast<size_t>(it - doc_roots_.begin());
+  }
+  return std::nullopt;
+}
+
+}  // namespace xtopk

@@ -1,0 +1,61 @@
+#ifndef XTOPK_CORE_MULTI_DOC_H_
+#define XTOPK_CORE_MULTI_DOC_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "xml/xml_tree.h"
+
+namespace xtopk {
+
+/// Builds one searchable tree out of many XML documents — the shape the
+/// paper's DBLP setup has after its regrouping (one synthetic root over
+/// per-document subtrees), and the practical entry point for indexing a
+/// collection of files.
+///
+///   corpus:                      <collection>
+///     a.xml -> <doc name="a">      <doc name="a"> ... </doc>
+///     b.xml -> <doc name="b">      <doc name="b"> ... </doc>
+///                                </collection>
+///
+/// Keyword semantics compose naturally: an LCA spanning two documents is
+/// the collection root (or a <doc> wrapper), which ELCA/SLCA pruning
+/// handles like any other ancestor.
+class MultiDocCorpus {
+ public:
+  MultiDocCorpus();
+
+  /// Appends `doc` (its root becomes a child of the <doc> wrapper).
+  /// Element structure and text are copied; attribute *values* survive in
+  /// the text (the parser folds them in), attribute structure does not.
+  /// Returns the document's index.
+  size_t AddDocument(const std::string& name, const XmlTree& doc);
+
+  /// Parses and appends an XML string.
+  StatusOr<size_t> AddDocumentXml(const std::string& name,
+                                  const std::string& xml);
+
+  /// The merged tree (build indexes / engines over this). Valid until the
+  /// next AddDocument call.
+  const XmlTree& tree() const { return tree_; }
+
+  size_t document_count() const { return doc_roots_.size(); }
+  const std::string& document_name(size_t index) const {
+    return doc_names_[index];
+  }
+
+  /// Which document `node` belongs to; nullopt for the collection root.
+  /// O(depth).
+  std::optional<size_t> DocumentOf(NodeId node) const;
+
+ private:
+  XmlTree tree_;
+  std::vector<NodeId> doc_roots_;  // the <doc> wrapper nodes
+  std::vector<std::string> doc_names_;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_CORE_MULTI_DOC_H_

@@ -1,0 +1,26 @@
+#include "core/scoring.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace xtopk {
+
+double RawLocalScore(uint32_t tf, uint64_t df, uint64_t corpus_nodes) {
+  assert(tf > 0 && df > 0);
+  double tf_weight = 1.0 + std::log(static_cast<double>(tf));
+  double idf = std::log(1.0 + static_cast<double>(corpus_nodes) /
+                                  static_cast<double>(df));
+  return tf_weight * idf;
+}
+
+double Damp(const ScoringParams& params, uint32_t delta) {
+  return std::pow(params.damping_base, static_cast<double>(delta));
+}
+
+double DampedScore(const ScoringParams& params, double local_score,
+                   uint32_t occ_level, uint32_t result_level) {
+  assert(occ_level >= result_level);
+  return local_score * Damp(params, occ_level - result_level);
+}
+
+}  // namespace xtopk

@@ -1,0 +1,450 @@
+#include "core/topk_search.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <unordered_map>
+
+#include "core/join_ops.h"
+#include "core/join_planner.h"
+
+namespace xtopk {
+namespace {
+
+uint64_t NodeKey(uint32_t level, uint32_t value) {
+  return (static_cast<uint64_t>(level) << 32) | value;
+}
+
+/// Tracks which nodes were matched at deeper levels and answers the two
+/// pruning questions of §IV-C: is an occurrence consumed (its path passes
+/// through a found ELCA / matched LCA below the current column), and — for
+/// SLCA — is a candidate an ancestor of an earlier match.
+class SemanticPruner {
+ public:
+  explicit SemanticPruner(Semantics semantics) : semantics_(semantics) {}
+
+  /// True iff `row` of `list` is consumed at `level`: some component of its
+  /// sequence strictly below `level` is a recorded match.
+  bool Excluded(const JDeweyList& list, uint32_t row, uint32_t level) const {
+    if (found_.empty()) return false;
+    for (uint32_t l = level + 1; l <= list.lengths[row]; ++l) {
+      if (found_.count(NodeKey(l, list.Component(row, l))) > 0) return true;
+    }
+    return false;
+  }
+
+  /// Records a completed match at (level, value). For SLCA all ancestors of
+  /// the match become blocked; `witness_list`/`witness_row` supply the
+  /// ancestor path.
+  void RecordMatch(uint32_t level, uint32_t value,
+                   const JDeweyList& witness_list, uint32_t witness_row) {
+    found_.insert(NodeKey(level, value));
+    if (semantics_ == Semantics::kSlca) {
+      for (uint32_t l = 1; l < level; ++l) {
+        blocked_.insert(NodeKey(l, witness_list.Component(witness_row, l)));
+      }
+    }
+  }
+
+  /// SLCA only: true iff (level, value) is an ancestor of an earlier match.
+  bool Blocked(uint32_t level, uint32_t value) const {
+    return blocked_.count(NodeKey(level, value)) > 0;
+  }
+
+ private:
+  Semantics semantics_;
+  std::unordered_set<uint64_t> found_;
+  std::unordered_set<uint64_t> blocked_;
+};
+
+/// Serves one keyword's entries at one column in descending damped-score
+/// order by merging the length-grouped segments (§IV-C, Fig. 7): each
+/// segment is already ordered, so a heap of segment cursors reconstructs
+/// the column's complete order online. Excluded entries are skipped
+/// transparently.
+class ColumnCursor {
+ public:
+  struct Entry {
+    uint32_t row = 0;
+    uint32_t value = 0;
+    double score = 0.0;  ///< damped to the cursor's level
+  };
+
+  ColumnCursor(const TopKList& list, uint32_t level,
+               const ScoringParams& params, const SemanticPruner& pruner,
+               TopKSearchStats* stats)
+      : list_(list), level_(level), pruner_(pruner), stats_(stats) {
+    for (const ScoreSegment& seg : list.segments) {
+      if (seg.length < level) continue;
+      SegCursor cursor;
+      cursor.seg = &seg;
+      cursor.pos = 0;
+      cursor.damp = Damp(params, seg.length - level);
+      cursor.cached_head = cursor.HeadScore(*list.base);
+      cursors_.push_back(cursor);
+    }
+    std::make_heap(cursors_.begin(), cursors_.end(), HeapLess);
+    Settle();
+  }
+
+  /// Next non-excluded entry, or nullptr when the column is exhausted.
+  const Entry* Peek() const { return has_head_ ? &head_ : nullptr; }
+
+  void Pop() {
+    assert(has_head_);
+    AdvanceTop();
+    Settle();
+  }
+
+ private:
+  struct SegCursor {
+    const ScoreSegment* seg = nullptr;
+    size_t pos = 0;
+    double damp = 1.0;
+    double cached_head = 0.0;
+
+    double HeadScore(const JDeweyList& list) const {
+      return static_cast<double>(list.scores[seg->rows[pos]]) * damp;
+    }
+    bool Exhausted() const { return pos >= seg->rows.size(); }
+  };
+
+  // Max-heap by head score: "less" compares ascending.
+  static bool HeapLess(const SegCursor& a, const SegCursor& b) {
+    return a.cached_head < b.cached_head;
+  }
+
+  void AdvanceTop() {
+    std::pop_heap(cursors_.begin(), cursors_.end(), HeapLess);
+    SegCursor& cursor = cursors_.back();
+    ++cursor.pos;
+    if (cursor.Exhausted()) {
+      cursors_.pop_back();
+    } else {
+      cursor.cached_head = cursor.HeadScore(*list_.base);
+      std::push_heap(cursors_.begin(), cursors_.end(), HeapLess);
+    }
+  }
+
+  /// Ensures head_ holds the next non-excluded entry.
+  void Settle() {
+    const JDeweyList& base = *list_.base;
+    while (!cursors_.empty()) {
+      const SegCursor& top = cursors_.front();
+      uint32_t row = top.seg->rows[top.pos];
+      if (pruner_.Excluded(base, row, level_)) {
+        ++stats_->excluded_skips;
+        AdvanceTop();
+        continue;
+      }
+      head_.row = row;
+      head_.score = top.cached_head;
+      head_.value = base.Component(row, level_);
+      has_head_ = true;
+      return;
+    }
+    has_head_ = false;
+  }
+
+  const TopKList& list_;
+  uint32_t level_;
+  const SemanticPruner& pruner_;
+  TopKSearchStats* stats_;
+  std::vector<SegCursor> cursors_;
+  Entry head_;
+  bool has_head_ = false;
+};
+
+/// Sampled match-count estimate for one level: overlap rate of the
+/// smaller column's run values in the larger, scaled up (§V-D: "join
+/// cardinality is re-estimated for different contexts").
+double EstimateLevelMatches(const std::vector<const TopKList*>& lists,
+                            uint32_t level, size_t sample_runs) {
+  const Column* a = nullptr;
+  const Column* b = nullptr;
+  for (const TopKList* list : lists) {
+    const Column& col = list->base->column(level);
+    if (a == nullptr || col.run_count() < a->run_count()) {
+      b = a;
+      a = &col;
+    } else if (b == nullptr || col.run_count() < b->run_count()) {
+      b = &col;
+    }
+  }
+  if (a == nullptr || b == nullptr || a->empty() || b->empty()) {
+    return a == nullptr || a->empty() ? 0.0
+                                      : static_cast<double>(a->run_count());
+  }
+  size_t stride = std::max<size_t>(1, a->run_count() / sample_runs);
+  size_t sampled = 0, hits = 0;
+  for (size_t i = 0; i < a->run_count(); i += stride) {
+    ++sampled;
+    if (b->FindValue(a->runs()[i].value) != nullptr) ++hits;
+  }
+  if (sampled == 0) return 0.0;
+  return static_cast<double>(hits) / static_cast<double>(sampled) *
+         static_cast<double>(a->run_count());
+}
+
+}  // namespace
+
+TopKSearch::TopKSearch(const TopKIndex& index, TopKSearchOptions options)
+    : index_(index), options_(options) {}
+
+std::vector<SearchResult> TopKSearch::Search(
+    const std::vector<std::string>& keywords) {
+  stats_ = TopKSearchStats{};
+  std::vector<SearchResult> emitted;
+  if (keywords.empty() || options_.k == 0) return emitted;
+
+  std::vector<const TopKList*> lists;
+  for (const std::string& kw : keywords) {
+    const TopKList* list = index_.GetList(kw);
+    if (list == nullptr || list->base->num_rows() == 0) return emitted;
+    lists.push_back(list);
+  }
+  const size_t k_sources = lists.size();
+  assert(k_sources <= 31);
+  const uint32_t full_mask = (1u << k_sources) - 1;
+  const JDeweyIndex& base_index = *index_.base();
+
+  uint32_t start_level = lists[0]->base->max_length;
+  for (const TopKList* list : lists) {
+    start_level = std::min<uint32_t>(start_level, list->base->max_length);
+  }
+
+  // Static per-column upper bounds B(l) = Σ_i s_m^i(l) and the running
+  // maximum over the columns above the current one (§IV-C; the paper's
+  // column-skip rule — a column no sequence ends at is dominated by the one
+  // below — is subsumed by precomputing every bound once per query).
+  std::vector<double> column_bound(start_level + 1, 0.0);
+  for (uint32_t l = 1; l <= start_level; ++l) {
+    double b = 0.0;
+    for (const TopKList* list : lists) {
+      b += list->MaxDampedScoreAt(l, options_.scoring);
+    }
+    column_bound[l] = b;
+  }
+  std::vector<double> best_above(start_level + 2, StarThreshold::kExhausted);
+  for (uint32_t l = 2; l <= start_level + 1; ++l) {
+    best_above[l] = std::max(best_above[l - 1], column_bound[l - 1]);
+  }
+  // best_above[l] = max bound of columns strictly above (shallower than) l.
+
+  SemanticPruner pruner(options_.semantics);
+
+  struct Pending {
+    uint32_t level;
+    uint32_t value;
+    double score;
+  };
+  auto pending_less = [](const Pending& a, const Pending& b) {
+    if (a.score != b.score) return a.score < b.score;
+    if (a.level != b.level) return a.level < b.level;
+    return a.value > b.value;
+  };
+  std::priority_queue<Pending, std::vector<Pending>, decltype(pending_less)>
+      pending(pending_less);
+  size_t completed_total = 0;  // pending + emitted (drives the scheduler)
+
+  auto emit_ready = [&](double bound) {
+    while (!pending.empty() && emitted.size() < options_.k &&
+           pending.top().score >= bound) {
+      const Pending& top = pending.top();
+      NodeId node = base_index.NodeAt(top.level, top.value);
+      assert(node != kInvalidNode);
+      emitted.push_back(SearchResult{node, top.level, top.score});
+      pending.pop();
+    }
+  };
+
+  for (uint32_t level = start_level; level >= 1 && emitted.size() < options_.k;
+       --level) {
+    ++stats_.columns_processed;
+
+    // §V-D per-level hybrid: a column whose estimated match count is small
+    // is cheaper to sweep completely (document order) than to drive
+    // through the score-ordered star join.
+    if (options_.hybrid_min_matches > 0.0 &&
+        EstimateLevelMatches(lists, level, options_.hybrid_sample_runs) <
+            options_.hybrid_min_matches) {
+      ++stats_.columns_complete_join;
+      // Left-deep intersection of the base columns, shortest first.
+      std::vector<size_t> sizes(k_sources);
+      for (size_t i = 0; i < k_sources; ++i) {
+        sizes[i] = lists[i]->base->column(level).run_count();
+      }
+      std::vector<size_t> order = PlanJoinOrder(sizes);
+      JoinOpStats join_stats;
+      PlannerOptions planner;
+      std::vector<LevelMatch> matches =
+          SeedMatches(lists[order[0]]->base->column(level));
+      for (size_t j = 1; j < k_sources && !matches.empty(); ++j) {
+        const Column& next = lists[order[j]]->base->column(level);
+        if (UseIndexJoin(matches.size(), next.run_count(), planner)) {
+          matches = IndexIntersect(std::move(matches), next, &join_stats);
+        } else {
+          matches = MergeIntersect(std::move(matches), next, &join_stats);
+        }
+      }
+      for (const LevelMatch& match : matches) {
+        // Per keyword: the best non-excluded occurrence in the run. A
+        // keyword whose run is fully consumed kills the candidate — the
+        // same validity rule the star join enforces by skipping excluded
+        // entries.
+        double sum = 0.0;
+        size_t witness_source = 0;
+        uint32_t witness_row = 0;
+        bool valid = true;
+        for (size_t j = 0; j < k_sources && valid; ++j) {
+          size_t query_pos = order[j];
+          const JDeweyList& base = *lists[query_pos]->base;
+          const Run* run = match.runs[j];
+          double best = -1.0;
+          for (uint32_t row = run->first_row; row < run->end_row(); ++row) {
+            ++stats_.entries_read;
+            if (pruner.Excluded(base, row, level)) {
+              ++stats_.excluded_skips;
+              continue;
+            }
+            double damped = DampedScore(options_.scoring, base.scores[row],
+                                        base.lengths[row], level);
+            if (damped > best) {
+              best = damped;
+              witness_source = query_pos;
+              witness_row = row;
+            }
+          }
+          if (best < 0.0) {
+            valid = false;
+          } else {
+            sum += best;
+          }
+        }
+        if (!valid) continue;
+        ++stats_.candidates;
+        bool is_result = true;
+        if (options_.semantics == Semantics::kSlca) {
+          is_result = !pruner.Blocked(level, match.value);
+        }
+        pruner.RecordMatch(level, match.value, *lists[witness_source]->base,
+                           witness_row);
+        if (is_result) {
+          pending.push(Pending{level, match.value, sum});
+          ++completed_total;
+        }
+      }
+      emit_ready(best_above[level]);
+      continue;
+    }
+    ++stats_.columns_star_join;
+    std::vector<ColumnCursor> cursors;
+    cursors.reserve(k_sources);
+    for (const TopKList* list : lists) {
+      cursors.emplace_back(*list, level, options_.scoring, pruner, &stats_);
+    }
+
+    StarThreshold threshold(k_sources, options_.group_threshold);
+    for (size_t i = 0; i < k_sources; ++i) {
+      const ColumnCursor::Entry* head = cursors[i].Peek();
+      threshold.SetHeadScore(
+          i, head ? head->score : StarThreshold::kExhausted);
+    }
+
+    struct Partial {
+      uint32_t mask = 0;
+      double sum = 0.0;
+      size_t witness_source = 0;
+      uint32_t witness_row = 0;
+    };
+    std::unordered_map<uint32_t, Partial> bucket;  // value -> partial
+    std::unordered_set<uint32_t> completed_values;
+    size_t rr_next = 0;
+
+    while (emitted.size() < options_.k) {
+      // Scheduler (§IV-B): round-robin until k results exist, then the
+      // source with the highest next damped score.
+      size_t chosen = k_sources;
+      if (completed_total < options_.k) {
+        for (size_t step = 0; step < k_sources; ++step) {
+          size_t i = (rr_next + step) % k_sources;
+          if (cursors[i].Peek() != nullptr) {
+            chosen = i;
+            rr_next = (i + 1) % k_sources;
+            break;
+          }
+        }
+      } else {
+        double best = StarThreshold::kExhausted;
+        for (size_t i = 0; i < k_sources; ++i) {
+          const ColumnCursor::Entry* head = cursors[i].Peek();
+          if (head != nullptr && head->score > best) {
+            best = head->score;
+            chosen = i;
+          }
+        }
+      }
+      if (chosen == k_sources) break;  // column exhausted
+
+      ColumnCursor::Entry entry = *cursors[chosen].Peek();
+      cursors[chosen].Pop();
+      ++stats_.entries_read;
+      const ColumnCursor::Entry* next = cursors[chosen].Peek();
+      threshold.SetHeadScore(
+          chosen, next ? next->score : StarThreshold::kExhausted);
+
+      if (completed_values.count(entry.value) == 0) {
+        uint32_t bit = 1u << chosen;
+        Partial& partial = bucket[entry.value];
+        if ((partial.mask & bit) == 0) {  // set semantics: first arrival only
+          if (partial.mask != 0) {
+            threshold.RemovePartial(partial.mask, partial.sum);
+          } else {
+            partial.witness_source = chosen;
+            partial.witness_row = entry.row;
+          }
+          partial.mask |= bit;
+          partial.sum += entry.score;
+          if (partial.mask == full_mask) {
+            ++stats_.candidates;
+            completed_values.insert(entry.value);
+            // Completion implies ELCA validity: every source delivered a
+            // non-excluded occurrence of this value.
+            bool is_result = true;
+            if (options_.semantics == Semantics::kSlca) {
+              is_result = !pruner.Blocked(level, entry.value);
+            }
+            const JDeweyList& witness_list =
+                *lists[partial.witness_source]->base;
+            uint32_t witness_row = partial.witness_row;
+            double sum = partial.sum;
+            bucket.erase(entry.value);
+            pruner.RecordMatch(level, entry.value, witness_list, witness_row);
+            if (is_result) {
+              pending.push(Pending{level, entry.value, sum});
+              ++completed_total;
+            }
+          } else {
+            threshold.AddPartial(partial.mask, partial.sum);
+          }
+        }
+      }
+
+      // Release every pending result that dominates both the star-join
+      // bound of this column and the static bounds of all higher columns.
+      double bound = std::max(threshold.Bound(), best_above[level]);
+      size_t before = emitted.size();
+      emit_ready(bound);
+      stats_.early_emissions += emitted.size() - before;
+    }
+
+    // Column done: only the higher columns can still produce results.
+    emit_ready(best_above[level]);
+  }
+
+  // All columns processed: everything left is safe.
+  emit_ready(StarThreshold::kExhausted);
+  return emitted;
+}
+
+}  // namespace xtopk

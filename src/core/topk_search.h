@@ -1,0 +1,66 @@
+#ifndef XTOPK_CORE_TOPK_SEARCH_H_
+#define XTOPK_CORE_TOPK_SEARCH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/scoring.h"
+#include "core/search_result.h"
+#include "core/topk_star_join.h"
+#include "index/topk_index.h"
+
+namespace xtopk {
+
+/// Options of the join-based top-K algorithm.
+struct TopKSearchOptions {
+  Semantics semantics = Semantics::kElca;
+  size_t k = 10;
+  /// Paper's grouped star-join threshold; false = classic TA-style bound.
+  bool group_threshold = true;
+  /// §V-D per-level hybrid: before each column's star join, estimate its
+  /// match count by sampling run overlap; below `hybrid_min_matches` the
+  /// column is evaluated with a complete join sweep instead (the star join
+  /// "should only be used at the current level when the result size is
+  /// estimated to be large"). 0 disables the hybrid (always star join).
+  double hybrid_min_matches = 0.0;
+  /// Runs sampled per column for the hybrid estimate.
+  size_t hybrid_sample_runs = 128;
+  ScoringParams scoring;
+};
+
+struct TopKSearchStats {
+  uint64_t entries_read = 0;     ///< score-ordered entries consumed
+  uint64_t excluded_skips = 0;   ///< entries dropped by semantic pruning
+  uint64_t candidates = 0;       ///< values completed across all keywords
+  uint64_t early_emissions = 0;  ///< results released before exhaustion
+  uint32_t columns_processed = 0;
+  uint32_t columns_star_join = 0;      ///< per-level hybrid: star-join mode
+  uint32_t columns_complete_join = 0;  ///< per-level hybrid: sweep mode
+};
+
+/// The join-based top-K keyword search (paper §IV-C): inverted lists are
+/// served score-descending per column (length-grouped segments merged on
+/// the fly), each column runs the top-K star join of §IV-B, the semantic
+/// pruning excludes occurrences consumed by deeper results, and a result is
+/// released as soon as its score dominates both the current column's
+/// star-join bound and the static upper bounds of all higher columns.
+class TopKSearch {
+ public:
+  explicit TopKSearch(const TopKIndex& index, TopKSearchOptions options = {});
+
+  /// Returns up to `options.k` results in descending score order.
+  std::vector<SearchResult> Search(const std::vector<std::string>& keywords);
+
+  const TopKSearchStats& stats() const { return stats_; }
+
+ private:
+  const TopKIndex& index_;
+  TopKSearchOptions options_;
+  TopKSearchStats stats_;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_CORE_TOPK_SEARCH_H_

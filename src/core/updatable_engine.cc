@@ -1,0 +1,50 @@
+#include "core/updatable_engine.h"
+
+#include "xml/jdewey_builder.h"
+
+namespace xtopk {
+
+UpdatableEngine::UpdatableEngine(XmlTree initial, EngineOptions options)
+    : tree_(std::move(initial)), options_(options) {
+  encoding_ = JDeweyBuilder::Assign(tree_, options_.index.jdewey_gap);
+  engine_ = std::make_unique<Engine>(tree_, options_);
+}
+
+NodeId UpdatableEngine::AddElement(NodeId parent, const std::string& tag,
+                                   const std::string& text) {
+  NodeId node = tree_.AddChild(parent, tag);
+  if (!text.empty()) tree_.AppendText(node, text);
+  encoding_updates_ += JDeweyBuilder::InsertAssign(
+      tree_, node, options_.index.jdewey_gap, &encoding_);
+  dirty_ = true;
+  return node;
+}
+
+void UpdatableEngine::AppendText(NodeId node, const std::string& text) {
+  tree_.AppendText(node, text);
+  dirty_ = true;
+}
+
+void UpdatableEngine::EnsureFresh() {
+  if (!dirty_) return;
+  // The maintained encoding proves insertions are cheap (§III-A); the
+  // rebuilt engine re-derives a fresh encoding for its lists — simplest
+  // correct policy, amortized over query batches.
+  engine_ = std::make_unique<Engine>(tree_, options_);
+  dirty_ = false;
+  ++rebuilds_;
+}
+
+std::vector<QueryHit> UpdatableEngine::Search(
+    const std::vector<std::string>& keywords, Semantics semantics) {
+  EnsureFresh();
+  return engine_->Search(keywords, semantics);
+}
+
+std::vector<QueryHit> UpdatableEngine::SearchTopK(
+    const std::vector<std::string>& keywords, size_t k, Semantics semantics) {
+  EnsureFresh();
+  return engine_->SearchTopK(keywords, k, semantics);
+}
+
+}  // namespace xtopk

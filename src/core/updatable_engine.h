@@ -1,0 +1,67 @@
+#ifndef XTOPK_CORE_UPDATABLE_ENGINE_H_
+#define XTOPK_CORE_UPDATABLE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "xml/jdewey.h"
+#include "xml/xml_tree.h"
+
+namespace xtopk {
+
+/// An Engine over a mutable document. Node insertions maintain the JDewey
+/// encoding incrementally (§III-A: reserved gaps, partial re-encoding);
+/// the inverted lists are refreshed lazily — a query rebuilds them only if
+/// the tree changed since the last build. This is the amortization real
+/// engines use for append-mostly corpora: the encoding (the part the paper
+/// worries about) is maintained per insert, the index in batches.
+class UpdatableEngine {
+ public:
+  explicit UpdatableEngine(XmlTree initial, EngineOptions options = {});
+
+  /// Adds an element under `parent`, with optional direct text. Returns
+  /// the new node. O(1) amortized encoding maintenance.
+  NodeId AddElement(NodeId parent, const std::string& tag,
+                    const std::string& text = "");
+
+  /// Appends text to an existing element (marks the index dirty).
+  void AppendText(NodeId node, const std::string& text);
+
+  /// Queries (rebuild the index first if dirty).
+  std::vector<QueryHit> Search(const std::vector<std::string>& keywords,
+                               Semantics semantics = Semantics::kElca);
+  std::vector<QueryHit> SearchTopK(const std::vector<std::string>& keywords,
+                                   size_t k,
+                                   Semantics semantics = Semantics::kElca);
+
+  const XmlTree& tree() const { return tree_; }
+
+  /// Numbers changed by encoding maintenance since construction (1 per
+  /// plain insert; subtree size when a reserved range forced a partial
+  /// re-encode).
+  uint64_t encoding_updates() const { return encoding_updates_; }
+  /// Index rebuilds triggered by queries after mutations.
+  uint64_t rebuilds() const { return rebuilds_; }
+  bool dirty() const { return dirty_; }
+
+  /// Invariant check (tests): the maintained encoding still satisfies both
+  /// JDewey requirements.
+  Status ValidateEncoding() const { return encoding_.Validate(tree_); }
+
+ private:
+  void EnsureFresh();
+
+  XmlTree tree_;
+  EngineOptions options_;
+  JDeweyEncoding encoding_;
+  std::unique_ptr<Engine> engine_;
+  bool dirty_ = false;
+  uint64_t encoding_updates_ = 0;
+  uint64_t rebuilds_ = 0;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_CORE_UPDATABLE_ENGINE_H_

@@ -1,0 +1,78 @@
+#include "index/dewey_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xtopk {
+
+uint32_t DeweyList::LowerBound(const DeweyId& key) const {
+  auto it = std::lower_bound(deweys.begin(), deweys.end(), key);
+  return static_cast<uint32_t>(it - deweys.begin());
+}
+
+std::pair<uint32_t, uint32_t> DeweyList::SubtreeRange(
+    const DeweyId& prefix) const {
+  uint32_t lo = LowerBound(prefix);
+  // The exclusive upper bound is the first id whose prefix no longer
+  // matches; compare component-wise instead of materializing a successor.
+  uint32_t hi = lo;
+  auto it = std::partition_point(
+      deweys.begin() + lo, deweys.end(), [&](const DeweyId& d) {
+        return prefix.IsAncestorOf(d, /*or_self=*/true);
+      });
+  hi = static_cast<uint32_t>(it - deweys.begin());
+  return {lo, hi};
+}
+
+const DeweyList* DeweyIndex::GetList(const std::string& term) const {
+  auto it = term_ids_.find(term);
+  if (it == term_ids_.end()) return nullptr;
+  return &lists_[it->second];
+}
+
+uint32_t DeweyIndex::Frequency(const std::string& term) const {
+  const DeweyList* list = GetList(term);
+  return list == nullptr ? 0 : list->num_rows();
+}
+
+uint64_t DeweyIndex::EncodedListBytes() const {
+  uint64_t total = 0;
+  for (const DeweyList& list : lists_) {
+    total += 8;  // per-term header
+    DeweyId prev;
+    for (const DeweyId& d : list.deweys) {
+      total += DeweyId::EncodedSizeDelta(prev, d);
+      prev = d;
+    }
+  }
+  return total;
+}
+
+std::string EncodeDeweyKey(const DeweyId& dewey) {
+  std::string key;
+  key.reserve(dewey.length() * 4);
+  for (size_t i = 0; i < dewey.length(); ++i) {
+    uint32_t c = dewey[i];
+    key.push_back(static_cast<char>((c >> 24) & 0xFF));
+    key.push_back(static_cast<char>((c >> 16) & 0xFF));
+    key.push_back(static_cast<char>((c >> 8) & 0xFF));
+    key.push_back(static_cast<char>(c & 0xFF));
+  }
+  return key;
+}
+
+DeweyId DecodeDeweyKey(std::string_view key) {
+  assert(key.size() % 4 == 0);
+  std::vector<uint32_t> comps(key.size() / 4);
+  for (size_t i = 0; i < comps.size(); ++i) {
+    comps[i] = (static_cast<uint32_t>(static_cast<uint8_t>(key[4 * i])) << 24) |
+               (static_cast<uint32_t>(static_cast<uint8_t>(key[4 * i + 1]))
+                << 16) |
+               (static_cast<uint32_t>(static_cast<uint8_t>(key[4 * i + 2]))
+                << 8) |
+               static_cast<uint32_t>(static_cast<uint8_t>(key[4 * i + 3]));
+  }
+  return DeweyId(std::move(comps));
+}
+
+}  // namespace xtopk

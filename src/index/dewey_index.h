@@ -1,0 +1,67 @@
+#ifndef XTOPK_INDEX_DEWEY_INDEX_H_
+#define XTOPK_INDEX_DEWEY_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "xml/dewey.h"
+#include "xml/xml_tree.h"
+
+namespace xtopk {
+
+/// The document-order Dewey inverted list of one keyword, used by the
+/// baselines the paper compares against (stack-based merge, index-based
+/// lookups, RDIL). Rows are sorted by Dewey id (document order).
+struct DeweyList {
+  std::vector<DeweyId> deweys;  ///< Per row, ascending document order.
+  std::vector<float> scores;    ///< Per row, local score g(v, w).
+  std::vector<NodeId> nodes;    ///< Per row, occurrence node.
+
+  uint32_t num_rows() const { return static_cast<uint32_t>(deweys.size()); }
+
+  /// Index of the first row with dewey >= `key` (num_rows() if none).
+  uint32_t LowerBound(const DeweyId& key) const;
+
+  /// Row range [lo, hi) of occurrences inside the subtree rooted at
+  /// `prefix` (descendants-or-self).
+  std::pair<uint32_t, uint32_t> SubtreeRange(const DeweyId& prefix) const;
+};
+
+/// Keyword -> Dewey inverted list.
+class DeweyIndex {
+ public:
+  DeweyIndex() = default;
+  DeweyIndex(DeweyIndex&&) = default;
+  DeweyIndex& operator=(DeweyIndex&&) = default;
+  DeweyIndex(const DeweyIndex&) = delete;
+  DeweyIndex& operator=(const DeweyIndex&) = delete;
+
+  const DeweyList* GetList(const std::string& term) const;
+  uint32_t Frequency(const std::string& term) const;
+  size_t term_count() const { return lists_.size(); }
+
+  /// Serialized size in bytes with the prefix+varint Dewey compression of
+  /// Xu & Papakonstantinou (Table I "stack-based" row).
+  uint64_t EncodedListBytes() const;
+
+ private:
+  friend class IndexBuilder;
+  friend struct IndexIoAccess;
+
+  std::unordered_map<std::string, uint32_t> term_ids_;
+  std::vector<DeweyList> lists_;
+};
+
+/// Order-preserving byte encoding of a Dewey id (4-byte big-endian
+/// components): byte-lexicographic order equals document order, so B+-tree
+/// probes over encoded keys behave like Dewey-order probes.
+std::string EncodeDeweyKey(const DeweyId& dewey);
+
+/// Inverse of EncodeDeweyKey.
+DeweyId DecodeDeweyKey(std::string_view key);
+
+}  // namespace xtopk
+
+#endif  // XTOPK_INDEX_DEWEY_INDEX_H_

@@ -1,0 +1,424 @@
+#include "index/disk_index.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "index/index_access.h"
+#include "storage/compression.h"
+#include "storage/serializer.h"
+#include "util/varint.h"
+
+namespace xtopk {
+namespace {
+
+constexpr char kMagic[8] = {'X', 'T', 'K', 'D', 'I', 'S', 'K', '1'};
+
+/// Appends byte streams to a PageFile, handing out extents. Blobs are
+/// packed back to back and may span pages.
+class BlobWriter {
+ public:
+  explicit BlobWriter(PageFile* file) : file_(file) {}
+
+  BlobExtent Append(const std::string& data) {
+    BlobExtent extent;
+    extent.start_page = next_page_;
+    extent.start_offset = static_cast<uint32_t>(buffer_.size());
+    extent.length = data.size();
+    size_t pos = 0;
+    while (pos < data.size()) {
+      size_t room = PageFile::kPageSize - buffer_.size();
+      size_t take = std::min(room, data.size() - pos);
+      buffer_.append(data, pos, take);
+      pos += take;
+      if (buffer_.size() == PageFile::kPageSize) {
+        Status s = FlushPage();
+        if (!s.ok()) {
+          status_ = s;
+          return extent;
+        }
+      }
+    }
+    return extent;
+  }
+
+  Status Finish() {
+    if (!status_.ok()) return status_;
+    if (!buffer_.empty()) return FlushPage();
+    return Status::Ok();
+  }
+
+  const Status& status() const { return status_; }
+
+ private:
+  Status FlushPage() {
+    auto page = file_->AppendPage(buffer_);
+    if (!page.ok()) return page.status();
+    buffer_.clear();
+    ++next_page_;
+    return Status::Ok();
+  }
+
+  PageFile* file_;
+  std::string buffer_;
+  PageId next_page_ = 0;
+  Status status_;
+};
+
+void PutExtent(std::string* out, const BlobExtent& extent) {
+  varint::PutU32(out, extent.start_page);
+  varint::PutU32(out, extent.start_offset);
+  varint::PutU64(out, extent.length);
+}
+
+Status GetExtent(const std::string& data, size_t* pos, BlobExtent* extent) {
+  Status s = varint::GetU32(data, pos, &extent->start_page);
+  if (s.ok()) s = varint::GetU32(data, pos, &extent->start_offset);
+  if (s.ok()) s = varint::GetU64(data, pos, &extent->length);
+  return s;
+}
+
+}  // namespace
+
+Status DiskIndexWriter::Write(const JDeweyIndex& index, bool include_scores,
+                              const std::string& path) {
+  PageFile file;
+  Status s = file.Open(path, /*create=*/true);
+  if (!s.ok()) return s;
+  BlobWriter writer(&file);
+
+  std::string directory;
+  directory.push_back(include_scores ? 1 : 0);
+  varint::PutU32(&directory, index.max_level());
+  varint::PutU32(&directory, static_cast<uint32_t>(index.terms().size()));
+
+  for (size_t t = 0; t < index.terms().size(); ++t) {
+    const JDeweyList& list = index.lists()[t];
+    ser::PutLengthPrefixed(&directory, index.terms()[t]);
+    varint::PutU32(&directory, list.num_rows());
+    varint::PutU32(&directory, list.max_length);
+
+    std::string lengths_blob;
+    for (uint16_t len : list.lengths) varint::PutU32(&lengths_blob, len);
+    PutExtent(&directory, writer.Append(lengths_blob));
+
+    if (include_scores) {
+      std::string scores_blob;
+      for (float score : list.scores) ser::PutFloat(&scores_blob, score);
+      PutExtent(&directory, writer.Append(scores_blob));
+    } else {
+      PutExtent(&directory, BlobExtent{});
+    }
+
+    for (const Column& column : list.columns) {
+      std::string column_blob;
+      EncodeColumn(column, ColumnCodec::kAuto, &column_blob);
+      PutExtent(&directory, writer.Append(column_blob));
+    }
+    if (!writer.status().ok()) return writer.status();
+  }
+
+  // Node mapping, delta-encoded per level.
+  const auto& level_nodes = IndexIoAccess::LevelNodes(index);
+  std::string nodes_blob;
+  varint::PutU32(&nodes_blob, static_cast<uint32_t>(level_nodes.size()));
+  for (const auto& level : level_nodes) {
+    varint::PutU32(&nodes_blob, static_cast<uint32_t>(level.size()));
+    uint32_t prev_value = 0;
+    int64_t prev_node = 0;
+    for (const auto& [value, node] : level) {
+      varint::PutU32(&nodes_blob, value - prev_value);
+      varint::PutS64(&nodes_blob, static_cast<int64_t>(node) - prev_node);
+      prev_value = value;
+      prev_node = static_cast<int64_t>(node);
+    }
+  }
+  BlobExtent nodes_extent = writer.Append(nodes_blob);
+  PutExtent(&directory, nodes_extent);
+
+  BlobExtent dir_extent = writer.Append(directory);
+  s = writer.Finish();
+  if (!s.ok()) return s;
+
+  // Footer page: magic + directory extent.
+  std::string footer(kMagic, sizeof(kMagic));
+  PutExtent(&footer, dir_extent);
+  auto footer_page = file.AppendPage(footer);
+  if (!footer_page.ok()) return footer_page.status();
+  s = file.Sync();
+  if (!s.ok()) return s;
+  return file.Close();
+}
+
+StatusOr<std::unique_ptr<DiskJDeweyIndex>> DiskJDeweyIndex::Open(
+    const std::string& path, size_t pool_pages) {
+  std::unique_ptr<DiskJDeweyIndex> index(new DiskJDeweyIndex());
+  Status s = index->file_.Open(path, /*create=*/false);
+  if (!s.ok()) return s;
+  if (index->file_.page_count() == 0) {
+    return Status::Corruption("disk index: empty file");
+  }
+  index->pool_ = std::make_unique<BufferPool>(&index->file_, pool_pages);
+
+  // Footer.
+  std::string footer;
+  s = index->file_.ReadPage(index->file_.page_count() - 1, &footer);
+  if (!s.ok()) return s;
+  if (std::memcmp(footer.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("disk index: bad magic");
+  }
+  size_t pos = sizeof(kMagic);
+  BlobExtent dir_extent;
+  s = GetExtent(footer, &pos, &dir_extent);
+  if (!s.ok()) return s;
+
+  std::string directory;
+  s = index->ReadBlob(dir_extent, &directory);
+  if (!s.ok()) return s;
+
+  pos = 0;
+  if (directory.empty()) return Status::Corruption("disk index: empty dir");
+  index->has_scores_ = directory[pos++] != 0;
+  uint32_t max_level = 0, term_count = 0;
+  s = varint::GetU32(directory, &pos, &max_level);
+  if (s.ok()) s = varint::GetU32(directory, &pos, &term_count);
+  if (!s.ok()) return s;
+  *IndexIoAccess::MaxLevel(&index->view_) = max_level;
+
+  for (uint32_t t = 0; t < term_count; ++t) {
+    std::string term;
+    s = ser::GetLengthPrefixed(directory, &pos, &term);
+    if (!s.ok()) return s;
+    TermMeta meta;
+    s = varint::GetU32(directory, &pos, &meta.rows);
+    if (s.ok()) s = varint::GetU32(directory, &pos, &meta.max_length);
+    if (s.ok()) s = GetExtent(directory, &pos, &meta.lengths);
+    if (s.ok()) s = GetExtent(directory, &pos, &meta.scores);
+    if (!s.ok()) return s;
+    meta.columns.resize(meta.max_length);
+    for (uint32_t l = 0; l < meta.max_length; ++l) {
+      s = GetExtent(directory, &pos, &meta.columns[l]);
+      if (!s.ok()) return s;
+    }
+    index->directory_.emplace(std::move(term), std::move(meta));
+  }
+
+  // Node mapping (startup I/O, counted once).
+  BlobExtent nodes_extent;
+  s = GetExtent(directory, &pos, &nodes_extent);
+  if (!s.ok()) return s;
+  std::string nodes_blob;
+  s = index->ReadBlob(nodes_extent, &nodes_blob);
+  if (!s.ok()) return s;
+  pos = 0;
+  uint32_t level_count = 0;
+  s = varint::GetU32(nodes_blob, &pos, &level_count);
+  if (!s.ok()) return s;
+  auto* level_nodes = IndexIoAccess::LevelNodes(&index->view_);
+  level_nodes->resize(level_count);
+  for (uint32_t l = 0; l < level_count; ++l) {
+    uint32_t entries = 0;
+    s = varint::GetU32(nodes_blob, &pos, &entries);
+    if (!s.ok()) return s;
+    uint32_t prev_value = 0;
+    int64_t prev_node = 0;
+    auto& level = (*level_nodes)[l];
+    level.reserve(entries);
+    for (uint32_t e = 0; e < entries; ++e) {
+      uint32_t dv = 0;
+      int64_t dn = 0;
+      s = varint::GetU32(nodes_blob, &pos, &dv);
+      if (s.ok()) s = varint::GetS64(nodes_blob, &pos, &dn);
+      if (!s.ok()) return s;
+      prev_value += dv;
+      prev_node += dn;
+      level.emplace_back(prev_value, static_cast<NodeId>(prev_node));
+    }
+  }
+  return index;
+}
+
+Status DiskJDeweyIndex::ReadBlob(const BlobExtent& extent, std::string* out) {
+  out->clear();
+  out->reserve(extent.length);
+  PageId page = extent.start_page;
+  size_t offset = extent.start_offset;
+  uint64_t remaining = extent.length;
+  while (remaining > 0) {
+    auto data = pool_->GetPage(page);
+    if (!data.ok()) return data.status();
+    size_t take = std::min<uint64_t>(remaining,
+                                     PageFile::kPageSize - offset);
+    out->append(**data, offset, take);
+    remaining -= take;
+    offset = 0;
+    ++page;
+  }
+  return Status::Ok();
+}
+
+uint32_t DiskJDeweyIndex::Frequency(const std::string& term) const {
+  auto it = directory_.find(term);
+  return it == directory_.end() ? 0 : it->second.rows;
+}
+
+uint32_t DiskJDeweyIndex::MaxLength(const std::string& term) const {
+  auto it = directory_.find(term);
+  return it == directory_.end() ? 0 : it->second.max_length;
+}
+
+Status DiskJDeweyIndex::MaterializeBase(const std::string& term,
+                                        TermMeta* meta, bool need_scores) {
+  auto* lists = IndexIoAccess::Lists(&view_);
+  auto* terms = IndexIoAccess::Terms(&view_);
+  auto* term_ids = IndexIoAccess::TermIds(&view_);
+  meta->view_id = static_cast<uint32_t>(lists->size());
+  lists->emplace_back();
+  terms->push_back(term);
+  term_ids->emplace(term, meta->view_id);
+
+  JDeweyList& list = lists->back();
+  list.max_length = meta->max_length;
+  list.columns.resize(meta->max_length);
+
+  std::string lengths_blob;
+  Status s = ReadBlob(meta->lengths, &lengths_blob);
+  if (!s.ok()) return s;
+  size_t pos = 0;
+  list.lengths.resize(meta->rows);
+  for (uint32_t r = 0; r < meta->rows; ++r) {
+    uint32_t len = 0;
+    s = varint::GetU32(lengths_blob, &pos, &len);
+    if (!s.ok()) return s;
+    if (len == 0 || len > meta->max_length) {
+      return Status::Corruption("disk index: bad row length");
+    }
+    list.lengths[r] = static_cast<uint16_t>(len);
+  }
+
+  list.scores.assign(meta->rows, 0.0f);
+  if (need_scores && has_scores_ && meta->scores.length > 0) {
+    std::string scores_blob;
+    s = ReadBlob(meta->scores, &scores_blob);
+    if (!s.ok()) return s;
+    pos = 0;
+    for (uint32_t r = 0; r < meta->rows; ++r) {
+      s = ser::GetFloat(scores_blob, &pos, &list.scores[r]);
+      if (!s.ok()) return s;
+    }
+    meta->scores_loaded = true;
+  }
+  // Occurrence nodes are not needed by the join algorithms; leave empty.
+  return Status::Ok();
+}
+
+Status DiskJDeweyIndex::MaterializeScores(TermMeta* meta) {
+  if (meta->scores_loaded || !has_scores_ || meta->scores.length == 0) {
+    return Status::Ok();
+  }
+  JDeweyList& list = (*IndexIoAccess::Lists(&view_))[meta->view_id];
+  std::string scores_blob;
+  Status s = ReadBlob(meta->scores, &scores_blob);
+  if (!s.ok()) return s;
+  size_t pos = 0;
+  for (uint32_t r = 0; r < meta->rows; ++r) {
+    s = ser::GetFloat(scores_blob, &pos, &list.scores[r]);
+    if (!s.ok()) return s;
+  }
+  meta->scores_loaded = true;
+  return Status::Ok();
+}
+
+Status DiskJDeweyIndex::MaterializeColumns(TermMeta* meta,
+                                           uint32_t up_to_level) {
+  JDeweyList& list = (*IndexIoAccess::Lists(&view_))[meta->view_id];
+  up_to_level = std::min(up_to_level, meta->max_length);
+  for (uint32_t level = meta->loaded_levels + 1; level <= up_to_level;
+       ++level) {
+    std::string blob;
+    Status s = ReadBlob(meta->columns[level - 1], &blob);
+    if (!s.ok()) return s;
+    std::vector<uint32_t> present;
+    for (uint32_t row = 0; row < list.lengths.size(); ++row) {
+      if (list.lengths[row] >= level) present.push_back(row);
+    }
+    size_t pos = 0;
+    s = DecodeColumn(blob, &pos, &present, &list.columns[level - 1]);
+    if (!s.ok()) return s;
+  }
+  meta->loaded_levels = std::max(meta->loaded_levels, up_to_level);
+  return Status::Ok();
+}
+
+StatusOr<const JDeweyList*> DiskJDeweyIndex::LoadList(const std::string& term,
+                                                      uint32_t up_to_level,
+                                                      bool need_scores) {
+  auto it = directory_.find(term);
+  if (it == directory_.end()) {
+    return static_cast<const JDeweyList*>(nullptr);
+  }
+  TermMeta& meta = it->second;
+  if (meta.view_id == UINT32_MAX) {
+    Status s = MaterializeBase(term, &meta, need_scores);
+    if (!s.ok()) return s;
+  } else if (need_scores) {
+    Status s = MaterializeScores(&meta);
+    if (!s.ok()) return s;
+  }
+  Status s = MaterializeColumns(&meta, up_to_level);
+  if (!s.ok()) return s;
+  return &(*IndexIoAccess::Lists(&view_))[meta.view_id];
+}
+
+StatusOr<std::vector<SearchResult>> DiskJDeweyIndex::SearchComplete(
+    const std::vector<std::string>& keywords, JoinSearchOptions options) {
+  std::vector<SearchResult> empty;
+  if (keywords.empty()) return empty;
+  // l0 from the directory: no LCA of all keywords can sit below the
+  // shallowest of the deepest occurrence levels (§III-B).
+  uint32_t l0 = UINT32_MAX;
+  for (const std::string& kw : keywords) {
+    auto it = directory_.find(kw);
+    if (it == directory_.end() || it->second.rows == 0) return empty;
+    l0 = std::min(l0, it->second.max_length);
+  }
+  for (const std::string& kw : keywords) {
+    auto list = LoadList(kw, l0, options.compute_scores);
+    if (!list.ok()) return list.status();
+  }
+  JoinSearch search(view_, options);
+  return search.Search(keywords);
+}
+
+StatusOr<std::vector<SearchResult>> DiskJDeweyIndex::SearchTopK(
+    const std::vector<std::string>& keywords, TopKSearchOptions options) {
+  std::vector<SearchResult> empty;
+  if (keywords.empty()) return empty;
+  for (const std::string& kw : keywords) {
+    auto it = directory_.find(kw);
+    if (it == directory_.end() || it->second.rows == 0) return empty;
+  }
+  for (const std::string& kw : keywords) {
+    auto list = LoadList(kw, UINT32_MAX, /*need_scores=*/true);
+    if (!list.ok()) return list.status();
+  }
+  // The derived segments cover every list loaded so far (a superset of the
+  // query); building them is linear in the loaded rows.
+  TopKIndex topk = BuildTopKIndexFrom(view_);
+  TopKSearch search(topk, options);
+  return search.Search(keywords);
+}
+
+DiskJDeweyIndex::IoStats DiskJDeweyIndex::io_stats() const {
+  IoStats stats;
+  stats.pages_read = file_.pages_read();
+  stats.pool_hits = pool_->hits();
+  stats.pool_misses = pool_->misses();
+  return stats;
+}
+
+void DiskJDeweyIndex::ResetIoStats() {
+  file_.ResetStats();
+  pool_->ResetStats();
+}
+
+}  // namespace xtopk

@@ -1,0 +1,127 @@
+#ifndef XTOPK_INDEX_DISK_INDEX_H_
+#define XTOPK_INDEX_DISK_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/join_search.h"
+#include "core/topk_search.h"
+#include "core/search_result.h"
+#include "index/jdewey_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/page_file.h"
+#include "util/status.h"
+
+namespace xtopk {
+
+/// A byte extent within a PageFile (blobs may span pages).
+struct BlobExtent {
+  PageId start_page = 0;
+  uint32_t start_offset = 0;
+  uint64_t length = 0;
+};
+
+/// Writes a JDeweyIndex into the paged on-disk layout:
+///
+///   data pages:   per term — lengths blob, optional scores blob, then one
+///                 column blob per level (kAuto codec, §III-D)
+///   directory:    per-term metadata + all blob extents + the
+///                 (level, value) -> node mapping, serialized at the end
+///   footer page:  magic, directory extent
+///
+/// Columns are separate blobs on purpose: a query that starts its scan at
+/// level l0 (§III-B) touches only the pages of columns 1..l0.
+class DiskIndexWriter {
+ public:
+  static Status Write(const JDeweyIndex& index, bool include_scores,
+                      const std::string& path);
+};
+
+/// Read side: opens the directory eagerly (small), then materializes each
+/// queried term's columns lazily and only down to the level the query
+/// needs. This is the paper's I/O story — "the algorithm does not read the
+/// whole JDewey sequences from the disk at once … this would save disk I/O
+/// when the XML tree is deep and some keywords only appear at high levels."
+class DiskJDeweyIndex {
+ public:
+  struct IoStats {
+    uint64_t pages_read = 0;   ///< physical page reads since last reset
+    uint64_t pool_hits = 0;
+    uint64_t pool_misses = 0;
+  };
+
+  /// Opens `path`, loading footer + directory (+ node mapping).
+  static StatusOr<std::unique_ptr<DiskJDeweyIndex>> Open(
+      const std::string& path, size_t pool_pages = 1024);
+
+  /// Materializes `term`'s list with columns 1..up_to_level (clamped to
+  /// the list's max length). Cached; later calls extend as needed.
+  /// `need_scores` skips the scores blob (Fig. 9-style unranked runs).
+  /// Returns nullptr if the term is absent.
+  StatusOr<const JDeweyList*> LoadList(const std::string& term,
+                                       uint32_t up_to_level,
+                                       bool need_scores = true);
+
+  /// Frequency from the directory alone (no data I/O).
+  uint32_t Frequency(const std::string& term) const;
+  /// Deepest occurrence level from the directory alone.
+  uint32_t MaxLength(const std::string& term) const;
+
+  /// Evaluates a complete-result query against the disk-resident index:
+  /// computes l0 from the directory, loads only columns 1..l0 of each
+  /// keyword, and runs the join-based algorithm (Algorithm 1).
+  StatusOr<std::vector<SearchResult>> SearchComplete(
+      const std::vector<std::string>& keywords,
+      JoinSearchOptions options = {});
+
+  /// Top-k against the disk-resident index. The top-K algorithm's
+  /// semantic pruning probes components below the current column, so the
+  /// queried lists are materialized fully (all columns + scores) and the
+  /// score segments derived on the fly.
+  StatusOr<std::vector<SearchResult>> SearchTopK(
+      const std::vector<std::string>& keywords, TopKSearchOptions options);
+
+  /// A view usable by JoinSearch directly; contains exactly the lists
+  /// loaded so far plus the node mapping.
+  const JDeweyIndex& view() const { return view_; }
+
+  IoStats io_stats() const;
+  void ResetIoStats();
+
+  size_t term_count() const { return directory_.size(); }
+
+ private:
+  struct TermMeta {
+    uint32_t rows = 0;
+    uint32_t max_length = 0;
+    BlobExtent lengths;
+    BlobExtent scores;  // length 0 when the file carries no scores
+    std::vector<BlobExtent> columns;  // one per level
+    /// Levels already materialized in view_ (0 = not loaded at all).
+    uint32_t loaded_levels = 0;
+    bool scores_loaded = false;
+    /// Slot in view_ once loaded.
+    uint32_t view_id = UINT32_MAX;
+  };
+
+  DiskJDeweyIndex() = default;
+
+  Status ReadBlob(const BlobExtent& extent, std::string* out);
+  Status MaterializeBase(const std::string& term, TermMeta* meta,
+                         bool need_scores);
+  Status MaterializeScores(TermMeta* meta);
+  Status MaterializeColumns(TermMeta* meta, uint32_t up_to_level);
+
+  PageFile file_;
+  std::unique_ptr<BufferPool> pool_;
+  bool has_scores_ = false;
+  std::unordered_map<std::string, TermMeta> directory_;
+  JDeweyIndex view_;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_INDEX_DISK_INDEX_H_

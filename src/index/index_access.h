@@ -1,0 +1,54 @@
+#ifndef XTOPK_INDEX_INDEX_ACCESS_H_
+#define XTOPK_INDEX_INDEX_ACCESS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/dewey_index.h"
+#include "index/jdewey_index.h"
+
+namespace xtopk {
+
+/// Private-member access shim shared by the serializers and the disk index
+/// (friend of both index classes). Internal — not part of the public API.
+struct IndexIoAccess {
+  static std::unordered_map<std::string, uint32_t>* TermIds(
+      JDeweyIndex* index) {
+    return &index->term_ids_;
+  }
+  static std::vector<std::string>* Terms(JDeweyIndex* index) {
+    return &index->terms_;
+  }
+  static std::vector<JDeweyList>* Lists(JDeweyIndex* index) {
+    return &index->lists_;
+  }
+  static std::vector<std::vector<std::pair<uint32_t, NodeId>>>* LevelNodes(
+      JDeweyIndex* index) {
+    return &index->level_nodes_;
+  }
+  static const std::vector<std::vector<std::pair<uint32_t, NodeId>>>&
+  LevelNodes(const JDeweyIndex& index) {
+    return index.level_nodes_;
+  }
+  static uint32_t* MaxLevel(JDeweyIndex* index) { return &index->max_level_; }
+
+  static std::unordered_map<std::string, uint32_t>* TermIds(
+      DeweyIndex* index) {
+    return &index->term_ids_;
+  }
+  static std::vector<DeweyList>* Lists(DeweyIndex* index) {
+    return &index->lists_;
+  }
+  static const std::unordered_map<std::string, uint32_t>& TermIds(
+      const DeweyIndex& index) {
+    return index.term_ids_;
+  }
+  static const std::vector<DeweyList>& Lists(const DeweyIndex& index) {
+    return index.lists_;
+  }
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_INDEX_INDEX_ACCESS_H_

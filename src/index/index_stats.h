@@ -1,0 +1,34 @@
+#ifndef XTOPK_INDEX_INDEX_STATS_H_
+#define XTOPK_INDEX_INDEX_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "index/index_builder.h"
+
+namespace xtopk {
+
+/// Serialized-size accounting for every index family of Table I.
+struct IndexSizeReport {
+  std::string corpus;
+  uint64_t join_based_il = 0;      ///< JDewey columns, kAuto compression.
+  uint64_t join_based_sparse = 0;  ///< Sparse per-column indexes.
+  uint64_t stack_based_il = 0;     ///< Prefix-compressed Dewey lists.
+  uint64_t index_based_btree = 0;  ///< Single (keyword, Dewey) B+-tree.
+  uint64_t topk_join_il = 0;       ///< Columns + scores + segment orders.
+  uint64_t topk_join_sparse = 0;   ///< Same sparse indexes.
+  uint64_t rdil_il = 0;            ///< Score-ordered Dewey entries.
+  uint64_t rdil_btree = 0;         ///< Per-keyword Dewey B+-trees.
+
+  /// Renders the Table I layout ("IL" / "sparse" / "B+-tree" columns).
+  std::string ToTable() const;
+};
+
+/// Builds every index family for `builder`'s corpus and measures it.
+/// `corpus` labels the report ("DBLP", "XMark").
+IndexSizeReport MeasureIndexSizes(const IndexBuilder& builder,
+                                  const std::string& corpus);
+
+}  // namespace xtopk
+
+#endif  // XTOPK_INDEX_INDEX_STATS_H_

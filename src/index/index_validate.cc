@@ -1,0 +1,129 @@
+#include "index/index_validate.h"
+
+#include <string>
+
+#include "index/index_access.h"
+
+namespace xtopk {
+namespace {
+
+Status Fail(const std::string& term, const std::string& what) {
+  return Status::Corruption("index validate: list '" + term + "': " + what);
+}
+
+}  // namespace
+
+Status ValidateIndex(const JDeweyIndex& index, const XmlTree* tree) {
+  // Node mapping: sorted, duplicate-free per level.
+  const auto& level_nodes = IndexIoAccess::LevelNodes(index);
+  for (size_t l = 0; l < level_nodes.size(); ++l) {
+    const auto& level = level_nodes[l];
+    for (size_t i = 1; i < level.size(); ++i) {
+      if (level[i - 1].first >= level[i].first) {
+        return Status::Corruption(
+            "index validate: node mapping unsorted at level " +
+            std::to_string(l + 1));
+      }
+    }
+    if (tree != nullptr) {
+      for (const auto& [value, node] : level) {
+        if (node >= tree->node_count() || tree->level(node) != l + 1) {
+          return Status::Corruption(
+              "index validate: node mapping points at wrong level");
+        }
+      }
+    }
+  }
+
+  for (size_t t = 0; t < index.terms().size(); ++t) {
+    const std::string& term = index.terms()[t];
+    const JDeweyList& list = index.lists()[t];
+    const uint32_t rows = list.num_rows();
+    if (list.scores.size() != rows) return Fail(term, "score count mismatch");
+    if (list.columns.size() != list.max_length) {
+      return Fail(term, "column count != max length");
+    }
+    uint16_t max_seen = 0;
+    for (uint32_t r = 0; r < rows; ++r) {
+      if (list.lengths[r] == 0 || list.lengths[r] > list.max_length) {
+        return Fail(term, "row length out of range");
+      }
+      max_seen = std::max(max_seen, list.lengths[r]);
+    }
+    if (rows > 0 && max_seen != list.max_length) {
+      return Fail(term, "max length not attained by any row");
+    }
+
+    for (uint32_t level = 1; level <= list.max_length; ++level) {
+      const Column& col = list.columns[level - 1];
+      // Runs sorted by value and row, non-overlapping, within bounds.
+      uint32_t expected_rows = 0;
+      for (uint32_t r = 0; r < rows; ++r) {
+        if (list.lengths[r] >= level) ++expected_rows;
+      }
+      if (col.row_count() != expected_rows) {
+        return Fail(term, "column " + std::to_string(level) +
+                              " row count mismatch");
+      }
+      uint32_t prev_value = 0;
+      uint32_t prev_end = 0;
+      bool first = true;
+      for (const Run& run : col.runs()) {
+        if (run.count == 0) return Fail(term, "empty run");
+        if (!first && run.value <= prev_value) {
+          return Fail(term, "runs not value-sorted");
+        }
+        if (!first && run.first_row < prev_end) {
+          return Fail(term, "runs overlap");
+        }
+        if (run.end_row() > rows) return Fail(term, "run past row count");
+        // Every row of the run must reach this level.
+        for (uint32_t r = run.first_row; r < run.end_row(); ++r) {
+          if (list.lengths[r] < level) {
+            return Fail(term, "run covers a too-short row");
+          }
+        }
+        // The value must resolve to a node at this level.
+        if (index.NodeAt(level, run.value) == kInvalidNode) {
+          return Fail(term, "column value not in node mapping");
+        }
+        prev_value = run.value;
+        prev_end = run.end_row();
+        first = false;
+      }
+    }
+
+    for (uint32_t r = 0; r < rows; ++r) {
+      if (!(list.scores[r] > 0.0f) || list.scores[r] > 1.0f) {
+        // Scores may legitimately be all-zero when the index was stored
+        // without them; accept that uniform case.
+        bool all_zero = true;
+        for (float s : list.scores) {
+          if (s != 0.0f) all_zero = false;
+        }
+        if (all_zero) break;
+        return Fail(term, "score out of range");
+      }
+    }
+
+    if (tree != nullptr) {
+      // Row sequences are root paths: consecutive components are
+      // parent/child in the tree.
+      for (uint32_t r = 0; r < rows; ++r) {
+        NodeId prev = kInvalidNode;
+        for (uint32_t level = 1; level <= list.lengths[r]; ++level) {
+          const Run* run = list.columns[level - 1].FindRow(r);
+          if (run == nullptr) return Fail(term, "row missing a component");
+          NodeId node = index.NodeAt(level, run->value);
+          if (level > 1 && tree->parent(node) != prev) {
+            return Fail(term, "row sequence is not a root path");
+          }
+          prev = node;
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace xtopk

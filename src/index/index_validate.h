@@ -1,0 +1,27 @@
+#ifndef XTOPK_INDEX_INDEX_VALIDATE_H_
+#define XTOPK_INDEX_INDEX_VALIDATE_H_
+
+#include "index/jdewey_index.h"
+#include "util/status.h"
+#include "xml/xml_tree.h"
+
+namespace xtopk {
+
+/// Structural integrity check of a JDeweyIndex — the fsck run after
+/// loading an index from disk or before trusting a foreign file:
+///
+///  * per list: lengths/scores/columns sized consistently; every row
+///    appears in exactly the columns 1..length; runs sorted by value and
+///    row with no overlaps; scores in (0, 1].
+///  * the (level, value) -> node mapping is sorted, duplicate-free, and
+///    every column value resolves through it.
+///  * row sequences reconstructed from the columns are valid root paths:
+///    consecutive levels' values map to child/parent node pairs when a
+///    `tree` is supplied.
+///
+/// O(total rows × depth). Returns the first violation found.
+Status ValidateIndex(const JDeweyIndex& index, const XmlTree* tree = nullptr);
+
+}  // namespace xtopk
+
+#endif  // XTOPK_INDEX_INDEX_VALIDATE_H_

@@ -1,0 +1,78 @@
+#include "index/jdewey_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "storage/compression.h"
+
+namespace xtopk {
+
+uint32_t JDeweyList::Component(uint32_t row, uint32_t level) const {
+  assert(level >= 1 && level <= lengths[row]);
+  const Run* run = columns[level - 1].FindRow(row);
+  assert(run != nullptr);
+  return run->value;
+}
+
+JDeweySeq JDeweyList::SequenceOf(uint32_t row) const {
+  JDeweySeq seq(lengths[row]);
+  for (uint32_t level = 1; level <= lengths[row]; ++level) {
+    seq[level - 1] = Component(row, level);
+  }
+  return seq;
+}
+
+const JDeweyList* JDeweyIndex::GetList(const std::string& term) const {
+  auto it = term_ids_.find(term);
+  if (it == term_ids_.end()) return nullptr;
+  return &lists_[it->second];
+}
+
+uint32_t JDeweyIndex::Frequency(const std::string& term) const {
+  const JDeweyList* list = GetList(term);
+  return list == nullptr ? 0 : list->num_rows();
+}
+
+NodeId JDeweyIndex::NodeAt(uint32_t level, uint32_t value) const {
+  if (level == 0 || level >= level_nodes_.size() + 1 ||
+      level_nodes_[level - 1].empty()) {
+    return kInvalidNode;
+  }
+  const auto& nodes = level_nodes_[level - 1];
+  auto it = std::lower_bound(
+      nodes.begin(), nodes.end(), value,
+      [](const std::pair<uint32_t, NodeId>& p, uint32_t v) {
+        return p.first < v;
+      });
+  if (it != nodes.end() && it->first == value) return it->second;
+  return kInvalidNode;
+}
+
+uint64_t JDeweyIndex::EncodedListBytes(bool include_scores) const {
+  uint64_t total = 0;
+  for (const JDeweyList& list : lists_) {
+    // Per-term header: term id, row count, max length.
+    total += 12;
+    // Row lengths are stored as a varint stream (usually 1 byte each).
+    total += list.num_rows();
+    for (const Column& column : list.columns) {
+      total += EncodedColumnSize(column, ColumnCodec::kAuto);
+    }
+    if (include_scores) {
+      total += 4ull * list.num_rows();  // float32 per row
+    }
+  }
+  return total;
+}
+
+uint64_t JDeweyIndex::SparseIndexBytes(uint32_t sample_rate) const {
+  uint64_t total = 0;
+  for (const JDeweyList& list : lists_) {
+    for (const Column& column : list.columns) {
+      total += SparseIndex::Build(column, sample_rate).EncodedSize();
+    }
+  }
+  return total;
+}
+
+}  // namespace xtopk

@@ -1,0 +1,96 @@
+#ifndef XTOPK_INDEX_JDEWEY_INDEX_H_
+#define XTOPK_INDEX_JDEWEY_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/column.h"
+#include "storage/sparse_index.h"
+#include "util/status.h"
+#include "xml/jdewey.h"
+#include "xml/xml_tree.h"
+
+namespace xtopk {
+
+/// The column-oriented inverted list of one keyword (paper §III-A).
+///
+/// Rows are keyword occurrences sorted by JDewey sequence; column `l` holds
+/// S(l) of every row whose sequence reaches level l, run-length encoded
+/// (storage/column.h). Each row also carries the occurrence's sequence
+/// length, its local ranking score g(v, w), and (in memory only) the
+/// occurrence's NodeId for materializing results and cross-checking against
+/// oracles.
+struct JDeweyList {
+  std::vector<uint16_t> lengths;  ///< Per row: |S| (level of the occurrence).
+  std::vector<float> scores;      ///< Per row: local score g(v, w).
+  std::vector<NodeId> nodes;      ///< Per row: occurrence node.
+  std::vector<Column> columns;    ///< columns[l-1] holds level l.
+  uint32_t max_length = 0;        ///< Deepest occurrence level.
+
+  uint32_t num_rows() const { return static_cast<uint32_t>(lengths.size()); }
+
+  /// Column of 1-based `level`. Must satisfy 1 <= level <= max_length.
+  const Column& column(uint32_t level) const { return columns[level - 1]; }
+
+  /// S_row(level), i.e., the JDewey number of row's ancestor at `level`.
+  /// Requires level <= lengths[row]. O(log runs).
+  uint32_t Component(uint32_t row, uint32_t level) const;
+
+  /// The full JDewey sequence of `row` (tests / result materialization).
+  JDeweySeq SequenceOf(uint32_t row) const;
+};
+
+/// Keyword -> column-oriented inverted list, plus the (level, value) ->
+/// NodeId reverse mapping needed to hand results back as tree nodes.
+class JDeweyIndex {
+ public:
+  JDeweyIndex() = default;
+  JDeweyIndex(JDeweyIndex&&) = default;
+  JDeweyIndex& operator=(JDeweyIndex&&) = default;
+  JDeweyIndex(const JDeweyIndex&) = delete;
+  JDeweyIndex& operator=(const JDeweyIndex&) = delete;
+
+  /// List for `term`, or nullptr if the term does not occur.
+  const JDeweyList* GetList(const std::string& term) const;
+
+  /// Document frequency (inverted-list length) of `term`; 0 if absent.
+  uint32_t Frequency(const std::string& term) const;
+
+  /// Node with JDewey number `value` at `level`; kInvalidNode if none.
+  NodeId NodeAt(uint32_t level, uint32_t value) const;
+
+  size_t term_count() const { return lists_.size(); }
+  const std::vector<std::string>& terms() const { return terms_; }
+
+  /// Deepest level of the encoded tree.
+  uint32_t max_level() const { return max_level_; }
+
+  /// Serialized size in bytes of the inverted lists under kAuto compression
+  /// (Table I "IL" column). `include_scores` adds the per-row local scores
+  /// (the Top-K Join variant stores them; the plain join-based one does
+  /// not).
+  uint64_t EncodedListBytes(bool include_scores) const;
+
+  /// Serialized size of per-column sparse indexes (Table I "sparse").
+  uint64_t SparseIndexBytes(uint32_t sample_rate = 64) const;
+
+  /// All lists, index-aligned with terms() (term id order).
+  const std::vector<JDeweyList>& lists() const { return lists_; }
+
+ private:
+  friend class IndexBuilder;
+  friend struct IndexIoAccess;
+
+  std::unordered_map<std::string, uint32_t> term_ids_;
+  std::vector<std::string> terms_;
+  std::vector<JDeweyList> lists_;
+  /// Per level (1-based), (value, node) pairs sorted by value.
+  std::vector<std::vector<std::pair<uint32_t, NodeId>>> level_nodes_;
+  uint32_t max_level_ = 0;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_INDEX_JDEWEY_INDEX_H_

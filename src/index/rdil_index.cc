@@ -1,0 +1,39 @@
+#include "index/rdil_index.h"
+
+#include "util/varint.h"
+
+namespace xtopk {
+
+const RdilList* RdilIndex::GetList(const std::string& term) const {
+  auto it = term_ids_.find(term);
+  if (it == term_ids_.end()) return nullptr;
+  return &lists_[it->second];
+}
+
+uint64_t RdilIndex::EncodedListBytes() const {
+  uint64_t total = 0;
+  for (const RdilList& list : lists_) {
+    total += 8;  // per-term header
+    for (uint32_t row : list.by_score) {
+      const DeweyId& d = list.base->deweys[row];
+      total += 1;  // component count
+      for (size_t i = 0; i < d.length(); ++i) {
+        total += varint::LengthU64(d[i]);
+      }
+      total += 4;  // float score
+    }
+  }
+  return total;
+}
+
+uint64_t RdilIndex::BTreeBytes() const {
+  uint64_t total = 0;
+  for (const RdilList& list : lists_) {
+    if (list.dewey_btree != nullptr) {
+      total += list.dewey_btree->EncodedSizeBytes();
+    }
+  }
+  return total;
+}
+
+}  // namespace xtopk

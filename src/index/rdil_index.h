@@ -1,0 +1,55 @@
+#ifndef XTOPK_INDEX_RDIL_INDEX_H_
+#define XTOPK_INDEX_RDIL_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "btree/btree.h"
+#include "index/dewey_index.h"
+
+namespace xtopk {
+
+/// A Ranked Dewey Inverted List (XRank's RDIL, paper §II-C): one keyword's
+/// occurrences ordered by local score descending, plus a B+-tree over the
+/// (order-preserving encoded) Dewey ids so the algorithm can probe the
+/// occurrence "closest" to a given node out of document order.
+struct RdilList {
+  const DeweyList* base = nullptr;   ///< Dewey ids, scores, nodes.
+  std::vector<uint32_t> by_score;    ///< Rows by score descending.
+  std::unique_ptr<BTree> dewey_btree;  ///< EncodeDeweyKey(dewey) -> row.
+};
+
+/// Keyword -> RDIL. Borrows the DeweyIndex it was built from.
+class RdilIndex {
+ public:
+  RdilIndex() = default;
+  RdilIndex(RdilIndex&&) = default;
+  RdilIndex& operator=(RdilIndex&&) = default;
+  RdilIndex(const RdilIndex&) = delete;
+  RdilIndex& operator=(const RdilIndex&) = delete;
+
+  const RdilList* GetList(const std::string& term) const;
+
+  const DeweyIndex* base() const { return base_; }
+
+  /// Serialized inverted-list bytes: full Dewey id + float score per entry
+  /// in score order (score order defeats prefix compression).
+  uint64_t EncodedListBytes() const;
+
+  /// Modeled footprint of all per-keyword B+-trees (Table I "B+-tree").
+  uint64_t BTreeBytes() const;
+
+ private:
+  friend class IndexBuilder;
+
+  const DeweyIndex* base_ = nullptr;
+  std::unordered_map<std::string, uint32_t> term_ids_;
+  std::vector<RdilList> lists_;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_INDEX_RDIL_INDEX_H_

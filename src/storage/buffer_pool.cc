@@ -1,0 +1,36 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace xtopk {
+
+BufferPool::BufferPool(PageFile* file, size_t capacity_pages)
+    : file_(file), capacity_(capacity_pages == 0 ? 1 : capacity_pages) {}
+
+StatusOr<std::shared_ptr<const std::string>> BufferPool::GetPage(PageId id) {
+  auto it = map_.find(id);
+  if (it != map_.end()) {
+    ++hits_;
+    // Move to the front of the LRU list.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->data;
+  }
+  ++misses_;
+  auto page = std::make_shared<std::string>();
+  Status s = file_->ReadPage(id, page.get());
+  if (!s.ok()) return s;
+  lru_.push_front(Entry{id, std::move(page)});
+  map_[id] = lru_.begin();
+  if (map_.size() > capacity_) {
+    map_.erase(lru_.back().id);
+    lru_.pop_back();
+  }
+  return lru_.front().data;
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace xtopk

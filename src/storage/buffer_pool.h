@@ -1,0 +1,52 @@
+#ifndef XTOPK_STORAGE_BUFFER_POOL_H_
+#define XTOPK_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "storage/page_file.h"
+#include "util/status.h"
+
+namespace xtopk {
+
+/// LRU page cache over a PageFile — the hot-cache layer the paper's
+/// experiments assume ("all the experiments are on hot cache"; the
+/// stack-based and join-based systems "use the cache provided by the file
+/// system", which this models deterministically).
+///
+/// Pages are returned as shared_ptr so entries may be evicted while a
+/// caller still decodes a previous page. Single-threaded.
+class BufferPool {
+ public:
+  /// `capacity_pages` must be >= 1. The pool borrows `file`.
+  BufferPool(PageFile* file, size_t capacity_pages);
+
+  /// The page contents (kPageSize bytes), from cache or disk.
+  StatusOr<std::shared_ptr<const std::string>> GetPage(PageId id);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t cached_pages() const { return map_.size(); }
+  void ResetStats() { hits_ = misses_ = 0; }
+  void Clear();
+
+ private:
+  struct Entry {
+    PageId id;
+    std::shared_ptr<const std::string> data;
+  };
+
+  PageFile* file_;
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<PageId, std::list<Entry>::iterator> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,48 @@
+#include "storage/column.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xtopk {
+
+void Column::Append(uint32_t row, uint32_t value) {
+  ++row_count_;
+  if (!runs_.empty()) {
+    Run& last = runs_.back();
+    assert(row >= last.end_row() && "rows must arrive in increasing order");
+    assert(value >= last.value && "values must be non-decreasing (Prop 3.1)");
+    if (last.value == value && row == last.end_row()) {
+      ++last.count;
+      return;
+    }
+    // A new run of an existing value after a row gap cannot happen: equal
+    // values occupy consecutive rows (same subtree). Guard in debug builds.
+    assert(value > last.value && "split run: equal values must be contiguous");
+  }
+  runs_.push_back(Run{value, row, 1});
+}
+
+const Run* Column::FindValue(uint32_t value) const {
+  size_t idx = LowerBoundValue(value);
+  if (idx < runs_.size() && runs_[idx].value == value) return &runs_[idx];
+  return nullptr;
+}
+
+size_t Column::LowerBoundValue(uint32_t value) const {
+  auto it = std::lower_bound(
+      runs_.begin(), runs_.end(), value,
+      [](const Run& run, uint32_t v) { return run.value < v; });
+  return static_cast<size_t>(it - runs_.begin());
+}
+
+const Run* Column::FindRow(uint32_t row) const {
+  auto it = std::upper_bound(
+      runs_.begin(), runs_.end(), row,
+      [](uint32_t r, const Run& run) { return r < run.first_row; });
+  if (it == runs_.begin()) return nullptr;
+  --it;
+  if (row >= it->first_row && row < it->end_row()) return &*it;
+  return nullptr;
+}
+
+}  // namespace xtopk

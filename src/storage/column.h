@@ -1,0 +1,69 @@
+#ifndef XTOPK_STORAGE_COLUMN_H_
+#define XTOPK_STORAGE_COLUMN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xtopk {
+
+/// A maximal row range of one column holding a single JDewey number: the
+/// paper's second compression scheme stores duplicate numbers as triples
+/// (v, r, c) — value, first row, repeat count (§III-D). Because an inverted
+/// list sorted by JDewey sequence groups all occurrences under one node into
+/// consecutive rows, runs are exact subtree extents, which is what both the
+/// join pruning (§III-E) and the set-semantics joins operate on.
+struct Run {
+  uint32_t value = 0;      ///< JDewey number at this column's level.
+  uint32_t first_row = 0;  ///< First row (occurrence index) of the run.
+  uint32_t count = 0;      ///< Number of consecutive rows with this value.
+
+  uint32_t end_row() const { return first_row + count; }
+  bool operator==(const Run& other) const {
+    return value == other.value && first_row == other.first_row &&
+           count == other.count;
+  }
+};
+
+/// One level ("column") of a column-oriented inverted list. Values are
+/// non-decreasing in row order (Property 3.1), stored run-length encoded.
+/// Rows whose JDewey sequences are shorter than this column's level are
+/// simply absent, so consecutive runs may leave row gaps.
+class Column {
+ public:
+  Column() = default;
+
+  /// Appends one (row, value) pair during the build. Rows must arrive in
+  /// increasing order and values must be non-decreasing (checked in debug).
+  void Append(uint32_t row, uint32_t value);
+
+  const std::vector<Run>& runs() const { return runs_; }
+  size_t run_count() const { return runs_.size(); }
+  bool empty() const { return runs_.empty(); }
+
+  /// Total rows present in this column (sum of run counts).
+  uint32_t row_count() const { return row_count_; }
+
+  /// Number of distinct values (== run count, runs are maximal).
+  size_t distinct_values() const { return runs_.size(); }
+
+  /// Binary-searches for the run holding `value`; nullptr if absent.
+  /// This is the probe used by the index join (§III-C): columns are sorted,
+  /// so "conceptually no additional indices are required".
+  const Run* FindValue(uint32_t value) const;
+
+  /// Index of the first run with run.value >= value (run_count() if none).
+  size_t LowerBoundValue(uint32_t value) const;
+
+  /// Binary-searches for the run containing `row`; nullptr if the row is
+  /// absent from this column (sequence too short).
+  const Run* FindRow(uint32_t row) const;
+
+ private:
+  std::vector<Run> runs_;
+  uint32_t row_count_ = 0;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_STORAGE_COLUMN_H_

@@ -1,0 +1,136 @@
+#include "storage/compression.h"
+
+#include <cassert>
+
+#include "util/varint.h"
+
+namespace xtopk {
+namespace {
+
+// Header layout: codec byte, then run/row counts, then codec-specific body.
+
+void EncodeRunLength(const Column& column, std::string* out) {
+  // Triples (v, r, c), with v and r delta-encoded against the previous
+  // triple (both are strictly increasing across runs).
+  uint32_t prev_value = 0;
+  uint32_t prev_row = 0;
+  for (const Run& run : column.runs()) {
+    varint::PutU32(out, run.value - prev_value);
+    varint::PutU32(out, run.first_row - prev_row);
+    varint::PutU32(out, run.count);
+    prev_value = run.value;
+    prev_row = run.first_row;
+  }
+}
+
+void EncodeDelta(const Column& column, std::string* out) {
+  // Per-row value stream in blocks: the first value of each block is
+  // stored in full, subsequent values as deltas from their predecessor
+  // (zero while a run spans rows). Row ids are implied by the list's
+  // sequence lengths and are not written.
+  uint32_t in_block = 0;
+  uint32_t prev_value = 0;
+  for (const Run& run : column.runs()) {
+    for (uint32_t i = 0; i < run.count; ++i) {
+      if (in_block == 0) {
+        varint::PutU32(out, run.value);
+      } else {
+        varint::PutU32(out, run.value - prev_value);
+      }
+      prev_value = run.value;
+      if (++in_block == kDeltaBlockRows) in_block = 0;
+    }
+  }
+}
+
+Status DecodeRunLength(const std::string& data, size_t* pos, uint32_t run_count,
+                       Column* column) {
+  uint32_t prev_value = 0;
+  uint32_t prev_row = 0;
+  for (uint32_t i = 0; i < run_count; ++i) {
+    uint32_t dv = 0, dr = 0, count = 0;
+    Status s = varint::GetU32(data, pos, &dv);
+    if (s.ok()) s = varint::GetU32(data, pos, &dr);
+    if (s.ok()) s = varint::GetU32(data, pos, &count);
+    if (!s.ok()) return s;
+    uint32_t value = prev_value + dv;
+    uint32_t row = prev_row + dr;
+    if (count == 0) return Status::Corruption("column: zero-length run");
+    for (uint32_t j = 0; j < count; ++j) column->Append(row + j, value);
+    prev_value = value;
+    prev_row = row;
+  }
+  return Status::Ok();
+}
+
+Status DecodeDelta(const std::string& data, size_t* pos, uint32_t row_count,
+                   const std::vector<uint32_t>* present_rows,
+                   Column* column) {
+  if (present_rows == nullptr) {
+    return Status::InvalidArgument(
+        "column: delta codec requires the present-row list");
+  }
+  if (present_rows->size() != row_count) {
+    return Status::Corruption("column: present-row count mismatch");
+  }
+  uint32_t in_block = 0;
+  uint32_t prev_value = 0;
+  for (uint32_t i = 0; i < row_count; ++i) {
+    uint32_t v = 0;
+    Status s = varint::GetU32(data, pos, &v);
+    if (!s.ok()) return s;
+    uint32_t value = in_block == 0 ? v : prev_value + v;
+    column->Append((*present_rows)[i], value);
+    prev_value = value;
+    if (++in_block == kDeltaBlockRows) in_block = 0;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+ColumnCodec ChooseCodec(const Column& column) {
+  if (column.run_count() == 0) return ColumnCodec::kRunLength;
+  double avg_run = static_cast<double>(column.row_count()) /
+                   static_cast<double>(column.run_count());
+  return avg_run >= kRleThreshold ? ColumnCodec::kRunLength
+                                  : ColumnCodec::kDelta;
+}
+
+void EncodeColumn(const Column& column, ColumnCodec codec, std::string* out) {
+  if (codec == ColumnCodec::kAuto) codec = ChooseCodec(column);
+  out->push_back(static_cast<char>(codec));
+  if (codec == ColumnCodec::kRunLength) {
+    varint::PutU32(out, static_cast<uint32_t>(column.run_count()));
+    EncodeRunLength(column, out);
+  } else {
+    varint::PutU32(out, column.row_count());
+    EncodeDelta(column, out);
+  }
+}
+
+Status DecodeColumn(const std::string& data, size_t* pos,
+                    const std::vector<uint32_t>* present_rows,
+                    Column* column) {
+  if (*pos >= data.size()) return Status::Corruption("column: empty buffer");
+  uint8_t codec_byte = static_cast<uint8_t>(data[(*pos)++]);
+  uint32_t count = 0;
+  Status s = varint::GetU32(data, pos, &count);
+  if (!s.ok()) return s;
+  switch (static_cast<ColumnCodec>(codec_byte)) {
+    case ColumnCodec::kRunLength:
+      return DecodeRunLength(data, pos, count, column);
+    case ColumnCodec::kDelta:
+      return DecodeDelta(data, pos, count, present_rows, column);
+    default:
+      return Status::Corruption("column: unknown codec byte");
+  }
+}
+
+size_t EncodedColumnSize(const Column& column, ColumnCodec codec) {
+  std::string buf;
+  EncodeColumn(column, codec, &buf);
+  return buf.size();
+}
+
+}  // namespace xtopk

@@ -1,0 +1,59 @@
+#ifndef XTOPK_STORAGE_COMPRESSION_H_
+#define XTOPK_STORAGE_COMPRESSION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/column.h"
+#include "util/status.h"
+
+namespace xtopk {
+
+/// On-disk column codecs (paper §III-D, after C-Store / Abadi et al.):
+///
+/// * kDelta — for columns with many distinct values: rows are cut into
+///   fixed-size blocks; each block stores its first JDewey number in full
+///   and every subsequent value as a delta from its predecessor. Row ids
+///   are NOT stored: which rows are present in a column is implied by the
+///   per-row sequence lengths the list header already carries, so decoding
+///   takes the present-row list as input.
+/// * kRunLength — for columns with few distinct values: each run is a
+///   triple (v, r, c) = (value, first row, repeat count), delta-encoded
+///   between consecutive triples (self-contained).
+/// * kAuto — pick per column: run-length when the average run length is at
+///   least kRleThreshold, delta otherwise.
+enum class ColumnCodec : uint8_t {
+  kDelta = 0,
+  kRunLength = 1,
+  kAuto = 2,
+};
+
+/// Average run length at or above which kAuto selects run-length encoding.
+inline constexpr double kRleThreshold = 1.5;
+
+/// Rows per delta block. 8 KiB blocks of ~4-byte entries in the paper's
+/// setting; we keep the block size in rows so the codec is deterministic.
+inline constexpr uint32_t kDeltaBlockRows = 2048;
+
+/// Encodes `column` with `codec`, appending to `out`. With kAuto the chosen
+/// codec is recorded in the header so decode is self-describing.
+void EncodeColumn(const Column& column, ColumnCodec codec, std::string* out);
+
+/// Decodes a column previously written by EncodeColumn, starting at
+/// data[*pos]; advances *pos. `present_rows` lists the row ids present in
+/// this column in order (derived from the list's sequence lengths); it is
+/// required for kDelta-coded columns and ignored for kRunLength ones —
+/// pass nullptr only when the codec is known to be run-length.
+Status DecodeColumn(const std::string& data, size_t* pos,
+                    const std::vector<uint32_t>* present_rows,
+                    Column* column);
+
+/// Codec kAuto would choose for `column`.
+ColumnCodec ChooseCodec(const Column& column);
+
+/// Encoded size without materializing the bytes (index-size stats).
+size_t EncodedColumnSize(const Column& column, ColumnCodec codec);
+
+}  // namespace xtopk
+
+#endif  // XTOPK_STORAGE_COMPRESSION_H_

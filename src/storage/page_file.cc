@@ -1,0 +1,105 @@
+#include "storage/page_file.h"
+
+#include <sys/stat.h>
+
+namespace xtopk {
+
+PageFile::~PageFile() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+PageFile::PageFile(PageFile&& other) noexcept
+    : file_(other.file_),
+      page_count_(other.page_count_),
+      pages_read_(other.pages_read_),
+      pages_written_(other.pages_written_) {
+  other.file_ = nullptr;
+  other.page_count_ = 0;
+}
+
+PageFile& PageFile::operator=(PageFile&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = other.file_;
+    page_count_ = other.page_count_;
+    pages_read_ = other.pages_read_;
+    pages_written_ = other.pages_written_;
+    other.file_ = nullptr;
+    other.page_count_ = 0;
+  }
+  return *this;
+}
+
+Status PageFile::Open(const std::string& path, bool create) {
+  if (file_ != nullptr) return Status::Internal("page file already open");
+  file_ = std::fopen(path.c_str(), create ? "w+b" : "r+b");
+  if (file_ == nullptr) {
+    return Status::IoError("cannot open page file: " + path);
+  }
+  if (!create) {
+    struct stat st;
+    if (stat(path.c_str(), &st) != 0) {
+      return Status::IoError("cannot stat page file: " + path);
+    }
+    if (st.st_size % static_cast<long>(kPageSize) != 0) {
+      std::fclose(file_);
+      file_ = nullptr;
+      return Status::Corruption("page file size not page-aligned: " + path);
+    }
+    page_count_ = static_cast<uint32_t>(st.st_size / kPageSize);
+  } else {
+    page_count_ = 0;
+  }
+  return Status::Ok();
+}
+
+Status PageFile::Close() {
+  if (file_ == nullptr) return Status::Ok();
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IoError("close failed");
+  return Status::Ok();
+}
+
+StatusOr<PageId> PageFile::AppendPage(const std::string& data) {
+  if (file_ == nullptr) return Status::Internal("page file not open");
+  if (data.size() > kPageSize) {
+    return Status::InvalidArgument("page payload exceeds page size");
+  }
+  if (std::fseek(file_, static_cast<long>(page_count_) *
+                            static_cast<long>(kPageSize),
+                 SEEK_SET) != 0) {
+    return Status::IoError("seek failed");
+  }
+  std::string padded = data;
+  padded.resize(kPageSize, '\0');
+  if (std::fwrite(padded.data(), 1, kPageSize, file_) != kPageSize) {
+    return Status::IoError("write failed");
+  }
+  ++pages_written_;
+  return page_count_++;
+}
+
+Status PageFile::ReadPage(PageId id, std::string* out) {
+  if (file_ == nullptr) return Status::Internal("page file not open");
+  if (id >= page_count_) return Status::OutOfRange("page id out of range");
+  if (std::fseek(file_,
+                 static_cast<long>(id) * static_cast<long>(kPageSize),
+                 SEEK_SET) != 0) {
+    return Status::IoError("seek failed");
+  }
+  out->resize(kPageSize);
+  if (std::fread(out->data(), 1, kPageSize, file_) != kPageSize) {
+    return Status::IoError("short page read");
+  }
+  ++pages_read_;
+  return Status::Ok();
+}
+
+Status PageFile::Sync() {
+  if (file_ == nullptr) return Status::Ok();
+  if (std::fflush(file_) != 0) return Status::IoError("flush failed");
+  return Status::Ok();
+}
+
+}  // namespace xtopk

@@ -1,0 +1,59 @@
+#ifndef XTOPK_STORAGE_PAGE_FILE_H_
+#define XTOPK_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "util/status.h"
+
+namespace xtopk {
+
+/// A page id within a PageFile.
+using PageId = uint32_t;
+
+/// Fixed-size-page file — the I/O unit of the on-disk index (the paper's
+/// compression schemes are phrased per disk block; we use the classic
+/// 8 KiB page). Writing is append-only; reads are random-access by page id
+/// and are counted, which is what the I/O experiments report.
+class PageFile {
+ public:
+  static constexpr size_t kPageSize = 8192;
+
+  PageFile() = default;
+  ~PageFile();
+  PageFile(PageFile&& other) noexcept;
+  PageFile& operator=(PageFile&& other) noexcept;
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  /// Creates (truncating) or opens an existing file.
+  Status Open(const std::string& path, bool create);
+  Status Close();
+  bool is_open() const { return file_ != nullptr; }
+
+  /// Appends one page (data padded with zeros to kPageSize; must not
+  /// exceed it). Returns the new page's id.
+  StatusOr<PageId> AppendPage(const std::string& data);
+
+  /// Reads page `id` into `out` (resized to kPageSize).
+  Status ReadPage(PageId id, std::string* out);
+
+  /// Flushes buffered writes.
+  Status Sync();
+
+  uint32_t page_count() const { return page_count_; }
+  uint64_t pages_read() const { return pages_read_; }
+  uint64_t pages_written() const { return pages_written_; }
+  void ResetStats() { pages_read_ = pages_written_ = 0; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  uint32_t page_count_ = 0;
+  uint64_t pages_read_ = 0;
+  uint64_t pages_written_ = 0;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_STORAGE_PAGE_FILE_H_

@@ -1,0 +1,71 @@
+#include "storage/serializer.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/varint.h"
+
+namespace xtopk {
+namespace ser {
+
+void PutLengthPrefixed(std::string* out, std::string_view value) {
+  varint::PutU64(out, value.size());
+  out->append(value);
+}
+
+Status GetLengthPrefixed(const std::string& data, size_t* pos,
+                         std::string* value) {
+  uint64_t len = 0;
+  Status s = varint::GetU64(data, pos, &len);
+  if (!s.ok()) return s;
+  if (*pos + len > data.size()) {
+    return Status::Corruption("serializer: truncated string");
+  }
+  value->assign(data, *pos, len);
+  *pos += len;
+  return Status::Ok();
+}
+
+void PutFloat(std::string* out, float value) {
+  uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((bits >> (8 * i)) & 0xFF));
+  }
+}
+
+Status GetFloat(const std::string& data, size_t* pos, float* value) {
+  if (*pos + 4 > data.size()) {
+    return Status::Corruption("serializer: truncated float");
+  }
+  uint32_t bits = 0;
+  for (int i = 0; i < 4; ++i) {
+    bits |= static_cast<uint32_t>(static_cast<uint8_t>(data[*pos + i]))
+            << (8 * i);
+  }
+  *pos += 4;
+  std::memcpy(value, &bits, sizeof(*value));
+  return Status::Ok();
+}
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Status ReadFile(const std::string& path, std::string* contents) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::streamsize size = in.tellg();
+  in.seekg(0);
+  contents->resize(static_cast<size_t>(size));
+  in.read(contents->data(), size);
+  if (!in) return Status::IoError("read failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace ser
+}  // namespace xtopk

@@ -1,0 +1,30 @@
+#ifndef XTOPK_STORAGE_SERIALIZER_H_
+#define XTOPK_STORAGE_SERIALIZER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace xtopk {
+
+/// Framing helpers shared by the index serializers: length-prefixed strings,
+/// IEEE floats, and file I/O. All index families (Table I) serialize through
+/// these so their byte counts are measured consistently.
+namespace ser {
+
+void PutLengthPrefixed(std::string* out, std::string_view value);
+Status GetLengthPrefixed(const std::string& data, size_t* pos,
+                         std::string* value);
+
+/// Little-endian IEEE-754 single precision (local ranking scores).
+void PutFloat(std::string* out, float value);
+Status GetFloat(const std::string& data, size_t* pos, float* value);
+
+Status WriteFile(const std::string& path, const std::string& contents);
+Status ReadFile(const std::string& path, std::string* contents);
+
+}  // namespace ser
+}  // namespace xtopk
+
+#endif  // XTOPK_STORAGE_SERIALIZER_H_

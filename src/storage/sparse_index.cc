@@ -1,0 +1,83 @@
+#include "storage/sparse_index.h"
+
+#include <algorithm>
+
+#include "util/varint.h"
+
+namespace xtopk {
+
+SparseIndex SparseIndex::Build(const Column& column, uint32_t sample_rate) {
+  SparseIndex index;
+  index.sample_rate_ = sample_rate == 0 ? 1 : sample_rate;
+  index.total_runs_ = static_cast<uint32_t>(column.run_count());
+  const auto& runs = column.runs();
+  for (size_t i = 0; i < runs.size(); i += index.sample_rate_) {
+    index.values_.push_back(runs[i].value);
+    index.run_indexes_.push_back(static_cast<uint32_t>(i));
+  }
+  return index;
+}
+
+SparseIndex::Window SparseIndex::Probe(uint32_t value) const {
+  if (values_.empty()) return Window{0, total_runs_};
+  // Last sample with sampled value <= value starts the window.
+  auto it = std::upper_bound(values_.begin(), values_.end(), value);
+  size_t sample = static_cast<size_t>(it - values_.begin());
+  if (sample == 0) return Window{0, 0};  // value below first run
+  size_t lo = run_indexes_[sample - 1];
+  size_t hi = sample < run_indexes_.size() ? run_indexes_[sample] + 1
+                                           : total_runs_;
+  return Window{lo, hi};
+}
+
+size_t SparseIndex::EncodedSize() const {
+  std::string buf;
+  Encode(&buf);
+  return buf.size();
+}
+
+void SparseIndex::Encode(std::string* out) const {
+  varint::PutU32(out, sample_rate_);
+  varint::PutU32(out, total_runs_);
+  varint::PutU32(out, static_cast<uint32_t>(values_.size()));
+  uint32_t prev = 0;
+  for (uint32_t v : values_) {
+    varint::PutU32(out, v - prev);
+    prev = v;
+  }
+  // Run indexes are implied by the stride except for the final partial
+  // stride, so only the count is needed; keep explicit last index for
+  // robustness.
+  if (!run_indexes_.empty()) varint::PutU32(out, run_indexes_.back());
+}
+
+Status SparseIndex::Decode(const std::string& data, size_t* pos,
+                           SparseIndex* out) {
+  Status s = varint::GetU32(data, pos, &out->sample_rate_);
+  if (!s.ok()) return s;
+  s = varint::GetU32(data, pos, &out->total_runs_);
+  if (!s.ok()) return s;
+  uint32_t n = 0;
+  s = varint::GetU32(data, pos, &n);
+  if (!s.ok()) return s;
+  out->values_.clear();
+  out->run_indexes_.clear();
+  uint32_t prev = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t dv = 0;
+    s = varint::GetU32(data, pos, &dv);
+    if (!s.ok()) return s;
+    prev += dv;
+    out->values_.push_back(prev);
+    out->run_indexes_.push_back(i * out->sample_rate_);
+  }
+  if (n > 0) {
+    uint32_t last = 0;
+    s = varint::GetU32(data, pos, &last);
+    if (!s.ok()) return s;
+    out->run_indexes_.back() = last;
+  }
+  return Status::Ok();
+}
+
+}  // namespace xtopk

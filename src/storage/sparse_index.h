@@ -1,0 +1,49 @@
+#ifndef XTOPK_STORAGE_SPARSE_INDEX_H_
+#define XTOPK_STORAGE_SPARSE_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/column.h"
+#include "util/status.h"
+
+namespace xtopk {
+
+/// A sparse index over one column (paper §V: "sparse indices can be built
+/// over columns to improve efficiency" of the index join). Every
+/// `sample_rate`-th run contributes a (value, run index) sample; a probe
+/// narrows the binary search to one sample stride. Small enough to pin in
+/// memory — Table I reports it separately from the inverted lists.
+class SparseIndex {
+ public:
+  SparseIndex() = default;
+
+  /// Builds over `column`, sampling every `sample_rate` runs.
+  static SparseIndex Build(const Column& column, uint32_t sample_rate = 64);
+
+  /// Narrowed search window [lo, hi) of run indexes that may hold `value`.
+  struct Window {
+    size_t lo = 0;
+    size_t hi = 0;
+  };
+  Window Probe(uint32_t value) const;
+
+  size_t sample_count() const { return values_.size(); }
+  uint32_t sample_rate() const { return sample_rate_; }
+
+  /// Serialized footprint in bytes (for index-size stats).
+  size_t EncodedSize() const;
+  void Encode(std::string* out) const;
+  static Status Decode(const std::string& data, size_t* pos, SparseIndex* out);
+
+ private:
+  std::vector<uint32_t> values_;      // sampled run values (ascending)
+  std::vector<uint32_t> run_indexes_; // parallel: run index of each sample
+  uint32_t sample_rate_ = 64;
+  uint32_t total_runs_ = 0;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_STORAGE_SPARSE_INDEX_H_

@@ -1,0 +1,96 @@
+#ifndef XTOPK_UTIL_INTERVAL_SET_H_
+#define XTOPK_UTIL_INTERVAL_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+namespace xtopk {
+
+/// A set of disjoint half-open uint32 intervals with merge-on-insert.
+/// Backs the range-checking semantic pruning (paper §III-E): erased row
+/// ranges of an inverted list are kept here; a candidate node's run is
+/// checked by counting the erased rows it covers. The paper's containment
+/// property (a parent's range either contains a matched child range or is
+/// disjoint from it) means queries see nested/disjoint intervals only, but
+/// the structure is general.
+class IntervalSet {
+ public:
+  /// Inserts [begin, end), merging with overlapping/adjacent intervals.
+  void Add(uint32_t begin, uint32_t end) {
+    if (begin >= end) return;
+    // Find the first interval with start > begin, then step back to a
+    // potential overlapper.
+    auto it = intervals_.upper_bound(begin);
+    if (it != intervals_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= begin) {  // overlaps or touches
+        begin = prev->first;
+        end = end > prev->second ? end : prev->second;
+        covered_ -= prev->second - prev->first;
+        it = intervals_.erase(prev);
+      }
+    }
+    while (it != intervals_.end() && it->first <= end) {
+      end = end > it->second ? end : it->second;
+      covered_ -= it->second - it->first;
+      it = intervals_.erase(it);
+    }
+    intervals_.emplace(begin, end);
+    covered_ += end - begin;
+  }
+
+  /// Number of elements of [begin, end) covered by the set.
+  uint32_t CountOverlap(uint32_t begin, uint32_t end) const {
+    if (begin >= end) return 0;
+    uint32_t total = 0;
+    auto it = intervals_.upper_bound(begin);
+    if (it != intervals_.begin()) --it;
+    for (; it != intervals_.end() && it->first < end; ++it) {
+      uint32_t lo = it->first > begin ? it->first : begin;
+      uint32_t hi = it->second < end ? it->second : end;
+      if (lo < hi) total += hi - lo;
+    }
+    return total;
+  }
+
+  /// True iff the whole of [begin, end) is covered.
+  bool Covers(uint32_t begin, uint32_t end) const {
+    return CountOverlap(begin, end) == end - begin;
+  }
+
+  /// True iff `x` is in the set.
+  bool Contains(uint32_t x) const { return CountOverlap(x, x + 1) == 1; }
+
+  /// Calls fn(lo, hi) for each maximal uncovered sub-range of [begin, end).
+  /// Used to take the max local score over the non-erased rows of a run.
+  template <typename Fn>
+  void ForEachUncovered(uint32_t begin, uint32_t end, Fn&& fn) const {
+    uint32_t cursor = begin;
+    auto it = intervals_.upper_bound(begin);
+    if (it != intervals_.begin()) --it;
+    for (; it != intervals_.end() && it->first < end; ++it) {
+      if (it->second <= cursor) continue;
+      if (it->first > cursor) fn(cursor, it->first < end ? it->first : end);
+      cursor = it->second;
+      if (cursor >= end) return;
+    }
+    if (cursor < end) fn(cursor, end);
+  }
+
+  /// Total number of covered elements.
+  uint64_t covered() const { return covered_; }
+  size_t interval_count() const { return intervals_.size(); }
+  void Clear() {
+    intervals_.clear();
+    covered_ = 0;
+  }
+
+ private:
+  std::map<uint32_t, uint32_t> intervals_;  // begin -> end
+  uint64_t covered_ = 0;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_UTIL_INTERVAL_SET_H_

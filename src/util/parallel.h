@@ -1,0 +1,42 @@
+#ifndef XTOPK_UTIL_PARALLEL_H_
+#define XTOPK_UTIL_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace xtopk {
+
+/// Runs fn(0..n-1) across up to `threads` worker threads (work-stealing by
+/// atomic counter). fn must be safe to call concurrently for distinct
+/// indexes and must not depend on execution order — every parallel build
+/// in the library writes to pre-sized, index-disjoint slots, so results
+/// are bit-identical to the single-threaded run.
+inline void ParallelFor(size_t n, size_t threads,
+                        const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (threads <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  size_t workers = std::min(threads, n);
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      while (true) {
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace xtopk
+
+#endif  // XTOPK_UTIL_PARALLEL_H_

@@ -1,0 +1,36 @@
+#ifndef XTOPK_UTIL_RNG_H_
+#define XTOPK_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace xtopk {
+
+/// Deterministic, fast pseudo-random generator (splitmix64 seeded
+/// xoshiro256**). All generators, workloads, and property tests use this so
+/// runs reproduce exactly across machines, which EXPERIMENTS.md depends on.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform over all 64-bit values.
+  uint64_t NextU64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_UTIL_RNG_H_

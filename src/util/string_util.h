@@ -1,0 +1,30 @@
+#ifndef XTOPK_UTIL_STRING_UTIL_H_
+#define XTOPK_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xtopk {
+
+/// ASCII-lowercases `s` in place. The corpora and queries are ASCII; full
+/// Unicode folding is out of scope (the tokenizer documents this).
+void AsciiLowerInPlace(std::string* s);
+
+/// Returns an ASCII-lowercased copy.
+std::string AsciiLower(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits on any character in `delims`, dropping empty pieces.
+std::vector<std::string> SplitNonEmpty(std::string_view s,
+                                       std::string_view delims);
+
+/// Human-readable byte count ("327.0 MB", "14.2 KB") used by the Table I
+/// bench output.
+std::string HumanBytes(uint64_t bytes);
+
+}  // namespace xtopk
+
+#endif  // XTOPK_UTIL_STRING_UTIL_H_

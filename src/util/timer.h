@@ -1,0 +1,30 @@
+#ifndef XTOPK_UTIL_TIMER_H_
+#define XTOPK_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace xtopk {
+
+/// Wall-clock stopwatch used by the benchmark harness (the paper reports
+/// wall-clock query execution time).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_UTIL_TIMER_H_

@@ -1,0 +1,75 @@
+#include "util/varint.h"
+
+namespace xtopk {
+namespace varint {
+
+void PutU64(std::string* out, uint64_t value) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out->push_back(static_cast<char>(value));
+}
+
+void PutU32(std::string* out, uint32_t value) {
+  PutU64(out, static_cast<uint64_t>(value));
+}
+
+void PutS64(std::string* out, int64_t value) {
+  // ZigZag: map small-magnitude signed values to small unsigned values.
+  uint64_t zz =
+      (static_cast<uint64_t>(value) << 1) ^ static_cast<uint64_t>(value >> 63);
+  PutU64(out, zz);
+}
+
+Status GetU64(const std::string& data, size_t* pos, uint64_t* value) {
+  uint64_t result = 0;
+  int shift = 0;
+  size_t p = *pos;
+  while (true) {
+    if (p >= data.size()) {
+      return Status::Corruption("varint: truncated buffer");
+    }
+    uint8_t byte = static_cast<uint8_t>(data[p++]);
+    if (shift >= 63 && byte > 1) {
+      return Status::Corruption("varint: value overflows uint64");
+    }
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+  }
+  *pos = p;
+  *value = result;
+  return Status::Ok();
+}
+
+Status GetU32(const std::string& data, size_t* pos, uint32_t* value) {
+  uint64_t v64 = 0;
+  Status s = GetU64(data, pos, &v64);
+  if (!s.ok()) return s;
+  if (v64 > UINT32_MAX) {
+    return Status::Corruption("varint: value overflows uint32");
+  }
+  *value = static_cast<uint32_t>(v64);
+  return Status::Ok();
+}
+
+Status GetS64(const std::string& data, size_t* pos, int64_t* value) {
+  uint64_t zz = 0;
+  Status s = GetU64(data, pos, &zz);
+  if (!s.ok()) return s;
+  *value = static_cast<int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
+  return Status::Ok();
+}
+
+size_t LengthU64(uint64_t value) {
+  size_t len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace varint
+}  // namespace xtopk

@@ -1,0 +1,38 @@
+#ifndef XTOPK_UTIL_VARINT_H_
+#define XTOPK_UTIL_VARINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace xtopk {
+
+/// LEB128-style variable-length integer encoding, used by the column
+/// serializer and the index persistence layer to keep on-disk index sizes
+/// comparable to a compressed production format (Table I reproduces index
+/// sizes, so byte-accurate encoding matters).
+namespace varint {
+
+/// Appends the varint encoding of `value` to `out`.
+void PutU32(std::string* out, uint32_t value);
+void PutU64(std::string* out, uint64_t value);
+
+/// ZigZag-encodes a signed delta then varint-encodes it (deltas between
+/// consecutive JDewey numbers are non-negative in sorted columns, but block
+/// headers and score quantization use signed values).
+void PutS64(std::string* out, int64_t value);
+
+/// Decodes a varint starting at data[*pos]; advances *pos past it.
+/// Returns Corruption if the buffer ends mid-varint or the value overflows.
+Status GetU32(const std::string& data, size_t* pos, uint32_t* value);
+Status GetU64(const std::string& data, size_t* pos, uint64_t* value);
+Status GetS64(const std::string& data, size_t* pos, int64_t* value);
+
+/// Number of bytes PutU64(value) would append.
+size_t LengthU64(uint64_t value);
+
+}  // namespace varint
+}  // namespace xtopk
+
+#endif  // XTOPK_UTIL_VARINT_H_

@@ -1,0 +1,68 @@
+#include "workload/dblp_gen.h"
+
+#include <string>
+
+#include "util/rng.h"
+#include "workload/zipf.h"
+
+namespace xtopk {
+
+DblpCorpus GenerateDblp(const DblpGenOptions& options) {
+  DblpCorpus corpus;
+  XmlTree& tree = corpus.tree;
+  Vocab vocab(options.vocab_size);
+  ZipfSampler zipf(options.vocab_size, options.zipf_theta, options.seed);
+  Rng rng(options.seed ^ 0x9E3779B97F4A7C15ULL);
+
+  // Author pool: fixed two-word names, reused Zipf-skewed across papers.
+  std::vector<std::string> authors;
+  authors.reserve(options.author_pool);
+  for (uint32_t a = 0; a < options.author_pool; ++a) {
+    authors.push_back(vocab.word(rng.NextBounded(vocab.size())) + " " +
+                      vocab.word(rng.NextBounded(vocab.size())));
+  }
+  ZipfSampler author_zipf(options.author_pool == 0 ? 1 : options.author_pool,
+                          1.0, options.seed ^ 0x1234);
+
+  NodeId root = tree.CreateRoot("dblp");
+  for (uint32_t c = 0; c < options.num_conferences; ++c) {
+    NodeId conf = tree.AddChild(root, "conference");
+    tree.AddAttribute(conf, "name", "conf" + std::to_string(c));
+    for (uint32_t y = 0; y < options.years_per_conference; ++y) {
+      NodeId year = tree.AddChild(conf, "year");
+      tree.AppendText(year, "y" + std::to_string(1998 + y));
+      for (uint32_t p = 0; p < options.papers_per_year; ++p) {
+        NodeId paper = tree.AddChild(year, "paper");
+        NodeId title = tree.AddChild(paper, "title");
+        std::string text;
+        for (uint32_t w = 0; w < options.title_words; ++w) {
+          if (w > 0) text += ' ';
+          text += vocab.word(zipf.Next());
+        }
+        tree.AppendText(title, text);
+        corpus.titles.push_back(title);
+        if (options.abstract_words > 0) {
+          NodeId abstract = tree.AddChild(paper, "abstract");
+          std::string body;
+          for (uint32_t w = 0; w < options.abstract_words; ++w) {
+            if (w > 0) body += ' ';
+            body += vocab.word(zipf.Next());
+          }
+          tree.AppendText(abstract, body);
+        }
+        NodeId author_list = tree.AddChild(paper, "authors");
+        for (uint32_t a = 0; a < options.authors_per_paper; ++a) {
+          NodeId author = tree.AddChild(author_list, "author");
+          tree.AppendText(author, authors.empty()
+                                      ? vocab.word(zipf.Next())
+                                      : authors[author_zipf.Next()]);
+        }
+      }
+    }
+  }
+
+  PlantTerms(&tree, corpus.titles, options.planted, &rng);
+  return corpus;
+}
+
+}  // namespace xtopk

@@ -1,0 +1,50 @@
+#ifndef XTOPK_WORKLOAD_DBLP_GEN_H_
+#define XTOPK_WORKLOAD_DBLP_GEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "workload/vocab.h"
+#include "xml/xml_tree.h"
+
+namespace xtopk {
+
+/// Synthetic DBLP-like corpus (the paper's primary data set, regrouped the
+/// way §V describes: papers firstly by conference/journal, then by year):
+///
+///   dblp → conference → year → paper → {title, authors → author}
+///
+/// Title/author text draws Zipf-distributed vocabulary; planted terms give
+/// the benchmark queries exact frequencies and correlations. Defaults yield
+/// ~20k papers (~150k nodes) — the scaled-down stand-in for the 496 MB
+/// original (DESIGN.md §4).
+struct DblpGenOptions {
+  uint32_t num_conferences = 50;
+  uint32_t years_per_conference = 10;
+  uint32_t papers_per_year = 40;
+  uint32_t title_words = 8;
+  uint32_t authors_per_paper = 2;
+  /// Optional <abstract> element per paper (0 = none).
+  uint32_t abstract_words = 0;
+  /// Distinct author names; papers draw Zipf-skewed from this pool, so
+  /// author-name keyword frequencies follow a realistic distribution.
+  uint32_t author_pool = 500;
+  uint32_t vocab_size = 20000;
+  double zipf_theta = 1.1;
+  uint64_t seed = 42;
+  std::vector<PlantedTerm> planted;
+};
+
+struct DblpCorpus {
+  XmlTree tree;
+  /// Title elements — the planted-term targets and the typical occurrence
+  /// nodes of query keywords.
+  std::vector<NodeId> titles;
+};
+
+DblpCorpus GenerateDblp(const DblpGenOptions& options);
+
+}  // namespace xtopk
+
+#endif  // XTOPK_WORKLOAD_DBLP_GEN_H_

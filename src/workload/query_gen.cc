@@ -1,0 +1,96 @@
+#include "workload/query_gen.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace xtopk {
+namespace {
+
+struct FreqLess {
+  bool operator()(const TermInfo& a, uint32_t f) const {
+    return a.frequency < f;
+  }
+  bool operator()(uint32_t f, const TermInfo& a) const {
+    return f < a.frequency;
+  }
+};
+
+}  // namespace
+
+QueryGenerator::QueryGenerator(const std::vector<TermInfo>& terms,
+                               uint64_t seed)
+    : by_frequency_(terms), rng_(seed) {
+  std::sort(by_frequency_.begin(), by_frequency_.end(),
+            [](const TermInfo& a, const TermInfo& b) {
+              if (a.frequency != b.frequency) return a.frequency < b.frequency;
+              return a.term < b.term;
+            });
+}
+
+size_t QueryGenerator::BandSize(const FrequencyBand& band) const {
+  auto lo = std::lower_bound(by_frequency_.begin(), by_frequency_.end(),
+                             band.lo, FreqLess{});
+  auto hi = std::upper_bound(by_frequency_.begin(), by_frequency_.end(),
+                             band.hi, FreqLess{});
+  return hi > lo ? static_cast<size_t>(hi - lo) : 0;
+}
+
+std::optional<std::string> QueryGenerator::SampleInBand(
+    const FrequencyBand& band) {
+  auto lo = std::lower_bound(by_frequency_.begin(), by_frequency_.end(),
+                             band.lo, FreqLess{});
+  auto hi = std::upper_bound(by_frequency_.begin(), by_frequency_.end(),
+                             band.hi, FreqLess{});
+  if (lo >= hi) return std::nullopt;
+  size_t span = static_cast<size_t>(hi - lo);
+  return (lo + rng_.NextBounded(span))->term;
+}
+
+std::vector<std::vector<std::string>> QueryGenerator::MixedFrequencyQueries(
+    size_t count, size_t k, const FrequencyBand& low,
+    const FrequencyBand& high) {
+  std::vector<std::vector<std::string>> queries;
+  for (size_t q = 0; q < count; ++q) {
+    std::vector<std::string> query;
+    std::unordered_set<std::string> used;
+    auto low_term = SampleInBand(low);
+    if (!low_term.has_value()) return queries;
+    query.push_back(*low_term);
+    used.insert(*low_term);
+    size_t rerolls = 0;
+    while (query.size() < k) {
+      auto term = SampleInBand(high);
+      if (!term.has_value()) return queries;
+      if (used.insert(*term).second) {
+        query.push_back(*term);
+      } else if (++rerolls > 1000) {
+        break;  // band too small for k distinct terms
+      }
+    }
+    if (query.size() == k) queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+std::vector<std::vector<std::string>> QueryGenerator::EqualFrequencyQueries(
+    size_t count, size_t k, const FrequencyBand& band) {
+  std::vector<std::vector<std::string>> queries;
+  for (size_t q = 0; q < count; ++q) {
+    std::vector<std::string> query;
+    std::unordered_set<std::string> used;
+    size_t rerolls = 0;
+    while (query.size() < k) {
+      auto term = SampleInBand(band);
+      if (!term.has_value()) return queries;
+      if (used.insert(*term).second) {
+        query.push_back(*term);
+      } else if (++rerolls > 1000) {
+        break;
+      }
+    }
+    if (query.size() == k) queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+}  // namespace xtopk

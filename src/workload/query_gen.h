@@ -1,0 +1,55 @@
+#ifndef XTOPK_WORKLOAD_QUERY_GEN_H_
+#define XTOPK_WORKLOAD_QUERY_GEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "index/index_builder.h"
+#include "util/rng.h"
+
+namespace xtopk {
+
+/// A closed frequency band [lo, hi] over inverted-list lengths.
+struct FrequencyBand {
+  uint32_t lo = 0;
+  uint32_t hi = UINT32_MAX;
+};
+
+/// Samples query keywords by frequency band, reproducing the paper's query
+/// selection ("forty queries within each frequency range are randomly
+/// selected", §V-B). Deterministic per seed.
+class QueryGenerator {
+ public:
+  QueryGenerator(const std::vector<TermInfo>& terms, uint64_t seed);
+
+  /// A uniformly random term whose frequency lies in `band`; nullopt if
+  /// the band is empty.
+  std::optional<std::string> SampleInBand(const FrequencyBand& band);
+
+  /// `count` k-keyword queries with one keyword from `low` and k-1 from
+  /// `high` (the paper's mixed-frequency sweep). Queries with repeated
+  /// keywords are rerolled.
+  std::vector<std::vector<std::string>> MixedFrequencyQueries(
+      size_t count, size_t k, const FrequencyBand& low,
+      const FrequencyBand& high);
+
+  /// `count` k-keyword queries with every keyword from `band`
+  /// (the equal-frequency sweep, Fig. 9(e)-(f)).
+  std::vector<std::vector<std::string>> EqualFrequencyQueries(
+      size_t count, size_t k, const FrequencyBand& band);
+
+  /// Number of distinct terms available in `band`.
+  size_t BandSize(const FrequencyBand& band) const;
+
+ private:
+  /// Terms sorted by frequency; band sampling binary-searches this.
+  std::vector<TermInfo> by_frequency_;
+  Rng rng_;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_WORKLOAD_QUERY_GEN_H_

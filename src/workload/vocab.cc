@@ -1,0 +1,72 @@
+#include "workload/vocab.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace xtopk {
+
+Vocab::Vocab(size_t size) {
+  // Base-21 encoding alternating consonants and vowels: unique, ASCII,
+  // survives the tokenizer unchanged, never collides with planted terms
+  // (those use their own prefixes).
+  static constexpr char kConsonants[] = "bcdfghjklmnpqrstvwxyz";  // 21
+  static constexpr char kVowels[] = "aeiou";                      // 5
+  words_.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    std::string w = "w";
+    size_t v = i;
+    for (int pos = 0; pos < 6 || v > 0; ++pos) {
+      if (pos % 2 == 0) {
+        w.push_back(kConsonants[v % 21]);
+        v /= 21;
+      } else {
+        w.push_back(kVowels[v % 5]);
+        v /= 5;
+      }
+      if (pos >= 5 && v == 0) break;
+    }
+    words_.push_back(std::move(w));
+  }
+}
+
+void PlantTerms(XmlTree* tree, const std::vector<NodeId>& targets,
+                const std::vector<PlantedTerm>& terms, Rng* rng) {
+  // Per planted term: the set of targets carrying it (for correlation).
+  std::unordered_map<std::string, std::vector<NodeId>> carriers;
+  for (const PlantedTerm& term : terms) {
+    uint32_t want =
+        std::min<uint32_t>(term.frequency,
+                           static_cast<uint32_t>(targets.size()));
+    std::unordered_set<NodeId> chosen;
+    const std::vector<NodeId>* correlated = nullptr;
+    if (!term.correlate_with.empty()) {
+      auto it = carriers.find(term.correlate_with);
+      assert(it != carriers.end() &&
+             "correlate_with must reference an earlier planted term");
+      correlated = &it->second;
+    }
+    uint64_t attempts = 0;
+    while (chosen.size() < want) {
+      // With correlation 1.0 and a small carrier set the correlated pool
+      // can saturate; degrade to uniform picks rather than spin.
+      bool force_uniform = ++attempts > 20ull * want + 1000;
+      NodeId target;
+      if (!force_uniform && correlated != nullptr && !correlated->empty() &&
+          rng->NextBernoulli(term.correlation)) {
+        target = (*correlated)[rng->NextBounded(correlated->size())];
+      } else {
+        target = targets[rng->NextBounded(targets.size())];
+      }
+      if (chosen.insert(target).second) {
+        tree->AppendText(target, term.term);
+      }
+    }
+    std::vector<NodeId> list(chosen.begin(), chosen.end());
+    std::sort(list.begin(), list.end());
+    carriers[term.term] = std::move(list);
+  }
+}
+
+}  // namespace xtopk

@@ -1,0 +1,51 @@
+#ifndef XTOPK_WORKLOAD_VOCAB_H_
+#define XTOPK_WORKLOAD_VOCAB_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "xml/xml_tree.h"
+
+namespace xtopk {
+
+/// Synthetic vocabulary: pronounceable, unique, tokenizer-stable words
+/// ("wagopi", "welubo", ...). Background corpus text draws ranks from a
+/// ZipfSampler and maps them through word().
+class Vocab {
+ public:
+  explicit Vocab(size_t size);
+
+  const std::string& word(size_t rank) const { return words_[rank]; }
+  size_t size() const { return words_.size(); }
+
+ private:
+  std::vector<std::string> words_;
+};
+
+/// A keyword planted into a corpus with an exact target frequency —
+/// the experiments' frequency sweeps (Fig. 9/10) select keywords whose
+/// inverted-list lengths are controlled, which random vocabulary cannot
+/// guarantee at small corpus scale.
+struct PlantedTerm {
+  std::string term;
+  /// Number of distinct target nodes to plant into (clamped to the number
+  /// of available targets).
+  uint32_t frequency = 0;
+  /// When non-empty, plant preferentially into targets that already carry
+  /// that term: P(pick correlated target) = correlation. Referenced terms
+  /// must appear earlier in the planted list.
+  std::string correlate_with;
+  double correlation = 0.0;
+};
+
+/// Plants `terms` into the text of nodes drawn from `targets` (typically
+/// the corpus's title/description elements). Deterministic given `rng`.
+void PlantTerms(XmlTree* tree, const std::vector<NodeId>& targets,
+                const std::vector<PlantedTerm>& terms, Rng* rng);
+
+}  // namespace xtopk
+
+#endif  // XTOPK_WORKLOAD_VOCAB_H_

@@ -1,0 +1,105 @@
+#include "workload/xmark_gen.h"
+
+#include <string>
+
+#include "util/rng.h"
+#include "workload/zipf.h"
+
+namespace xtopk {
+namespace {
+
+const char* const kRegions[] = {"africa",  "asia",   "australia",
+                                "europe",  "namerica", "samerica"};
+
+}  // namespace
+
+XmarkCorpus GenerateXmark(const XmarkGenOptions& options) {
+  XmarkCorpus corpus;
+  XmlTree& tree = corpus.tree;
+  Vocab vocab(options.vocab_size);
+  ZipfSampler zipf(options.vocab_size, options.zipf_theta, options.seed);
+  Rng rng(options.seed ^ 0xA5A5A5A55A5A5A5AULL);
+
+  auto sample_text = [&](uint32_t words) {
+    std::string text;
+    for (uint32_t w = 0; w < words; ++w) {
+      if (w > 0) text += ' ';
+      text += vocab.word(zipf.Next());
+    }
+    return text;
+  };
+  auto add_text_node = [&](NodeId parent, const char* tag) {
+    NodeId node = tree.AddChild(parent, tag);
+    tree.AppendText(node, sample_text(options.words_per_text));
+    corpus.text_nodes.push_back(node);
+    return node;
+  };
+
+  NodeId site = tree.CreateRoot("site");
+
+  // regions / <region> / item / {name, description/parlist/listitem/text,
+  // mailbox/mail/text}: text at levels 5 and 8.
+  NodeId regions = tree.AddChild(site, "regions");
+  for (const char* region_name : kRegions) {
+    NodeId region = tree.AddChild(regions, region_name);
+    for (uint32_t i = 0; i < options.items_per_region; ++i) {
+      NodeId item = tree.AddChild(region, "item");
+      tree.AddAttribute(item, "id", "item" + std::to_string(i));
+      add_text_node(item, "name");
+      NodeId description = tree.AddChild(item, "description");
+      NodeId parlist = tree.AddChild(description, "parlist");
+      for (uint32_t p = 0; p < options.description_paragraphs; ++p) {
+        NodeId listitem = tree.AddChild(parlist, "listitem");
+        add_text_node(listitem, "text");
+      }
+      if (rng.NextBernoulli(0.5)) {
+        NodeId mailbox = tree.AddChild(item, "mailbox");
+        NodeId mail = tree.AddChild(mailbox, "mail");
+        add_text_node(mail, "text");
+      }
+    }
+  }
+
+  // people / person / {name, address/{street, city}}: text at levels 4-5.
+  NodeId people = tree.AddChild(site, "people");
+  for (uint32_t i = 0; i < options.num_people; ++i) {
+    NodeId person = tree.AddChild(people, "person");
+    tree.AddAttribute(person, "id", "person" + std::to_string(i));
+    add_text_node(person, "name");
+    NodeId address = tree.AddChild(person, "address");
+    add_text_node(address, "street");
+    add_text_node(address, "city");
+  }
+
+  // categories / category / {name, description/text}.
+  NodeId categories = tree.AddChild(site, "categories");
+  for (uint32_t i = 0; i < options.num_categories; ++i) {
+    NodeId category = tree.AddChild(categories, "category");
+    tree.AddAttribute(category, "id", "category" + std::to_string(i));
+    add_text_node(category, "name");
+    NodeId description = tree.AddChild(category, "description");
+    add_text_node(description, "text");
+  }
+
+  // open_auctions / open_auction / {initial, bidder/increase,
+  // annotation/description/text}.
+  NodeId auctions = tree.AddChild(site, "open_auctions");
+  for (uint32_t i = 0; i < options.num_open_auctions; ++i) {
+    NodeId auction = tree.AddChild(auctions, "open_auction");
+    NodeId initial = tree.AddChild(auction, "initial");
+    tree.AppendText(initial, std::to_string(rng.NextBounded(10000)));
+    for (uint32_t b = 0; b < options.bidders_per_auction; ++b) {
+      NodeId bidder = tree.AddChild(auction, "bidder");
+      NodeId increase = tree.AddChild(bidder, "increase");
+      tree.AppendText(increase, std::to_string(1 + rng.NextBounded(500)));
+    }
+    NodeId annotation = tree.AddChild(auction, "annotation");
+    NodeId description = tree.AddChild(annotation, "description");
+    add_text_node(description, "text");
+  }
+
+  PlantTerms(&tree, corpus.text_nodes, options.planted, &rng);
+  return corpus;
+}
+
+}  // namespace xtopk

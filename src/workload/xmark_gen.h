@@ -1,0 +1,52 @@
+#ifndef XTOPK_WORKLOAD_XMARK_GEN_H_
+#define XTOPK_WORKLOAD_XMARK_GEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "workload/vocab.h"
+#include "xml/xml_tree.h"
+
+namespace xtopk {
+
+/// Synthetic XMark-like corpus (the paper's second data set): an auction
+/// site with a deeper and more irregular shape than the DBLP-like tree —
+///
+///   site → regions → {africa..samerica} → item →
+///            {name, description → parlist → listitem → text, mailbox →
+///             mail → text}
+///   site → people → person → {name, address → {street, city}}
+///   site → open_auctions → open_auction → {initial, bidder → increase,
+///            annotation → description → text}
+///   site → categories → category → {name, description → text}
+///
+/// Keyword occurrences span levels 4–8, which exercises the length-grouped
+/// segments of the top-K index and the multi-column joins.
+struct XmarkGenOptions {
+  uint32_t items_per_region = 600;
+  uint32_t num_people = 2400;
+  uint32_t num_open_auctions = 1200;
+  uint32_t num_categories = 40;
+  /// Bidders per open auction (each adds bidder/increase elements).
+  uint32_t bidders_per_auction = 2;
+  uint32_t description_paragraphs = 2;
+  uint32_t words_per_text = 10;
+  uint32_t vocab_size = 20000;
+  double zipf_theta = 1.1;
+  uint64_t seed = 1337;
+  std::vector<PlantedTerm> planted;
+};
+
+struct XmarkCorpus {
+  XmlTree tree;
+  /// Text-carrying elements usable as planted-term targets (item names,
+  /// description texts, mails, person names, auction annotations).
+  std::vector<NodeId> text_nodes;
+};
+
+XmarkCorpus GenerateXmark(const XmarkGenOptions& options);
+
+}  // namespace xtopk
+
+#endif  // XTOPK_WORKLOAD_XMARK_GEN_H_

@@ -1,0 +1,27 @@
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace xtopk {
+
+ZipfSampler::ZipfSampler(size_t n, double theta, uint64_t seed) : rng_(seed) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+    cdf_[r] = total;
+  }
+  for (double& c : cdf_) c /= total;
+}
+
+size_t ZipfSampler::Next() {
+  double u = rng_.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace xtopk

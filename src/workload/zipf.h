@@ -1,0 +1,32 @@
+#ifndef XTOPK_WORKLOAD_ZIPF_H_
+#define XTOPK_WORKLOAD_ZIPF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace xtopk {
+
+/// Zipf-distributed sampler over ranks [0, n): P(r) ∝ 1 / (r+1)^theta.
+/// Word frequencies in the synthetic corpora follow this (natural-language
+/// frequency skew is what makes the paper's compression scheme 2 and the
+/// context-dependent correlations meaningful).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double theta, uint64_t seed);
+
+  /// A rank in [0, n).
+  size_t Next();
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+  Rng rng_;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_WORKLOAD_ZIPF_H_

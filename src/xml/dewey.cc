@@ -1,0 +1,101 @@
+#include "xml/dewey.h"
+
+#include <algorithm>
+
+#include "util/varint.h"
+
+namespace xtopk {
+
+int DeweyId::Compare(const DeweyId& other) const {
+  size_t n = std::min(components_.size(), other.components_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (components_[i] != other.components_[i]) {
+      return components_[i] < other.components_[i] ? -1 : 1;
+    }
+  }
+  if (components_.size() == other.components_.size()) return 0;
+  return components_.size() < other.components_.size() ? -1 : 1;
+}
+
+size_t DeweyId::CommonPrefixLength(const DeweyId& other) const {
+  size_t n = std::min(components_.size(), other.components_.size());
+  size_t i = 0;
+  while (i < n && components_[i] == other.components_[i]) ++i;
+  return i;
+}
+
+DeweyId DeweyId::LongestCommonPrefix(const DeweyId& other) const {
+  size_t len = CommonPrefixLength(other);
+  return Prefix(len);
+}
+
+bool DeweyId::IsAncestorOf(const DeweyId& other, bool or_self) const {
+  if (components_.size() > other.components_.size()) return false;
+  if (!or_self && components_.size() == other.components_.size()) return false;
+  return CommonPrefixLength(other) == components_.size();
+}
+
+DeweyId DeweyId::Prefix(size_t len) const {
+  return DeweyId(std::vector<uint32_t>(components_.begin(),
+                                       components_.begin() + len));
+}
+
+std::string DeweyId::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < components_.size(); ++i) {
+    if (i > 0) out += '.';
+    out += std::to_string(components_[i]);
+  }
+  return out;
+}
+
+size_t DeweyId::EncodedSizeDelta(const DeweyId& prev, const DeweyId& cur) {
+  // Prefix compression: store shared-prefix length, remaining component
+  // count, then the non-shared components as varints. Mirrors the scheme of
+  // Xu & Papakonstantinou (SIGMOD'05) the paper compresses baselines with.
+  size_t shared = prev.CommonPrefixLength(cur);
+  size_t bytes = varint::LengthU64(shared);
+  bytes += varint::LengthU64(cur.length() - shared);
+  for (size_t i = shared; i < cur.length(); ++i) {
+    bytes += varint::LengthU64(cur[i]);
+  }
+  return bytes;
+}
+
+NodeId NodeByDewey(const XmlTree& tree, const DeweyId& dewey) {
+  if (tree.empty() || dewey.empty() || dewey[0] != 1) return kInvalidNode;
+  NodeId cur = tree.root();
+  for (size_t i = 1; i < dewey.length(); ++i) {
+    NodeId child = tree.node(cur).first_child;
+    for (uint32_t step = 1; step < dewey[i] && child != kInvalidNode; ++step) {
+      child = tree.node(child).next_sibling;
+    }
+    if (child == kInvalidNode) return kInvalidNode;
+    cur = child;
+  }
+  return cur;
+}
+
+std::vector<DeweyId> AssignDeweyIds(const XmlTree& tree) {
+  std::vector<DeweyId> ids(tree.node_count());
+  if (tree.empty()) return ids;
+  ids[tree.root()] = DeweyId({1});
+  // Nodes are stored in creation order with parents before children, but a
+  // sibling's ordinal depends on position; walk children lists explicitly.
+  std::vector<NodeId> stack = {tree.root()};
+  while (!stack.empty()) {
+    NodeId u = stack.back();
+    stack.pop_back();
+    uint32_t ordinal = 1;
+    for (NodeId c = tree.node(u).first_child; c != kInvalidNode;
+         c = tree.node(c).next_sibling) {
+      std::vector<uint32_t> comps = ids[u].components();
+      comps.push_back(ordinal++);
+      ids[c] = DeweyId(std::move(comps));
+      stack.push_back(c);
+    }
+  }
+  return ids;
+}
+
+}  // namespace xtopk

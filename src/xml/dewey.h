@@ -1,0 +1,70 @@
+#ifndef XTOPK_XML_DEWEY_H_
+#define XTOPK_XML_DEWEY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xml/xml_tree.h"
+
+namespace xtopk {
+
+/// A classic Dewey id: the vector of 1-based sibling ordinals on the
+/// root-to-node path (the root's component is always 1). Document order is
+/// the lexicographic order of Dewey ids; the LCA of two nodes is their
+/// longest common prefix. Used by the baselines (stack-based, index-based,
+/// RDIL), which the paper compares against.
+class DeweyId {
+ public:
+  DeweyId() = default;
+  explicit DeweyId(std::vector<uint32_t> components)
+      : components_(std::move(components)) {}
+
+  const std::vector<uint32_t>& components() const { return components_; }
+  size_t length() const { return components_.size(); }
+  bool empty() const { return components_.empty(); }
+  uint32_t operator[](size_t i) const { return components_[i]; }
+
+  /// Lexicographic (document-order) comparison; a prefix sorts before its
+  /// extensions.
+  int Compare(const DeweyId& other) const;
+  bool operator<(const DeweyId& other) const { return Compare(other) < 0; }
+  bool operator==(const DeweyId& other) const {
+    return components_ == other.components_;
+  }
+  bool operator!=(const DeweyId& other) const { return !(*this == other); }
+
+  /// Length of the longest common prefix with `other`.
+  size_t CommonPrefixLength(const DeweyId& other) const;
+
+  /// The LCA of the two nodes (their longest common prefix).
+  DeweyId LongestCommonPrefix(const DeweyId& other) const;
+
+  /// True iff *this is a proper prefix (ancestor) of `other`; with
+  /// `or_self`, equality counts.
+  bool IsAncestorOf(const DeweyId& other, bool or_self = false) const;
+
+  /// The id truncated to its first `len` components.
+  DeweyId Prefix(size_t len) const;
+
+  /// "1.1.2.3" formatting (tests / debug output).
+  std::string ToString() const;
+
+  /// Serialized size in bytes under the prefix+varint compression of the
+  /// baseline index format (see dewey_index.cc); exposed for size stats.
+  static size_t EncodedSizeDelta(const DeweyId& prev, const DeweyId& cur);
+
+ private:
+  std::vector<uint32_t> components_;
+};
+
+/// Assigns Dewey ids to all nodes of `tree` (index = NodeId).
+std::vector<DeweyId> AssignDeweyIds(const XmlTree& tree);
+
+/// Resolves a Dewey id back to the tree node it names by walking child
+/// ordinals from the root; kInvalidNode if the path does not exist.
+NodeId NodeByDewey(const XmlTree& tree, const DeweyId& dewey);
+
+}  // namespace xtopk
+
+#endif  // XTOPK_XML_DEWEY_H_

@@ -1,0 +1,97 @@
+#include "xml/jdewey.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace xtopk {
+
+int CompareJDewey(const JDeweySeq& a, const JDeweySeq& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+std::optional<JNodeRef> JDeweyLca(const JDeweySeq& a, const JDeweySeq& b) {
+  size_t n = std::min(a.size(), b.size());
+  std::optional<JNodeRef> lca;
+  // Components agree on a prefix (shared ancestors), so scanning from the
+  // top and remembering the last match finds the largest matching index.
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] == b[i]) {
+      lca = JNodeRef{static_cast<uint32_t>(i + 1), a[i]};
+    } else {
+      break;
+    }
+  }
+  return lca;
+}
+
+std::string JDeweySeqToString(const JDeweySeq& seq) {
+  std::string out;
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (i > 0) out += '.';
+    out += std::to_string(seq[i]);
+  }
+  return out;
+}
+
+JDeweySeq JDeweyEncoding::SequenceOf(const XmlTree& tree, NodeId id) const {
+  JDeweySeq seq;
+  for (NodeId cur = id; cur != kInvalidNode; cur = tree.parent(cur)) {
+    seq.push_back(jnum_[cur]);
+  }
+  std::reverse(seq.begin(), seq.end());
+  return seq;
+}
+
+Status JDeweyEncoding::Validate(const XmlTree& tree) const {
+  if (jnum_.size() != tree.node_count()) {
+    return Status::Internal("jdewey: encoding size != tree size");
+  }
+  // Group nodes by level, sorted by number.
+  std::vector<std::vector<NodeId>> by_level(tree.max_level() + 1);
+  for (NodeId id = 0; id < tree.node_count(); ++id) {
+    by_level[tree.level(id)].push_back(id);
+  }
+  for (uint32_t level = 1; level < by_level.size(); ++level) {
+    auto& nodes = by_level[level];
+    std::sort(nodes.begin(), nodes.end(), [&](NodeId a, NodeId b) {
+      return jnum_[a] < jnum_[b];
+    });
+    // Requirement 1: uniqueness within the level.
+    for (size_t i = 1; i < nodes.size(); ++i) {
+      if (jnum_[nodes[i]] == jnum_[nodes[i - 1]]) {
+        return Status::Internal("jdewey: duplicate number " +
+                                std::to_string(jnum_[nodes[i]]) + " at level " +
+                                std::to_string(level));
+      }
+    }
+    // Requirement 2: for consecutive nodes in number order, every child
+    // number of the smaller precedes every child number of the larger.
+    // Consecutive checks chain to all pairs.
+    uint32_t prev_max_child = 0;
+    bool have_prev = false;
+    for (NodeId u : nodes) {
+      uint32_t min_child = UINT32_MAX, max_child = 0;
+      for (NodeId c = tree.node(u).first_child; c != kInvalidNode;
+           c = tree.node(c).next_sibling) {
+        min_child = std::min(min_child, jnum_[c]);
+        max_child = std::max(max_child, jnum_[c]);
+      }
+      if (min_child == UINT32_MAX) continue;  // leaf
+      if (have_prev && min_child <= prev_max_child) {
+        return Status::Internal(
+            "jdewey: order requirement violated below level " +
+            std::to_string(level));
+      }
+      prev_max_child = max_child;
+      have_prev = true;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace xtopk

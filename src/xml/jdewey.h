@@ -1,0 +1,87 @@
+#ifndef XTOPK_XML_JDEWEY_H_
+#define XTOPK_XML_JDEWEY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "xml/xml_tree.h"
+
+namespace xtopk {
+
+/// A JDewey sequence: the vector of JDewey numbers on the root-to-node path
+/// (paper §III-A). seq[0] is the root's number (level 1), seq.back() the
+/// node's own number. Unlike a Dewey id, the pair (level, seq[level-1])
+/// uniquely identifies a node in the whole tree.
+using JDeweySeq = std::vector<uint32_t>;
+
+/// A node identified positionally: JDewey number `value` at 1-based `level`.
+struct JNodeRef {
+  uint32_t level = 0;
+  uint32_t value = 0;
+
+  bool operator==(const JNodeRef& other) const {
+    return level == other.level && value == other.value;
+  }
+};
+
+/// JDewey order (paper §III-A): S1 < S2 iff some position differs with
+/// S1(j) < S2(j), or S1 is a proper prefix of S2. By Property 3.1 this
+/// coincides with plain lexicographic comparison.
+int CompareJDewey(const JDeweySeq& a, const JDeweySeq& b);
+
+/// LCA of two nodes given their sequences: the largest i with
+/// S1(i) == S2(i) names the LCA directly (no common-prefix matching).
+/// Returns nullopt if the sequences share no component (different trees).
+std::optional<JNodeRef> JDeweyLca(const JDeweySeq& a, const JDeweySeq& b);
+
+/// "3.5.2" formatting.
+std::string JDeweySeqToString(const JDeweySeq& seq);
+
+/// The JDewey number assignment for one tree. Numbers are unique per level
+/// and order-consistent across levels (paper §III-A requirements 1 and 2).
+/// Built and maintained by JDeweyBuilder.
+class JDeweyEncoding {
+ public:
+  JDeweyEncoding() = default;
+
+  /// JDewey number of `id`.
+  uint32_t NumberOf(NodeId id) const { return jnum_[id]; }
+
+  /// JDewey sequence of `id` (walks the parent chain; index builders that
+  /// touch every node should DFS with an incremental path instead).
+  JDeweySeq SequenceOf(const XmlTree& tree, NodeId id) const;
+
+  /// Remaining reserved child slots of `id` (0 for nodes created by dynamic
+  /// insertion, which have no reserved range until a re-encode).
+  uint32_t ReservedSlots(NodeId id) const {
+    return child_end_[id] - child_next_[id];
+  }
+
+  /// First unassigned number at `level` (1-based).
+  uint32_t NextFreeAt(uint32_t level) const {
+    return level < next_free_.size() ? next_free_[level] : 1;
+  }
+
+  size_t node_count() const { return jnum_.size(); }
+
+  /// Verifies both JDewey requirements over the whole tree:
+  /// (1) numbers unique within each level;
+  /// (2) parents' per-level order implies children's order.
+  /// O(n log n); used by tests and by debug builds after maintenance ops.
+  Status Validate(const XmlTree& tree) const;
+
+ private:
+  friend class JDeweyBuilder;
+
+  std::vector<uint32_t> jnum_;        // per node
+  std::vector<uint32_t> child_next_;  // next reserved child number, per node
+  std::vector<uint32_t> child_end_;   // end of reserved range, per node
+  std::vector<uint32_t> next_free_;   // per level, index 0 unused
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_XML_JDEWEY_H_

@@ -1,0 +1,145 @@
+#include "xml/jdewey_builder.h"
+
+#include <cassert>
+#include <vector>
+
+namespace xtopk {
+
+JDeweyEncoding JDeweyBuilder::Assign(const XmlTree& tree, uint32_t gap) {
+  JDeweyEncoding enc;
+  size_t n = tree.node_count();
+  enc.jnum_.assign(n, 0);
+  enc.child_next_.assign(n, 0);
+  enc.child_end_.assign(n, 0);
+  enc.next_free_.assign(tree.max_level() + 2, 1);
+  if (n == 0) return enc;
+
+  // Level-order walk. Parents are visited in increasing number order, so
+  // handing each parent the next contiguous child range satisfies the
+  // order requirement by construction.
+  std::vector<NodeId> current = {tree.root()};
+  enc.jnum_[tree.root()] = enc.next_free_[1]++;
+  uint32_t level = 1;
+  while (!current.empty()) {
+    std::vector<NodeId> next;
+    uint32_t child_level = level + 1;
+    for (NodeId u : current) {
+      uint32_t count = 0;
+      for (NodeId c = tree.node(u).first_child; c != kInvalidNode;
+           c = tree.node(c).next_sibling) {
+        ++count;
+      }
+      uint32_t start = enc.next_free_[child_level];
+      uint32_t cursor = start;
+      for (NodeId c = tree.node(u).first_child; c != kInvalidNode;
+           c = tree.node(c).next_sibling) {
+        enc.jnum_[c] = cursor++;
+        next.push_back(c);
+      }
+      enc.child_next_[u] = cursor;
+      enc.child_end_[u] = start + count + gap;
+      enc.next_free_[child_level] = enc.child_end_[u];
+    }
+    current = std::move(next);
+    ++level;
+  }
+  return enc;
+}
+
+size_t JDeweyBuilder::InsertAssign(const XmlTree& tree, NodeId node,
+                                   uint32_t gap, JDeweyEncoding* enc) {
+  assert(node == tree.node_count() - 1 &&
+         "InsertAssign must follow the AddChild that created `node`");
+  // Grow the per-node arrays for the new node.
+  enc->jnum_.push_back(0);
+  enc->child_next_.push_back(0);
+  enc->child_end_.push_back(0);
+  uint32_t node_level = tree.level(node);
+  if (enc->next_free_.size() <= node_level + 1) {
+    enc->next_free_.resize(node_level + 2, 1);
+  }
+
+  NodeId parent = tree.parent(node);
+  assert(parent != kInvalidNode && "cannot insert a second root");
+  if (enc->child_next_[parent] < enc->child_end_[parent]) {
+    enc->jnum_[node] = enc->child_next_[parent]++;
+    // The new node has no reserved range of its own; a child inserted under
+    // it later triggers the re-encode path.
+    enc->child_next_[node] = enc->child_end_[node] = 0;
+    return 1;
+  }
+
+  // Reserved range exhausted: part of the tree must move to the end of its
+  // levels (the paper's partial re-encoding). Moving the subtree rooted at
+  // `a` is order-safe only when a's parent already owns the topmost child
+  // range of a's level — otherwise some node numbered above the parent has
+  // children, and handing a a fresh end-of-level number would break
+  // requirement 2 one level up. Climb to the lowest safely movable
+  // ancestor (the root is always safe: it is alone on level 1).
+  NodeId a = node;
+  while (true) {
+    NodeId g = tree.parent(a);
+    if (g == kInvalidNode) break;  // a is the root: full re-encode
+    uint32_t a_level = tree.level(a);
+    if (enc->child_end_[g] != 0 &&
+        enc->child_end_[g] == enc->next_free_[a_level]) {
+      break;  // subtree(a) can move without disturbing g's level
+    }
+    a = g;
+  }
+  if (a == node) {
+    // Fast path: the exhausted parent owns the topmost range of the new
+    // node's level. Extend the range in place and reserve a fresh gap.
+    uint32_t l = node_level;
+    enc->jnum_[node] = enc->next_free_[l]++;
+    enc->child_next_[parent] = enc->next_free_[l];
+    enc->child_end_[parent] = enc->next_free_[l] + gap;
+    enc->next_free_[l] = enc->child_end_[parent];
+    return 1;
+  }
+  return ReencodeSubtree(tree, a, gap, enc);
+}
+
+size_t JDeweyBuilder::ReencodeSubtree(const XmlTree& tree, NodeId root,
+                                      uint32_t gap, JDeweyEncoding* enc) {
+  // Move the subtree to the end of every level: the subtree root takes the
+  // next free number at its level, and each parent hands out a fresh
+  // contiguous range (with a new reserved gap) at the child level.
+  size_t changed = 0;
+  uint32_t root_level = tree.level(root);
+  enc->jnum_[root] = enc->next_free_[root_level]++;
+  ++changed;
+
+  std::vector<NodeId> current = {root};
+  uint32_t level = root_level;
+  while (!current.empty()) {
+    std::vector<NodeId> next;
+    uint32_t child_level = level + 1;
+    if (enc->next_free_.size() <= child_level) {
+      enc->next_free_.resize(child_level + 1, 1);
+    }
+    for (NodeId u : current) {
+      uint32_t count = 0;
+      for (NodeId c = tree.node(u).first_child; c != kInvalidNode;
+           c = tree.node(c).next_sibling) {
+        ++count;
+      }
+      uint32_t start = enc->next_free_[child_level];
+      uint32_t cursor = start;
+      for (NodeId c = tree.node(u).first_child; c != kInvalidNode;
+           c = tree.node(c).next_sibling) {
+        enc->jnum_[c] = cursor++;
+        next.push_back(c);
+        ++changed;
+      }
+      enc->child_next_[u] = cursor;
+      enc->child_end_[u] = start + count + gap;
+      enc->next_free_[child_level] = enc->child_end_[u];
+    }
+    current = std::move(next);
+    ++level;
+  }
+  return changed;
+}
+
+}  // namespace xtopk

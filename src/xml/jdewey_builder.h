@@ -1,0 +1,48 @@
+#ifndef XTOPK_XML_JDEWEY_BUILDER_H_
+#define XTOPK_XML_JDEWEY_BUILDER_H_
+
+#include <cstdint>
+
+#include "xml/jdewey.h"
+#include "xml/xml_tree.h"
+
+namespace xtopk {
+
+/// Builds and maintains JDewey encodings (paper §III-A).
+///
+/// Bulk assignment walks the tree level by level, handing each parent a
+/// contiguous child range of size (children + gap); the `gap` extra numbers
+/// are the "reserved spaces" the paper uses to absorb future insertions.
+///
+/// Dynamic insertion draws from the parent's reserved range; when the range
+/// is exhausted, part of the tree is re-encoded to the end of its levels
+/// (the paper's partial re-encoding: "update 1.1's number to be the largest
+/// number in the second level, then corresponding numbers can be chosen for
+/// its descendants"). Moving a subtree is only order-safe when its root's
+/// parent owns the topmost child range of that level, so the builder climbs
+/// to the lowest safely movable ancestor — in the best case the exhausted
+/// range is itself topmost and is simply extended in place.
+class JDeweyBuilder {
+ public:
+  /// Assigns numbers to every node of `tree`, reserving `gap` extra child
+  /// slots per parent.
+  static JDeweyEncoding Assign(const XmlTree& tree, uint32_t gap = 0);
+
+  /// Assigns a number to `node`, which must be the most recently added node
+  /// of `tree` (tree.AddChild result) and not yet encoded. Returns the
+  /// number of nodes whose numbers changed (1 if the reserved range had
+  /// room; the re-encoded subtree size otherwise) — callers use this to
+  /// decide how much of an index to refresh.
+  static size_t InsertAssign(const XmlTree& tree, NodeId node, uint32_t gap,
+                             JDeweyEncoding* enc);
+
+ private:
+  /// Re-assigns fresh end-of-level numbers to the subtree rooted at `root`,
+  /// reserving `gap` slots per parent. Returns the subtree size.
+  static size_t ReencodeSubtree(const XmlTree& tree, NodeId root, uint32_t gap,
+                                JDeweyEncoding* enc);
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_XML_JDEWEY_BUILDER_H_

@@ -1,0 +1,18 @@
+#include "xml/tokenizer.h"
+
+namespace xtopk {
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> out;
+  ForEachToken(text, [&](const std::string& token) { out.push_back(token); });
+  return out;
+}
+
+std::unordered_map<std::string, uint32_t> Tokenizer::TermFrequencies(
+    std::string_view text) const {
+  std::unordered_map<std::string, uint32_t> tf;
+  ForEachToken(text, [&](const std::string& token) { ++tf[token]; });
+  return tf;
+}
+
+}  // namespace xtopk

@@ -1,0 +1,54 @@
+#ifndef XTOPK_XML_TOKENIZER_H_
+#define XTOPK_XML_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xtopk {
+
+/// Text analyzer (the Lucene stand-in; see DESIGN.md §4). Splits on
+/// non-alphanumeric characters and ASCII-lowercases. Tokens shorter than
+/// `min_token_length` are dropped (defaults to 1, i.e., keep everything).
+class Tokenizer {
+ public:
+  struct Options {
+    size_t min_token_length = 1;
+  };
+
+  Tokenizer() = default;
+  explicit Tokenizer(Options options) : options_(options) {}
+
+  /// All tokens of `text`, lowercased, in order (with duplicates).
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  /// Distinct tokens of `text` with their term frequencies.
+  std::unordered_map<std::string, uint32_t> TermFrequencies(
+      std::string_view text) const;
+
+  /// Calls fn(token) for each token without materializing a vector.
+  template <typename Fn>
+  void ForEachToken(std::string_view text, Fn&& fn) const {
+    std::string token;
+    for (size_t i = 0; i <= text.size(); ++i) {
+      char c = i < text.size() ? text[i] : '\0';
+      bool alnum = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                   (c >= '0' && c <= '9');
+      if (alnum) {
+        if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+        token.push_back(c);
+      } else if (!token.empty()) {
+        if (token.size() >= options_.min_token_length) fn(token);
+        token.clear();
+      }
+    }
+  }
+
+ private:
+  Options options_;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_XML_TOKENIZER_H_

@@ -1,0 +1,338 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace xtopk {
+namespace {
+
+/// Cursor over the input with line tracking for error messages.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view input) : input_(input) {}
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool StartsWith(std::string_view prefix) const {
+    return input_.substr(pos_, prefix.size()) == prefix;
+  }
+
+  char Advance() {
+    char c = input_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  void AdvanceBy(size_t n) {
+    for (size_t i = 0; i < n && !AtEnd(); ++i) Advance();
+  }
+
+  /// Advances past `token` if present; returns whether it matched.
+  bool Consume(std::string_view token) {
+    if (!StartsWith(token)) return false;
+    AdvanceBy(token.size());
+    return true;
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+
+  /// Advances until `terminator` is consumed. Returns false at EOF.
+  bool SkipUntil(std::string_view terminator) {
+    while (!AtEnd()) {
+      if (Consume(terminator)) return true;
+      Advance();
+    }
+    return false;
+  }
+
+  size_t pos() const { return pos_; }
+  int line() const { return line_; }
+  std::string_view Slice(size_t from, size_t to) const {
+    return input_.substr(from, to - from);
+  }
+
+  Status Error(const std::string& what) const {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " (line %d)", line_);
+    return Status::InvalidArgument("xml: " + what + buf);
+  }
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.';
+}
+
+/// Decodes &amp; &lt; &gt; &apos; &quot; &#NN; &#xHH; appending to `out`.
+Status AppendWithEntities(Scanner* s, std::string_view raw, std::string* out) {
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] != '&') {
+      out->push_back(raw[i]);
+      continue;
+    }
+    size_t semi = raw.find(';', i + 1);
+    if (semi == std::string_view::npos) {
+      return s->Error("unterminated entity reference");
+    }
+    std::string_view name = raw.substr(i + 1, semi - i - 1);
+    if (name == "amp") {
+      out->push_back('&');
+    } else if (name == "lt") {
+      out->push_back('<');
+    } else if (name == "gt") {
+      out->push_back('>');
+    } else if (name == "apos") {
+      out->push_back('\'');
+    } else if (name == "quot") {
+      out->push_back('"');
+    } else if (!name.empty() && name[0] == '#') {
+      int base = 10;
+      std::string digits(name.substr(1));
+      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+        base = 16;
+        digits.erase(0, 1);
+      }
+      if (digits.empty()) return s->Error("empty character reference");
+      char* end = nullptr;
+      long code = std::strtol(digits.c_str(), &end, base);
+      if (end == nullptr || *end != '\0' || code <= 0 || code > 0x10FFFF) {
+        return s->Error("bad character reference &" + std::string(name) + ";");
+      }
+      // UTF-8 encode.
+      unsigned cp = static_cast<unsigned>(code);
+      if (cp < 0x80) {
+        out->push_back(static_cast<char>(cp));
+      } else if (cp < 0x800) {
+        out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else if (cp < 0x10000) {
+        out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      } else {
+        out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+      }
+    } else {
+      return s->Error("unknown entity &" + std::string(name) + ";");
+    }
+    i = semi;
+  }
+  return Status::Ok();
+}
+
+/// Trims leading/trailing XML whitespace from character data.
+std::string_view TrimWs(std::string_view s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+class ParserImpl {
+ public:
+  explicit ParserImpl(std::string_view input) : scan_(input) {}
+
+  StatusOr<XmlTree> Run() {
+    Status s = SkipProlog();
+    if (!s.ok()) return s;
+    scan_.SkipWhitespace();
+    if (scan_.AtEnd() || scan_.Peek() != '<') {
+      return scan_.Error("expected root element");
+    }
+    s = ParseElement(kInvalidNode);
+    if (!s.ok()) return s;
+    // Trailing misc: comments / PIs / whitespace only.
+    while (true) {
+      scan_.SkipWhitespace();
+      if (scan_.AtEnd()) break;
+      if (scan_.Consume("<!--")) {
+        if (!scan_.SkipUntil("-->")) return scan_.Error("unterminated comment");
+      } else if (scan_.Consume("<?")) {
+        if (!scan_.SkipUntil("?>")) return scan_.Error("unterminated PI");
+      } else {
+        return scan_.Error("content after root element");
+      }
+    }
+    if (tree_.empty()) return scan_.Error("no root element");
+    return std::move(tree_);
+  }
+
+ private:
+  Status SkipProlog() {
+    while (true) {
+      scan_.SkipWhitespace();
+      if (scan_.Consume("<?")) {
+        if (!scan_.SkipUntil("?>")) return scan_.Error("unterminated PI");
+      } else if (scan_.Consume("<!--")) {
+        if (!scan_.SkipUntil("-->")) return scan_.Error("unterminated comment");
+      } else if (scan_.StartsWith("<!DOCTYPE")) {
+        // Skip to the matching '>' (internal subsets nest '<' '>').
+        int depth = 0;
+        while (!scan_.AtEnd()) {
+          char c = scan_.Advance();
+          if (c == '<') ++depth;
+          if (c == '>') {
+            if (--depth == 0) break;
+          }
+        }
+        if (scan_.AtEnd()) return scan_.Error("unterminated DOCTYPE");
+      } else {
+        return Status::Ok();
+      }
+    }
+  }
+
+  Status ParseName(std::string* name) {
+    if (scan_.AtEnd() || !IsNameStart(scan_.Peek())) {
+      return scan_.Error("expected name");
+    }
+    size_t start = scan_.pos();
+    while (!scan_.AtEnd() && IsNameChar(scan_.Peek())) scan_.Advance();
+    *name = std::string(scan_.Slice(start, scan_.pos()));
+    return Status::Ok();
+  }
+
+  Status ParseAttributes(NodeId node) {
+    while (true) {
+      scan_.SkipWhitespace();
+      if (scan_.AtEnd()) return scan_.Error("unterminated start tag");
+      char c = scan_.Peek();
+      if (c == '>' || c == '/' || c == '?') return Status::Ok();
+      std::string name;
+      Status s = ParseName(&name);
+      if (!s.ok()) return s;
+      scan_.SkipWhitespace();
+      if (!scan_.Consume("=")) return scan_.Error("expected '=' after attribute");
+      scan_.SkipWhitespace();
+      if (scan_.AtEnd()) return scan_.Error("unterminated attribute");
+      char quote = scan_.Peek();
+      if (quote != '"' && quote != '\'') {
+        return scan_.Error("attribute value must be quoted");
+      }
+      scan_.Advance();
+      size_t start = scan_.pos();
+      while (!scan_.AtEnd() && scan_.Peek() != quote) scan_.Advance();
+      if (scan_.AtEnd()) return scan_.Error("unterminated attribute value");
+      std::string value;
+      s = AppendWithEntities(&scan_, scan_.Slice(start, scan_.pos()), &value);
+      if (!s.ok()) return s;
+      scan_.Advance();  // closing quote
+      tree_.AddAttribute(node, name, value);
+      // Attribute values participate in keyword containment like direct text.
+      tree_.AppendText(node, value);
+    }
+  }
+
+  /// Parses one element including its subtree. The scanner sits on '<'.
+  Status ParseElement(NodeId parent) {
+    if (!scan_.Consume("<")) return scan_.Error("expected '<'");
+    std::string tag;
+    Status s = ParseName(&tag);
+    if (!s.ok()) return s;
+
+    NodeId node = parent == kInvalidNode ? tree_.CreateRoot(tag)
+                                         : tree_.AddChild(parent, tag);
+    s = ParseAttributes(node);
+    if (!s.ok()) return s;
+
+    if (scan_.Consume("/>")) return Status::Ok();
+    if (!scan_.Consume(">")) return scan_.Error("expected '>' in start tag");
+
+    // Content loop.
+    while (true) {
+      if (scan_.AtEnd()) return scan_.Error("unterminated element <" + tag + ">");
+      if (scan_.Consume("</")) {
+        std::string end_tag;
+        s = ParseName(&end_tag);
+        if (!s.ok()) return s;
+        scan_.SkipWhitespace();
+        if (!scan_.Consume(">")) return scan_.Error("expected '>' in end tag");
+        if (end_tag != tag) {
+          return scan_.Error("mismatched end tag </" + end_tag +
+                             ">, expected </" + tag + ">");
+        }
+        return Status::Ok();
+      }
+      if (scan_.Consume("<!--")) {
+        if (!scan_.SkipUntil("-->")) return scan_.Error("unterminated comment");
+        continue;
+      }
+      if (scan_.Consume("<![CDATA[")) {
+        size_t start = scan_.pos();
+        if (!scan_.SkipUntil("]]>")) return scan_.Error("unterminated CDATA");
+        std::string_view raw = scan_.Slice(start, scan_.pos() - 3);
+        if (!raw.empty()) tree_.AppendText(node, raw);
+        continue;
+      }
+      if (scan_.Consume("<?")) {
+        if (!scan_.SkipUntil("?>")) return scan_.Error("unterminated PI");
+        continue;
+      }
+      if (scan_.Peek() == '<') {
+        s = ParseElement(node);
+        if (!s.ok()) return s;
+        continue;
+      }
+      // Character data up to the next '<'.
+      size_t start = scan_.pos();
+      while (!scan_.AtEnd() && scan_.Peek() != '<') scan_.Advance();
+      std::string_view raw = TrimWs(scan_.Slice(start, scan_.pos()));
+      if (!raw.empty()) {
+        std::string decoded;
+        s = AppendWithEntities(&scan_, raw, &decoded);
+        if (!s.ok()) return s;
+        tree_.AppendText(node, decoded);
+      }
+    }
+  }
+
+  Scanner scan_;
+  XmlTree tree_;
+};
+
+}  // namespace
+
+StatusOr<XmlTree> XmlParser::Parse(std::string_view input) {
+  ParserImpl impl(input);
+  return impl.Run();
+}
+
+XmlTree ParseXmlStringOrDie(std::string_view input) {
+  StatusOr<XmlTree> result = XmlParser::Parse(input);
+  if (!result.ok()) {
+    std::fprintf(stderr, "ParseXmlStringOrDie: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+StatusOr<XmlTree> ParseXmlFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string content = buf.str();
+  return XmlParser::Parse(content);
+}
+
+}  // namespace xtopk

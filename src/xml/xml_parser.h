@@ -1,0 +1,35 @@
+#ifndef XTOPK_XML_XML_PARSER_H_
+#define XTOPK_XML_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+#include "xml/xml_tree.h"
+
+namespace xtopk {
+
+/// From-scratch non-validating XML parser (the Xerces stand-in; see
+/// DESIGN.md §4). Supports the XML subset exercised by the evaluated
+/// corpora: prolog, DOCTYPE (skipped), elements, attributes, character data,
+/// CDATA sections, comments, processing instructions (skipped), and the five
+/// predefined entities plus decimal/hex character references.
+///
+/// The parser is a single-pass recursive-descent scanner over the input
+/// buffer; errors carry a line number.
+class XmlParser {
+ public:
+  /// Parses a complete document. On success the returned tree has one root.
+  static StatusOr<XmlTree> Parse(std::string_view input);
+};
+
+/// Convenience wrapper: parses an XML string, aborting on malformed input
+/// (examples/benches use this; library code uses XmlParser::Parse).
+XmlTree ParseXmlStringOrDie(std::string_view input);
+
+/// Reads and parses a file.
+StatusOr<XmlTree> ParseXmlFile(const std::string& path);
+
+}  // namespace xtopk
+
+#endif  // XTOPK_XML_XML_PARSER_H_

@@ -1,0 +1,127 @@
+#include "xml/xml_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xtopk {
+
+uint32_t XmlTree::InternTag(std::string_view tag) {
+  auto it = tag_ids_.find(std::string(tag));
+  if (it != tag_ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(tag_names_.size());
+  tag_names_.emplace_back(tag);
+  tag_ids_.emplace(std::string(tag), id);
+  return id;
+}
+
+NodeId XmlTree::CreateRoot(std::string_view tag) {
+  assert(nodes_.empty() && "root must be created first and only once");
+  XmlNode root;
+  root.tag_id = InternTag(tag);
+  root.level = 1;
+  nodes_.push_back(std::move(root));
+  last_child_.push_back(kInvalidNode);
+  max_level_ = 1;
+  return 0;
+}
+
+NodeId XmlTree::AddChild(NodeId parent, std::string_view tag) {
+  assert(parent < nodes_.size());
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  XmlNode child;
+  child.parent = parent;
+  child.tag_id = InternTag(tag);
+  child.level = nodes_[parent].level + 1;
+  if (child.level > max_level_) max_level_ = child.level;
+  nodes_.push_back(std::move(child));
+  last_child_.push_back(kInvalidNode);
+
+  if (nodes_[parent].first_child == kInvalidNode) {
+    nodes_[parent].first_child = id;
+  } else {
+    nodes_[last_child_[parent]].next_sibling = id;
+  }
+  last_child_[parent] = id;
+  return id;
+}
+
+void XmlTree::AppendText(NodeId node, std::string_view text) {
+  assert(node < nodes_.size());
+  std::string& dst = nodes_[node].text;
+  if (!dst.empty() && !text.empty()) dst.push_back(' ');
+  dst.append(text);
+}
+
+void XmlTree::AddAttribute(NodeId node, std::string_view name,
+                           std::string_view value) {
+  assert(node < nodes_.size());
+  attrs_.push_back(XmlAttr{node, std::string(name), std::string(value)});
+}
+
+std::vector<const XmlAttr*> XmlTree::AttributesOf(NodeId id) const {
+  std::vector<const XmlAttr*> out;
+  for (const XmlAttr& a : attrs_) {
+    if (a.node == id) out.push_back(&a);
+  }
+  return out;
+}
+
+std::vector<NodeId> XmlTree::Children(NodeId id) const {
+  std::vector<NodeId> out;
+  for (NodeId c = nodes_[id].first_child; c != kInvalidNode;
+       c = nodes_[c].next_sibling) {
+    out.push_back(c);
+  }
+  return out;
+}
+
+bool XmlTree::IsAncestor(NodeId anc, NodeId node, bool or_self) const {
+  if (anc == node) return or_self;
+  NodeId cur = nodes_[node].parent;
+  while (cur != kInvalidNode) {
+    if (cur == anc) return true;
+    cur = nodes_[cur].parent;
+  }
+  return false;
+}
+
+std::vector<NodeId> XmlTree::PathTo(NodeId id) const {
+  std::vector<NodeId> path;
+  for (NodeId cur = id; cur != kInvalidNode; cur = nodes_[cur].parent) {
+    path.push_back(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::string XmlTree::ToXmlString(NodeId id, int indent) const {
+  std::string out(indent, ' ');
+  out += '<';
+  out += TagName(id);
+  for (const XmlAttr* a : AttributesOf(id)) {
+    out += ' ';
+    out += a->name;
+    out += "=\"";
+    out += a->value;
+    out += '"';
+  }
+  std::vector<NodeId> kids = Children(id);
+  const std::string& body = text(id);
+  if (kids.empty() && body.empty()) {
+    out += "/>\n";
+    return out;
+  }
+  out += '>';
+  if (!body.empty()) out += body;
+  if (!kids.empty()) {
+    out += '\n';
+    for (NodeId c : kids) out += ToXmlString(c, indent + 2);
+    out.append(indent, ' ');
+  }
+  out += "</";
+  out += TagName(id);
+  out += ">\n";
+  return out;
+}
+
+}  // namespace xtopk

@@ -1,0 +1,124 @@
+#ifndef XTOPK_XML_XML_TREE_H_
+#define XTOPK_XML_XML_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xtopk {
+
+/// Index of a node inside an XmlTree. Nodes are stored in an arena in
+/// document (pre-)order, so NodeId also serves as a compact document-order
+/// key for element nodes.
+using NodeId = uint32_t;
+
+/// Sentinel for "no node" (absent parent / child / sibling).
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+/// An element node. Text content is accumulated into `text` (character data
+/// of direct text children plus attribute values); XML keyword search treats
+/// the element as the node "directly containing" every token of that text and
+/// of its tag name.
+struct XmlNode {
+  NodeId parent = kInvalidNode;
+  NodeId first_child = kInvalidNode;
+  NodeId next_sibling = kInvalidNode;
+  /// Interned tag name; resolve with XmlTree::TagName().
+  uint32_t tag_id = 0;
+  /// Depth of the node; the root is at level 1 (the paper's convention:
+  /// column 1 of an inverted list corresponds to the root level).
+  uint32_t level = 1;
+  /// Direct character data of this element (not descendants').
+  std::string text;
+};
+
+/// An attribute attached to an element. Kept in a side table because the vast
+/// majority of nodes in the evaluated corpora carry no attributes.
+struct XmlAttr {
+  NodeId node = kInvalidNode;
+  std::string name;
+  std::string value;
+};
+
+/// An in-memory XML document tree. Mutable during construction (parser or
+/// generator), then used read-only by index builders. Node 0 is the root.
+class XmlTree {
+ public:
+  XmlTree() = default;
+
+  // Movable but not copyable: trees can hold millions of nodes.
+  XmlTree(XmlTree&&) = default;
+  XmlTree& operator=(XmlTree&&) = default;
+  XmlTree(const XmlTree&) = delete;
+  XmlTree& operator=(const XmlTree&) = delete;
+
+  /// Creates the root element. Must be called exactly once, first.
+  NodeId CreateRoot(std::string_view tag);
+
+  /// Appends a new last child under `parent`. Returns its id.
+  NodeId AddChild(NodeId parent, std::string_view tag);
+
+  /// Appends character data to `node`'s direct text.
+  void AppendText(NodeId node, std::string_view text);
+
+  /// Attaches an attribute to `node`.
+  void AddAttribute(NodeId node, std::string_view name, std::string_view value);
+
+  bool empty() const { return nodes_.empty(); }
+  size_t node_count() const { return nodes_.size(); }
+  NodeId root() const { return 0; }
+
+  const XmlNode& node(NodeId id) const { return nodes_[id]; }
+  NodeId parent(NodeId id) const { return nodes_[id].parent; }
+  uint32_t level(NodeId id) const { return nodes_[id].level; }
+  const std::string& text(NodeId id) const { return nodes_[id].text; }
+
+  /// Deepest level present in the tree (>= 1 once a root exists).
+  uint32_t max_level() const { return max_level_; }
+
+  /// Tag name of `id` ("conference", "paper", ...).
+  const std::string& TagName(NodeId id) const {
+    return tag_names_[nodes_[id].tag_id];
+  }
+  uint32_t tag_id(NodeId id) const { return nodes_[id].tag_id; }
+
+  /// Number of distinct tag names seen.
+  size_t tag_count() const { return tag_names_.size(); }
+
+  /// Attributes in insertion order (grouped by node because elements are
+  /// built one at a time).
+  const std::vector<XmlAttr>& attributes() const { return attrs_; }
+
+  /// Attributes of one node (linear scan over the contiguous group; the
+  /// parser attaches all attributes before moving to the next element).
+  std::vector<const XmlAttr*> AttributesOf(NodeId id) const;
+
+  /// Children ids of `id` in document order.
+  std::vector<NodeId> Children(NodeId id) const;
+
+  /// True iff `anc` is a proper ancestor of `node` (or equal when
+  /// `or_self`).
+  bool IsAncestor(NodeId anc, NodeId node, bool or_self = false) const;
+
+  /// Root-to-node path of node ids (path[0] = root, path.back() = id).
+  std::vector<NodeId> PathTo(NodeId id) const;
+
+  /// Serializes the subtree at `id` back to XML text (tests / examples).
+  std::string ToXmlString(NodeId id, int indent = 0) const;
+
+ private:
+  uint32_t InternTag(std::string_view tag);
+
+  std::vector<XmlNode> nodes_;
+  std::vector<XmlAttr> attrs_;
+  std::vector<std::string> tag_names_;
+  std::unordered_map<std::string, uint32_t> tag_ids_;
+  std::vector<NodeId> last_child_;  // fast AddChild appends
+  uint32_t max_level_ = 0;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_XML_XML_TREE_H_

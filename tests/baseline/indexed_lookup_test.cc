@@ -1,0 +1,94 @@
+#include "baseline/indexed_lookup.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "index/index_builder.h"
+#include "testing/corpus.h"
+#include "workload/dblp_gen.h"
+
+namespace xtopk {
+namespace {
+
+using testing::MakeSmallCorpus;
+using Ids = testing::SmallCorpusIds;
+
+class IndexedLookupTest : public ::testing::Test {
+ protected:
+  IndexedLookupTest() : tree_(MakeSmallCorpus()), builder_(tree_) {
+    index_ = builder_.BuildDeweyIndex();
+  }
+  std::set<NodeId> Nodes(const std::vector<SearchResult>& results) {
+    std::set<NodeId> out;
+    for (const auto& r : results) out.insert(r.node);
+    return out;
+  }
+  XmlTree tree_;
+  IndexBuilder builder_;
+  DeweyIndex index_;
+};
+
+TEST_F(IndexedLookupTest, ElcaMatchesHandChecked) {
+  IndexedLookupSearch search(tree_, index_);
+  auto results = search.Search({"xml", "data"});
+  EXPECT_EQ(Nodes(results), (std::set<NodeId>{Ids::kPaper0, Ids::kPaper1,
+                                              Ids::kP4Title, Ids::kDb}));
+}
+
+TEST_F(IndexedLookupTest, SlcaMatchesHandChecked) {
+  IndexedLookupOptions options;
+  options.semantics = Semantics::kSlca;
+  IndexedLookupSearch search(tree_, index_, options);
+  auto results = search.Search({"xml", "data"});
+  EXPECT_EQ(Nodes(results),
+            (std::set<NodeId>{Ids::kPaper0, Ids::kPaper1, Ids::kP4Title}));
+}
+
+TEST_F(IndexedLookupTest, ProbesScaleWithShortestList) {
+  // The defining cost property (paper §II-C): work scales with the
+  // shortest list's length, not the longest.
+  DblpGenOptions gen;
+  gen.planted = {{"tiny", 8, "", 0.0}, {"huge", 4000, "", 0.0}};
+  DblpCorpus corpus = GenerateDblp(gen);
+  IndexBuilder builder(corpus.tree);
+  DeweyIndex dindex = builder.BuildDeweyIndex();
+
+  IndexedLookupOptions options;
+  options.semantics = Semantics::kSlca;
+  IndexedLookupSearch search(corpus.tree, dindex, options);
+  search.Search({"tiny", "huge"});
+  // One closest-occurrence probe per driving-list row per other keyword.
+  EXPECT_EQ(search.stats().probes, 8u);
+}
+
+TEST_F(IndexedLookupTest, ElcaExpandsAncestorCandidates) {
+  IndexedLookupSearch search(tree_, index_);
+  search.Search({"xml", "data"});
+  // ELCA answers can sit above the per-occurrence candidates, so the
+  // candidate set includes ancestors: strictly more candidates than
+  // driving-list rows.
+  EXPECT_GT(search.stats().candidates, index_.Frequency("xml"));
+  EXPECT_GT(search.stats().eval.range_probes, 0u);
+}
+
+TEST_F(IndexedLookupTest, ScoresOptionalButCorrect) {
+  IndexedLookupOptions with, without;
+  with.compute_scores = true;
+  without.compute_scores = false;
+  IndexedLookupSearch a(tree_, index_, with), b(tree_, index_, without);
+  auto scored = a.Search({"xml", "data"});
+  auto bare = b.Search({"xml", "data"});
+  ASSERT_EQ(scored.size(), bare.size());
+  for (const auto& r : scored) EXPECT_GT(r.score, 0.0);
+  for (const auto& r : bare) EXPECT_EQ(r.score, 0.0);
+}
+
+TEST_F(IndexedLookupTest, EmptyAndMissingInputs) {
+  IndexedLookupSearch search(tree_, index_);
+  EXPECT_TRUE(search.Search({}).empty());
+  EXPECT_TRUE(search.Search({"xml", "missing"}).empty());
+}
+
+}  // namespace
+}  // namespace xtopk

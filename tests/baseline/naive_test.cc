@@ -1,0 +1,86 @@
+#include "baseline/naive.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "index/index_builder.h"
+#include "testing/corpus.h"
+
+namespace xtopk {
+namespace {
+
+using testing::MakeSmallCorpus;
+using Ids = testing::SmallCorpusIds;
+
+class NaiveTest : public ::testing::Test {
+ protected:
+  NaiveTest() : tree_(MakeSmallCorpus()), builder_(tree_) {
+    index_ = builder_.BuildDeweyIndex();
+  }
+  XmlTree tree_;
+  IndexBuilder builder_;
+  DeweyIndex index_;
+};
+
+TEST_F(NaiveTest, ElcaBySpec) {
+  NaiveOracle oracle(tree_, index_);
+  auto results = oracle.Search({"xml", "data"}, Semantics::kElca);
+  std::set<NodeId> nodes;
+  for (const auto& r : results) nodes.insert(r.node);
+  // Recursive semantics: db keeps p2t's xml and p3t's data (conf0/conf1
+  // are not ELCAs, so nothing at level 2 consumes them).
+  EXPECT_EQ(nodes, (std::set<NodeId>{Ids::kPaper0, Ids::kPaper1,
+                                     Ids::kP4Title, Ids::kDb}));
+}
+
+TEST_F(NaiveTest, SlcaBySpec) {
+  NaiveOracle oracle(tree_, index_);
+  auto results = oracle.Search({"xml", "data"}, Semantics::kSlca);
+  std::set<NodeId> nodes;
+  for (const auto& r : results) nodes.insert(r.node);
+  EXPECT_EQ(nodes,
+            (std::set<NodeId>{Ids::kPaper0, Ids::kPaper1, Ids::kP4Title}));
+}
+
+TEST_F(NaiveTest, ScoresAreSumsOfDampedMaxima) {
+  NaiveOracle oracle(tree_, index_);
+  auto results = oracle.Search({"xml", "data"}, Semantics::kElca);
+  const DeweyList* xml = index_.GetList("xml");
+  const DeweyList* data = index_.GetList("data");
+  float xml_p0 = 0, data_p0 = 0;
+  for (uint32_t r = 0; r < xml->num_rows(); ++r) {
+    if (xml->nodes[r] == Ids::kPaper0) xml_p0 = xml->scores[r];
+  }
+  for (uint32_t r = 0; r < data->num_rows(); ++r) {
+    if (data->nodes[r] == Ids::kPaper0) data_p0 = data->scores[r];
+  }
+  // paper0 contains both keywords directly: no damping at all.
+  for (const auto& r : results) {
+    if (r.node == Ids::kPaper0) {
+      EXPECT_NEAR(r.score, xml_p0 + data_p0, 1e-9);
+    }
+  }
+}
+
+TEST_F(NaiveTest, AllLcasIsTheFullCrossProduct) {
+  // The paper's motivating blow-up (§I): a two-keyword query produces
+  // |L_xml| x |L_data| LCAs (with duplicates).
+  NaiveOracle oracle(tree_, index_);
+  auto lcas = oracle.AllLcas({"xml", "data"});
+  EXPECT_EQ(lcas.size(), 4u * 4u);
+  // And far fewer distinct ELCAs: the pruning is the whole point.
+  std::set<NodeId> distinct(lcas.begin(), lcas.end());
+  auto elcas = oracle.Search({"xml", "data"}, Semantics::kElca);
+  EXPECT_LT(elcas.size(), lcas.size());
+  EXPECT_GE(distinct.size(), elcas.size());
+}
+
+TEST_F(NaiveTest, MissingKeywordEmpty) {
+  NaiveOracle oracle(tree_, index_);
+  EXPECT_TRUE(oracle.Search({"xml", "zzz"}, Semantics::kElca).empty());
+  EXPECT_TRUE(oracle.AllLcas({"zzz"}).empty());
+}
+
+}  // namespace
+}  // namespace xtopk

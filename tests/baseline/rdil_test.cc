@@ -1,0 +1,105 @@
+#include "baseline/rdil.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/naive.h"
+#include "core/search_result.h"
+#include "index/index_builder.h"
+#include "testing/corpus.h"
+
+namespace xtopk {
+namespace {
+
+using testing::MakeRandomTree;
+using testing::MakeSmallCorpus;
+
+struct Built {
+  std::unique_ptr<XmlTree> tree;
+  std::unique_ptr<IndexBuilder> builder;
+  std::unique_ptr<DeweyIndex> dindex;
+  std::unique_ptr<RdilIndex> rdil;
+};
+
+Built Build(XmlTree tree) {
+  Built b;
+  b.tree = std::make_unique<XmlTree>(std::move(tree));
+  IndexBuildOptions options;
+  options.index_tag_names = false;
+  b.builder = std::make_unique<IndexBuilder>(*b.tree, options);
+  b.dindex = std::make_unique<DeweyIndex>(b.builder->BuildDeweyIndex());
+  b.rdil = std::make_unique<RdilIndex>(b.builder->BuildRdilIndex(*b.dindex));
+  return b;
+}
+
+std::vector<SearchResult> OracleTopK(const XmlTree& tree,
+                                     const DeweyIndex& index,
+                                     const std::vector<std::string>& terms,
+                                     Semantics semantics, size_t k) {
+  NaiveOracle oracle(tree, index);
+  auto results = oracle.Search(terms, semantics);
+  SortByScoreDesc(&results);
+  if (results.size() > k) results.resize(k);
+  return results;
+}
+
+TEST(RdilTest, TopKMatchesOracleOnRandomTrees) {
+  for (uint64_t seed = 40; seed < 52; ++seed) {
+    Built b = Build(
+        MakeRandomTree(seed, 150 + (seed % 4) * 100, 4, 7, {"alpha", "beta"},
+                       0.15));
+    for (Semantics semantics : {Semantics::kElca, Semantics::kSlca}) {
+      RdilOptions options;
+      options.semantics = semantics;
+      options.k = 5;
+      RdilSearch search(*b.tree, *b.rdil, options);
+      auto got = search.Search({"alpha", "beta"});
+      auto want =
+          OracleTopK(*b.tree, *b.dindex, {"alpha", "beta"}, semantics, 5);
+      ASSERT_EQ(got.size(), want.size()) << "seed " << seed;
+      for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_NEAR(got[i].score, want[i].score, 1e-6)
+            << "seed " << seed << " pos " << i;
+      }
+    }
+  }
+}
+
+TEST(RdilTest, ThreeKeywords) {
+  Built b = Build(
+      MakeRandomTree(60, 300, 4, 6, {"alpha", "beta", "gamma"}, 0.2));
+  RdilOptions options;
+  options.k = 10;
+  RdilSearch search(*b.tree, *b.rdil, options);
+  auto got = search.Search({"alpha", "beta", "gamma"});
+  auto want = OracleTopK(*b.tree, *b.dindex, {"alpha", "beta", "gamma"},
+                         Semantics::kElca, 10);
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].score, want[i].score, 1e-6) << i;
+  }
+}
+
+TEST(RdilTest, StatsShowOutOfOrderVerificationCost) {
+  Built b = Build(MakeRandomTree(61, 600, 4, 6, {"alpha", "beta"}, 0.2));
+  RdilOptions options;
+  options.k = 3;
+  RdilSearch search(*b.tree, *b.rdil, options);
+  auto results = search.Search({"alpha", "beta"});
+  ASSERT_FALSE(results.empty());
+  const RdilStats& stats = search.stats();
+  EXPECT_GT(stats.entries_read, 0u);
+  EXPECT_GT(stats.btree_probes, 0u);
+  EXPECT_GT(stats.candidates_checked, 0u);
+  EXPECT_GT(stats.eval.range_probes, 0u);
+}
+
+TEST(RdilTest, MissingKeywordEmpty) {
+  Built b = Build(MakeSmallCorpus());
+  RdilSearch search(*b.tree, *b.rdil, RdilOptions{});
+  EXPECT_TRUE(search.Search({"xml", "zzz"}).empty());
+}
+
+}  // namespace
+}  // namespace xtopk

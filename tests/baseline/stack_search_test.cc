@@ -1,0 +1,98 @@
+#include "baseline/stack_search.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "index/index_builder.h"
+#include "testing/corpus.h"
+
+namespace xtopk {
+namespace {
+
+using testing::MakeSmallCorpus;
+using Ids = testing::SmallCorpusIds;
+
+class StackSearchTest : public ::testing::Test {
+ protected:
+  StackSearchTest() : tree_(MakeSmallCorpus()), builder_(tree_) {
+    index_ = builder_.BuildDeweyIndex();
+  }
+  std::set<NodeId> Nodes(const std::vector<SearchResult>& results) {
+    std::set<NodeId> out;
+    for (const auto& r : results) out.insert(r.node);
+    return out;
+  }
+  XmlTree tree_;
+  IndexBuilder builder_;
+  DeweyIndex index_;
+};
+
+TEST_F(StackSearchTest, ElcaMatchesHandChecked) {
+  StackSearch search(tree_, index_);
+  auto results = search.Search({"xml", "data"});
+  EXPECT_EQ(Nodes(results), (std::set<NodeId>{Ids::kPaper0, Ids::kPaper1,
+                                              Ids::kP4Title, Ids::kDb}));
+}
+
+TEST_F(StackSearchTest, SlcaMatchesHandChecked) {
+  StackSearchOptions options;
+  options.semantics = Semantics::kSlca;
+  StackSearch search(tree_, index_, options);
+  auto results = search.Search({"xml", "data"});
+  EXPECT_EQ(Nodes(results),
+            (std::set<NodeId>{Ids::kPaper0, Ids::kPaper1, Ids::kP4Title}));
+}
+
+TEST_F(StackSearchTest, ResultsComeOutInDocumentOrderOfPops) {
+  // The merge is document-ordered; a frame is decided when it is popped,
+  // so results are ordered by subtree end — descendants before ancestors.
+  StackSearch search(tree_, index_);
+  auto results = search.Search({"xml", "data"});
+  ASSERT_EQ(results.size(), 4u);
+  // db (the root) pops last.
+  EXPECT_EQ(results.back().node, Ids::kDb);
+}
+
+TEST_F(StackSearchTest, ScansEveryIdRegardlessOfQueryShape) {
+  // The defining cost property (paper §II-C): all input lists are always
+  // scanned completely.
+  StackSearch a(tree_, index_);
+  a.Search({"xml", "data"});
+  EXPECT_EQ(a.stats().ids_scanned,
+            index_.Frequency("xml") + index_.Frequency("data"));
+  StackSearch b(tree_, index_);
+  b.Search({"xml", "data", "title"});
+  EXPECT_EQ(b.stats().ids_scanned, index_.Frequency("xml") +
+                                       index_.Frequency("data") +
+                                       index_.Frequency("title"));
+}
+
+TEST_F(StackSearchTest, FramesBoundedByPathsPushed) {
+  StackSearch search(tree_, index_);
+  search.Search({"xml", "data"});
+  // Every pushed frame is one path component of some occurrence; with 8
+  // occurrences at depth <= 4 the count is well under 32.
+  EXPECT_GT(search.stats().frames_pushed, 0u);
+  EXPECT_LE(search.stats().frames_pushed, 32u);
+}
+
+TEST_F(StackSearchTest, EmptyAndMissingInputs) {
+  StackSearch search(tree_, index_);
+  EXPECT_TRUE(search.Search({}).empty());
+  EXPECT_TRUE(search.Search({"xml", "missing"}).empty());
+}
+
+TEST_F(StackSearchTest, SharedOccurrenceNodeAcrossKeywords) {
+  // paper0 and p4t carry both keywords in one node: the merge sees the
+  // same Dewey id from two lists back to back and must fold both flags
+  // into one frame.
+  StackSearch search(tree_, index_);
+  auto results = search.Search({"xml", "data"});
+  std::set<NodeId> nodes = Nodes(results);
+  EXPECT_TRUE(nodes.count(Ids::kPaper0) > 0);
+  EXPECT_TRUE(nodes.count(Ids::kP4Title) > 0);
+}
+
+}  // namespace
+}  // namespace xtopk

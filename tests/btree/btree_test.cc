@@ -1,0 +1,167 @@
+#include "btree/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "util/rng.h"
+
+namespace xtopk {
+namespace {
+
+std::string Key(uint32_t v) {
+  char buf[5];
+  buf[0] = static_cast<char>((v >> 24) & 0xFF);
+  buf[1] = static_cast<char>((v >> 16) & 0xFF);
+  buf[2] = static_cast<char>((v >> 8) & 0xFF);
+  buf[3] = static_cast<char>(v & 0xFF);
+  return std::string(buf, 4);
+}
+
+TEST(BTreeTest, InsertAndFind) {
+  BTree tree(8);
+  for (uint32_t i = 0; i < 1000; ++i) tree.Insert(Key(i * 2), i);
+  EXPECT_EQ(tree.size(), 1000u);
+  ASSERT_TRUE(tree.Validate().ok());
+  for (uint32_t i = 0; i < 1000; ++i) {
+    const uint64_t* v = tree.Find(Key(i * 2));
+    ASSERT_NE(v, nullptr) << i;
+    EXPECT_EQ(*v, i);
+    EXPECT_EQ(tree.Find(Key(i * 2 + 1)), nullptr);
+  }
+}
+
+TEST(BTreeTest, OverwriteKeepsSize) {
+  BTree tree(8);
+  tree.Insert("k", 1);
+  tree.Insert("k", 2);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(*tree.Find("k"), 2u);
+}
+
+TEST(BTreeTest, LowerBoundAndIteration) {
+  BTree tree(6);
+  for (uint32_t i = 1; i <= 100; ++i) tree.Insert(Key(i * 10), i);
+  auto it = tree.LowerBound(Key(55));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), Key(60));
+  it = tree.LowerBound(Key(60));
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), Key(60));
+  // Full ascending iteration from Begin.
+  it = tree.Begin();
+  uint32_t expect = 1;
+  while (it.Valid()) {
+    EXPECT_EQ(it.key(), Key(expect * 10));
+    it.Next();
+    ++expect;
+  }
+  EXPECT_EQ(expect, 101u);
+}
+
+TEST(BTreeTest, LowerBoundPastEndInvalid) {
+  BTree tree(6);
+  tree.Insert(Key(5), 1);
+  EXPECT_FALSE(tree.LowerBound(Key(6)).Valid());
+}
+
+TEST(BTreeTest, PrevWalksBackwards) {
+  BTree tree(4);
+  for (uint32_t i = 0; i < 50; ++i) tree.Insert(Key(i), i);
+  auto it = tree.LowerBound(Key(25));
+  ASSERT_TRUE(it.Valid());
+  it.Prev();
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), Key(24));
+  // Walk all the way back.
+  uint32_t expect = 24;
+  while (it.Valid()) {
+    EXPECT_EQ(it.key(), Key(expect));
+    it.Prev();
+    if (expect == 0) break;
+    --expect;
+  }
+  EXPECT_EQ(expect, 0u);
+}
+
+TEST(BTreeTest, LastReturnsMaximum) {
+  BTree tree(4);
+  EXPECT_FALSE(tree.Last().Valid());
+  for (uint32_t i = 0; i < 77; ++i) tree.Insert(Key(i * 3), i);
+  auto it = tree.Last();
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), Key(76 * 3));
+}
+
+TEST(BTreeTest, EmptyTree) {
+  BTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.Find("x"), nullptr);
+  EXPECT_FALSE(tree.Begin().Valid());
+  EXPECT_FALSE(tree.LowerBound("a").Valid());
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(BTreeTest, RandomizedAgainstStdMap) {
+  Rng rng(2024);
+  BTree tree(16);
+  std::map<std::string, uint64_t> reference;
+  for (int i = 0; i < 20000; ++i) {
+    uint32_t k = static_cast<uint32_t>(rng.NextBounded(50000));
+    tree.Insert(Key(k), i);
+    reference[Key(k)] = static_cast<uint64_t>(i);
+  }
+  EXPECT_EQ(tree.size(), reference.size());
+  ASSERT_TRUE(tree.Validate().ok());
+  // Point lookups.
+  for (int i = 0; i < 2000; ++i) {
+    uint32_t k = static_cast<uint32_t>(rng.NextBounded(50000));
+    auto ref = reference.find(Key(k));
+    const uint64_t* got = tree.Find(Key(k));
+    if (ref == reference.end()) {
+      EXPECT_EQ(got, nullptr);
+    } else {
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(*got, ref->second);
+    }
+  }
+  // Lower-bound probes.
+  for (int i = 0; i < 2000; ++i) {
+    uint32_t k = static_cast<uint32_t>(rng.NextBounded(51000));
+    auto ref = reference.lower_bound(Key(k));
+    auto got = tree.LowerBound(Key(k));
+    if (ref == reference.end()) {
+      EXPECT_FALSE(got.Valid());
+    } else {
+      ASSERT_TRUE(got.Valid());
+      EXPECT_EQ(got.key(), ref->first);
+    }
+  }
+  // Full scan order.
+  auto it = tree.Begin();
+  for (const auto& [key, value] : reference) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key(), key);
+    EXPECT_EQ(it.value(), value);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(BTreeTest, HeightGrowsLogarithmically) {
+  BTree tree(16);
+  for (uint32_t i = 0; i < 10000; ++i) tree.Insert(Key(i), i);
+  EXPECT_GE(tree.height(), 3u);
+  EXPECT_LE(tree.height(), 6u);
+}
+
+TEST(BTreeTest, EncodedSizeScalesWithEntries) {
+  BTree small(64), large(64);
+  for (uint32_t i = 0; i < 100; ++i) small.Insert(Key(i), i);
+  for (uint32_t i = 0; i < 10000; ++i) large.Insert(Key(i), i);
+  EXPECT_GT(large.EncodedSizeBytes(), small.EncodedSizeBytes() * 50);
+}
+
+}  // namespace
+}  // namespace xtopk

@@ -1,0 +1,92 @@
+// Complexity sanity checks against the paper's §III-C cost analysis, via
+// the operator counters: the index join's probe count scales with the
+// shortest list; the merge join's cursor steps with the total input.
+
+#include <gtest/gtest.h>
+
+#include "core/join_search.h"
+#include "baseline/stack_search.h"
+#include "index/index_builder.h"
+#include "workload/dblp_gen.h"
+
+namespace xtopk {
+namespace {
+
+struct Counts {
+  uint64_t probes = 0;
+  uint64_t comparisons = 0;
+};
+
+Counts RunQuery(const JDeweyIndex& index, JoinPolicy policy,
+           const std::vector<std::string>& query) {
+  JoinSearchOptions options;
+  options.compute_scores = false;
+  options.planner.policy = policy;
+  JoinSearch search(index, options);
+  search.Search(query);
+  return Counts{search.stats().join_ops.probes,
+                search.stats().join_ops.run_comparisons};
+}
+
+TEST(ComplexityTest, IndexJoinProbesScaleWithShortList) {
+  DblpGenOptions gen;
+  gen.planted = {
+      {"short1", 50, "", 0.0},  {"short2", 200, "", 0.0},
+      {"long1", 5000, "", 0.0},
+  };
+  DblpCorpus corpus = GenerateDblp(gen);
+  IndexBuilder builder(corpus.tree);
+  JDeweyIndex index = builder.BuildJDeweyIndex();
+
+  // O(k |L_1| log |L|): quadrupling the short list roughly quadruples the
+  // probes; the long list's size only enters logarithmically.
+  Counts a = RunQuery(index, JoinPolicy::kForceIndex, {"short1", "long1"});
+  Counts b = RunQuery(index, JoinPolicy::kForceIndex, {"short2", "long1"});
+  EXPECT_GT(a.probes, 0u);
+  double ratio = static_cast<double>(b.probes) / a.probes;
+  EXPECT_GT(ratio, 2.0);
+  EXPECT_LT(ratio, 8.0);
+}
+
+TEST(ComplexityTest, MergeJoinComparisonsScaleWithTotalInput) {
+  DblpGenOptions gen;
+  gen.planted = {
+      {"medium", 1000, "", 0.0},
+      {"big1", 4000, "", 0.0},
+      {"big2", 16000, "", 0.0},
+  };
+  DblpCorpus corpus = GenerateDblp(gen);
+  IndexBuilder builder(corpus.tree);
+  JDeweyIndex index = builder.BuildJDeweyIndex();
+
+  // O(Σ |L_j|): swapping the big list for a 4x bigger one must grow the
+  // cursor steps substantially (they track the longer input).
+  Counts a = RunQuery(index, JoinPolicy::kForceMerge, {"medium", "big1"});
+  Counts b = RunQuery(index, JoinPolicy::kForceMerge, {"medium", "big2"});
+  EXPECT_GT(a.comparisons, 0u);
+  EXPECT_GT(b.comparisons, a.comparisons * 2);
+}
+
+TEST(ComplexityTest, StackScanIsBoundByTheLongestList) {
+  // §V-B: "its execution time is bound by the keyword with the highest
+  // frequency" — the merged id count equals the total rows regardless of
+  // the short list's size.
+  DblpGenOptions gen;
+  gen.planted = {
+      {"tiny", 10, "", 0.0},
+      {"large", 8000, "", 0.0},
+  };
+  DblpCorpus corpus = GenerateDblp(gen);
+  IndexBuilder builder(corpus.tree);
+  JDeweyIndex jindex = builder.BuildJDeweyIndex();
+  (void)jindex;
+  DeweyIndex dindex = builder.BuildDeweyIndex();
+  StackSearchOptions options;
+  options.compute_scores = false;
+  StackSearch search(corpus.tree, dindex, options);
+  search.Search({"tiny", "large"});
+  EXPECT_EQ(search.stats().ids_scanned, 10u + 8000u);
+}
+
+}  // namespace
+}  // namespace xtopk

@@ -1,0 +1,81 @@
+// Concurrent read-path test: the index structures are immutable after
+// construction, and every search object keeps its own state, so parallel
+// queries over one shared index must be safe and deterministic. (Run under
+// TSan when available; here we assert determinism of results.)
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/join_search.h"
+#include "core/topk_search.h"
+#include "index/index_builder.h"
+#include "testing/corpus.h"
+
+namespace xtopk {
+namespace {
+
+TEST(ConcurrencyTest, ParallelQueriesOverSharedIndex) {
+  XmlTree tree = testing::MakeRandomTree(321, 1500, 4, 7,
+                                         {"alpha", "beta", "gamma"}, 0.12);
+  IndexBuildOptions build_options;
+  build_options.index_tag_names = false;
+  IndexBuilder builder(tree, build_options);
+  JDeweyIndex jindex = builder.BuildJDeweyIndex();
+  TopKIndex topk_index = builder.BuildTopKIndex(jindex);
+
+  // Reference results, single-threaded.
+  JoinSearch ref_join(jindex);
+  auto ref_complete = ref_join.Search({"alpha", "beta"});
+  TopKSearchOptions topk_options;
+  topk_options.k = 5;
+  TopKSearch ref_topk(topk_index, topk_options);
+  auto ref_top = ref_topk.Search({"alpha", "beta", "gamma"});
+
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 20;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kItersPerThread; ++i) {
+        if ((t + i) % 2 == 0) {
+          JoinSearch search(jindex);
+          auto got = search.Search({"alpha", "beta"});
+          if (got.size() != ref_complete.size()) {
+            ++mismatches;
+            continue;
+          }
+          for (size_t j = 0; j < got.size(); ++j) {
+            if (got[j].node != ref_complete[j].node ||
+                got[j].score != ref_complete[j].score) {
+              ++mismatches;
+              break;
+            }
+          }
+        } else {
+          TopKSearch search(topk_index, topk_options);
+          auto got = search.Search({"alpha", "beta", "gamma"});
+          if (got.size() != ref_top.size()) {
+            ++mismatches;
+            continue;
+          }
+          for (size_t j = 0; j < got.size(); ++j) {
+            if (got[j].score != ref_top[j].score) {
+              ++mismatches;
+              break;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace xtopk

@@ -1,0 +1,87 @@
+#include "core/hybrid.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "index/index_builder.h"
+#include "testing/corpus.h"
+
+namespace xtopk {
+namespace {
+
+using testing::MakeRandomTree;
+
+// Heap-held pieces so cross-references stay valid when Built moves.
+struct Built {
+  std::unique_ptr<XmlTree> tree;
+  std::unique_ptr<IndexBuilder> builder;
+  std::unique_ptr<JDeweyIndex> jindex;
+  std::unique_ptr<TopKIndex> topk;
+};
+
+Built Build(uint64_t seed, size_t nodes, double term_prob) {
+  Built b;
+  b.tree = std::make_unique<XmlTree>(
+      MakeRandomTree(seed, nodes, 4, 6, {"alpha", "beta"}, term_prob));
+  IndexBuildOptions options;
+  options.index_tag_names = false;
+  b.builder = std::make_unique<IndexBuilder>(*b.tree, options);
+  b.jindex = std::make_unique<JDeweyIndex>(b.builder->BuildJDeweyIndex());
+  b.topk = std::make_unique<TopKIndex>(b.builder->BuildTopKIndex(*b.jindex));
+  return b;
+}
+
+TEST(HybridTest, HighCorrelationPicksTopKJoin) {
+  Built b = Build(1, 1500, 0.3);
+  HybridSearch search(*b.topk);
+  auto results = search.Search({"alpha", "beta"});
+  EXPECT_TRUE(search.decision().used_topk_join);
+  EXPECT_GT(search.decision().estimated_results, 8.0);
+  EXPECT_FALSE(results.empty());
+}
+
+TEST(HybridTest, LowCorrelationPicksCompleteJoin) {
+  Built b = Build(2, 1500, 0.004);
+  HybridSearch search(*b.topk);
+  search.Search({"alpha", "beta"});
+  EXPECT_FALSE(search.decision().used_topk_join);
+}
+
+TEST(HybridTest, BothPlansReturnTheSameTopK) {
+  for (uint64_t seed : {3ull, 4ull, 5ull}) {
+    Built b = Build(seed, 800, 0.15);
+    HybridOptions low, high;
+    low.topk_min_estimated_results = 0.0;   // force top-K join
+    high.topk_min_estimated_results = 1e18;  // force complete join
+    HybridSearch topk_plan(*b.topk, low), complete_plan(*b.topk, high);
+    auto a = topk_plan.Search({"alpha", "beta"});
+    auto c = complete_plan.Search({"alpha", "beta"});
+    EXPECT_TRUE(topk_plan.decision().used_topk_join);
+    EXPECT_FALSE(complete_plan.decision().used_topk_join);
+    ASSERT_EQ(a.size(), c.size()) << seed;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_NEAR(a[i].score, c[i].score, 1e-6) << seed << " pos " << i;
+    }
+  }
+}
+
+TEST(HybridTest, EstimateTracksActualCardinality) {
+  // Dense co-occurrence must estimate well above sparse co-occurrence.
+  Built dense = Build(6, 1000, 0.25);
+  Built sparse = Build(7, 1000, 0.01);
+  HybridSearch dense_search(*dense.topk), sparse_search(*sparse.topk);
+  double dense_est = dense_search.EstimateResultCount({"alpha", "beta"});
+  double sparse_est = sparse_search.EstimateResultCount({"alpha", "beta"});
+  EXPECT_GT(dense_est, sparse_est);
+}
+
+TEST(HybridTest, MissingKeywordEstimatesZero) {
+  Built b = Build(8, 200, 0.2);
+  HybridSearch search(*b.topk);
+  EXPECT_EQ(search.EstimateResultCount({"alpha", "zzz"}), 0.0);
+  EXPECT_TRUE(search.Search({"alpha", "zzz"}).empty());
+}
+
+}  // namespace
+}  // namespace xtopk

@@ -1,0 +1,103 @@
+#include "core/join_ops.h"
+
+#include <gtest/gtest.h>
+
+#include "core/join_planner.h"
+#include "util/rng.h"
+
+namespace xtopk {
+namespace {
+
+Column MakeColumn(std::initializer_list<std::pair<uint32_t, uint32_t>> rows) {
+  Column col;
+  for (auto [row, value] : rows) col.Append(row, value);
+  return col;
+}
+
+Column RandomColumn(uint64_t seed, uint32_t values, double keep_prob) {
+  Rng rng(seed);
+  Column col;
+  uint32_t row = 0;
+  for (uint32_t v = 1; v <= values; ++v) {
+    if (!rng.NextBernoulli(keep_prob)) continue;
+    uint32_t count = 1 + static_cast<uint32_t>(rng.NextBounded(3));
+    for (uint32_t i = 0; i < count; ++i) col.Append(row++, v);
+  }
+  return col;
+}
+
+TEST(JoinOpsTest, SeedMatchesMirrorsRuns) {
+  Column col = MakeColumn({{0, 2}, {1, 2}, {2, 5}});
+  auto matches = SeedMatches(col);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].value, 2u);
+  EXPECT_EQ(matches[0].runs[0]->count, 2u);
+  EXPECT_EQ(matches[1].value, 5u);
+}
+
+TEST(JoinOpsTest, MergeIntersectKeepsCommonValues) {
+  Column a = MakeColumn({{0, 1}, {1, 3}, {2, 5}, {3, 7}});
+  Column b = MakeColumn({{0, 3}, {1, 4}, {2, 7}, {3, 9}});
+  JoinOpStats stats;
+  auto matches = MergeIntersect(SeedMatches(a), b, &stats);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].value, 3u);
+  EXPECT_EQ(matches[1].value, 7u);
+  ASSERT_EQ(matches[0].runs.size(), 2u);
+  EXPECT_EQ(stats.merge_joins, 1u);
+  EXPECT_GT(stats.run_comparisons, 0u);
+}
+
+TEST(JoinOpsTest, IndexIntersectEquivalentToMerge) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Column a = RandomColumn(seed, 200, 0.3);
+    Column b = RandomColumn(seed + 100, 200, 0.6);
+    JoinOpStats s1, s2;
+    auto merged = MergeIntersect(SeedMatches(a), b, &s1);
+    auto probed = IndexIntersect(SeedMatches(a), b, &s2);
+    ASSERT_EQ(merged.size(), probed.size()) << seed;
+    for (size_t i = 0; i < merged.size(); ++i) {
+      EXPECT_EQ(merged[i].value, probed[i].value);
+      EXPECT_EQ(merged[i].runs[1], probed[i].runs[1]);
+    }
+    EXPECT_EQ(s2.index_joins, 1u);
+    EXPECT_EQ(s2.probes, a.run_count());
+  }
+}
+
+TEST(JoinOpsTest, EmptyInputsYieldEmpty) {
+  Column empty;
+  Column b = MakeColumn({{0, 1}});
+  JoinOpStats stats;
+  EXPECT_TRUE(MergeIntersect(SeedMatches(empty), b, &stats).empty());
+  EXPECT_TRUE(IndexIntersect(SeedMatches(empty), b, &stats).empty());
+  EXPECT_TRUE(MergeIntersect(SeedMatches(b), empty, &stats).empty());
+}
+
+TEST(JoinPlannerTest, OrderIsShortestFirst) {
+  auto order = PlanJoinOrder({500, 10, 100});
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 0u);
+}
+
+TEST(JoinPlannerTest, OrderStableOnTies) {
+  auto order = PlanJoinOrder({10, 10, 5});
+  EXPECT_EQ(order[0], 2u);
+  EXPECT_EQ(order[1], 0u);
+  EXPECT_EQ(order[2], 1u);
+}
+
+TEST(JoinPlannerTest, DynamicPolicyUsesRatio) {
+  PlannerOptions options;  // ratio 16
+  EXPECT_TRUE(UseIndexJoin(10, 1000, options));
+  EXPECT_FALSE(UseIndexJoin(100, 1000, options));
+  options.policy = JoinPolicy::kForceMerge;
+  EXPECT_FALSE(UseIndexJoin(10, 1000000, options));
+  options.policy = JoinPolicy::kForceIndex;
+  EXPECT_TRUE(UseIndexJoin(1000000, 10, options));
+}
+
+}  // namespace
+}  // namespace xtopk

@@ -1,0 +1,128 @@
+// Ranking-semantics tests (paper §II-B): damping, compactness preference,
+// max-per-keyword aggregation, and monotonicity — checked through the full
+// pipeline, not just the scoring helpers.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/join_search.h"
+#include "index/index_builder.h"
+#include "xml/xml_parser.h"
+
+namespace xtopk {
+namespace {
+
+TEST(RankingTest, CompactSubtreesOutscoreSpreadOnes) {
+  // Two result subtrees with identical term statistics; in one the
+  // keywords sit right at the result node, in the other a level deeper.
+  // d(·) must rank the compact one higher (§II-B: "compact subtrees are
+  // more important").
+  XmlTree tree = ParseXmlStringOrDie(
+      "<db>"
+      "<r><x>apple banana</x></r>"
+      "<r><x><y>apple</y><z>banana</z></x></r>"
+      "</db>");
+  IndexBuildOptions options;
+  options.index_tag_names = false;
+  IndexBuilder builder(tree, options);
+  JDeweyIndex index = builder.BuildJDeweyIndex();
+  JoinSearch search(index);
+  auto results = search.Search({"apple", "banana"});
+  ASSERT_EQ(results.size(), 2u);
+  SortByScoreDesc(&results);
+  // The compact hit is the <x> whose text carries both terms (level 3);
+  // the spread hit is the second <x> (keywords one level below).
+  EXPECT_EQ(tree.level(results[0].node), 3u);
+  EXPECT_GT(results[0].score, results[1].score);
+  // With sum aggregation and one damping step, the ratio is exactly the
+  // damping base.
+  EXPECT_NEAR(results[1].score / results[0].score, 0.9, 1e-9);
+}
+
+TEST(RankingTest, SteeperDampingWidensTheGap) {
+  XmlTree tree = ParseXmlStringOrDie(
+      "<db>"
+      "<r><x>apple banana</x></r>"
+      "<r><x><y>apple</y><z>banana</z></x></r>"
+      "</db>");
+  IndexBuildOptions options;
+  options.index_tag_names = false;
+
+  auto gap = [&](double base) {
+    options.scoring.damping_base = base;
+    IndexBuilder builder(tree, options);
+    JDeweyIndex index = builder.BuildJDeweyIndex();
+    JoinSearchOptions search_options;
+    search_options.scoring.damping_base = base;
+    JoinSearch search(index, search_options);
+    auto results = search.Search({"apple", "banana"});
+    SortByScoreDesc(&results);
+    return results[0].score - results[1].score;
+  };
+  EXPECT_GT(gap(0.5), gap(0.9));
+}
+
+TEST(RankingTest, MaxPerKeywordNotSum) {
+  // One result subtree holds three occurrences of "apple"; §II-B: "F only
+  // takes the maximum score of the occurrences as the input", so a second
+  // and third occurrence at the same depth must not raise the score above
+  // a single-occurrence sibling with equal statistics.
+  XmlTree tree = ParseXmlStringOrDie(
+      "<db>"
+      "<r><p>apple</p><p>apple</p><p>apple</p><q>pear</q></r>"
+      "<r><p>apple</p><q>pear</q></r>"
+      "</db>");
+  IndexBuildOptions options;
+  options.index_tag_names = false;
+  IndexBuilder builder(tree, options);
+  JDeweyIndex index = builder.BuildJDeweyIndex();
+  JoinSearch search(index);
+  auto results = search.Search({"apple", "pear"});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_NEAR(results[0].score, results[1].score, 1e-9);
+}
+
+TEST(RankingTest, TfRaisesLocalScore) {
+  // Same shape, but one occurrence node repeats the keyword: tf-weighting
+  // must rank it higher.
+  XmlTree tree = ParseXmlStringOrDie(
+      "<db>"
+      "<r><p>apple apple apple</p><q>pear</q></r>"
+      "<r><p>apple</p><q>pear</q></r>"
+      "</db>");
+  IndexBuildOptions options;
+  options.index_tag_names = false;
+  IndexBuilder builder(tree, options);
+  JDeweyIndex index = builder.BuildJDeweyIndex();
+  JoinSearch search(index);
+  auto results = search.Search({"apple", "pear"});
+  ASSERT_EQ(results.size(), 2u);
+  SortByScoreDesc(&results);
+  EXPECT_GT(results[0].score, results[1].score);
+  // The winner is the first <r> (its <p> has tf=3).
+  EXPECT_LT(results[0].node, results[1].node);
+}
+
+TEST(RankingTest, RareTermsScoreHigherThanCommonOnes) {
+  // idf: with equal tf, a term occurring once outscores one occurring in
+  // many nodes.
+  std::string xml = "<db><r><p>rareword</p><q>anchor</q></r>";
+  for (int i = 0; i < 20; ++i) xml += "<f>commonword</f>";
+  xml += "<r><p>commonword</p><q>anchor</q></r></db>";
+  XmlTree tree = ParseXmlStringOrDie(xml);
+  IndexBuildOptions options;
+  options.index_tag_names = false;
+  IndexBuilder builder(tree, options);
+  JDeweyIndex index = builder.BuildJDeweyIndex();
+  JoinSearch search(index);
+  auto rare = search.Search({"rareword", "anchor"});
+  auto common = search.Search({"commonword", "anchor"});
+  ASSERT_FALSE(rare.empty());
+  ASSERT_FALSE(common.empty());
+  SortByScoreDesc(&rare);
+  SortByScoreDesc(&common);
+  EXPECT_GT(rare[0].score, common[0].score);
+}
+
+}  // namespace
+}  // namespace xtopk

@@ -1,0 +1,43 @@
+#include "core/scoring.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace xtopk {
+namespace {
+
+TEST(ScoringTest, RawLocalScoreMonotoneInTf) {
+  EXPECT_LT(RawLocalScore(1, 10, 1000), RawLocalScore(2, 10, 1000));
+  EXPECT_LT(RawLocalScore(2, 10, 1000), RawLocalScore(8, 10, 1000));
+}
+
+TEST(ScoringTest, RawLocalScoreDecreasesWithDf) {
+  EXPECT_GT(RawLocalScore(1, 5, 1000), RawLocalScore(1, 500, 1000));
+}
+
+TEST(ScoringTest, DampExponential) {
+  ScoringParams params;
+  params.damping_base = 0.9;
+  EXPECT_DOUBLE_EQ(Damp(params, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Damp(params, 1), 0.9);
+  EXPECT_NEAR(Damp(params, 3), 0.729, 1e-12);
+}
+
+TEST(ScoringTest, DampedScoreUsesLevelDistance) {
+  ScoringParams params;
+  params.damping_base = 0.5;
+  EXPECT_DOUBLE_EQ(DampedScore(params, 1.0, 5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(DampedScore(params, 1.0, 5, 3), 0.25);
+  EXPECT_DOUBLE_EQ(DampedScore(params, 0.8, 4, 1), 0.1);
+}
+
+TEST(ScoringTest, SumAggregationIsMonotone) {
+  // Monotonicity (paper §II-B): raising any component raises the sum.
+  double base = DampedScore({}, 0.5, 4, 2) + DampedScore({}, 0.4, 3, 2);
+  double raised = DampedScore({}, 0.6, 4, 2) + DampedScore({}, 0.4, 3, 2);
+  EXPECT_GT(raised, base);
+}
+
+}  // namespace
+}  // namespace xtopk

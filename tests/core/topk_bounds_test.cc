@@ -1,0 +1,100 @@
+// Soundness of the top-K search's static cross-column bounds (§IV-C): for
+// every level l, B(l) = Σ_i max damped score must upper-bound the score of
+// every actual result at that level — otherwise early emission could be
+// wrong. Checked against the complete search's scored results on random
+// corpora, together with the paper's column-skip inequality.
+
+#include <gtest/gtest.h>
+
+#include "core/join_search.h"
+#include "core/topk_search.h"
+#include "index/index_builder.h"
+#include "testing/corpus.h"
+
+namespace xtopk {
+namespace {
+
+struct BoundsCase {
+  uint64_t seed;
+  size_t nodes;
+  uint32_t max_depth;
+  double term_prob;
+  size_t k;
+};
+
+class TopKBoundsTest : public ::testing::TestWithParam<BoundsCase> {};
+
+TEST_P(TopKBoundsTest, ColumnBoundsDominateActualScores) {
+  const BoundsCase& c = GetParam();
+  std::vector<std::string> all_terms = {"alpha", "beta", "gamma"};
+  std::vector<std::string> terms(all_terms.begin(), all_terms.begin() + c.k);
+  XmlTree tree =
+      testing::MakeRandomTree(c.seed, c.nodes, 4, c.max_depth, terms,
+                              c.term_prob);
+  IndexBuildOptions build_options;
+  build_options.index_tag_names = false;
+  IndexBuilder builder(tree, build_options);
+  JDeweyIndex jindex = builder.BuildJDeweyIndex();
+  TopKIndex topk_index = builder.BuildTopKIndex(jindex);
+
+  std::vector<const TopKList*> lists;
+  for (const auto& term : terms) {
+    const TopKList* list = topk_index.GetList(term);
+    if (list == nullptr) return;  // term absent in this random tree
+    lists.push_back(list);
+  }
+  ScoringParams params;
+
+  // All scored results from the complete search.
+  JoinSearch search(jindex);
+  auto results = search.Search(terms);
+
+  for (const SearchResult& r : results) {
+    double bound = 0.0;
+    for (const TopKList* list : lists) {
+      bound += list->MaxDampedScoreAt(r.level, params);
+    }
+    ASSERT_GE(bound + 1e-9, r.score)
+        << "seed " << c.seed << " level " << r.level;
+  }
+
+  // Column-skip rule (§IV-C): when no list has a sequence ending exactly
+  // at level l, B(l) < B(l+1).
+  uint32_t max_level = 0;
+  for (const TopKList* list : lists) {
+    max_level = std::max<uint32_t>(max_level, list->base->max_length);
+  }
+  for (uint32_t l = 1; l + 1 <= max_level; ++l) {
+    bool any_ends_here = false;
+    for (const TopKList* list : lists) {
+      if (list->HasLength(l)) any_ends_here = true;
+    }
+    if (any_ends_here) continue;
+    double bl = 0.0, bl1 = 0.0;
+    for (const TopKList* list : lists) {
+      bl += list->MaxDampedScoreAt(l, params);
+      bl1 += list->MaxDampedScoreAt(l + 1, params);
+    }
+    if (bl1 > 0.0) {
+      ASSERT_LT(bl, bl1 + 1e-12) << "seed " << c.seed << " level " << l;
+      ASSERT_NEAR(bl, bl1 * params.damping_base, 1e-9)
+          << "seed " << c.seed << " level " << l;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, TopKBoundsTest,
+    ::testing::Values(BoundsCase{61, 200, 6, 0.25, 2},
+                      BoundsCase{62, 400, 8, 0.15, 2},
+                      BoundsCase{63, 400, 8, 0.15, 3},
+                      BoundsCase{64, 800, 10, 0.08, 2},
+                      BoundsCase{65, 800, 5, 0.2, 3},
+                      BoundsCase{66, 300, 12, 0.1, 2}),
+    [](const ::testing::TestParamInfo<BoundsCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "k" +
+             std::to_string(info.param.k);
+    });
+
+}  // namespace
+}  // namespace xtopk

@@ -1,0 +1,207 @@
+#include "core/topk_search.h"
+
+#include <gtest/gtest.h>
+
+#include "core/join_search.h"
+#include "index/index_builder.h"
+#include "testing/corpus.h"
+
+namespace xtopk {
+namespace {
+
+using testing::MakeRandomTree;
+using testing::MakeSmallCorpus;
+using Ids = testing::SmallCorpusIds;
+
+/// Reference: complete join-based search, scored, sorted, truncated.
+std::vector<SearchResult> CompleteTopK(const JDeweyIndex& index,
+                                       const std::vector<std::string>& terms,
+                                       Semantics semantics, size_t k) {
+  JoinSearchOptions options;
+  options.semantics = semantics;
+  JoinSearch search(index, options);
+  auto results = search.Search(terms);
+  SortByScoreDesc(&results);
+  if (results.size() > k) results.resize(k);
+  return results;
+}
+
+TEST(TopKSearchTest, SmallCorpusTop2Elca) {
+  XmlTree tree = MakeSmallCorpus();
+  IndexBuilder builder(tree);
+  JDeweyIndex jindex = builder.BuildJDeweyIndex();
+  TopKIndex topk = builder.BuildTopKIndex(jindex);
+
+  TopKSearchOptions options;
+  options.k = 2;
+  TopKSearch search(topk, options);
+  auto got = search.Search({"xml", "data"});
+  auto want = CompleteTopK(jindex, {"xml", "data"}, Semantics::kElca, 2);
+  ASSERT_EQ(got.size(), 2u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].node, want[i].node);
+    EXPECT_NEAR(got[i].score, want[i].score, 1e-9);
+  }
+}
+
+TEST(TopKSearchTest, KLargerThanResultSetReturnsAll) {
+  XmlTree tree = MakeSmallCorpus();
+  IndexBuilder builder(tree);
+  JDeweyIndex jindex = builder.BuildJDeweyIndex();
+  TopKIndex topk = builder.BuildTopKIndex(jindex);
+  TopKSearchOptions options;
+  options.k = 100;
+  TopKSearch search(topk, options);
+  auto got = search.Search({"xml", "data"});
+  EXPECT_EQ(got.size(), 4u);  // includes the root under recursive ELCA
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_GE(got[i - 1].score, got[i].score - 1e-12);
+  }
+}
+
+TEST(TopKSearchTest, KZeroAndMissingKeyword) {
+  XmlTree tree = MakeSmallCorpus();
+  IndexBuilder builder(tree);
+  JDeweyIndex jindex = builder.BuildJDeweyIndex();
+  TopKIndex topk = builder.BuildTopKIndex(jindex);
+  TopKSearchOptions options;
+  options.k = 0;
+  TopKSearch zero(topk, options);
+  EXPECT_TRUE(zero.Search({"xml", "data"}).empty());
+  options.k = 5;
+  TopKSearch missing(topk, options);
+  EXPECT_TRUE(missing.Search({"xml", "zzz"}).empty());
+}
+
+struct TopKCase {
+  uint64_t seed;
+  size_t nodes;
+  uint32_t max_depth;
+  double term_prob;
+  size_t query_k;  // keywords
+  size_t top_k;    // results requested
+};
+
+class TopKEquivalenceTest : public ::testing::TestWithParam<TopKCase> {};
+
+TEST_P(TopKEquivalenceTest, MatchesCompleteSearchTopK) {
+  const TopKCase& c = GetParam();
+  std::vector<std::string> all_terms = {"alpha", "beta", "gamma", "delta"};
+  std::vector<std::string> terms(all_terms.begin(),
+                                 all_terms.begin() + c.query_k);
+  XmlTree tree =
+      MakeRandomTree(c.seed, c.nodes, 4, c.max_depth, terms, c.term_prob);
+  IndexBuildOptions build_options;
+  build_options.index_tag_names = false;
+  IndexBuilder builder(tree, build_options);
+  JDeweyIndex jindex = builder.BuildJDeweyIndex();
+  TopKIndex topk_index = builder.BuildTopKIndex(jindex);
+
+  for (Semantics semantics : {Semantics::kElca, Semantics::kSlca}) {
+    for (bool grouped : {true, false}) {
+      // hybrid 0: pure star join; 1e9: every column swept completely;
+      // 20: genuinely mixed on these corpora.
+      for (double hybrid : {0.0, 20.0, 1e9}) {
+        TopKSearchOptions options;
+        options.semantics = semantics;
+        options.k = c.top_k;
+        options.group_threshold = grouped;
+        options.hybrid_min_matches = hybrid;
+        TopKSearch search(topk_index, options);
+        auto got = search.Search(terms);
+        auto want = CompleteTopK(jindex, terms, semantics, c.top_k);
+        ASSERT_EQ(got.size(), want.size())
+            << "seed " << c.seed << " grouped " << grouped << " hybrid "
+            << hybrid;
+        for (size_t i = 0; i < got.size(); ++i) {
+          // Score ties can permute nodes; scores must agree positionally.
+          ASSERT_NEAR(got[i].score, want[i].score, 1e-6)
+              << "seed " << c.seed << " pos " << i << " grouped " << grouped
+              << " hybrid " << hybrid;
+        }
+        // Emission order is score-descending.
+        for (size_t i = 1; i < got.size(); ++i) {
+          ASSERT_GE(got[i - 1].score, got[i].score - 1e-9);
+        }
+        if (hybrid >= 1e9) {
+          ASSERT_EQ(search.stats().columns_star_join, 0u);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomTrees, TopKEquivalenceTest,
+    ::testing::Values(TopKCase{21, 60, 5, 0.4, 2, 3},
+                      TopKCase{22, 60, 5, 0.4, 2, 10},
+                      TopKCase{23, 150, 7, 0.2, 2, 5},
+                      TopKCase{24, 150, 7, 0.2, 3, 5},
+                      TopKCase{25, 300, 6, 0.12, 2, 10},
+                      TopKCase{26, 300, 6, 0.12, 3, 10},
+                      TopKCase{27, 500, 9, 0.07, 2, 10},
+                      TopKCase{28, 500, 9, 0.07, 4, 10},
+                      TopKCase{29, 900, 6, 0.05, 2, 10},
+                      TopKCase{30, 900, 6, 0.05, 3, 25},
+                      TopKCase{31, 250, 12, 0.15, 2, 8},
+                      TopKCase{32, 250, 12, 0.15, 3, 1}),
+    [](const ::testing::TestParamInfo<TopKCase>& info) {
+      return "seed" + std::to_string(info.param.seed) + "q" +
+             std::to_string(info.param.query_k) + "top" +
+             std::to_string(info.param.top_k);
+    });
+
+TEST(TopKSearchTest, PerLevelHybridMixesModes) {
+  // A corpus with heavy root/level-2 overlap but sparse deep overlap: the
+  // per-level estimator should sweep some columns and star-join others.
+  XmlTree tree = MakeRandomTree(55, 1200, 5, 7, {"alpha", "beta"}, 0.1);
+  IndexBuildOptions build_options;
+  build_options.index_tag_names = false;
+  IndexBuilder builder(tree, build_options);
+  JDeweyIndex jindex = builder.BuildJDeweyIndex();
+  TopKIndex topk_index = builder.BuildTopKIndex(jindex);
+
+  TopKSearchOptions options;
+  options.k = 1000000;  // force processing every level
+  options.hybrid_min_matches = 4.0;
+  TopKSearch search(topk_index, options);
+  auto results = search.Search({"alpha", "beta"});
+  const TopKSearchStats& stats = search.stats();
+  EXPECT_EQ(stats.columns_star_join + stats.columns_complete_join,
+            stats.columns_processed);
+  EXPECT_GT(stats.columns_complete_join, 0u);
+  // Results equal the pure star-join run.
+  TopKSearchOptions pure;
+  pure.k = 1000000;
+  TopKSearch pure_search(topk_index, pure);
+  auto want = pure_search.Search({"alpha", "beta"});
+  ASSERT_EQ(results.size(), want.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_NEAR(results[i].score, want[i].score, 1e-9) << i;
+  }
+}
+
+TEST(TopKSearchTest, EarlyTerminationReadsLessOnLargeResultSets) {
+  // A corpus where the keywords co-occur often: the top-K search should
+  // terminate without draining every column.
+  XmlTree tree = MakeRandomTree(99, 2000, 5, 6, {"alpha", "beta"}, 0.3);
+  IndexBuildOptions build_options;
+  build_options.index_tag_names = false;
+  IndexBuilder builder(tree, build_options);
+  JDeweyIndex jindex = builder.BuildJDeweyIndex();
+  TopKIndex topk_index = builder.BuildTopKIndex(jindex);
+
+  TopKSearchOptions options;
+  options.k = 5;
+  TopKSearch search(topk_index, options);
+  auto results = search.Search({"alpha", "beta"});
+  ASSERT_EQ(results.size(), 5u);
+  uint64_t total_rows = jindex.Frequency("alpha") + jindex.Frequency("beta");
+  // Entries are re-served per column, so a full drain would read far more
+  // than one pass over the lists.
+  EXPECT_LT(search.stats().entries_read, total_rows);
+  EXPECT_GT(search.stats().early_emissions, 0u);
+}
+
+}  // namespace
+}  // namespace xtopk

@@ -1,0 +1,73 @@
+#include "core/updatable_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/corpus.h"
+#include "util/rng.h"
+#include "xml/xml_parser.h"
+
+namespace xtopk {
+namespace {
+
+TEST(UpdatableEngineTest, InsertionsBecomeSearchable) {
+  UpdatableEngine engine(ParseXmlStringOrDie("<db><paper>xml</paper></db>"));
+  EXPECT_TRUE(engine.Search({"xml", "zebra"}).empty());
+
+  NodeId paper = engine.AddElement(engine.tree().root(), "paper");
+  engine.AppendText(paper, "zebra xml");
+  EXPECT_TRUE(engine.dirty());
+  auto hits = engine.Search({"xml", "zebra"});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].node, paper);
+  EXPECT_FALSE(engine.dirty());
+  EXPECT_EQ(engine.rebuilds(), 1u);
+}
+
+TEST(UpdatableEngineTest, RebuildsAreBatched) {
+  UpdatableEngine engine(ParseXmlStringOrDie("<db><p>seed</p></db>"));
+  for (int i = 0; i < 50; ++i) {
+    engine.AddElement(engine.tree().root(), "p", "word" + std::to_string(i));
+  }
+  EXPECT_EQ(engine.rebuilds(), 0u);  // no query yet, no rebuild
+  engine.Search({"word0"});
+  engine.Search({"word1"});
+  engine.Search({"word2"});
+  EXPECT_EQ(engine.rebuilds(), 1u);  // one rebuild served all three
+}
+
+TEST(UpdatableEngineTest, EncodingMaintainedAcrossManyInserts) {
+  UpdatableEngine engine(testing::MakeSmallCorpus());
+  Rng rng(55);
+  for (int i = 0; i < 200; ++i) {
+    NodeId parent =
+        static_cast<NodeId>(rng.NextBounded(engine.tree().node_count()));
+    if (engine.tree().level(parent) >= 8) continue;
+    engine.AddElement(parent, "n", rng.NextBernoulli(0.3) ? "xml" : "data");
+  }
+  ASSERT_TRUE(engine.ValidateEncoding().ok());
+  EXPECT_GT(engine.encoding_updates(), 0u);
+  // Queries over the mutated tree still work end to end.
+  auto hits = engine.Search({"xml", "data"});
+  EXPECT_FALSE(hits.empty());
+  auto topk = engine.SearchTopK({"xml", "data"}, 3);
+  ASSERT_LE(topk.size(), 3u);
+  for (size_t i = 0; i < topk.size(); ++i) {
+    EXPECT_NEAR(topk[i].score, hits[i].score, 1e-9);
+  }
+}
+
+TEST(UpdatableEngineTest, CheapInsertsUseReservedGaps) {
+  EngineOptions options;
+  options.index.jdewey_gap = 8;
+  UpdatableEngine engine(ParseXmlStringOrDie("<db><a>x</a><b>y</b></db>"),
+                         options);
+  // Up to the gap, each insert changes exactly one number.
+  uint64_t before = engine.encoding_updates();
+  for (int i = 0; i < 8; ++i) {
+    engine.AddElement(engine.tree().root(), "c");
+  }
+  EXPECT_EQ(engine.encoding_updates() - before, 8u);
+}
+
+}  // namespace
+}  // namespace xtopk

@@ -1,0 +1,188 @@
+#include "index/disk_index.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/join_search.h"
+#include "core/topk_search.h"
+#include "index/index_builder.h"
+#include "testing/corpus.h"
+#include "workload/xmark_gen.h"
+
+namespace xtopk {
+namespace {
+
+using testing::MakeRandomTree;
+using testing::MakeSmallCorpus;
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(DiskIndexTest, RoundTripSearchMatchesInMemory) {
+  XmlTree tree = MakeRandomTree(201, 600, 4, 8, {"alpha", "beta"}, 0.15);
+  IndexBuildOptions options;
+  options.index_tag_names = false;
+  IndexBuilder builder(tree, options);
+  JDeweyIndex jindex = builder.BuildJDeweyIndex();
+
+  std::string path = TempPath("disk_index_roundtrip");
+  ASSERT_TRUE(
+      DiskIndexWriter::Write(jindex, /*include_scores=*/true, path).ok());
+  auto disk = DiskJDeweyIndex::Open(path);
+  ASSERT_TRUE(disk.ok()) << disk.status().ToString();
+
+  for (Semantics semantics : {Semantics::kElca, Semantics::kSlca}) {
+    JoinSearchOptions search_options;
+    search_options.semantics = semantics;
+    JoinSearch memory_search(jindex, search_options);
+    auto want = memory_search.Search({"alpha", "beta"});
+    auto got = (*disk)->SearchComplete({"alpha", "beta"}, search_options);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(got->size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ((*got)[i].node, want[i].node);
+      EXPECT_NEAR((*got)[i].score, want[i].score, 1e-12);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DiskIndexTest, DirectoryAnswersWithoutDataIo) {
+  XmlTree tree = MakeSmallCorpus();
+  IndexBuilder builder(tree);
+  JDeweyIndex jindex = builder.BuildJDeweyIndex();
+  std::string path = TempPath("disk_index_directory");
+  ASSERT_TRUE(DiskIndexWriter::Write(jindex, true, path).ok());
+  auto disk = DiskJDeweyIndex::Open(path);
+  ASSERT_TRUE(disk.ok());
+  (*disk)->ResetIoStats();
+  EXPECT_EQ((*disk)->Frequency("xml"), 4u);
+  EXPECT_EQ((*disk)->Frequency("absent"), 0u);
+  EXPECT_EQ((*disk)->MaxLength("xml"), 4u);
+  EXPECT_EQ((*disk)->io_stats().pages_read, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(DiskIndexTest, LazyColumnsSaveIoForShallowL0) {
+  // A deep corpus where "shallow" only occurs at level <= 3 while "deep"
+  // occurs down to the leaves: the query's l0 is small, so only a prefix
+  // of "deep"'s columns is ever read (§III-B's I/O claim).
+  XmlTree tree;
+  NodeId root = tree.CreateRoot("r");
+  for (int branch = 0; branch < 1500; ++branch) {
+    NodeId mid = tree.AddChild(root, "m");
+    tree.AppendText(mid, "shallow");
+    NodeId cur = mid;
+    for (int depth = 0; depth < 10; ++depth) {
+      cur = tree.AddChild(cur, "d");
+      tree.AppendText(cur, "deep");
+    }
+  }
+  IndexBuildOptions options;
+  options.index_tag_names = false;
+  IndexBuilder builder(tree, options);
+  JDeweyIndex jindex = builder.BuildJDeweyIndex();
+
+  std::string path = TempPath("disk_index_lazy");
+  ASSERT_TRUE(DiskIndexWriter::Write(jindex, true, path).ok());
+
+  // Query {shallow, deep}: l0 = max occurrence level of "shallow" = 2.
+  auto disk = DiskJDeweyIndex::Open(path, /*pool_pages=*/4096);
+  ASSERT_TRUE(disk.ok());
+  (*disk)->ResetIoStats();
+  auto results = (*disk)->SearchComplete({"shallow", "deep"});
+  ASSERT_TRUE(results.ok());
+  EXPECT_FALSE(results->empty());
+  uint64_t shallow_query_pages = (*disk)->io_stats().pages_read;
+
+  // Fully materializing "deep" (all 12 levels) costs strictly more pages.
+  auto disk_full = DiskJDeweyIndex::Open(path, 4096);
+  ASSERT_TRUE(disk_full.ok());
+  (*disk_full)->ResetIoStats();
+  auto list = (*disk_full)->LoadList("deep", 12);
+  ASSERT_TRUE(list.ok());
+  uint64_t full_load_pages = (*disk_full)->io_stats().pages_read;
+  EXPECT_LT(shallow_query_pages, full_load_pages);
+  std::remove(path.c_str());
+}
+
+TEST(DiskIndexTest, LoadListExtendsIncrementally) {
+  XmlTree tree = MakeSmallCorpus();
+  IndexBuilder builder(tree);
+  JDeweyIndex jindex = builder.BuildJDeweyIndex();
+  std::string path = TempPath("disk_index_extend");
+  ASSERT_TRUE(DiskIndexWriter::Write(jindex, true, path).ok());
+  auto disk = DiskJDeweyIndex::Open(path);
+  ASSERT_TRUE(disk.ok());
+
+  auto partial = (*disk)->LoadList("xml", 2);
+  ASSERT_TRUE(partial.ok());
+  ASSERT_NE(*partial, nullptr);
+  EXPECT_FALSE((*partial)->column(1).empty());
+  EXPECT_FALSE((*partial)->column(2).empty());
+  EXPECT_TRUE((*partial)->column(4).empty());  // not yet loaded
+
+  auto full = (*disk)->LoadList("xml", 4);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(*full, *partial);  // same cached list object
+  EXPECT_FALSE((*full)->column(4).empty());
+
+  auto missing = (*disk)->LoadList("absent", 4);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(*missing, nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(DiskIndexTest, TopKOverDiskMatchesInMemory) {
+  XmlTree tree = MakeRandomTree(202, 700, 4, 8, {"alpha", "beta"}, 0.15);
+  IndexBuildOptions options;
+  options.index_tag_names = false;
+  IndexBuilder builder(tree, options);
+  JDeweyIndex jindex = builder.BuildJDeweyIndex();
+  TopKIndex memory_topk = builder.BuildTopKIndex(jindex);
+
+  std::string path = TempPath("disk_index_topk");
+  ASSERT_TRUE(DiskIndexWriter::Write(jindex, true, path).ok());
+  auto disk = DiskJDeweyIndex::Open(path);
+  ASSERT_TRUE(disk.ok());
+
+  TopKSearchOptions topk_options;
+  topk_options.k = 7;
+  TopKSearch memory_search(memory_topk, topk_options);
+  auto want = memory_search.Search({"alpha", "beta"});
+  auto got = (*disk)->SearchTopK({"alpha", "beta"}, topk_options);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ(got->size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ((*got)[i].node, want[i].node);
+    EXPECT_NEAR((*got)[i].score, want[i].score, 1e-12);
+  }
+  // Missing keyword: clean empty result.
+  auto none = (*disk)->SearchTopK({"alpha", "zzz"}, topk_options);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+  std::remove(path.c_str());
+}
+
+TEST(DiskIndexTest, CorruptFooterRejected) {
+  std::string path = TempPath("disk_index_corrupt");
+  PageFile file;
+  ASSERT_TRUE(file.Open(path, true).ok());
+  ASSERT_TRUE(file.AppendPage("not a footer").ok());
+  ASSERT_TRUE(file.Close().ok());
+  auto disk = DiskJDeweyIndex::Open(path);
+  ASSERT_FALSE(disk.ok());
+  EXPECT_EQ(disk.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(DiskIndexTest, MissingFileIsIoError) {
+  auto disk = DiskJDeweyIndex::Open("/nonexistent/index.xtk");
+  ASSERT_FALSE(disk.ok());
+  EXPECT_EQ(disk.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace xtopk

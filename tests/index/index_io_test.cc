@@ -1,0 +1,193 @@
+#include "index/index_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/join_search.h"
+#include "core/topk_search.h"
+#include "index/index_builder.h"
+#include "testing/corpus.h"
+#include "util/rng.h"
+
+namespace xtopk {
+namespace {
+
+using testing::MakeRandomTree;
+using testing::MakeSmallCorpus;
+
+void ExpectJDeweyIndexesEqual(const JDeweyIndex& a, const JDeweyIndex& b,
+                              bool scores) {
+  ASSERT_EQ(a.terms().size(), b.terms().size());
+  EXPECT_EQ(a.max_level(), b.max_level());
+  for (const std::string& term : a.terms()) {
+    const JDeweyList* la = a.GetList(term);
+    const JDeweyList* lb = b.GetList(term);
+    ASSERT_NE(lb, nullptr) << term;
+    ASSERT_EQ(la->num_rows(), lb->num_rows()) << term;
+    EXPECT_EQ(la->lengths, lb->lengths) << term;
+    EXPECT_EQ(la->nodes, lb->nodes) << term;
+    if (scores) {
+      EXPECT_EQ(la->scores, lb->scores) << term;
+    }
+    ASSERT_EQ(la->columns.size(), lb->columns.size()) << term;
+    for (size_t c = 0; c < la->columns.size(); ++c) {
+      ASSERT_EQ(la->columns[c].run_count(), lb->columns[c].run_count());
+      for (size_t r = 0; r < la->columns[c].run_count(); ++r) {
+        EXPECT_EQ(la->columns[c].runs()[r], lb->columns[c].runs()[r]);
+      }
+    }
+  }
+}
+
+TEST(IndexIoTest, JDeweyRoundTripSmallCorpus) {
+  XmlTree tree = MakeSmallCorpus();
+  IndexBuilder builder(tree);
+  JDeweyIndex index = builder.BuildJDeweyIndex();
+  std::string buf;
+  index_io::EncodeJDeweyIndex(index, /*include_scores=*/true, &buf);
+  JDeweyIndex loaded;
+  ASSERT_TRUE(index_io::DecodeJDeweyIndex(buf, &loaded).ok());
+  ExpectJDeweyIndexesEqual(index, loaded, /*scores=*/true);
+}
+
+TEST(IndexIoTest, JDeweyRoundTripRandomTrees) {
+  for (uint64_t seed : {101ull, 102ull, 103ull}) {
+    XmlTree tree = MakeRandomTree(seed, 400, 4, 8,
+                                  {"alpha", "beta", "gamma"}, 0.2);
+    IndexBuilder builder(tree);
+    JDeweyIndex index = builder.BuildJDeweyIndex();
+    for (bool scores : {true, false}) {
+      std::string buf;
+      index_io::EncodeJDeweyIndex(index, scores, &buf);
+      JDeweyIndex loaded;
+      ASSERT_TRUE(index_io::DecodeJDeweyIndex(buf, &loaded).ok())
+          << seed << " scores " << scores;
+      ExpectJDeweyIndexesEqual(index, loaded, scores);
+    }
+  }
+}
+
+TEST(IndexIoTest, SearchOverLoadedIndexMatches) {
+  XmlTree tree = MakeRandomTree(104, 500, 4, 7, {"alpha", "beta"}, 0.15);
+  IndexBuildOptions options;
+  options.index_tag_names = false;
+  IndexBuilder builder(tree, options);
+  JDeweyIndex index = builder.BuildJDeweyIndex();
+  std::string buf;
+  index_io::EncodeJDeweyIndex(index, true, &buf);
+  JDeweyIndex loaded;
+  ASSERT_TRUE(index_io::DecodeJDeweyIndex(buf, &loaded).ok());
+
+  for (Semantics semantics : {Semantics::kElca, Semantics::kSlca}) {
+    JoinSearchOptions search_options;
+    search_options.semantics = semantics;
+    JoinSearch original(index, search_options);
+    JoinSearch reloaded(loaded, search_options);
+    auto a = original.Search({"alpha", "beta"});
+    auto b = reloaded.Search({"alpha", "beta"});
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].node, b[i].node);
+      EXPECT_NEAR(a[i].score, b[i].score, 1e-12);
+    }
+  }
+}
+
+TEST(IndexIoTest, SaveLoadFile) {
+  XmlTree tree = MakeSmallCorpus();
+  IndexBuilder builder(tree);
+  JDeweyIndex index = builder.BuildJDeweyIndex();
+  std::string path = ::testing::TempDir() + "/xtopk_index_io_test.idx";
+  ASSERT_TRUE(index_io::SaveJDeweyIndex(index, true, path).ok());
+  auto loaded = index_io::LoadJDeweyIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectJDeweyIndexesEqual(index, *loaded, true);
+  std::remove(path.c_str());
+}
+
+TEST(IndexIoTest, LoadMissingFileIsIoError) {
+  auto loaded = index_io::LoadJDeweyIndex("/nonexistent/file.idx");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(IndexIoTest, RejectsBadMagicAndTruncation) {
+  XmlTree tree = MakeSmallCorpus();
+  IndexBuilder builder(tree);
+  JDeweyIndex index = builder.BuildJDeweyIndex();
+  std::string buf;
+  index_io::EncodeJDeweyIndex(index, true, &buf);
+
+  JDeweyIndex out;
+  std::string bad = buf;
+  bad[0] = 'Z';
+  EXPECT_EQ(index_io::DecodeJDeweyIndex(bad, &out).code(),
+            StatusCode::kCorruption);
+
+  // Truncation anywhere must error, never crash.
+  Rng rng(9);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string cut = buf.substr(0, 5 + rng.NextBounded(buf.size() - 5));
+    JDeweyIndex partial;
+    Status s = index_io::DecodeJDeweyIndex(cut, &partial);
+    if (cut.size() < buf.size()) {
+      EXPECT_FALSE(s.ok()) << "cut at " << cut.size();
+    }
+  }
+}
+
+TEST(IndexIoTest, DeweyRoundTrip) {
+  XmlTree tree = MakeRandomTree(105, 300, 5, 6, {"alpha", "beta"}, 0.25);
+  IndexBuilder builder(tree);
+  DeweyIndex index = builder.BuildDeweyIndex();
+  std::string buf;
+  index_io::EncodeDeweyIndex(index, &buf);
+  DeweyIndex loaded;
+  ASSERT_TRUE(index_io::DecodeDeweyIndex(buf, &loaded).ok());
+  ASSERT_EQ(loaded.term_count(), index.term_count());
+  const DeweyList* la = index.GetList("alpha");
+  const DeweyList* lb = loaded.GetList("alpha");
+  ASSERT_NE(lb, nullptr);
+  ASSERT_EQ(la->num_rows(), lb->num_rows());
+  for (uint32_t row = 0; row < la->num_rows(); ++row) {
+    EXPECT_EQ(la->deweys[row], lb->deweys[row]);
+    EXPECT_EQ(la->nodes[row], lb->nodes[row]);
+    EXPECT_EQ(la->scores[row], lb->scores[row]);
+  }
+}
+
+TEST(IndexIoTest, TopKOverLoadedIndexMatchesFresh) {
+  XmlTree tree = MakeRandomTree(106, 600, 4, 7, {"alpha", "beta"}, 0.15);
+  IndexBuildOptions options;
+  options.index_tag_names = false;
+  IndexBuilder builder(tree, options);
+  JDeweyIndex index = builder.BuildJDeweyIndex();
+  TopKIndex fresh_topk = builder.BuildTopKIndex(index);
+
+  std::string buf;
+  index_io::EncodeJDeweyIndex(index, /*include_scores=*/true, &buf);
+  JDeweyIndex loaded;
+  ASSERT_TRUE(index_io::DecodeJDeweyIndex(buf, &loaded).ok());
+  TopKIndex loaded_topk = BuildTopKIndexFrom(loaded);
+
+  TopKSearchOptions topk_options;
+  topk_options.k = 8;
+  TopKSearch a(fresh_topk, topk_options), b(loaded_topk, topk_options);
+  auto want = a.Search({"alpha", "beta"});
+  auto got = b.Search({"alpha", "beta"});
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].node, want[i].node);
+    EXPECT_NEAR(got[i].score, want[i].score, 1e-12);
+  }
+}
+
+TEST(IndexIoTest, DeweyRejectsGarbage) {
+  DeweyIndex out;
+  EXPECT_FALSE(index_io::DecodeDeweyIndex("garbage", &out).ok());
+  EXPECT_FALSE(index_io::DecodeDeweyIndex("", &out).ok());
+}
+
+}  // namespace
+}  // namespace xtopk

@@ -1,0 +1,63 @@
+#include "index/index_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/corpus.h"
+#include "workload/dblp_gen.h"
+
+namespace xtopk {
+namespace {
+
+TEST(IndexStatsTest, ReportHasEveryFamilyAndExpectedOrdering) {
+  DblpGenOptions gen;
+  gen.num_conferences = 6;
+  gen.years_per_conference = 4;
+  gen.papers_per_year = 15;
+  DblpCorpus corpus = GenerateDblp(gen);
+  IndexBuilder builder(corpus.tree);
+  IndexSizeReport report = MeasureIndexSizes(builder, "unit-test corpus");
+
+  EXPECT_GT(report.join_based_il, 0u);
+  EXPECT_GT(report.join_based_sparse, 0u);
+  EXPECT_GT(report.stack_based_il, 0u);
+  EXPECT_GT(report.index_based_btree, 0u);
+  EXPECT_GT(report.topk_join_il, 0u);
+  EXPECT_GT(report.rdil_il, 0u);
+  EXPECT_GT(report.rdil_btree, 0u);
+
+  // Table I orderings that must hold at any scale:
+  // scores + segment orders make the top-K IL bigger;
+  EXPECT_GT(report.topk_join_il, report.join_based_il);
+  // the per-(keyword, Dewey) B-tree dwarfs the lists;
+  EXPECT_GT(report.index_based_btree, report.join_based_il * 2);
+  // the sparse indexes are small relative to the lists;
+  EXPECT_LT(report.join_based_sparse, report.join_based_il);
+  // RDIL's score-ordered full-id entries beat prefix compression.
+  EXPECT_GT(report.rdil_il, report.stack_based_il);
+
+  std::string table = report.ToTable();
+  EXPECT_NE(table.find("unit-test corpus"), std::string::npos);
+  EXPECT_NE(table.find("Join-based"), std::string::npos);
+  EXPECT_NE(table.find("RDIL"), std::string::npos);
+}
+
+TEST(IndexStatsTest, SizesGrowWithCorpus) {
+  DblpGenOptions small_gen, large_gen;
+  small_gen.num_conferences = 2;
+  small_gen.years_per_conference = 2;
+  small_gen.papers_per_year = 5;
+  large_gen.num_conferences = 6;
+  large_gen.years_per_conference = 4;
+  large_gen.papers_per_year = 20;
+  DblpCorpus small_corpus = GenerateDblp(small_gen);
+  DblpCorpus large_corpus = GenerateDblp(large_gen);
+  IndexBuilder small_builder(small_corpus.tree);
+  IndexBuilder large_builder(large_corpus.tree);
+  IndexSizeReport small_report = MeasureIndexSizes(small_builder, "small");
+  IndexSizeReport large_report = MeasureIndexSizes(large_builder, "large");
+  EXPECT_GT(large_report.join_based_il, small_report.join_based_il);
+  EXPECT_GT(large_report.index_based_btree, small_report.index_based_btree);
+}
+
+}  // namespace
+}  // namespace xtopk

@@ -1,0 +1,78 @@
+#include "index/index_validate.h"
+
+#include <gtest/gtest.h>
+
+#include "index/index_builder.h"
+#include "index/index_io.h"
+#include "testing/corpus.h"
+
+namespace xtopk {
+namespace {
+
+using testing::MakeRandomTree;
+using testing::MakeSmallCorpus;
+
+TEST(IndexValidateTest, FreshIndexesAreValid) {
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    XmlTree tree = MakeRandomTree(seed, 300, 4, 7, {"alpha", "beta"}, 0.2);
+    IndexBuilder builder(tree);
+    JDeweyIndex index = builder.BuildJDeweyIndex();
+    EXPECT_TRUE(ValidateIndex(index).ok()) << seed;
+    EXPECT_TRUE(ValidateIndex(index, &tree).ok()) << seed;
+  }
+}
+
+TEST(IndexValidateTest, LoadedIndexValidates) {
+  XmlTree tree = MakeSmallCorpus();
+  IndexBuilder builder(tree);
+  JDeweyIndex index = builder.BuildJDeweyIndex();
+  std::string buf;
+  index_io::EncodeJDeweyIndex(index, /*include_scores=*/true, &buf);
+  JDeweyIndex loaded;
+  ASSERT_TRUE(index_io::DecodeJDeweyIndex(buf, &loaded).ok());
+  EXPECT_TRUE(ValidateIndex(loaded, &tree).ok());
+}
+
+TEST(IndexValidateTest, NoScoresVariantAccepted) {
+  XmlTree tree = MakeSmallCorpus();
+  IndexBuilder builder(tree);
+  JDeweyIndex index = builder.BuildJDeweyIndex();
+  std::string buf;
+  index_io::EncodeJDeweyIndex(index, /*include_scores=*/false, &buf);
+  JDeweyIndex loaded;
+  ASSERT_TRUE(index_io::DecodeJDeweyIndex(buf, &loaded).ok());
+  EXPECT_TRUE(ValidateIndex(loaded, &tree).ok());
+}
+
+TEST(IndexValidateTest, BitFlippedFilesEitherFailDecodeOrValidate) {
+  // Mutate serialized bytes: the decoder or the validator must catch the
+  // corruption (or the mutation was benign and both pass) — never a crash.
+  XmlTree tree = MakeRandomTree(9, 150, 4, 6, {"alpha", "beta"}, 0.25);
+  IndexBuilder builder(tree);
+  JDeweyIndex index = builder.BuildJDeweyIndex();
+  std::string buf;
+  index_io::EncodeJDeweyIndex(index, true, &buf);
+
+  Rng rng(123);
+  int decode_failures = 0, validate_failures = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = buf;
+    size_t pos = 5 + rng.NextBounded(mutated.size() - 5);  // keep magic
+    mutated[pos] = static_cast<char>(mutated[pos] ^
+                                     (1u << rng.NextBounded(8)));
+    JDeweyIndex out;
+    Status s = index_io::DecodeJDeweyIndex(mutated, &out);
+    if (!s.ok()) {
+      ++decode_failures;
+      continue;
+    }
+    if (!ValidateIndex(out).ok()) ++validate_failures;
+  }
+  // A large share of single-bit flips must be caught somewhere. (Flips in
+  // the score payload often stay within the valid (0,1] range and are
+  // undetectable in principle; structural bytes dominate the rest.)
+  EXPECT_GT(decode_failures + validate_failures, 60);
+}
+
+}  // namespace
+}  // namespace xtopk

@@ -1,0 +1,61 @@
+// The parallel index build must be bit-identical to the serial one: every
+// term writes to its own slot, so thread count is not observable.
+
+#include <gtest/gtest.h>
+
+#include "index/index_builder.h"
+#include "testing/corpus.h"
+#include "util/parallel.h"
+#include "workload/dblp_gen.h"
+
+namespace xtopk {
+namespace {
+
+TEST(ParallelForTest, CoversEveryIndexOnce) {
+  for (size_t threads : {1u, 2u, 7u}) {
+    for (size_t n : {0u, 1u, 5u, 1000u}) {
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) h = 0;
+      ParallelFor(n, threads, [&](size_t i) { ++hits[i]; });
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "n=" << n << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelBuildTest, ThreadCountIsNotObservable) {
+  DblpGenOptions gen;
+  gen.num_conferences = 8;
+  gen.years_per_conference = 4;
+  gen.papers_per_year = 20;
+  DblpCorpus corpus = GenerateDblp(gen);
+
+  IndexBuildOptions serial_options, parallel_options;
+  parallel_options.build_threads = 8;
+  IndexBuilder serial(corpus.tree, serial_options);
+  IndexBuilder parallel(corpus.tree, parallel_options);
+  JDeweyIndex a = serial.BuildJDeweyIndex();
+  JDeweyIndex b = parallel.BuildJDeweyIndex();
+
+  ASSERT_EQ(a.terms().size(), b.terms().size());
+  for (const std::string& term : a.terms()) {
+    const JDeweyList* la = a.GetList(term);
+    const JDeweyList* lb = b.GetList(term);
+    ASSERT_NE(lb, nullptr) << term;
+    ASSERT_EQ(la->num_rows(), lb->num_rows()) << term;
+    ASSERT_EQ(la->lengths, lb->lengths) << term;
+    ASSERT_EQ(la->scores, lb->scores) << term;
+    ASSERT_EQ(la->nodes, lb->nodes) << term;
+    ASSERT_EQ(la->columns.size(), lb->columns.size()) << term;
+    for (size_t c = 0; c < la->columns.size(); ++c) {
+      ASSERT_EQ(la->columns[c].run_count(), lb->columns[c].run_count());
+      for (size_t r = 0; r < la->columns[c].run_count(); ++r) {
+        ASSERT_EQ(la->columns[c].runs()[r], lb->columns[c].runs()[r]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xtopk

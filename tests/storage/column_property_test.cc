@@ -1,0 +1,91 @@
+// Randomized property tests for the column structure: binary-search
+// accessors against linear scans, and the sparse index window always
+// bracketing the probe target.
+
+#include <gtest/gtest.h>
+
+#include "storage/column.h"
+#include "storage/sparse_index.h"
+#include "util/rng.h"
+
+namespace xtopk {
+namespace {
+
+struct ColumnCase {
+  uint64_t seed;
+  uint32_t values;
+  double keep_prob;
+  double dup_prob;
+};
+
+class ColumnPropertyTest : public ::testing::TestWithParam<ColumnCase> {};
+
+TEST_P(ColumnPropertyTest, AccessorsMatchLinearScan) {
+  const ColumnCase& c = GetParam();
+  Rng rng(c.seed);
+  Column col;
+  uint32_t row = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> rows;  // (row, value)
+  for (uint32_t v = 1; v <= c.values; ++v) {
+    if (!rng.NextBernoulli(c.keep_prob)) continue;
+    uint32_t count = 1;
+    while (rng.NextBernoulli(c.dup_prob)) ++count;
+    for (uint32_t i = 0; i < count; ++i) {
+      col.Append(row, v);
+      rows.emplace_back(row, v);
+      ++row;
+    }
+    if (rng.NextBernoulli(0.2)) row += 1 + rng.NextBounded(4);  // gaps
+  }
+
+  // FindRow agrees with the materialized rows (including gap rows).
+  uint32_t max_row = row + 2;
+  size_t cursor = 0;
+  for (uint32_t r = 0; r < max_row; ++r) {
+    while (cursor < rows.size() && rows[cursor].first < r) ++cursor;
+    const ::xtopk::Run* run = col.FindRow(r);
+    if (cursor < rows.size() && rows[cursor].first == r) {
+      ASSERT_NE(run, nullptr) << r;
+      EXPECT_EQ(run->value, rows[cursor].second);
+    } else {
+      EXPECT_EQ(run, nullptr) << r;
+    }
+  }
+
+  // FindValue agrees with a linear scan over runs.
+  for (uint32_t v = 0; v <= c.values + 1; ++v) {
+    const ::xtopk::Run* expected = nullptr;
+    for (const ::xtopk::Run& run : col.runs()) {
+      if (run.value == v) expected = &run;
+    }
+    EXPECT_EQ(col.FindValue(v), expected) << v;
+  }
+
+  // Sparse-index windows always bracket the true run.
+  for (uint32_t rate : {1u, 4u, 16u, 64u}) {
+    SparseIndex sparse = SparseIndex::Build(col, rate);
+    for (uint32_t v = 0; v <= c.values + 1; v += 3) {
+      auto window = sparse.Probe(v);
+      size_t truth = col.LowerBoundValue(v);
+      if (truth < col.run_count() && col.runs()[truth].value == v) {
+        ASSERT_GE(truth, window.lo) << "rate " << rate << " v " << v;
+        ASSERT_LT(truth, window.hi) << "rate " << rate << " v " << v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, ColumnPropertyTest,
+    ::testing::Values(ColumnCase{1, 50, 0.9, 0.3},
+                      ColumnCase{2, 200, 0.5, 0.7},
+                      ColumnCase{3, 500, 0.2, 0.0},
+                      ColumnCase{4, 1000, 0.8, 0.9},
+                      ColumnCase{5, 100, 1.0, 0.5},
+                      ColumnCase{6, 2000, 0.05, 0.2}),
+    [](const ::testing::TestParamInfo<ColumnCase>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace xtopk

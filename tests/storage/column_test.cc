@@ -1,0 +1,62 @@
+#include "storage/column.h"
+
+#include <gtest/gtest.h>
+
+namespace xtopk {
+namespace {
+
+Column MakeColumn(std::initializer_list<std::pair<uint32_t, uint32_t>> rows) {
+  Column col;
+  for (auto [row, value] : rows) col.Append(row, value);
+  return col;
+}
+
+TEST(ColumnTest, AppendsGroupIntoRuns) {
+  // Rows 0-2 under node 5, row 4 under node 9 (row 3 absent: shorter seq).
+  Column col = MakeColumn({{0, 5}, {1, 5}, {2, 5}, {4, 9}});
+  ASSERT_EQ(col.run_count(), 2u);
+  EXPECT_EQ(col.runs()[0], (::xtopk::Run{5, 0, 3}));
+  EXPECT_EQ(col.runs()[1], (::xtopk::Run{9, 4, 1}));
+  EXPECT_EQ(col.row_count(), 4u);
+  EXPECT_EQ(col.distinct_values(), 2u);
+}
+
+TEST(ColumnTest, FindValue) {
+  Column col = MakeColumn({{0, 2}, {1, 4}, {2, 4}, {3, 8}});
+  ASSERT_NE(col.FindValue(4), nullptr);
+  EXPECT_EQ(col.FindValue(4)->count, 2u);
+  EXPECT_EQ(col.FindValue(3), nullptr);
+  EXPECT_EQ(col.FindValue(1), nullptr);
+  EXPECT_EQ(col.FindValue(9), nullptr);
+  EXPECT_NE(col.FindValue(2), nullptr);
+  EXPECT_NE(col.FindValue(8), nullptr);
+}
+
+TEST(ColumnTest, LowerBoundValue) {
+  Column col = MakeColumn({{0, 2}, {1, 4}, {2, 8}});
+  EXPECT_EQ(col.LowerBoundValue(1), 0u);
+  EXPECT_EQ(col.LowerBoundValue(2), 0u);
+  EXPECT_EQ(col.LowerBoundValue(3), 1u);
+  EXPECT_EQ(col.LowerBoundValue(8), 2u);
+  EXPECT_EQ(col.LowerBoundValue(9), 3u);
+}
+
+TEST(ColumnTest, FindRow) {
+  Column col = MakeColumn({{0, 5}, {1, 5}, {4, 9}, {5, 9}});
+  ASSERT_NE(col.FindRow(1), nullptr);
+  EXPECT_EQ(col.FindRow(1)->value, 5u);
+  EXPECT_EQ(col.FindRow(4)->value, 9u);
+  EXPECT_EQ(col.FindRow(3), nullptr);  // gap row (sequence too short)
+  EXPECT_EQ(col.FindRow(6), nullptr);
+}
+
+TEST(ColumnTest, EmptyColumn) {
+  Column col;
+  EXPECT_TRUE(col.empty());
+  EXPECT_EQ(col.FindValue(1), nullptr);
+  EXPECT_EQ(col.FindRow(0), nullptr);
+  EXPECT_EQ(col.row_count(), 0u);
+}
+
+}  // namespace
+}  // namespace xtopk

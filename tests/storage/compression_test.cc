@@ -1,0 +1,154 @@
+#include "storage/compression.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace xtopk {
+namespace {
+
+std::vector<uint32_t> PresentRows(const Column& col) {
+  std::vector<uint32_t> rows;
+  for (const Run& run : col.runs()) {
+    for (uint32_t i = 0; i < run.count; ++i) rows.push_back(run.first_row + i);
+  }
+  return rows;
+}
+
+Column RandomColumn(uint64_t seed, uint32_t rows, double dup_prob) {
+  Rng rng(seed);
+  Column col;
+  uint32_t row = 0, value = 1;
+  for (uint32_t i = 0; i < rows; ++i) {
+    col.Append(row, value);
+    ++row;
+    if (!rng.NextBernoulli(dup_prob)) {
+      value += 1 + static_cast<uint32_t>(rng.NextBounded(50));
+      // Row gaps (sequences too short for this level) only appear between
+      // different values: equal values occupy consecutive rows.
+      if (rng.NextBernoulli(0.1)) row += 1 + rng.NextBounded(3);
+    }
+  }
+  return col;
+}
+
+void ExpectColumnsEqual(const Column& a, const Column& b) {
+  ASSERT_EQ(a.run_count(), b.run_count());
+  for (size_t i = 0; i < a.run_count(); ++i) {
+    EXPECT_EQ(a.runs()[i], b.runs()[i]) << "run " << i;
+  }
+}
+
+TEST(CompressionTest, RunLengthRoundTrip) {
+  Column col = RandomColumn(1, 500, /*dup_prob=*/0.8);
+  std::string buf;
+  EncodeColumn(col, ColumnCodec::kRunLength, &buf);
+  Column out;
+  size_t pos = 0;
+  // Run-length columns are self-contained: no present-row list needed.
+  ASSERT_TRUE(DecodeColumn(buf, &pos, nullptr, &out).ok());
+  EXPECT_EQ(pos, buf.size());
+  ExpectColumnsEqual(col, out);
+}
+
+TEST(CompressionTest, DeltaRoundTrip) {
+  Column col = RandomColumn(2, 5000, /*dup_prob=*/0.05);
+  std::string buf;
+  EncodeColumn(col, ColumnCodec::kDelta, &buf);
+  std::vector<uint32_t> rows = PresentRows(col);
+  Column out;
+  size_t pos = 0;
+  ASSERT_TRUE(DecodeColumn(buf, &pos, &rows, &out).ok());
+  ExpectColumnsEqual(col, out);
+}
+
+TEST(CompressionTest, AutoPicksRunLengthForDuplicateHeavy) {
+  Column col = RandomColumn(3, 1000, /*dup_prob=*/0.95);
+  EXPECT_EQ(ChooseCodec(col), ColumnCodec::kRunLength);
+}
+
+TEST(CompressionTest, AutoPicksDeltaForDistinctHeavy) {
+  Column col = RandomColumn(4, 1000, /*dup_prob=*/0.0);
+  EXPECT_EQ(ChooseCodec(col), ColumnCodec::kDelta);
+}
+
+TEST(CompressionTest, RunLengthBeatsDeltaOnDuplicates) {
+  Column col = RandomColumn(5, 5000, /*dup_prob=*/0.95);
+  EXPECT_LT(EncodedColumnSize(col, ColumnCodec::kRunLength),
+            EncodedColumnSize(col, ColumnCodec::kDelta));
+}
+
+TEST(CompressionTest, DeltaBeatsRunLengthOnDistinct) {
+  Column col = RandomColumn(6, 5000, /*dup_prob=*/0.0);
+  EXPECT_LT(EncodedColumnSize(col, ColumnCodec::kDelta),
+            EncodedColumnSize(col, ColumnCodec::kRunLength));
+}
+
+TEST(CompressionTest, AutoRoundTripsRandomized) {
+  for (uint64_t seed = 10; seed < 40; ++seed) {
+    Column col = RandomColumn(seed, 200 + seed * 37 % 800,
+                              static_cast<double>(seed % 10) / 10.0);
+    std::string buf;
+    EncodeColumn(col, ColumnCodec::kAuto, &buf);
+    std::vector<uint32_t> rows = PresentRows(col);
+    Column out;
+    size_t pos = 0;
+    ASSERT_TRUE(DecodeColumn(buf, &pos, &rows, &out).ok()) << seed;
+    ExpectColumnsEqual(col, out);
+  }
+}
+
+TEST(CompressionTest, EmptyColumnRoundTrips) {
+  Column col;
+  std::string buf;
+  EncodeColumn(col, ColumnCodec::kAuto, &buf);
+  Column out;
+  size_t pos = 0;
+  std::vector<uint32_t> no_rows;
+  ASSERT_TRUE(DecodeColumn(buf, &pos, &no_rows, &out).ok());
+  EXPECT_EQ(out.run_count(), 0u);
+}
+
+TEST(CompressionTest, TruncatedBufferIsCorruption) {
+  Column col = RandomColumn(7, 100, 0.5);
+  std::string buf;
+  EncodeColumn(col, ColumnCodec::kAuto, &buf);
+  buf.resize(buf.size() / 2);
+  std::vector<uint32_t> rows = PresentRows(col);
+  Column out;
+  size_t pos = 0;
+  EXPECT_FALSE(DecodeColumn(buf, &pos, &rows, &out).ok());
+}
+
+TEST(CompressionTest, UnknownCodecRejected) {
+  std::string buf = "\x07\x01\x01";
+  Column out;
+  size_t pos = 0;
+  EXPECT_EQ(DecodeColumn(buf, &pos, nullptr, &out).code(),
+            StatusCode::kCorruption);
+}
+
+TEST(CompressionTest, DeltaWithoutRowsIsInvalidArgument) {
+  Column col = RandomColumn(8, 100, 0.0);
+  std::string buf;
+  EncodeColumn(col, ColumnCodec::kDelta, &buf);
+  Column out;
+  size_t pos = 0;
+  EXPECT_EQ(DecodeColumn(buf, &pos, nullptr, &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CompressionTest, DeltaRowCountMismatchIsCorruption) {
+  Column col = RandomColumn(9, 100, 0.0);
+  std::string buf;
+  EncodeColumn(col, ColumnCodec::kDelta, &buf);
+  std::vector<uint32_t> rows = PresentRows(col);
+  rows.pop_back();
+  Column out;
+  size_t pos = 0;
+  EXPECT_EQ(DecodeColumn(buf, &pos, &rows, &out).code(),
+            StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace xtopk

@@ -1,0 +1,160 @@
+#include "storage/page_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "storage/buffer_pool.h"
+#include "util/rng.h"
+
+namespace xtopk {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(PageFileTest, AppendAndReadBack) {
+  std::string path = TempPath("pagefile_basic");
+  PageFile file;
+  ASSERT_TRUE(file.Open(path, /*create=*/true).ok());
+  auto p0 = file.AppendPage("hello");
+  auto p1 = file.AppendPage(std::string(PageFile::kPageSize, 'x'));
+  ASSERT_TRUE(p0.ok());
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(*p0, 0u);
+  EXPECT_EQ(*p1, 1u);
+  EXPECT_EQ(file.page_count(), 2u);
+
+  std::string out;
+  ASSERT_TRUE(file.ReadPage(*p0, &out).ok());
+  EXPECT_EQ(out.substr(0, 5), "hello");
+  EXPECT_EQ(out.size(), PageFile::kPageSize);
+  EXPECT_EQ(out[5], '\0');  // zero padding
+  ASSERT_TRUE(file.ReadPage(*p1, &out).ok());
+  EXPECT_EQ(out, std::string(PageFile::kPageSize, 'x'));
+  ASSERT_TRUE(file.Close().ok());
+  std::remove(path.c_str());
+}
+
+TEST(PageFileTest, ReopenPersists) {
+  std::string path = TempPath("pagefile_reopen");
+  {
+    PageFile file;
+    ASSERT_TRUE(file.Open(path, true).ok());
+    ASSERT_TRUE(file.AppendPage("first").ok());
+    ASSERT_TRUE(file.AppendPage("second").ok());
+    ASSERT_TRUE(file.Sync().ok());
+    ASSERT_TRUE(file.Close().ok());
+  }
+  PageFile file;
+  ASSERT_TRUE(file.Open(path, false).ok());
+  EXPECT_EQ(file.page_count(), 2u);
+  std::string out;
+  ASSERT_TRUE(file.ReadPage(1, &out).ok());
+  EXPECT_EQ(out.substr(0, 6), "second");
+  std::remove(path.c_str());
+}
+
+TEST(PageFileTest, ErrorsAreStatuses) {
+  PageFile file;
+  std::string out;
+  EXPECT_FALSE(file.ReadPage(0, &out).ok());  // not open
+  EXPECT_FALSE(file.Open("/nonexistent/dir/f.pg", false).ok());
+
+  std::string path = TempPath("pagefile_errors");
+  ASSERT_TRUE(file.Open(path, true).ok());
+  EXPECT_EQ(file.ReadPage(5, &out).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(
+      file.AppendPage(std::string(PageFile::kPageSize + 1, 'y')).status()
+          .code(),
+      StatusCode::kInvalidArgument);
+  ASSERT_TRUE(file.Close().ok());
+  std::remove(path.c_str());
+}
+
+TEST(PageFileTest, CountsIo) {
+  std::string path = TempPath("pagefile_stats");
+  PageFile file;
+  ASSERT_TRUE(file.Open(path, true).ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(file.AppendPage("p").ok());
+  }
+  std::string out;
+  ASSERT_TRUE(file.ReadPage(0, &out).ok());
+  ASSERT_TRUE(file.ReadPage(4, &out).ok());
+  EXPECT_EQ(file.pages_written(), 5u);
+  EXPECT_EQ(file.pages_read(), 2u);
+  file.ResetStats();
+  EXPECT_EQ(file.pages_read(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(BufferPoolTest, CachesAndEvictsLru) {
+  std::string path = TempPath("bufferpool_lru");
+  PageFile file;
+  ASSERT_TRUE(file.Open(path, true).ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(file.AppendPage(std::string(1, static_cast<char>('a' + i)))
+                    .ok());
+  }
+  BufferPool pool(&file, /*capacity_pages=*/3);
+  // Misses fill the pool.
+  for (PageId id = 0; id < 3; ++id) {
+    auto page = pool.GetPage(id);
+    ASSERT_TRUE(page.ok());
+    EXPECT_EQ((**page)[0], static_cast<char>('a' + id));
+  }
+  EXPECT_EQ(pool.misses(), 3u);
+  EXPECT_EQ(pool.hits(), 0u);
+  // Hits don't touch the file.
+  uint64_t reads_before = file.pages_read();
+  ASSERT_TRUE(pool.GetPage(1).ok());
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(file.pages_read(), reads_before);
+  // Page 0 is now LRU... order after hits: 1,2,0 -> inserting 3 evicts 0.
+  ASSERT_TRUE(pool.GetPage(3).ok());
+  EXPECT_EQ(pool.cached_pages(), 3u);
+  reads_before = file.pages_read();
+  ASSERT_TRUE(pool.GetPage(0).ok());  // must re-read
+  EXPECT_EQ(file.pages_read(), reads_before + 1);
+}
+
+TEST(BufferPoolTest, EvictedPageStaysValidViaSharedPtr) {
+  std::string path = TempPath("bufferpool_shared");
+  PageFile file;
+  ASSERT_TRUE(file.Open(path, true).ok());
+  ASSERT_TRUE(file.AppendPage("keepme").ok());
+  ASSERT_TRUE(file.AppendPage("other").ok());
+  BufferPool pool(&file, 1);
+  auto kept = pool.GetPage(0);
+  ASSERT_TRUE(kept.ok());
+  ASSERT_TRUE(pool.GetPage(1).ok());  // evicts page 0 from the pool
+  EXPECT_EQ((**kept).substr(0, 6), "keepme");  // still alive
+  std::remove(path.c_str());
+}
+
+TEST(BufferPoolTest, RandomizedAgainstDirectReads) {
+  std::string path = TempPath("bufferpool_random");
+  PageFile file;
+  ASSERT_TRUE(file.Open(path, true).ok());
+  constexpr int kPages = 32;
+  for (int i = 0; i < kPages; ++i) {
+    ASSERT_TRUE(file.AppendPage(std::string(8, static_cast<char>(i))).ok());
+  }
+  BufferPool pool(&file, 7);
+  Rng rng(31337);
+  for (int trial = 0; trial < 2000; ++trial) {
+    PageId id = static_cast<PageId>(rng.NextBounded(kPages));
+    auto page = pool.GetPage(id);
+    ASSERT_TRUE(page.ok());
+    ASSERT_EQ((**page)[0], static_cast<char>(id));
+    ASSERT_LE(pool.cached_pages(), 7u);
+  }
+  EXPECT_GT(pool.hits(), 0u);
+  EXPECT_GT(pool.misses(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace xtopk

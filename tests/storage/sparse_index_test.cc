@@ -1,0 +1,77 @@
+#include "storage/sparse_index.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace xtopk {
+namespace {
+
+Column MakeColumn(uint32_t runs, uint32_t value_stride) {
+  Column col;
+  for (uint32_t i = 0; i < runs; ++i) {
+    col.Append(i, 1 + i * value_stride);
+  }
+  return col;
+}
+
+TEST(SparseIndexTest, ProbeWindowsContainTheValue) {
+  Column col = MakeColumn(1000, 3);
+  SparseIndex index = SparseIndex::Build(col, /*sample_rate=*/64);
+  EXPECT_LE(index.sample_count(), 1000u / 64 + 1);
+  for (uint32_t value = 1; value <= 1 + 999 * 3; value += 7) {
+    auto window = index.Probe(value);
+    size_t expected = col.LowerBoundValue(value);
+    if (expected < col.run_count() &&
+        col.runs()[expected].value == value) {
+      EXPECT_GE(expected, window.lo);
+      EXPECT_LT(expected, window.hi);
+      // The window is one stride wide.
+      EXPECT_LE(window.hi - window.lo, 65u);
+    }
+  }
+}
+
+TEST(SparseIndexTest, ProbeBelowFirstIsEmpty) {
+  Column col = MakeColumn(100, 2);  // values start at 1
+  SparseIndex index = SparseIndex::Build(col, 16);
+  auto window = index.Probe(0);
+  EXPECT_EQ(window.lo, window.hi);
+}
+
+TEST(SparseIndexTest, EmptyColumn) {
+  Column col;
+  SparseIndex index = SparseIndex::Build(col, 16);
+  auto window = index.Probe(5);
+  EXPECT_EQ(window.lo, 0u);
+  EXPECT_EQ(window.hi, 0u);
+}
+
+TEST(SparseIndexTest, EncodeDecodeRoundTrip) {
+  Column col = MakeColumn(500, 5);
+  SparseIndex index = SparseIndex::Build(col, 32);
+  std::string buf;
+  index.Encode(&buf);
+  EXPECT_EQ(buf.size(), index.EncodedSize());
+  SparseIndex out;
+  size_t pos = 0;
+  ASSERT_TRUE(SparseIndex::Decode(buf, &pos, &out).ok());
+  EXPECT_EQ(out.sample_count(), index.sample_count());
+  EXPECT_EQ(out.sample_rate(), index.sample_rate());
+  for (uint32_t value = 1; value < 2500; value += 13) {
+    auto a = index.Probe(value);
+    auto b = out.Probe(value);
+    EXPECT_EQ(a.lo, b.lo);
+    EXPECT_EQ(a.hi, b.hi);
+  }
+}
+
+TEST(SparseIndexTest, IsSmallRelativeToColumn) {
+  Column col = MakeColumn(10000, 7);
+  SparseIndex index = SparseIndex::Build(col, 64);
+  // Table I: sparse indexes are a few percent of the lists.
+  EXPECT_LT(index.EncodedSize(), 10000u / 10);
+}
+
+}  // namespace
+}  // namespace xtopk

@@ -1,0 +1,112 @@
+#ifndef XTOPK_TESTS_TESTING_CORPUS_H_
+#define XTOPK_TESTS_TESTING_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "xml/xml_tree.h"
+
+namespace xtopk {
+namespace testing {
+
+/// A small hand-checked corpus used across the algorithm tests:
+///
+///   db                                   (level 1)
+///   ├── conf                             (level 2)
+///   │   ├── paper  "xml data"            (level 3)  <- direct both
+///   │   ├── paper                        (level 3)
+///   │   │   ├── title "xml"              (level 4)
+///   │   │   └── abs   "data"             (level 4)
+///   │   └── paper                        (level 3)
+///   │       └── title "xml"              (level 4)
+///   └── conf                             (level 2)
+///       ├── paper                        (level 3)
+///       │   └── title "data"             (level 4)
+///       └── paper                        (level 3)
+///           └── title "xml data xml"     (level 4)
+///
+/// ELCA({xml, data}): paper#0 (direct), paper#1 (via children),
+/// title "xml data xml" — and conf#1? conf#1 contains data (under paper#3)
+/// and xml only under the matched title -> after exclusion conf#1 keeps
+/// "data" but loses all xml -> NOT an ELCA. conf#0: both keywords only
+/// under ELCA papers -> not an ELCA. db: same -> not.
+/// SLCA({xml, data}): paper#0, paper#1, title "xml data xml".
+inline XmlTree MakeSmallCorpus() {
+  XmlTree tree;
+  NodeId db = tree.CreateRoot("db");
+  NodeId conf0 = tree.AddChild(db, "conf");
+  NodeId p0 = tree.AddChild(conf0, "paper");
+  tree.AppendText(p0, "xml data");
+  NodeId p1 = tree.AddChild(conf0, "paper");
+  NodeId p1t = tree.AddChild(p1, "title");
+  tree.AppendText(p1t, "xml");
+  NodeId p1a = tree.AddChild(p1, "abs");
+  tree.AppendText(p1a, "data");
+  NodeId p2 = tree.AddChild(conf0, "paper");
+  NodeId p2t = tree.AddChild(p2, "title");
+  tree.AppendText(p2t, "xml");
+  NodeId conf1 = tree.AddChild(db, "conf");
+  NodeId p3 = tree.AddChild(conf1, "paper");
+  NodeId p3t = tree.AddChild(p3, "title");
+  tree.AppendText(p3t, "data");
+  NodeId p4 = tree.AddChild(conf1, "paper");
+  NodeId p4t = tree.AddChild(p4, "title");
+  tree.AppendText(p4t, "xml data xml");
+  return tree;
+}
+
+/// Node ids of MakeSmallCorpus in creation order, for readable assertions.
+struct SmallCorpusIds {
+  static constexpr NodeId kDb = 0;
+  static constexpr NodeId kConf0 = 1;
+  static constexpr NodeId kPaper0 = 2;   // "xml data"
+  static constexpr NodeId kPaper1 = 3;
+  static constexpr NodeId kP1Title = 4;  // "xml"
+  static constexpr NodeId kP1Abs = 5;    // "data"
+  static constexpr NodeId kPaper2 = 6;
+  static constexpr NodeId kP2Title = 7;  // "xml"
+  static constexpr NodeId kConf1 = 8;
+  static constexpr NodeId kPaper3 = 9;
+  static constexpr NodeId kP3Title = 10;  // "data"
+  static constexpr NodeId kPaper4 = 11;
+  static constexpr NodeId kP4Title = 12;  // "xml data xml"
+};
+
+/// A random labeled tree for property tests: up to `max_nodes` elements,
+/// random branching, keyword tokens drawn from `terms` with probability
+/// `term_prob` each per node. Deterministic per seed.
+inline XmlTree MakeRandomTree(uint64_t seed, size_t max_nodes,
+                              uint32_t max_children, uint32_t max_depth,
+                              const std::vector<std::string>& terms,
+                              double term_prob) {
+  Rng rng(seed);
+  XmlTree tree;
+  tree.CreateRoot("r");
+  std::vector<NodeId> frontier = {tree.root()};
+  while (tree.node_count() < max_nodes && !frontier.empty()) {
+    size_t pick = rng.NextBounded(frontier.size());
+    NodeId parent = frontier[pick];
+    if (tree.level(parent) >= max_depth) {
+      frontier.erase(frontier.begin() + pick);
+      continue;
+    }
+    NodeId child = tree.AddChild(parent, "n");
+    frontier.push_back(child);
+    // Give every node a chance to carry each term.
+    for (const std::string& term : terms) {
+      if (rng.NextBernoulli(term_prob)) tree.AppendText(child, term);
+    }
+    // Occasionally close a node so shapes vary.
+    if (rng.NextBernoulli(0.2) ||
+        tree.Children(parent).size() >= max_children) {
+      frontier.erase(frontier.begin() + pick);
+    }
+  }
+  return tree;
+}
+
+}  // namespace testing
+}  // namespace xtopk
+
+#endif  // XTOPK_TESTS_TESTING_CORPUS_H_

@@ -1,0 +1,116 @@
+#include "util/interval_set.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace xtopk {
+namespace {
+
+TEST(IntervalSetTest, AddAndCount) {
+  IntervalSet set;
+  set.Add(10, 20);
+  EXPECT_EQ(set.covered(), 10u);
+  EXPECT_EQ(set.CountOverlap(0, 100), 10u);
+  EXPECT_EQ(set.CountOverlap(15, 18), 3u);
+  EXPECT_EQ(set.CountOverlap(0, 10), 0u);
+  EXPECT_EQ(set.CountOverlap(20, 30), 0u);
+  EXPECT_TRUE(set.Contains(10));
+  EXPECT_FALSE(set.Contains(20));
+}
+
+TEST(IntervalSetTest, MergeOverlapping) {
+  IntervalSet set;
+  set.Add(10, 20);
+  set.Add(15, 25);
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_EQ(set.covered(), 15u);
+  set.Add(25, 30);  // touching merges
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_EQ(set.covered(), 20u);
+  set.Add(40, 50);
+  EXPECT_EQ(set.interval_count(), 2u);
+  set.Add(5, 60);  // swallows everything
+  EXPECT_EQ(set.interval_count(), 1u);
+  EXPECT_EQ(set.covered(), 55u);
+}
+
+TEST(IntervalSetTest, NestedAddIsIdempotent) {
+  // The paper's containment property: matched ranges are nested or
+  // disjoint. Re-adding a contained range must not change the count.
+  IntervalSet set;
+  set.Add(0, 100);
+  set.Add(10, 20);
+  EXPECT_EQ(set.covered(), 100u);
+  EXPECT_EQ(set.CountOverlap(0, 100), 100u);
+}
+
+TEST(IntervalSetTest, EmptyRangeIsNoop) {
+  IntervalSet set;
+  set.Add(5, 5);
+  EXPECT_EQ(set.covered(), 0u);
+  EXPECT_EQ(set.CountOverlap(5, 5), 0u);
+}
+
+TEST(IntervalSetTest, ForEachUncovered) {
+  IntervalSet set;
+  set.Add(10, 20);
+  set.Add(30, 40);
+  std::vector<std::pair<uint32_t, uint32_t>> gaps;
+  set.ForEachUncovered(0, 50, [&](uint32_t lo, uint32_t hi) {
+    gaps.emplace_back(lo, hi);
+  });
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_EQ(gaps[0], (std::pair<uint32_t, uint32_t>{0, 10}));
+  EXPECT_EQ(gaps[1], (std::pair<uint32_t, uint32_t>{20, 30}));
+  EXPECT_EQ(gaps[2], (std::pair<uint32_t, uint32_t>{40, 50}));
+}
+
+TEST(IntervalSetTest, ForEachUncoveredFullyCovered) {
+  IntervalSet set;
+  set.Add(0, 100);
+  int calls = 0;
+  set.ForEachUncovered(10, 90, [&](uint32_t, uint32_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(IntervalSetTest, RandomizedAgainstBitmap) {
+  Rng rng(99);
+  constexpr uint32_t kUniverse = 512;
+  for (int trial = 0; trial < 50; ++trial) {
+    IntervalSet set;
+    std::vector<char> bitmap(kUniverse, 0);
+    for (int op = 0; op < 60; ++op) {
+      uint32_t a = static_cast<uint32_t>(rng.NextBounded(kUniverse));
+      uint32_t b = static_cast<uint32_t>(rng.NextBounded(kUniverse));
+      if (a > b) std::swap(a, b);
+      set.Add(a, b);
+      for (uint32_t i = a; i < b; ++i) bitmap[i] = 1;
+      // Random count queries.
+      uint32_t qa = static_cast<uint32_t>(rng.NextBounded(kUniverse));
+      uint32_t qb = static_cast<uint32_t>(rng.NextBounded(kUniverse));
+      if (qa > qb) std::swap(qa, qb);
+      uint32_t expected = 0;
+      for (uint32_t i = qa; i < qb; ++i) expected += bitmap[i];
+      ASSERT_EQ(set.CountOverlap(qa, qb), expected);
+      // Uncovered enumeration must partition the complement.
+      uint32_t uncovered = 0;
+      set.ForEachUncovered(qa, qb, [&](uint32_t lo, uint32_t hi) {
+        ASSERT_LT(lo, hi);
+        for (uint32_t i = lo; i < hi; ++i) {
+          ASSERT_EQ(bitmap[i], 0);
+          ++uncovered;
+        }
+      });
+      ASSERT_EQ(uncovered, (qb - qa) - expected);
+    }
+    uint64_t total = 0;
+    for (char c : bitmap) total += c;
+    ASSERT_EQ(set.covered(), total);
+  }
+}
+
+}  // namespace
+}  // namespace xtopk

@@ -1,0 +1,38 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace xtopk {
+namespace {
+
+TEST(StringUtilTest, AsciiLower) {
+  EXPECT_EQ(AsciiLower("Hello World 123"), "hello world 123");
+  EXPECT_EQ(AsciiLower(""), "");
+  EXPECT_EQ(AsciiLower("already lower"), "already lower");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(StringUtilTest, SplitNonEmpty) {
+  auto parts = SplitNonEmpty("a,b,,c", ",");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(SplitNonEmpty("", ",").empty());
+  EXPECT_TRUE(SplitNonEmpty(",,,", ",").empty());
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(1024), "1.0 KB");
+  EXPECT_EQ(HumanBytes(1536), "1.5 KB");
+  EXPECT_EQ(HumanBytes(3ull * 1024 * 1024), "3.0 MB");
+  EXPECT_EQ(HumanBytes(2ull * 1024 * 1024 * 1024), "2.0 GB");
+}
+
+}  // namespace
+}  // namespace xtopk

@@ -1,0 +1,89 @@
+#include "util/varint.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace xtopk {
+namespace {
+
+TEST(VarintTest, RoundTripU64Boundaries) {
+  const uint64_t cases[] = {0,
+                            1,
+                            127,
+                            128,
+                            16383,
+                            16384,
+                            UINT32_MAX,
+                            (1ull << 56) - 1,
+                            UINT64_MAX};
+  std::string buf;
+  for (uint64_t v : cases) varint::PutU64(&buf, v);
+  size_t pos = 0;
+  for (uint64_t v : cases) {
+    uint64_t out = 0;
+    ASSERT_TRUE(varint::GetU64(buf, &pos, &out).ok());
+    EXPECT_EQ(out, v);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(VarintTest, RoundTripU32RejectsOverflow) {
+  std::string buf;
+  varint::PutU64(&buf, static_cast<uint64_t>(UINT32_MAX) + 1);
+  size_t pos = 0;
+  uint32_t out = 0;
+  EXPECT_EQ(varint::GetU32(buf, &pos, &out).code(), StatusCode::kCorruption);
+}
+
+TEST(VarintTest, RoundTripSigned) {
+  const int64_t cases[] = {0, -1, 1, -64, 63, INT64_MIN, INT64_MAX, -123456789};
+  std::string buf;
+  for (int64_t v : cases) varint::PutS64(&buf, v);
+  size_t pos = 0;
+  for (int64_t v : cases) {
+    int64_t out = 0;
+    ASSERT_TRUE(varint::GetS64(buf, &pos, &out).ok());
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(VarintTest, TruncatedBufferIsCorruption) {
+  std::string buf;
+  varint::PutU64(&buf, 1u << 20);
+  buf.pop_back();
+  size_t pos = 0;
+  uint64_t out = 0;
+  EXPECT_EQ(varint::GetU64(buf, &pos, &out).code(), StatusCode::kCorruption);
+}
+
+TEST(VarintTest, LengthMatchesEncoding) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.NextU64() >> rng.NextBounded(64);
+    std::string buf;
+    varint::PutU64(&buf, v);
+    EXPECT_EQ(buf.size(), varint::LengthU64(v)) << v;
+  }
+}
+
+TEST(VarintTest, RandomRoundTrips) {
+  Rng rng(7);
+  std::string buf;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = rng.NextU64() >> rng.NextBounded(64);
+    values.push_back(v);
+    varint::PutU64(&buf, v);
+  }
+  size_t pos = 0;
+  for (uint64_t v : values) {
+    uint64_t out = 0;
+    ASSERT_TRUE(varint::GetU64(buf, &pos, &out).ok());
+    ASSERT_EQ(out, v);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+}  // namespace
+}  // namespace xtopk

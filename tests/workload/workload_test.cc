@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "index/index_builder.h"
+#include "workload/dblp_gen.h"
+#include "workload/query_gen.h"
+#include "workload/vocab.h"
+#include "workload/xmark_gen.h"
+#include "workload/zipf.h"
+
+namespace xtopk {
+namespace {
+
+TEST(ZipfTest, SkewsTowardLowRanks) {
+  ZipfSampler zipf(1000, 1.1, 42);
+  std::vector<uint32_t> counts(1000, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Next()];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 50000 / 50);  // rank 0 is heavy
+  uint64_t tail = 0;
+  for (size_t r = 500; r < 1000; ++r) tail += counts[r];
+  EXPECT_LT(tail, 50000u / 4);
+}
+
+TEST(ZipfTest, DeterministicPerSeed) {
+  ZipfSampler a(100, 1.0, 7), b(100, 1.0, 7);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.Next(), b.Next());
+}
+
+TEST(VocabTest, WordsUniqueAndTokenizerStable) {
+  Vocab vocab(5000);
+  std::set<std::string> seen;
+  for (size_t i = 0; i < vocab.size(); ++i) {
+    const std::string& w = vocab.word(i);
+    EXPECT_TRUE(seen.insert(w).second) << w;
+    for (char c : w) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z') << w;
+    }
+  }
+}
+
+TEST(DblpGenTest, ShapeMatchesSchema) {
+  DblpGenOptions options;
+  options.num_conferences = 4;
+  options.years_per_conference = 3;
+  options.papers_per_year = 5;
+  DblpCorpus corpus = GenerateDblp(options);
+  const XmlTree& tree = corpus.tree;
+  EXPECT_EQ(tree.TagName(tree.root()), "dblp");
+  EXPECT_EQ(tree.Children(tree.root()).size(), 4u);
+  EXPECT_EQ(corpus.titles.size(), 4u * 3 * 5);
+  for (NodeId title : corpus.titles) {
+    EXPECT_EQ(tree.TagName(title), "title");
+    EXPECT_EQ(tree.level(title), 5u);
+    EXPECT_FALSE(tree.text(title).empty());
+    EXPECT_EQ(tree.TagName(tree.parent(title)), "paper");
+  }
+}
+
+TEST(DblpGenTest, PlantedFrequenciesExact) {
+  DblpGenOptions options;
+  options.num_conferences = 5;
+  options.years_per_conference = 4;
+  options.papers_per_year = 10;  // 200 titles
+  options.planted = {
+      PlantedTerm{"qlow", 7, "", 0.0},
+      PlantedTerm{"qhigh", 120, "", 0.0},
+      PlantedTerm{"qcorr", 30, "qhigh", 0.9},
+  };
+  DblpCorpus corpus = GenerateDblp(options);
+  IndexBuilder builder(corpus.tree);
+  JDeweyIndex index = builder.BuildJDeweyIndex();
+  EXPECT_EQ(index.Frequency("qlow"), 7u);
+  EXPECT_EQ(index.Frequency("qhigh"), 120u);
+  EXPECT_EQ(index.Frequency("qcorr"), 30u);
+  // Correlation: most qcorr titles also carry qhigh.
+  const JDeweyList* corr = index.GetList("qcorr");
+  const JDeweyList* high = index.GetList("qhigh");
+  std::set<NodeId> high_nodes(high->nodes.begin(), high->nodes.end());
+  uint32_t overlap = 0;
+  for (NodeId n : corr->nodes) overlap += high_nodes.count(n);
+  EXPECT_GT(overlap, 20u);
+}
+
+TEST(DblpGenTest, DeterministicPerSeed) {
+  DblpGenOptions options;
+  options.num_conferences = 2;
+  options.years_per_conference = 2;
+  options.papers_per_year = 3;
+  DblpCorpus a = GenerateDblp(options);
+  DblpCorpus b = GenerateDblp(options);
+  ASSERT_EQ(a.tree.node_count(), b.tree.node_count());
+  for (NodeId id = 0; id < a.tree.node_count(); ++id) {
+    ASSERT_EQ(a.tree.text(id), b.tree.text(id));
+  }
+}
+
+TEST(XmarkGenTest, ShapeIsDeepAndIrregular) {
+  XmarkGenOptions options;
+  options.items_per_region = 20;
+  options.num_people = 30;
+  options.num_open_auctions = 15;
+  XmarkCorpus corpus = GenerateXmark(options);
+  const XmlTree& tree = corpus.tree;
+  EXPECT_EQ(tree.TagName(tree.root()), "site");
+  EXPECT_GE(tree.max_level(), 7u);
+  // Occurrence levels vary (the top-K index needs several segments).
+  std::set<uint32_t> levels;
+  for (NodeId n : corpus.text_nodes) levels.insert(tree.level(n));
+  EXPECT_GE(levels.size(), 3u);
+}
+
+TEST(XmarkGenTest, PlantedFrequenciesExact) {
+  XmarkGenOptions options;
+  options.items_per_region = 40;
+  options.num_people = 60;
+  options.num_open_auctions = 30;
+  options.planted = {PlantedTerm{"needle", 25, "", 0.0}};
+  XmarkCorpus corpus = GenerateXmark(options);
+  IndexBuilder builder(corpus.tree);
+  JDeweyIndex index = builder.BuildJDeweyIndex();
+  EXPECT_EQ(index.Frequency("needle"), 25u);
+}
+
+TEST(QueryGenTest, BandsRespected) {
+  DblpGenOptions options;
+  options.planted = {
+      PlantedTerm{"f10a", 10, "", 0.0}, PlantedTerm{"f10b", 10, "", 0.0},
+      PlantedTerm{"f10c", 10, "", 0.0}, PlantedTerm{"f500a", 500, "", 0.0},
+      PlantedTerm{"f500b", 500, "", 0.0}, PlantedTerm{"f500c", 500, "", 0.0},
+  };
+  DblpCorpus corpus = GenerateDblp(options);
+  IndexBuilder builder(corpus.tree);
+  QueryGenerator gen(builder.terms(), /*seed=*/5);
+
+  FrequencyBand low{10, 10}, high{500, 500};
+  EXPECT_GE(gen.BandSize(low), 3u);
+  EXPECT_GE(gen.BandSize(high), 3u);
+
+  auto queries = gen.MixedFrequencyQueries(10, 3, low, high);
+  ASSERT_EQ(queries.size(), 10u);
+  JDeweyIndex index = builder.BuildJDeweyIndex();
+  for (const auto& q : queries) {
+    ASSERT_EQ(q.size(), 3u);
+    EXPECT_EQ(index.Frequency(q[0]), 10u);
+    EXPECT_EQ(index.Frequency(q[1]), 500u);
+    EXPECT_EQ(index.Frequency(q[2]), 500u);
+    EXPECT_NE(q[1], q[2]);
+  }
+
+  auto equal = gen.EqualFrequencyQueries(5, 2, high);
+  for (const auto& q : equal) {
+    EXPECT_EQ(index.Frequency(q[0]), 500u);
+    EXPECT_EQ(index.Frequency(q[1]), 500u);
+  }
+}
+
+TEST(QueryGenTest, EmptyBandYieldsNothing) {
+  DblpGenOptions options;
+  options.num_conferences = 2;
+  options.years_per_conference = 2;
+  options.papers_per_year = 2;
+  DblpCorpus corpus = GenerateDblp(options);
+  IndexBuilder builder(corpus.tree);
+  QueryGenerator gen(builder.terms(), 1);
+  FrequencyBand impossible{1000000, 2000000};
+  EXPECT_EQ(gen.BandSize(impossible), 0u);
+  EXPECT_FALSE(gen.SampleInBand(impossible).has_value());
+  EXPECT_TRUE(gen.MixedFrequencyQueries(5, 2, impossible, impossible).empty());
+}
+
+}  // namespace
+}  // namespace xtopk

@@ -1,0 +1,85 @@
+#include "xml/dewey.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/corpus.h"
+
+namespace xtopk {
+namespace {
+
+using testing::MakeSmallCorpus;
+using Ids = testing::SmallCorpusIds;
+
+TEST(DeweyTest, CompareIsDocumentOrder) {
+  DeweyId a({1, 1, 2});
+  DeweyId b({1, 1, 2, 1});
+  DeweyId c({1, 2});
+  EXPECT_LT(a.Compare(b), 0);  // prefix before extension
+  EXPECT_LT(b.Compare(c), 0);
+  EXPECT_EQ(a.Compare(a), 0);
+  EXPECT_GT(c.Compare(a), 0);
+}
+
+TEST(DeweyTest, LongestCommonPrefixIsLca) {
+  DeweyId u({1, 1, 2, 2, 1});
+  DeweyId v({1, 1, 2, 3, 2});
+  DeweyId lca = u.LongestCommonPrefix(v);
+  EXPECT_EQ(lca.ToString(), "1.1.2");
+  EXPECT_EQ(u.CommonPrefixLength(v), 3u);
+}
+
+TEST(DeweyTest, AncestorChecks) {
+  DeweyId anc({1, 1});
+  DeweyId desc({1, 1, 3, 4});
+  EXPECT_TRUE(anc.IsAncestorOf(desc));
+  EXPECT_FALSE(desc.IsAncestorOf(anc));
+  EXPECT_FALSE(anc.IsAncestorOf(anc));
+  EXPECT_TRUE(anc.IsAncestorOf(anc, /*or_self=*/true));
+  DeweyId sibling({1, 2});
+  EXPECT_FALSE(anc.IsAncestorOf(sibling));
+}
+
+TEST(DeweyTest, AssignMatchesTreeStructure) {
+  XmlTree tree = MakeSmallCorpus();
+  std::vector<DeweyId> ids = AssignDeweyIds(tree);
+  EXPECT_EQ(ids[Ids::kDb].ToString(), "1");
+  EXPECT_EQ(ids[Ids::kConf0].ToString(), "1.1");
+  EXPECT_EQ(ids[Ids::kConf1].ToString(), "1.2");
+  EXPECT_EQ(ids[Ids::kPaper2].ToString(), "1.1.3");
+  EXPECT_EQ(ids[Ids::kP4Title].ToString(), "1.2.2.1");
+  // Document order of Dewey ids equals NodeId (creation/preorder) order
+  // within this corpus... siblings created in order.
+  for (NodeId id = 0; id < tree.node_count(); ++id) {
+    EXPECT_EQ(ids[id].length(), tree.level(id));
+  }
+}
+
+TEST(DeweyTest, NodeByDeweyInvertsAssignment) {
+  XmlTree tree = MakeSmallCorpus();
+  std::vector<DeweyId> ids = AssignDeweyIds(tree);
+  for (NodeId id = 0; id < tree.node_count(); ++id) {
+    EXPECT_EQ(NodeByDewey(tree, ids[id]), id);
+  }
+  EXPECT_EQ(NodeByDewey(tree, DeweyId({1, 9})), kInvalidNode);
+  EXPECT_EQ(NodeByDewey(tree, DeweyId({2})), kInvalidNode);
+  EXPECT_EQ(NodeByDewey(tree, DeweyId()), kInvalidNode);
+}
+
+TEST(DeweyTest, EncodedSizeDeltaSharesPrefixes) {
+  DeweyId prev({1, 5, 3, 2});
+  DeweyId close({1, 5, 3, 4});
+  DeweyId far({2, 900000, 100000, 5, 6});
+  // A neighbour sharing a long prefix costs less than a distant id.
+  EXPECT_LT(DeweyId::EncodedSizeDelta(prev, close),
+            DeweyId::EncodedSizeDelta(prev, far));
+}
+
+TEST(DeweyTest, PrefixTruncates) {
+  DeweyId d({1, 2, 3, 4});
+  EXPECT_EQ(d.Prefix(2).ToString(), "1.2");
+  EXPECT_EQ(d.Prefix(4).ToString(), "1.2.3.4");
+  EXPECT_TRUE(d.Prefix(0).empty());
+}
+
+}  // namespace
+}  // namespace xtopk

@@ -1,0 +1,137 @@
+#include "xml/jdewey.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testing/corpus.h"
+#include "xml/jdewey_builder.h"
+
+namespace xtopk {
+namespace {
+
+using testing::MakeRandomTree;
+using testing::MakeSmallCorpus;
+using Ids = testing::SmallCorpusIds;
+
+TEST(JDeweyTest, AssignSatisfiesBothRequirements) {
+  XmlTree tree = MakeSmallCorpus();
+  JDeweyEncoding enc = JDeweyBuilder::Assign(tree, /*gap=*/0);
+  ASSERT_TRUE(enc.Validate(tree).ok());
+}
+
+TEST(JDeweyTest, SequencesFollowPaths) {
+  XmlTree tree = MakeSmallCorpus();
+  JDeweyEncoding enc = JDeweyBuilder::Assign(tree, /*gap=*/0);
+  JDeweySeq seq = enc.SequenceOf(tree, Ids::kP4Title);
+  ASSERT_EQ(seq.size(), 4u);
+  EXPECT_EQ(seq[0], enc.NumberOf(Ids::kDb));
+  EXPECT_EQ(seq[1], enc.NumberOf(Ids::kConf1));
+  EXPECT_EQ(seq[2], enc.NumberOf(Ids::kPaper4));
+  EXPECT_EQ(seq[3], enc.NumberOf(Ids::kP4Title));
+}
+
+TEST(JDeweyTest, PairIdentifiesNodeUniquelyPerLevel) {
+  XmlTree tree = MakeSmallCorpus();
+  JDeweyEncoding enc = JDeweyBuilder::Assign(tree, /*gap=*/3);
+  // Unlike Dewey, (level, number) is unique across the whole tree.
+  for (NodeId a = 0; a < tree.node_count(); ++a) {
+    for (NodeId b = a + 1; b < tree.node_count(); ++b) {
+      if (tree.level(a) == tree.level(b)) {
+        EXPECT_NE(enc.NumberOf(a), enc.NumberOf(b));
+      }
+    }
+  }
+}
+
+TEST(JDeweyTest, LcaByLargestMatchingIndex) {
+  XmlTree tree = MakeSmallCorpus();
+  JDeweyEncoding enc = JDeweyBuilder::Assign(tree, /*gap=*/0);
+  JDeweySeq a = enc.SequenceOf(tree, Ids::kP1Title);
+  JDeweySeq b = enc.SequenceOf(tree, Ids::kP1Abs);
+  auto lca = JDeweyLca(a, b);
+  ASSERT_TRUE(lca.has_value());
+  EXPECT_EQ(lca->level, 3u);
+  EXPECT_EQ(lca->value, enc.NumberOf(Ids::kPaper1));
+
+  JDeweySeq c = enc.SequenceOf(tree, Ids::kP3Title);
+  lca = JDeweyLca(a, c);
+  ASSERT_TRUE(lca.has_value());
+  EXPECT_EQ(lca->level, 1u);
+  EXPECT_EQ(lca->value, enc.NumberOf(Ids::kDb));
+}
+
+TEST(JDeweyTest, CompareOrdersPrefixFirst) {
+  EXPECT_LT(CompareJDewey({1, 2}, {1, 2, 5}), 0);
+  EXPECT_GT(CompareJDewey({1, 3}, {1, 2, 5}), 0);
+  EXPECT_EQ(CompareJDewey({1, 2, 5}, {1, 2, 5}), 0);
+}
+
+// Property 3.1: if S1 < S2 in JDewey order, every shared position has
+// S1(i) <= S2(i). Verified over random trees.
+TEST(JDeweyTest, Property31HoldsOnRandomTrees) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    XmlTree tree = MakeRandomTree(seed, 300, 5, 8, {}, 0.0);
+    JDeweyEncoding enc =
+        JDeweyBuilder::Assign(tree, /*gap=*/seed % 3);
+    ASSERT_TRUE(enc.Validate(tree).ok()) << "seed " << seed;
+    std::vector<JDeweySeq> seqs;
+    for (NodeId id = 0; id < tree.node_count(); ++id) {
+      seqs.push_back(enc.SequenceOf(tree, id));
+    }
+    std::sort(seqs.begin(), seqs.end(),
+              [](const JDeweySeq& a, const JDeweySeq& b) {
+                return CompareJDewey(a, b) < 0;
+              });
+    for (size_t i = 1; i < seqs.size(); ++i) {
+      const JDeweySeq& s1 = seqs[i - 1];
+      const JDeweySeq& s2 = seqs[i];
+      size_t n = std::min(s1.size(), s2.size());
+      for (size_t j = 0; j < n; ++j) {
+        ASSERT_LE(s1[j], s2[j]) << "seed " << seed;
+      }
+    }
+  }
+}
+
+// JDewey LCA must agree with the tree's real LCA on random node pairs.
+TEST(JDeweyTest, LcaAgreesWithTreeOnRandomPairs) {
+  XmlTree tree = MakeRandomTree(77, 400, 4, 9, {}, 0.0);
+  JDeweyEncoding enc = JDeweyBuilder::Assign(tree, /*gap=*/2);
+  Rng rng(5);
+  for (int trial = 0; trial < 500; ++trial) {
+    NodeId a = static_cast<NodeId>(rng.NextBounded(tree.node_count()));
+    NodeId b = static_cast<NodeId>(rng.NextBounded(tree.node_count()));
+    // Reference LCA by parent walking.
+    NodeId x = a, y = b;
+    while (tree.level(x) > tree.level(y)) x = tree.parent(x);
+    while (tree.level(y) > tree.level(x)) y = tree.parent(y);
+    while (x != y) {
+      x = tree.parent(x);
+      y = tree.parent(y);
+    }
+    auto got = JDeweyLca(enc.SequenceOf(tree, a), enc.SequenceOf(tree, b));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->level, tree.level(x));
+    EXPECT_EQ(got->value, enc.NumberOf(x));
+  }
+}
+
+TEST(JDeweyTest, GapReservesSlots) {
+  XmlTree tree = MakeSmallCorpus();
+  JDeweyEncoding enc = JDeweyBuilder::Assign(tree, /*gap=*/2);
+  EXPECT_EQ(enc.ReservedSlots(Ids::kConf0), 2u);
+  EXPECT_EQ(enc.ReservedSlots(Ids::kP4Title), 2u);
+}
+
+TEST(JDeweyTest, ValidateDetectsViolations) {
+  XmlTree tree = MakeSmallCorpus();
+  JDeweyEncoding enc = JDeweyBuilder::Assign(tree, /*gap=*/0);
+  // Encoding for a different tree shape must be rejected.
+  XmlTree other;
+  other.CreateRoot("r");
+  EXPECT_FALSE(enc.Validate(other).ok());
+}
+
+}  // namespace
+}  // namespace xtopk

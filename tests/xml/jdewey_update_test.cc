@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "testing/corpus.h"
+#include "util/rng.h"
+#include "xml/jdewey.h"
+#include "xml/jdewey_builder.h"
+
+namespace xtopk {
+namespace {
+
+TEST(JDeweyUpdateTest, InsertIntoReservedSlot) {
+  XmlTree tree;
+  NodeId root = tree.CreateRoot("r");
+  NodeId a = tree.AddChild(root, "a");
+  tree.AddChild(root, "b");
+  JDeweyEncoding enc = JDeweyBuilder::Assign(tree, /*gap=*/2);
+  uint32_t before_next_free = enc.NextFreeAt(2);
+
+  NodeId c = tree.AddChild(root, "c");
+  size_t changed = JDeweyBuilder::InsertAssign(tree, c, /*gap=*/2, &enc);
+  EXPECT_EQ(changed, 1u);  // the reserved slot absorbed the insert
+  EXPECT_TRUE(enc.Validate(tree).ok());
+  // The new number came out of the reserved range, not the level end.
+  EXPECT_LT(enc.NumberOf(c), before_next_free);
+  EXPECT_GT(enc.NumberOf(c), enc.NumberOf(a));
+}
+
+TEST(JDeweyUpdateTest, TopmostExhaustedRangeExtendsInPlace) {
+  XmlTree tree;
+  NodeId root = tree.CreateRoot("r");
+  NodeId parent = tree.AddChild(root, "p");
+  tree.AddChild(parent, "c0");
+  JDeweyEncoding enc = JDeweyBuilder::Assign(tree, /*gap=*/1);
+
+  // First insert fits the single reserved slot.
+  NodeId c1 = tree.AddChild(parent, "c1");
+  EXPECT_EQ(JDeweyBuilder::InsertAssign(tree, c1, /*gap=*/1, &enc), 1u);
+  ASSERT_TRUE(enc.Validate(tree).ok());
+
+  // Second insert exhausts the range, but p owns the topmost range of the
+  // child level, so it is extended in place — a single number changes.
+  NodeId c2 = tree.AddChild(parent, "c2");
+  size_t changed = JDeweyBuilder::InsertAssign(tree, c2, /*gap=*/1, &enc);
+  EXPECT_EQ(changed, 1u);
+  ASSERT_TRUE(enc.Validate(tree).ok());
+  // And the extension reserved a fresh gap: the next insert is cheap too.
+  NodeId c3 = tree.AddChild(parent, "c3");
+  EXPECT_EQ(JDeweyBuilder::InsertAssign(tree, c3, /*gap=*/1, &enc), 1u);
+  ASSERT_TRUE(enc.Validate(tree).ok());
+}
+
+TEST(JDeweyUpdateTest, NonTopmostExhaustionReencodesSubtree) {
+  XmlTree tree;
+  NodeId root = tree.CreateRoot("r");
+  NodeId a = tree.AddChild(root, "a");
+  NodeId b = tree.AddChild(root, "b");
+  NodeId a1 = tree.AddChild(a, "a1");
+  NodeId b1 = tree.AddChild(b, "b1");
+  JDeweyEncoding enc = JDeweyBuilder::Assign(tree, /*gap=*/0);
+  // a's child range is full and b's range sits above it, so a cannot be
+  // extended: the subtree rooted at a (root owns the topmost level-2
+  // range) moves to the end of levels 2 and 3.
+  NodeId a2 = tree.AddChild(a, "a2");
+  size_t changed = JDeweyBuilder::InsertAssign(tree, a2, /*gap=*/1, &enc);
+  EXPECT_EQ(changed, 3u);  // a, a1, a2
+  ASSERT_TRUE(enc.Validate(tree).ok());
+  // a moved past b at level 2; its children moved past b1 at level 3.
+  EXPECT_GT(enc.NumberOf(a), enc.NumberOf(b));
+  EXPECT_GT(enc.NumberOf(a1), enc.NumberOf(b1));
+  EXPECT_GT(enc.NumberOf(a2), enc.NumberOf(a1));
+}
+
+TEST(JDeweyUpdateTest, ManyRandomInsertsKeepInvariants) {
+  for (uint64_t seed : {11ull, 22ull, 33ull}) {
+    Rng rng(seed);
+    XmlTree tree;
+    tree.CreateRoot("r");
+    for (int i = 0; i < 10; ++i) tree.AddChild(tree.root(), "n");
+    uint32_t gap = static_cast<uint32_t>(seed % 4);
+    JDeweyEncoding enc = JDeweyBuilder::Assign(tree, gap);
+    for (int i = 0; i < 300; ++i) {
+      NodeId parent =
+          static_cast<NodeId>(rng.NextBounded(tree.node_count()));
+      if (tree.level(parent) >= 10) continue;
+      NodeId child = tree.AddChild(parent, "n");
+      JDeweyBuilder::InsertAssign(tree, child, gap, &enc);
+      if (i % 50 == 0) {
+        ASSERT_TRUE(enc.Validate(tree).ok())
+            << "seed " << seed << " insert " << i;
+      }
+    }
+    ASSERT_TRUE(enc.Validate(tree).ok()) << "seed " << seed;
+  }
+}
+
+TEST(JDeweyUpdateTest, InsertedNodesHaveWorkingSequences) {
+  XmlTree tree;
+  NodeId root = tree.CreateRoot("r");
+  NodeId a = tree.AddChild(root, "a");
+  JDeweyEncoding enc = JDeweyBuilder::Assign(tree, /*gap=*/4);
+  NodeId b = tree.AddChild(a, "b");
+  JDeweyBuilder::InsertAssign(tree, b, /*gap=*/4, &enc);
+  NodeId c = tree.AddChild(b, "c");
+  JDeweyBuilder::InsertAssign(tree, c, /*gap=*/4, &enc);
+  ASSERT_TRUE(enc.Validate(tree).ok());
+  JDeweySeq seq = enc.SequenceOf(tree, c);
+  ASSERT_EQ(seq.size(), 4u);
+  EXPECT_EQ(seq[3], enc.NumberOf(c));
+  auto lca = JDeweyLca(enc.SequenceOf(tree, b), seq);
+  ASSERT_TRUE(lca.has_value());
+  EXPECT_EQ(lca->value, enc.NumberOf(b));
+}
+
+}  // namespace
+}  // namespace xtopk

@@ -1,0 +1,98 @@
+// Failure-injection tests for the XML parser: mutated and random inputs
+// must produce a Status, never a crash or a malformed tree.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/rng.h"
+#include "xml/xml_parser.h"
+
+namespace xtopk {
+namespace {
+
+const char* kSeedDocs[] = {
+    "<a><b x=\"1\">text &amp; more</b><!-- c --><![CDATA[raw]]></a>",
+    "<?xml version=\"1.0\"?><dblp><conf name='icde'><paper>top k"
+    "</paper></conf></dblp>",
+    "<r><n><n><n>deep</n></n></n></r>",
+};
+
+void CheckDoesNotCrash(const std::string& input) {
+  auto result = XmlParser::Parse(input);
+  if (result.ok()) {
+    // Whatever parsed must be a structurally sane tree.
+    const XmlTree& tree = *result;
+    ASSERT_GT(tree.node_count(), 0u);
+    for (NodeId id = 1; id < tree.node_count(); ++id) {
+      ASSERT_LT(tree.parent(id), id);
+      ASSERT_EQ(tree.level(id), tree.level(tree.parent(id)) + 1);
+    }
+  }
+}
+
+TEST(ParserFuzzTest, TruncationsNeverCrash) {
+  for (const char* doc : kSeedDocs) {
+    std::string s = doc;
+    for (size_t cut = 0; cut <= s.size(); ++cut) {
+      CheckDoesNotCrash(s.substr(0, cut));
+    }
+  }
+}
+
+TEST(ParserFuzzTest, ByteFlipsNeverCrash) {
+  Rng rng(4242);
+  for (const char* doc : kSeedDocs) {
+    std::string base = doc;
+    for (int trial = 0; trial < 400; ++trial) {
+      std::string s = base;
+      int flips = 1 + static_cast<int>(rng.NextBounded(3));
+      for (int f = 0; f < flips; ++f) {
+        size_t pos = rng.NextBounded(s.size());
+        s[pos] = static_cast<char>(rng.NextBounded(256));
+      }
+      CheckDoesNotCrash(s);
+    }
+  }
+}
+
+TEST(ParserFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(777);
+  for (int trial = 0; trial < 500; ++trial) {
+    size_t len = rng.NextBounded(200);
+    std::string s;
+    for (size_t i = 0; i < len; ++i) {
+      // Bias toward XML-ish characters so some inputs get deep into the
+      // parser.
+      const char* alphabet = "<>=/!?\"'&;abc \n-[]";
+      s.push_back(rng.NextBernoulli(0.7)
+                      ? alphabet[rng.NextBounded(18)]
+                      : static_cast<char>(rng.NextBounded(256)));
+    }
+    CheckDoesNotCrash(s);
+  }
+}
+
+TEST(ParserFuzzTest, PathologicalNestingDepth) {
+  // 20k-deep nesting: the recursive-descent parser must survive (each
+  // frame is small); reject if implementation limits are ever added.
+  std::string deep;
+  for (int i = 0; i < 20000; ++i) deep += "<a>";
+  deep += "x";
+  for (int i = 0; i < 20000; ++i) deep += "</a>";
+  auto result = XmlParser::Parse(deep);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->node_count(), 20000u);
+  EXPECT_EQ(result->max_level(), 20000u);
+}
+
+TEST(ParserFuzzTest, HugeAttributeAndTextValues) {
+  std::string big(1 << 18, 'x');
+  std::string doc = "<a v=\"" + big + "\">" + big + "</a>";
+  auto result = XmlParser::Parse(doc);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->text(0).size(), big.size());
+}
+
+}  // namespace
+}  // namespace xtopk

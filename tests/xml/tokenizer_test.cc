@@ -1,0 +1,52 @@
+#include "xml/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace xtopk {
+namespace {
+
+TEST(TokenizerTest, SplitsAndLowercases) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("Top-K Keyword Search, in XML!");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0], "top");
+  EXPECT_EQ(tokens[1], "k");
+  EXPECT_EQ(tokens[2], "keyword");
+  EXPECT_EQ(tokens[5], "xml");
+}
+
+TEST(TokenizerTest, DigitsKept) {
+  Tokenizer tok;
+  auto tokens = tok.Tokenize("icde2010 vldb 03");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "icde2010");
+  EXPECT_EQ(tokens[2], "03");
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.Tokenize("... --- !!!").empty());
+}
+
+TEST(TokenizerTest, TermFrequencies) {
+  Tokenizer tok;
+  auto tf = tok.TermFrequencies("xml data xml XML keyword");
+  EXPECT_EQ(tf["xml"], 3u);
+  EXPECT_EQ(tf["data"], 1u);
+  EXPECT_EQ(tf["keyword"], 1u);
+  EXPECT_EQ(tf.size(), 3u);
+}
+
+TEST(TokenizerTest, MinTokenLengthFilters) {
+  Tokenizer::Options options;
+  options.min_token_length = 3;
+  Tokenizer tok(options);
+  auto tokens = tok.Tokenize("a an the xml");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "the");
+  EXPECT_EQ(tokens[1], "xml");
+}
+
+}  // namespace
+}  // namespace xtopk

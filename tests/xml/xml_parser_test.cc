@@ -1,0 +1,128 @@
+#include "xml/xml_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace xtopk {
+namespace {
+
+TEST(XmlParserTest, MinimalDocument) {
+  auto result = XmlParser::Parse("<root/>");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->node_count(), 1u);
+  EXPECT_EQ(result->TagName(result->root()), "root");
+}
+
+TEST(XmlParserTest, NestedElementsAndText) {
+  auto result = XmlParser::Parse(
+      "<db><conf><paper>XML keyword search</paper></conf></db>");
+  ASSERT_TRUE(result.ok());
+  const XmlTree& tree = *result;
+  EXPECT_EQ(tree.node_count(), 3u);
+  NodeId paper = 2;
+  EXPECT_EQ(tree.TagName(paper), "paper");
+  EXPECT_EQ(tree.text(paper), "XML keyword search");
+  EXPECT_EQ(tree.level(paper), 3u);
+}
+
+TEST(XmlParserTest, AttributesBecomeTextToo) {
+  auto result = XmlParser::Parse(R"(<a name="dblp" year='2010'/>)");
+  ASSERT_TRUE(result.ok());
+  auto attrs = result->AttributesOf(result->root());
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(attrs[0]->name, "name");
+  EXPECT_EQ(attrs[0]->value, "dblp");
+  EXPECT_EQ(attrs[1]->value, "2010");
+  // Attribute values participate in keyword containment.
+  EXPECT_EQ(result->text(result->root()), "dblp 2010");
+}
+
+TEST(XmlParserTest, EntitiesDecoded) {
+  auto result = XmlParser::Parse("<a>&lt;tag&gt; &amp; &quot;x&quot; &#65;&#x42;</a>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->text(0), "<tag> & \"x\" AB");
+}
+
+TEST(XmlParserTest, CdataPreserved) {
+  auto result = XmlParser::Parse("<a><![CDATA[raw <not> parsed & kept]]></a>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->text(0), "raw <not> parsed & kept");
+}
+
+TEST(XmlParserTest, CommentsAndPisSkipped) {
+  auto result = XmlParser::Parse(
+      "<?xml version=\"1.0\"?><!-- head --><a><!-- mid --><b/>"
+      "<?pi data?></a><!-- tail -->");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->node_count(), 2u);
+}
+
+TEST(XmlParserTest, DoctypeSkipped) {
+  auto result = XmlParser::Parse(
+      "<!DOCTYPE dblp SYSTEM \"dblp.dtd\" [<!ENTITY x \"y\">]><dblp/>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->TagName(0), "dblp");
+}
+
+TEST(XmlParserTest, MixedContentTextAccumulates) {
+  auto result = XmlParser::Parse("<a>one<b/>two<c/>three</a>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->text(0), "one two three");
+  EXPECT_EQ(result->node_count(), 3u);
+}
+
+TEST(XmlParserTest, WhitespaceOnlyTextDropped) {
+  auto result = XmlParser::Parse("<a>\n  <b/>\n  <c/>\n</a>");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->text(0), "");
+}
+
+TEST(XmlParserTest, MismatchedTagIsError) {
+  auto result = XmlParser::Parse("<a><b></a></b>");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("mismatched"), std::string::npos);
+}
+
+TEST(XmlParserTest, UnterminatedElementIsError) {
+  EXPECT_FALSE(XmlParser::Parse("<a><b>").ok());
+}
+
+TEST(XmlParserTest, ContentAfterRootIsError) {
+  EXPECT_FALSE(XmlParser::Parse("<a/><b/>").ok());
+}
+
+TEST(XmlParserTest, UnknownEntityIsError) {
+  EXPECT_FALSE(XmlParser::Parse("<a>&bogus;</a>").ok());
+}
+
+TEST(XmlParserTest, ErrorCarriesLineNumber) {
+  auto result = XmlParser::Parse("<a>\n\n\n<b></c>\n</a>");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 4"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(XmlParserTest, RoundTripThroughToXmlString) {
+  const char* xml =
+      "<db><conf name=\"icde\"><paper><title>top-k search</title>"
+      "</paper></conf></db>";
+  auto first = XmlParser::Parse(xml);
+  ASSERT_TRUE(first.ok());
+  std::string serialized = first->ToXmlString(first->root());
+  auto second = XmlParser::Parse(serialized);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->node_count(), second->node_count());
+  for (NodeId id = 0; id < first->node_count(); ++id) {
+    EXPECT_EQ(first->TagName(id), second->TagName(id));
+    EXPECT_EQ(first->level(id), second->level(id));
+  }
+}
+
+TEST(XmlParserTest, ParseFileMissingIsIoError) {
+  auto result = ParseXmlFile("/nonexistent/path/doc.xml");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace xtopk

@@ -1,0 +1,95 @@
+#include "xml/xml_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/corpus.h"
+
+namespace xtopk {
+namespace {
+
+using testing::MakeSmallCorpus;
+using Ids = testing::SmallCorpusIds;
+
+TEST(XmlTreeTest, StructureOfSmallCorpus) {
+  XmlTree tree = MakeSmallCorpus();
+  EXPECT_EQ(tree.node_count(), 13u);
+  EXPECT_EQ(tree.max_level(), 4u);
+  EXPECT_EQ(tree.TagName(Ids::kDb), "db");
+  EXPECT_EQ(tree.level(Ids::kDb), 1u);
+  EXPECT_EQ(tree.level(Ids::kP4Title), 4u);
+  EXPECT_EQ(tree.parent(Ids::kConf0), Ids::kDb);
+  EXPECT_EQ(tree.parent(Ids::kDb), kInvalidNode);
+  EXPECT_EQ(tree.text(Ids::kPaper0), "xml data");
+}
+
+TEST(XmlTreeTest, ChildrenInOrder) {
+  XmlTree tree = MakeSmallCorpus();
+  auto kids = tree.Children(Ids::kDb);
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(kids[0], Ids::kConf0);
+  EXPECT_EQ(kids[1], Ids::kConf1);
+  auto conf0_kids = tree.Children(Ids::kConf0);
+  ASSERT_EQ(conf0_kids.size(), 3u);
+  EXPECT_EQ(conf0_kids[0], Ids::kPaper0);
+  EXPECT_EQ(conf0_kids[2], Ids::kPaper2);
+  EXPECT_TRUE(tree.Children(Ids::kP4Title).empty());
+}
+
+TEST(XmlTreeTest, AncestorChecks) {
+  XmlTree tree = MakeSmallCorpus();
+  EXPECT_TRUE(tree.IsAncestor(Ids::kDb, Ids::kP4Title));
+  EXPECT_TRUE(tree.IsAncestor(Ids::kConf1, Ids::kP4Title));
+  EXPECT_FALSE(tree.IsAncestor(Ids::kConf0, Ids::kP4Title));
+  EXPECT_FALSE(tree.IsAncestor(Ids::kP4Title, Ids::kDb));
+  EXPECT_FALSE(tree.IsAncestor(Ids::kPaper0, Ids::kPaper0));
+  EXPECT_TRUE(tree.IsAncestor(Ids::kPaper0, Ids::kPaper0, /*or_self=*/true));
+}
+
+TEST(XmlTreeTest, PathTo) {
+  XmlTree tree = MakeSmallCorpus();
+  auto path = tree.PathTo(Ids::kP1Title);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[0], Ids::kDb);
+  EXPECT_EQ(path[1], Ids::kConf0);
+  EXPECT_EQ(path[2], Ids::kPaper1);
+  EXPECT_EQ(path[3], Ids::kP1Title);
+}
+
+TEST(XmlTreeTest, AppendTextJoinsWithSpace) {
+  XmlTree tree;
+  NodeId root = tree.CreateRoot("r");
+  tree.AppendText(root, "one");
+  tree.AppendText(root, "two");
+  EXPECT_EQ(tree.text(root), "one two");
+}
+
+TEST(XmlTreeTest, AttributesAttachToNodes) {
+  XmlTree tree;
+  NodeId root = tree.CreateRoot("r");
+  NodeId child = tree.AddChild(root, "c");
+  tree.AddAttribute(child, "id", "42");
+  tree.AddAttribute(child, "name", "x");
+  auto attrs = tree.AttributesOf(child);
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(attrs[0]->name, "id");
+  EXPECT_EQ(attrs[0]->value, "42");
+  EXPECT_TRUE(tree.AttributesOf(root).empty());
+}
+
+TEST(XmlTreeTest, ToXmlStringRoundTrips) {
+  XmlTree tree = MakeSmallCorpus();
+  std::string xml = tree.ToXmlString(tree.root());
+  EXPECT_NE(xml.find("<db>"), std::string::npos);
+  EXPECT_NE(xml.find("xml data xml"), std::string::npos);
+  EXPECT_NE(xml.find("</db>"), std::string::npos);
+}
+
+TEST(XmlTreeTest, MaxLevelTracksDeepestNode) {
+  XmlTree tree;
+  NodeId cur = tree.CreateRoot("a");
+  for (int i = 0; i < 9; ++i) cur = tree.AddChild(cur, "b");
+  EXPECT_EQ(tree.max_level(), 10u);
+}
+
+}  // namespace
+}  // namespace xtopk
