@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dynamic.dir/bench_ablation_dynamic.cc.o"
+  "CMakeFiles/bench_ablation_dynamic.dir/bench_ablation_dynamic.cc.o.d"
+  "bench_ablation_dynamic"
+  "bench_ablation_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_io.dir/bench_ablation_io.cc.o"
+  "CMakeFiles/bench_ablation_io.dir/bench_ablation_io.cc.o.d"
+  "bench_ablation_io"
+  "bench_ablation_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

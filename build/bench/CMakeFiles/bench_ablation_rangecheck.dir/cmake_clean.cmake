@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rangecheck.dir/bench_ablation_rangecheck.cc.o"
+  "CMakeFiles/bench_ablation_rangecheck.dir/bench_ablation_rangecheck.cc.o.d"
+  "bench_ablation_rangecheck"
+  "bench_ablation_rangecheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rangecheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

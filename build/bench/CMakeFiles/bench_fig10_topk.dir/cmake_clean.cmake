@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_topk.dir/bench_fig10_topk.cc.o"
+  "CMakeFiles/bench_fig10_topk.dir/bench_fig10_topk.cc.o.d"
+  "bench_fig10_topk"
+  "bench_fig10_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

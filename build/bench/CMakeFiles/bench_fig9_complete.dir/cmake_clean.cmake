@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_complete.dir/bench_fig9_complete.cc.o"
+  "CMakeFiles/bench_fig9_complete.dir/bench_fig9_complete.cc.o.d"
+  "bench_fig9_complete"
+  "bench_fig9_complete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_complete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

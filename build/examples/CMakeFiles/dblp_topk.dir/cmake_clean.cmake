@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblp_topk.dir/dblp_topk.cpp.o"
+  "CMakeFiles/dblp_topk.dir/dblp_topk.cpp.o.d"
+  "dblp_topk"
+  "dblp_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblp_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

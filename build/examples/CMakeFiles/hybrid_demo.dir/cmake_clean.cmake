@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_demo.dir/hybrid_demo.cpp.o"
+  "CMakeFiles/hybrid_demo.dir/hybrid_demo.cpp.o.d"
+  "hybrid_demo"
+  "hybrid_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtopk_cli.dir/xtopk_cli.cpp.o"
+  "CMakeFiles/xtopk_cli.dir/xtopk_cli.cpp.o.d"
+  "xtopk_cli"
+  "xtopk_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtopk_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

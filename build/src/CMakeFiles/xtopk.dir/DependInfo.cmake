@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/elca_eval.cc" "src/CMakeFiles/xtopk.dir/baseline/elca_eval.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/baseline/elca_eval.cc.o.d"
+  "/root/repo/src/baseline/indexed_lookup.cc" "src/CMakeFiles/xtopk.dir/baseline/indexed_lookup.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/baseline/indexed_lookup.cc.o.d"
+  "/root/repo/src/baseline/naive.cc" "src/CMakeFiles/xtopk.dir/baseline/naive.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/baseline/naive.cc.o.d"
+  "/root/repo/src/baseline/rdil.cc" "src/CMakeFiles/xtopk.dir/baseline/rdil.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/baseline/rdil.cc.o.d"
+  "/root/repo/src/baseline/stack_search.cc" "src/CMakeFiles/xtopk.dir/baseline/stack_search.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/baseline/stack_search.cc.o.d"
+  "/root/repo/src/btree/btree.cc" "src/CMakeFiles/xtopk.dir/btree/btree.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/btree/btree.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/xtopk.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/hybrid.cc" "src/CMakeFiles/xtopk.dir/core/hybrid.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/core/hybrid.cc.o.d"
+  "/root/repo/src/core/join_ops.cc" "src/CMakeFiles/xtopk.dir/core/join_ops.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/core/join_ops.cc.o.d"
+  "/root/repo/src/core/join_planner.cc" "src/CMakeFiles/xtopk.dir/core/join_planner.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/core/join_planner.cc.o.d"
+  "/root/repo/src/core/join_search.cc" "src/CMakeFiles/xtopk.dir/core/join_search.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/core/join_search.cc.o.d"
+  "/root/repo/src/core/multi_doc.cc" "src/CMakeFiles/xtopk.dir/core/multi_doc.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/core/multi_doc.cc.o.d"
+  "/root/repo/src/core/scoring.cc" "src/CMakeFiles/xtopk.dir/core/scoring.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/core/scoring.cc.o.d"
+  "/root/repo/src/core/topk_search.cc" "src/CMakeFiles/xtopk.dir/core/topk_search.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/core/topk_search.cc.o.d"
+  "/root/repo/src/core/topk_star_join.cc" "src/CMakeFiles/xtopk.dir/core/topk_star_join.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/core/topk_star_join.cc.o.d"
+  "/root/repo/src/core/updatable_engine.cc" "src/CMakeFiles/xtopk.dir/core/updatable_engine.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/core/updatable_engine.cc.o.d"
+  "/root/repo/src/index/dewey_index.cc" "src/CMakeFiles/xtopk.dir/index/dewey_index.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/index/dewey_index.cc.o.d"
+  "/root/repo/src/index/disk_index.cc" "src/CMakeFiles/xtopk.dir/index/disk_index.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/index/disk_index.cc.o.d"
+  "/root/repo/src/index/index_builder.cc" "src/CMakeFiles/xtopk.dir/index/index_builder.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/index/index_builder.cc.o.d"
+  "/root/repo/src/index/index_io.cc" "src/CMakeFiles/xtopk.dir/index/index_io.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/index/index_io.cc.o.d"
+  "/root/repo/src/index/index_stats.cc" "src/CMakeFiles/xtopk.dir/index/index_stats.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/index/index_stats.cc.o.d"
+  "/root/repo/src/index/index_validate.cc" "src/CMakeFiles/xtopk.dir/index/index_validate.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/index/index_validate.cc.o.d"
+  "/root/repo/src/index/jdewey_index.cc" "src/CMakeFiles/xtopk.dir/index/jdewey_index.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/index/jdewey_index.cc.o.d"
+  "/root/repo/src/index/rdil_index.cc" "src/CMakeFiles/xtopk.dir/index/rdil_index.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/index/rdil_index.cc.o.d"
+  "/root/repo/src/index/topk_index.cc" "src/CMakeFiles/xtopk.dir/index/topk_index.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/index/topk_index.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/xtopk.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/column.cc" "src/CMakeFiles/xtopk.dir/storage/column.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/storage/column.cc.o.d"
+  "/root/repo/src/storage/compression.cc" "src/CMakeFiles/xtopk.dir/storage/compression.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/storage/compression.cc.o.d"
+  "/root/repo/src/storage/page_file.cc" "src/CMakeFiles/xtopk.dir/storage/page_file.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/storage/page_file.cc.o.d"
+  "/root/repo/src/storage/serializer.cc" "src/CMakeFiles/xtopk.dir/storage/serializer.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/storage/serializer.cc.o.d"
+  "/root/repo/src/storage/sparse_index.cc" "src/CMakeFiles/xtopk.dir/storage/sparse_index.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/storage/sparse_index.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/xtopk.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/xtopk.dir/util/status.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/xtopk.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/varint.cc" "src/CMakeFiles/xtopk.dir/util/varint.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/util/varint.cc.o.d"
+  "/root/repo/src/workload/dblp_gen.cc" "src/CMakeFiles/xtopk.dir/workload/dblp_gen.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/workload/dblp_gen.cc.o.d"
+  "/root/repo/src/workload/query_gen.cc" "src/CMakeFiles/xtopk.dir/workload/query_gen.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/workload/query_gen.cc.o.d"
+  "/root/repo/src/workload/vocab.cc" "src/CMakeFiles/xtopk.dir/workload/vocab.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/workload/vocab.cc.o.d"
+  "/root/repo/src/workload/xmark_gen.cc" "src/CMakeFiles/xtopk.dir/workload/xmark_gen.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/workload/xmark_gen.cc.o.d"
+  "/root/repo/src/workload/zipf.cc" "src/CMakeFiles/xtopk.dir/workload/zipf.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/workload/zipf.cc.o.d"
+  "/root/repo/src/xml/dewey.cc" "src/CMakeFiles/xtopk.dir/xml/dewey.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/xml/dewey.cc.o.d"
+  "/root/repo/src/xml/jdewey.cc" "src/CMakeFiles/xtopk.dir/xml/jdewey.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/xml/jdewey.cc.o.d"
+  "/root/repo/src/xml/jdewey_builder.cc" "src/CMakeFiles/xtopk.dir/xml/jdewey_builder.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/xml/jdewey_builder.cc.o.d"
+  "/root/repo/src/xml/tokenizer.cc" "src/CMakeFiles/xtopk.dir/xml/tokenizer.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/xml/tokenizer.cc.o.d"
+  "/root/repo/src/xml/xml_parser.cc" "src/CMakeFiles/xtopk.dir/xml/xml_parser.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/xml/xml_parser.cc.o.d"
+  "/root/repo/src/xml/xml_tree.cc" "src/CMakeFiles/xtopk.dir/xml/xml_tree.cc.o" "gcc" "src/CMakeFiles/xtopk.dir/xml/xml_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_indexed_lookup_test.dir/baseline/indexed_lookup_test.cc.o"
+  "CMakeFiles/baseline_indexed_lookup_test.dir/baseline/indexed_lookup_test.cc.o.d"
+  "baseline_indexed_lookup_test"
+  "baseline_indexed_lookup_test.pdb"
+  "baseline_indexed_lookup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_indexed_lookup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

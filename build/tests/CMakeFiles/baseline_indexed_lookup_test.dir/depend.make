@@ -1,0 +1,2 @@
+# Empty dependencies file for baseline_indexed_lookup_test.
+# This may be replaced when dependencies are built.

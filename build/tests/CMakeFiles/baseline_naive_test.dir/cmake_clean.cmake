@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_naive_test.dir/baseline/naive_test.cc.o"
+  "CMakeFiles/baseline_naive_test.dir/baseline/naive_test.cc.o.d"
+  "baseline_naive_test"
+  "baseline_naive_test.pdb"
+  "baseline_naive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_naive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

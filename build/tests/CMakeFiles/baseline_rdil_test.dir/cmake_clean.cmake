@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_rdil_test.dir/baseline/rdil_test.cc.o"
+  "CMakeFiles/baseline_rdil_test.dir/baseline/rdil_test.cc.o.d"
+  "baseline_rdil_test"
+  "baseline_rdil_test.pdb"
+  "baseline_rdil_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_rdil_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_stack_search_test.dir/baseline/stack_search_test.cc.o"
+  "CMakeFiles/baseline_stack_search_test.dir/baseline/stack_search_test.cc.o.d"
+  "baseline_stack_search_test"
+  "baseline_stack_search_test.pdb"
+  "baseline_stack_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_stack_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btree_btree_test.dir/btree/btree_test.cc.o"
+  "CMakeFiles/btree_btree_test.dir/btree/btree_test.cc.o.d"
+  "btree_btree_test"
+  "btree_btree_test.pdb"
+  "btree_btree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btree_btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_complexity_test.dir/core/complexity_test.cc.o"
+  "CMakeFiles/core_complexity_test.dir/core/complexity_test.cc.o.d"
+  "core_complexity_test"
+  "core_complexity_test.pdb"
+  "core_complexity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_complexity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_concurrency_test.dir/core/concurrency_test.cc.o"
+  "CMakeFiles/core_concurrency_test.dir/core/concurrency_test.cc.o.d"
+  "core_concurrency_test"
+  "core_concurrency_test.pdb"
+  "core_concurrency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_integration_test.dir/core/integration_test.cc.o"
+  "CMakeFiles/core_integration_test.dir/core/integration_test.cc.o.d"
+  "core_integration_test"
+  "core_integration_test.pdb"
+  "core_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_join_ops_test.dir/core/join_ops_test.cc.o"
+  "CMakeFiles/core_join_ops_test.dir/core/join_ops_test.cc.o.d"
+  "core_join_ops_test"
+  "core_join_ops_test.pdb"
+  "core_join_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_join_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_multi_doc_test.dir/core/multi_doc_test.cc.o"
+  "CMakeFiles/core_multi_doc_test.dir/core/multi_doc_test.cc.o.d"
+  "core_multi_doc_test"
+  "core_multi_doc_test.pdb"
+  "core_multi_doc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_multi_doc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

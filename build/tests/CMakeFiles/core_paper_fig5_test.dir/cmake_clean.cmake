@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_paper_fig5_test.dir/core/paper_fig5_test.cc.o"
+  "CMakeFiles/core_paper_fig5_test.dir/core/paper_fig5_test.cc.o.d"
+  "core_paper_fig5_test"
+  "core_paper_fig5_test.pdb"
+  "core_paper_fig5_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_paper_fig5_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ranking_test.dir/core/ranking_test.cc.o"
+  "CMakeFiles/core_ranking_test.dir/core/ranking_test.cc.o.d"
+  "core_ranking_test"
+  "core_ranking_test.pdb"
+  "core_ranking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ranking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

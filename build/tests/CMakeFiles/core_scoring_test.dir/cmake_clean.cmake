@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_scoring_test.dir/core/scoring_test.cc.o"
+  "CMakeFiles/core_scoring_test.dir/core/scoring_test.cc.o.d"
+  "core_scoring_test"
+  "core_scoring_test.pdb"
+  "core_scoring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_scoring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

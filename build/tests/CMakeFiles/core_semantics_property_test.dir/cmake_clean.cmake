@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_semantics_property_test.dir/core/semantics_property_test.cc.o"
+  "CMakeFiles/core_semantics_property_test.dir/core/semantics_property_test.cc.o.d"
+  "core_semantics_property_test"
+  "core_semantics_property_test.pdb"
+  "core_semantics_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_semantics_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

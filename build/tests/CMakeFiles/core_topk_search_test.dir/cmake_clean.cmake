@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_topk_search_test.dir/core/topk_search_test.cc.o"
+  "CMakeFiles/core_topk_search_test.dir/core/topk_search_test.cc.o.d"
+  "core_topk_search_test"
+  "core_topk_search_test.pdb"
+  "core_topk_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_topk_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_updatable_engine_test.dir/core/updatable_engine_test.cc.o"
+  "CMakeFiles/core_updatable_engine_test.dir/core/updatable_engine_test.cc.o.d"
+  "core_updatable_engine_test"
+  "core_updatable_engine_test.pdb"
+  "core_updatable_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_updatable_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

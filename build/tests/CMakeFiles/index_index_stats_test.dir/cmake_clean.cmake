@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_index_stats_test.dir/index/index_stats_test.cc.o"
+  "CMakeFiles/index_index_stats_test.dir/index/index_stats_test.cc.o.d"
+  "index_index_stats_test"
+  "index_index_stats_test.pdb"
+  "index_index_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_index_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_parallel_build_test.dir/index/parallel_build_test.cc.o"
+  "CMakeFiles/index_parallel_build_test.dir/index/parallel_build_test.cc.o.d"
+  "index_parallel_build_test"
+  "index_parallel_build_test.pdb"
+  "index_parallel_build_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_parallel_build_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

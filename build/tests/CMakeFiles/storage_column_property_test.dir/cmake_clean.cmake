@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_column_property_test.dir/storage/column_property_test.cc.o"
+  "CMakeFiles/storage_column_property_test.dir/storage/column_property_test.cc.o.d"
+  "storage_column_property_test"
+  "storage_column_property_test.pdb"
+  "storage_column_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_column_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

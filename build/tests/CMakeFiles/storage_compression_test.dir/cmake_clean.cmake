@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_compression_test.dir/storage/compression_test.cc.o"
+  "CMakeFiles/storage_compression_test.dir/storage/compression_test.cc.o.d"
+  "storage_compression_test"
+  "storage_compression_test.pdb"
+  "storage_compression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_compression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_page_file_test.dir/storage/page_file_test.cc.o"
+  "CMakeFiles/storage_page_file_test.dir/storage/page_file_test.cc.o.d"
+  "storage_page_file_test"
+  "storage_page_file_test.pdb"
+  "storage_page_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_page_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_sparse_index_test.dir/storage/sparse_index_test.cc.o"
+  "CMakeFiles/storage_sparse_index_test.dir/storage/sparse_index_test.cc.o.d"
+  "storage_sparse_index_test"
+  "storage_sparse_index_test.pdb"
+  "storage_sparse_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_sparse_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

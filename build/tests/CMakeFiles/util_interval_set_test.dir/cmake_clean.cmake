@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_interval_set_test.dir/util/interval_set_test.cc.o"
+  "CMakeFiles/util_interval_set_test.dir/util/interval_set_test.cc.o.d"
+  "util_interval_set_test"
+  "util_interval_set_test.pdb"
+  "util_interval_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_interval_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

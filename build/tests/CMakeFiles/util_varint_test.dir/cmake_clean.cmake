@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_varint_test.dir/util/varint_test.cc.o"
+  "CMakeFiles/util_varint_test.dir/util/varint_test.cc.o.d"
+  "util_varint_test"
+  "util_varint_test.pdb"
+  "util_varint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_varint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_workload_test.dir/workload/workload_test.cc.o"
+  "CMakeFiles/workload_workload_test.dir/workload/workload_test.cc.o.d"
+  "workload_workload_test"
+  "workload_workload_test.pdb"
+  "workload_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

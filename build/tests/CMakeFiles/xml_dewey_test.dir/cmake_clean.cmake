@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_dewey_test.dir/xml/dewey_test.cc.o"
+  "CMakeFiles/xml_dewey_test.dir/xml/dewey_test.cc.o.d"
+  "xml_dewey_test"
+  "xml_dewey_test.pdb"
+  "xml_dewey_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_dewey_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_jdewey_update_test.dir/xml/jdewey_update_test.cc.o"
+  "CMakeFiles/xml_jdewey_update_test.dir/xml/jdewey_update_test.cc.o.d"
+  "xml_jdewey_update_test"
+  "xml_jdewey_update_test.pdb"
+  "xml_jdewey_update_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_jdewey_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_parser_fuzz_test.dir/xml/parser_fuzz_test.cc.o"
+  "CMakeFiles/xml_parser_fuzz_test.dir/xml/parser_fuzz_test.cc.o.d"
+  "xml_parser_fuzz_test"
+  "xml_parser_fuzz_test.pdb"
+  "xml_parser_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_parser_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_tokenizer_test.dir/xml/tokenizer_test.cc.o"
+  "CMakeFiles/xml_tokenizer_test.dir/xml/tokenizer_test.cc.o.d"
+  "xml_tokenizer_test"
+  "xml_tokenizer_test.pdb"
+  "xml_tokenizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_tokenizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_xml_parser_test.dir/xml/xml_parser_test.cc.o"
+  "CMakeFiles/xml_xml_parser_test.dir/xml/xml_parser_test.cc.o.d"
+  "xml_xml_parser_test"
+  "xml_xml_parser_test.pdb"
+  "xml_xml_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_xml_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_xml_tree_test.dir/xml/xml_tree_test.cc.o"
+  "CMakeFiles/xml_xml_tree_test.dir/xml/xml_tree_test.cc.o.d"
+  "xml_xml_tree_test"
+  "xml_xml_tree_test.pdb"
+  "xml_xml_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_xml_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

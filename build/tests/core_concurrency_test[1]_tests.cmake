@@ -1,0 +1,3 @@
+add_test([=[ConcurrencyTest.ParallelQueriesOverSharedIndex]=]  /root/repo/build/tests/core_concurrency_test [==[--gtest_filter=ConcurrencyTest.ParallelQueriesOverSharedIndex]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[ConcurrencyTest.ParallelQueriesOverSharedIndex]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  core_concurrency_test_TESTS ConcurrencyTest.ParallelQueriesOverSharedIndex)
