@@ -138,6 +138,66 @@ double TimeOnceMs(Fn&& fn) {
   return timer.ElapsedMillis();
 }
 
+/// One machine-readable result line of a bench: `BENCH {json}` on stdout,
+/// so the driver can grep the trajectory out of the human-readable report.
+/// Field order follows insertion order. The schema carries the throughput
+/// dimensions (threads, qps, cache hit rates) alongside the free-form
+/// per-bench fields:
+///
+///   BENCH {"bench":"throughput","mode":"disk","threads":4,
+///          "queries":512,"qps":1234.5,"pool_hit_rate":0.998,
+///          "decoded_hit_rate":0.93}
+class BenchJson {
+ public:
+  explicit BenchJson(const std::string& bench) { Field("bench", bench); }
+
+  BenchJson& Field(const std::string& key, const std::string& value) {
+    Key(key);
+    line_ += '"';
+    line_ += value;  // bench names/modes only — no escaping needed
+    line_ += '"';
+    return *this;
+  }
+  BenchJson& Field(const std::string& key, double value) {
+    Key(key);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", value);
+    line_ += buf;
+    return *this;
+  }
+  BenchJson& Field(const std::string& key, uint64_t value) {
+    Key(key);
+    line_ += std::to_string(value);
+    return *this;
+  }
+  BenchJson& Field(const std::string& key, int value) {
+    Key(key);
+    line_ += std::to_string(value);
+    return *this;
+  }
+
+  /// Prints `BENCH {...}` and resets for reuse.
+  void Emit() {
+    std::printf("BENCH {%s}\n", line_.c_str());
+    std::fflush(stdout);
+  }
+
+ private:
+  void Key(const std::string& key) {
+    if (!line_.empty()) line_ += ',';
+    line_ += '"';
+    line_ += key;
+    line_ += "\":";
+  }
+  std::string line_;
+};
+
+/// Hit rate helper: hits / (hits + misses), 0 when idle.
+inline double HitRate(uint64_t hits, uint64_t misses) {
+  uint64_t total = hits + misses;
+  return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+}
+
 }  // namespace bench
 }  // namespace xtopk
 

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "util/parallel.h"
 #include "xml/tokenizer.h"
 
 namespace xtopk {
@@ -15,7 +16,7 @@ Engine::Engine(const XmlTree& tree, EngineOptions options)
 }
 
 std::vector<QueryHit> Engine::Materialize(
-    const std::vector<SearchResult>& results) {
+    const std::vector<SearchResult>& results) const {
   std::vector<QueryHit> hits;
   hits.reserve(results.size());
   for (const SearchResult& r : results) {
@@ -45,7 +46,7 @@ std::vector<std::string> Engine::Normalize(
 }
 
 std::vector<QueryHit> Engine::Search(const std::vector<std::string>& keywords,
-                                     Semantics semantics) {
+                                     Semantics semantics) const {
   JoinSearchOptions join_options;
   join_options.semantics = semantics;
   join_options.compute_scores = true;
@@ -101,7 +102,8 @@ std::string HighlightKeywords(const std::string& text,
 }
 
 std::vector<QueryHit> Engine::SearchTopK(
-    const std::vector<std::string>& keywords, size_t k, Semantics semantics) {
+    const std::vector<std::string>& keywords, size_t k,
+    Semantics semantics) const {
   TopKSearchOptions topk_options;
   topk_options.semantics = semantics;
   topk_options.k = k;
@@ -111,13 +113,44 @@ std::vector<QueryHit> Engine::SearchTopK(
 }
 
 std::vector<QueryHit> Engine::SearchHybrid(
-    const std::vector<std::string>& keywords, size_t k, Semantics semantics) {
+    const std::vector<std::string>& keywords, size_t k,
+    Semantics semantics) const {
   HybridOptions hybrid_options;
   hybrid_options.semantics = semantics;
   hybrid_options.k = k;
   hybrid_options.scoring = options_.scoring;
   HybridSearch search(topk_index_, hybrid_options);
   return Materialize(search.Search(Normalize(keywords)));
+}
+
+std::vector<BatchQueryResult> Engine::RunBatch(
+    const std::vector<BatchQuery>& queries, size_t threads) const {
+  std::vector<BatchQueryResult> results(queries.size());
+  // Workers write to pre-sized, index-disjoint slots; the shared indexes
+  // are read-only, so no synchronization beyond the join is needed.
+  ParallelFor(queries.size(), threads, [&](size_t i) {
+    const BatchQuery& query = queries[i];
+    BatchQueryResult& out = results[i];
+    if (query.k == 0) {
+      JoinSearchOptions join_options;
+      join_options.semantics = query.semantics;
+      join_options.compute_scores = true;
+      join_options.scoring = options_.scoring;
+      JoinSearch search(jdewey_index_, join_options);
+      std::vector<SearchResult> found = search.Search(Normalize(query.keywords));
+      SortByScoreDesc(&found);
+      out.hits = Materialize(found);
+      out.join_stats = search.stats();
+    } else {
+      TopKSearchOptions topk_options;
+      topk_options.semantics = query.semantics;
+      topk_options.k = query.k;
+      topk_options.scoring = options_.scoring;
+      TopKSearch search(topk_index_, topk_options);
+      out.hits = Materialize(search.Search(Normalize(query.keywords)));
+    }
+  });
+  return results;
 }
 
 uint32_t Engine::Frequency(const std::string& keyword) const {

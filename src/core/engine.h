@@ -32,6 +32,21 @@ struct QueryHit {
   std::string snippet;  ///< Direct text of the answer root (may be empty).
 };
 
+/// One query of a concurrent batch (Engine::RunBatch).
+struct BatchQuery {
+  std::vector<std::string> keywords;
+  /// 0 = complete result set (join-based Algorithm 1); > 0 = top-k.
+  size_t k = 0;
+  Semantics semantics = Semantics::kElca;
+};
+
+/// Result of one batch query, with its race-free per-query counters.
+struct BatchQueryResult {
+  std::vector<QueryHit> hits;
+  /// Complete-search queries only (k == 0); top-k queries leave defaults.
+  JoinSearchStats join_stats;
+};
+
 /// Marks every occurrence of `keywords` (tokenizer-normalized, whole-token
 /// matches, case-insensitive) in `text` with `open`/`close`, e.g.
 /// "xml [data] management" for keyword "data". Presentation helper for
@@ -61,18 +76,27 @@ class Engine {
   /// used ("XML" matches, "top-k" splits into {top, k}); duplicates are
   /// dropped. This applies to every Search* method.
   std::vector<QueryHit> Search(const std::vector<std::string>& keywords,
-                               Semantics semantics = Semantics::kElca);
+                               Semantics semantics = Semantics::kElca) const;
 
   /// Top-k results (join-based top-K algorithm, §IV).
   std::vector<QueryHit> SearchTopK(const std::vector<std::string>& keywords,
                                    size_t k,
-                                   Semantics semantics = Semantics::kElca);
+                                   Semantics semantics = Semantics::kElca) const;
 
   /// Top-k through the hybrid planner (§V-D): picks the top-K join or the
   /// complete join by estimated cardinality.
   std::vector<QueryHit> SearchHybrid(const std::vector<std::string>& keywords,
                                      size_t k,
-                                     Semantics semantics = Semantics::kElca);
+                                     Semantics semantics = Semantics::kElca) const;
+
+  /// Executes independent queries concurrently against the shared
+  /// read-only indexes on a fixed pool of up to `threads` workers
+  /// (util/parallel.h work stealing). The indexes are immutable after
+  /// construction and every query gets its own search object, so results
+  /// and per-query JoinSearchStats are bit-identical to running the
+  /// queries one by one; results[i] always answers queries[i].
+  std::vector<BatchQueryResult> RunBatch(const std::vector<BatchQuery>& queries,
+                                         size_t threads) const;
 
   /// Keyword frequency (inverted-list length); 0 for unknown keywords.
   uint32_t Frequency(const std::string& keyword) const;
@@ -83,7 +107,8 @@ class Engine {
   const IndexBuilder& builder() const { return *builder_; }
 
  private:
-  std::vector<QueryHit> Materialize(const std::vector<SearchResult>& results);
+  std::vector<QueryHit> Materialize(
+      const std::vector<SearchResult>& results) const;
   std::vector<std::string> Normalize(
       const std::vector<std::string>& keywords) const;
 

@@ -149,19 +149,22 @@ Status DiskIndexWriter::Write(const JDeweyIndex& index, bool include_scores,
   return file.Close();
 }
 
-StatusOr<std::unique_ptr<DiskJDeweyIndex>> DiskJDeweyIndex::Open(
-    const std::string& path, size_t pool_pages) {
-  std::unique_ptr<DiskJDeweyIndex> index(new DiskJDeweyIndex());
-  Status s = index->file_.Open(path, /*create=*/false);
+StatusOr<std::shared_ptr<DiskIndexEnv>> DiskIndexEnv::Open(
+    const std::string& path, DiskIndexOptions options) {
+  std::shared_ptr<DiskIndexEnv> env(new DiskIndexEnv());
+  Status s = env->file_.Open(path, /*create=*/false);
   if (!s.ok()) return s;
-  if (index->file_.page_count() == 0) {
+  if (env->file_.page_count() == 0) {
     return Status::Corruption("disk index: empty file");
   }
-  index->pool_ = std::make_unique<BufferPool>(&index->file_, pool_pages);
+  env->pool_ = std::make_unique<BufferPool>(&env->file_, options.pool_pages,
+                                            options.pool_shards);
+  env->decoded_ =
+      std::make_unique<DecodedBlockCache>(options.decoded_cache_bytes);
 
   // Footer.
   std::string footer;
-  s = index->file_.ReadPage(index->file_.page_count() - 1, &footer);
+  s = env->file_.ReadPage(env->file_.page_count() - 1, &footer);
   if (!s.ok()) return s;
   if (std::memcmp(footer.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::Corruption("disk index: bad magic");
@@ -172,48 +175,49 @@ StatusOr<std::unique_ptr<DiskJDeweyIndex>> DiskJDeweyIndex::Open(
   if (!s.ok()) return s;
 
   std::string directory;
-  s = index->ReadBlob(dir_extent, &directory);
+  s = env->ReadBlob(dir_extent, &directory);
   if (!s.ok()) return s;
 
   pos = 0;
   if (directory.empty()) return Status::Corruption("disk index: empty dir");
-  index->has_scores_ = directory[pos++] != 0;
+  env->has_scores_ = directory[pos++] != 0;
   uint32_t max_level = 0, term_count = 0;
   s = varint::GetU32(directory, &pos, &max_level);
   if (s.ok()) s = varint::GetU32(directory, &pos, &term_count);
   if (!s.ok()) return s;
-  *IndexIoAccess::MaxLevel(&index->view_) = max_level;
+  *IndexIoAccess::MaxLevel(&env->node_map_) = max_level;
 
   for (uint32_t t = 0; t < term_count; ++t) {
     std::string term;
     s = ser::GetLengthPrefixed(directory, &pos, &term);
     if (!s.ok()) return s;
-    TermMeta meta;
-    s = varint::GetU32(directory, &pos, &meta.rows);
-    if (s.ok()) s = varint::GetU32(directory, &pos, &meta.max_length);
-    if (s.ok()) s = GetExtent(directory, &pos, &meta.lengths);
-    if (s.ok()) s = GetExtent(directory, &pos, &meta.scores);
+    TermInfo info;
+    info.term_id = t;
+    s = varint::GetU32(directory, &pos, &info.rows);
+    if (s.ok()) s = varint::GetU32(directory, &pos, &info.max_length);
+    if (s.ok()) s = GetExtent(directory, &pos, &info.lengths);
+    if (s.ok()) s = GetExtent(directory, &pos, &info.scores);
     if (!s.ok()) return s;
-    meta.columns.resize(meta.max_length);
-    for (uint32_t l = 0; l < meta.max_length; ++l) {
-      s = GetExtent(directory, &pos, &meta.columns[l]);
+    info.columns.resize(info.max_length);
+    for (uint32_t l = 0; l < info.max_length; ++l) {
+      s = GetExtent(directory, &pos, &info.columns[l]);
       if (!s.ok()) return s;
     }
-    index->directory_.emplace(std::move(term), std::move(meta));
+    env->directory_.emplace(std::move(term), std::move(info));
   }
 
-  // Node mapping (startup I/O, counted once).
+  // Node mapping (startup I/O, counted once; shared by all sessions).
   BlobExtent nodes_extent;
   s = GetExtent(directory, &pos, &nodes_extent);
   if (!s.ok()) return s;
   std::string nodes_blob;
-  s = index->ReadBlob(nodes_extent, &nodes_blob);
+  s = env->ReadBlob(nodes_extent, &nodes_blob);
   if (!s.ok()) return s;
   pos = 0;
   uint32_t level_count = 0;
   s = varint::GetU32(nodes_blob, &pos, &level_count);
   if (!s.ok()) return s;
-  auto* level_nodes = IndexIoAccess::LevelNodes(&index->view_);
+  auto* level_nodes = IndexIoAccess::LevelNodes(&env->node_map_);
   level_nodes->resize(level_count);
   for (uint32_t l = 0; l < level_count; ++l) {
     uint32_t entries = 0;
@@ -234,10 +238,15 @@ StatusOr<std::unique_ptr<DiskJDeweyIndex>> DiskJDeweyIndex::Open(
       level.emplace_back(prev_value, static_cast<NodeId>(prev_node));
     }
   }
-  return index;
+  return env;
 }
 
-Status DiskJDeweyIndex::ReadBlob(const BlobExtent& extent, std::string* out) {
+std::unique_ptr<DiskJDeweyIndex> DiskIndexEnv::NewSession() {
+  return std::unique_ptr<DiskJDeweyIndex>(
+      new DiskJDeweyIndex(shared_from_this()));
+}
+
+Status DiskIndexEnv::ReadBlob(const BlobExtent& extent, std::string* out) {
   out->clear();
   out->reserve(extent.length);
   PageId page = extent.start_page;
@@ -256,129 +265,198 @@ Status DiskJDeweyIndex::ReadBlob(const BlobExtent& extent, std::string* out) {
   return Status::Ok();
 }
 
-uint32_t DiskJDeweyIndex::Frequency(const std::string& term) const {
+uint32_t DiskIndexEnv::Frequency(const std::string& term) const {
   auto it = directory_.find(term);
   return it == directory_.end() ? 0 : it->second.rows;
 }
 
-uint32_t DiskJDeweyIndex::MaxLength(const std::string& term) const {
+uint32_t DiskIndexEnv::MaxLength(const std::string& term) const {
   auto it = directory_.find(term);
   return it == directory_.end() ? 0 : it->second.max_length;
 }
 
+DiskIoStats DiskIndexEnv::io_stats() const {
+  DiskIoStats stats;
+  stats.pages_read = file_.pages_read();
+  stats.pool_hits = pool_->hits();
+  stats.pool_misses = pool_->misses();
+  stats.decoded_hits = decoded_->hits();
+  stats.decoded_misses = decoded_->misses();
+  return stats;
+}
+
+void DiskIndexEnv::ResetIoStats() {
+  file_.ResetStats();
+  pool_->ResetStats();
+  decoded_->ResetStats();
+}
+
+DiskJDeweyIndex::DiskJDeweyIndex(std::shared_ptr<DiskIndexEnv> env)
+    : env_(std::move(env)) {
+  *IndexIoAccess::MaxLevel(&view_) = env_->node_map_.max_level();
+  IndexIoAccess::BorrowLevelNodes(&view_, env_->node_map_);
+}
+
+StatusOr<std::unique_ptr<DiskJDeweyIndex>> DiskJDeweyIndex::Open(
+    const std::string& path, size_t pool_pages) {
+  DiskIndexOptions options;
+  options.pool_pages = pool_pages;
+  auto env = DiskIndexEnv::Open(path, options);
+  if (!env.ok()) return env.status();
+  return (*env)->NewSession();
+}
+
+uint32_t DiskJDeweyIndex::Frequency(const std::string& term) const {
+  return env_->Frequency(term);
+}
+
+uint32_t DiskJDeweyIndex::MaxLength(const std::string& term) const {
+  return env_->MaxLength(term);
+}
+
 Status DiskJDeweyIndex::MaterializeBase(const std::string& term,
-                                        TermMeta* meta, bool need_scores) {
+                                        const DiskIndexEnv::TermInfo& info,
+                                        TermState* state, bool need_scores) {
   auto* lists = IndexIoAccess::Lists(&view_);
   auto* terms = IndexIoAccess::Terms(&view_);
   auto* term_ids = IndexIoAccess::TermIds(&view_);
-  meta->view_id = static_cast<uint32_t>(lists->size());
+  state->view_id = static_cast<uint32_t>(lists->size());
   lists->emplace_back();
   terms->push_back(term);
-  term_ids->emplace(term, meta->view_id);
+  term_ids->emplace(term, state->view_id);
 
   JDeweyList& list = lists->back();
-  list.max_length = meta->max_length;
-  list.columns.resize(meta->max_length);
+  list.max_length = info.max_length;
+  list.columns.resize(info.max_length);
 
-  std::string lengths_blob;
-  Status s = ReadBlob(meta->lengths, &lengths_blob);
-  if (!s.ok()) return s;
-  size_t pos = 0;
-  list.lengths.resize(meta->rows);
-  for (uint32_t r = 0; r < meta->rows; ++r) {
-    uint32_t len = 0;
-    s = varint::GetU32(lengths_blob, &pos, &len);
+  DecodedBlockCache& cache = *env_->decoded_;
+  if (auto cached = cache.GetLengths(info.term_id)) {
+    list.lengths = *cached;  // memcpy-cheap vs re-decoding the varints
+  } else {
+    std::string lengths_blob;
+    Status s = env_->ReadBlob(info.lengths, &lengths_blob);
     if (!s.ok()) return s;
-    if (len == 0 || len > meta->max_length) {
-      return Status::Corruption("disk index: bad row length");
+    size_t pos = 0;
+    std::vector<uint16_t> lengths(info.rows);
+    for (uint32_t r = 0; r < info.rows; ++r) {
+      uint32_t len = 0;
+      s = varint::GetU32(lengths_blob, &pos, &len);
+      if (!s.ok()) return s;
+      if (len == 0 || len > info.max_length) {
+        return Status::Corruption("disk index: bad row length");
+      }
+      lengths[r] = static_cast<uint16_t>(len);
     }
-    list.lengths[r] = static_cast<uint16_t>(len);
+    list.lengths = lengths;
+    cache.PutLengths(info.term_id, std::make_shared<const std::vector<uint16_t>>(
+                                       std::move(lengths)));
   }
 
-  list.scores.assign(meta->rows, 0.0f);
-  if (need_scores && has_scores_ && meta->scores.length > 0) {
-    std::string scores_blob;
-    s = ReadBlob(meta->scores, &scores_blob);
+  list.scores.assign(info.rows, 0.0f);
+  if (need_scores) {
+    Status s = MaterializeScores(info, state);
     if (!s.ok()) return s;
-    pos = 0;
-    for (uint32_t r = 0; r < meta->rows; ++r) {
-      s = ser::GetFloat(scores_blob, &pos, &list.scores[r]);
-      if (!s.ok()) return s;
-    }
-    meta->scores_loaded = true;
   }
   // Occurrence nodes are not needed by the join algorithms; leave empty.
   return Status::Ok();
 }
 
-Status DiskJDeweyIndex::MaterializeScores(TermMeta* meta) {
-  if (meta->scores_loaded || !has_scores_ || meta->scores.length == 0) {
+Status DiskJDeweyIndex::MaterializeScores(const DiskIndexEnv::TermInfo& info,
+                                          TermState* state) {
+  if (state->scores_loaded || !env_->has_scores_ || info.scores.length == 0) {
     return Status::Ok();
   }
-  JDeweyList& list = (*IndexIoAccess::Lists(&view_))[meta->view_id];
+  JDeweyList& list = (*IndexIoAccess::Lists(&view_))[state->view_id];
+  DecodedBlockCache& cache = *env_->decoded_;
+  if (auto cached = cache.GetScores(info.term_id)) {
+    list.scores = *cached;
+    state->scores_loaded = true;
+    return Status::Ok();
+  }
   std::string scores_blob;
-  Status s = ReadBlob(meta->scores, &scores_blob);
+  Status s = env_->ReadBlob(info.scores, &scores_blob);
   if (!s.ok()) return s;
   size_t pos = 0;
-  for (uint32_t r = 0; r < meta->rows; ++r) {
-    s = ser::GetFloat(scores_blob, &pos, &list.scores[r]);
+  std::vector<float> scores(info.rows);
+  for (uint32_t r = 0; r < info.rows; ++r) {
+    s = ser::GetFloat(scores_blob, &pos, &scores[r]);
     if (!s.ok()) return s;
   }
-  meta->scores_loaded = true;
+  list.scores = scores;
+  cache.PutScores(info.term_id,
+                  std::make_shared<const std::vector<float>>(std::move(scores)));
+  state->scores_loaded = true;
   return Status::Ok();
 }
 
-Status DiskJDeweyIndex::MaterializeColumns(TermMeta* meta,
+Status DiskJDeweyIndex::MaterializeColumns(const DiskIndexEnv::TermInfo& info,
+                                           TermState* state,
                                            uint32_t up_to_level) {
-  JDeweyList& list = (*IndexIoAccess::Lists(&view_))[meta->view_id];
-  up_to_level = std::min(up_to_level, meta->max_length);
-  for (uint32_t level = meta->loaded_levels + 1; level <= up_to_level;
+  JDeweyList& list = (*IndexIoAccess::Lists(&view_))[state->view_id];
+  up_to_level = std::min(up_to_level, info.max_length);
+  DecodedBlockCache& cache = *env_->decoded_;
+  for (uint32_t level = state->loaded_levels + 1; level <= up_to_level;
        ++level) {
+    if (auto cached = cache.GetColumn(info.term_id, level)) {
+      list.columns[level - 1] = *cached;  // run-vector copy, no decode
+      continue;
+    }
     std::string blob;
-    Status s = ReadBlob(meta->columns[level - 1], &blob);
+    Status s = env_->ReadBlob(info.columns[level - 1], &blob);
     if (!s.ok()) return s;
     std::vector<uint32_t> present;
     for (uint32_t row = 0; row < list.lengths.size(); ++row) {
       if (list.lengths[row] >= level) present.push_back(row);
     }
     size_t pos = 0;
-    s = DecodeColumn(blob, &pos, &present, &list.columns[level - 1]);
+    Column column;
+    s = DecodeColumn(blob, &pos, &present, &column);
     if (!s.ok()) return s;
+    list.columns[level - 1] = column;
+    cache.PutColumn(info.term_id, level,
+                    std::make_shared<const Column>(std::move(column)));
   }
-  meta->loaded_levels = std::max(meta->loaded_levels, up_to_level);
+  state->loaded_levels = std::max(state->loaded_levels, up_to_level);
   return Status::Ok();
 }
 
 StatusOr<const JDeweyList*> DiskJDeweyIndex::LoadList(const std::string& term,
                                                       uint32_t up_to_level,
                                                       bool need_scores) {
-  auto it = directory_.find(term);
-  if (it == directory_.end()) {
+  auto it = env_->directory_.find(term);
+  if (it == env_->directory_.end()) {
     return static_cast<const JDeweyList*>(nullptr);
   }
-  TermMeta& meta = it->second;
-  if (meta.view_id == UINT32_MAX) {
-    Status s = MaterializeBase(term, &meta, need_scores);
+  const DiskIndexEnv::TermInfo& info = it->second;
+  TermState& state = state_[info.term_id];
+  if (state.view_id == UINT32_MAX) {
+    Status s = MaterializeBase(term, info, &state, need_scores);
     if (!s.ok()) return s;
   } else if (need_scores) {
-    Status s = MaterializeScores(&meta);
+    Status s = MaterializeScores(info, &state);
     if (!s.ok()) return s;
   }
-  Status s = MaterializeColumns(&meta, up_to_level);
+  Status s = MaterializeColumns(info, &state, up_to_level);
   if (!s.ok()) return s;
-  return &(*IndexIoAccess::Lists(&view_))[meta.view_id];
+  return &(*IndexIoAccess::Lists(&view_))[state.view_id];
 }
 
 StatusOr<std::vector<SearchResult>> DiskJDeweyIndex::SearchComplete(
     const std::vector<std::string>& keywords, JoinSearchOptions options) {
+  return SearchComplete(keywords, options, nullptr);
+}
+
+StatusOr<std::vector<SearchResult>> DiskJDeweyIndex::SearchComplete(
+    const std::vector<std::string>& keywords, JoinSearchOptions options,
+    JoinSearchStats* stats) {
   std::vector<SearchResult> empty;
   if (keywords.empty()) return empty;
   // l0 from the directory: no LCA of all keywords can sit below the
   // shallowest of the deepest occurrence levels (§III-B).
   uint32_t l0 = UINT32_MAX;
   for (const std::string& kw : keywords) {
-    auto it = directory_.find(kw);
-    if (it == directory_.end() || it->second.rows == 0) return empty;
+    auto it = env_->directory_.find(kw);
+    if (it == env_->directory_.end() || it->second.rows == 0) return empty;
     l0 = std::min(l0, it->second.max_length);
   }
   for (const std::string& kw : keywords) {
@@ -386,7 +464,9 @@ StatusOr<std::vector<SearchResult>> DiskJDeweyIndex::SearchComplete(
     if (!list.ok()) return list.status();
   }
   JoinSearch search(view_, options);
-  return search.Search(keywords);
+  auto results = search.Search(keywords);
+  if (stats != nullptr) *stats = search.stats();
+  return results;
 }
 
 StatusOr<std::vector<SearchResult>> DiskJDeweyIndex::SearchTopK(
@@ -394,8 +474,8 @@ StatusOr<std::vector<SearchResult>> DiskJDeweyIndex::SearchTopK(
   std::vector<SearchResult> empty;
   if (keywords.empty()) return empty;
   for (const std::string& kw : keywords) {
-    auto it = directory_.find(kw);
-    if (it == directory_.end() || it->second.rows == 0) return empty;
+    auto it = env_->directory_.find(kw);
+    if (it == env_->directory_.end() || it->second.rows == 0) return empty;
   }
   for (const std::string& kw : keywords) {
     auto list = LoadList(kw, UINT32_MAX, /*need_scores=*/true);
@@ -406,19 +486,6 @@ StatusOr<std::vector<SearchResult>> DiskJDeweyIndex::SearchTopK(
   TopKIndex topk = BuildTopKIndexFrom(view_);
   TopKSearch search(topk, options);
   return search.Search(keywords);
-}
-
-DiskJDeweyIndex::IoStats DiskJDeweyIndex::io_stats() const {
-  IoStats stats;
-  stats.pages_read = file_.pages_read();
-  stats.pool_hits = pool_->hits();
-  stats.pool_misses = pool_->misses();
-  return stats;
-}
-
-void DiskJDeweyIndex::ResetIoStats() {
-  file_.ResetStats();
-  pool_->ResetStats();
 }
 
 }  // namespace xtopk

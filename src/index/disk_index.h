@@ -12,10 +12,13 @@
 #include "core/search_result.h"
 #include "index/jdewey_index.h"
 #include "storage/buffer_pool.h"
+#include "storage/decoded_cache.h"
 #include "storage/page_file.h"
 #include "util/status.h"
 
 namespace xtopk {
+
+class DiskJDeweyIndex;
 
 /// A byte extent within a PageFile (blobs may span pages).
 struct BlobExtent {
@@ -40,20 +43,99 @@ class DiskIndexWriter {
                       const std::string& path);
 };
 
-/// Read side: opens the directory eagerly (small), then materializes each
+/// Options for opening a disk index's shared read substrate.
+struct DiskIndexOptions {
+  /// Buffer-pool capacity in 8 KiB pages and its shard count.
+  size_t pool_pages = 1024;
+  size_t pool_shards = BufferPool::kDefaultShards;
+  /// Byte budget of the decoded-block cache (0 disables it — every access
+  /// re-decodes, the pre-cache behaviour).
+  size_t decoded_cache_bytes = 32u << 20;
+};
+
+/// Aggregate I/O / cache counters of one disk index environment.
+struct DiskIoStats {
+  uint64_t pages_read = 0;   ///< physical page reads since last reset
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+  uint64_t decoded_hits = 0;    ///< decoded-block cache hits
+  uint64_t decoded_misses = 0;
+};
+
+/// The shared, thread-safe read substrate of one on-disk index: the page
+/// file (pread-based reads), the sharded BufferPool above it, the
+/// DecodedBlockCache above that, and the immutable directory + node
+/// mapping loaded at Open. Any number of DiskJDeweyIndex sessions — one
+/// per concurrently running query or worker thread — read through one
+/// environment, so hot pages and decoded columns are shared across
+/// queries while per-query materialization state stays private.
+class DiskIndexEnv : public std::enable_shared_from_this<DiskIndexEnv> {
+ public:
+  /// Opens `path`, loading footer + directory (+ node mapping).
+  static StatusOr<std::shared_ptr<DiskIndexEnv>> Open(
+      const std::string& path, DiskIndexOptions options = {});
+
+  /// A new empty session. Cheap (no I/O, borrows the node mapping);
+  /// safe to call from any thread. The session keeps the environment
+  /// alive. Each session is single-threaded; concurrency comes from using
+  /// one session per worker.
+  std::unique_ptr<DiskJDeweyIndex> NewSession();
+
+  /// Frequency / deepest level from the directory alone (no data I/O).
+  uint32_t Frequency(const std::string& term) const;
+  uint32_t MaxLength(const std::string& term) const;
+  size_t term_count() const { return directory_.size(); }
+  bool has_scores() const { return has_scores_; }
+
+  DiskIoStats io_stats() const;
+  void ResetIoStats();
+
+  const BufferPool& pool() const { return *pool_; }
+  const DecodedBlockCache& decoded_cache() const { return *decoded_; }
+
+ private:
+  friend class DiskJDeweyIndex;
+
+  /// Immutable per-term directory entry (shared across sessions).
+  struct TermInfo {
+    uint32_t term_id = 0;  ///< directory order; the decoded-cache column id
+    uint32_t rows = 0;
+    uint32_t max_length = 0;
+    BlobExtent lengths;
+    BlobExtent scores;  // length 0 when the file carries no scores
+    std::vector<BlobExtent> columns;  // one per level
+  };
+
+  DiskIndexEnv() = default;
+
+  /// Thread-safe (reads go through the pool / pread).
+  Status ReadBlob(const BlobExtent& extent, std::string* out);
+
+  PageFile file_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<DecodedBlockCache> decoded_;
+  bool has_scores_ = false;
+  std::unordered_map<std::string, TermInfo> directory_;
+  /// Holds only the (level, value) -> node mapping + max level; sessions
+  /// borrow it instead of copying it (it can dominate the directory size).
+  JDeweyIndex node_map_;
+};
+
+/// Read side: a *session* over a shared DiskIndexEnv. Materializes each
 /// queried term's columns lazily and only down to the level the query
 /// needs. This is the paper's I/O story — "the algorithm does not read the
 /// whole JDewey sequences from the disk at once … this would save disk I/O
 /// when the XML tree is deep and some keywords only appear at high levels."
+///
+/// A session is not thread-safe; it is the per-query (or per-worker) view.
+/// All sessions of one environment share its buffer pool and decoded-block
+/// cache, so a list decoded by one query is a memcpy for the next.
 class DiskJDeweyIndex {
  public:
-  struct IoStats {
-    uint64_t pages_read = 0;   ///< physical page reads since last reset
-    uint64_t pool_hits = 0;
-    uint64_t pool_misses = 0;
-  };
+  using IoStats = DiskIoStats;
 
-  /// Opens `path`, loading footer + directory (+ node mapping).
+  /// Convenience: opens a private environment and returns its first
+  /// session (the single-threaded usage most tests and tools want).
   static StatusOr<std::unique_ptr<DiskJDeweyIndex>> Open(
       const std::string& path, size_t pool_pages = 1024);
 
@@ -77,6 +159,13 @@ class DiskJDeweyIndex {
       const std::vector<std::string>& keywords,
       JoinSearchOptions options = {});
 
+  /// Like SearchComplete, and additionally copies the per-query
+  /// JoinSearchStats (race-free: the counters live in the per-session
+  /// JoinSearch object, never in shared state).
+  StatusOr<std::vector<SearchResult>> SearchComplete(
+      const std::vector<std::string>& keywords, JoinSearchOptions options,
+      JoinSearchStats* stats);
+
   /// Top-k against the disk-resident index. The top-K algorithm's
   /// semantic pruning probes components below the current column, so the
   /// queried lists are materialized fully (all columns + scores) and the
@@ -85,40 +174,40 @@ class DiskJDeweyIndex {
       const std::vector<std::string>& keywords, TopKSearchOptions options);
 
   /// A view usable by JoinSearch directly; contains exactly the lists
-  /// loaded so far plus the node mapping.
+  /// loaded so far plus the (borrowed) node mapping.
   const JDeweyIndex& view() const { return view_; }
 
-  IoStats io_stats() const;
-  void ResetIoStats();
+  /// Environment-wide counters (shared across sessions).
+  IoStats io_stats() const { return env_->io_stats(); }
+  void ResetIoStats() { env_->ResetIoStats(); }
 
-  size_t term_count() const { return directory_.size(); }
+  size_t term_count() const { return env_->term_count(); }
+  const DiskIndexEnv& env() const { return *env_; }
 
  private:
-  struct TermMeta {
-    uint32_t rows = 0;
-    uint32_t max_length = 0;
-    BlobExtent lengths;
-    BlobExtent scores;  // length 0 when the file carries no scores
-    std::vector<BlobExtent> columns;  // one per level
+  friend class DiskIndexEnv;
+
+  /// Session-local materialization state of one term.
+  struct TermState {
     /// Levels already materialized in view_ (0 = not loaded at all).
     uint32_t loaded_levels = 0;
     bool scores_loaded = false;
-    /// Slot in view_ once loaded.
+    /// Slot in view_.
     uint32_t view_id = UINT32_MAX;
   };
 
-  DiskJDeweyIndex() = default;
+  explicit DiskJDeweyIndex(std::shared_ptr<DiskIndexEnv> env);
 
-  Status ReadBlob(const BlobExtent& extent, std::string* out);
-  Status MaterializeBase(const std::string& term, TermMeta* meta,
+  Status MaterializeBase(const std::string& term,
+                         const DiskIndexEnv::TermInfo& info, TermState* state,
                          bool need_scores);
-  Status MaterializeScores(TermMeta* meta);
-  Status MaterializeColumns(TermMeta* meta, uint32_t up_to_level);
+  Status MaterializeScores(const DiskIndexEnv::TermInfo& info,
+                           TermState* state);
+  Status MaterializeColumns(const DiskIndexEnv::TermInfo& info,
+                            TermState* state, uint32_t up_to_level);
 
-  PageFile file_;
-  std::unique_ptr<BufferPool> pool_;
-  bool has_scores_ = false;
-  std::unordered_map<std::string, TermMeta> directory_;
+  std::shared_ptr<DiskIndexEnv> env_;
+  std::unordered_map<uint32_t, TermState> state_;  // keyed by term_id
   JDeweyIndex view_;
 };
 

@@ -29,7 +29,14 @@ struct IndexIoAccess {
   }
   static const std::vector<std::vector<std::pair<uint32_t, NodeId>>>&
   LevelNodes(const JDeweyIndex& index) {
-    return index.level_nodes_;
+    return index.borrowed_level_nodes_ != nullptr
+               ? *index.borrowed_level_nodes_
+               : index.level_nodes_;
+  }
+  /// Points `index` at another index's (level, value) -> node mapping (the
+  /// disk-index session path; `owner` must outlive `index`).
+  static void BorrowLevelNodes(JDeweyIndex* index, const JDeweyIndex& owner) {
+    index->borrowed_level_nodes_ = &LevelNodes(owner);
   }
   static uint32_t* MaxLevel(JDeweyIndex* index) { return &index->max_level_; }
 

@@ -34,11 +34,13 @@ uint32_t JDeweyIndex::Frequency(const std::string& term) const {
 }
 
 NodeId JDeweyIndex::NodeAt(uint32_t level, uint32_t value) const {
-  if (level == 0 || level >= level_nodes_.size() + 1 ||
-      level_nodes_[level - 1].empty()) {
+  const auto& level_nodes =
+      borrowed_level_nodes_ != nullptr ? *borrowed_level_nodes_ : level_nodes_;
+  if (level == 0 || level >= level_nodes.size() + 1 ||
+      level_nodes[level - 1].empty()) {
     return kInvalidNode;
   }
-  const auto& nodes = level_nodes_[level - 1];
+  const auto& nodes = level_nodes[level - 1];
   auto it = std::lower_bound(
       nodes.begin(), nodes.end(), value,
       [](const std::pair<uint32_t, NodeId>& p, uint32_t v) {

@@ -88,6 +88,12 @@ class JDeweyIndex {
   std::vector<JDeweyList> lists_;
   /// Per level (1-based), (value, node) pairs sorted by value.
   std::vector<std::vector<std::pair<uint32_t, NodeId>>> level_nodes_;
+  /// When set, NodeAt resolves against this mapping instead of
+  /// level_nodes_. Disk-index sessions borrow the mapping their shared
+  /// environment decoded once at Open instead of copying it per session;
+  /// the owner must outlive this index. Set via IndexIoAccess.
+  const std::vector<std::vector<std::pair<uint32_t, NodeId>>>*
+      borrowed_level_nodes_ = nullptr;
   uint32_t max_level_ = 0;
 };
 

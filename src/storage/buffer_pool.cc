@@ -1,36 +1,36 @@
 #include "storage/buffer_pool.h"
 
-#include <cassert>
+#include <utility>
 
 namespace xtopk {
 
-BufferPool::BufferPool(PageFile* file, size_t capacity_pages)
-    : file_(file), capacity_(capacity_pages == 0 ? 1 : capacity_pages) {}
+namespace {
 
-StatusOr<std::shared_ptr<const std::string>> BufferPool::GetPage(PageId id) {
-  auto it = map_.find(id);
-  if (it != map_.end()) {
-    ++hits_;
-    // Move to the front of the LRU list.
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return it->second->data;
-  }
-  ++misses_;
-  auto page = std::make_shared<std::string>();
-  Status s = file_->ReadPage(id, page.get());
-  if (!s.ok()) return s;
-  lru_.push_front(Entry{id, std::move(page)});
-  map_[id] = lru_.begin();
-  if (map_.size() > capacity_) {
-    map_.erase(lru_.back().id);
-    lru_.pop_back();
-  }
-  return lru_.front().data;
+size_t EffectiveShards(size_t capacity_pages, size_t shards) {
+  size_t by_capacity = capacity_pages / BufferPool::kMinPagesPerShard;
+  if (by_capacity == 0) by_capacity = 1;
+  if (shards == 0) shards = 1;
+  return std::min(shards, by_capacity);
 }
 
-void BufferPool::Clear() {
-  lru_.clear();
-  map_.clear();
+}  // namespace
+
+BufferPool::BufferPool(PageFile* file, size_t capacity_pages, size_t shards)
+    : file_(file),
+      cache_(capacity_pages == 0 ? 1 : capacity_pages,
+             EffectiveShards(capacity_pages == 0 ? 1 : capacity_pages,
+                             shards)) {}
+
+StatusOr<std::shared_ptr<const std::string>> BufferPool::GetPage(PageId id) {
+  if (auto cached = cache_.Get(id)) return std::move(*cached);
+  // Miss: read outside any shard lock, then move the bytes into the shared
+  // payload instead of copying them.
+  std::string bytes;
+  Status s = file_->ReadPage(id, &bytes);
+  if (!s.ok()) return s;
+  auto page = std::make_shared<const std::string>(std::move(bytes));
+  cache_.Put(id, page, /*cost=*/1);
+  return page;
 }
 
 }  // namespace xtopk

@@ -2,49 +2,54 @@
 #define XTOPK_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
-#include <list>
 #include <memory>
 #include <string>
-#include <unordered_map>
 
 #include "storage/page_file.h"
+#include "storage/sharded_lru.h"
 #include "util/status.h"
 
 namespace xtopk {
 
-/// LRU page cache over a PageFile — the hot-cache layer the paper's
+/// Sharded LRU page cache over a PageFile — the hot-cache layer the paper's
 /// experiments assume ("all the experiments are on hot cache"; the
 /// stack-based and join-based systems "use the cache provided by the file
 /// system", which this models deterministically).
 ///
+/// Thread-safe for concurrent GetPage calls: pages are spread over
+/// independent LRU shards by PageId hash (per-shard mutex), physical reads
+/// go through PageFile::ReadPage (pread, no shared file position), and the
+/// hit/miss counters are atomic. Two threads missing on the same page may
+/// both read it from disk; the page contents are immutable so either copy
+/// is correct and one simply replaces the other in the shard.
+///
 /// Pages are returned as shared_ptr so entries may be evicted while a
-/// caller still decodes a previous page. Single-threaded.
+/// caller still decodes a previous page.
 class BufferPool {
  public:
+  static constexpr size_t kDefaultShards = 16;
+  /// Pools smaller than shards * kMinPagesPerShard drop to fewer shards so
+  /// per-shard budgets stay meaningful and tiny pools keep exact global
+  /// LRU eviction (a 1-shard pool is a plain LRU).
+  static constexpr size_t kMinPagesPerShard = 8;
+
   /// `capacity_pages` must be >= 1. The pool borrows `file`.
-  BufferPool(PageFile* file, size_t capacity_pages);
+  BufferPool(PageFile* file, size_t capacity_pages,
+             size_t shards = kDefaultShards);
 
   /// The page contents (kPageSize bytes), from cache or disk.
   StatusOr<std::shared_ptr<const std::string>> GetPage(PageId id);
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  size_t cached_pages() const { return map_.size(); }
-  void ResetStats() { hits_ = misses_ = 0; }
-  void Clear();
+  uint64_t hits() const { return cache_.hits(); }
+  uint64_t misses() const { return cache_.misses(); }
+  size_t cached_pages() const { return cache_.entry_count(); }
+  size_t shard_count() const { return cache_.shard_count(); }
+  void ResetStats() { cache_.ResetStats(); }
+  void Clear() { cache_.Clear(); }
 
  private:
-  struct Entry {
-    PageId id;
-    std::shared_ptr<const std::string> data;
-  };
-
   PageFile* file_;
-  size_t capacity_;
-  std::list<Entry> lru_;  // front = most recent
-  std::unordered_map<PageId, std::list<Entry>::iterator> map_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  ShardedLruCache<PageId, std::shared_ptr<const std::string>> cache_;
 };
 
 }  // namespace xtopk

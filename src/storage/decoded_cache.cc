@@ -1,0 +1,64 @@
+#include "storage/decoded_cache.h"
+
+namespace xtopk {
+namespace {
+
+/// Fixed per-entry bookkeeping charge (key, list node, map slot).
+constexpr size_t kEntryOverhead = 64;
+
+}  // namespace
+
+DecodedBlockCache::DecodedBlockCache(size_t byte_budget, size_t shards)
+    : byte_budget_(byte_budget), cache_(byte_budget, shards) {}
+
+std::shared_ptr<const Column> DecodedBlockCache::GetColumn(uint64_t column_id,
+                                                           uint32_t level) {
+  auto value = cache_.Get(DecodedBlockKey{column_id, level});
+  if (!value) return nullptr;
+  auto* column = std::get_if<std::shared_ptr<const Column>>(&*value);
+  return column == nullptr ? nullptr : *column;
+}
+
+void DecodedBlockCache::PutColumn(uint64_t column_id, uint32_t level,
+                                  std::shared_ptr<const Column> column) {
+  if (column == nullptr) return;
+  size_t cost = kEntryOverhead + column->runs().size() * sizeof(Run);
+  cache_.Put(DecodedBlockKey{column_id, level}, Value(std::move(column)),
+             cost);
+}
+
+std::shared_ptr<const std::vector<uint16_t>> DecodedBlockCache::GetLengths(
+    uint64_t column_id) {
+  auto value = cache_.Get(DecodedBlockKey{column_id, kLengthsBlock});
+  if (!value) return nullptr;
+  auto* lengths =
+      std::get_if<std::shared_ptr<const std::vector<uint16_t>>>(&*value);
+  return lengths == nullptr ? nullptr : *lengths;
+}
+
+void DecodedBlockCache::PutLengths(
+    uint64_t column_id, std::shared_ptr<const std::vector<uint16_t>> lengths) {
+  if (lengths == nullptr) return;
+  size_t cost = kEntryOverhead + lengths->size() * sizeof(uint16_t);
+  cache_.Put(DecodedBlockKey{column_id, kLengthsBlock},
+             Value(std::move(lengths)), cost);
+}
+
+std::shared_ptr<const std::vector<float>> DecodedBlockCache::GetScores(
+    uint64_t column_id) {
+  auto value = cache_.Get(DecodedBlockKey{column_id, kScoresBlock});
+  if (!value) return nullptr;
+  auto* scores =
+      std::get_if<std::shared_ptr<const std::vector<float>>>(&*value);
+  return scores == nullptr ? nullptr : *scores;
+}
+
+void DecodedBlockCache::PutScores(
+    uint64_t column_id, std::shared_ptr<const std::vector<float>> scores) {
+  if (scores == nullptr) return;
+  size_t cost = kEntryOverhead + scores->size() * sizeof(float);
+  cache_.Put(DecodedBlockKey{column_id, kScoresBlock}, Value(std::move(scores)),
+             cost);
+}
+
+}  // namespace xtopk

@@ -1,0 +1,90 @@
+#ifndef XTOPK_STORAGE_DECODED_CACHE_H_
+#define XTOPK_STORAGE_DECODED_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "storage/column.h"
+#include "storage/sharded_lru.h"
+
+namespace xtopk {
+
+/// Cache key: one decoded artifact of one inverted list. `column_id` is the
+/// stable id of the list (the disk directory's term id), `block` selects
+/// which decode product: a 1-based column level, or one of the reserved
+/// pseudo-blocks for the per-row lengths / scores streams.
+struct DecodedBlockKey {
+  uint64_t column_id = 0;
+  uint32_t block = 0;
+
+  bool operator==(const DecodedBlockKey& other) const {
+    return column_id == other.column_id && block == other.block;
+  }
+};
+
+struct DecodedBlockKeyHash {
+  size_t operator()(const DecodedBlockKey& key) const {
+    return static_cast<size_t>(key.column_id * 0x9e3779b97f4a7c15ull ^
+                               (static_cast<uint64_t>(key.block) << 32 ^
+                                key.block));
+  }
+};
+
+/// LRU cache of *decoded* index blocks, sitting above the page-level
+/// BufferPool (DESIGN.md "Concurrency & caching"). A buffer-pool hit still
+/// pays varint/delta/RLE decode on every access; this cache keeps the
+/// decoded RLE-run vectors (and the per-row lengths/scores streams) so a
+/// repeated keyword list is materialized by a memcpy-cheap copy instead.
+///
+/// Capacity is a byte budget over the decoded payloads; eviction is LRU per
+/// shard. A budget of zero disables the cache (every Get misses, Put drops
+/// the entry), which benches use as the ablation baseline. Thread-safe;
+/// payloads are immutable shared_ptrs, so readers never block each other on
+/// anything but a shard's map lock.
+class DecodedBlockCache {
+ public:
+  /// Pseudo-block ids for the non-column streams of a list.
+  static constexpr uint32_t kLengthsBlock = 0xFFFFFFFFu;
+  static constexpr uint32_t kScoresBlock = 0xFFFFFFFEu;
+
+  static constexpr size_t kDefaultShards = 8;
+
+  explicit DecodedBlockCache(size_t byte_budget,
+                             size_t shards = kDefaultShards);
+
+  std::shared_ptr<const Column> GetColumn(uint64_t column_id, uint32_t level);
+  void PutColumn(uint64_t column_id, uint32_t level,
+                 std::shared_ptr<const Column> column);
+
+  std::shared_ptr<const std::vector<uint16_t>> GetLengths(uint64_t column_id);
+  void PutLengths(uint64_t column_id,
+                  std::shared_ptr<const std::vector<uint16_t>> lengths);
+
+  std::shared_ptr<const std::vector<float>> GetScores(uint64_t column_id);
+  void PutScores(uint64_t column_id,
+                 std::shared_ptr<const std::vector<float>> scores);
+
+  uint64_t hits() const { return cache_.hits(); }
+  uint64_t misses() const { return cache_.misses(); }
+  size_t bytes_used() const { return cache_.cost_used(); }
+  size_t entry_count() const { return cache_.entry_count(); }
+  size_t byte_budget() const { return byte_budget_; }
+  bool enabled() const { return byte_budget_ > 0; }
+
+  void ResetStats() { cache_.ResetStats(); }
+  void Clear() { cache_.Clear(); }
+
+ private:
+  using Value = std::variant<std::shared_ptr<const Column>,
+                             std::shared_ptr<const std::vector<uint16_t>>,
+                             std::shared_ptr<const std::vector<float>>>;
+
+  size_t byte_budget_;
+  ShardedLruCache<DecodedBlockKey, Value, DecodedBlockKeyHash> cache_;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_STORAGE_DECODED_CACHE_H_

@@ -1,6 +1,7 @@
 #include "storage/page_file.h"
 
 #include <sys/stat.h>
+#include <unistd.h>
 
 namespace xtopk {
 
@@ -11,8 +12,11 @@ PageFile::~PageFile() {
 PageFile::PageFile(PageFile&& other) noexcept
     : file_(other.file_),
       page_count_(other.page_count_),
-      pages_read_(other.pages_read_),
       pages_written_(other.pages_written_) {
+  pages_read_.store(other.pages_read_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  dirty_.store(other.dirty_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
   other.file_ = nullptr;
   other.page_count_ = 0;
 }
@@ -22,8 +26,11 @@ PageFile& PageFile::operator=(PageFile&& other) noexcept {
     if (file_ != nullptr) std::fclose(file_);
     file_ = other.file_;
     page_count_ = other.page_count_;
-    pages_read_ = other.pages_read_;
     pages_written_ = other.pages_written_;
+    pages_read_.store(other.pages_read_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    dirty_.store(other.dirty_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
     other.file_ = nullptr;
     other.page_count_ = 0;
   }
@@ -77,22 +84,26 @@ StatusOr<PageId> PageFile::AppendPage(const std::string& data) {
     return Status::IoError("write failed");
   }
   ++pages_written_;
+  dirty_.store(true, std::memory_order_release);
   return page_count_++;
 }
 
 Status PageFile::ReadPage(PageId id, std::string* out) {
   if (file_ == nullptr) return Status::Internal("page file not open");
   if (id >= page_count_) return Status::OutOfRange("page id out of range");
-  if (std::fseek(file_,
-                 static_cast<long>(id) * static_cast<long>(kPageSize),
-                 SEEK_SET) != 0) {
-    return Status::IoError("seek failed");
+  if (dirty_.exchange(false, std::memory_order_acq_rel)) {
+    if (std::fflush(file_) != 0) return Status::IoError("flush failed");
   }
   out->resize(kPageSize);
-  if (std::fread(out->data(), 1, kPageSize, file_) != kPageSize) {
-    return Status::IoError("short page read");
+  size_t done = 0;
+  const off_t base = static_cast<off_t>(id) * static_cast<off_t>(kPageSize);
+  while (done < kPageSize) {
+    ssize_t n = pread(fileno(file_), out->data() + done, kPageSize - done,
+                      base + static_cast<off_t>(done));
+    if (n <= 0) return Status::IoError("short page read");
+    done += static_cast<size_t>(n);
   }
-  ++pages_read_;
+  pages_read_.fetch_add(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 

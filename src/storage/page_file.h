@@ -1,6 +1,7 @@
 #ifndef XTOPK_STORAGE_PAGE_FILE_H_
 #define XTOPK_STORAGE_PAGE_FILE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -16,6 +17,13 @@ using PageId = uint32_t;
 /// compression schemes are phrased per disk block; we use the classic
 /// 8 KiB page). Writing is append-only; reads are random-access by page id
 /// and are counted, which is what the I/O experiments report.
+///
+/// Concurrency contract: writing (AppendPage) is single-threaded, but once
+/// the file is in its read-only serving phase ReadPage may be called from
+/// any number of threads concurrently — reads use pread on the underlying
+/// descriptor (no shared file position) and the read counter is atomic.
+/// Buffered appends are flushed before the first pread that follows them,
+/// so interleaved write-then-read on one thread stays coherent.
 class PageFile {
  public:
   static constexpr size_t kPageSize = 8192;
@@ -36,22 +44,31 @@ class PageFile {
   /// exceed it). Returns the new page's id.
   StatusOr<PageId> AppendPage(const std::string& data);
 
-  /// Reads page `id` into `out` (resized to kPageSize).
+  /// Reads page `id` into `out` (resized to kPageSize). Safe to call
+  /// concurrently with other ReadPage calls.
   Status ReadPage(PageId id, std::string* out);
 
   /// Flushes buffered writes.
   Status Sync();
 
   uint32_t page_count() const { return page_count_; }
-  uint64_t pages_read() const { return pages_read_; }
+  uint64_t pages_read() const {
+    return pages_read_.load(std::memory_order_relaxed);
+  }
   uint64_t pages_written() const { return pages_written_; }
-  void ResetStats() { pages_read_ = pages_written_ = 0; }
+  void ResetStats() {
+    pages_read_.store(0, std::memory_order_relaxed);
+    pages_written_ = 0;
+  }
 
  private:
   std::FILE* file_ = nullptr;
   uint32_t page_count_ = 0;
-  uint64_t pages_read_ = 0;
   uint64_t pages_written_ = 0;
+  std::atomic<uint64_t> pages_read_{0};
+  /// Set by AppendPage, consumed by the next ReadPage: pread bypasses the
+  /// stdio buffer, so pending buffered writes must be flushed first.
+  std::atomic<bool> dirty_{false};
 };
 
 }  // namespace xtopk

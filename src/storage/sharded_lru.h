@@ -1,0 +1,153 @@
+#ifndef XTOPK_STORAGE_SHARDED_LRU_H_
+#define XTOPK_STORAGE_SHARDED_LRU_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace xtopk {
+
+/// A thread-safe LRU cache split into independent shards so concurrent
+/// readers do not serialize on a single lock. Each shard owns its own
+/// mutex, recency list and map; a key's shard is fixed by its hash, so
+/// per-key operations are linearizable while cross-key operations only
+/// contend when keys collide on a shard.
+///
+/// Capacity is expressed in abstract cost units (pages, bytes, ...) and is
+/// divided evenly across shards; an entry whose cost exceeds its shard's
+/// budget is simply not cached. A capacity of zero disables caching: Put is
+/// a no-op and Get always misses, which callers use as the "cache off"
+/// ablation mode.
+///
+/// Values are returned by copy, so V should be cheap to copy — in this
+/// library both users store shared_ptr payloads.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  ShardedLruCache(size_t capacity, size_t shards) {
+    size_t count = shards == 0 ? 1 : shards;
+    // Never hand a shard a zero budget while the cache as a whole has one.
+    if (capacity > 0 && count > capacity) count = capacity;
+    shard_capacity_ = capacity == 0 ? 0 : capacity / count;
+    shards_.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+
+  /// Looks up `key`, refreshing its recency. Counts a hit or a miss.
+  std::optional<Value> Get(const Key& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return it->second->value;
+  }
+
+  /// Inserts or refreshes `key`, then evicts LRU entries until the shard is
+  /// within budget. Concurrent Put calls for the same key are benign: the
+  /// later one simply replaces the value.
+  void Put(const Key& key, Value value, size_t cost = 1) {
+    if (cost > shard_capacity_) return;  // also covers the disabled cache
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.cost_used -= it->second->cost;
+      it->second->value = std::move(value);
+      it->second->cost = cost;
+      shard.cost_used += cost;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      shard.lru.push_front(Entry{key, std::move(value), cost});
+      shard.map[key] = shard.lru.begin();
+      shard.cost_used += cost;
+    }
+    while (shard.cost_used > shard_capacity_ && !shard.lru.empty()) {
+      Entry& victim = shard.lru.back();
+      shard.cost_used -= victim.cost;
+      shard.map.erase(victim.key);
+      shard.lru.pop_back();
+    }
+  }
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+  size_t entry_count() const {
+    size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      total += shard->map.size();
+    }
+    return total;
+  }
+
+  size_t cost_used() const {
+    size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      total += shard->cost_used;
+    }
+    return total;
+  }
+
+  size_t shard_count() const { return shards_.size(); }
+  size_t shard_capacity() const { return shard_capacity_; }
+
+  void ResetStats() {
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
+
+  void Clear() {
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      shard->lru.clear();
+      shard->map.clear();
+      shard->cost_used = 0;
+    }
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    Value value;
+    size_t cost;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> map;
+    size_t cost_used = 0;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    // Fibonacci mixing spreads consecutive keys (page ids, levels) across
+    // shards even when Hash is the identity.
+    uint64_t h = static_cast<uint64_t>(hasher_(key)) * 0x9e3779b97f4a7c15ull;
+    return *shards_[(h >> 32) % shards_.size()];
+  }
+
+  Hash hasher_;
+  size_t shard_capacity_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_STORAGE_SHARDED_LRU_H_

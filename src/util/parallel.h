@@ -37,6 +37,34 @@ inline void ParallelFor(size_t n, size_t threads,
   for (auto& t : pool) t.join();
 }
 
+/// ParallelFor variant that also tells fn which worker runs it:
+/// fn(worker, i) with worker in [0, min(threads, n)). Query drivers use the
+/// worker id to route work to per-worker state (e.g. one disk-index session
+/// per thread) without any locking — same work-stealing schedule otherwise.
+inline void ParallelForWorkers(
+    size_t n, size_t threads,
+    const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (threads <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(0, i);
+    return;
+  }
+  size_t workers = std::min(threads, n);
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      while (true) {
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(w, i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
 }  // namespace xtopk
 
 #endif  // XTOPK_UTIL_PARALLEL_H_
