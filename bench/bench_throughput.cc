@@ -27,6 +27,7 @@
 #include "bench_util.h"
 #include "core/engine.h"
 #include "index/disk_index.h"
+#include "obs/metrics.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 #include "workload/dblp_gen.h"
@@ -90,6 +91,8 @@ struct RunOutcome {
   double millis = 0;
   uint64_t result_checksum = 0;
   bool ok = true;
+  /// Per-query latency percentiles, merged across workers.
+  double p50_us = 0, p95_us = 0, p99_us = 0;
 };
 
 RunOutcome ServeDiskWorkload(const std::shared_ptr<DiskIndexEnv>& env,
@@ -97,8 +100,12 @@ RunOutcome ServeDiskWorkload(const std::shared_ptr<DiskIndexEnv>& env,
                              size_t threads) {
   std::vector<uint64_t> counts(qs.size(), 0);
   std::vector<char> failed(qs.size(), 0);
+  // One latency histogram per worker (no cross-thread contention while
+  // recording), merged after the join — the standalone-Histogram pattern.
+  std::vector<obs::Histogram> latencies(threads == 0 ? 1 : threads);
   Timer timer;
-  ParallelForWorkers(qs.size(), threads, [&](size_t, size_t i) {
+  ParallelForWorkers(qs.size(), threads, [&](size_t worker, size_t i) {
+    Timer query_timer;
     auto session = env->NewSession();
     JoinSearchOptions options;
     options.compute_scores = true;
@@ -108,6 +115,8 @@ RunOutcome ServeDiskWorkload(const std::shared_ptr<DiskIndexEnv>& env,
       return;
     }
     counts[i] = results->size();
+    latencies[worker].Record(
+        static_cast<uint64_t>(query_timer.ElapsedMicros()));
   });
   RunOutcome outcome;
   outcome.millis = timer.ElapsedMillis();
@@ -116,6 +125,11 @@ RunOutcome ServeDiskWorkload(const std::shared_ptr<DiskIndexEnv>& env,
     outcome.result_checksum += counts[i] * (i + 1);
     if (failed[i]) outcome.ok = false;
   }
+  obs::Histogram merged;
+  for (const obs::Histogram& h : latencies) merged.Merge(h);
+  outcome.p50_us = merged.Percentile(0.50);
+  outcome.p95_us = merged.Percentile(0.95);
+  outcome.p99_us = merged.Percentile(0.99);
   return outcome;
 }
 
@@ -136,8 +150,9 @@ int RunBench() {
               std::thread::hardware_concurrency(), n, n / kRepeats);
 
   // --- Section A: disk-backed serving at 1/2/4/8 threads -----------------
-  std::printf("%-8s %10s %10s %14s %16s\n", "threads", "qps", "ms",
-              "pool hit rate", "decoded hit rate");
+  std::printf("%-8s %10s %10s %14s %16s %9s %9s %9s\n", "threads", "qps",
+              "ms", "pool hit rate", "decoded hit rate", "p50 us", "p95 us",
+              "p99 us");
   double qps_1thread = 0;
   uint64_t checksum_1thread = 0;
   for (size_t threads : kThreadPoints) {
@@ -161,8 +176,9 @@ int RunBench() {
     double pool_rate = bench::HitRate(stats.pool_hits, stats.pool_misses);
     double decoded_rate =
         bench::HitRate(stats.decoded_hits, stats.decoded_misses);
-    std::printf("%-8zu %10.1f %10.1f %14.3f %16.3f\n", threads, outcome.qps,
-                outcome.millis, pool_rate, decoded_rate);
+    std::printf("%-8zu %10.1f %10.1f %14.3f %16.3f %9.0f %9.0f %9.0f\n",
+                threads, outcome.qps, outcome.millis, pool_rate, decoded_rate,
+                outcome.p50_us, outcome.p95_us, outcome.p99_us);
     if (threads == 1) {
       qps_1thread = outcome.qps;
       checksum_1thread = outcome.result_checksum;
@@ -182,7 +198,10 @@ int RunBench() {
         .Field("speedup_vs_1t", qps_1thread > 0 ? outcome.qps / qps_1thread
                                                 : 1.0)
         .Field("pool_hit_rate", pool_rate)
-        .Field("decoded_hit_rate", decoded_rate);
+        .Field("decoded_hit_rate", decoded_rate)
+        .Field("p50_us", outcome.p50_us)
+        .Field("p95_us", outcome.p95_us)
+        .Field("p99_us", outcome.p99_us);
     json.Emit();
   }
 
@@ -215,7 +234,10 @@ int RunBench() {
         .Field("threads", size_t{1})
         .Field("queries", n)
         .Field("qps", outcome.qps)
-        .Field("decoded_hit_rate", decoded_rate);
+        .Field("decoded_hit_rate", decoded_rate)
+        .Field("p50_us", outcome.p50_us)
+        .Field("p95_us", outcome.p95_us)
+        .Field("p99_us", outcome.p99_us);
     json.Emit();
   }
   std::printf("decoded-cache speedup: %.2fx\n",
@@ -232,12 +254,27 @@ int RunBench() {
     query.k = i % 4 == 3 ? 10 : 0;  // mix complete + top-k queries
     batch.push_back(std::move(query));
   }
+  // Per-query latency comes from the engine.query_us registry histogram:
+  // snapshot around the measured run and diff the bucket counts.
+  auto query_us_buckets = [] {
+    std::array<uint64_t, obs::Histogram::kNumBuckets> buckets{};
+    obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+    for (const auto& h : snap.histograms) {
+      if (h.name == "engine.query_us") buckets = h.buckets;
+    }
+    return buckets;
+  };
   uint64_t engine_checksum_1t = 0;
   for (size_t threads : kThreadPoints) {
     engine.RunBatch(batch, threads);  // warm-up
+    auto buckets_before = query_us_buckets();
     Timer timer;
     auto results = engine.RunBatch(batch, threads);
     double millis = timer.ElapsedMillis();
+    auto buckets_delta = query_us_buckets();
+    for (size_t i = 0; i < buckets_delta.size(); ++i) {
+      buckets_delta[i] -= buckets_before[i];
+    }
     uint64_t checksum = 0;
     for (size_t i = 0; i < results.size(); ++i) {
       checksum += results[i].hits.size() * (i + 1);
@@ -249,12 +286,20 @@ int RunBench() {
       return 1;
     }
     double qps = 1000.0 * static_cast<double>(n) / millis;
-    std::printf("%-8zu %10.1f qps %10.1f ms\n", threads, qps, millis);
+    double p50 = obs::PercentileFromBuckets(buckets_delta, 0.50);
+    double p95 = obs::PercentileFromBuckets(buckets_delta, 0.95);
+    double p99 = obs::PercentileFromBuckets(buckets_delta, 0.99);
+    std::printf("%-8zu %10.1f qps %10.1f ms   p50 %.0f us  p95 %.0f us  "
+                "p99 %.0f us\n",
+                threads, qps, millis, p50, p95, p99);
     bench::BenchJson json("throughput");
     json.Field("mode", "engine_batch")
         .Field("threads", threads)
         .Field("queries", n)
-        .Field("qps", qps);
+        .Field("qps", qps)
+        .Field("p50_us", p50)
+        .Field("p95_us", p95)
+        .Field("p99_us", p99);
     json.Emit();
   }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "index/index_builder.h"
+#include "obs/metrics.h"
 #include "util/timer.h"
 #include "workload/dblp_gen.h"
 #include "workload/xmark_gen.h"
@@ -146,7 +147,13 @@ double TimeOnceMs(Fn&& fn) {
 ///
 ///   BENCH {"bench":"throughput","mode":"disk","threads":4,
 ///          "queries":512,"qps":1234.5,"pool_hit_rate":0.998,
-///          "decoded_hit_rate":0.93}
+///          "decoded_hit_rate":0.93,"metrics":{...}}
+///
+/// Every line additionally carries a compact cumulative snapshot of the
+/// process-wide metrics registry (zero values dropped, histograms as
+/// _count/_p50/_p95/_p99), so the driver sees cache/IO/join counters
+/// without per-bench plumbing. Benches that want per-section metrics call
+/// MetricsRegistry::Global().ResetAll() at section start.
 class BenchJson {
  public:
   explicit BenchJson(const std::string& bench) { Field("bench", bench); }
@@ -176,9 +183,11 @@ class BenchJson {
     return *this;
   }
 
-  /// Prints `BENCH {...}` and resets for reuse.
+  /// Prints `BENCH {...}` with the registry snapshot appended.
   void Emit() {
-    std::printf("BENCH {%s}\n", line_.c_str());
+    std::string metrics;
+    obs::MetricsRegistry::Global().Snapshot().AppendCompactJson(&metrics);
+    std::printf("BENCH {%s,\"metrics\":%s}\n", line_.c_str(), metrics.c_str());
     std::fflush(stdout);
   }
 

@@ -2,7 +2,9 @@
 
 #include <unordered_set>
 
+#include "obs/metrics.h"
 #include "util/parallel.h"
+#include "util/timer.h"
 #include "xml/tokenizer.h"
 
 namespace xtopk {
@@ -45,16 +47,77 @@ std::vector<std::string> Engine::Normalize(
   return normalized;
 }
 
+BatchQueryResult Engine::RunQuery(const BatchQuery& query,
+                                  obs::QueryTrace* trace) const {
+  Timer timer;
+  BatchQueryResult out;
+  obs::ScopedSpan root(trace, "query");
+  if (root.enabled()) {
+    root.Label("semantics",
+               query.semantics == Semantics::kElca ? "elca" : "slca");
+    root.Label("mode", query.k == 0 ? "complete" : "topk");
+    root.Stat("k", static_cast<double>(query.k));
+  }
+
+  std::vector<std::string> normalized;
+  {
+    obs::ScopedSpan span(trace, "tokenize");
+    normalized = Normalize(query.keywords);
+    span.Stat("keywords_in", static_cast<double>(query.keywords.size()));
+    span.Stat("keywords_out", static_cast<double>(normalized.size()));
+  }
+  if (trace != nullptr) {
+    // Directory-only probe: the searches resolve the lists themselves; this
+    // span only surfaces the per-term frequencies in the EXPLAIN output.
+    obs::ScopedSpan span(trace, "term_lookup");
+    for (const std::string& term : normalized) {
+      uint32_t freq = jdewey_index_.Frequency(term);
+      span.Stat("terms", 1.0);
+      span.Label(term, std::to_string(freq));
+    }
+  }
+
+  if (query.k == 0) {
+    JoinSearchOptions join_options;
+    join_options.semantics = query.semantics;
+    join_options.compute_scores = true;
+    join_options.scoring = options_.scoring;
+    join_options.trace = trace;
+    JoinSearch search(jdewey_index_, join_options);
+    std::vector<SearchResult> found = search.Search(normalized);
+    obs::ScopedSpan span(trace, "materialize");
+    SortByScoreDesc(&found);
+    out.hits = Materialize(found);
+    span.Stat("hits", static_cast<double>(out.hits.size()));
+    out.join_stats = search.stats();
+  } else {
+    TopKSearchOptions topk_options;
+    topk_options.semantics = query.semantics;
+    topk_options.k = query.k;
+    topk_options.scoring = options_.scoring;
+    topk_options.trace = trace;
+    TopKSearch search(topk_index_, topk_options);
+    std::vector<SearchResult> found = search.Search(normalized);
+    obs::ScopedSpan span(trace, "materialize");
+    out.hits = Materialize(found);
+    span.Stat("hits", static_cast<double>(out.hits.size()));
+  }
+  root.Stat("hits", static_cast<double>(out.hits.size()));
+  root.Close();
+
+  XTOPK_COUNTER("engine.queries").Add(1);
+  XTOPK_HISTOGRAM("engine.query_us")
+      .Record(static_cast<uint64_t>(timer.ElapsedMicros()));
+  return out;
+}
+
 std::vector<QueryHit> Engine::Search(const std::vector<std::string>& keywords,
                                      Semantics semantics) const {
-  JoinSearchOptions join_options;
-  join_options.semantics = semantics;
-  join_options.compute_scores = true;
-  join_options.scoring = options_.scoring;
-  JoinSearch search(jdewey_index_, join_options);
-  std::vector<SearchResult> results = search.Search(Normalize(keywords));
-  SortByScoreDesc(&results);
-  return Materialize(results);
+  BatchQuery query;
+  query.keywords = keywords;
+  query.k = 0;
+  query.semantics = semantics;
+  return RunQuery(query, nullptr).hits;
 }
 
 std::string HighlightKeywords(const std::string& text,
@@ -104,12 +167,11 @@ std::string HighlightKeywords(const std::string& text,
 std::vector<QueryHit> Engine::SearchTopK(
     const std::vector<std::string>& keywords, size_t k,
     Semantics semantics) const {
-  TopKSearchOptions topk_options;
-  topk_options.semantics = semantics;
-  topk_options.k = k;
-  topk_options.scoring = options_.scoring;
-  TopKSearch search(topk_index_, topk_options);
-  return Materialize(search.Search(Normalize(keywords)));
+  BatchQuery query;
+  query.keywords = keywords;
+  query.k = k;
+  query.semantics = semantics;
+  return RunQuery(query, nullptr).hits;
 }
 
 std::vector<QueryHit> Engine::SearchHybrid(
@@ -124,33 +186,35 @@ std::vector<QueryHit> Engine::SearchHybrid(
 }
 
 std::vector<BatchQueryResult> Engine::RunBatch(
-    const std::vector<BatchQuery>& queries, size_t threads) const {
+    const std::vector<BatchQuery>& queries, size_t threads,
+    bool collect_traces) const {
   std::vector<BatchQueryResult> results(queries.size());
   // Workers write to pre-sized, index-disjoint slots; the shared indexes
   // are read-only, so no synchronization beyond the join is needed.
   ParallelFor(queries.size(), threads, [&](size_t i) {
-    const BatchQuery& query = queries[i];
-    BatchQueryResult& out = results[i];
-    if (query.k == 0) {
-      JoinSearchOptions join_options;
-      join_options.semantics = query.semantics;
-      join_options.compute_scores = true;
-      join_options.scoring = options_.scoring;
-      JoinSearch search(jdewey_index_, join_options);
-      std::vector<SearchResult> found = search.Search(Normalize(query.keywords));
-      SortByScoreDesc(&found);
-      out.hits = Materialize(found);
-      out.join_stats = search.stats();
-    } else {
-      TopKSearchOptions topk_options;
-      topk_options.semantics = query.semantics;
-      topk_options.k = query.k;
-      topk_options.scoring = options_.scoring;
-      TopKSearch search(topk_index_, topk_options);
-      out.hits = Materialize(search.Search(Normalize(query.keywords)));
-    }
+    std::unique_ptr<obs::QueryTrace> trace;
+    if (collect_traces) trace = std::make_unique<obs::QueryTrace>();
+    results[i] = RunQuery(queries[i], trace.get());
+    results[i].trace = std::move(trace);
   });
   return results;
+}
+
+ExplainResult Engine::Explain(const BatchQuery& query) const {
+  ExplainResult explained;
+  BatchQueryResult result = RunQuery(query, &explained.trace);
+  explained.hits = std::move(result.hits);
+  explained.join_stats = result.join_stats;
+  return explained;
+}
+
+ExplainResult Engine::Explain(const std::vector<std::string>& keywords,
+                              size_t k, Semantics semantics) const {
+  BatchQuery query;
+  query.keywords = keywords;
+  query.k = k;
+  query.semantics = semantics;
+  return Explain(query);
 }
 
 uint32_t Engine::Frequency(const std::string& keyword) const {

@@ -12,6 +12,7 @@
 #include "index/index_builder.h"
 #include "index/jdewey_index.h"
 #include "index/topk_index.h"
+#include "obs/trace.h"
 #include "xml/xml_tree.h"
 
 namespace xtopk {
@@ -45,6 +46,20 @@ struct BatchQueryResult {
   std::vector<QueryHit> hits;
   /// Complete-search queries only (k == 0); top-k queries leave defaults.
   JoinSearchStats join_stats;
+  /// Per-query span tree; set only when RunBatch collects traces (or the
+  /// query ran through Explain). Single-query and batch execution share one
+  /// code path, so the trace carries identical span/stat fields either way.
+  std::unique_ptr<obs::QueryTrace> trace;
+};
+
+/// Engine::Explain output: the query's answers plus the span tree of its
+/// execution. `trace.Render()` gives the human-readable EXPLAIN tree,
+/// `trace.ToJson()` the machine-readable profile.
+struct ExplainResult {
+  std::vector<QueryHit> hits;
+  /// Complete-search queries only (k == 0).
+  JoinSearchStats join_stats;
+  obs::QueryTrace trace;
 };
 
 /// Marks every occurrence of `keywords` (tokenizer-normalized, whole-token
@@ -95,8 +110,18 @@ class Engine {
   /// construction and every query gets its own search object, so results
   /// and per-query JoinSearchStats are bit-identical to running the
   /// queries one by one; results[i] always answers queries[i].
+  /// `collect_traces` attaches a QueryTrace to every result — the same
+  /// span tree Explain produces, since both run through one query path.
   std::vector<BatchQueryResult> RunBatch(const std::vector<BatchQuery>& queries,
-                                         size_t threads) const;
+                                         size_t threads,
+                                         bool collect_traces = false) const;
+
+  /// EXPLAIN/profile: runs `query` with tracing on and returns its span
+  /// tree (tokenize → term lookup → per-level join rounds → materialize)
+  /// alongside the answers.
+  ExplainResult Explain(const BatchQuery& query) const;
+  ExplainResult Explain(const std::vector<std::string>& keywords, size_t k = 0,
+                        Semantics semantics = Semantics::kElca) const;
 
   /// Keyword frequency (inverted-list length); 0 for unknown keywords.
   uint32_t Frequency(const std::string& keyword) const;
@@ -107,6 +132,11 @@ class Engine {
   const IndexBuilder& builder() const { return *builder_; }
 
  private:
+  /// The single execution path behind Search, SearchTopK, RunBatch and
+  /// Explain. `trace` may be null (zero tracing cost); the returned
+  /// result's `trace` member is left empty — callers own the trace.
+  BatchQueryResult RunQuery(const BatchQuery& query,
+                            obs::QueryTrace* trace) const;
   std::vector<QueryHit> Materialize(
       const std::vector<SearchResult>& results) const;
   std::vector<std::string> Normalize(

@@ -51,15 +51,22 @@ double HybridSearch::EstimateResultCount(
 std::vector<SearchResult> HybridSearch::Search(
     const std::vector<std::string>& keywords) {
   decision_ = HybridDecision{};
-  decision_.estimated_results = EstimateResultCount(keywords);
-  decision_.used_topk_join =
-      decision_.estimated_results >= options_.topk_min_estimated_results;
+  {
+    obs::ScopedSpan plan(options_.trace, "hybrid_plan");
+    decision_.estimated_results = EstimateResultCount(keywords);
+    decision_.used_topk_join =
+        decision_.estimated_results >= options_.topk_min_estimated_results;
+    plan.Stat("estimated_results", decision_.estimated_results);
+    plan.Label("decision",
+               decision_.used_topk_join ? "topk_join" : "complete_join");
+  }
 
   if (decision_.used_topk_join) {
     TopKSearchOptions topk_options;
     topk_options.semantics = options_.semantics;
     topk_options.k = options_.k;
     topk_options.scoring = options_.scoring;
+    topk_options.trace = options_.trace;
     TopKSearch search(index_, topk_options);
     return search.Search(keywords);
   }
@@ -68,6 +75,7 @@ std::vector<SearchResult> HybridSearch::Search(
   join_options.semantics = options_.semantics;
   join_options.compute_scores = true;
   join_options.scoring = options_.scoring;
+  join_options.trace = options_.trace;
   JoinSearch search(*index_.base(), join_options);
   std::vector<SearchResult> results = search.Search(keywords);
   SortByScoreDesc(&results);

@@ -26,6 +26,10 @@ struct HybridOptions {
   /// cardinality estimate.
   size_t sample_runs = 256;
   ScoringParams scoring;
+  /// Per-query span tree ("hybrid_plan" span records the estimate and the
+  /// decision; the chosen algorithm adds its own spans underneath). Null
+  /// disables tracing at zero cost.
+  obs::QueryTrace* trace = nullptr;
 };
 
 /// What the planner decided and why (exposed for tests/benches).

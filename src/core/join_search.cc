@@ -3,7 +3,28 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace xtopk {
+namespace {
+
+/// Folds the final per-query counters into the process-wide registry (one
+/// batch of relaxed adds per query, nothing per row).
+void FlushJoinStatsToRegistry(const JoinSearchStats& stats) {
+  XTOPK_COUNTER("core.join.queries").Add(1);
+  XTOPK_COUNTER("core.join.levels").Add(stats.levels_processed);
+  XTOPK_COUNTER("core.join.candidates").Add(stats.candidates);
+  XTOPK_COUNTER("core.join.results").Add(stats.results);
+  XTOPK_COUNTER("core.join.rows_erased").Add(stats.rows_erased);
+  XTOPK_COUNTER("core.join.erasure_touches").Add(stats.erasure_touches);
+  XTOPK_COUNTER("core.join.merge_joins").Add(stats.join_ops.merge_joins);
+  XTOPK_COUNTER("core.join.index_joins").Add(stats.join_ops.index_joins);
+  XTOPK_COUNTER("core.join.run_comparisons")
+      .Add(stats.join_ops.run_comparisons);
+  XTOPK_COUNTER("core.join.probes").Add(stats.join_ops.probes);
+}
+
+}  // namespace
 
 JoinSearch::Erasure::Erasure(bool use_ranges, uint32_t rows,
                              uint64_t* touches)
@@ -66,15 +87,25 @@ std::vector<SearchResult> JoinSearch::SearchWithTrace(
     std::vector<LevelTrace>* trace) {
   stats_ = JoinSearchStats{};
   if (trace != nullptr) trace->clear();
+  obs::ScopedSpan root(options_.trace, "join_search");
+  root.Stat("keywords", static_cast<double>(keywords.size()));
   std::vector<SearchResult> results;
-  if (keywords.empty()) return results;
+  if (keywords.empty()) {
+    root.Label("termination", "empty_query");
+    FlushJoinStatsToRegistry(stats_);
+    return results;
+  }
 
   // Resolve inverted lists; a missing keyword means no answers.
   std::vector<const JDeweyList*> lists;
   lists.reserve(keywords.size());
   for (const std::string& kw : keywords) {
     const JDeweyList* list = index_.GetList(kw);
-    if (list == nullptr || list->num_rows() == 0) return results;
+    if (list == nullptr || list->num_rows() == 0) {
+      root.Label("termination", "missing_term");
+      FlushJoinStatsToRegistry(stats_);
+      return results;
+    }
     lists.push_back(list);
   }
   const size_t k = lists.size();
@@ -103,9 +134,15 @@ std::vector<SearchResult> JoinSearch::SearchWithTrace(
     ++stats_.levels_processed;
     LevelTrace level_trace;
     level_trace.level = level;
+    obs::ScopedSpan level_span(
+        options_.trace, options_.trace != nullptr
+                            ? "level_" + std::to_string(level)
+                            : std::string());
     uint64_t erased_before = stats_.rows_erased;
     uint64_t candidates_before = stats_.candidates;
     uint64_t results_before = stats_.results;
+    uint64_t merge_before = stats_.join_ops.merge_joins;
+    uint64_t index_before = stats_.join_ops.index_joins;
 
     // Left-deep pipeline over this level's columns in join order.
     const Column& first = lists[order[0]]->column(level);
@@ -208,7 +245,31 @@ std::vector<SearchResult> JoinSearch::SearchWithTrace(
       level_trace.rows_erased = stats_.rows_erased - erased_before;
       trace->push_back(std::move(level_trace));
     }
+    if (level_span.enabled()) {
+      level_span.Stat("candidates",
+                      static_cast<double>(stats_.candidates -
+                                          candidates_before));
+      level_span.Stat("results",
+                      static_cast<double>(stats_.results - results_before));
+      level_span.Stat("rows_erased",
+                      static_cast<double>(stats_.rows_erased - erased_before));
+      level_span.Stat("merge_joins",
+                      static_cast<double>(stats_.join_ops.merge_joins -
+                                          merge_before));
+      level_span.Stat("index_joins",
+                      static_cast<double>(stats_.join_ops.index_joins -
+                                          index_before));
+    }
   }
+  if (root.enabled()) {
+    root.Stat("levels", static_cast<double>(stats_.levels_processed));
+    root.Stat("candidates", static_cast<double>(stats_.candidates));
+    root.Stat("results", static_cast<double>(stats_.results));
+    root.Stat("rows_erased", static_cast<double>(stats_.rows_erased));
+    root.Stat("erasure_touches", static_cast<double>(stats_.erasure_touches));
+    root.Label("termination", "complete");
+  }
+  FlushJoinStatsToRegistry(stats_);
   return results;
 }
 

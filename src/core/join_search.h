@@ -10,6 +10,7 @@
 #include "core/scoring.h"
 #include "core/search_result.h"
 #include "index/jdewey_index.h"
+#include "obs/trace.h"
 #include "util/interval_set.h"
 
 namespace xtopk {
@@ -25,6 +26,9 @@ struct JoinSearchOptions {
   bool use_range_check = true;
   PlannerOptions planner;
   ScoringParams scoring;
+  /// Per-query span tree ("join_search" root, one span per level with
+  /// candidates/results/erasure stats). Null disables tracing at zero cost.
+  obs::QueryTrace* trace = nullptr;
 };
 
 /// Execution counters exposed for tests and benches.

@@ -7,9 +7,23 @@
 
 #include "core/join_ops.h"
 #include "core/join_planner.h"
+#include "obs/metrics.h"
 
 namespace xtopk {
 namespace {
+
+/// One batch of relaxed adds per query — nothing per entry.
+void FlushTopKStatsToRegistry(const TopKSearchStats& stats) {
+  XTOPK_COUNTER("core.topk.queries").Add(1);
+  XTOPK_COUNTER("core.topk.entries_read").Add(stats.entries_read);
+  XTOPK_COUNTER("core.topk.excluded_skips").Add(stats.excluded_skips);
+  XTOPK_COUNTER("core.topk.candidates").Add(stats.candidates);
+  XTOPK_COUNTER("core.topk.early_emissions").Add(stats.early_emissions);
+  XTOPK_COUNTER("core.topk.columns_processed").Add(stats.columns_processed);
+  XTOPK_COUNTER("core.topk.columns_star_join").Add(stats.columns_star_join);
+  XTOPK_COUNTER("core.topk.columns_complete_join")
+      .Add(stats.columns_complete_join);
+}
 
 uint64_t NodeKey(uint32_t level, uint32_t value) {
   return (static_cast<uint64_t>(level) << 32) | value;
@@ -194,13 +208,24 @@ TopKSearch::TopKSearch(const TopKIndex& index, TopKSearchOptions options)
 std::vector<SearchResult> TopKSearch::Search(
     const std::vector<std::string>& keywords) {
   stats_ = TopKSearchStats{};
+  obs::ScopedSpan root(options_.trace, "topk_search");
+  root.Stat("keywords", static_cast<double>(keywords.size()));
+  root.Stat("k", static_cast<double>(options_.k));
   std::vector<SearchResult> emitted;
-  if (keywords.empty() || options_.k == 0) return emitted;
+  if (keywords.empty() || options_.k == 0) {
+    root.Label("termination", "empty_query");
+    FlushTopKStatsToRegistry(stats_);
+    return emitted;
+  }
 
   std::vector<const TopKList*> lists;
   for (const std::string& kw : keywords) {
     const TopKList* list = index_.GetList(kw);
-    if (list == nullptr || list->base->num_rows() == 0) return emitted;
+    if (list == nullptr || list->base->num_rows() == 0) {
+      root.Label("termination", "missing_term");
+      FlushTopKStatsToRegistry(stats_);
+      return emitted;
+    }
     lists.push_back(list);
   }
   const size_t k_sources = lists.size();
@@ -261,6 +286,36 @@ std::vector<SearchResult> TopKSearch::Search(
   for (uint32_t level = start_level; level >= 1 && emitted.size() < options_.k;
        --level) {
     ++stats_.columns_processed;
+    obs::ScopedSpan column_span(
+        options_.trace, options_.trace != nullptr
+                            ? "column_L" + std::to_string(level)
+                            : std::string());
+    const uint64_t entries_before = stats_.entries_read;
+    const uint64_t candidates_before = stats_.candidates;
+    const uint64_t excluded_before = stats_.excluded_skips;
+    const size_t emitted_before_column = emitted.size();
+    // Closing bookkeeping shared by both column modes (runs on `continue`
+    // and on normal fall-through alike).
+    auto close_column_span = [&](const char* mode, double threshold) {
+      if (!column_span.enabled()) return;
+      column_span.Label("mode", mode);
+      column_span.Stat("entries_read",
+                       static_cast<double>(stats_.entries_read -
+                                           entries_before));
+      column_span.Stat("candidates",
+                       static_cast<double>(stats_.candidates -
+                                           candidates_before));
+      column_span.Stat("excluded_skips",
+                       static_cast<double>(stats_.excluded_skips -
+                                           excluded_before));
+      column_span.Stat("emitted",
+                       static_cast<double>(emitted.size() -
+                                           emitted_before_column));
+      column_span.Stat("pending", static_cast<double>(pending.size()));
+      if (threshold != StarThreshold::kExhausted) {
+        column_span.Stat("threshold", threshold);
+      }
+    };
 
     // §V-D per-level hybrid: a column whose estimated match count is small
     // is cheaper to sweep completely (document order) than to drive
@@ -335,6 +390,7 @@ std::vector<SearchResult> TopKSearch::Search(
         }
       }
       emit_ready(best_above[level]);
+      close_column_span("complete_join", best_above[level]);
       continue;
     }
     ++stats_.columns_star_join;
@@ -440,10 +496,25 @@ std::vector<SearchResult> TopKSearch::Search(
 
     // Column done: only the higher columns can still produce results.
     emit_ready(best_above[level]);
+    close_column_span("star_join", threshold.Bound());
   }
 
   // All columns processed: everything left is safe.
   emit_ready(StarThreshold::kExhausted);
+  if (root.enabled()) {
+    root.Stat("entries_read", static_cast<double>(stats_.entries_read));
+    root.Stat("excluded_skips", static_cast<double>(stats_.excluded_skips));
+    root.Stat("candidates", static_cast<double>(stats_.candidates));
+    root.Stat("early_emissions",
+              static_cast<double>(stats_.early_emissions));
+    root.Stat("columns_processed",
+              static_cast<double>(stats_.columns_processed));
+    root.Stat("results", static_cast<double>(emitted.size()));
+    root.Label("termination", emitted.size() >= options_.k
+                                  ? "k_reached"
+                                  : "columns_exhausted");
+  }
+  FlushTopKStatsToRegistry(stats_);
   return emitted;
 }
 

@@ -10,6 +10,7 @@
 #include "core/search_result.h"
 #include "core/topk_star_join.h"
 #include "index/topk_index.h"
+#include "obs/trace.h"
 
 namespace xtopk {
 
@@ -28,6 +29,10 @@ struct TopKSearchOptions {
   /// Runs sampled per column for the hybrid estimate.
   size_t hybrid_sample_runs = 128;
   ScoringParams scoring;
+  /// Per-query span tree ("topk_search" root, one span per column round
+  /// with entries-read/threshold/emission stats). Null disables tracing at
+  /// zero cost.
+  obs::QueryTrace* trace = nullptr;
 };
 
 struct TopKSearchStats {

@@ -4,7 +4,23 @@
 #include <cassert>
 #include <queue>
 
+#include "obs/metrics.h"
+
 namespace xtopk {
+
+namespace {
+
+// Mirrored once per Run() (never per tuple) so the hot loop stays free of
+// atomic traffic; bucket_peak goes to a histogram because it is a per-run
+// maximum, not a summable count.
+void FlushStarJoinStatsToRegistry(const StarJoinStats& stats) {
+  XTOPK_COUNTER("core.topk.star.runs").Add(1);
+  XTOPK_COUNTER("core.topk.star.tuples_read").Add(stats.tuples_read);
+  XTOPK_COUNTER("core.topk.star.early_emissions").Add(stats.early_emissions);
+  XTOPK_HISTOGRAM("core.topk.star.bucket_peak").Record(stats.bucket_peak);
+}
+
+}  // namespace
 
 VectorRankedSource::VectorRankedSource(std::vector<RankedTuple> tuples)
     : tuples_(std::move(tuples)) {
@@ -210,6 +226,7 @@ std::vector<StarJoinResultRow> TopKStarJoin::Run() {
 
     flush(/*inputs_live=*/true);
   }
+  FlushStarJoinStatsToRegistry(stats_);
   return emitted;
 }
 

@@ -1,5 +1,6 @@
 #include "core/updatable_engine.h"
 
+#include "obs/metrics.h"
 #include "xml/jdewey_builder.h"
 
 namespace xtopk {
@@ -14,8 +15,10 @@ NodeId UpdatableEngine::AddElement(NodeId parent, const std::string& tag,
                                    const std::string& text) {
   NodeId node = tree_.AddChild(parent, tag);
   if (!text.empty()) tree_.AppendText(node, text);
-  encoding_updates_ += JDeweyBuilder::InsertAssign(
+  uint64_t updates = JDeweyBuilder::InsertAssign(
       tree_, node, options_.index.jdewey_gap, &encoding_);
+  encoding_updates_ += updates;
+  XTOPK_COUNTER("engine.encoding_updates").Add(updates);
   dirty_ = true;
   return node;
 }
@@ -33,6 +36,7 @@ void UpdatableEngine::EnsureFresh() {
   engine_ = std::make_unique<Engine>(tree_, options_);
   dirty_ = false;
   ++rebuilds_;
+  XTOPK_COUNTER("engine.rebuilds").Add(1);
 }
 
 std::vector<QueryHit> UpdatableEngine::Search(

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "index/index_access.h"
+#include "obs/metrics.h"
 #include "storage/compression.h"
 #include "storage/serializer.h"
 #include "util/varint.h"
@@ -151,6 +152,7 @@ Status DiskIndexWriter::Write(const JDeweyIndex& index, bool include_scores,
 
 StatusOr<std::shared_ptr<DiskIndexEnv>> DiskIndexEnv::Open(
     const std::string& path, DiskIndexOptions options) {
+  XTOPK_COUNTER("index.envs_opened").Add(1);
   std::shared_ptr<DiskIndexEnv> env(new DiskIndexEnv());
   Status s = env->file_.Open(path, /*create=*/false);
   if (!s.ok()) return s;
@@ -242,6 +244,7 @@ StatusOr<std::shared_ptr<DiskIndexEnv>> DiskIndexEnv::Open(
 }
 
 std::unique_ptr<DiskJDeweyIndex> DiskIndexEnv::NewSession() {
+  XTOPK_COUNTER("index.sessions_opened").Add(1);
   return std::unique_ptr<DiskJDeweyIndex>(
       new DiskJDeweyIndex(shared_from_this()));
 }
@@ -266,8 +269,13 @@ Status DiskIndexEnv::ReadBlob(const BlobExtent& extent, std::string* out) {
 }
 
 uint32_t DiskIndexEnv::Frequency(const std::string& term) const {
+  XTOPK_COUNTER("index.term_lookups").Add(1);
   auto it = directory_.find(term);
-  return it == directory_.end() ? 0 : it->second.rows;
+  if (it == directory_.end()) {
+    XTOPK_COUNTER("index.term_lookup_misses").Add(1);
+    return 0;
+  }
+  return it->second.rows;
 }
 
 uint32_t DiskIndexEnv::MaxLength(const std::string& term) const {
@@ -397,6 +405,7 @@ Status DiskJDeweyIndex::MaterializeColumns(const DiskIndexEnv::TermInfo& info,
   DecodedBlockCache& cache = *env_->decoded_;
   for (uint32_t level = state->loaded_levels + 1; level <= up_to_level;
        ++level) {
+    XTOPK_COUNTER("index.columns_materialized").Add(1);
     if (auto cached = cache.GetColumn(info.term_id, level)) {
       list.columns[level - 1] = *cached;  // run-vector copy, no decode
       continue;
@@ -430,6 +439,7 @@ StatusOr<const JDeweyList*> DiskJDeweyIndex::LoadList(const std::string& term,
   const DiskIndexEnv::TermInfo& info = it->second;
   TermState& state = state_[info.term_id];
   if (state.view_id == UINT32_MAX) {
+    XTOPK_COUNTER("index.lists_loaded").Add(1);
     Status s = MaterializeBase(term, info, &state, need_scores);
     if (!s.ok()) return s;
   } else if (need_scores) {

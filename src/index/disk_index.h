@@ -53,7 +53,10 @@ struct DiskIndexOptions {
   size_t decoded_cache_bytes = 32u << 20;
 };
 
-/// Aggregate I/O / cache counters of one disk index environment.
+/// Aggregate I/O / cache counters of one disk index environment — a
+/// per-environment shim over the process-wide MetricsRegistry counters
+/// (storage.page_reads, storage.pool.*, storage.decoded.*), kept for
+/// callers that scope stats to one environment.
 struct DiskIoStats {
   uint64_t pages_read = 0;   ///< physical page reads since last reset
   uint64_t pool_hits = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
 #include "storage/compression.h"
 
 namespace xtopk {
@@ -23,8 +24,12 @@ JDeweySeq JDeweyList::SequenceOf(uint32_t row) const {
 }
 
 const JDeweyList* JDeweyIndex::GetList(const std::string& term) const {
+  XTOPK_COUNTER("index.term_lookups").Add(1);
   auto it = term_ids_.find(term);
-  if (it == term_ids_.end()) return nullptr;
+  if (it == term_ids_.end()) {
+    XTOPK_COUNTER("index.term_lookup_misses").Add(1);
+    return nullptr;
+  }
   return &lists_[it->second];
 }
 

@@ -1,0 +1,246 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace xtopk {
+namespace obs {
+namespace {
+
+void AppendJsonKey(std::string* out, const std::string& key) {
+  out->push_back('"');
+  *out += key;  // metric names are dotted identifiers — no escaping needed
+  *out += "\":";
+}
+
+void AppendDouble(std::string* out, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.4f", value);
+  *out += buf;
+}
+
+}  // namespace
+
+double PercentileFromBuckets(
+    const std::array<uint64_t, Histogram::kNumBuckets>& buckets, double q) {
+  uint64_t total = 0;
+  for (uint64_t c : buckets) total += c;
+  if (total == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the q-th sample, 1-based; q=0 maps to the first sample.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    if (seen + buckets[i] >= rank) {
+      double lo = static_cast<double>(Histogram::BucketLowerBound(i));
+      double hi = static_cast<double>(Histogram::BucketUpperBound(i));
+      // Uniform interpolation inside the bucket.
+      double frac = static_cast<double>(rank - seen - 1) /
+                    static_cast<double>(buckets[i]);
+      return lo + frac * (hi - lo);
+    }
+    seen += buckets[i];
+  }
+  return static_cast<double>(Histogram::BucketUpperBound(
+      Histogram::kNumBuckets - 1));
+}
+
+double Histogram::Percentile(double q) const {
+  std::array<uint64_t, kNumBuckets> copy{};
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    copy[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return PercentileFromBuckets(copy, q);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: static handles in hot paths must outlive every
+  // static destructor.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramData data;
+    data.name = name;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      data.buckets[i] = histogram->bucket(i);
+      data.count += data.buckets[i];
+    }
+    data.sum = histogram->sum();
+    data.p50 = PercentileFromBuckets(data.buckets, 0.50);
+    data.p95 = PercentileFromBuckets(data.buckets, 0.95);
+    data.p99 = PercentileFromBuckets(data.buckets, 0.99);
+    snapshot.histograms.push_back(std::move(data));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonKey(&out, name);
+    out += std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonKey(&out, name);
+    out += std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const HistogramData& h : histograms) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonKey(&out, h.name);
+    out += "{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + std::to_string(h.sum) + ",\"p50\":";
+    AppendDouble(&out, h.p50);
+    out += ",\"p95\":";
+    AppendDouble(&out, h.p95);
+    out += ",\"p99\":";
+    AppendDouble(&out, h.p99);
+    out += ",\"buckets\":{";
+    bool first_bucket = true;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      if (!first_bucket) out += ',';
+      first_bucket = false;
+      AppendJsonKey(&out, std::to_string(i));
+      out += std::to_string(h.buckets[i]);
+    }
+    out += "}}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  // Prometheus metric names use underscores, not dots.
+  auto flat = [](const std::string& name) {
+    std::string out = name;
+    std::replace(out.begin(), out.end(), '.', '_');
+    return out;
+  };
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    std::string n = flat(name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    std::string n = flat(name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + std::to_string(value) + "\n";
+  }
+  for (const HistogramData& h : histograms) {
+    std::string n = flat(h.name);
+    out += "# TYPE " + n + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (h.buckets[i] == 0) continue;
+      cumulative += h.buckets[i];
+      out += n + "_bucket{le=\"" +
+             std::to_string(Histogram::BucketUpperBound(i)) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += n + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += n + "_sum " + std::to_string(h.sum) + "\n";
+    out += n + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+void MetricsSnapshot::AppendCompactJson(std::string* out) const {
+  out->push_back('{');
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (value == 0) continue;
+    if (!first) out->push_back(',');
+    first = false;
+    AppendJsonKey(out, name);
+    *out += std::to_string(value);
+  }
+  for (const auto& [name, value] : gauges) {
+    if (value == 0) continue;
+    if (!first) out->push_back(',');
+    first = false;
+    AppendJsonKey(out, name);
+    *out += std::to_string(value);
+  }
+  for (const HistogramData& h : histograms) {
+    if (h.count == 0) continue;
+    if (!first) out->push_back(',');
+    first = false;
+    AppendJsonKey(out, h.name + "_count");
+    *out += std::to_string(h.count);
+    out->push_back(',');
+    AppendJsonKey(out, h.name + "_p50");
+    AppendDouble(out, h.p50);
+    out->push_back(',');
+    AppendJsonKey(out, h.name + "_p95");
+    AppendDouble(out, h.p95);
+    out->push_back(',');
+    AppendJsonKey(out, h.name + "_p99");
+    AppendDouble(out, h.p99);
+  }
+  out->push_back('}');
+}
+
+}  // namespace obs
+}  // namespace xtopk

@@ -1,0 +1,202 @@
+#ifndef XTOPK_OBS_METRICS_H_
+#define XTOPK_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xtopk {
+namespace obs {
+
+/// A monotonically increasing event count. Lock-free; safe to Add from any
+/// number of threads. Handles returned by the registry are stable for the
+/// process lifetime, so hot paths resolve the name once (XTOPK_COUNTER) and
+/// pay a single relaxed fetch_add per event afterwards.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A point-in-time signed level (bytes cached, sessions live, ...).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A log2-bucketed histogram of non-negative samples (latencies in
+/// microseconds, sizes in bytes). Bucket 0 holds the value 0; bucket i>=1
+/// holds values in [2^(i-1), 2^i). Recording is a pair of relaxed atomic
+/// adds — cheap enough for per-query (not per-row) hot paths.
+///
+/// Usable standalone (benches keep one per worker thread and Merge at the
+/// end) or through the registry.
+class Histogram {
+ public:
+  /// 0 plus one bucket per bit of a uint64 sample.
+  static constexpr size_t kNumBuckets = 65;
+
+  static size_t BucketOf(uint64_t value) {
+    size_t bits = 0;
+    while (value != 0) {
+      ++bits;
+      value >>= 1;
+    }
+    return bits;  // 0 -> 0, [2^(i-1), 2^i) -> i
+  }
+
+  /// Inclusive lower bound of bucket `i` (0 for buckets 0 and 1).
+  static uint64_t BucketLowerBound(size_t i) {
+    return i <= 1 ? 0 : (uint64_t{1} << (i - 1));
+  }
+  /// Exclusive upper bound of bucket `i` (saturated: the last bucket's
+  /// 2^64 does not fit a uint64, so it reports UINT64_MAX).
+  static uint64_t BucketUpperBound(size_t i) {
+    if (i == 0) return 1;
+    if (i >= 64) return UINT64_MAX;
+    return uint64_t{1} << i;
+  }
+
+  void Record(uint64_t value) {
+    buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const {
+    uint64_t total = 0;
+    for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+    return total;
+  }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Estimated value at quantile `q` in [0, 1]: linear interpolation inside
+  /// the bucket holding the q-th sample. 0 when empty.
+  double Percentile(double q) const;
+
+  void Merge(const Histogram& other) {
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      uint64_t c = other.buckets_[i].load(std::memory_order_relaxed);
+      if (c != 0) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+    }
+    sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Quantile estimate over a raw bucket-count array (same layout as
+/// Histogram). Lets callers diff two snapshots and query the delta.
+double PercentileFromBuckets(
+    const std::array<uint64_t, Histogram::kNumBuckets>& buckets, double q);
+
+/// A stable copy of every registered metric at one instant. Values are
+/// plain integers, so a snapshot is isolated: later increments do not show
+/// through. Serializable to JSON and Prometheus text exposition format.
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::string name;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    std::array<uint64_t, Histogram::kNumBuckets> buckets{};
+    double p50 = 0, p95 = 0, p99 = 0;
+  };
+
+  std::vector<std::pair<std::string, uint64_t>> counters;  // name-sorted
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<HistogramData> histograms;
+
+  /// Full document: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string ToJson() const;
+  /// `# TYPE`-annotated Prometheus text format (histograms as cumulative
+  /// `_bucket{le=...}` series).
+  std::string ToPrometheusText() const;
+  /// One flat object for embedding in a larger JSON line: zero-valued
+  /// counters/gauges are dropped and histograms collapse to
+  /// name_count/name_p50/name_p95/name_p99 fields.
+  void AppendCompactJson(std::string* out) const;
+};
+
+/// The process-wide metric namespace. Registration (first use of a name)
+/// takes a mutex; every later access through the returned reference is
+/// lock-free. Names are dotted paths ("storage.pool.hits"); a name is
+/// permanently bound to its first-registered type.
+class MetricsRegistry {
+ public:
+  /// The process-global registry (never destroyed, so static handles in
+  /// hot paths stay valid through shutdown).
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every registered metric (handles stay valid). Benches use this
+  /// to scope a snapshot to one measured section.
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  // std::map keeps snapshots name-sorted; unique_ptr keeps handles stable.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace xtopk
+
+/// Static-handle metric accessors: resolve the name once per call site,
+/// then a single relaxed atomic op per event.
+///
+///   XTOPK_COUNTER("storage.page_reads").Add(1);
+///   XTOPK_HISTOGRAM("engine.query_us").Record(us);
+#define XTOPK_COUNTER(name)                                              \
+  ([]() -> ::xtopk::obs::Counter& {                                      \
+    static ::xtopk::obs::Counter& counter =                              \
+        ::xtopk::obs::MetricsRegistry::Global().GetCounter(name);        \
+    return counter;                                                      \
+  }())
+#define XTOPK_GAUGE(name)                                                \
+  ([]() -> ::xtopk::obs::Gauge& {                                        \
+    static ::xtopk::obs::Gauge& gauge =                                  \
+        ::xtopk::obs::MetricsRegistry::Global().GetGauge(name);          \
+    return gauge;                                                        \
+  }())
+#define XTOPK_HISTOGRAM(name)                                            \
+  ([]() -> ::xtopk::obs::Histogram& {                                    \
+    static ::xtopk::obs::Histogram& histogram =                          \
+        ::xtopk::obs::MetricsRegistry::Global().GetHistogram(name);      \
+    return histogram;                                                    \
+  }())
+
+#endif  // XTOPK_OBS_METRICS_H_

@@ -1,0 +1,264 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace xtopk {
+namespace obs {
+namespace {
+
+void AppendDouble(std::string* out, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.4f", value);
+  *out += buf;
+}
+
+void AppendJsonString(std::string* out, const std::string& value) {
+  out->push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+int QueryTrace::OpenSpan(std::string_view name) {
+  XTOPK_COUNTER("obs.spans_opened").Add(1);
+  Span span;
+  span.name = std::string(name);
+  span.parent = open_stack_.empty() ? -1 : open_stack_.back();
+  span.start_us = epoch_.ElapsedMicros();
+  int id = static_cast<int>(spans_.size());
+  spans_.push_back(std::move(span));
+  open_stack_.push_back(id);
+  return id;
+}
+
+void QueryTrace::CloseSpan(int id) {
+  assert(id >= 0 && static_cast<size_t>(id) < spans_.size());
+  Span& span = spans_[id];
+  if (!span.open) return;
+  span.duration_us = epoch_.ElapsedMicros() - span.start_us;
+  span.open = false;
+  // Spans close innermost-first (RAII); tolerate out-of-order closes by
+  // popping through the target.
+  while (!open_stack_.empty()) {
+    int top = open_stack_.back();
+    open_stack_.pop_back();
+    if (top == id) break;
+    Span& abandoned = spans_[top];
+    if (abandoned.open) {
+      abandoned.duration_us = epoch_.ElapsedMicros() - abandoned.start_us;
+      abandoned.open = false;
+    }
+  }
+}
+
+void QueryTrace::AddStat(int id, std::string_view name, double delta) {
+  assert(id >= 0 && static_cast<size_t>(id) < spans_.size());
+  auto& stats = spans_[id].stats;
+  for (auto& [key, value] : stats) {
+    if (key == name) {
+      value += delta;
+      return;
+    }
+  }
+  stats.emplace_back(std::string(name), delta);
+}
+
+void QueryTrace::SetLabel(int id, std::string_view name, std::string value) {
+  assert(id >= 0 && static_cast<size_t>(id) < spans_.size());
+  auto& labels = spans_[id].labels;
+  for (auto& [key, existing] : labels) {
+    if (key == name) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  labels.emplace_back(std::string(name), std::move(value));
+}
+
+double QueryTrace::total_us() const {
+  for (const Span& span : spans_) {
+    if (span.parent == -1 && !span.open) return span.duration_us;
+  }
+  return 0.0;
+}
+
+double QueryTrace::StatTotal(std::string_view name) const {
+  double total = 0.0;
+  for (const Span& span : spans_) {
+    for (const auto& [key, value] : span.stats) {
+      if (key == name) total += value;
+    }
+  }
+  return total;
+}
+
+double QueryTrace::StatOr(int id, std::string_view name,
+                          double fallback) const {
+  if (id < 0 || static_cast<size_t>(id) >= spans_.size()) return fallback;
+  for (const auto& [key, value] : spans_[id].stats) {
+    if (key == name) return value;
+  }
+  return fallback;
+}
+
+double QueryTrace::ChildCoverage() const {
+  int root = -1;
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    if (spans_[i].parent == -1 && !spans_[i].open) {
+      root = static_cast<int>(i);
+      break;
+    }
+  }
+  if (root == -1 || spans_[root].duration_us <= 0.0) return 0.0;
+  double covered = 0.0;
+  for (const Span& span : spans_) {
+    if (span.parent == root) covered += span.duration_us;
+  }
+  return std::min(1.0, covered / spans_[root].duration_us);
+}
+
+std::string QueryTrace::Render() const {
+  // Children in span order (creation order == execution order).
+  std::vector<std::vector<int>> children(spans_.size());
+  std::vector<int> roots;
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    int parent = spans_[i].parent;
+    if (parent == -1) {
+      roots.push_back(static_cast<int>(i));
+    } else {
+      children[parent].push_back(static_cast<int>(i));
+    }
+  }
+  std::string out;
+  // Iterative pre-order with per-level "last child" state for the guides.
+  struct Frame {
+    int id;
+    std::string prefix;
+    bool last;
+    bool root;
+  };
+  std::vector<Frame> stack;
+  for (size_t r = roots.size(); r-- > 0;) {
+    stack.push_back(Frame{roots[r], "", r + 1 == roots.size(), true});
+  }
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    const Span& span = spans_[frame.id];
+    std::string line = frame.prefix;
+    if (!frame.root) line += frame.last ? "└─ " : "├─ ";
+    line += span.name;
+    for (const auto& [key, value] : span.labels) {
+      line += " [" + key + "=" + value + "]";
+    }
+    // Pad to a fixed column so durations align in typical trees.
+    if (line.size() < 48) line.append(48 - line.size(), ' ');
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), " %10.1f us", span.duration_us);
+    line += buf;
+    for (const auto& [key, value] : span.stats) {
+      line += "  " + key + "=";
+      if (value == static_cast<double>(static_cast<int64_t>(value))) {
+        line += std::to_string(static_cast<int64_t>(value));
+      } else {
+        AppendDouble(&line, value);
+      }
+    }
+    out += line;
+    out.push_back('\n');
+    std::string child_prefix =
+        frame.root ? "" : frame.prefix + (frame.last ? "   " : "│  ");
+    const std::vector<int>& kids = children[frame.id];
+    for (size_t c = kids.size(); c-- > 0;) {
+      stack.push_back(Frame{kids[c], child_prefix, c + 1 == kids.size(),
+                            false});
+    }
+  }
+  return out;
+}
+
+void QueryTrace::AppendSpanJson(int id,
+                                const std::vector<std::vector<int>>& children,
+                                std::string* out) const {
+  const Span& span = spans_[id];
+  *out += "{\"name\":";
+  AppendJsonString(out, span.name);
+  *out += ",\"duration_us\":";
+  AppendDouble(out, span.duration_us);
+  *out += ",\"stats\":{";
+  bool first = true;
+  for (const auto& [key, value] : span.stats) {
+    if (!first) out->push_back(',');
+    first = false;
+    AppendJsonString(out, key);
+    out->push_back(':');
+    AppendDouble(out, value);
+  }
+  *out += "},\"labels\":{";
+  first = true;
+  for (const auto& [key, value] : span.labels) {
+    if (!first) out->push_back(',');
+    first = false;
+    AppendJsonString(out, key);
+    out->push_back(':');
+    AppendJsonString(out, value);
+  }
+  *out += "},\"children\":[";
+  first = true;
+  for (int child : children[id]) {
+    if (!first) out->push_back(',');
+    first = false;
+    AppendSpanJson(child, children, out);
+  }
+  *out += "]}";
+}
+
+std::string QueryTrace::ToJson() const {
+  std::vector<std::vector<int>> children(spans_.size());
+  std::vector<int> roots;
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    int parent = spans_[i].parent;
+    if (parent == -1) {
+      roots.push_back(static_cast<int>(i));
+    } else {
+      children[parent].push_back(static_cast<int>(i));
+    }
+  }
+  std::string out = "[";
+  bool first = true;
+  for (int root : roots) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendSpanJson(root, children, &out);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace xtopk

@@ -19,7 +19,8 @@ BufferPool::BufferPool(PageFile* file, size_t capacity_pages, size_t shards)
     : file_(file),
       cache_(capacity_pages == 0 ? 1 : capacity_pages,
              EffectiveShards(capacity_pages == 0 ? 1 : capacity_pages,
-                             shards)) {}
+                             shards),
+             "storage.pool") {}
 
 StatusOr<std::shared_ptr<const std::string>> BufferPool::GetPage(PageId id) {
   if (auto cached = cache_.Get(id)) return std::move(*cached);

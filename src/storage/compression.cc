@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "obs/metrics.h"
 #include "util/varint.h"
 
 namespace xtopk {
@@ -99,14 +100,18 @@ ColumnCodec ChooseCodec(const Column& column) {
 
 void EncodeColumn(const Column& column, ColumnCodec codec, std::string* out) {
   if (codec == ColumnCodec::kAuto) codec = ChooseCodec(column);
+  size_t before = out->size();
   out->push_back(static_cast<char>(codec));
   if (codec == ColumnCodec::kRunLength) {
     varint::PutU32(out, static_cast<uint32_t>(column.run_count()));
     EncodeRunLength(column, out);
+    XTOPK_COUNTER("storage.codec.rle_encodes").Add(1);
   } else {
     varint::PutU32(out, column.row_count());
     EncodeDelta(column, out);
+    XTOPK_COUNTER("storage.codec.delta_encodes").Add(1);
   }
+  XTOPK_COUNTER("storage.codec.encoded_bytes").Add(out->size() - before);
 }
 
 Status DecodeColumn(const std::string& data, size_t* pos,
@@ -119,8 +124,10 @@ Status DecodeColumn(const std::string& data, size_t* pos,
   if (!s.ok()) return s;
   switch (static_cast<ColumnCodec>(codec_byte)) {
     case ColumnCodec::kRunLength:
+      XTOPK_COUNTER("storage.codec.rle_decodes").Add(1);
       return DecodeRunLength(data, pos, count, column);
     case ColumnCodec::kDelta:
+      XTOPK_COUNTER("storage.codec.delta_decodes").Add(1);
       return DecodeDelta(data, pos, count, present_rows, column);
     default:
       return Status::Corruption("column: unknown codec byte");

@@ -9,7 +9,7 @@ constexpr size_t kEntryOverhead = 64;
 }  // namespace
 
 DecodedBlockCache::DecodedBlockCache(size_t byte_budget, size_t shards)
-    : byte_budget_(byte_budget), cache_(byte_budget, shards) {}
+    : byte_budget_(byte_budget), cache_(byte_budget, shards, "storage.decoded") {}
 
 std::shared_ptr<const Column> DecodedBlockCache::GetColumn(uint64_t column_id,
                                                            uint32_t level) {

@@ -3,6 +3,8 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "obs/metrics.h"
+
 namespace xtopk {
 
 PageFile::~PageFile() {
@@ -84,6 +86,7 @@ StatusOr<PageId> PageFile::AppendPage(const std::string& data) {
     return Status::IoError("write failed");
   }
   ++pages_written_;
+  XTOPK_COUNTER("storage.page_writes").Add(1);
   dirty_.store(true, std::memory_order_release);
   return page_count_++;
 }
@@ -104,6 +107,7 @@ Status PageFile::ReadPage(PageId id, std::string* out) {
     done += static_cast<size_t>(n);
   }
   pages_read_.fetch_add(1, std::memory_order_relaxed);
+  XTOPK_COUNTER("storage.page_reads").Add(1);
   return Status::Ok();
 }
 

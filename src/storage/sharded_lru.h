@@ -8,8 +8,11 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace xtopk {
 
@@ -30,7 +33,14 @@ namespace xtopk {
 template <typename Key, typename Value, typename Hash = std::hash<Key>>
 class ShardedLruCache {
  public:
-  ShardedLruCache(size_t capacity, size_t shards) {
+  /// `metric_prefix` wires the cache's hit/miss/eviction counts into the
+  /// process-wide MetricsRegistry as `<prefix>.hits` / `.misses` /
+  /// `.evictions` (aggregated across instances sharing a prefix). Null
+  /// keeps the container registry-free (generic/test uses). The
+  /// per-instance hits()/misses()/evictions() accessors read instance-local
+  /// shims either way.
+  ShardedLruCache(size_t capacity, size_t shards,
+                  const char* metric_prefix = nullptr) {
     size_t count = shards == 0 ? 1 : shards;
     // Never hand a shard a zero budget while the cache as a whole has one.
     if (capacity > 0 && count > capacity) count = capacity;
@@ -38,6 +48,13 @@ class ShardedLruCache {
     shards_.reserve(count);
     for (size_t i = 0; i < count; ++i) {
       shards_.push_back(std::make_unique<Shard>());
+    }
+    if (metric_prefix != nullptr) {
+      std::string prefix(metric_prefix);
+      obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+      hits_metric_ = &registry.GetCounter(prefix + ".hits");
+      misses_metric_ = &registry.GetCounter(prefix + ".misses");
+      evictions_metric_ = &registry.GetCounter(prefix + ".evictions");
     }
   }
 
@@ -48,9 +65,11 @@ class ShardedLruCache {
     auto it = shard.map.find(key);
     if (it == shard.map.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
+      if (misses_metric_ != nullptr) misses_metric_->Add(1);
       return std::nullopt;
     }
     hits_.fetch_add(1, std::memory_order_relaxed);
+    if (hits_metric_ != nullptr) hits_metric_->Add(1);
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return it->second->value;
   }
@@ -74,16 +93,25 @@ class ShardedLruCache {
       shard.map[key] = shard.lru.begin();
       shard.cost_used += cost;
     }
+    uint64_t evicted = 0;
     while (shard.cost_used > shard_capacity_ && !shard.lru.empty()) {
       Entry& victim = shard.lru.back();
       shard.cost_used -= victim.cost;
       shard.map.erase(victim.key);
       shard.lru.pop_back();
+      ++evicted;
+    }
+    if (evicted > 0) {
+      evictions_.fetch_add(evicted, std::memory_order_relaxed);
+      if (evictions_metric_ != nullptr) evictions_metric_->Add(evicted);
     }
   }
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
 
   size_t entry_count() const {
     size_t total = 0;
@@ -106,9 +134,13 @@ class ShardedLruCache {
   size_t shard_count() const { return shards_.size(); }
   size_t shard_capacity() const { return shard_capacity_; }
 
+  /// Zeroes the per-instance shims. The registry counters are cumulative
+  /// process-wide aggregates and are reset only via
+  /// MetricsRegistry::ResetAll.
   void ResetStats() {
     hits_.store(0, std::memory_order_relaxed);
     misses_.store(0, std::memory_order_relaxed);
+    evictions_.store(0, std::memory_order_relaxed);
   }
 
   void Clear() {
@@ -146,6 +178,10 @@ class ShardedLruCache {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  obs::Counter* hits_metric_ = nullptr;
+  obs::Counter* misses_metric_ = nullptr;
+  obs::Counter* evictions_metric_ = nullptr;
 };
 
 }  // namespace xtopk

@@ -1,0 +1,148 @@
+// Engine::RunBatch — the concurrent query driver must return, for every
+// query, exactly what the sequential Search/SearchTopK calls return,
+// regardless of worker count, with per-query stats populated.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/engine.h"
+#include "testing/corpus.h"
+
+namespace xtopk {
+namespace {
+
+using testing::MakeRandomTree;
+
+void ExpectSameHits(const std::vector<QueryHit>& got,
+                    const std::vector<QueryHit>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].node, want[i].node);
+    EXPECT_EQ(got[i].level, want[i].level);
+    EXPECT_EQ(got[i].score, want[i].score);
+  }
+}
+
+TEST(EngineBatchTest, MatchesSequentialSearchAtAnyWorkerCount) {
+  XmlTree tree = MakeRandomTree(55, 1800, 4, 7, {"alpha", "beta", "gamma"},
+                                0.15);
+  Engine engine(tree);
+
+  std::vector<BatchQuery> batch;
+  batch.push_back({{"alpha", "beta"}, 0, Semantics::kElca});
+  batch.push_back({{"beta", "gamma"}, 0, Semantics::kSlca});
+  batch.push_back({{"alpha", "gamma"}, 5, Semantics::kElca});
+  batch.push_back({{"alpha", "beta", "gamma"}, 3, Semantics::kElca});
+  batch.push_back({{"nosuchterm"}, 0, Semantics::kElca});
+
+  std::vector<std::vector<QueryHit>> want;
+  for (const BatchQuery& query : batch) {
+    want.push_back(query.k == 0
+                       ? engine.Search(query.keywords, query.semantics)
+                       : engine.SearchTopK(query.keywords, query.k,
+                                           query.semantics));
+  }
+
+  for (size_t threads : {size_t{1}, size_t{3}, size_t{8}}) {
+    auto results = engine.RunBatch(batch, threads);
+    ASSERT_EQ(results.size(), batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ExpectSameHits(results[i].hits, want[i]);
+    }
+  }
+}
+
+TEST(EngineBatchTest, PerQueryStatsAreIndependent) {
+  XmlTree tree = MakeRandomTree(56, 1500, 4, 7, {"alpha", "beta"}, 0.2);
+  Engine engine(tree);
+
+  // Two copies of a real query around an empty one: the empty query's
+  // stats must stay zeroed and the copies must agree — per-query counters,
+  // not shared accumulators.
+  std::vector<BatchQuery> batch;
+  batch.push_back({{"alpha", "beta"}, 0, Semantics::kElca});
+  batch.push_back({{"nosuchterm", "either"}, 0, Semantics::kElca});
+  batch.push_back({{"alpha", "beta"}, 0, Semantics::kElca});
+
+  auto results = engine.RunBatch(batch, 8);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_GT(results[0].join_stats.levels_processed, 0u);
+  EXPECT_EQ(results[0].join_stats.levels_processed,
+            results[2].join_stats.levels_processed);
+  EXPECT_EQ(results[0].join_stats.candidates, results[2].join_stats.candidates);
+  EXPECT_EQ(results[0].join_stats.results, results[2].join_stats.results);
+  EXPECT_EQ(results[1].join_stats.levels_processed, 0u);
+  EXPECT_EQ(results[1].join_stats.results, 0u);
+  EXPECT_TRUE(results[1].hits.empty());
+}
+
+// Field-for-field trace equality, durations excluded (they are the only
+// non-deterministic part of a trace). Batch mode and single-query mode run
+// through one Engine::RunQuery path, so every span name, parent, stat, and
+// label must match exactly.
+void ExpectSameTrace(const obs::QueryTrace& got, const obs::QueryTrace& want) {
+  ASSERT_EQ(got.spans().size(), want.spans().size());
+  for (size_t s = 0; s < want.spans().size(); ++s) {
+    const auto& g = got.spans()[s];
+    const auto& w = want.spans()[s];
+    EXPECT_EQ(g.name, w.name);
+    EXPECT_EQ(g.parent, w.parent);
+    ASSERT_EQ(g.stats.size(), w.stats.size()) << "span " << w.name;
+    for (size_t i = 0; i < w.stats.size(); ++i) {
+      EXPECT_EQ(g.stats[i].first, w.stats[i].first) << "span " << w.name;
+      EXPECT_EQ(g.stats[i].second, w.stats[i].second)
+          << "span " << w.name << " stat " << w.stats[i].first;
+    }
+    ASSERT_EQ(g.labels.size(), w.labels.size()) << "span " << w.name;
+    for (size_t i = 0; i < w.labels.size(); ++i) {
+      EXPECT_EQ(g.labels[i].first, w.labels[i].first) << "span " << w.name;
+      EXPECT_EQ(g.labels[i].second, w.labels[i].second)
+          << "span " << w.name << " label " << w.labels[i].first;
+    }
+  }
+}
+
+TEST(EngineBatchTest, BatchTracesMatchExplainFieldForField) {
+  XmlTree tree = MakeRandomTree(58, 1600, 4, 7, {"alpha", "beta", "gamma"},
+                                0.18);
+  Engine engine(tree);
+
+  std::vector<BatchQuery> batch;
+  batch.push_back({{"alpha", "beta"}, 0, Semantics::kElca});
+  batch.push_back({{"beta", "gamma"}, 0, Semantics::kSlca});
+  batch.push_back({{"alpha", "gamma"}, 4, Semantics::kElca});
+  batch.push_back({{"nosuchterm"}, 0, Semantics::kElca});
+
+  auto results = engine.RunBatch(batch, 4, /*collect_traces=*/true);
+  ASSERT_EQ(results.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ASSERT_NE(results[i].trace, nullptr) << "query " << i;
+    ExplainResult single = engine.Explain(batch[i]);
+    ExpectSameTrace(*results[i].trace, single.trace);
+    // The per-query counters ride the same path too.
+    EXPECT_EQ(results[i].join_stats.candidates, single.join_stats.candidates);
+    EXPECT_EQ(results[i].join_stats.results, single.join_stats.results);
+    EXPECT_EQ(results[i].join_stats.rows_erased,
+              single.join_stats.rows_erased);
+  }
+}
+
+TEST(EngineBatchTest, TracesOffByDefault) {
+  XmlTree tree = MakeRandomTree(59, 400, 3, 5, {"alpha"}, 0.2);
+  Engine engine(tree);
+  std::vector<BatchQuery> batch;
+  batch.push_back({{"alpha"}, 0, Semantics::kElca});
+  auto results = engine.RunBatch(batch, 2);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].trace, nullptr);
+}
+
+TEST(EngineBatchTest, EmptyBatch) {
+  XmlTree tree = MakeRandomTree(57, 300, 3, 5, {"alpha"}, 0.2);
+  Engine engine(tree);
+  EXPECT_TRUE(engine.RunBatch({}, 4).empty());
+}
+
+}  // namespace
+}  // namespace xtopk

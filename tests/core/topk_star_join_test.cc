@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace xtopk {
@@ -70,6 +71,25 @@ TEST(TopKStarJoinTest, TwoWayBasic) {
   EXPECT_NEAR(results[0].score, 1.7, 1e-12);
   EXPECT_EQ(results[1].id, 3u);
   EXPECT_NEAR(results[1].score, 0.9, 1e-12);
+}
+
+TEST(TopKStarJoinTest, RunMirrorsStatsIntoRegistry) {
+  auto& registry = obs::MetricsRegistry::Global();
+  uint64_t runs_before = registry.GetCounter("core.topk.star.runs").value();
+  uint64_t read_before =
+      registry.GetCounter("core.topk.star.tuples_read").value();
+
+  VectorRankedSource r1(Sorted({{1, 1.0}, {2, 0.9}, {3, 0.2}}));
+  VectorRankedSource r2(Sorted({{2, 0.8}, {3, 0.7}, {4, 0.6}}));
+  TopKStarJoin join({&r1, &r2}, StarJoinOptions{2, true});
+  auto results = join.Run();
+  ASSERT_EQ(results.size(), 2u);
+
+  EXPECT_EQ(registry.GetCounter("core.topk.star.runs").value(),
+            runs_before + 1);
+  EXPECT_EQ(registry.GetCounter("core.topk.star.tuples_read").value(),
+            read_before + join.stats().tuples_read);
+  EXPECT_GT(join.stats().tuples_read, 0u);
 }
 
 TEST(TopKStarJoinTest, EmissionOrderIsScoreDescending) {

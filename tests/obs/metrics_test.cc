@@ -1,0 +1,172 @@
+// MetricsRegistry / Counter / Gauge / Histogram: concurrent increments must
+// sum exactly, bucket boundaries must follow the log2 layout, and snapshots
+// must be isolated from later increments.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace xtopk {
+namespace obs {
+namespace {
+
+TEST(MetricsTest, ConcurrentCounterIncrementsSumExactly) {
+  Counter& counter =
+      MetricsRegistry::Global().GetCounter("test.metrics.concurrent");
+  counter.Reset();
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(MetricsTest, RegistryReturnsStableHandles) {
+  Counter& a = MetricsRegistry::Global().GetCounter("test.metrics.stable");
+  Counter& b = MetricsRegistry::Global().GetCounter("test.metrics.stable");
+  EXPECT_EQ(&a, &b);
+  // The macro resolves to the same handle as the explicit lookup.
+  EXPECT_EQ(&XTOPK_COUNTER("test.metrics.stable"), &a);
+}
+
+TEST(MetricsTest, HistogramBucketBoundaries) {
+  // Bucket 0 = {0}; bucket i>=1 = [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketOf(0), 0u);
+  EXPECT_EQ(Histogram::BucketOf(1), 1u);
+  EXPECT_EQ(Histogram::BucketOf(2), 2u);
+  EXPECT_EQ(Histogram::BucketOf(3), 2u);
+  EXPECT_EQ(Histogram::BucketOf(4), 3u);
+  EXPECT_EQ(Histogram::BucketOf(1023), 10u);
+  EXPECT_EQ(Histogram::BucketOf(1024), 11u);
+  EXPECT_EQ(Histogram::BucketOf(UINT64_MAX), 64u);
+
+  for (size_t i = 1; i < Histogram::kNumBuckets; ++i) {
+    // Every bucket's bounds round-trip through BucketOf.
+    EXPECT_EQ(Histogram::BucketOf(Histogram::BucketLowerBound(i) == 0
+                                      ? 1
+                                      : Histogram::BucketLowerBound(i)),
+              i == 1 ? 1u : i);
+    EXPECT_EQ(Histogram::BucketOf(Histogram::BucketUpperBound(i) - 1), i);
+  }
+}
+
+TEST(MetricsTest, HistogramRecordAndPercentiles) {
+  Histogram histogram;
+  for (uint64_t v = 1; v <= 1000; ++v) histogram.Record(v);
+  EXPECT_EQ(histogram.count(), 1000u);
+  EXPECT_EQ(histogram.sum(), 500500u);
+  // Log2 buckets bound the quantile estimate to within its bucket.
+  double p50 = histogram.Percentile(0.50);
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 1024.0);
+  double p99 = histogram.Percentile(0.99);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1024.0);
+  EXPECT_GE(p99, p50);
+  EXPECT_EQ(Histogram().Percentile(0.5), 0.0);
+}
+
+TEST(MetricsTest, HistogramMerge) {
+  Histogram a, b;
+  a.Record(10);
+  a.Record(100);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 1110u);
+}
+
+TEST(MetricsTest, ConcurrentHistogramRecordsSumExactly) {
+  Histogram& histogram =
+      MetricsRegistry::Global().GetHistogram("test.metrics.hist_concurrent");
+  histogram.Reset();
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        histogram.Record(static_cast<uint64_t>(t) * 1000 + (i % 7));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(histogram.count(), kThreads * kPerThread);
+}
+
+TEST(MetricsTest, SnapshotIsIsolatedFromLaterIncrements) {
+  Counter& counter =
+      MetricsRegistry::Global().GetCounter("test.metrics.snapshot_iso");
+  counter.Reset();
+  counter.Add(7);
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  counter.Add(100);  // must not show through the snapshot
+
+  uint64_t seen = UINT64_MAX;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (name == "test.metrics.snapshot_iso") seen = value;
+  }
+  EXPECT_EQ(seen, 7u);
+  EXPECT_EQ(counter.value(), 107u);
+}
+
+TEST(MetricsTest, SnapshotIsNameSorted) {
+  MetricsRegistry::Global().GetCounter("test.metrics.zz");
+  MetricsRegistry::Global().GetCounter("test.metrics.aa");
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  for (size_t i = 1; i < snapshot.counters.size(); ++i) {
+    EXPECT_LT(snapshot.counters[i - 1].first, snapshot.counters[i].first);
+  }
+}
+
+TEST(MetricsTest, JsonAndPrometheusSerialization) {
+  Counter& counter =
+      MetricsRegistry::Global().GetCounter("test.metrics.json_counter");
+  counter.Reset();
+  counter.Add(3);
+  Histogram& histogram =
+      MetricsRegistry::Global().GetHistogram("test.metrics.json_hist");
+  histogram.Reset();
+  histogram.Record(5);
+
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"test.metrics.json_counter\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.metrics.json_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+
+  std::string prom = snapshot.ToPrometheusText();
+  EXPECT_NE(prom.find("# TYPE test_metrics_json_counter counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("test_metrics_json_counter 3"), std::string::npos);
+  EXPECT_NE(prom.find("test_metrics_json_hist_bucket{le=\"8\"} 1"),
+            std::string::npos);
+
+  std::string compact;
+  snapshot.AppendCompactJson(&compact);
+  EXPECT_NE(compact.find("\"test.metrics.json_hist_count\":1"),
+            std::string::npos);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  Gauge& gauge = MetricsRegistry::Global().GetGauge("test.metrics.gauge");
+  gauge.Set(10);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.Reset();
+  EXPECT_EQ(gauge.value(), 0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace xtopk

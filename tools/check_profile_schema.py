@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Validate an xtopk_profile JSON document against tools/profile_schema.json.
+
+Stdlib-only on purpose (the CI container has no jsonschema package): this
+implements exactly the JSON Schema subset the checked-in schema uses —
+type, required, properties, items, minItems, minimum, maximum, const,
+additionalProperties-as-schema, and $ref into #/definitions.
+
+Usage:
+  check_profile_schema.py profile.json            # validate a file
+  xtopk_profile 2>/dev/null | check_profile_schema.py -   # validate stdin
+  check_profile_schema.py --run ./build/tools/xtopk_profile [args...]
+"""
+
+import json
+import subprocess
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+}
+
+
+def validate(value, schema, root, path="$"):
+    """Returns a list of error strings (empty = valid)."""
+    errors = []
+    if "$ref" in schema:
+        ref = schema["$ref"]
+        if not ref.startswith("#/definitions/"):
+            return [f"{path}: unsupported $ref {ref!r}"]
+        name = ref[len("#/definitions/"):]
+        try:
+            schema = root["definitions"][name]
+        except KeyError:
+            return [f"{path}: unresolved $ref {ref!r}"]
+
+    expected = schema.get("type")
+    if expected is not None:
+        py_type = TYPES[expected]
+        ok = isinstance(value, py_type)
+        # bool is an int subclass in Python; JSON treats them as distinct.
+        if expected in ("number", "integer") and isinstance(value, bool):
+            ok = False
+        if not ok:
+            return [f"{path}: expected {expected}, got {type(value).__name__}"]
+
+    if "const" in schema and value != schema["const"]:
+        errors.append(f"{path}: expected const {schema['const']!r}, "
+                      f"got {value!r}")
+
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+        if "maximum" in schema and value > schema["maximum"]:
+            errors.append(f"{path}: {value} > maximum {schema['maximum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        props = schema.get("properties", {})
+        for key, subschema in props.items():
+            if key in value:
+                errors += validate(value[key], subschema, root,
+                                   f"{path}.{key}")
+        extra = schema.get("additionalProperties")
+        if isinstance(extra, dict):
+            for key, item in value.items():
+                if key not in props:
+                    errors += validate(item, extra, root, f"{path}.{key}")
+
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            errors.append(f"{path}: {len(value)} items < minItems "
+                          f"{schema['minItems']}")
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, item in enumerate(value):
+                errors += validate(item, items, root, f"{path}[{i}]")
+
+    return errors
+
+
+def main(argv):
+    schema_path = __file__.rsplit("/", 1)[0] + "/profile_schema.json"
+    with open(schema_path, encoding="utf-8") as f:
+        schema = json.load(f)
+
+    if len(argv) >= 2 and argv[1] == "--run":
+        proc = subprocess.run(argv[2:], stdout=subprocess.PIPE,
+                              stderr=subprocess.DEVNULL, check=False)
+        if proc.returncode != 0:
+            print(f"FAIL: {' '.join(argv[2:])} exited {proc.returncode}")
+            return 1
+        text = proc.stdout.decode("utf-8")
+    elif len(argv) == 2 and argv[1] != "-":
+        with open(argv[1], encoding="utf-8") as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        print(f"FAIL: output is not valid JSON: {exc}")
+        return 1
+
+    errors = validate(document, schema, schema)
+    if errors:
+        for error in errors:
+            print(f"FAIL: {error}")
+        return 1
+
+    queries = document.get("queries", [])
+    print(f"OK: schema-valid profile with {len(queries)} queries, "
+          f"{len(document['metrics']['counters'])} counters")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,168 @@
+// xtopk_profile: EXPLAIN/profile CLI. Runs keyword queries against a
+// document with tracing on and emits one JSON profile document on stdout —
+// per query: the span tree, hit count, wall time, and span coverage; plus a
+// process-wide metrics-registry snapshot. The human-readable EXPLAIN trees
+// go to stderr so stdout stays pure, schema-validatable JSON.
+//
+//   ./xtopk_profile                         # built-in document + queries
+//   ./xtopk_profile file.xml "xml data" "top k:5"
+//
+// Each query argument is a space-separated keyword list; a ":N" suffix
+// requests top-N (default: the complete result set). The JSON layout is
+// pinned by tools/profile_schema.json (CI validates it).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "obs/metrics.h"
+#include "xml/xml_parser.h"
+
+namespace {
+
+// The built-in document is a generated bibliography large enough that a
+// query's wall time is dominated by actual search work (tiny toy documents
+// would profile the tracer, not the engine).
+std::string BuildDemoXml() {
+  const char* topics[] = {"storage", "ranking",  "indexing", "joins",
+                          "caching", "parsing",  "scoring",  "pruning"};
+  const char* authors[] = {"alice", "bob", "carol", "dave", "erin"};
+  std::string xml = "<bib>\n";
+  for (int i = 0; i < 400; ++i) {
+    const char* topic = topics[i % 8];
+    xml += "<book year=\"" + std::to_string(1990 + i % 30) + "\">";
+    xml += "<title>xml " + std::string(topic) + " techniques volume " +
+           std::to_string(i) + "</title>";
+    xml += "<author>" + std::string(authors[i % 5]) + "</author>";
+    if (i % 3 == 0) {
+      xml += "<chapter>keyword search over xml data</chapter>";
+    }
+    if (i % 5 == 0) {
+      xml += "<chapter>top k query processing and " + std::string(topic) +
+             "</chapter>";
+    }
+    xml += "<chapter>notes on " + std::string(topics[(i + 3) % 8]) +
+           " and data management</chapter>";
+    xml += "</book>\n";
+  }
+  xml +=
+      "<article><title>supporting top k keyword search in xml databases"
+      "</title><author>alice</author><author>bob</author>"
+      "<abstract>keyword search queries over xml data with top k ranking"
+      "</abstract></article>\n";
+  xml += "</bib>\n";
+  return xml;
+}
+
+struct ProfileQuery {
+  std::vector<std::string> keywords;
+  size_t k = 0;  // 0 = complete result set
+};
+
+// "top k:5" -> keywords {top, k}, k = 5.
+ProfileQuery ParseQueryArg(const std::string& arg) {
+  ProfileQuery query;
+  std::string spec = arg;
+  size_t colon = spec.rfind(':');
+  if (colon != std::string::npos && colon + 1 < spec.size()) {
+    bool numeric = true;
+    for (size_t i = colon + 1; i < spec.size(); ++i) {
+      if (spec[i] < '0' || spec[i] > '9') numeric = false;
+    }
+    if (numeric) {
+      query.k = static_cast<size_t>(std::stoul(spec.substr(colon + 1)));
+      spec.resize(colon);
+    }
+  }
+  std::string token;
+  for (char c : spec + " ") {
+    if (c == ' ' || c == '\t') {
+      if (!token.empty()) query.keywords.push_back(token);
+      token.clear();
+    } else {
+      token.push_back(c);
+    }
+  }
+  return query;
+}
+
+void AppendJsonString(std::string* out, const std::string& value) {
+  out->push_back('"');
+  for (char c : value) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string document = "builtin";
+  xtopk::XmlTree tree;
+  int query_arg_start = 1;
+  if (argc > 1 && std::strchr(argv[1], '.') != nullptr) {
+    auto parsed = xtopk::ParseXmlFile(argv[1]);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    tree = std::move(parsed).value();
+    document = argv[1];
+    query_arg_start = 2;
+  } else {
+    tree = xtopk::ParseXmlStringOrDie(BuildDemoXml());
+  }
+
+  std::vector<ProfileQuery> queries;
+  for (int i = query_arg_start; i < argc; ++i) {
+    queries.push_back(ParseQueryArg(argv[i]));
+  }
+  if (queries.empty()) {
+    queries.push_back(ParseQueryArg("xml data"));
+    queries.push_back(ParseQueryArg("keyword search:25"));
+    queries.push_back(ParseQueryArg("top k xml:10"));
+  }
+
+  xtopk::Engine engine(tree);
+
+  std::string out = "{\"tool\":\"xtopk_profile\",\"document\":";
+  AppendJsonString(&out, document);
+  out += ",\"queries\":[";
+  for (size_t q = 0; q < queries.size(); ++q) {
+    const ProfileQuery& pq = queries[q];
+    xtopk::BatchQuery batch_query;
+    batch_query.keywords = pq.keywords;
+    batch_query.k = pq.k;
+    engine.Explain(batch_query);  // warm-up: metric registration, lists
+    xtopk::ExplainResult explained = engine.Explain(batch_query);
+
+    std::fprintf(stderr, "--- query %zu (k=%zu) ---\n%s\n", q, pq.k,
+                 explained.trace.Render().c_str());
+
+    if (q > 0) out.push_back(',');
+    out += "{\"keywords\":[";
+    for (size_t i = 0; i < pq.keywords.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendJsonString(&out, pq.keywords[i]);
+    }
+    out += "],\"k\":" + std::to_string(pq.k);
+    out += ",\"hits\":" + std::to_string(explained.hits.size());
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ",\"wall_us\":%.1f",
+                  explained.trace.total_us());
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ",\"coverage\":%.4f",
+                  explained.trace.ChildCoverage());
+    out += buf;
+    out += ",\"trace\":" + explained.trace.ToJson() + "}";
+  }
+  out += "],\"metrics\":";
+  out += xtopk::obs::MetricsRegistry::Global().Snapshot().ToJson();
+  out += "}";
+
+  std::printf("%s\n", out.c_str());
+  return 0;
+}
