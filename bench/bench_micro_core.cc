@@ -38,6 +38,48 @@ void BM_MergeJoin(benchmark::State& state) {
 }
 BENCHMARK(BM_MergeJoin);
 
+void BM_MergeJoinSkewed(benchmark::State& state) {
+  // 1:50 size skew — the regime the planner hands to galloping.
+  xtopk::Column small = MakeColumn(8, 100000, 0.02);  // ~2k runs
+  xtopk::Column big = MakeColumn(9, 100000, 0.9);
+  for (auto _ : state) {
+    xtopk::JoinOpStats stats;
+    auto out = xtopk::MergeIntersect(xtopk::SeedMatches(small), big, &stats);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (small.run_count() + big.run_count()));
+}
+BENCHMARK(BM_MergeJoinSkewed);
+
+void BM_GallopJoinSkewed(benchmark::State& state) {
+  xtopk::Column small = MakeColumn(8, 100000, 0.02);
+  xtopk::Column big = MakeColumn(9, 100000, 0.9);
+  for (auto _ : state) {
+    xtopk::JoinOpStats stats;
+    auto out = xtopk::GallopIntersect(xtopk::SeedMatches(small), big, &stats);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (small.run_count() + big.run_count()));
+}
+BENCHMARK(BM_GallopJoinSkewed);
+
+void BM_GallopJoinBalanced(benchmark::State& state) {
+  // Balanced inputs — the regime where galloping should roughly tie merge,
+  // guarding the planner's gallop_ratio cutoff from below.
+  xtopk::Column a = MakeColumn(1, 100000, 0.5);
+  xtopk::Column b = MakeColumn(2, 100000, 0.5);
+  for (auto _ : state) {
+    xtopk::JoinOpStats stats;
+    auto out = xtopk::GallopIntersect(xtopk::SeedMatches(a), b, &stats);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (a.run_count() + b.run_count()));
+}
+BENCHMARK(BM_GallopJoinBalanced);
+
 void BM_IndexJoinSmallProbe(benchmark::State& state) {
   xtopk::Column small = MakeColumn(3, 100000, 0.002);  // ~200 runs
   xtopk::Column big = MakeColumn(4, 100000, 0.9);

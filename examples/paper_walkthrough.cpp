@@ -94,9 +94,11 @@ int main() {
   for (const LevelTrace& level : trace) {
     std::printf("     level %u:", level.level);
     for (const JoinStepTrace& step : level.steps) {
-      std::printf(" %s-join(col of kw#%zu, %llu runs)->%llu",
-                  step.index_join ? "index" : "merge", step.query_position,
-                  (unsigned long long)step.input_runs,
+      const char* algo = step.algo == JoinAlgo::kIndex    ? "index"
+                         : step.algo == JoinAlgo::kGallop ? "gallop"
+                                                          : "merge";
+      std::printf(" %s-join(col of kw#%zu, %llu runs)->%llu", algo,
+                  step.query_position, (unsigned long long)step.input_runs,
                   (unsigned long long)step.output_matches);
     }
     std::printf("  candidates=%llu results=%llu erased=%llu\n",

@@ -1,5 +1,7 @@
 #include "core/join_ops.h"
 
+#include <algorithm>
+
 namespace xtopk {
 
 std::vector<LevelMatch> SeedMatches(const Column& column) {
@@ -32,6 +34,65 @@ std::vector<LevelMatch> MergeIntersect(std::vector<LevelMatch> matches,
       out.push_back(std::move(matches[i]));
       ++i;
       ++j;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// First index in [from, n) whose value is >= target, found by exponential
+// probe then binary search within the bracketed stride — O(log d) for jump
+// distance d, so a skewed intersection costs O(m log(n/m)) total.
+template <typename GetValue>
+size_t GallopLowerBound(size_t from, size_t n, uint32_t target,
+                        GetValue value, JoinOpStats* stats) {
+  ++stats->gallops;
+  size_t bound = 1;
+  while (from + bound < n && value(from + bound) < target) {
+    ++stats->run_comparisons;
+    bound *= 2;
+  }
+  size_t lo = from + bound / 2;
+  size_t hi = std::min(from + bound, n);
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    ++stats->run_comparisons;
+    if (value(mid) < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+std::vector<LevelMatch> GallopIntersect(std::vector<LevelMatch> matches,
+                                        const Column& column,
+                                        JoinOpStats* stats) {
+  ++stats->gallop_joins;
+  std::vector<LevelMatch> out;
+  const auto& runs = column.runs();
+  size_t i = 0, j = 0;
+  while (i < matches.size() && j < runs.size()) {
+    ++stats->run_comparisons;
+    uint32_t lv = matches[i].value;
+    uint32_t rv = runs[j].value;
+    if (lv == rv) {
+      matches[i].runs.push_back(&runs[j]);
+      out.push_back(std::move(matches[i]));
+      ++i;
+      ++j;
+    } else if (lv < rv) {
+      i = GallopLowerBound(
+          i, matches.size(), rv,
+          [&](size_t idx) { return matches[idx].value; }, stats);
+    } else {
+      j = GallopLowerBound(
+          j, runs.size(), lv, [&](size_t idx) { return runs[idx].value; },
+          stats);
     }
   }
   return out;

@@ -22,8 +22,10 @@ struct LevelMatch {
 struct JoinOpStats {
   uint64_t merge_joins = 0;
   uint64_t index_joins = 0;
-  uint64_t run_comparisons = 0;  ///< merge-join cursor steps
+  uint64_t gallop_joins = 0;
+  uint64_t run_comparisons = 0;  ///< merge/gallop cursor steps
   uint64_t probes = 0;           ///< index-join binary searches
+  uint64_t gallops = 0;          ///< exponential searches performed
 };
 
 /// Sort-merge intersection of the current matches with `column` (both are
@@ -31,6 +33,14 @@ struct JoinOpStats {
 std::vector<LevelMatch> MergeIntersect(std::vector<LevelMatch> matches,
                                        const Column& column,
                                        JoinOpStats* stats);
+
+/// Like MergeIntersect, but advances the lagging cursor by exponential +
+/// binary search instead of one step at a time, so the larger side is
+/// skipped over in O(log distance) per gap. Chosen by the planner when the
+/// sides are skewed (gallop_ratio); output is identical to MergeIntersect.
+std::vector<LevelMatch> GallopIntersect(std::vector<LevelMatch> matches,
+                                        const Column& column,
+                                        JoinOpStats* stats);
 
 /// Index-join intersection: binary-probes `column` for every current match
 /// value. Preferable when |matches| << |column| (§III-C).

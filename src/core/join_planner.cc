@@ -19,6 +19,26 @@ bool UseIndexJoin(size_t left_size, size_t right_size,
   return false;
 }
 
+JoinAlgo ChooseJoinAlgo(size_t left_size, size_t right_size,
+                        const PlannerOptions& options) {
+  switch (options.policy) {
+    case JoinPolicy::kForceMerge:
+      return JoinAlgo::kMerge;
+    case JoinPolicy::kForceIndex:
+      return JoinAlgo::kIndex;
+    case JoinPolicy::kDynamic:
+      break;
+  }
+  if (UseIndexJoin(left_size, right_size, options)) return JoinAlgo::kIndex;
+  size_t lo = std::min(left_size, right_size);
+  size_t hi = std::max(left_size, right_size);
+  if (lo > 0 && static_cast<double>(hi) >=
+                    options.gallop_ratio * static_cast<double>(lo)) {
+    return JoinAlgo::kGallop;
+  }
+  return JoinAlgo::kMerge;
+}
+
 std::vector<size_t> PlanJoinOrder(const std::vector<size_t>& list_sizes) {
   std::vector<size_t> order(list_sizes.size());
   std::iota(order.begin(), order.end(), 0);

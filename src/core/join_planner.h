@@ -22,11 +22,30 @@ struct PlannerOptions {
   /// kDynamic picks the index join when
   /// left_size * index_join_ratio < right_size.
   double index_join_ratio = 16.0;
+  /// Below the index-join cutoff, kDynamic gallops instead of merging when
+  /// the sides are skewed: max(sizes) >= gallop_ratio * min(sizes). The
+  /// linear merge is O(m + n); galloping is O(m log(n/m)), which wins once
+  /// the ratio clears a small constant.
+  double gallop_ratio = 8.0;
+};
+
+/// The intersection operator one join step should run (§III-C "dynamic
+/// optimization", extended with the galloping middle ground).
+enum class JoinAlgo {
+  kMerge,   ///< 2-pointer linear merge — balanced sizes
+  kGallop,  ///< exponential + binary search — skewed sizes
+  kIndex,   ///< per-match binary probe of the column — tiny left side
 };
 
 /// True iff the next join step should probe (index join) rather than merge.
 bool UseIndexJoin(size_t left_size, size_t right_size,
                   const PlannerOptions& options);
+
+/// Three-way pick for the next intersection: index join when the left side
+/// is far smaller than the column, galloping when the sizes are skewed by
+/// at least gallop_ratio in either direction, linear merge otherwise.
+JoinAlgo ChooseJoinAlgo(size_t left_size, size_t right_size,
+                        const PlannerOptions& options);
 
 /// Left-deep join order: indexes of `list_sizes` sorted ascending by size
 /// ("from the shortest inverted list to the longest", §III-C).

@@ -19,9 +19,11 @@ void FlushJoinStatsToRegistry(const JoinSearchStats& stats) {
   XTOPK_COUNTER("core.join.erasure_touches").Add(stats.erasure_touches);
   XTOPK_COUNTER("core.join.merge_joins").Add(stats.join_ops.merge_joins);
   XTOPK_COUNTER("core.join.index_joins").Add(stats.join_ops.index_joins);
+  XTOPK_COUNTER("core.join.gallop_joins").Add(stats.join_ops.gallop_joins);
   XTOPK_COUNTER("core.join.run_comparisons")
       .Add(stats.join_ops.run_comparisons);
   XTOPK_COUNTER("core.join.probes").Add(stats.join_ops.probes);
+  XTOPK_COUNTER("core.join.gallops").Add(stats.join_ops.gallops);
 }
 
 }  // namespace
@@ -143,6 +145,7 @@ std::vector<SearchResult> JoinSearch::SearchWithTrace(
     uint64_t results_before = stats_.results;
     uint64_t merge_before = stats_.join_ops.merge_joins;
     uint64_t index_before = stats_.join_ops.index_joins;
+    uint64_t gallop_before = stats_.join_ops.gallop_joins;
 
     // Left-deep pipeline over this level's columns in join order.
     const Column& first = lists[order[0]]->column(level);
@@ -151,16 +154,26 @@ std::vector<SearchResult> JoinSearch::SearchWithTrace(
       const Column& next = lists[order[j]]->column(level);
       // Dynamic optimization (§III-C): the choice is re-made per level, so
       // different contexts (conference vs paper) can pick differently.
-      bool use_index =
-          UseIndexJoin(matches.size(), next.run_count(), options_.planner);
-      if (use_index) {
-        matches = IndexIntersect(std::move(matches), next, &stats_.join_ops);
-      } else {
-        matches = MergeIntersect(std::move(matches), next, &stats_.join_ops);
+      // Three-way: probe join for tiny left sides, galloping merge for
+      // skewed sides, linear merge for balanced ones.
+      JoinAlgo algo =
+          ChooseJoinAlgo(matches.size(), next.run_count(), options_.planner);
+      switch (algo) {
+        case JoinAlgo::kIndex:
+          matches = IndexIntersect(std::move(matches), next, &stats_.join_ops);
+          break;
+        case JoinAlgo::kGallop:
+          matches = GallopIntersect(std::move(matches), next,
+                                    &stats_.join_ops);
+          break;
+        case JoinAlgo::kMerge:
+          matches = MergeIntersect(std::move(matches), next, &stats_.join_ops);
+          break;
       }
       if (trace != nullptr) {
         level_trace.steps.push_back(JoinStepTrace{
-            order[j], use_index, next.run_count(), matches.size()});
+            order[j], algo == JoinAlgo::kIndex, algo, next.run_count(),
+            matches.size()});
       }
     }
 
@@ -259,6 +272,9 @@ std::vector<SearchResult> JoinSearch::SearchWithTrace(
       level_span.Stat("index_joins",
                       static_cast<double>(stats_.join_ops.index_joins -
                                           index_before));
+      level_span.Stat("gallop_joins",
+                      static_cast<double>(stats_.join_ops.gallop_joins -
+                                          gallop_before));
     }
   }
   if (root.enabled()) {

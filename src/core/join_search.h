@@ -47,7 +47,9 @@ struct JoinSearchStats {
 /// One join step inside a level (EXPLAIN output).
 struct JoinStepTrace {
   size_t query_position = 0;  ///< which keyword's column was joined in
-  bool index_join = false;    ///< probe vs merge (the dynamic choice)
+  bool index_join = false;    ///< true iff the probe join ran (kept for
+                              ///< existing consumers; == algo == kIndex)
+  JoinAlgo algo = JoinAlgo::kMerge;  ///< the dynamic three-way choice
   uint64_t input_runs = 0;    ///< right-hand column's run count
   uint64_t output_matches = 0;
 };

@@ -23,6 +23,8 @@ void FlushTopKStatsToRegistry(const TopKSearchStats& stats) {
   XTOPK_COUNTER("core.topk.columns_star_join").Add(stats.columns_star_join);
   XTOPK_COUNTER("core.topk.columns_complete_join")
       .Add(stats.columns_complete_join);
+  XTOPK_COUNTER("core.topk.columns_value_skipped")
+      .Add(stats.columns_value_skipped);
 }
 
 uint64_t NodeKey(uint32_t level, uint32_t value) {
@@ -317,6 +319,30 @@ std::vector<SearchResult> TopKSearch::Search(
       }
     };
 
+    // Value-range skip: a completion needs one value present in every
+    // keyword's column, so if the columns' [first, last] value ranges have
+    // an empty intersection the whole level is a no-op — no candidates, no
+    // pruner updates — and only the emission bookkeeping remains.
+    if (options_.value_range_skip) {
+      uint32_t lo = 0, hi = UINT32_MAX;
+      bool possible = true;
+      for (const TopKList* list : lists) {
+        const Column& col = list->base->column(level);
+        if (col.empty()) {
+          possible = false;
+          break;
+        }
+        lo = std::max(lo, col.runs().front().value);
+        hi = std::min(hi, col.runs().back().value);
+      }
+      if (!possible || lo > hi) {
+        ++stats_.columns_value_skipped;
+        emit_ready(best_above[level]);
+        close_column_span("value_skip", best_above[level]);
+        continue;
+      }
+    }
+
     // §V-D per-level hybrid: a column whose estimated match count is small
     // is cheaper to sweep completely (document order) than to drive
     // through the score-ordered star join.
@@ -336,10 +362,16 @@ std::vector<SearchResult> TopKSearch::Search(
           SeedMatches(lists[order[0]]->base->column(level));
       for (size_t j = 1; j < k_sources && !matches.empty(); ++j) {
         const Column& next = lists[order[j]]->base->column(level);
-        if (UseIndexJoin(matches.size(), next.run_count(), planner)) {
-          matches = IndexIntersect(std::move(matches), next, &join_stats);
-        } else {
-          matches = MergeIntersect(std::move(matches), next, &join_stats);
+        switch (ChooseJoinAlgo(matches.size(), next.run_count(), planner)) {
+          case JoinAlgo::kIndex:
+            matches = IndexIntersect(std::move(matches), next, &join_stats);
+            break;
+          case JoinAlgo::kGallop:
+            matches = GallopIntersect(std::move(matches), next, &join_stats);
+            break;
+          case JoinAlgo::kMerge:
+            matches = MergeIntersect(std::move(matches), next, &join_stats);
+            break;
         }
       }
       for (const LevelMatch& match : matches) {

@@ -28,6 +28,12 @@ struct TopKSearchOptions {
   double hybrid_min_matches = 0.0;
   /// Runs sampled per column for the hybrid estimate.
   size_t hybrid_sample_runs = 128;
+  /// Skip a column outright when the value ranges of the keywords' columns
+  /// at that level have an empty intersection — no value can complete, so
+  /// neither results nor pruner state can change (bit-identical output).
+  /// The ranges come from the columns' first/last runs, i.e. the same
+  /// min/max the on-disk block skip directory carries.
+  bool value_range_skip = true;
   ScoringParams scoring;
   /// Per-query span tree ("topk_search" root, one span per column round
   /// with entries-read/threshold/emission stats). Null disables tracing at
@@ -43,6 +49,7 @@ struct TopKSearchStats {
   uint32_t columns_processed = 0;
   uint32_t columns_star_join = 0;      ///< per-level hybrid: star-join mode
   uint32_t columns_complete_join = 0;  ///< per-level hybrid: sweep mode
+  uint32_t columns_value_skipped = 0;  ///< empty value-range intersection
 };
 
 /// The join-based top-K keyword search (paper §IV-C): inverted lists are

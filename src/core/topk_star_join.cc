@@ -17,6 +17,7 @@ void FlushStarJoinStatsToRegistry(const StarJoinStats& stats) {
   XTOPK_COUNTER("core.topk.star.runs").Add(1);
   XTOPK_COUNTER("core.topk.star.tuples_read").Add(stats.tuples_read);
   XTOPK_COUNTER("core.topk.star.early_emissions").Add(stats.early_emissions);
+  XTOPK_COUNTER("core.topk.star.tuples_skipped").Add(stats.tuples_skipped);
   XTOPK_HISTOGRAM("core.topk.star.bucket_peak").Record(stats.bucket_peak);
 }
 
@@ -204,6 +205,16 @@ std::vector<StarJoinResultRow> TopKStarJoin::Run() {
     const RankedTuple* next = sources_[chosen]->Peek();
     threshold.SetHeadScore(
         chosen, next ? next->score : StarThreshold::kExhausted);
+
+    // Probe-bound skip: an id the caller proved unjoinable never enters
+    // the bucket. The head-score update above already happened, so the
+    // threshold still upper-bounds every remaining completion.
+    if (options_.use_id_bounds &&
+        (tuple.id < options_.id_lo || tuple.id > options_.id_hi)) {
+      ++stats_.tuples_skipped;
+      flush(/*inputs_live=*/true);
+      continue;
+    }
 
     uint32_t bit = 1u << chosen;
     Partial& partial = bucket[tuple.id];

@@ -1,7 +1,9 @@
 #include "index/disk_index.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
+#include <string_view>
 
 #include "index/index_access.h"
 #include "obs/metrics.h"
@@ -81,7 +83,7 @@ Status GetExtent(const std::string& data, size_t* pos, BlobExtent* extent) {
 }  // namespace
 
 Status DiskIndexWriter::Write(const JDeweyIndex& index, bool include_scores,
-                              const std::string& path) {
+                              const std::string& path, ColumnCodec codec) {
   PageFile file;
   Status s = file.Open(path, /*create=*/true);
   if (!s.ok()) return s;
@@ -112,7 +114,7 @@ Status DiskIndexWriter::Write(const JDeweyIndex& index, bool include_scores,
 
     for (const Column& column : list.columns) {
       std::string column_blob;
-      EncodeColumn(column, ColumnCodec::kAuto, &column_blob);
+      EncodeColumn(column, codec, &column_blob);
       PutExtent(&directory, writer.Append(column_blob));
     }
     if (!writer.status().ok()) return writer.status();
@@ -163,6 +165,12 @@ StatusOr<std::shared_ptr<DiskIndexEnv>> DiskIndexEnv::Open(
                                             options.pool_shards);
   env->decoded_ =
       std::make_unique<DecodedBlockCache>(options.decoded_cache_bytes);
+  env->skip_enabled_ = options.enable_skip;
+  if (const char* skip_env = std::getenv("XTOPK_DISABLE_SKIP");
+      skip_env != nullptr && skip_env[0] != '\0' &&
+      std::string_view(skip_env) != "0") {
+    env->skip_enabled_ = false;
+  }
 
   // Footer.
   std::string footer;
@@ -397,17 +405,29 @@ Status DiskJDeweyIndex::MaterializeScores(const DiskIndexEnv::TermInfo& info,
   return Status::Ok();
 }
 
-Status DiskJDeweyIndex::MaterializeColumns(const DiskIndexEnv::TermInfo& info,
-                                           TermState* state,
-                                           uint32_t up_to_level) {
+Status DiskJDeweyIndex::MaterializeColumns(
+    const DiskIndexEnv::TermInfo& info, TermState* state, uint32_t up_to_level,
+    const std::vector<ValueBounds>* level_bounds) {
   JDeweyList& list = (*IndexIoAccess::Lists(&view_))[state->view_id];
   up_to_level = std::min(up_to_level, info.max_length);
+  if (state->coverage.size() < info.max_length) {
+    state->coverage.resize(info.max_length);
+  }
+  if (!env_->skip_enabled_) level_bounds = nullptr;
   DecodedBlockCache& cache = *env_->decoded_;
-  for (uint32_t level = state->loaded_levels + 1; level <= up_to_level;
-       ++level) {
+
+  for (uint32_t level = 1; level <= up_to_level; ++level) {
+    LevelCoverage& cov = state->coverage[level - 1];
+    if (cov.full) continue;
+    const ValueBounds* bounds =
+        (level_bounds != nullptr && level - 1 < level_bounds->size())
+            ? &(*level_bounds)[level - 1]
+            : nullptr;
     XTOPK_COUNTER("index.columns_materialized").Add(1);
     if (auto cached = cache.GetColumn(info.term_id, level)) {
       list.columns[level - 1] = *cached;  // run-vector copy, no decode
+      cov = LevelCoverage{};
+      cov.full = true;
       continue;
     }
     std::string blob;
@@ -417,21 +437,79 @@ Status DiskJDeweyIndex::MaterializeColumns(const DiskIndexEnv::TermInfo& info,
     for (uint32_t row = 0; row < list.lengths.size(); ++row) {
       if (list.lengths[row] >= level) present.push_back(row);
     }
+
+    // Skip path: group-varint columns with bounds materialize only the
+    // physical blocks whose value range can intersect them, assembled
+    // from per-block cache fragments where possible.
+    GvbColumnReader reader;
+    if (bounds != nullptr && reader.Open(blob, 0).ok()) {
+      BlockSkipIndex::Range range =
+          reader.skip().ProbeRange(bounds->lo, bounds->hi);
+      if (cov.partial) {
+        // Widen to the union so earlier bounds stay covered; the range
+        // between the two stays contiguous (a superset is always sound).
+        range.lo = std::min(range.lo, static_cast<size_t>(cov.lo_block));
+        range.hi = std::max(range.hi, static_cast<size_t>(cov.hi_block));
+      }
+      Column column;
+      for (size_t b = range.lo; b < range.hi; ++b) {
+        auto fragment =
+            cache.GetColumnBlock(info.term_id, level, static_cast<uint32_t>(b));
+        if (fragment == nullptr) {
+          Column decoded;
+          s = reader.DecodeBlock(b, present, &decoded);
+          if (!s.ok()) return s;
+          auto shared = std::make_shared<const Column>(std::move(decoded));
+          cache.PutColumnBlock(info.term_id, level, static_cast<uint32_t>(b),
+                               shared);
+          fragment = std::move(shared);
+        }
+        // AppendRun re-merges a run split across a block boundary.
+        for (const Run& run : fragment->runs()) {
+          column.AppendRun(run.first_row, run.value, run.count);
+        }
+      }
+      list.columns[level - 1] = std::move(column);
+      if (range.lo == 0 && range.hi == reader.block_count()) {
+        cov = LevelCoverage{};
+        cov.full = true;
+        cache.PutColumn(info.term_id, level, std::make_shared<const Column>(
+                                                 list.columns[level - 1]));
+      } else {
+        XTOPK_COUNTER("storage.skip.partial_loads").Add(1);
+        XTOPK_COUNTER("storage.skip.blocks_skipped")
+            .Add(reader.block_count() - (range.hi - range.lo));
+        cov.partial = true;
+        cov.lo_block = static_cast<uint32_t>(range.lo);
+        cov.hi_block = static_cast<uint32_t>(range.hi);
+      }
+      continue;
+    }
+
+    // Full decode: no bounds, or a non-group-varint (legacy delta / RLE)
+    // column. Also the upgrade path from partial to full coverage.
     size_t pos = 0;
     Column column;
     s = DecodeColumn(blob, &pos, &present, &column);
     if (!s.ok()) return s;
     list.columns[level - 1] = column;
+    cov = LevelCoverage{};
+    cov.full = true;
     cache.PutColumn(info.term_id, level,
                     std::make_shared<const Column>(std::move(column)));
   }
-  state->loaded_levels = std::max(state->loaded_levels, up_to_level);
   return Status::Ok();
 }
 
 StatusOr<const JDeweyList*> DiskJDeweyIndex::LoadList(const std::string& term,
                                                       uint32_t up_to_level,
                                                       bool need_scores) {
+  return LoadList(term, up_to_level, need_scores, nullptr);
+}
+
+StatusOr<const JDeweyList*> DiskJDeweyIndex::LoadList(
+    const std::string& term, uint32_t up_to_level, bool need_scores,
+    const std::vector<ValueBounds>* level_bounds) {
   auto it = env_->directory_.find(term);
   if (it == env_->directory_.end()) {
     return static_cast<const JDeweyList*>(nullptr);
@@ -446,7 +524,7 @@ StatusOr<const JDeweyList*> DiskJDeweyIndex::LoadList(const std::string& term,
     Status s = MaterializeScores(info, &state);
     if (!s.ok()) return s;
   }
-  Status s = MaterializeColumns(info, &state, up_to_level);
+  Status s = MaterializeColumns(info, &state, up_to_level, level_bounds);
   if (!s.ok()) return s;
   return &(*IndexIoAccess::Lists(&view_))[state.view_id];
 }
@@ -469,9 +547,43 @@ StatusOr<std::vector<SearchResult>> DiskJDeweyIndex::SearchComplete(
     if (it == env_->directory_.end() || it->second.rows == 0) return empty;
     l0 = std::min(l0, it->second.max_length);
   }
-  for (const std::string& kw : keywords) {
-    auto list = LoadList(kw, l0, options.compute_scores);
-    if (!list.ok()) return list.status();
+  // Skip-decode: load the seed list (fewest rows — the same stable argmin
+  // the join planner starts from) fully, then every other list with
+  // per-level value bounds taken from the seed's columns. Any join match
+  // at level l carries a value present in the seed's level-l column, so a
+  // partial column covering the seed's [first, last] value range is a
+  // superset of every run the join can touch — results are bit-identical
+  // to full loads.
+  if (env_->skip_enabled_ && keywords.size() > 1) {
+    size_t seed = 0;
+    for (size_t i = 1; i < keywords.size(); ++i) {
+      if (env_->directory_.find(keywords[i])->second.rows <
+          env_->directory_.find(keywords[seed])->second.rows) {
+        seed = i;
+      }
+    }
+    auto seed_list = LoadList(keywords[seed], l0, options.compute_scores);
+    if (!seed_list.ok()) return seed_list.status();
+    std::vector<ValueBounds> bounds(l0);
+    for (uint32_t l = 1; l <= l0; ++l) {
+      const Column& col = (*seed_list)->column(l);
+      if (col.empty()) {
+        bounds[l - 1] = ValueBounds{1, 0};  // unsatisfiable: no seed runs
+      } else {
+        bounds[l - 1] = ValueBounds{col.runs().front().value,
+                                    col.runs().back().value};
+      }
+    }
+    for (size_t i = 0; i < keywords.size(); ++i) {
+      if (i == seed) continue;
+      auto list = LoadList(keywords[i], l0, options.compute_scores, &bounds);
+      if (!list.ok()) return list.status();
+    }
+  } else {
+    for (const std::string& kw : keywords) {
+      auto list = LoadList(kw, l0, options.compute_scores);
+      if (!list.ok()) return list.status();
+    }
   }
   JoinSearch search(view_, options);
   auto results = search.Search(keywords);

@@ -12,6 +12,7 @@
 #include "core/search_result.h"
 #include "index/jdewey_index.h"
 #include "storage/buffer_pool.h"
+#include "storage/compression.h"
 #include "storage/decoded_cache.h"
 #include "storage/page_file.h"
 #include "util/status.h"
@@ -39,8 +40,14 @@ struct BlobExtent {
 /// level l0 (§III-B) touches only the pages of columns 1..l0.
 class DiskIndexWriter {
  public:
+  /// `codec` is forwarded to EncodeColumn for every column blob. The
+  /// default (kAuto) picks run-length vs group-varint per column; tests
+  /// pass kDelta to emulate segments written before the group-varint
+  /// codec existed (the codec byte is self-describing, so old segments
+  /// read back without a format version bump).
   static Status Write(const JDeweyIndex& index, bool include_scores,
-                      const std::string& path);
+                      const std::string& path,
+                      ColumnCodec codec = ColumnCodec::kAuto);
 };
 
 /// Options for opening a disk index's shared read substrate.
@@ -51,6 +58,12 @@ struct DiskIndexOptions {
   /// Byte budget of the decoded-block cache (0 disables it — every access
   /// re-decodes, the pre-cache behaviour).
   size_t decoded_cache_bytes = 32u << 20;
+  /// Skip-decode: sessions of this environment load only the group-varint
+  /// blocks whose value range can intersect the query's probe bounds
+  /// (SearchComplete derives them from the seed list). Results are
+  /// bit-identical either way; the XTOPK_DISABLE_SKIP environment
+  /// variable (any value but "0") forces this off at Open for A/B runs.
+  bool enable_skip = true;
 };
 
 /// Aggregate I/O / cache counters of one disk index environment — a
@@ -89,6 +102,9 @@ class DiskIndexEnv : public std::enable_shared_from_this<DiskIndexEnv> {
   uint32_t MaxLength(const std::string& term) const;
   size_t term_count() const { return directory_.size(); }
   bool has_scores() const { return has_scores_; }
+  /// Whether sessions may skip-decode (options.enable_skip, unless the
+  /// XTOPK_DISABLE_SKIP environment variable overrode it at Open).
+  bool skip_enabled() const { return skip_enabled_; }
 
   DiskIoStats io_stats() const;
   void ResetIoStats();
@@ -118,6 +134,7 @@ class DiskIndexEnv : public std::enable_shared_from_this<DiskIndexEnv> {
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<DecodedBlockCache> decoded_;
   bool has_scores_ = false;
+  bool skip_enabled_ = true;
   std::unordered_map<std::string, TermInfo> directory_;
   /// Holds only the (level, value) -> node mapping + max level; sessions
   /// borrow it instead of copying it (it can dominate the directory size).
@@ -149,6 +166,17 @@ class DiskJDeweyIndex {
   StatusOr<const JDeweyList*> LoadList(const std::string& term,
                                        uint32_t up_to_level,
                                        bool need_scores = true);
+
+  /// Bounds-aware variant: `level_bounds[l - 1]` is the value range the
+  /// query can touch at level l. Group-varint columns are materialized
+  /// partially — only the blocks overlapping the range — which is sound
+  /// whenever the caller joins the result against a list whose values all
+  /// lie inside the bounds (the partial column is a superset of every run
+  /// with a value in range). Levels already materialized more widely are
+  /// left as-is; narrower prior loads are widened to the union range.
+  StatusOr<const JDeweyList*> LoadList(
+      const std::string& term, uint32_t up_to_level, bool need_scores,
+      const std::vector<ValueBounds>* level_bounds);
 
   /// Frequency from the directory alone (no data I/O).
   uint32_t Frequency(const std::string& term) const;
@@ -190,13 +218,21 @@ class DiskJDeweyIndex {
  private:
   friend class DiskIndexEnv;
 
+  /// What part of one level's column this session has materialized.
+  struct LevelCoverage {
+    bool full = false;     ///< whole column present in view_
+    bool partial = false;  ///< contiguous block range [lo_block, hi_block)
+    uint32_t lo_block = 0;
+    uint32_t hi_block = 0;
+  };
+
   /// Session-local materialization state of one term.
   struct TermState {
-    /// Levels already materialized in view_ (0 = not loaded at all).
-    uint32_t loaded_levels = 0;
     bool scores_loaded = false;
     /// Slot in view_.
     uint32_t view_id = UINT32_MAX;
+    /// Per-level coverage, index = level - 1 (sized at first load).
+    std::vector<LevelCoverage> coverage;
   };
 
   explicit DiskJDeweyIndex(std::shared_ptr<DiskIndexEnv> env);
@@ -207,7 +243,8 @@ class DiskJDeweyIndex {
   Status MaterializeScores(const DiskIndexEnv::TermInfo& info,
                            TermState* state);
   Status MaterializeColumns(const DiskIndexEnv::TermInfo& info,
-                            TermState* state, uint32_t up_to_level);
+                            TermState* state, uint32_t up_to_level,
+                            const std::vector<ValueBounds>* level_bounds);
 
   std::shared_ptr<DiskIndexEnv> env_;
   std::unordered_map<uint32_t, TermState> state_;  // keyed by term_id

@@ -22,6 +22,22 @@ void Column::Append(uint32_t row, uint32_t value) {
   runs_.push_back(Run{value, row, 1});
 }
 
+void Column::AppendRun(uint32_t row, uint32_t value, uint32_t count) {
+  if (count == 0) return;
+  row_count_ += count;
+  if (!runs_.empty()) {
+    Run& last = runs_.back();
+    assert(row >= last.end_row() && "rows must arrive in increasing order");
+    assert(value >= last.value && "values must be non-decreasing (Prop 3.1)");
+    if (last.value == value && row == last.end_row()) {
+      last.count += count;
+      return;
+    }
+    assert(value > last.value && "split run: equal values must be contiguous");
+  }
+  runs_.push_back(Run{value, row, count});
+}
+
 const Run* Column::FindValue(uint32_t value) const {
   size_t idx = LowerBoundValue(value);
   if (idx < runs_.size() && runs_[idx].value == value) return &runs_[idx];

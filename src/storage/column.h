@@ -37,6 +37,17 @@ class Column {
   /// increasing order and values must be non-decreasing (checked in debug).
   void Append(uint32_t row, uint32_t value);
 
+  /// Appends a whole run of `count` consecutive rows sharing `value`,
+  /// merging with the previous run when contiguous. Decoders use this so a
+  /// run the encoding already represents as one triple costs O(1), not
+  /// O(count) Append calls.
+  void AppendRun(uint32_t row, uint32_t value, uint32_t count);
+
+  /// Pre-sizes the run vector for `n` more runs. Decoders that know an
+  /// upper bound (run count from the header, rows in a block range) call
+  /// this once so distinct-heavy columns don't pay repeated regrowth.
+  void ReserveRuns(size_t n) { runs_.reserve(runs_.size() + n); }
+
   const std::vector<Run>& runs() const { return runs_; }
   size_t run_count() const { return runs_.size(); }
   bool empty() const { return runs_.empty(); }

@@ -1,11 +1,23 @@
 #include "storage/compression.h"
 
+#include <algorithm>
 #include <cassert>
+#include <vector>
 
 #include "obs/metrics.h"
+#include "storage/sparse_index.h"
+#include "util/simd.h"
 #include "util/varint.h"
 
 namespace xtopk {
+
+// Body decode of a group-varint column (after the generic codec byte +
+// row count header). Defined below; befriended by GvbColumnReader.
+Status DecodeGvbBody(const std::string& data, size_t* pos, uint32_t row_count,
+                     const std::vector<uint32_t>* present_rows,
+                     const ValueBounds* bounds, Column* column,
+                     SkipDecodeStats* stats);
+
 namespace {
 
 // Header layout: codec byte, then run/row counts, then codec-specific body.
@@ -44,10 +56,72 @@ void EncodeDelta(const Column& column, std::string* out) {
   }
 }
 
+// One group of up to four values: control byte (2-bit length codes, code =
+// len - 1, lane order low to high), then the payload bytes little-endian.
+void PutGvbGroup(const uint32_t* values, size_t n, std::string* out) {
+  uint8_t ctrl = 0;
+  uint8_t lens[4] = {1, 1, 1, 1};
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t v = values[i];
+    uint8_t len = v < (1u << 8) ? 1 : v < (1u << 16) ? 2 : v < (1u << 24) ? 3
+                                                                          : 4;
+    lens[i] = len;
+    ctrl |= static_cast<uint8_t>((len - 1) << (2 * i));
+  }
+  out->push_back(static_cast<char>(ctrl));
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t v = values[i];
+    for (uint8_t b = 0; b < lens[i]; ++b) {
+      out->push_back(static_cast<char>(v & 0xFF));
+      v >>= 8;
+    }
+  }
+}
+
+void EncodeGroupVarint(const Column& column, std::string* out) {
+  // Body: block_rows, block_count, skip directory, then the data section
+  // (blocks back to back). Each block holds kGvbBlockRows per-row values —
+  // the first in full, the rest as deltas from their predecessor — packed
+  // as group varint, so every block decodes standalone and the directory's
+  // (min, max) = (first, last) value because values are non-decreasing.
+  std::vector<uint32_t> values;
+  values.reserve(column.row_count());
+  for (const Run& run : column.runs()) {
+    for (uint32_t i = 0; i < run.count; ++i) values.push_back(run.value);
+  }
+  varint::PutU32(out, kGvbBlockRows);
+  uint32_t block_count = static_cast<uint32_t>(
+      (values.size() + kGvbBlockRows - 1) / kGvbBlockRows);
+  varint::PutU32(out, block_count);
+
+  BlockSkipIndex skip;
+  std::string data;
+  std::vector<uint32_t> scratch;
+  for (uint32_t b = 0; b < block_count; ++b) {
+    size_t begin = static_cast<size_t>(b) * kGvbBlockRows;
+    size_t end = std::min(begin + kGvbBlockRows, values.size());
+    scratch.clear();
+    scratch.push_back(values[begin]);
+    for (size_t i = begin + 1; i < end; ++i) {
+      scratch.push_back(values[i] - values[i - 1]);
+    }
+    size_t before = data.size();
+    for (size_t g = 0; g < scratch.size(); g += 4) {
+      PutGvbGroup(scratch.data() + g, std::min<size_t>(4, scratch.size() - g),
+                  &data);
+    }
+    skip.AddBlock(values[begin], values[end - 1],
+                  static_cast<uint32_t>(data.size() - before));
+  }
+  skip.Encode(out);
+  out->append(data);
+}
+
 Status DecodeRunLength(const std::string& data, size_t* pos, uint32_t run_count,
                        Column* column) {
   uint32_t prev_value = 0;
   uint32_t prev_row = 0;
+  column->ReserveRuns(run_count);
   for (uint32_t i = 0; i < run_count; ++i) {
     uint32_t dv = 0, dr = 0, count = 0;
     Status s = varint::GetU32(data, pos, &dv);
@@ -57,7 +131,7 @@ Status DecodeRunLength(const std::string& data, size_t* pos, uint32_t run_count,
     uint32_t value = prev_value + dv;
     uint32_t row = prev_row + dr;
     if (count == 0) return Status::Corruption("column: zero-length run");
-    for (uint32_t j = 0; j < count; ++j) column->Append(row + j, value);
+    column->AppendRun(row, value, count);
     prev_value = value;
     prev_row = row;
   }
@@ -76,6 +150,7 @@ Status DecodeDelta(const std::string& data, size_t* pos, uint32_t row_count,
   }
   uint32_t in_block = 0;
   uint32_t prev_value = 0;
+  column->ReserveRuns(row_count);
   for (uint32_t i = 0; i < row_count; ++i) {
     uint32_t v = 0;
     Status s = varint::GetU32(data, pos, &v);
@@ -88,35 +163,37 @@ Status DecodeDelta(const std::string& data, size_t* pos, uint32_t row_count,
   return Status::Ok();
 }
 
-}  // namespace
-
-ColumnCodec ChooseCodec(const Column& column) {
-  if (column.run_count() == 0) return ColumnCodec::kRunLength;
-  double avg_run = static_cast<double>(column.row_count()) /
-                   static_cast<double>(column.run_count());
-  return avg_run >= kRleThreshold ? ColumnCodec::kRunLength
-                                  : ColumnCodec::kDelta;
-}
-
-void EncodeColumn(const Column& column, ColumnCodec codec, std::string* out) {
+void EncodeColumnImpl(const Column& column, ColumnCodec codec,
+                      std::string* out, bool count_metrics) {
   if (codec == ColumnCodec::kAuto) codec = ChooseCodec(column);
   size_t before = out->size();
   out->push_back(static_cast<char>(codec));
-  if (codec == ColumnCodec::kRunLength) {
-    varint::PutU32(out, static_cast<uint32_t>(column.run_count()));
-    EncodeRunLength(column, out);
-    XTOPK_COUNTER("storage.codec.rle_encodes").Add(1);
-  } else {
-    varint::PutU32(out, column.row_count());
-    EncodeDelta(column, out);
-    XTOPK_COUNTER("storage.codec.delta_encodes").Add(1);
+  switch (codec) {
+    case ColumnCodec::kRunLength:
+      varint::PutU32(out, static_cast<uint32_t>(column.run_count()));
+      EncodeRunLength(column, out);
+      if (count_metrics) XTOPK_COUNTER("storage.codec.rle_encodes").Add(1);
+      break;
+    case ColumnCodec::kGroupVarint:
+      varint::PutU32(out, column.row_count());
+      EncodeGroupVarint(column, out);
+      if (count_metrics) XTOPK_COUNTER("storage.codec.gvb_encodes").Add(1);
+      break;
+    default:
+      varint::PutU32(out, column.row_count());
+      EncodeDelta(column, out);
+      if (count_metrics) XTOPK_COUNTER("storage.codec.delta_encodes").Add(1);
+      break;
   }
-  XTOPK_COUNTER("storage.codec.encoded_bytes").Add(out->size() - before);
+  if (count_metrics) {
+    XTOPK_COUNTER("storage.codec.encoded_bytes").Add(out->size() - before);
+  }
 }
 
-Status DecodeColumn(const std::string& data, size_t* pos,
-                    const std::vector<uint32_t>* present_rows,
-                    Column* column) {
+Status DecodeColumnImpl(const std::string& data, size_t* pos,
+                        const std::vector<uint32_t>* present_rows,
+                        const ValueBounds* bounds, Column* column,
+                        SkipDecodeStats* stats) {
   if (*pos >= data.size()) return Status::Corruption("column: empty buffer");
   uint8_t codec_byte = static_cast<uint8_t>(data[(*pos)++]);
   uint32_t count = 0;
@@ -129,14 +206,183 @@ Status DecodeColumn(const std::string& data, size_t* pos,
     case ColumnCodec::kDelta:
       XTOPK_COUNTER("storage.codec.delta_decodes").Add(1);
       return DecodeDelta(data, pos, count, present_rows, column);
+    case ColumnCodec::kGroupVarint:
+      XTOPK_COUNTER("storage.codec.gvb_decodes").Add(1);
+      return DecodeGvbBody(data, pos, count, present_rows, bounds, column,
+                           stats);
     default:
       return Status::Corruption("column: unknown codec byte");
   }
 }
 
+}  // namespace
+
+Status GvbColumnReader::Open(const std::string& data, size_t pos) {
+  if (pos >= data.size()) return Status::Corruption("column: empty buffer");
+  uint8_t codec_byte = static_cast<uint8_t>(data[pos++]);
+  if (static_cast<ColumnCodec>(codec_byte) != ColumnCodec::kGroupVarint) {
+    return Status::InvalidArgument("column: not a group-varint column");
+  }
+  uint32_t row_count = 0;
+  Status s = varint::GetU32(data, &pos, &row_count);
+  if (!s.ok()) return s;
+  return OpenBody(data, pos, row_count);
+}
+
+Status GvbColumnReader::OpenBody(const std::string& data, size_t pos,
+                                 uint32_t row_count) {
+  data_ = &data;
+  row_count_ = row_count;
+  Status s = varint::GetU32(data, &pos, &block_rows_);
+  uint32_t block_count = 0;
+  if (s.ok()) s = varint::GetU32(data, &pos, &block_count);
+  if (!s.ok()) return s;
+  if (block_rows_ == 0) {
+    return Status::Corruption("column: gvb zero block rows");
+  }
+  uint64_t expected_blocks =
+      (static_cast<uint64_t>(row_count_) + block_rows_ - 1) / block_rows_;
+  if (block_count != expected_blocks) {
+    return Status::Corruption("column: gvb block count mismatch");
+  }
+  s = BlockSkipIndex::Decode(data, &pos, &skip_);
+  if (!s.ok()) return s;
+  if (skip_.block_count() != block_count) {
+    return Status::Corruption("column: gvb directory size mismatch");
+  }
+  data_start_ = pos;
+  if (data_start_ + skip_.data_bytes() > data.size()) {
+    return Status::Corruption("column: gvb data section truncated");
+  }
+  end_pos_ = data_start_ + static_cast<size_t>(skip_.data_bytes());
+  return Status::Ok();
+}
+
+uint32_t GvbColumnReader::rows_in_block(size_t b) const {
+  size_t row_offset = b * block_rows_;
+  return static_cast<uint32_t>(
+      std::min<size_t>(block_rows_, row_count_ - row_offset));
+}
+
+Status GvbColumnReader::DecodeBlock(size_t b,
+                                    const std::vector<uint32_t>& present_rows,
+                                    Column* column) const {
+  if (data_ == nullptr || b >= block_count()) {
+    return Status::InvalidArgument("column: gvb block out of range");
+  }
+  if (present_rows.size() != row_count_) {
+    return Status::Corruption("column: present-row count mismatch");
+  }
+  const std::string& data = *data_;
+  size_t block_start = data_start_ + static_cast<size_t>(skip_.byte_offset(b));
+  uint32_t byte_len = skip_.byte_len(b);
+  uint32_t rows = rows_in_block(b);
+  if (block_start + byte_len > data.size()) {
+    return Status::Corruption("column: gvb block past end of buffer");
+  }
+  // The kernel gets the whole remaining buffer so the SIMD path keeps its
+  // 16-byte load slack mid-blob; the consumed-byte check against the
+  // directory's byte_len catches corruption.
+  uint32_t stack_buf[kGvbBlockRows];
+  std::vector<uint32_t> heap_buf;
+  uint32_t* values = stack_buf;
+  if (rows > kGvbBlockRows) {
+    heap_buf.resize(rows);
+    values = heap_buf.data();
+  }
+  size_t consumed = simd::GvbDecodeValues(
+      reinterpret_cast<const uint8_t*>(data.data()) + block_start,
+      data.size() - block_start, values, rows);
+  if (consumed != byte_len) {
+    return Status::Corruption("column: gvb block length mismatch");
+  }
+  for (uint32_t i = 1; i < rows; ++i) values[i] += values[i - 1];
+  // Whole runs at a time: a stretch of equal values over consecutive
+  // present rows is one AppendRun, not `rows` Appends.
+  size_t row_offset = b * block_rows_;
+  uint32_t i = 0;
+  while (i < rows) {
+    uint32_t value = values[i];
+    uint32_t first = present_rows[row_offset + i];
+    uint32_t j = i + 1;
+    while (j < rows && values[j] == value &&
+           present_rows[row_offset + j] == first + (j - i)) {
+      ++j;
+    }
+    column->AppendRun(first, value, j - i);
+    i = j;
+  }
+  XTOPK_COUNTER("storage.skip.blocks_decoded").Add(1);
+  return Status::Ok();
+}
+
+Status DecodeGvbBody(const std::string& data, size_t* pos, uint32_t row_count,
+                     const std::vector<uint32_t>* present_rows,
+                     const ValueBounds* bounds, Column* column,
+                     SkipDecodeStats* stats) {
+  if (present_rows == nullptr) {
+    return Status::InvalidArgument(
+        "column: group-varint codec requires the present-row list");
+  }
+  if (present_rows->size() != row_count) {
+    return Status::Corruption("column: present-row count mismatch");
+  }
+  GvbColumnReader reader;
+  Status s = reader.OpenBody(data, *pos, row_count);
+  if (!s.ok()) return s;
+  // The blob's extent is fixed regardless of how many blocks we decode.
+  *pos = reader.end_pos();
+
+  BlockSkipIndex::Range range{0, reader.block_count()};
+  if (bounds != nullptr) range = reader.skip().ProbeRange(bounds->lo,
+                                                          bounds->hi);
+  // Upper-bound the run count by the rows in the selected block range so
+  // distinct-heavy columns allocate once instead of doubling up.
+  column->ReserveRuns(std::min<size_t>(
+      row_count, (range.hi - range.lo) * kGvbBlockRows));
+  for (size_t b = range.lo; b < range.hi; ++b) {
+    s = reader.DecodeBlock(b, *present_rows, column);
+    if (!s.ok()) return s;
+  }
+  uint64_t decoded = range.hi - range.lo;
+  uint64_t skipped = reader.block_count() - decoded;
+  if (stats != nullptr) {
+    stats->blocks_decoded += decoded;
+    stats->blocks_skipped += skipped;
+  }
+  if (skipped > 0) XTOPK_COUNTER("storage.skip.blocks_skipped").Add(skipped);
+  return Status::Ok();
+}
+
+ColumnCodec ChooseCodec(const Column& column) {
+  if (column.run_count() == 0) return ColumnCodec::kRunLength;
+  double avg_run = static_cast<double>(column.row_count()) /
+                   static_cast<double>(column.run_count());
+  return avg_run >= kRleThreshold ? ColumnCodec::kRunLength
+                                  : ColumnCodec::kGroupVarint;
+}
+
+void EncodeColumn(const Column& column, ColumnCodec codec, std::string* out) {
+  EncodeColumnImpl(column, codec, out, /*count_metrics=*/true);
+}
+
+Status DecodeColumn(const std::string& data, size_t* pos,
+                    const std::vector<uint32_t>* present_rows,
+                    Column* column) {
+  return DecodeColumnImpl(data, pos, present_rows, /*bounds=*/nullptr, column,
+                          /*stats=*/nullptr);
+}
+
+Status DecodeColumnWithBounds(const std::string& data, size_t* pos,
+                              const std::vector<uint32_t>* present_rows,
+                              const ValueBounds& bounds, Column* column,
+                              SkipDecodeStats* stats) {
+  return DecodeColumnImpl(data, pos, present_rows, &bounds, column, stats);
+}
+
 size_t EncodedColumnSize(const Column& column, ColumnCodec codec) {
   std::string buf;
-  EncodeColumn(column, codec, &buf);
+  EncodeColumnImpl(column, codec, &buf, /*count_metrics=*/false);
   return buf.size();
 }
 

@@ -5,27 +5,36 @@
 #include <string>
 
 #include "storage/column.h"
+#include "storage/sparse_index.h"
 #include "util/status.h"
 
 namespace xtopk {
 
 /// On-disk column codecs (paper §III-D, after C-Store / Abadi et al.):
 ///
-/// * kDelta — for columns with many distinct values: rows are cut into
-///   fixed-size blocks; each block stores its first JDewey number in full
-///   and every subsequent value as a delta from its predecessor. Row ids
-///   are NOT stored: which rows are present in a column is implied by the
-///   per-row sequence lengths the list header already carries, so decoding
-///   takes the present-row list as input.
+/// * kDelta — legacy per-row varint stream: rows are cut into fixed-size
+///   blocks; each block stores its first JDewey number in full and every
+///   subsequent value as a delta from its predecessor. Row ids are NOT
+///   stored: which rows are present in a column is implied by the per-row
+///   sequence lengths the list header already carries, so decoding takes
+///   the present-row list as input. Kept for reading old segments; new
+///   builds write kGroupVarint instead.
 /// * kRunLength — for columns with few distinct values: each run is a
 ///   triple (v, r, c) = (value, first row, repeat count), delta-encoded
 ///   between consecutive triples (self-contained).
+/// * kGroupVarint — the same per-row delta stream as kDelta, but packed
+///   four values per control byte (group varint) in blocks of
+///   kGvbBlockRows rows, with a per-block skip directory
+///   (min_value, max_value, byte_offset) so readers decode only blocks
+///   whose value range can intersect a probe set, and decode them with a
+///   branch-light table-driven kernel (SIMD fast path, see util/simd.h).
 /// * kAuto — pick per column: run-length when the average run length is at
-///   least kRleThreshold, delta otherwise.
+///   least kRleThreshold, group-varint otherwise.
 enum class ColumnCodec : uint8_t {
   kDelta = 0,
   kRunLength = 1,
   kAuto = 2,
+  kGroupVarint = 3,
 };
 
 /// Average run length at or above which kAuto selects run-length encoding.
@@ -35,6 +44,26 @@ inline constexpr double kRleThreshold = 1.5;
 /// setting; we keep the block size in rows so the codec is deterministic.
 inline constexpr uint32_t kDeltaBlockRows = 2048;
 
+/// Rows per group-varint block (32 groups of 4). Small enough that a skip
+/// probe for a narrow value range touches few rows, large enough that the
+/// per-block directory entry (~4 bytes) stays under 1% overhead.
+inline constexpr uint32_t kGvbBlockRows = 128;
+
+/// Inclusive value range a reader is interested in. Used by
+/// DecodeColumnWithBounds to skip group-varint blocks whose
+/// [min_value, max_value] cannot intersect it.
+struct ValueBounds {
+  uint32_t lo = 0;
+  uint32_t hi = UINT32_MAX;
+};
+
+/// Per-decode skip effectiveness (also mirrored into the metrics registry
+/// as storage.skip.blocks_decoded / storage.skip.blocks_skipped).
+struct SkipDecodeStats {
+  uint64_t blocks_decoded = 0;
+  uint64_t blocks_skipped = 0;
+};
+
 /// Encodes `column` with `codec`, appending to `out`. With kAuto the chosen
 /// codec is recorded in the header so decode is self-describing.
 void EncodeColumn(const Column& column, ColumnCodec codec, std::string* out);
@@ -42,16 +71,77 @@ void EncodeColumn(const Column& column, ColumnCodec codec, std::string* out);
 /// Decodes a column previously written by EncodeColumn, starting at
 /// data[*pos]; advances *pos. `present_rows` lists the row ids present in
 /// this column in order (derived from the list's sequence lengths); it is
-/// required for kDelta-coded columns and ignored for kRunLength ones —
-/// pass nullptr only when the codec is known to be run-length.
+/// required for kDelta/kGroupVarint-coded columns and ignored for
+/// kRunLength ones — pass nullptr only when the codec is known to be
+/// run-length.
 Status DecodeColumn(const std::string& data, size_t* pos,
                     const std::vector<uint32_t>* present_rows,
                     Column* column);
 
+/// Like DecodeColumn, but for group-varint columns decodes only the blocks
+/// whose value range can intersect `bounds` — the output column then holds
+/// a contiguous subrange of the full column's runs (a superset of every
+/// run with a value in `bounds`). Other codecs decode fully. *pos always
+/// advances past the whole encoded column. `stats` (optional) accumulates
+/// skip effectiveness.
+Status DecodeColumnWithBounds(const std::string& data, size_t* pos,
+                              const std::vector<uint32_t>* present_rows,
+                              const ValueBounds& bounds, Column* column,
+                              SkipDecodeStats* stats);
+
+/// Random-access reader over one encoded group-varint column: parses the
+/// header and skip directory once, then decodes individual physical blocks
+/// on demand. This is what lets the index layer cache decoded fragments
+/// per block and reassemble wider ranges without re-running the codec.
+/// Borrows `data`; the string must outlive the reader.
+class GvbColumnReader {
+ public:
+  GvbColumnReader() = default;
+
+  /// Binds to the encoded column starting at data[pos] (the codec byte).
+  /// Returns InvalidArgument when the codec there is not kGroupVarint
+  /// (the caller falls back to DecodeColumn) and Corruption on a
+  /// malformed header.
+  Status Open(const std::string& data, size_t pos);
+
+  uint32_t row_count() const { return row_count_; }
+  uint32_t block_rows() const { return block_rows_; }
+  const BlockSkipIndex& skip() const { return skip_; }
+  size_t block_count() const { return skip_.block_count(); }
+  /// Rows held by physical block `b` (the last block may be partial).
+  uint32_t rows_in_block(size_t b) const;
+  /// First byte past the encoded column (header + all data blocks).
+  size_t end_pos() const { return end_pos_; }
+
+  /// Decodes physical block `b` standalone, appending its runs to
+  /// `column`. `present_rows` is the level's full present-row list (the
+  /// block's rows index into it at b * block_rows()).
+  Status DecodeBlock(size_t b, const std::vector<uint32_t>& present_rows,
+                     Column* column) const;
+
+ private:
+  friend Status DecodeGvbBody(const std::string& data, size_t* pos,
+                              uint32_t row_count,
+                              const std::vector<uint32_t>* present_rows,
+                              const ValueBounds* bounds, Column* column,
+                              SkipDecodeStats* stats);
+
+  Status OpenBody(const std::string& data, size_t pos, uint32_t row_count);
+
+  const std::string* data_ = nullptr;
+  uint32_t row_count_ = 0;
+  uint32_t block_rows_ = 0;
+  BlockSkipIndex skip_;
+  size_t data_start_ = 0;  // first byte of the data section
+  size_t end_pos_ = 0;
+};
+
 /// Codec kAuto would choose for `column`.
 ColumnCodec ChooseCodec(const Column& column);
 
-/// Encoded size without materializing the bytes (index-size stats).
+/// Encoded size without side effects (index-size stats / planner sizing):
+/// unlike EncodeColumn this does not bump the storage.codec.* counters, so
+/// size probes never inflate EXPLAIN's encode counts.
 size_t EncodedColumnSize(const Column& column, ColumnCodec codec);
 
 }  // namespace xtopk

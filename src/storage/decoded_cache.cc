@@ -27,6 +27,23 @@ void DecodedBlockCache::PutColumn(uint64_t column_id, uint32_t level,
              cost);
 }
 
+std::shared_ptr<const Column> DecodedBlockCache::GetColumnBlock(
+    uint64_t column_id, uint32_t level, uint32_t block_idx) {
+  auto value = cache_.Get(DecodedBlockKey{column_id, level, block_idx + 1});
+  if (!value) return nullptr;
+  auto* column = std::get_if<std::shared_ptr<const Column>>(&*value);
+  return column == nullptr ? nullptr : *column;
+}
+
+void DecodedBlockCache::PutColumnBlock(uint64_t column_id, uint32_t level,
+                                       uint32_t block_idx,
+                                       std::shared_ptr<const Column> fragment) {
+  if (fragment == nullptr) return;
+  size_t cost = kEntryOverhead + fragment->runs().size() * sizeof(Run);
+  cache_.Put(DecodedBlockKey{column_id, level, block_idx + 1},
+             Value(std::move(fragment)), cost);
+}
+
 std::shared_ptr<const std::vector<uint16_t>> DecodedBlockCache::GetLengths(
     uint64_t column_id) {
   auto value = cache_.Get(DecodedBlockKey{column_id, kLengthsBlock});

@@ -14,21 +14,27 @@ namespace xtopk {
 /// Cache key: one decoded artifact of one inverted list. `column_id` is the
 /// stable id of the list (the disk directory's term id), `block` selects
 /// which decode product: a 1-based column level, or one of the reserved
-/// pseudo-blocks for the per-row lengths / scores streams.
+/// pseudo-blocks for the per-row lengths / scores streams. `sub` keys the
+/// granularity within the level: 0 is the whole decoded column, 1 + b is
+/// the decoded fragment of physical block b of a group-varint column — so
+/// a partial (skip) decode caches per block and later queries reassemble
+/// wider ranges from fragments without touching the codec again.
 struct DecodedBlockKey {
   uint64_t column_id = 0;
   uint32_t block = 0;
+  uint32_t sub = 0;
 
   bool operator==(const DecodedBlockKey& other) const {
-    return column_id == other.column_id && block == other.block;
+    return column_id == other.column_id && block == other.block &&
+           sub == other.sub;
   }
 };
 
 struct DecodedBlockKeyHash {
   size_t operator()(const DecodedBlockKey& key) const {
-    return static_cast<size_t>(key.column_id * 0x9e3779b97f4a7c15ull ^
-                               (static_cast<uint64_t>(key.block) << 32 ^
-                                key.block));
+    uint64_t mixed = (static_cast<uint64_t>(key.block) << 32) | key.sub;
+    return static_cast<size_t>((key.column_id * 0x9e3779b97f4a7c15ull) ^
+                               (mixed * 0xff51afd7ed558ccdull));
   }
 };
 
@@ -57,6 +63,14 @@ class DecodedBlockCache {
   std::shared_ptr<const Column> GetColumn(uint64_t column_id, uint32_t level);
   void PutColumn(uint64_t column_id, uint32_t level,
                  std::shared_ptr<const Column> column);
+
+  /// Per-physical-block fragments of a group-varint column (skip decodes).
+  /// `block_idx` is the 0-based block within the level's encoded column.
+  std::shared_ptr<const Column> GetColumnBlock(uint64_t column_id,
+                                               uint32_t level,
+                                               uint32_t block_idx);
+  void PutColumnBlock(uint64_t column_id, uint32_t level, uint32_t block_idx,
+                      std::shared_ptr<const Column> fragment);
 
   std::shared_ptr<const std::vector<uint16_t>> GetLengths(uint64_t column_id);
   void PutLengths(uint64_t column_id,

@@ -57,9 +57,18 @@ Status WriteFile(const std::string& path, const std::string& contents) {
 }
 
 Status ReadFile(const std::string& path, std::string* contents) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::ifstream in(path, std::ios::binary);
+  // A directory opens fine on Linux but reports LLONG_MAX from tellg()
+  // and fails every read; probe with peek() before sizing the buffer so
+  // such paths surface as IoError instead of a bad_alloc from resize().
+  // An empty regular file only sets eofbit here, which is fine.
+  if (!in || (in.peek(), in.bad())) {
+    return Status::IoError("cannot open for read: " + path);
+  }
+  in.clear();
+  in.seekg(0, std::ios::end);
   std::streamsize size = in.tellg();
+  if (size < 0) return Status::IoError("cannot stat for read: " + path);
   in.seekg(0);
   contents->resize(static_cast<size_t>(size));
   in.read(contents->data(), size);

@@ -80,4 +80,59 @@ Status SparseIndex::Decode(const std::string& data, size_t* pos,
   return Status::Ok();
 }
 
+void BlockSkipIndex::AddBlock(uint32_t min_value, uint32_t max_value,
+                              uint32_t byte_len) {
+  min_values_.push_back(min_value);
+  max_values_.push_back(max_value);
+  byte_lens_.push_back(byte_len);
+  byte_offsets_.push_back(data_bytes_);
+  data_bytes_ += byte_len;
+}
+
+BlockSkipIndex::Range BlockSkipIndex::ProbeRange(uint32_t lo_value,
+                                                 uint32_t hi_value) const {
+  // First block whose max reaches lo_value; first block whose min exceeds
+  // hi_value. Both vectors are sorted, so the overlap set is one interval.
+  auto lo_it =
+      std::lower_bound(max_values_.begin(), max_values_.end(), lo_value);
+  auto hi_it =
+      std::upper_bound(min_values_.begin(), min_values_.end(), hi_value);
+  Range range;
+  range.lo = static_cast<size_t>(lo_it - max_values_.begin());
+  range.hi = std::max(
+      range.lo, static_cast<size_t>(hi_it - min_values_.begin()));
+  return range;
+}
+
+void BlockSkipIndex::Encode(std::string* out) const {
+  varint::PutU32(out, static_cast<uint32_t>(block_count()));
+  uint32_t prev_max = 0;
+  for (size_t b = 0; b < block_count(); ++b) {
+    varint::PutU32(out, min_values_[b] - prev_max);
+    varint::PutU32(out, max_values_[b] - min_values_[b]);
+    varint::PutU32(out, byte_lens_[b]);
+    prev_max = max_values_[b];
+  }
+}
+
+Status BlockSkipIndex::Decode(const std::string& data, size_t* pos,
+                              BlockSkipIndex* out) {
+  *out = BlockSkipIndex();
+  uint32_t count = 0;
+  Status s = varint::GetU32(data, pos, &count);
+  if (!s.ok()) return s;
+  uint32_t prev_max = 0;
+  for (uint32_t b = 0; b < count; ++b) {
+    uint32_t dmin = 0, span = 0, len = 0;
+    s = varint::GetU32(data, pos, &dmin);
+    if (s.ok()) s = varint::GetU32(data, pos, &span);
+    if (s.ok()) s = varint::GetU32(data, pos, &len);
+    if (!s.ok()) return s;
+    uint32_t min_value = prev_max + dmin;
+    out->AddBlock(min_value, min_value + span, len);
+    prev_max = min_value + span;
+  }
+  return Status::Ok();
+}
+
 }  // namespace xtopk

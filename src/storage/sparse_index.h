@@ -44,6 +44,50 @@ class SparseIndex {
   uint32_t total_runs_ = 0;
 };
 
+/// Per-block skip directory of a group-varint coded column (DESIGN.md §8).
+/// Each fixed-row block contributes `(min_value, max_value, byte_len)`;
+/// row offsets are implied by the block-row stride and byte offsets by a
+/// prefix sum, so the serialized form is three varints per block with the
+/// min delta-coded against the previous max (values are non-decreasing
+/// across blocks, Property 3.1). A probe for value range [lo, hi] returns
+/// the contiguous block range that can intersect it — everything outside
+/// is skipped without decoding.
+class BlockSkipIndex {
+ public:
+  BlockSkipIndex() = default;
+
+  /// Appends the next block's metadata (blocks arrive in column order).
+  void AddBlock(uint32_t min_value, uint32_t max_value, uint32_t byte_len);
+
+  /// Contiguous block range [lo, hi) whose value ranges can intersect
+  /// [lo_value, hi_value]. Monotone values make the overlap set contiguous.
+  struct Range {
+    size_t lo = 0;
+    size_t hi = 0;
+  };
+  Range ProbeRange(uint32_t lo_value, uint32_t hi_value) const;
+
+  size_t block_count() const { return min_values_.size(); }
+  uint32_t min_value(size_t block) const { return min_values_[block]; }
+  uint32_t max_value(size_t block) const { return max_values_[block]; }
+  uint32_t byte_len(size_t block) const { return byte_lens_[block]; }
+  /// Byte offset of `block`'s data relative to the data section start.
+  uint64_t byte_offset(size_t block) const { return byte_offsets_[block]; }
+  /// Total bytes of the data section (all blocks back to back).
+  uint64_t data_bytes() const { return data_bytes_; }
+
+  void Encode(std::string* out) const;
+  static Status Decode(const std::string& data, size_t* pos,
+                       BlockSkipIndex* out);
+
+ private:
+  std::vector<uint32_t> min_values_;    // non-decreasing
+  std::vector<uint32_t> max_values_;    // non-decreasing
+  std::vector<uint32_t> byte_lens_;
+  std::vector<uint64_t> byte_offsets_;  // prefix sums of byte_lens_
+  uint64_t data_bytes_ = 0;
+};
+
 }  // namespace xtopk
 
 #endif  // XTOPK_STORAGE_SPARSE_INDEX_H_

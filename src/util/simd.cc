@@ -1,0 +1,168 @@
+#include "util/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#if defined(XTOPK_SIMD) && (defined(__x86_64__) || defined(__i386__))
+#include <tmmintrin.h>
+#define XTOPK_GVB_SSE 1
+#elif defined(XTOPK_SIMD) && defined(__aarch64__)
+#include <arm_neon.h>
+#define XTOPK_GVB_NEON 1
+#endif
+
+namespace xtopk {
+namespace simd {
+namespace {
+
+/// Shuffle masks and group byte lengths, one entry per control byte. Lane i
+/// of the mask gathers the (1 + 2-bit length code) payload bytes of value i
+/// into a little-endian uint32; unused lanes read index 0xFF, which both
+/// pshufb and tbl turn into zero bytes.
+struct GvbTables {
+  alignas(16) uint8_t shuffle[256][16] = {};
+  uint8_t length[256] = {};
+};
+
+constexpr GvbTables BuildGvbTables() {
+  GvbTables t;
+  for (int ctrl = 0; ctrl < 256; ++ctrl) {
+    uint8_t offset = 0;
+    for (int lane = 0; lane < 4; ++lane) {
+      uint8_t len = static_cast<uint8_t>(((ctrl >> (2 * lane)) & 3) + 1);
+      for (int byte = 0; byte < 4; ++byte) {
+        t.shuffle[ctrl][lane * 4 + byte] =
+            byte < len ? static_cast<uint8_t>(offset + byte) : 0xFF;
+      }
+      offset = static_cast<uint8_t>(offset + len);
+    }
+    t.length[ctrl] = offset;  // payload bytes, control byte not included
+  }
+  return t;
+}
+
+constexpr GvbTables kGvb = BuildGvbTables();
+
+#if defined(XTOPK_GVB_SSE)
+__attribute__((target("ssse3"))) size_t GvbDecodeValuesSse(const uint8_t* src,
+                                                           size_t src_len,
+                                                           uint32_t* out,
+                                                           size_t count) {
+  const uint8_t* p = src;
+  const uint8_t* end = src + src_len;
+  size_t i = 0;
+  // Full groups with 16 readable payload bytes: one shuffle per group. The
+  // tail (short payload or partial group) falls through to the scalar loop.
+  while (i + 4 <= count && p + 17 <= end) {
+    uint8_t ctrl = *p++;
+    __m128i raw = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    __m128i mask =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(kGvb.shuffle[ctrl]));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm_shuffle_epi8(raw, mask));
+    p += kGvb.length[ctrl];
+    i += 4;
+  }
+  if (i == count) return static_cast<size_t>(p - src);
+  size_t tail = GvbDecodeValuesScalar(p, static_cast<size_t>(end - p), out + i,
+                                      count - i);
+  return tail == 0 ? 0 : static_cast<size_t>(p - src) + tail;
+}
+#endif
+
+#if defined(XTOPK_GVB_NEON)
+size_t GvbDecodeValuesNeon(const uint8_t* src, size_t src_len, uint32_t* out,
+                           size_t count) {
+  const uint8_t* p = src;
+  const uint8_t* end = src + src_len;
+  size_t i = 0;
+  while (i + 4 <= count && p + 17 <= end) {
+    uint8_t ctrl = *p++;
+    uint8x16_t raw = vld1q_u8(p);
+    uint8x16_t mask = vld1q_u8(kGvb.shuffle[ctrl]);
+    vst1q_u8(reinterpret_cast<uint8_t*>(out + i), vqtbl1q_u8(raw, mask));
+    p += kGvb.length[ctrl];
+    i += 4;
+  }
+  if (i == count) return static_cast<size_t>(p - src);
+  size_t tail = GvbDecodeValuesScalar(p, static_cast<size_t>(end - p), out + i,
+                                      count - i);
+  return tail == 0 ? 0 : static_cast<size_t>(p - src) + tail;
+}
+#endif
+
+bool DetectGvbSimd() {
+#if defined(XTOPK_GVB_SSE)
+  return __builtin_cpu_supports("ssse3") != 0;
+#elif defined(XTOPK_GVB_NEON)
+  return true;  // NEON is baseline on aarch64
+#else
+  return false;
+#endif
+}
+
+bool InitialEnabled() {
+  if (!DetectGvbSimd()) return false;
+  const char* env = std::getenv("XTOPK_DISABLE_SIMD");
+  if (env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0')) {
+    return false;
+  }
+  return true;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{InitialEnabled()};
+  return enabled;
+}
+
+}  // namespace
+
+bool GvbSimdAvailable() {
+  static const bool available = DetectGvbSimd();
+  return available;
+}
+
+bool GvbSimdEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetGvbSimdEnabled(bool enabled) {
+  EnabledFlag().store(enabled && GvbSimdAvailable(),
+                      std::memory_order_relaxed);
+}
+
+size_t GvbDecodeValuesScalar(const uint8_t* src, size_t src_len, uint32_t* out,
+                             size_t count) {
+  const uint8_t* p = src;
+  const uint8_t* end = src + src_len;
+  size_t i = 0;
+  while (i < count) {
+    if (p >= end) return 0;
+    uint8_t ctrl = *p++;
+    size_t group = count - i < 4 ? count - i : 4;
+    for (size_t lane = 0; lane < group; ++lane) {
+      uint32_t len = ((ctrl >> (2 * lane)) & 3u) + 1;
+      if (static_cast<size_t>(end - p) < len) return 0;
+      uint32_t v = 0;
+      for (uint32_t b = 0; b < len; ++b) {
+        v |= static_cast<uint32_t>(p[b]) << (8 * b);
+      }
+      p += len;
+      out[i++] = v;
+    }
+  }
+  return static_cast<size_t>(p - src);
+}
+
+size_t GvbDecodeValues(const uint8_t* src, size_t src_len, uint32_t* out,
+                       size_t count) {
+#if defined(XTOPK_GVB_SSE)
+  if (GvbSimdEnabled()) return GvbDecodeValuesSse(src, src_len, out, count);
+#elif defined(XTOPK_GVB_NEON)
+  if (GvbSimdEnabled()) return GvbDecodeValuesNeon(src, src_len, out, count);
+#endif
+  return GvbDecodeValuesScalar(src, src_len, out, count);
+}
+
+}  // namespace simd
+}  // namespace xtopk

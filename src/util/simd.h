@@ -1,0 +1,51 @@
+#ifndef XTOPK_UTIL_SIMD_H_
+#define XTOPK_UTIL_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xtopk {
+
+/// Runtime dispatch for the vectorized decode kernels (DESIGN.md §8).
+///
+/// The group-varint (GVB) codec packs four values per control byte; decoding
+/// a group is a table-driven byte shuffle, which SSSE3 (`_mm_shuffle_epi8`)
+/// and NEON (`vqtbl1q_u8`) execute in one instruction. The kernels here are
+/// bit-identical to the portable scalar path — the fast path is selected at
+/// runtime (CPU probe + `XTOPK_DISABLE_SIMD` env override), so a corpus
+/// encoded on one machine decodes to the same runs on any other.
+///
+/// Compile-time gate: the vector kernels are built only when the library is
+/// configured with `XTOPK_SIMD` (CMake option, default ON); without it every
+/// call takes the scalar path and the binary carries no vector code.
+namespace simd {
+
+/// True iff the vector GVB kernel is compiled in and this CPU supports it.
+bool GvbSimdAvailable();
+
+/// True iff the next GvbDecodeValues call will take the vector path.
+/// Defaults to GvbSimdAvailable() unless the XTOPK_DISABLE_SIMD environment
+/// variable is set (any value but "0") or SetGvbSimdEnabled(false) was
+/// called.
+bool GvbSimdEnabled();
+
+/// Forces the scalar (false) or vector (true, clamped to availability) path.
+/// For the scalar-vs-SIMD equivalence tests and the decode ablation bench.
+void SetGvbSimdEnabled(bool enabled);
+
+/// Decodes `count` group-varint values (groups of four, 2-bit length codes
+/// in a leading control byte, payload little-endian) from `src`. Writes the
+/// raw values — callers prefix-sum deltas themselves. Returns the number of
+/// input bytes consumed, or 0 if `src_len` ends mid-group (corruption).
+size_t GvbDecodeValues(const uint8_t* src, size_t src_len, uint32_t* out,
+                       size_t count);
+
+/// The portable reference kernel (always available; the equivalence tests
+/// and the ablation bench call it directly).
+size_t GvbDecodeValuesScalar(const uint8_t* src, size_t src_len, uint32_t* out,
+                             size_t count);
+
+}  // namespace simd
+}  // namespace xtopk
+
+#endif  // XTOPK_UTIL_SIMD_H_

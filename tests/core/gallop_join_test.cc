@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/join_ops.h"
+#include "core/join_planner.h"
+#include "util/rng.h"
+
+namespace xtopk {
+namespace {
+
+/// A column of `n` distinct values drawn sparsely from [0, universe).
+Column RandomSortedColumn(uint64_t seed, size_t n, uint64_t universe) {
+  Rng rng(seed);
+  Column col;
+  uint64_t value = 0;
+  uint32_t row = 0;
+  for (size_t i = 0; i < n; ++i) {
+    value += 1 + rng.NextBounded(universe / n + 1);
+    uint32_t count = 1 + static_cast<uint32_t>(rng.NextBounded(3));
+    for (uint32_t c = 0; c < count; ++c) {
+      col.Append(row++, static_cast<uint32_t>(value));
+    }
+  }
+  return col;
+}
+
+void ExpectSameMatches(const std::vector<LevelMatch>& a,
+                       const std::vector<LevelMatch>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].value, b[i].value) << i;
+    ASSERT_EQ(a[i].runs.size(), b[i].runs.size()) << i;
+    for (size_t j = 0; j < a[i].runs.size(); ++j) {
+      EXPECT_EQ(a[i].runs[j], b[i].runs[j]) << i << "," << j;
+    }
+  }
+}
+
+TEST(GallopJoinTest, MatchesMergeIntersectBothSkews) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    // Small-left / big-right (the gallop sweet spot) and the reverse.
+    for (auto [ls, rs] : {std::pair<size_t, size_t>{40, 4000},
+                          {4000, 40},
+                          {500, 500},
+                          {1, 1000},
+                          {1000, 1}}) {
+      Column left = RandomSortedColumn(seed, ls, 100000);
+      Column right = RandomSortedColumn(seed + 77, rs, 100000);
+      JoinOpStats merge_stats, gallop_stats;
+      auto merged =
+          MergeIntersect(SeedMatches(left), right, &merge_stats);
+      auto galloped =
+          GallopIntersect(SeedMatches(left), right, &gallop_stats);
+      ExpectSameMatches(merged, galloped);
+      EXPECT_EQ(gallop_stats.gallop_joins, 1u);
+      EXPECT_EQ(merge_stats.merge_joins, 1u);
+    }
+  }
+}
+
+TEST(GallopJoinTest, EdgeCases) {
+  Column empty;
+  Column one;
+  one.Append(0, 42);
+  JoinOpStats stats;
+  EXPECT_TRUE(GallopIntersect(SeedMatches(empty), one, &stats).empty());
+  EXPECT_TRUE(GallopIntersect(SeedMatches(one), empty, &stats).empty());
+  auto self = GallopIntersect(SeedMatches(one), one, &stats);
+  ASSERT_EQ(self.size(), 1u);
+  EXPECT_EQ(self[0].value, 42u);
+}
+
+TEST(GallopJoinTest, GallopBeatsMergeOnSkewedInputs) {
+  // 50 probe values against 100k: galloping should step far fewer cursors
+  // than the linear merge scan.
+  Column small = RandomSortedColumn(5, 50, 10000000);
+  Column big = RandomSortedColumn(6, 100000, 10000000);
+  JoinOpStats merge_stats, gallop_stats;
+  MergeIntersect(SeedMatches(small), big, &merge_stats);
+  GallopIntersect(SeedMatches(small), big, &gallop_stats);
+  EXPECT_LT(gallop_stats.run_comparisons, merge_stats.run_comparisons / 10);
+  EXPECT_GT(gallop_stats.gallops, 0u);
+}
+
+TEST(GallopJoinTest, PlannerPicksAlgoByShape) {
+  PlannerOptions options;  // defaults: index at 16x, gallop at 8x
+  EXPECT_EQ(ChooseJoinAlgo(1000, 1000, options), JoinAlgo::kMerge);
+  EXPECT_EQ(ChooseJoinAlgo(1000, 1200, options), JoinAlgo::kMerge);
+  EXPECT_EQ(ChooseJoinAlgo(100, 900, options), JoinAlgo::kGallop);
+  EXPECT_EQ(ChooseJoinAlgo(900, 100, options), JoinAlgo::kGallop);
+  EXPECT_EQ(ChooseJoinAlgo(10, 1000, options), JoinAlgo::kIndex);
+
+  PlannerOptions force_merge;
+  force_merge.policy = JoinPolicy::kForceMerge;
+  EXPECT_EQ(ChooseJoinAlgo(10, 1000, force_merge), JoinAlgo::kMerge);
+  PlannerOptions force_index;
+  force_index.policy = JoinPolicy::kForceIndex;
+  EXPECT_EQ(ChooseJoinAlgo(1000, 1000, force_index), JoinAlgo::kIndex);
+}
+
+}  // namespace
+}  // namespace xtopk

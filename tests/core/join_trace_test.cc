@@ -35,7 +35,8 @@ TEST(JoinTraceTest, TraceIsConsistentWithStatsAndResults) {
   EXPECT_EQ(result_count, stats.results);
   EXPECT_EQ(result_count, results.size());
   EXPECT_EQ(erased, stats.rows_erased);
-  EXPECT_EQ(steps, stats.join_ops.merge_joins + stats.join_ops.index_joins);
+  EXPECT_EQ(steps, stats.join_ops.merge_joins + stats.join_ops.index_joins +
+                       stats.join_ops.gallop_joins);
 }
 
 TEST(JoinTraceTest, DynamicDecisionsVisiblePerLevel) {

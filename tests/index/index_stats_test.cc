@@ -28,8 +28,10 @@ TEST(IndexStatsTest, ReportHasEveryFamilyAndExpectedOrdering) {
   // Table I orderings that must hold at any scale:
   // scores + segment orders make the top-K IL bigger;
   EXPECT_GT(report.topk_join_il, report.join_based_il);
-  // the per-(keyword, Dewey) B-tree dwarfs the lists;
-  EXPECT_GT(report.index_based_btree, report.join_based_il * 2);
+  // the per-(keyword, Dewey) B-tree dwarfs the lists (margin 1.5x: the
+  // group-varint codec trades ~25% list size over plain delta for decode
+  // speed, which thinned the old 2x headroom on tiny corpora);
+  EXPECT_GT(report.index_based_btree, report.join_based_il * 3 / 2);
   // the sparse indexes are small relative to the lists;
   EXPECT_LT(report.join_based_sparse, report.join_based_il);
   // RDIL's score-ordered full-id entries beat prefix compression.

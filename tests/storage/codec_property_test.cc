@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/compression.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace xtopk {
+namespace {
+
+std::vector<uint32_t> PresentRows(const Column& col) {
+  std::vector<uint32_t> rows;
+  for (const Run& run : col.runs()) {
+    for (uint32_t i = 0; i < run.count; ++i) rows.push_back(run.first_row + i);
+  }
+  return rows;
+}
+
+/// Random column generator with tunable duplicate probability, row gaps and
+/// value jumps — `jump_bits` controls the delta magnitude so large values
+/// exercise the 3/4/5-byte varint lanes, not just the 1-byte fast case.
+Column RandomColumn(uint64_t seed, uint32_t rows, double dup_prob,
+                    uint32_t jump_bits) {
+  Rng rng(seed);
+  Column col;
+  uint32_t row = 0;
+  uint32_t value = 1 + static_cast<uint32_t>(rng.NextBounded(1000));
+  for (uint32_t i = 0; i < rows; ++i) {
+    col.Append(row, value);
+    ++row;
+    if (!rng.NextBernoulli(dup_prob)) {
+      uint64_t jump = 1 + rng.NextBounded(1ull << jump_bits);
+      // Saturate instead of wrapping: values must stay non-decreasing.
+      value = static_cast<uint32_t>(
+          std::min<uint64_t>(value + jump, 0xFFFFFFFEull));
+      if (rng.NextBernoulli(0.1)) row += 1 + rng.NextBounded(3);
+    }
+  }
+  return col;
+}
+
+void ExpectColumnsEqual(const Column& a, const Column& b,
+                        const std::string& what) {
+  ASSERT_EQ(a.run_count(), b.run_count()) << what;
+  for (size_t i = 0; i < a.run_count(); ++i) {
+    ASSERT_EQ(a.runs()[i], b.runs()[i]) << what << " run " << i;
+  }
+}
+
+/// Round-trips `col` through `codec` and checks equality.
+void RoundTrip(const Column& col, ColumnCodec codec, const std::string& what) {
+  std::string buf;
+  EncodeColumn(col, codec, &buf);
+  std::vector<uint32_t> rows = PresentRows(col);
+  Column out;
+  size_t pos = 0;
+  ASSERT_TRUE(DecodeColumn(buf, &pos, &rows, &out).ok()) << what;
+  ASSERT_EQ(pos, buf.size()) << what;
+  ExpectColumnsEqual(col, out, what);
+}
+
+TEST(CodecPropertyTest, AllCodecsRoundTripRandomized) {
+  // Row counts straddle the GVB block boundary (kGvbBlockRows = 128) and
+  // the group width (4): empty tail groups, partial tail groups, partial
+  // tail blocks, single-block and multi-block columns.
+  const uint32_t kRows[] = {1,   2,   3,   4,  5,   127, 128,
+                            129, 131, 255, 256, 500, 1000, 4097};
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    for (uint32_t rows : kRows) {
+      double dup = static_cast<double>(seed % 10) / 10.0;
+      uint32_t jump_bits = 4 + seed % 26;  // up to ~2^29 deltas: 5-byte varints
+      Column col = RandomColumn(seed * 1000 + rows, rows, dup, jump_bits);
+      std::string what = "seed=" + std::to_string(seed) +
+                         " rows=" + std::to_string(rows);
+      RoundTrip(col, ColumnCodec::kDelta, what + " delta");
+      RoundTrip(col, ColumnCodec::kRunLength, what + " rle");
+      RoundTrip(col, ColumnCodec::kGroupVarint, what + " gvb");
+      RoundTrip(col, ColumnCodec::kAuto, what + " auto");
+    }
+  }
+}
+
+TEST(CodecPropertyTest, GroupVarintEmptyAndSingleRow) {
+  Column empty;
+  RoundTrip(empty, ColumnCodec::kGroupVarint, "empty");
+  Column one;
+  one.Append(0, 123456789);
+  RoundTrip(one, ColumnCodec::kGroupVarint, "single row");
+}
+
+TEST(CodecPropertyTest, GroupVarintMaxValues) {
+  // First value needs all five varint bytes; later lanes the full 4 bytes.
+  Column col;
+  for (uint32_t i = 0; i < 300; ++i) col.Append(i, 0xFFFFFF00u + i);
+  RoundTrip(col, ColumnCodec::kGroupVarint, "max values");
+}
+
+TEST(CodecPropertyTest, GroupVarintTruncatedIsCorruption) {
+  Column col = RandomColumn(7, 600, 0.2, 16);
+  std::string buf;
+  EncodeColumn(col, ColumnCodec::kGroupVarint, &buf);
+  std::vector<uint32_t> rows = PresentRows(col);
+  for (size_t cut : {buf.size() / 4, buf.size() / 2, buf.size() - 1}) {
+    std::string trunc = buf.substr(0, cut);
+    Column out;
+    size_t pos = 0;
+    EXPECT_FALSE(DecodeColumn(trunc, &pos, &rows, &out).ok()) << cut;
+  }
+}
+
+TEST(CodecPropertyTest, ScalarAndSimdDecodesMatch) {
+  if (!simd::GvbSimdAvailable()) {
+    GTEST_SKIP() << "no vector kernel on this build/CPU";
+  }
+  for (uint64_t seed = 50; seed < 62; ++seed) {
+    Column col = RandomColumn(seed, 2000, 0.1, 4 + seed % 26);
+    std::string buf;
+    EncodeColumn(col, ColumnCodec::kGroupVarint, &buf);
+    std::vector<uint32_t> rows = PresentRows(col);
+
+    simd::SetGvbSimdEnabled(false);
+    Column scalar_out;
+    size_t pos = 0;
+    ASSERT_TRUE(DecodeColumn(buf, &pos, &rows, &scalar_out).ok());
+
+    simd::SetGvbSimdEnabled(true);
+    Column simd_out;
+    pos = 0;
+    ASSERT_TRUE(DecodeColumn(buf, &pos, &rows, &simd_out).ok());
+    simd::SetGvbSimdEnabled(true);  // leave default state behind
+
+    ExpectColumnsEqual(scalar_out, simd_out, "seed=" + std::to_string(seed));
+  }
+}
+
+TEST(CodecPropertyTest, RawKernelsAgreeOnHandPackedGroups) {
+  // Hand-pack random values as group varint (4 per control byte) and feed
+  // both kernels the identical buffer.
+  Rng rng(99);
+  for (int round = 0; round < 50; ++round) {
+    size_t count = 1 + rng.NextBounded(70);
+    std::vector<uint32_t> values(count);
+    std::string buf;
+    for (size_t i = 0; i < count; i += 4) {
+      size_t n = std::min<size_t>(4, count - i);
+      uint8_t ctrl = 0;
+      std::string payload;
+      for (size_t j = 0; j < n; ++j) {
+        uint32_t v = static_cast<uint32_t>(
+            rng.NextBounded(1ull << (1 + rng.NextBounded(32))));
+        values[i + j] = v;
+        uint8_t len = v < (1u << 8) ? 1 : v < (1u << 16) ? 2 : v < (1u << 24) ? 3 : 4;
+        ctrl |= static_cast<uint8_t>((len - 1) << (2 * j));
+        for (uint8_t b = 0; b < len; ++b) {
+          payload.push_back(static_cast<char>((v >> (8 * b)) & 0xFF));
+        }
+      }
+      buf.push_back(static_cast<char>(ctrl));
+      buf.append(payload);
+    }
+    std::vector<uint32_t> scalar_out(count), simd_out(count);
+    const uint8_t* src = reinterpret_cast<const uint8_t*>(buf.data());
+    size_t scalar_used =
+        simd::GvbDecodeValuesScalar(src, buf.size(), scalar_out.data(), count);
+    size_t simd_used =
+        simd::GvbDecodeValues(src, buf.size(), simd_out.data(), count);
+    ASSERT_EQ(scalar_used, buf.size());
+    ASSERT_EQ(simd_used, scalar_used) << "round " << round;
+    ASSERT_EQ(scalar_out, simd_out) << "round " << round;
+    EXPECT_EQ(scalar_out, values) << "round " << round;
+  }
+}
+
+TEST(CodecPropertyTest, BoundsDecodeKeepsEveryRunInRange) {
+  Rng rng(7);
+  for (uint64_t seed = 100; seed < 112; ++seed) {
+    Column col = RandomColumn(seed, 3000, 0.3, 10);
+    std::string buf;
+    EncodeColumn(col, ColumnCodec::kGroupVarint, &buf);
+    std::vector<uint32_t> rows = PresentRows(col);
+
+    uint32_t max_value = col.runs().back().value;
+    for (int probe = 0; probe < 8; ++probe) {
+      uint32_t a = static_cast<uint32_t>(rng.NextBounded(max_value + 1));
+      uint32_t b = static_cast<uint32_t>(rng.NextBounded(max_value + 1));
+      ValueBounds bounds{std::min(a, b), std::max(a, b)};
+      Column out;
+      SkipDecodeStats stats;
+      size_t pos = 0;
+      ASSERT_TRUE(DecodeColumnWithBounds(buf, &pos, &rows, bounds, &out, &stats)
+                      .ok());
+      EXPECT_EQ(pos, buf.size());  // pos advances past the whole column
+
+      // The partial column is a contiguous run-subsequence of the full one
+      // containing every run whose value lies in bounds.
+      size_t first_in_range = col.run_count();
+      for (size_t i = 0; i < col.run_count(); ++i) {
+        if (col.runs()[i].value >= bounds.lo) {
+          first_in_range = i;
+          break;
+        }
+      }
+      // Each partial run is a piece of the full column's run with that
+      // value — out-of-bounds runs at the edges may be clipped at a block
+      // boundary, never grown or invented.
+      for (const auto& partial_run : out.runs()) {
+        const auto* full = col.FindValue(partial_run.value);
+        ASSERT_NE(full, nullptr) << partial_run.value;
+        EXPECT_GE(partial_run.first_row, full->first_row);
+        EXPECT_LE(partial_run.end_row(), full->end_row());
+      }
+      // Every run whose value lies inside the bounds survives whole: all
+      // its blocks overlap [lo, hi], so none of them were skipped.
+      for (size_t i = first_in_range; i < col.run_count(); ++i) {
+        const auto& in_range_run = col.runs()[i];
+        if (in_range_run.value > bounds.hi) break;
+        const auto* got = out.FindValue(in_range_run.value);
+        ASSERT_NE(got, nullptr)
+            << "seed=" << seed << " run value " << in_range_run.value;
+        EXPECT_EQ(*got, in_range_run) << "seed=" << seed;
+      }
+    }
+
+    // A narrow probe on a multi-block column actually skips blocks.
+    SkipDecodeStats stats;
+    Column out;
+    size_t pos = 0;
+    ValueBounds narrow{0, col.runs().front().value};
+    ASSERT_TRUE(
+        DecodeColumnWithBounds(buf, &pos, &rows, narrow, &out, &stats).ok());
+    EXPECT_GT(stats.blocks_skipped, 0u) << "seed=" << seed;
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(CodecPropertyTest, BoundsDecodeOfOtherCodecsIsFull) {
+  Column col = RandomColumn(3, 400, 0.9, 4);
+  for (ColumnCodec codec : {ColumnCodec::kDelta, ColumnCodec::kRunLength}) {
+    std::string buf;
+    EncodeColumn(col, codec, &buf);
+    std::vector<uint32_t> rows = PresentRows(col);
+    Column out;
+    size_t pos = 0;
+    ASSERT_TRUE(DecodeColumnWithBounds(buf, &pos, &rows, ValueBounds{5, 6},
+                                       &out, nullptr)
+                    .ok());
+    ExpectColumnsEqual(col, out, "non-gvb bounds decode is full");
+  }
+}
+
+}  // namespace
+}  // namespace xtopk

@@ -67,9 +67,9 @@ TEST(CompressionTest, AutoPicksRunLengthForDuplicateHeavy) {
   EXPECT_EQ(ChooseCodec(col), ColumnCodec::kRunLength);
 }
 
-TEST(CompressionTest, AutoPicksDeltaForDistinctHeavy) {
+TEST(CompressionTest, AutoPicksGroupVarintForDistinctHeavy) {
   Column col = RandomColumn(4, 1000, /*dup_prob=*/0.0);
-  EXPECT_EQ(ChooseCodec(col), ColumnCodec::kDelta);
+  EXPECT_EQ(ChooseCodec(col), ColumnCodec::kGroupVarint);
 }
 
 TEST(CompressionTest, RunLengthBeatsDeltaOnDuplicates) {
