@@ -5,13 +5,20 @@
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "btree/btree.h"
 #include "core/join_ops.h"
+#include "index/disk_index.h"
+#include "index/index_builder.h"
 #include "util/interval_set.h"
 #include "util/rng.h"
 #include "xml/jdewey.h"
+#include "xml/xml_tree.h"
 
 namespace {
 
@@ -150,6 +157,92 @@ void BM_IntervalSetPruning(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_IntervalSetPruning);
+
+/// One disk segment per container format, shared by the full-decode pair
+/// below. The tree is big enough that the segment spans many pages, so
+/// the per-page CRC actually runs (it fires once per physical read).
+struct DiskBenchFixture {
+  std::vector<std::string> terms = {"alpha", "beta", "gamma", "delta"};
+  std::string v2_path;
+  std::string v1_path;
+
+  DiskBenchFixture() {
+    xtopk::Rng rng(11);
+    xtopk::XmlTree tree;
+    tree.CreateRoot("r");
+    std::vector<xtopk::NodeId> frontier = {tree.root()};
+    while (tree.node_count() < 20000 && !frontier.empty()) {
+      size_t pick = rng.NextBounded(frontier.size());
+      xtopk::NodeId parent = frontier[pick];
+      if (tree.level(parent) >= 12) {
+        frontier.erase(frontier.begin() + static_cast<ptrdiff_t>(pick));
+        continue;
+      }
+      xtopk::NodeId child = tree.AddChild(parent, "n");
+      frontier.push_back(child);
+      for (const std::string& term : terms) {
+        if (rng.NextBernoulli(0.2)) tree.AppendText(child, term);
+      }
+      if (rng.NextBernoulli(0.2) || tree.Children(parent).size() >= 6) {
+        frontier.erase(frontier.begin() + static_cast<ptrdiff_t>(pick));
+      }
+    }
+    xtopk::IndexBuildOptions build_options;
+    build_options.index_tag_names = false;
+    xtopk::IndexBuilder builder(tree, build_options);
+    xtopk::JDeweyIndex jindex = builder.BuildJDeweyIndex();
+    std::string base =
+        "/tmp/bench_micro_core_" + std::to_string(::getpid());
+    v2_path = base + "_v2.seg";
+    v1_path = base + "_v1.seg";
+    xtopk::DiskIndexWriter::Write(jindex, /*include_scores=*/true, v2_path,
+                                  xtopk::ColumnCodec::kAuto,
+                                  /*write_checksums=*/true);
+    xtopk::DiskIndexWriter::Write(jindex, /*include_scores=*/true, v1_path,
+                                  xtopk::ColumnCodec::kAuto,
+                                  /*write_checksums=*/false);
+  }
+  ~DiskBenchFixture() {
+    std::remove(v2_path.c_str());
+    std::remove(v1_path.c_str());
+  }
+};
+
+const DiskBenchFixture& DiskFixture() {
+  static DiskBenchFixture fixture;
+  return fixture;
+}
+
+/// Full decode of every term's list from a cold environment — the worst
+/// case for checksum overhead, since every page read is physical and gets
+/// verified. The checksummed/legacy pair pins the acceptance budget:
+/// v2 must stay within 3% of v1.
+void DiskFullDecode(benchmark::State& state, const std::string& path) {
+  const DiskBenchFixture& fixture = DiskFixture();
+  uint64_t rows = 0;
+  for (auto _ : state) {
+    xtopk::DiskIndexOptions options;
+    options.decoded_cache_bytes = 0;  // force a real decode every time
+    auto env = xtopk::DiskIndexEnv::Open(path, options);
+    auto session = (*env)->NewSession();
+    for (const std::string& term : fixture.terms) {
+      auto list = session->LoadList(term, session->MaxLength(term));
+      benchmark::DoNotOptimize(list);
+      if (list.ok() && *list != nullptr) rows += (*list)->num_rows();
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(rows));
+}
+
+void BM_DiskFullDecodeChecksummed(benchmark::State& state) {
+  DiskFullDecode(state, DiskFixture().v2_path);
+}
+BENCHMARK(BM_DiskFullDecodeChecksummed);
+
+void BM_DiskFullDecodeLegacy(benchmark::State& state) {
+  DiskFullDecode(state, DiskFixture().v1_path);
+}
+BENCHMARK(BM_DiskFullDecodeLegacy);
 
 }  // namespace
 

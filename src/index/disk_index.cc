@@ -1,23 +1,33 @@
 #include "index/disk_index.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <string_view>
+#include <thread>
 
 #include "index/index_access.h"
 #include "obs/metrics.h"
 #include "storage/compression.h"
+#include "storage/fault_pagefile.h"
 #include "storage/serializer.h"
+#include "util/crc32c.h"
 #include "util/varint.h"
 
 namespace xtopk {
 namespace {
 
-constexpr char kMagic[8] = {'X', 'T', 'K', 'D', 'I', 'S', 'K', '1'};
+/// Legacy unchecksummed layout (footer = magic + directory extent).
+constexpr char kMagicV1[8] = {'X', 'T', 'K', 'D', 'I', 'S', 'K', '1'};
+/// Checksummed layout: per-page CRC32C table + self-checksummed footer.
+constexpr char kMagicV2[8] = {'X', 'T', 'K', 'D', 'I', 'S', 'K', '2'};
+constexpr uint32_t kFormatVersionV2 = 2;
 
 /// Appends byte streams to a PageFile, handing out extents. Blobs are
-/// packed back to back and may span pages.
+/// packed back to back and may span pages. Each flushed page's CRC32C
+/// (over the full zero-padded 8 KiB page, exactly the bytes ReadPage
+/// returns) is recorded for the segment's checksum table.
 class BlobWriter {
  public:
   explicit BlobWriter(PageFile* file) : file_(file) {}
@@ -51,9 +61,13 @@ class BlobWriter {
   }
 
   const Status& status() const { return status_; }
+  /// One CRC per flushed page, in page order. Valid after Finish().
+  const std::vector<uint32_t>& page_crcs() const { return page_crcs_; }
 
  private:
   Status FlushPage() {
+    buffer_.resize(PageFile::kPageSize, '\0');  // CRC covers the padding too
+    page_crcs_.push_back(crc32c::Compute(buffer_));
     auto page = file_->AppendPage(buffer_);
     if (!page.ok()) return page.status();
     buffer_.clear();
@@ -64,6 +78,7 @@ class BlobWriter {
   PageFile* file_;
   std::string buffer_;
   PageId next_page_ = 0;
+  std::vector<uint32_t> page_crcs_;
   Status status_;
 };
 
@@ -80,10 +95,75 @@ Status GetExtent(const std::string& data, size_t* pos, BlobExtent* extent) {
   return s;
 }
 
+/// Parsed segment footer, either format version.
+struct FooterInfo {
+  uint32_t version = 1;
+  BlobExtent dir_extent;
+  BlobExtent table_extent;       // v2 only
+  uint32_t data_page_count = 0;  // v2 only
+  uint32_t table_crc = 0;        // v2 only
+};
+
+/// Read failures worth retrying: transient I/O errors, and corruption —
+/// damage injected (or occurring) in flight is per-read, so a clean
+/// retry can succeed; true on-disk corruption just exhausts the budget.
+bool RetryableRead(const Status& s) {
+  return s.code() == StatusCode::kIoError ||
+         s.code() == StatusCode::kCorruption;
+}
+
+void RetryBackoff(uint32_t attempt, uint32_t backoff_us) {
+  XTOPK_COUNTER("storage.io.retries").Add(1);
+  if (backoff_us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<uint64_t>(backoff_us) *
+                                  (attempt + 1)));
+  }
+}
+
+Status ParseFooter(const std::string& footer, FooterInfo* info) {
+  if (footer.size() < sizeof(kMagicV1)) {
+    return Status::Corruption("disk index: footer too short");
+  }
+  size_t pos = sizeof(kMagicV1);
+  if (std::memcmp(footer.data(), kMagicV1, sizeof(kMagicV1)) == 0) {
+    info->version = 1;
+    return GetExtent(footer, &pos, &info->dir_extent);
+  }
+  if (std::memcmp(footer.data(), kMagicV2, sizeof(kMagicV2)) != 0) {
+    return Status::Corruption("disk index: bad magic");
+  }
+  uint32_t version = 0;
+  Status s = varint::GetU32(footer, &pos, &version);
+  if (!s.ok()) return s;
+  if (version != kFormatVersionV2) {
+    return Status::Corruption("disk index: unsupported format version");
+  }
+  info->version = version;
+  s = GetExtent(footer, &pos, &info->dir_extent);
+  if (s.ok()) s = GetExtent(footer, &pos, &info->table_extent);
+  if (s.ok()) s = varint::GetU32(footer, &pos, &info->data_page_count);
+  if (s.ok()) s = ser::GetFixed32(footer, &pos, &info->table_crc);
+  if (!s.ok()) return s;
+  // The footer checksums itself: the fixed32 after the payload covers
+  // every preceding byte, so a damaged footer (including damaged padding)
+  // is caught before any extent is trusted.
+  size_t payload_end = pos;
+  uint32_t stored_crc = 0;
+  s = ser::GetFixed32(footer, &pos, &stored_crc);
+  if (!s.ok()) return s;
+  if (stored_crc != crc32c::Compute(footer.data(), payload_end)) {
+    XTOPK_COUNTER("storage.checksum.mismatches").Add(1);
+    return Status::Corruption("disk index: footer checksum mismatch");
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 Status DiskIndexWriter::Write(const JDeweyIndex& index, bool include_scores,
-                              const std::string& path, ColumnCodec codec) {
+                              const std::string& path, ColumnCodec codec,
+                              bool write_checksums) {
   PageFile file;
   Status s = file.Open(path, /*create=*/true);
   if (!s.ok()) return s;
@@ -142,9 +222,40 @@ Status DiskIndexWriter::Write(const JDeweyIndex& index, bool include_scores,
   s = writer.Finish();
   if (!s.ok()) return s;
 
-  // Footer page: magic + directory extent.
-  std::string footer(kMagic, sizeof(kMagic));
-  PutExtent(&footer, dir_extent);
+  std::string footer;
+  if (write_checksums) {
+    // Checksum table: one fixed32 CRC per data page. Its own pages are
+    // appended directly (not through BlobWriter — they must not alter the
+    // table they carry) and are covered by table_crc instead.
+    const std::vector<uint32_t>& crcs = writer.page_crcs();
+    std::string table;
+    table.reserve(crcs.size() * 4);
+    for (uint32_t crc : crcs) ser::PutFixed32(&table, crc);
+    BlobExtent table_extent;
+    table_extent.start_page = file.page_count();
+    table_extent.start_offset = 0;
+    table_extent.length = table.size();
+    for (size_t off = 0; off < table.size(); off += PageFile::kPageSize) {
+      auto page = file.AppendPage(
+          table.substr(off, std::min(PageFile::kPageSize, table.size() - off)));
+      if (!page.ok()) return page.status();
+    }
+    if (table.empty()) {  // degenerate empty index: keep the extent valid
+      table_extent.start_page = 0;
+    }
+
+    footer.assign(kMagicV2, sizeof(kMagicV2));
+    varint::PutU32(&footer, kFormatVersionV2);
+    PutExtent(&footer, dir_extent);
+    PutExtent(&footer, table_extent);
+    varint::PutU32(&footer, static_cast<uint32_t>(crcs.size()));
+    ser::PutFixed32(&footer, crc32c::Compute(table));
+    ser::PutFixed32(&footer, crc32c::Compute(footer));
+  } else {
+    // Legacy v1 footer: magic + directory extent, no checksums.
+    footer.assign(kMagicV1, sizeof(kMagicV1));
+    PutExtent(&footer, dir_extent);
+  }
   auto footer_page = file.AppendPage(footer);
   if (!footer_page.ok()) return footer_page.status();
   s = file.Sync();
@@ -156,39 +267,83 @@ StatusOr<std::shared_ptr<DiskIndexEnv>> DiskIndexEnv::Open(
     const std::string& path, DiskIndexOptions options) {
   XTOPK_COUNTER("index.envs_opened").Add(1);
   std::shared_ptr<DiskIndexEnv> env(new DiskIndexEnv());
-  Status s = env->file_.Open(path, /*create=*/false);
+  env->file_ = MakeFaultAwarePageFile();
+  Status s = env->file_->Open(path, /*create=*/false);
   if (!s.ok()) return s;
-  if (env->file_.page_count() == 0) {
+  if (env->file_->page_count() == 0) {
     return Status::Corruption("disk index: empty file");
   }
-  env->pool_ = std::make_unique<BufferPool>(&env->file_, options.pool_pages,
+  env->pool_ = std::make_unique<BufferPool>(env->file_.get(),
+                                            options.pool_pages,
                                             options.pool_shards);
   env->decoded_ =
       std::make_unique<DecodedBlockCache>(options.decoded_cache_bytes);
   env->skip_enabled_ = options.enable_skip;
+  env->io_retries_ = options.io_retries;
+  env->retry_backoff_us_ = options.retry_backoff_us;
   if (const char* skip_env = std::getenv("XTOPK_DISABLE_SKIP");
       skip_env != nullptr && skip_env[0] != '\0' &&
       std::string_view(skip_env) != "0") {
     env->skip_enabled_ = false;
   }
 
-  // Footer.
-  std::string footer;
-  s = env->file_.ReadPage(env->file_.page_count() - 1, &footer);
-  if (!s.ok()) return s;
-  if (std::memcmp(footer.data(), kMagic, sizeof(kMagic)) != 0) {
-    return Status::Corruption("disk index: bad magic");
+  // Footer: read + parse inside the retry loop, since a v2 footer's CRC
+  // mismatch means the *read* was damaged (parse failure alone cannot
+  // distinguish damaged-in-flight from damaged-on-disk).
+  FooterInfo footer_info;
+  for (uint32_t attempt = 0;; ++attempt) {
+    std::string footer;
+    s = env->file_->ReadPage(env->file_->page_count() - 1, &footer);
+    if (s.ok()) s = ParseFooter(footer, &footer_info);
+    if (s.ok()) break;
+    if (attempt >= options.io_retries || !RetryableRead(s)) return s;
+    RetryBackoff(attempt, options.retry_backoff_us);
   }
-  size_t pos = sizeof(kMagic);
-  BlobExtent dir_extent;
-  s = GetExtent(footer, &pos, &dir_extent);
-  if (!s.ok()) return s;
+
+  if (footer_info.version >= 2) {
+    XTOPK_COUNTER("storage.checksum.segments_v2").Add(1);
+    if (options.verify_checksums) {
+      // Checksum table: read raw (its pages are covered by table_crc,
+      // not by the table itself), verify, then arm the pool's verifier
+      // so every later physical page read is checked before caching.
+      for (uint32_t attempt = 0;; ++attempt) {
+        std::string table;
+        s = env->ReadBlobUnpooled(footer_info.table_extent, &table);
+        if (s.ok() && crc32c::Compute(table) != footer_info.table_crc) {
+          XTOPK_COUNTER("storage.checksum.mismatches").Add(1);
+          s = Status::Corruption("disk index: checksum table damaged");
+        }
+        if (s.ok() && table.size() != footer_info.data_page_count * 4ull) {
+          s = Status::Corruption("disk index: checksum table size mismatch");
+        }
+        if (s.ok()) {
+          env->page_crcs_.resize(footer_info.data_page_count);
+          size_t pos = 0;
+          for (uint32_t p = 0; p < footer_info.data_page_count; ++p) {
+            s = ser::GetFixed32(table, &pos, &env->page_crcs_[p]);
+            if (!s.ok()) break;
+          }
+        }
+        if (s.ok()) break;
+        env->page_crcs_.clear();
+        if (attempt >= options.io_retries || !RetryableRead(s)) return s;
+        RetryBackoff(attempt, options.retry_backoff_us);
+      }
+      DiskIndexEnv* raw = env.get();  // pool_ is owned by env
+      env->pool_->SetVerifier([raw](PageId id, const std::string& page) {
+        return raw->VerifyPage(id, page);
+      });
+    }
+  } else {
+    // Pre-checksum segment: readable, but nothing to verify against.
+    XTOPK_COUNTER("storage.checksum.legacy_segments").Add(1);
+  }
 
   std::string directory;
-  s = env->ReadBlob(dir_extent, &directory);
+  s = env->ReadBlob(footer_info.dir_extent, &directory);
   if (!s.ok()) return s;
 
-  pos = 0;
+  size_t pos = 0;
   if (directory.empty()) return Status::Corruption("disk index: empty dir");
   env->has_scores_ = directory[pos++] != 0;
   uint32_t max_level = 0, term_count = 0;
@@ -258,6 +413,18 @@ std::unique_ptr<DiskJDeweyIndex> DiskIndexEnv::NewSession() {
 }
 
 Status DiskIndexEnv::ReadBlob(const BlobExtent& extent, std::string* out) {
+  Status s;
+  for (uint32_t attempt = 0;; ++attempt) {
+    s = ReadBlobOnce(extent, out);
+    if (s.ok()) return s;
+    if (attempt >= io_retries_ || !RetryableRead(s)) return s;
+    // Failed pages were never admitted to the pool, so the retry reads
+    // the disk again rather than replaying the damaged copy.
+    RetryBackoff(attempt, retry_backoff_us_);
+  }
+}
+
+Status DiskIndexEnv::ReadBlobOnce(const BlobExtent& extent, std::string* out) {
   out->clear();
   out->reserve(extent.length);
   PageId page = extent.start_page;
@@ -272,6 +439,39 @@ Status DiskIndexEnv::ReadBlob(const BlobExtent& extent, std::string* out) {
     remaining -= take;
     offset = 0;
     ++page;
+  }
+  return Status::Ok();
+}
+
+Status DiskIndexEnv::ReadBlobUnpooled(const BlobExtent& extent,
+                                      std::string* out) {
+  out->clear();
+  out->reserve(extent.length);
+  PageId page = extent.start_page;
+  size_t offset = extent.start_offset;
+  uint64_t remaining = extent.length;
+  std::string buf;
+  while (remaining > 0) {
+    Status s = file_->ReadPage(page, &buf);
+    if (!s.ok()) return s;
+    size_t take = std::min<uint64_t>(remaining,
+                                     PageFile::kPageSize - offset);
+    out->append(buf, offset, take);
+    remaining -= take;
+    offset = 0;
+    ++page;
+  }
+  return Status::Ok();
+}
+
+Status DiskIndexEnv::VerifyPage(PageId id, const std::string& page) const {
+  // Pages past the data range (checksum table, footer) have no table
+  // entry; they never flow through the pool after Open anyway.
+  if (id >= page_crcs_.size()) return Status::Ok();
+  XTOPK_COUNTER("storage.checksum.page_verifications").Add(1);
+  if (crc32c::Compute(page) != page_crcs_[id]) {
+    XTOPK_COUNTER("storage.checksum.mismatches").Add(1);
+    return Status::Corruption("disk index: page checksum mismatch");
   }
   return Status::Ok();
 }
@@ -293,7 +493,7 @@ uint32_t DiskIndexEnv::MaxLength(const std::string& term) const {
 
 DiskIoStats DiskIndexEnv::io_stats() const {
   DiskIoStats stats;
-  stats.pages_read = file_.pages_read();
+  stats.pages_read = file_->pages_read();
   stats.pool_hits = pool_->hits();
   stats.pool_misses = pool_->misses();
   stats.decoded_hits = decoded_->hits();
@@ -302,7 +502,7 @@ DiskIoStats DiskIndexEnv::io_stats() const {
 }
 
 void DiskIndexEnv::ResetIoStats() {
-  file_.ResetStats();
+  file_->ResetStats();
   pool_->ResetStats();
   decoded_->ResetStats();
 }
@@ -440,8 +640,12 @@ Status DiskJDeweyIndex::MaterializeColumns(
 
     // Skip path: group-varint columns with bounds materialize only the
     // physical blocks whose value range can intersect them, assembled
-    // from per-block cache fragments where possible.
+    // from per-block cache fragments where possible. A block whose skip
+    // directory or payload turns out damaged degrades to the full legacy
+    // decode below (which re-validates the whole blob) instead of
+    // failing the load outright.
     GvbColumnReader reader;
+    bool skip_degraded = false;
     if (bounds != nullptr && reader.Open(blob, 0).ok()) {
       BlockSkipIndex::Range range =
           reader.skip().ProbeRange(bounds->lo, bounds->hi);
@@ -452,38 +656,51 @@ Status DiskJDeweyIndex::MaterializeColumns(
         range.hi = std::max(range.hi, static_cast<size_t>(cov.hi_block));
       }
       Column column;
-      for (size_t b = range.lo; b < range.hi; ++b) {
+      for (size_t b = range.lo; b < range.hi && !skip_degraded; ++b) {
         auto fragment =
             cache.GetColumnBlock(info.term_id, level, static_cast<uint32_t>(b));
         if (fragment == nullptr) {
           Column decoded;
           s = reader.DecodeBlock(b, present, &decoded);
-          if (!s.ok()) return s;
+          if (!s.ok()) {
+            XTOPK_COUNTER("storage.degraded.full_decode_fallbacks").Add(1);
+            skip_degraded = true;
+            break;
+          }
           auto shared = std::make_shared<const Column>(std::move(decoded));
           cache.PutColumnBlock(info.term_id, level, static_cast<uint32_t>(b),
                                shared);
           fragment = std::move(shared);
         }
-        // AppendRun re-merges a run split across a block boundary.
+        // AppendRunChecked re-merges a run split across a block boundary
+        // and catches fragments that are individually valid but
+        // non-monotonic across the boundary (a damaged skip directory on
+        // a legacy segment) — those degrade to the full decode too.
         for (const Run& run : fragment->runs()) {
-          column.AppendRun(run.first_row, run.value, run.count);
+          if (!column.AppendRunChecked(run.first_row, run.value, run.count)) {
+            XTOPK_COUNTER("storage.degraded.full_decode_fallbacks").Add(1);
+            skip_degraded = true;
+            break;
+          }
         }
       }
-      list.columns[level - 1] = std::move(column);
-      if (range.lo == 0 && range.hi == reader.block_count()) {
-        cov = LevelCoverage{};
-        cov.full = true;
-        cache.PutColumn(info.term_id, level, std::make_shared<const Column>(
-                                                 list.columns[level - 1]));
-      } else {
-        XTOPK_COUNTER("storage.skip.partial_loads").Add(1);
-        XTOPK_COUNTER("storage.skip.blocks_skipped")
-            .Add(reader.block_count() - (range.hi - range.lo));
-        cov.partial = true;
-        cov.lo_block = static_cast<uint32_t>(range.lo);
-        cov.hi_block = static_cast<uint32_t>(range.hi);
+      if (!skip_degraded) {
+        list.columns[level - 1] = std::move(column);
+        if (range.lo == 0 && range.hi == reader.block_count()) {
+          cov = LevelCoverage{};
+          cov.full = true;
+          cache.PutColumn(info.term_id, level, std::make_shared<const Column>(
+                                                   list.columns[level - 1]));
+        } else {
+          XTOPK_COUNTER("storage.skip.partial_loads").Add(1);
+          XTOPK_COUNTER("storage.skip.blocks_skipped")
+              .Add(reader.block_count() - (range.hi - range.lo));
+          cov.partial = true;
+          cov.lo_block = static_cast<uint32_t>(range.lo);
+          cov.hi_block = static_cast<uint32_t>(range.hi);
+        }
+        continue;
       }
-      continue;
     }
 
     // Full decode: no bounds, or a non-group-varint (legacy delta / RLE)
@@ -519,7 +736,21 @@ StatusOr<const JDeweyList*> DiskJDeweyIndex::LoadList(
   if (state.view_id == UINT32_MAX) {
     XTOPK_COUNTER("index.lists_loaded").Add(1);
     Status s = MaterializeBase(term, info, &state, need_scores);
-    if (!s.ok()) return s;
+    if (!s.ok()) {
+      // Roll back the half-built view slot. Without this, view_id stays
+      // set over an empty list and a later query on the same session
+      // would silently reuse it (empty results) instead of re-reading.
+      auto* lists = IndexIoAccess::Lists(&view_);
+      if (state.view_id != UINT32_MAX &&
+          state.view_id + 1 == lists->size()) {
+        lists->pop_back();
+        IndexIoAccess::Terms(&view_)->pop_back();
+        IndexIoAccess::TermIds(&view_)->erase(term);
+      }
+      state_.erase(info.term_id);
+      XTOPK_COUNTER("storage.degraded.load_rollbacks").Add(1);
+      return s;
+    }
   } else if (need_scores) {
     Status s = MaterializeScores(info, &state);
     if (!s.ok()) return s;

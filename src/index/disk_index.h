@@ -31,10 +31,12 @@ struct BlobExtent {
 /// Writes a JDeweyIndex into the paged on-disk layout:
 ///
 ///   data pages:   per term — lengths blob, optional scores blob, then one
-///                 column blob per level (kAuto codec, §III-D)
-///   directory:    per-term metadata + all blob extents + the
-///                 (level, value) -> node mapping, serialized at the end
-///   footer page:  magic, directory extent
+///                 column blob per level (kAuto codec, §III-D); the
+///                 directory blob is the last data blob
+///   checksum table: one CRC32C (fixed32 LE) per data page
+///   footer page:  magic "XTKDISK2", format version, directory extent,
+///                 checksum-table extent, data page count, table CRC,
+///                 footer CRC (over all preceding footer bytes)
 ///
 /// Columns are separate blobs on purpose: a query that starts its scan at
 /// level l0 (§III-B) touches only the pages of columns 1..l0.
@@ -45,9 +47,15 @@ class DiskIndexWriter {
   /// pass kDelta to emulate segments written before the group-varint
   /// codec existed (the codec byte is self-describing, so old segments
   /// read back without a format version bump).
+  ///
+  /// `write_checksums=false` emits the legacy v1 layout (magic
+  /// "XTKDISK1", no per-page CRCs) — segments written before the
+  /// checksummed format existed. Readers accept both; legacy segments
+  /// load unverified and bump storage.checksum.legacy_segments.
   static Status Write(const JDeweyIndex& index, bool include_scores,
                       const std::string& path,
-                      ColumnCodec codec = ColumnCodec::kAuto);
+                      ColumnCodec codec = ColumnCodec::kAuto,
+                      bool write_checksums = true);
 };
 
 /// Options for opening a disk index's shared read substrate.
@@ -64,6 +72,18 @@ struct DiskIndexOptions {
   /// bit-identical either way; the XTOPK_DISABLE_SKIP environment
   /// variable (any value but "0") forces this off at Open for A/B runs.
   bool enable_skip = true;
+  /// Verify the per-page CRC32C of v2 segments on every physical page
+  /// read (cached hits are not re-verified). Legacy v1 segments have no
+  /// checksums and always load unverified.
+  bool verify_checksums = true;
+  /// Bounded retry of failed physical reads (transient I/O errors and
+  /// checksum mismatches both retry — in-flight damage is transient; true
+  /// on-disk corruption just exhausts the attempts and surfaces as the
+  /// last error). `io_retries` is the number of *re*-attempts after the
+  /// first failure; each waits `retry_backoff_us` microseconds longer
+  /// than the previous one.
+  uint32_t io_retries = 3;
+  uint32_t retry_backoff_us = 50;
 };
 
 /// Aggregate I/O / cache counters of one disk index environment — a
@@ -105,6 +125,9 @@ class DiskIndexEnv : public std::enable_shared_from_this<DiskIndexEnv> {
   /// Whether sessions may skip-decode (options.enable_skip, unless the
   /// XTOPK_DISABLE_SKIP environment variable overrode it at Open).
   bool skip_enabled() const { return skip_enabled_; }
+  /// Whether this segment carries per-page checksums (v2 format) and the
+  /// environment verifies them on physical reads.
+  bool checksums_verified() const { return !page_crcs_.empty(); }
 
   DiskIoStats io_stats() const;
   void ResetIoStats();
@@ -127,14 +150,32 @@ class DiskIndexEnv : public std::enable_shared_from_this<DiskIndexEnv> {
 
   DiskIndexEnv() = default;
 
-  /// Thread-safe (reads go through the pool / pread).
+  /// Thread-safe (reads go through the pool / pread). Failed attempts —
+  /// transient I/O errors or checksum mismatches — are retried up to
+  /// options.io_retries times with linear backoff before the last error
+  /// is surfaced; the pool never caches a page from a failed read, so
+  /// each retry hits the disk again.
   Status ReadBlob(const BlobExtent& extent, std::string* out);
+  Status ReadBlobOnce(const BlobExtent& extent, std::string* out);
+  /// Reads an extent straight from the file, bypassing pool and verifier
+  /// (used for the checksum table, which is covered by the footer's
+  /// table CRC rather than by itself).
+  Status ReadBlobUnpooled(const BlobExtent& extent, std::string* out);
+  /// The verifier installed on the buffer pool for v2 segments.
+  Status VerifyPage(PageId id, const std::string& page) const;
 
-  PageFile file_;
+  /// Plain PageFile normally; the fault-injecting wrapper when the
+  /// process-wide FaultInjector is armed (tests, XTOPK_FAULT_INJECT).
+  std::unique_ptr<PageFile> file_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<DecodedBlockCache> decoded_;
   bool has_scores_ = false;
   bool skip_enabled_ = true;
+  uint32_t io_retries_ = 3;
+  uint32_t retry_backoff_us_ = 50;
+  /// v2 segments: CRC32C of each data page, indexed by PageId; empty for
+  /// legacy v1 segments (nothing to verify).
+  std::vector<uint32_t> page_crcs_;
   std::unordered_map<std::string, TermInfo> directory_;
   /// Holds only the (level, value) -> node mapping + max level; sessions
   /// borrow it instead of copying it (it can dominate the directory size).

@@ -29,6 +29,10 @@ StatusOr<std::shared_ptr<const std::string>> BufferPool::GetPage(PageId id) {
   std::string bytes;
   Status s = file_->ReadPage(id, &bytes);
   if (!s.ok()) return s;
+  if (verifier_) {
+    s = verifier_(id, bytes);
+    if (!s.ok()) return s;  // damaged page: fail the read, never cache it
+  }
   auto page = std::make_shared<const std::string>(std::move(bytes));
   cache_.Put(id, page, /*cost=*/1);
   return page;

@@ -2,6 +2,7 @@
 #define XTOPK_STORAGE_BUFFER_POOL_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -37,6 +38,14 @@ class BufferPool {
   BufferPool(PageFile* file, size_t capacity_pages,
              size_t shards = kDefaultShards);
 
+  /// Called on the miss path with the freshly read page before it is
+  /// admitted to the cache. A non-ok return (checksum mismatch) fails the
+  /// GetPage call and the page is NOT cached, so a later retry re-reads
+  /// from disk instead of serving the damaged copy. Cached hits skip the
+  /// verifier — a page is checked once per physical read.
+  using PageVerifier = std::function<Status(PageId, const std::string&)>;
+  void SetVerifier(PageVerifier verifier) { verifier_ = std::move(verifier); }
+
   /// The page contents (kPageSize bytes), from cache or disk.
   StatusOr<std::shared_ptr<const std::string>> GetPage(PageId id);
 
@@ -54,6 +63,7 @@ class BufferPool {
 
  private:
   PageFile* file_;
+  PageVerifier verifier_;
   ShardedLruCache<PageId, std::shared_ptr<const std::string>> cache_;
 };
 

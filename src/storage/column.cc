@@ -38,6 +38,18 @@ void Column::AppendRun(uint32_t row, uint32_t value, uint32_t count) {
   runs_.push_back(Run{value, row, count});
 }
 
+bool Column::AppendRunChecked(uint32_t row, uint32_t value, uint32_t count) {
+  if (count == 0) return false;
+  if (row > UINT32_MAX - count) return false;  // end_row would overflow
+  if (!runs_.empty()) {
+    const Run& last = runs_.back();
+    if (row < last.end_row() || value < last.value) return false;
+    if (value == last.value && row != last.end_row()) return false;
+  }
+  AppendRun(row, value, count);
+  return true;
+}
+
 const Run* Column::FindValue(uint32_t value) const {
   size_t idx = LowerBoundValue(value);
   if (idx < runs_.size() && runs_[idx].value == value) return &runs_[idx];

@@ -43,6 +43,15 @@ class Column {
   /// O(count) Append calls.
   void AppendRun(uint32_t row, uint32_t value, uint32_t count);
 
+  /// AppendRun for untrusted (decoded-from-disk) data: instead of
+  /// asserting the column invariants — rows increasing, values
+  /// non-decreasing, equal values contiguous, end row not overflowing —
+  /// it returns false when the run would violate them, leaving the
+  /// column unchanged. Decoders turn a false return into a typed
+  /// Corruption status; the build-side Append/AppendRun keep their
+  /// debug asserts and zero release-mode cost.
+  bool AppendRunChecked(uint32_t row, uint32_t value, uint32_t count);
+
   /// Pre-sizes the run vector for `n` more runs. Decoders that know an
   /// upper bound (run count from the header, rows in a block range) call
   /// this once so distinct-heavy columns don't pay repeated regrowth.

@@ -119,6 +119,13 @@ void EncodeGroupVarint(const Column& column, std::string* out) {
 
 Status DecodeRunLength(const std::string& data, size_t* pos, uint32_t run_count,
                        Column* column) {
+  // Each run encodes as at least three varint bytes, so a header claiming
+  // more runs than the remaining buffer can hold is corrupt — checked
+  // before the reserve so a damaged count can't trigger a huge allocation
+  // (e.g. a bit-flipped codec byte reinterpreting a gvb row count).
+  if (run_count > (data.size() - *pos) / 3) {
+    return Status::Corruption("column: run count exceeds buffer");
+  }
   uint32_t prev_value = 0;
   uint32_t prev_row = 0;
   column->ReserveRuns(run_count);
@@ -128,12 +135,17 @@ Status DecodeRunLength(const std::string& data, size_t* pos, uint32_t run_count,
     if (s.ok()) s = varint::GetU32(data, pos, &dr);
     if (s.ok()) s = varint::GetU32(data, pos, &count);
     if (!s.ok()) return s;
-    uint32_t value = prev_value + dv;
-    uint32_t row = prev_row + dr;
-    if (count == 0) return Status::Corruption("column: zero-length run");
-    column->AppendRun(row, value, count);
-    prev_value = value;
-    prev_row = row;
+    uint64_t value = static_cast<uint64_t>(prev_value) + dv;
+    uint64_t row = static_cast<uint64_t>(prev_row) + dr;
+    if (value > UINT32_MAX || row > UINT32_MAX) {
+      return Status::Corruption("column: run delta overflow");
+    }
+    if (!column->AppendRunChecked(static_cast<uint32_t>(row),
+                                  static_cast<uint32_t>(value), count)) {
+      return Status::Corruption("column: invalid run");
+    }
+    prev_value = static_cast<uint32_t>(value);
+    prev_row = static_cast<uint32_t>(row);
   }
   return Status::Ok();
 }
@@ -155,8 +167,16 @@ Status DecodeDelta(const std::string& data, size_t* pos, uint32_t row_count,
     uint32_t v = 0;
     Status s = varint::GetU32(data, pos, &v);
     if (!s.ok()) return s;
-    uint32_t value = in_block == 0 ? v : prev_value + v;
-    column->Append((*present_rows)[i], value);
+    uint64_t value64 = in_block == 0
+                           ? static_cast<uint64_t>(v)
+                           : static_cast<uint64_t>(prev_value) + v;
+    if (value64 > UINT32_MAX) {
+      return Status::Corruption("column: delta value overflow");
+    }
+    uint32_t value = static_cast<uint32_t>(value64);
+    if (!column->AppendRunChecked((*present_rows)[i], value, 1)) {
+      return Status::Corruption("column: non-monotonic delta value");
+    }
     prev_value = value;
     if (++in_block == kDeltaBlockRows) in_block = 0;
   }
@@ -296,7 +316,13 @@ Status GvbColumnReader::DecodeBlock(size_t b,
   if (consumed != byte_len) {
     return Status::Corruption("column: gvb block length mismatch");
   }
-  for (uint32_t i = 1; i < rows; ++i) values[i] += values[i - 1];
+  for (uint32_t i = 1; i < rows; ++i) {
+    uint32_t prev = values[i - 1];
+    values[i] += prev;
+    if (values[i] < prev) {  // wrapped: a damaged delta, not Prop 3.1 data
+      return Status::Corruption("column: gvb value overflow");
+    }
+  }
   // Whole runs at a time: a stretch of equal values over consecutive
   // present rows is one AppendRun, not `rows` Appends.
   size_t row_offset = b * block_rows_;
@@ -309,7 +335,9 @@ Status GvbColumnReader::DecodeBlock(size_t b,
            present_rows[row_offset + j] == first + (j - i)) {
       ++j;
     }
-    column->AppendRun(first, value, j - i);
+    if (!column->AppendRunChecked(first, value, j - i)) {
+      return Status::Corruption("column: gvb non-monotonic run");
+    }
     i = j;
   }
   XTOPK_COUNTER("storage.skip.blocks_decoded").Add(1);

@@ -1,0 +1,79 @@
+#include "storage/fault_pagefile.h"
+
+#include <algorithm>
+#include <cstddef>
+
+#include "obs/metrics.h"
+
+namespace xtopk {
+namespace {
+
+/// Cheap deterministic mixer so each (seed, call_index) pair damages a
+/// different payload position (splitmix64 finalizer).
+uint64_t Mix(uint64_t seed, uint64_t call_index) {
+  uint64_t x = seed * 0x9E3779B97F4A7C15ull + call_index + 1;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+FaultPageFile::FaultPageFile(FaultInjector* injector) : injector_(injector) {}
+
+Status FaultPageFile::Open(const std::string& path, bool create) {
+  Status s = PageFile::Open(path, create);
+  if (!s.ok()) return s;
+  FaultInjector::Decision d = injector_->OnCall("pagefile.open");
+  if (d.kind == FaultKind::kTruncate && page_count() > 0) {
+    // Lose between 1 and a quarter of the pages (at least the footer).
+    uint32_t max_lost = page_count() / 4 + 1;
+    uint32_t lost = 1 + static_cast<uint32_t>(
+                            Mix(d.seed, d.call_index) % max_lost);
+    readable_limit_ = page_count() > lost ? page_count() - lost : 0;
+    XTOPK_COUNTER("storage.fault.truncations").Add(1);
+  }
+  return Status::Ok();
+}
+
+Status FaultPageFile::ReadPage(PageId id, std::string* out) {
+  if (id >= readable_limit_) {
+    return Status::IoError("injected fault: read past truncation point");
+  }
+  FaultInjector::Decision d = injector_->OnCall("pagefile.read");
+  if (d.kind == FaultKind::kTransientIoError) {
+    return Status::IoError("injected fault: transient read error");
+  }
+  Status s = PageFile::ReadPage(id, out);
+  if (!s.ok()) return s;
+  uint64_t mixed = Mix(d.seed, d.call_index);
+  switch (d.kind) {
+    case FaultKind::kBitFlip: {
+      size_t bit = mixed % (out->size() * 8);
+      (*out)[bit / 8] = static_cast<char>(
+          static_cast<uint8_t>((*out)[bit / 8]) ^ (1u << (bit % 8)));
+      break;
+    }
+    case FaultKind::kShortRead: {
+      // The tail the short read never delivered reads back as zeros.
+      size_t kept = mixed % out->size();
+      std::fill(out->begin() + static_cast<ptrdiff_t>(kept), out->end(), '\0');
+      break;
+    }
+    default:
+      break;
+  }
+  return Status::Ok();
+}
+
+std::unique_ptr<PageFile> MakeFaultAwarePageFile() {
+  if (FaultInjector::Global().active()) {
+    return std::make_unique<FaultPageFile>();
+  }
+  return std::make_unique<PageFile>();
+}
+
+}  // namespace xtopk

@@ -1,0 +1,47 @@
+#ifndef XTOPK_STORAGE_FAULT_PAGEFILE_H_
+#define XTOPK_STORAGE_FAULT_PAGEFILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "storage/page_file.h"
+#include "util/fault_env.h"
+
+namespace xtopk {
+
+/// A PageFile that injects deterministic storage faults on the read path,
+/// driven by a FaultInjector plan (DESIGN.md §9). Sites:
+///
+///   pagefile.open  — kTruncate marks a seed-chosen tail of the file's
+///                    pages unreadable (a torn/short final write); every
+///                    later read of those pages fails with IoError.
+///   pagefile.read  — kBitFlip flips one seed-chosen payload bit,
+///                    kShortRead zero-fills a seed-chosen tail of the page
+///                    (a read that came back short), kTransientIoError
+///                    fails the call outright without touching the disk.
+///
+/// Damage is applied to the in-memory payload only — the file on disk is
+/// never modified, so clearing the plan always restores a healthy read
+/// path (what the bounded-retry and re-read recovery paths rely on).
+class FaultPageFile : public PageFile {
+ public:
+  explicit FaultPageFile(FaultInjector* injector = &FaultInjector::Global());
+
+  Status Open(const std::string& path, bool create) override;
+  Status ReadPage(PageId id, std::string* out) override;
+
+ private:
+  FaultInjector* injector_;
+  /// Pages at or above this id fail every read (kTruncate).
+  PageId readable_limit_ = UINT32_MAX;
+};
+
+/// The PageFile the disk index should read through: the plain concrete
+/// file normally, the fault-injecting wrapper when the process-wide
+/// injector is armed (a test plan or the XTOPK_FAULT_INJECT knob).
+std::unique_ptr<PageFile> MakeFaultAwarePageFile();
+
+}  // namespace xtopk
+
+#endif  // XTOPK_STORAGE_FAULT_PAGEFILE_H_

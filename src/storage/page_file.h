@@ -24,32 +24,38 @@ using PageId = uint32_t;
 /// descriptor (no shared file position) and the read counter is atomic.
 /// Buffered appends are flushed before the first pread that follows them,
 /// so interleaved write-then-read on one thread stays coherent.
+///
+/// The I/O entry points are virtual so a fault-injecting wrapper
+/// (storage/fault_pagefile.h) can interpose on exactly the same surface
+/// the index layer uses; production code always holds the concrete type
+/// or calls through DiskIndexEnv, which only wraps when fault injection
+/// is armed.
 class PageFile {
  public:
   static constexpr size_t kPageSize = 8192;
 
   PageFile() = default;
-  ~PageFile();
+  virtual ~PageFile();
   PageFile(PageFile&& other) noexcept;
   PageFile& operator=(PageFile&& other) noexcept;
   PageFile(const PageFile&) = delete;
   PageFile& operator=(const PageFile&) = delete;
 
   /// Creates (truncating) or opens an existing file.
-  Status Open(const std::string& path, bool create);
-  Status Close();
+  virtual Status Open(const std::string& path, bool create);
+  virtual Status Close();
   bool is_open() const { return file_ != nullptr; }
 
   /// Appends one page (data padded with zeros to kPageSize; must not
   /// exceed it). Returns the new page's id.
-  StatusOr<PageId> AppendPage(const std::string& data);
+  virtual StatusOr<PageId> AppendPage(const std::string& data);
 
   /// Reads page `id` into `out` (resized to kPageSize). Safe to call
   /// concurrently with other ReadPage calls.
-  Status ReadPage(PageId id, std::string* out);
+  virtual Status ReadPage(PageId id, std::string* out);
 
   /// Flushes buffered writes.
-  Status Sync();
+  virtual Status Sync();
 
   uint32_t page_count() const { return page_count_; }
   uint64_t pages_read() const {

@@ -48,6 +48,25 @@ Status GetFloat(const std::string& data, size_t* pos, float* value) {
   return Status::Ok();
 }
 
+void PutFixed32(std::string* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+
+Status GetFixed32(const std::string& data, size_t* pos, uint32_t* value) {
+  if (*pos + 4 > data.size()) {
+    return Status::Corruption("serializer: truncated fixed32");
+  }
+  *value = 0;
+  for (int i = 0; i < 4; ++i) {
+    *value |= static_cast<uint32_t>(static_cast<uint8_t>(data[*pos + i]))
+              << (8 * i);
+  }
+  *pos += 4;
+  return Status::Ok();
+}
+
 Status WriteFile(const std::string& path, const std::string& contents) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) return Status::IoError("cannot open for write: " + path);

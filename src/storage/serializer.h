@@ -21,6 +21,12 @@ Status GetLengthPrefixed(const std::string& data, size_t* pos,
 void PutFloat(std::string* out, float value);
 Status GetFloat(const std::string& data, size_t* pos, float* value);
 
+/// Little-endian fixed-width 32-bit value (checksums and other fields that
+/// must not vary in width — the segment footer's CRCs use this so the
+/// checksummed byte range is self-delimiting).
+void PutFixed32(std::string* out, uint32_t value);
+Status GetFixed32(const std::string& data, size_t* pos, uint32_t* value);
+
 Status WriteFile(const std::string& path, const std::string& contents);
 Status ReadFile(const std::string& path, std::string* contents);
 

@@ -128,9 +128,16 @@ Status BlockSkipIndex::Decode(const std::string& data, size_t* pos,
     if (s.ok()) s = varint::GetU32(data, pos, &span);
     if (s.ok()) s = varint::GetU32(data, pos, &len);
     if (!s.ok()) return s;
-    uint32_t min_value = prev_max + dmin;
-    out->AddBlock(min_value, min_value + span, len);
-    prev_max = min_value + span;
+    // Overflow would wrap the running max and break the sorted invariant
+    // ProbeRange's binary searches rely on — treat it as corruption.
+    uint64_t min_value = static_cast<uint64_t>(prev_max) + dmin;
+    uint64_t max_value = min_value + span;
+    if (max_value > UINT32_MAX) {
+      return Status::Corruption("skip index: value overflow");
+    }
+    out->AddBlock(static_cast<uint32_t>(min_value),
+                  static_cast<uint32_t>(max_value), len);
+    prev_max = static_cast<uint32_t>(max_value);
   }
   return Status::Ok();
 }

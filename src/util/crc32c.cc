@@ -1,0 +1,128 @@
+#include "util/crc32c.h"
+
+#include <array>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define XTOPK_CRC32C_X86 1
+#include <nmmintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+#define XTOPK_CRC32C_ARM 1
+#include <arm_acle.h>
+#endif
+
+namespace xtopk {
+namespace crc32c {
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // 0x1EDC6F41 reflected
+
+struct Tables {
+  uint32_t t[8][256];
+};
+
+constexpr Tables BuildTables() {
+  Tables tables{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    tables.t[0][i] = crc;
+  }
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = tables.t[0][i];
+    for (int slice = 1; slice < 8; ++slice) {
+      crc = tables.t[0][crc & 0xFF] ^ (crc >> 8);
+      tables.t[slice][i] = crc;
+    }
+  }
+  return tables;
+}
+
+const Tables kTables = BuildTables();
+
+uint32_t ExtendSoftware(uint32_t crc, const uint8_t* p, size_t n) {
+  // Slice-by-8: consume 8 bytes per step through the 8 precomputed tables,
+  // byte-at-a-time for the unaligned head and the tail.
+  crc = ~crc;
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    chunk ^= crc;
+    crc = kTables.t[7][chunk & 0xFF] ^ kTables.t[6][(chunk >> 8) & 0xFF] ^
+          kTables.t[5][(chunk >> 16) & 0xFF] ^
+          kTables.t[4][(chunk >> 24) & 0xFF] ^
+          kTables.t[3][(chunk >> 32) & 0xFF] ^
+          kTables.t[2][(chunk >> 40) & 0xFF] ^
+          kTables.t[1][(chunk >> 48) & 0xFF] ^ kTables.t[0][chunk >> 56];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+#if defined(XTOPK_CRC32C_X86)
+__attribute__((target("sse4.2"))) uint32_t ExtendHardware(uint32_t crc,
+                                                          const uint8_t* p,
+                                                          size_t n) {
+  crc = ~crc;
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    crc = static_cast<uint32_t>(_mm_crc32_u64(crc, chunk));
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) crc = _mm_crc32_u8(crc, *p++);
+  return ~crc;
+}
+
+bool DetectHardware() { return __builtin_cpu_supports("sse4.2") != 0; }
+#elif defined(XTOPK_CRC32C_ARM)
+uint32_t ExtendHardware(uint32_t crc, const uint8_t* p, size_t n) {
+  crc = ~crc;
+  while (n >= 8) {
+    uint64_t chunk;
+    std::memcpy(&chunk, p, 8);
+    crc = __crc32cd(crc, chunk);
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) crc = __crc32cb(crc, *p++);
+  return ~crc;
+}
+
+bool DetectHardware() { return true; }  // mandated by __ARM_FEATURE_CRC32
+#else
+uint32_t ExtendHardware(uint32_t crc, const uint8_t* p, size_t n) {
+  return ExtendSoftware(crc, p, n);
+}
+
+bool DetectHardware() { return false; }
+#endif
+
+}  // namespace
+
+bool HardwareAvailable() {
+  static const bool available = DetectHardware();
+  return available;
+}
+
+uint32_t Extend(uint32_t crc, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  if (HardwareAvailable()) return ExtendHardware(crc, p, n);
+  return ExtendSoftware(crc, p, n);
+}
+
+uint32_t Compute(const void* data, size_t n) { return Extend(0, data, n); }
+
+uint32_t ComputeSoftware(const void* data, size_t n) {
+  return ExtendSoftware(0, static_cast<const uint8_t*>(data), n);
+}
+
+}  // namespace crc32c
+}  // namespace xtopk

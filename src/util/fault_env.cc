@@ -1,0 +1,153 @@
+#include "util/fault_env.h"
+
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace xtopk {
+namespace {
+
+std::optional<FaultKind> ParseKind(std::string_view value) {
+  if (value == "none") return FaultKind::kNone;
+  if (value == "bitflip") return FaultKind::kBitFlip;
+  if (value == "shortread") return FaultKind::kShortRead;
+  if (value == "truncate") return FaultKind::kTruncate;
+  if (value == "ioerror") return FaultKind::kTransientIoError;
+  return std::nullopt;
+}
+
+std::optional<uint64_t> ParseU64(std::string_view value) {
+  if (value.empty()) return std::nullopt;
+  uint64_t out = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') return std::nullopt;
+    out = out * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kBitFlip:
+      return "bitflip";
+    case FaultKind::kShortRead:
+      return "shortread";
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kTransientIoError:
+      return "ioerror";
+  }
+  return "unknown";
+}
+
+std::optional<FaultPlan> ParseFaultPlan(std::string_view spec) {
+  FaultPlan plan;
+  bool saw_kind = false;
+  while (!spec.empty()) {
+    size_t comma = spec.find(',');
+    std::string_view field = spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view()
+                                           : spec.substr(comma + 1);
+    if (field.empty()) continue;
+    size_t eq = field.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    std::string_view key = field.substr(0, eq);
+    std::string_view value = field.substr(eq + 1);
+    if (key == "kind") {
+      auto kind = ParseKind(value);
+      if (!kind) return std::nullopt;
+      plan.kind = *kind;
+      saw_kind = true;
+    } else if (key == "site") {
+      plan.site.assign(value);
+    } else if (key == "trigger") {
+      auto v = ParseU64(value);
+      if (!v) return std::nullopt;
+      plan.trigger = *v;
+    } else if (key == "count") {
+      if (value == "inf") {
+        plan.count = UINT64_MAX;
+      } else {
+        auto v = ParseU64(value);
+        if (!v) return std::nullopt;
+        plan.count = *v;
+      }
+    } else if (key == "seed") {
+      auto v = ParseU64(value);
+      if (!v) return std::nullopt;
+      plan.seed = *v;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!saw_kind) return std::nullopt;
+  return plan;
+}
+
+FaultInjector::FaultInjector() {
+  if (const char* env = std::getenv("XTOPK_FAULT_INJECT");
+      env != nullptr && env[0] != '\0') {
+    if (auto plan = ParseFaultPlan(env)) {
+      plan_ = *plan;
+      active_ = true;
+    }
+  }
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::SetPlan(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  plan_ = plan;
+  active_ = true;
+  counts_.clear();
+}
+
+void FaultInjector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  active_ = false;
+}
+
+bool FaultInjector::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+FaultPlan FaultInjector::plan() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plan_;
+}
+
+FaultInjector::Decision FaultInjector::OnCall(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Decision decision;
+  if (!active_) return decision;
+  uint64_t& count = counts_[std::string(site)];
+  uint64_t index = count++;
+  decision.call_index = index;
+  decision.seed = plan_.seed;
+  if (plan_.kind == FaultKind::kNone) return decision;
+  if (site.find(plan_.site) == std::string_view::npos) return decision;
+  if (index < plan_.trigger) return decision;
+  if (plan_.count != UINT64_MAX && index >= plan_.trigger + plan_.count) {
+    return decision;
+  }
+  decision.kind = plan_.kind;
+  XTOPK_COUNTER("storage.fault.injected").Add(1);
+  return decision;
+}
+
+uint64_t FaultInjector::CallCount(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counts_.find(site);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace xtopk

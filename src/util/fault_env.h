@@ -1,0 +1,86 @@
+#ifndef XTOPK_UTIL_FAULT_ENV_H_
+#define XTOPK_UTIL_FAULT_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace xtopk {
+
+/// What a fault plan does to the I/O call it fires on (DESIGN.md §9).
+enum class FaultKind : uint8_t {
+  kNone = 0,          ///< observe only: count site calls, inject nothing
+  kBitFlip,           ///< read succeeds, one seed-chosen bit of the payload flips
+  kShortRead,         ///< read succeeds, a seed-chosen tail of the payload is zeroed
+  kTruncate,          ///< the file's tail pages become unreadable (persistent)
+  kTransientIoError,  ///< the call fails with IoError; later calls succeed
+};
+
+/// A deterministic fault: fire `count` consecutive times starting at the
+/// `trigger`-th call (0-based) of the site matching `site`. `seed` picks
+/// which bit flips / how much of the payload is lost, so a failing
+/// (seed, site, kind, trigger) tuple reproduces exactly.
+struct FaultPlan {
+  FaultKind kind = FaultKind::kNone;
+  std::string site = "pagefile.read";
+  uint64_t trigger = 0;
+  uint64_t count = 1;
+  uint64_t seed = 0;
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// Parses the XTOPK_FAULT_INJECT environment knob, e.g.
+///   XTOPK_FAULT_INJECT="kind=bitflip,site=pagefile.read,trigger=7,seed=42"
+/// Fields: kind (none|bitflip|shortread|truncate|ioerror), site, trigger,
+/// count (default 1, "inf" = persistent), seed. Unknown fields and
+/// malformed values yield nullopt (the knob is then ignored).
+std::optional<FaultPlan> ParseFaultPlan(std::string_view spec);
+
+/// The process-wide fault-injection switchboard. Inactive by default and in
+/// production: the storage layer only routes I/O through the injecting
+/// wrappers when a plan is set (programmatically by tests, or at startup
+/// via XTOPK_FAULT_INJECT), so the zero-fault hot path never takes the
+/// mutex below. Thread-safe.
+class FaultInjector {
+ public:
+  /// The process-wide instance. Applies XTOPK_FAULT_INJECT once at first
+  /// use.
+  static FaultInjector& Global();
+
+  /// Arms `plan` and resets all site counters.
+  void SetPlan(const FaultPlan& plan);
+  /// Disarms injection (site counters are kept until the next SetPlan).
+  void Clear();
+  bool active() const;
+  FaultPlan plan() const;
+
+  /// One I/O call at `site` asking whether it should fault. Advances the
+  /// site's call counter and returns the fault to apply (kNone = proceed)
+  /// plus the call index and plan seed for deterministic payload damage.
+  struct Decision {
+    FaultKind kind = FaultKind::kNone;
+    uint64_t call_index = 0;
+    uint64_t seed = 0;
+  };
+  Decision OnCall(std::string_view site);
+
+  /// Calls observed at `site` since the last SetPlan — measured with a
+  /// kNone plan, this is the sweep range for that site.
+  uint64_t CallCount(std::string_view site) const;
+
+ private:
+  FaultInjector();
+
+  mutable std::mutex mu_;
+  bool active_ = false;
+  FaultPlan plan_;
+  std::map<std::string, uint64_t, std::less<>> counts_;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_UTIL_FAULT_ENV_H_

@@ -1,0 +1,208 @@
+// Differential correctness harness: on seeded random corpora and
+// workloads, every execution configuration of the join-based engine —
+// in-memory, disk-resident across codecs (legacy delta vs group-varint),
+// checksummed and legacy segment formats, skip-decode on/off, galloping
+// joins on/off — must produce exactly the node sets and scores of the
+// independent baselines (the stack-based DIL algorithm and the
+// Indexed-Lookup eager algorithm), and top-K must equal the sorted prefix
+// of the complete result. A disagreement anywhere pins the failing seed.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "baseline/indexed_lookup.h"
+#include "baseline/stack_search.h"
+#include "core/join_search.h"
+#include "core/topk_search.h"
+#include "index/disk_index.h"
+#include "index/index_builder.h"
+#include "testing/corpus.h"
+
+namespace xtopk {
+namespace {
+
+using testing::CorpusSpec;
+using testing::MakeCorpusSpec;
+using testing::MakeCorpusTree;
+using testing::MakeRandomWorkload;
+using testing::WorkloadQuery;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void ExpectSameResults(const std::vector<SearchResult>& got_in,
+                       const std::vector<SearchResult>& want_in,
+                       const std::string& label) {
+  std::vector<SearchResult> got = got_in, want = want_in;
+  SortByNode(&got);
+  SortByNode(&want);
+  std::set<NodeId> got_nodes, want_nodes;
+  for (const auto& r : got) got_nodes.insert(r.node);
+  for (const auto& r : want) want_nodes.insert(r.node);
+  ASSERT_EQ(got_nodes, want_nodes) << label;
+  ASSERT_EQ(got.size(), want.size()) << label << " (duplicate results)";
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got[i].score, want[i].score, 1e-6)
+        << label << " node " << got[i].node;
+  }
+}
+
+/// Top-K must rank like the sorted complete result: same size, the same
+/// score at every rank, and every returned node present in the complete
+/// set with a matching score (ties may order differently only among
+/// exactly-equal scores, which the node-presence check still covers).
+void ExpectTopKMatchesComplete(const std::vector<SearchResult>& topk,
+                               std::vector<SearchResult> complete, size_t k,
+                               const std::string& label) {
+  SortByScoreDesc(&complete);
+  size_t want_size = std::min(k, complete.size());
+  ASSERT_EQ(topk.size(), want_size) << label;
+  for (size_t i = 0; i < topk.size(); ++i) {
+    ASSERT_NEAR(topk[i].score, complete[i].score, 1e-6)
+        << label << " rank " << i;
+    bool found = false;
+    for (const auto& r : complete) {
+      if (r.node == topk[i].node) {
+        ASSERT_NEAR(topk[i].score, r.score, 1e-6) << label;
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found) << label << " node " << topk[i].node
+                       << " not in complete result";
+  }
+}
+
+/// One disk configuration under test.
+struct DiskConfig {
+  ColumnCodec codec;
+  bool checksums;
+  bool skip;
+  const char* name;
+};
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialTest, AllEnginesAgreeOnSeededCorpus) {
+  const uint64_t seed = GetParam();
+  CorpusSpec spec = MakeCorpusSpec(seed);
+  XmlTree tree = MakeCorpusTree(spec);
+  std::vector<WorkloadQuery> workload = MakeRandomWorkload(spec, 6);
+
+  IndexBuildOptions build_options;
+  build_options.index_tag_names = false;
+  IndexBuilder builder(tree, build_options);
+  JDeweyIndex jindex = builder.BuildJDeweyIndex();
+  DeweyIndex dindex = builder.BuildDeweyIndex();
+
+  // Disk segments: the current group-varint/auto checksummed format, the
+  // legacy delta codec in both the checksummed and pre-checksum (v1)
+  // container, each served with skip-decode on and off.
+  const DiskConfig kConfigs[] = {
+      {ColumnCodec::kAuto, true, true, "auto_v2_skip"},
+      {ColumnCodec::kAuto, true, false, "auto_v2_noskip"},
+      {ColumnCodec::kDelta, true, true, "delta_v2_skip"},
+      {ColumnCodec::kDelta, false, false, "delta_v1_noskip"},
+      {ColumnCodec::kAuto, false, true, "auto_v1_skip"},
+  };
+  std::vector<std::shared_ptr<DiskIndexEnv>> envs;
+  std::vector<std::string> paths;
+  for (const DiskConfig& config : kConfigs) {
+    std::string path = TempPath("differential_" + std::to_string(seed) + "_" +
+                                config.name);
+    ASSERT_TRUE(DiskIndexWriter::Write(jindex, /*include_scores=*/true, path,
+                                       config.codec, config.checksums)
+                    .ok());
+    DiskIndexOptions options;
+    options.enable_skip = config.skip;
+    auto env = DiskIndexEnv::Open(path, options);
+    ASSERT_TRUE(env.ok()) << config.name << ": " << env.status().ToString();
+    EXPECT_EQ((*env)->checksums_verified(), config.checksums) << config.name;
+    envs.push_back(*env);
+    paths.push_back(std::move(path));
+  }
+
+  for (size_t qi = 0; qi < workload.size(); ++qi) {
+    const WorkloadQuery& query = workload[qi];
+    std::string label = "seed=" + std::to_string(seed) +
+                        " query=" + std::to_string(qi) +
+                        (query.semantics == Semantics::kElca ? " ELCA"
+                                                             : " SLCA");
+
+    // Oracle: the stack-based DIL baseline, cross-checked against the
+    // eager Indexed-Lookup baseline (independent implementations).
+    std::vector<SearchResult> want;
+    {
+      StackSearchOptions options;
+      options.semantics = query.semantics;
+      StackSearch search(tree, dindex, options);
+      want = search.Search(query.keywords);
+    }
+    {
+      IndexedLookupOptions options;
+      options.semantics = query.semantics;
+      options.compute_scores = true;
+      IndexedLookupSearch search(tree, dindex, options);
+      ExpectSameResults(search.Search(query.keywords), want,
+                        label + " indexed-lookup");
+    }
+
+    // Join-based in memory, galloping enabled (dynamic) and disabled
+    // (forced linear merges).
+    for (JoinPolicy policy : {JoinPolicy::kDynamic, JoinPolicy::kForceMerge}) {
+      JoinSearchOptions options;
+      options.semantics = query.semantics;
+      options.planner.policy = policy;
+      JoinSearch search(jindex, options);
+      ExpectSameResults(search.Search(query.keywords), want,
+                        label + " join policy=" +
+                            std::to_string(static_cast<int>(policy)));
+    }
+
+    // Disk-resident: every codec/container/skip configuration, each with
+    // galloping on and off; plus top-K against the complete prefix.
+    for (size_t c = 0; c < envs.size(); ++c) {
+      for (JoinPolicy policy :
+           {JoinPolicy::kDynamic, JoinPolicy::kForceMerge}) {
+        auto session = envs[c]->NewSession();
+        JoinSearchOptions options;
+        options.semantics = query.semantics;
+        options.planner.policy = policy;
+        auto got = session->SearchComplete(query.keywords, options);
+        ASSERT_TRUE(got.ok()) << label << " " << kConfigs[c].name << ": "
+                              << got.status().ToString();
+        ExpectSameResults(*got, want,
+                          label + " disk " + kConfigs[c].name + " policy=" +
+                              std::to_string(static_cast<int>(policy)));
+      }
+      {
+        auto session = envs[c]->NewSession();
+        TopKSearchOptions options;
+        options.semantics = query.semantics;
+        options.k = query.k;
+        auto got = session->SearchTopK(query.keywords, options);
+        ASSERT_TRUE(got.ok()) << label << " " << kConfigs[c].name << ": "
+                              << got.status().ToString();
+        ExpectTopKMatchesComplete(*got, want, query.k,
+                                  label + " topk " + kConfigs[c].name);
+      }
+    }
+  }
+
+  envs.clear();
+  for (const std::string& path : paths) std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(SeededCorpora, DifferentialTest,
+                         ::testing::Range<uint64_t>(1, 56),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace xtopk

@@ -35,9 +35,13 @@ Column RandomColumn(uint64_t seed, uint32_t rows, double dup_prob,
     if (!rng.NextBernoulli(dup_prob)) {
       uint64_t jump = 1 + rng.NextBounded(1ull << jump_bits);
       // Saturate instead of wrapping: values must stay non-decreasing.
-      value = static_cast<uint32_t>(
+      uint32_t next = static_cast<uint32_t>(
           std::min<uint64_t>(value + jump, 0xFFFFFFFEull));
-      if (rng.NextBernoulli(0.1)) row += 1 + rng.NextBounded(3);
+      // A row gap while the value is pinned at the saturation cap would
+      // split a run — equal values must occupy contiguous rows, and the
+      // decoders reject columns that break that invariant.
+      if (next != value && rng.NextBernoulli(0.1)) row += 1 + rng.NextBounded(3);
+      value = next;
     }
   }
   return col;
@@ -94,8 +98,10 @@ TEST(CodecPropertyTest, GroupVarintEmptyAndSingleRow) {
 
 TEST(CodecPropertyTest, GroupVarintMaxValues) {
   // First value needs all five varint bytes; later lanes the full 4 bytes.
+  // The base leaves room for all 300 increments below UINT32_MAX — values
+  // must stay non-decreasing without wrapping (Prop 3.1).
   Column col;
-  for (uint32_t i = 0; i < 300; ++i) col.Append(i, 0xFFFFFF00u + i);
+  for (uint32_t i = 0; i < 300; ++i) col.Append(i, 0xFFFFFE00u + i);
   RoundTrip(col, ColumnCodec::kGroupVarint, "max values");
 }
 
@@ -234,6 +240,55 @@ TEST(CodecPropertyTest, BoundsDecodeKeepsEveryRunInRange) {
         DecodeColumnWithBounds(buf, &pos, &rows, narrow, &out, &stats).ok());
     EXPECT_GT(stats.blocks_skipped, 0u) << "seed=" << seed;
     EXPECT_EQ(pos, buf.size());
+  }
+}
+
+/// Structural invariants any successfully decoded column must satisfy,
+/// whatever bytes produced it: nonempty runs, rows strictly advancing
+/// without overlap, values non-decreasing with equal values contiguous.
+void ExpectValidColumn(const Column& col, const std::string& what) {
+  uint64_t rows = 0;
+  for (size_t i = 0; i < col.run_count(); ++i) {
+    const Run& run = col.runs()[i];
+    ASSERT_GT(run.count, 0u) << what;
+    ASSERT_GE(UINT32_MAX - run.count, run.first_row) << what;
+    if (i > 0) {
+      const Run& prev = col.runs()[i - 1];
+      ASSERT_GE(run.first_row, prev.end_row()) << what;
+      ASSERT_GT(run.value, prev.value) << what;  // maximal runs
+    }
+    rows += run.count;
+  }
+  ASSERT_EQ(rows, col.row_count()) << what;
+}
+
+TEST(CodecPropertyTest, SingleBitFlipsDetectedOrDecodeInBounds) {
+  // Every single-bit flip of an encoded column must either be rejected
+  // with a typed error or decode — without UB (the UBSan job runs this
+  // file) — into a column that still satisfies the structural
+  // invariants the join algorithms rely on. An undetected flip may
+  // change *values* (only checksums catch that; the disk layer's v2
+  // segments do), but it must never produce an out-of-bounds read or a
+  // malformed run list.
+  Column col = RandomColumn(11, 400, 0.3, 12);
+  std::vector<uint32_t> rows = PresentRows(col);
+  for (ColumnCodec codec : {ColumnCodec::kGroupVarint, ColumnCodec::kRunLength,
+                            ColumnCodec::kDelta}) {
+    std::string buf;
+    EncodeColumn(col, codec, &buf);
+    for (size_t bit = 0; bit < buf.size() * 8; ++bit) {
+      std::string damaged = buf;
+      damaged[bit / 8] = static_cast<char>(
+          static_cast<uint8_t>(damaged[bit / 8]) ^ (1u << (bit % 8)));
+      Column out;
+      size_t pos = 0;
+      Status s = DecodeColumn(damaged, &pos, &rows, &out);
+      if (!s.ok()) continue;  // detected: surfaced as a typed status
+      ExpectValidColumn(
+          out, "codec=" + std::to_string(static_cast<int>(codec)) +
+                   " bit=" + std::to_string(bit));
+      if (::testing::Test::HasFailure()) return;
+    }
   }
 }
 

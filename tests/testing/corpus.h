@@ -1,9 +1,11 @@
 #ifndef XTOPK_TESTS_TESTING_CORPUS_H_
 #define XTOPK_TESTS_TESTING_CORPUS_H_
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
+#include "core/search_result.h"
 #include "util/rng.h"
 #include "xml/xml_tree.h"
 
@@ -104,6 +106,71 @@ inline XmlTree MakeRandomTree(uint64_t seed, size_t max_nodes,
     }
   }
   return tree;
+}
+
+/// Shape parameters of one seeded random corpus. Derived deterministically
+/// from a seed so a failing (seed) tuple in a differential or fault sweep
+/// reproduces the whole document + workload.
+struct CorpusSpec {
+  uint64_t seed = 0;
+  size_t nodes = 0;
+  uint32_t max_children = 0;
+  uint32_t max_depth = 0;
+  double term_prob = 0.0;
+  std::vector<std::string> terms;
+};
+
+/// Deterministic corpus spec for `seed`: tree size, fan-out, depth and
+/// term density all vary with the seed so a sweep over seeds covers
+/// shallow/bushy, deep/narrow, dense and sparse occurrence patterns.
+inline CorpusSpec MakeCorpusSpec(uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + 1);
+  CorpusSpec spec;
+  spec.seed = seed;
+  spec.nodes = 60 + rng.NextBounded(540);          // 60..599 elements
+  spec.max_children = 2 + static_cast<uint32_t>(rng.NextBounded(6));
+  spec.max_depth = 3 + static_cast<uint32_t>(rng.NextBounded(10));
+  spec.term_prob = 0.05 + 0.01 * static_cast<double>(rng.NextBounded(30));
+  static const char* kVocab[] = {"alpha", "beta", "gamma", "delta", "eps"};
+  size_t term_count = 2 + rng.NextBounded(3);  // 2..4 query-able terms
+  for (size_t i = 0; i < term_count; ++i) spec.terms.push_back(kVocab[i]);
+  return spec;
+}
+
+inline XmlTree MakeCorpusTree(const CorpusSpec& spec) {
+  return MakeRandomTree(spec.seed, spec.nodes, spec.max_children,
+                        spec.max_depth, spec.terms, spec.term_prob);
+}
+
+/// One query of a seeded workload.
+struct WorkloadQuery {
+  std::vector<std::string> keywords;
+  Semantics semantics = Semantics::kElca;
+  size_t k = 10;  ///< top-K cutoff when the query runs ranked
+};
+
+/// A deterministic query workload over the spec's planted terms: distinct
+/// keyword subsets of varying arity, both semantics, varying K.
+inline std::vector<WorkloadQuery> MakeRandomWorkload(const CorpusSpec& spec,
+                                                     size_t query_count) {
+  Rng rng(spec.seed * 0x2545F4914F6CDD1Dull + 7);
+  std::vector<WorkloadQuery> workload;
+  workload.reserve(query_count);
+  for (size_t q = 0; q < query_count; ++q) {
+    WorkloadQuery query;
+    std::vector<std::string> pool = spec.terms;
+    size_t arity = 1 + rng.NextBounded(pool.size());
+    for (size_t i = 0; i < arity; ++i) {
+      size_t pick = rng.NextBounded(pool.size());
+      query.keywords.push_back(pool[pick]);
+      pool.erase(pool.begin() + static_cast<ptrdiff_t>(pick));
+    }
+    query.semantics = rng.NextBernoulli(0.5) ? Semantics::kElca
+                                             : Semantics::kSlca;
+    query.k = 1 + rng.NextBounded(12);
+    workload.push_back(std::move(query));
+  }
+  return workload;
 }
 
 }  // namespace testing
