@@ -114,4 +114,28 @@ std::vector<LevelMatch> IndexIntersect(std::vector<LevelMatch> matches,
   return out;
 }
 
+std::vector<LevelMatch> IntersectColumns(
+    const std::vector<const Column*>& columns, const PlannerOptions& planner,
+    JoinOpStats* stats, const IntersectStepFn& on_step) {
+  if (columns.empty()) return {};
+  std::vector<LevelMatch> matches = SeedMatches(*columns[0]);
+  for (size_t j = 1; j < columns.size() && !matches.empty(); ++j) {
+    const Column& next = *columns[j];
+    JoinAlgo algo = ChooseJoinAlgo(matches.size(), next.run_count(), planner);
+    switch (algo) {
+      case JoinAlgo::kIndex:
+        matches = IndexIntersect(std::move(matches), next, stats);
+        break;
+      case JoinAlgo::kGallop:
+        matches = GallopIntersect(std::move(matches), next, stats);
+        break;
+      case JoinAlgo::kMerge:
+        matches = MergeIntersect(std::move(matches), next, stats);
+        break;
+    }
+    if (on_step) on_step(j, algo, next.run_count(), matches.size());
+  }
+  return matches;
+}
+
 }  // namespace xtopk

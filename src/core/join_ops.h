@@ -2,8 +2,10 @@
 #define XTOPK_CORE_JOIN_OPS_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
+#include "core/join_planner.h"
 #include "storage/column.h"
 
 namespace xtopk {
@@ -51,6 +53,22 @@ std::vector<LevelMatch> IndexIntersect(std::vector<LevelMatch> matches,
 /// Seeds the match list from a column's runs (the left-most input of the
 /// left-deep join).
 std::vector<LevelMatch> SeedMatches(const Column& column);
+
+/// Observes one step of a left-deep intersection: position in join order,
+/// the algorithm the planner picked, the right-hand column's run count, and
+/// how many matches survived. The EXPLAIN hook.
+using IntersectStepFn =
+    std::function<void(size_t join_pos, JoinAlgo algo, uint64_t input_runs,
+                       uint64_t output_matches)>;
+
+/// The left-deep pipeline of Algorithm 1 for one level: seeds from
+/// `columns[0]` and folds each subsequent column in, re-making the §III-C
+/// dynamic merge/gallop/probe choice per step. `columns` must already be in
+/// join order and non-null. This is THE intersection implementation — the
+/// complete-result join and the top-K hybrid sweep both call it.
+std::vector<LevelMatch> IntersectColumns(
+    const std::vector<const Column*>& columns, const PlannerOptions& planner,
+    JoinOpStats* stats, const IntersectStepFn& on_step = nullptr);
 
 }  // namespace xtopk
 

@@ -76,8 +76,14 @@ void JoinSearch::Erasure::ForEachAlive(uint32_t begin, uint32_t end,
   }
 }
 
+JoinSearch::JoinSearch(TermSource* source, JoinSearchOptions options)
+    : source_(source), options_(options) {}
+
 JoinSearch::JoinSearch(const JDeweyIndex& index, JoinSearchOptions options)
-    : index_(index), options_(options) {}
+    : owned_source_(std::make_unique<MemoryTermSource>(index)),
+      options_(options) {
+  source_ = owned_source_.get();
+}
 
 std::vector<SearchResult> JoinSearch::Search(
     const std::vector<std::string>& keywords) {
@@ -88,6 +94,7 @@ std::vector<SearchResult> JoinSearch::SearchWithTrace(
     const std::vector<std::string>& keywords,
     std::vector<LevelTrace>* trace) {
   stats_ = JoinSearchStats{};
+  last_status_ = Status::Ok();
   if (trace != nullptr) trace->clear();
   obs::ScopedSpan root(options_.trace, "join_search");
   root.Stat("keywords", static_cast<double>(keywords.size()));
@@ -98,17 +105,20 @@ std::vector<SearchResult> JoinSearch::SearchWithTrace(
     return results;
   }
 
-  // Resolve inverted lists; a missing keyword means no answers.
+  // Resolve inverted lists through the posting source (seed-first, bounded
+  // loads on skip-capable sources); a missing keyword means no answers.
   std::vector<const JDeweyList*> lists;
-  lists.reserve(keywords.size());
-  for (const std::string& kw : keywords) {
-    const JDeweyList* list = index_.GetList(kw);
-    if (list == nullptr || list->num_rows() == 0) {
-      root.Label("termination", "missing_term");
-      FlushJoinStatsToRegistry(stats_);
-      return results;
-    }
-    lists.push_back(list);
+  last_status_ =
+      ResolveForJoin(source_, keywords, options_.compute_scores, &lists);
+  if (!last_status_.ok()) {
+    root.Label("termination", "resolve_error");
+    FlushJoinStatsToRegistry(stats_);
+    return results;
+  }
+  if (lists.empty()) {
+    root.Label("termination", "missing_term");
+    FlushJoinStatsToRegistry(stats_);
+    return results;
   }
   const size_t k = lists.size();
 
@@ -147,35 +157,23 @@ std::vector<SearchResult> JoinSearch::SearchWithTrace(
     uint64_t index_before = stats_.join_ops.index_joins;
     uint64_t gallop_before = stats_.join_ops.gallop_joins;
 
-    // Left-deep pipeline over this level's columns in join order.
-    const Column& first = lists[order[0]]->column(level);
-    std::vector<LevelMatch> matches = SeedMatches(first);
-    for (size_t j = 1; j < k && !matches.empty(); ++j) {
-      const Column& next = lists[order[j]]->column(level);
-      // Dynamic optimization (§III-C): the choice is re-made per level, so
-      // different contexts (conference vs paper) can pick differently.
-      // Three-way: probe join for tiny left sides, galloping merge for
-      // skewed sides, linear merge for balanced ones.
-      JoinAlgo algo =
-          ChooseJoinAlgo(matches.size(), next.run_count(), options_.planner);
-      switch (algo) {
-        case JoinAlgo::kIndex:
-          matches = IndexIntersect(std::move(matches), next, &stats_.join_ops);
-          break;
-        case JoinAlgo::kGallop:
-          matches = GallopIntersect(std::move(matches), next,
-                                    &stats_.join_ops);
-          break;
-        case JoinAlgo::kMerge:
-          matches = MergeIntersect(std::move(matches), next, &stats_.join_ops);
-          break;
-      }
-      if (trace != nullptr) {
-        level_trace.steps.push_back(JoinStepTrace{
-            order[j], algo == JoinAlgo::kIndex, algo, next.run_count(),
-            matches.size()});
-      }
+    // Left-deep pipeline over this level's columns in join order. The
+    // merge/gallop/probe decision is re-made per step inside
+    // IntersectColumns (§III-C dynamic optimization).
+    std::vector<const Column*> columns(k);
+    for (size_t j = 0; j < k; ++j) columns[j] = &lists[order[j]]->column(level);
+    IntersectStepFn on_step;
+    if (trace != nullptr) {
+      on_step = [&](size_t j, JoinAlgo algo, uint64_t input_runs,
+                    uint64_t output_matches) {
+        level_trace.steps.push_back(JoinStepTrace{order[j],
+                                                  algo == JoinAlgo::kIndex,
+                                                  algo, input_runs,
+                                                  output_matches});
+      };
     }
+    std::vector<LevelMatch> matches =
+        IntersectColumns(columns, options_.planner, &stats_.join_ops, on_step);
 
     for (const LevelMatch& match : matches) {
       ++stats_.candidates;
@@ -246,7 +244,7 @@ std::vector<SearchResult> JoinSearch::SearchWithTrace(
 
       if (is_result) {
         ++stats_.results;
-        NodeId node = index_.NodeAt(level, match.value);
+        NodeId node = source_->NodeAt(level, match.value);
         assert(node != kInvalidNode);
         results.push_back(SearchResult{node, level, score});
       }

@@ -2,6 +2,7 @@
 #define XTOPK_CORE_JOIN_SEARCH_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,9 +10,10 @@
 #include "core/join_planner.h"
 #include "core/scoring.h"
 #include "core/search_result.h"
-#include "index/jdewey_index.h"
+#include "index/reader.h"
 #include "obs/trace.h"
 #include "util/interval_set.h"
+#include "util/status.h"
 
 namespace xtopk {
 
@@ -70,9 +72,16 @@ struct LevelTrace {
 /// maximum among occurrences belonging to the result).
 class JoinSearch {
  public:
+  /// Runs against any posting source (in-memory, disk session, segmented).
+  /// `source` must outlive the JoinSearch.
+  explicit JoinSearch(TermSource* source, JoinSearchOptions options = {});
+
+  /// Convenience over an in-memory index (owns the adapter).
   explicit JoinSearch(const JDeweyIndex& index, JoinSearchOptions options = {});
 
   /// Evaluates `keywords`. Unknown keywords yield an empty result set.
+  /// An I/O failure inside the source also yields an empty set — check
+  /// status() to distinguish.
   std::vector<SearchResult> Search(const std::vector<std::string>& keywords);
 
   /// Search with an EXPLAIN trace: which join algorithm each step picked
@@ -80,6 +89,10 @@ class JoinSearch {
   std::vector<SearchResult> SearchWithTrace(
       const std::vector<std::string>& keywords,
       std::vector<LevelTrace>* trace);
+
+  /// Status of the last Search call's list resolution (non-ok when the
+  /// posting source failed, e.g. disk corruption past the retry budget).
+  const Status& status() const { return last_status_; }
 
   /// Counters of the last Search call.
   const JoinSearchStats& stats() const { return stats_; }
@@ -103,9 +116,11 @@ class JoinSearch {
     uint64_t* touches_;  // not owned
   };
 
-  const JDeweyIndex& index_;
+  TermSource* source_;                              // not owned
+  std::unique_ptr<MemoryTermSource> owned_source_;  // legacy-ctor adapter
   JoinSearchOptions options_;
   JoinSearchStats stats_;
+  Status last_status_ = Status::Ok();
 };
 
 }  // namespace xtopk

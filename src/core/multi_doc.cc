@@ -50,6 +50,19 @@ StatusOr<size_t> MultiDocCorpus::AddDocumentXml(const std::string& name,
   return AddDocument(name, *parsed);
 }
 
+std::vector<NodeId> MultiDocCorpus::DocumentNodes(size_t index) const {
+  // Documents are copied en bloc, so a document's nodes are exactly the
+  // contiguous id range [wrapper, next wrapper) — no tree walk needed.
+  NodeId begin = doc_roots_[index];
+  NodeId end = index + 1 < doc_roots_.size()
+                   ? doc_roots_[index + 1]
+                   : static_cast<NodeId>(tree_.node_count());
+  std::vector<NodeId> nodes;
+  nodes.reserve(end - begin);
+  for (NodeId id = begin; id < end; ++id) nodes.push_back(id);
+  return nodes;
+}
+
 std::optional<size_t> MultiDocCorpus::DocumentOf(NodeId node) const {
   // Walk up to the level-2 ancestor (the <doc> wrapper).
   NodeId cur = node;

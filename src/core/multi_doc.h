@@ -46,6 +46,14 @@ class MultiDocCorpus {
     return doc_names_[index];
   }
 
+  /// The <doc> wrapper node of document `index`.
+  NodeId doc_root(size_t index) const { return doc_roots_[index]; }
+
+  /// All nodes of document `index` — its wrapper plus every descendant, in
+  /// creation order. This is the covered-node set a per-document segment
+  /// build (BuildSegmentIndex) ingests.
+  std::vector<NodeId> DocumentNodes(size_t index) const;
+
   /// Which document `node` belongs to; nullopt for the collection root.
   /// O(depth).
   std::optional<size_t> DocumentOf(NodeId node) const;

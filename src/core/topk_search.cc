@@ -205,11 +205,16 @@ double EstimateLevelMatches(const std::vector<const TopKList*>& lists,
 }  // namespace
 
 TopKSearch::TopKSearch(const TopKIndex& index, TopKSearchOptions options)
-    : index_(index), options_(options) {}
+    : index_(&index), options_(options) {}
+
+TopKSearch::TopKSearch(TermSource* source, TopKSearchOptions options)
+    : source_(source), options_(options) {}
 
 std::vector<SearchResult> TopKSearch::Search(
     const std::vector<std::string>& keywords) {
   stats_ = TopKSearchStats{};
+  last_status_ = Status::Ok();
+  query_lists_.clear();
   obs::ScopedSpan root(options_.trace, "topk_search");
   root.Stat("keywords", static_cast<double>(keywords.size()));
   root.Stat("k", static_cast<double>(options_.k));
@@ -221,19 +226,56 @@ std::vector<SearchResult> TopKSearch::Search(
   }
 
   std::vector<const TopKList*> lists;
-  for (const std::string& kw : keywords) {
-    const TopKList* list = index_.GetList(kw);
-    if (list == nullptr || list->base->num_rows() == 0) {
-      root.Label("termination", "missing_term");
-      FlushTopKStatsToRegistry(stats_);
-      return emitted;
+  if (source_ != nullptr) {
+    // Posting-source mode: materialize every term fully (score-ordered
+    // access touches arbitrary rows, so bounded loads don't apply), then
+    // derive the score-ordered segments per term. Two phases — a later
+    // Resolve may invalidate earlier pointers.
+    for (const std::string& kw : keywords) {
+      if (source_->Frequency(kw) == 0) {
+        root.Label("termination", "missing_term");
+        FlushTopKStatsToRegistry(stats_);
+        return emitted;
+      }
+      auto list = source_->Resolve(kw, UINT32_MAX, true, nullptr);
+      if (!list.ok() || *list == nullptr) {
+        last_status_ = list.ok() ? Status::Ok() : list.status();
+        root.Label("termination",
+                   list.ok() ? "missing_term" : "resolve_error");
+        FlushTopKStatsToRegistry(stats_);
+        return emitted;
+      }
     }
-    lists.push_back(list);
+    query_lists_.reserve(keywords.size());
+    for (const std::string& kw : keywords) {
+      auto list = source_->Resolve(kw, UINT32_MAX, true, nullptr);
+      if (!list.ok()) {
+        last_status_ = list.status();
+        root.Label("termination", "resolve_error");
+        FlushTopKStatsToRegistry(stats_);
+        return emitted;
+      }
+      query_lists_.push_back(BuildTopKListFor(**list));
+    }
+    for (const TopKList& list : query_lists_) lists.push_back(&list);
+  } else {
+    for (const std::string& kw : keywords) {
+      const TopKList* list = index_->GetList(kw);
+      if (list == nullptr || list->base->num_rows() == 0) {
+        root.Label("termination", "missing_term");
+        FlushTopKStatsToRegistry(stats_);
+        return emitted;
+      }
+      lists.push_back(list);
+    }
   }
   const size_t k_sources = lists.size();
   assert(k_sources <= 31);
   const uint32_t full_mask = (1u << k_sources) - 1;
-  const JDeweyIndex& base_index = *index_.base();
+  auto node_at = [&](uint32_t level, uint32_t value) {
+    return source_ != nullptr ? source_->NodeAt(level, value)
+                              : index_->base()->NodeAt(level, value);
+  };
 
   uint32_t start_level = lists[0]->base->max_length;
   for (const TopKList* list : lists) {
@@ -278,7 +320,7 @@ std::vector<SearchResult> TopKSearch::Search(
     while (!pending.empty() && emitted.size() < options_.k &&
            pending.top().score >= bound) {
       const Pending& top = pending.top();
-      NodeId node = base_index.NodeAt(top.level, top.value);
+      NodeId node = node_at(top.level, top.value);
       assert(node != kInvalidNode);
       emitted.push_back(SearchResult{node, top.level, top.score});
       pending.pop();
@@ -357,23 +399,12 @@ std::vector<SearchResult> TopKSearch::Search(
       }
       std::vector<size_t> order = PlanJoinOrder(sizes);
       JoinOpStats join_stats;
-      PlannerOptions planner;
-      std::vector<LevelMatch> matches =
-          SeedMatches(lists[order[0]]->base->column(level));
-      for (size_t j = 1; j < k_sources && !matches.empty(); ++j) {
-        const Column& next = lists[order[j]]->base->column(level);
-        switch (ChooseJoinAlgo(matches.size(), next.run_count(), planner)) {
-          case JoinAlgo::kIndex:
-            matches = IndexIntersect(std::move(matches), next, &join_stats);
-            break;
-          case JoinAlgo::kGallop:
-            matches = GallopIntersect(std::move(matches), next, &join_stats);
-            break;
-          case JoinAlgo::kMerge:
-            matches = MergeIntersect(std::move(matches), next, &join_stats);
-            break;
-        }
+      std::vector<const Column*> columns(k_sources);
+      for (size_t j = 0; j < k_sources; ++j) {
+        columns[j] = &lists[order[j]]->base->column(level);
       }
+      std::vector<LevelMatch> matches =
+          IntersectColumns(columns, PlannerOptions{}, &join_stats);
       for (const LevelMatch& match : matches) {
         // Per keyword: the best non-excluded occurrence in the run. A
         // keyword whose run is fully consumed kills the candidate — the

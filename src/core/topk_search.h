@@ -9,8 +9,10 @@
 #include "core/scoring.h"
 #include "core/search_result.h"
 #include "core/topk_star_join.h"
+#include "index/reader.h"
 #include "index/topk_index.h"
 #include "obs/trace.h"
+#include "util/status.h"
 
 namespace xtopk {
 
@@ -60,17 +62,34 @@ struct TopKSearchStats {
 /// star-join bound and the static upper bounds of all higher columns.
 class TopKSearch {
  public:
+  /// Over a prebuilt score-ordered index (the engine's steady-state path —
+  /// segments are computed once at build time).
   explicit TopKSearch(const TopKIndex& index, TopKSearchOptions options = {});
 
-  /// Returns up to `options.k` results in descending score order.
+  /// Over any posting source: the queried terms' lists are materialized in
+  /// full and their score-ordered segments derived per query (what the disk
+  /// and segmented paths do anyway — only the touched terms pay). `source`
+  /// must outlive the TopKSearch.
+  explicit TopKSearch(TermSource* source, TopKSearchOptions options = {});
+
+  /// Returns up to `options.k` results in descending score order. An I/O
+  /// failure inside the source yields an empty set — check status().
   std::vector<SearchResult> Search(const std::vector<std::string>& keywords);
+
+  /// Status of the last Search call's list resolution.
+  const Status& status() const { return last_status_; }
 
   const TopKSearchStats& stats() const { return stats_; }
 
  private:
-  const TopKIndex& index_;
+  const TopKIndex* index_ = nullptr;  // prebuilt-index mode
+  TermSource* source_ = nullptr;      // posting-source mode
   TopKSearchOptions options_;
   TopKSearchStats stats_;
+  Status last_status_ = Status::Ok();
+  /// Source mode: per-query score-ordered companions of the resolved lists
+  /// (kept alive for the duration of Search).
+  std::vector<TopKList> query_lists_;
 };
 
 }  // namespace xtopk

@@ -1,54 +1,240 @@
 #include "core/updatable_engine.h"
 
+#include <numeric>
+#include <unordered_set>
+#include <utility>
+
+#include "core/search_result.h"
+#include "index/disk_index.h"
+#include "index/segment_builder.h"
 #include "obs/metrics.h"
+#include "storage/segment_manifest.h"
 #include "xml/jdewey_builder.h"
+#include "xml/tokenizer.h"
 
 namespace xtopk {
 
 UpdatableEngine::UpdatableEngine(XmlTree initial, EngineOptions options)
     : tree_(std::move(initial)), options_(options) {
+  options_.index.scoring = options_.scoring;
   encoding_ = JDeweyBuilder::Assign(tree_, options_.index.jdewey_gap);
-  engine_ = std::make_unique<Engine>(tree_, options_);
+  segments_.SetCorpusNodes(tree_.node_count());
+  if (tree_.node_count() > 1) {
+    // The initial document becomes the base sealed segment; everything
+    // added afterwards accumulates in the memtable. A bare root shell is
+    // not worth sealing: it carries no indexable rows, and the first
+    // insert under a childless root re-encodes the root itself — which
+    // would read as a stale base and force a pointless full rebuild.
+    Status s = Seal("");
+    (void)s;  // in-memory seal cannot fail
+  }
 }
 
 NodeId UpdatableEngine::AddElement(NodeId parent, const std::string& tag,
                                    const std::string& text) {
   NodeId node = tree_.AddChild(parent, tag);
   if (!text.empty()) tree_.AppendText(node, text);
+  NodeId reencoded = kInvalidNode;
   uint64_t updates = JDeweyBuilder::InsertAssign(
-      tree_, node, options_.index.jdewey_gap, &encoding_);
+      tree_, node, options_.index.jdewey_gap, &encoding_, &reencoded);
   encoding_updates_ += updates;
   XTOPK_COUNTER("engine.encoding_updates").Add(updates);
-  dirty_ = true;
+  // A re-encode above the watermark only moved memtable nodes (the next
+  // refresh re-reads their numbers anyway); one below it invalidated
+  // sealed columns.
+  if (reencoded != kInvalidNode && reencoded < watermark_) {
+    needs_full_rebuild_ = true;
+  }
+  memtable_dirty_ = true;
   return node;
 }
 
 void UpdatableEngine::AppendText(NodeId node, const std::string& text) {
+  if (text.empty()) return;  // nothing to index; the index stays clean
   tree_.AppendText(node, text);
-  dirty_ = true;
+  if (node < watermark_) {
+    needs_full_rebuild_ = true;  // sealed rows of this node are stale
+  } else {
+    memtable_dirty_ = true;
+  }
+}
+
+NodeId UpdatableEngine::AddDocument(const std::string& name,
+                                    const XmlTree& doc) {
+  NodeId wrapper = AddElement(tree_.root(), "doc");
+  tree_.AddAttribute(wrapper, "name", name);
+  if (!doc.empty()) {
+    NodeId root_copy =
+        AddElement(wrapper, doc.TagName(doc.root()), doc.text(doc.root()));
+    std::vector<std::pair<NodeId, NodeId>> stack;  // (src, dst)
+    stack.emplace_back(doc.root(), root_copy);
+    while (!stack.empty()) {
+      auto [src, dst] = stack.back();
+      stack.pop_back();
+      std::vector<NodeId> kids = doc.Children(src);
+      std::vector<NodeId> copies;
+      copies.reserve(kids.size());
+      for (NodeId child : kids) {
+        copies.push_back(AddElement(dst, doc.TagName(child), doc.text(child)));
+      }
+      for (size_t i = 0; i < kids.size(); ++i) {
+        stack.emplace_back(kids[i], copies[i]);
+      }
+    }
+  }
+  ++memtable_docs_;
+  return wrapper;
+}
+
+void UpdatableEngine::FullRebuild() {
+  segments_.Clear();
+  std::vector<NodeId> nodes(tree_.node_count());
+  std::iota(nodes.begin(), nodes.end(), NodeId{0});
+  // The MAINTAINED encoding stays authoritative — the rebuilt base segment
+  // uses the same numbers, so the memtable keeps extending it without a
+  // re-assignment.
+  segments_.AddMemorySegment(
+      BuildSegmentIndex(tree_, encoding_, nodes, options_.index),
+      nodes.size());
+  watermark_ = static_cast<NodeId>(tree_.node_count());
+  memtable_ = nullptr;
+  segments_.SetMemtable(nullptr);
+  memtable_dirty_ = false;
+  needs_full_rebuild_ = false;
+  memtable_docs_ = 0;
+  XTOPK_GAUGE("index.memtable_docs").Set(0);
+  ++rebuilds_;
+  XTOPK_COUNTER("engine.rebuilds").Add(1);
+}
+
+void UpdatableEngine::RefreshMemtable() {
+  size_t count = tree_.node_count();
+  if (watermark_ >= count) {
+    memtable_ = nullptr;
+    segments_.SetMemtable(nullptr);
+  } else {
+    std::vector<NodeId> nodes;
+    nodes.reserve(count - watermark_);
+    for (NodeId id = watermark_; id < count; ++id) nodes.push_back(id);
+    memtable_ = std::make_unique<JDeweyIndex>(
+        BuildSegmentIndex(tree_, encoding_, nodes, options_.index));
+    segments_.SetMemtable(memtable_.get());
+  }
+  memtable_dirty_ = false;
+  ++memtable_refreshes_;
+  XTOPK_COUNTER("engine.memtable_refreshes").Add(1);
+  XTOPK_GAUGE("index.memtable_docs")
+      .Set(static_cast<int64_t>(memtable_docs_));
 }
 
 void UpdatableEngine::EnsureFresh() {
-  if (!dirty_) return;
-  // The maintained encoding proves insertions are cheap (§III-A); the
-  // rebuilt engine re-derives a fresh encoding for its lists — simplest
-  // correct policy, amortized over query batches.
-  engine_ = std::make_unique<Engine>(tree_, options_);
-  dirty_ = false;
-  ++rebuilds_;
-  XTOPK_COUNTER("engine.rebuilds").Add(1);
+  if (needs_full_rebuild_) {
+    FullRebuild();
+  } else if (memtable_dirty_) {
+    RefreshMemtable();
+  }
+  // N of the idf term grows with the tree; a change invalidates the
+  // segmented index's score caches (version bump inside).
+  segments_.SetCorpusNodes(tree_.node_count());
+}
+
+Status UpdatableEngine::Seal(const std::string& disk_path) {
+  size_t count = tree_.node_count();
+  std::vector<NodeId> nodes;
+  nodes.reserve(count - watermark_);
+  for (NodeId id = watermark_; id < count; ++id) nodes.push_back(id);
+  JDeweyIndex segment =
+      BuildSegmentIndex(tree_, encoding_, nodes, options_.index);
+  if (disk_path.empty()) {
+    segments_.AddMemorySegment(std::move(segment), nodes.size());
+  } else {
+    Status s = DiskIndexWriter::Write(segment, /*include_scores=*/true,
+                                      disk_path);
+    if (!s.ok()) return s;
+    SegmentManifest manifest = ManifestFromSegment(segment);
+    manifest.covered_nodes = nodes.size();
+    s = manifest.Save(disk_path + ".manifest");
+    if (!s.ok()) return s;
+    s = segments_.AddDiskSegment(disk_path);
+    if (!s.ok()) return s;
+  }
+  watermark_ = static_cast<NodeId>(count);
+  memtable_ = nullptr;
+  segments_.SetMemtable(nullptr);
+  memtable_dirty_ = false;
+  memtable_docs_ = 0;
+  XTOPK_GAUGE("index.memtable_docs").Set(0);
+  return Status::Ok();
+}
+
+Status UpdatableEngine::SealMemtable(const std::string& path) {
+  if (needs_full_rebuild_) {
+    // Sealed data went stale; fold everything into a fresh base first so
+    // the seal captures sound numbers. The memtable is empty afterwards.
+    FullRebuild();
+  }
+  if (watermark_ >= tree_.node_count()) {
+    return Status::InvalidArgument("updatable engine: memtable is empty");
+  }
+  return Seal(path);
+}
+
+Status UpdatableEngine::Compact(const std::string& path) {
+  EnsureFresh();
+  return segments_.Compact(path);
+}
+
+std::vector<QueryHit> UpdatableEngine::Materialize(
+    const std::vector<SearchResult>& results) const {
+  std::vector<QueryHit> hits;
+  hits.reserve(results.size());
+  for (const SearchResult& r : results) {
+    QueryHit hit;
+    hit.node = r.node;
+    hit.level = r.level;
+    hit.score = r.score;
+    hit.tag = tree_.TagName(r.node);
+    hit.snippet = tree_.text(r.node);
+    hits.push_back(std::move(hit));
+  }
+  return hits;
+}
+
+std::vector<std::string> UpdatableEngine::Normalize(
+    const std::vector<std::string>& keywords) const {
+  Tokenizer tokenizer(options_.index.tokenizer);
+  std::vector<std::string> normalized;
+  std::unordered_set<std::string> seen;
+  for (const std::string& keyword : keywords) {
+    for (const std::string& token : tokenizer.Tokenize(keyword)) {
+      if (seen.insert(token).second) normalized.push_back(token);
+    }
+  }
+  return normalized;
 }
 
 std::vector<QueryHit> UpdatableEngine::Search(
     const std::vector<std::string>& keywords, Semantics semantics) {
   EnsureFresh();
-  return engine_->Search(keywords, semantics);
+  JoinSearchOptions join_options;
+  join_options.semantics = semantics;
+  join_options.compute_scores = true;
+  join_options.scoring = options_.scoring;
+  JoinSearch search(&segments_, join_options);
+  std::vector<SearchResult> found = search.Search(Normalize(keywords));
+  SortByScoreDesc(&found);
+  return Materialize(found);
 }
 
 std::vector<QueryHit> UpdatableEngine::SearchTopK(
     const std::vector<std::string>& keywords, size_t k, Semantics semantics) {
   EnsureFresh();
-  return engine_->SearchTopK(keywords, k, semantics);
+  TopKSearchOptions topk_options;
+  topk_options.semantics = semantics;
+  topk_options.k = k;
+  topk_options.scoring = options_.scoring;
+  TopKSearch search(&segments_, topk_options);
+  return Materialize(search.Search(Normalize(keywords)));
 }
 
 }  // namespace xtopk

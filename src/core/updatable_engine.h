@@ -6,35 +6,65 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "index/segment.h"
 #include "xml/jdewey.h"
 #include "xml/xml_tree.h"
 
 namespace xtopk {
 
-/// An Engine over a mutable document. Node insertions maintain the JDewey
-/// encoding incrementally (§III-A: reserved gaps, partial re-encoding);
-/// the inverted lists are refreshed lazily — a query rebuilds them only if
-/// the tree changed since the last build. This is the amortization real
-/// engines use for append-mostly corpora: the encoding (the part the paper
-/// worries about) is maintained per insert, the index in batches.
+/// A genuinely incremental engine over a mutable document. Node insertions
+/// maintain the JDewey encoding in place (§III-A: reserved gaps, partial
+/// re-encoding), and the inverted lists are segmented LSM-style
+/// (SegmentedIndex): nodes below a watermark live in immutable sealed
+/// segments, nodes at or above it in a small memtable segment that is
+/// rebuilt lazily before a query. An append-only workload therefore NEVER
+/// rebuilds the full index — only the memtable tail — and `rebuilds()`
+/// stays 0.
+///
+/// A full rebuild happens only when sealed data goes stale:
+///  - a reserved-range overflow re-encodes a subtree rooted BELOW the
+///    watermark (its sealed JDewey numbers are now wrong), or
+///  - text is appended to a node below the watermark (its sealed term
+///    rows are now wrong).
+/// Both are detected per mutation and deferred to the next query.
 class UpdatableEngine {
  public:
   explicit UpdatableEngine(XmlTree initial, EngineOptions options = {});
 
   /// Adds an element under `parent`, with optional direct text. Returns
-  /// the new node. O(1) amortized encoding maintenance.
+  /// the new node. O(1) amortized encoding maintenance; the new node goes
+  /// to the memtable.
   NodeId AddElement(NodeId parent, const std::string& tag,
                     const std::string& text = "");
 
-  /// Appends text to an existing element (marks the index dirty).
+  /// Appends text to an existing element. Appending an empty string is a
+  /// no-op (nothing to index — the index must NOT go dirty). Text on a
+  /// memtable node only dirties the memtable; text on a sealed node
+  /// forces a full rebuild at the next query.
   void AppendText(NodeId node, const std::string& text);
 
-  /// Queries (rebuild the index first if dirty).
+  /// Grafts a copy of `doc` under the root as one <doc name=...> wrapper
+  /// subtree (the MultiDocCorpus shape), maintaining the encoding node by
+  /// node. Returns the wrapper node. The whole document lands in the
+  /// memtable; SealMemtable turns accumulated documents into an immutable
+  /// segment.
+  NodeId AddDocument(const std::string& name, const XmlTree& doc);
+
+  /// Queries (refresh the memtable / rebuild first if needed).
   std::vector<QueryHit> Search(const std::vector<std::string>& keywords,
                                Semantics semantics = Semantics::kElca);
   std::vector<QueryHit> SearchTopK(const std::vector<std::string>& keywords,
                                    size_t k,
                                    Semantics semantics = Semantics::kElca);
+
+  /// Seals the current memtable to `path` as an immutable on-disk segment
+  /// (+ ".manifest") and advances the watermark past it. Queries before
+  /// and after answer identically. Fails on an empty memtable.
+  Status SealMemtable(const std::string& path);
+
+  /// Merges every sealed segment into one at `path` (SegmentedIndex::
+  /// Compact). The memtable is untouched.
+  Status Compact(const std::string& path);
 
   const XmlTree& tree() const { return tree_; }
 
@@ -42,9 +72,20 @@ class UpdatableEngine {
   /// plain insert; subtree size when a reserved range forced a partial
   /// re-encode).
   uint64_t encoding_updates() const { return encoding_updates_; }
-  /// Index rebuilds triggered by queries after mutations.
+  /// FULL index rebuilds (sealed data went stale). 0 on append-only
+  /// workloads — the point of the segmented design.
   uint64_t rebuilds() const { return rebuilds_; }
-  bool dirty() const { return dirty_; }
+  /// Lazy memtable (tail segment) rebuilds; not counted as rebuilds.
+  uint64_t memtable_refreshes() const { return memtable_refreshes_; }
+  bool dirty() const { return memtable_dirty_ || needs_full_rebuild_; }
+
+  /// Sealed segments currently serving queries.
+  size_t segment_count() const { return segments_.sealed_count(); }
+  /// Documents (AddDocument) accumulated in the memtable since the last
+  /// seal / rebuild.
+  size_t memtable_docs() const { return memtable_docs_; }
+  /// Nodes below this id are covered by sealed segments.
+  NodeId watermark() const { return watermark_; }
 
   /// Invariant check (tests): the maintained encoding still satisfies both
   /// JDewey requirements.
@@ -52,14 +93,28 @@ class UpdatableEngine {
 
  private:
   void EnsureFresh();
+  void FullRebuild();
+  void RefreshMemtable();
+  /// Seals nodes [watermark_, node_count) as one segment; `disk_path`
+  /// empty seals in memory.
+  Status Seal(const std::string& disk_path);
+  std::vector<QueryHit> Materialize(
+      const std::vector<SearchResult>& results) const;
+  std::vector<std::string> Normalize(
+      const std::vector<std::string>& keywords) const;
 
   XmlTree tree_;
   EngineOptions options_;
   JDeweyEncoding encoding_;
-  std::unique_ptr<Engine> engine_;
-  bool dirty_ = false;
+  SegmentedIndex segments_;
+  std::unique_ptr<JDeweyIndex> memtable_;
+  NodeId watermark_ = 0;
+  bool memtable_dirty_ = false;
+  bool needs_full_rebuild_ = false;
   uint64_t encoding_updates_ = 0;
   uint64_t rebuilds_ = 0;
+  uint64_t memtable_refreshes_ = 0;
+  size_t memtable_docs_ = 0;
 };
 
 }  // namespace xtopk

@@ -159,6 +159,24 @@ Status ParseFooter(const std::string& footer, FooterInfo* info) {
   return Status::Ok();
 }
 
+/// Current registry values of the cache counters DiskIoStats reports
+/// (pages_read stays on the PageFile instance).
+DiskIoStats RegistryIoCounters() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  DiskIoStats s;
+  s.pool_hits = reg.GetCounter("storage.pool.hits").value();
+  s.pool_misses = reg.GetCounter("storage.pool.misses").value();
+  s.decoded_hits = reg.GetCounter("storage.decoded.hits").value();
+  s.decoded_misses = reg.GetCounter("storage.decoded.misses").value();
+  return s;
+}
+
+/// Saturating delta: a registry ResetAll between baseline and read would
+/// otherwise wrap; report the post-reset absolute value instead.
+uint64_t CounterDelta(uint64_t now, uint64_t baseline) {
+  return now >= baseline ? now - baseline : now;
+}
+
 }  // namespace
 
 Status DiskIndexWriter::Write(const JDeweyIndex& index, bool include_scores,
@@ -278,6 +296,10 @@ StatusOr<std::shared_ptr<DiskIndexEnv>> DiskIndexEnv::Open(
                                             options.pool_shards);
   env->decoded_ =
       std::make_unique<DecodedBlockCache>(options.decoded_cache_bytes);
+  // Counter baseline before any directory I/O, so io_stats() scopes to
+  // this environment's activity from a fresh zero (the pre-registry
+  // instance counters started here too).
+  env->stats_baseline_ = RegistryIoCounters();
   env->skip_enabled_ = options.enable_skip;
   env->io_retries_ = options.io_retries;
   env->retry_backoff_us_ = options.retry_backoff_us;
@@ -492,19 +514,22 @@ uint32_t DiskIndexEnv::MaxLength(const std::string& term) const {
 }
 
 DiskIoStats DiskIndexEnv::io_stats() const {
+  DiskIoStats now = RegistryIoCounters();
   DiskIoStats stats;
   stats.pages_read = file_->pages_read();
-  stats.pool_hits = pool_->hits();
-  stats.pool_misses = pool_->misses();
-  stats.decoded_hits = decoded_->hits();
-  stats.decoded_misses = decoded_->misses();
+  stats.pool_hits = CounterDelta(now.pool_hits, stats_baseline_.pool_hits);
+  stats.pool_misses =
+      CounterDelta(now.pool_misses, stats_baseline_.pool_misses);
+  stats.decoded_hits =
+      CounterDelta(now.decoded_hits, stats_baseline_.decoded_hits);
+  stats.decoded_misses =
+      CounterDelta(now.decoded_misses, stats_baseline_.decoded_misses);
   return stats;
 }
 
 void DiskIndexEnv::ResetIoStats() {
   file_->ResetStats();
-  pool_->ResetStats();
-  decoded_->ResetStats();
+  stats_baseline_ = RegistryIoCounters();
 }
 
 DiskJDeweyIndex::DiskJDeweyIndex(std::shared_ptr<DiskIndexEnv> env)
@@ -768,77 +793,25 @@ StatusOr<std::vector<SearchResult>> DiskJDeweyIndex::SearchComplete(
 StatusOr<std::vector<SearchResult>> DiskJDeweyIndex::SearchComplete(
     const std::vector<std::string>& keywords, JoinSearchOptions options,
     JoinSearchStats* stats) {
-  std::vector<SearchResult> empty;
-  if (keywords.empty()) return empty;
-  // l0 from the directory: no LCA of all keywords can sit below the
-  // shallowest of the deepest occurrence levels (§III-B).
-  uint32_t l0 = UINT32_MAX;
-  for (const std::string& kw : keywords) {
-    auto it = env_->directory_.find(kw);
-    if (it == env_->directory_.end() || it->second.rows == 0) return empty;
-    l0 = std::min(l0, it->second.max_length);
-  }
-  // Skip-decode: load the seed list (fewest rows — the same stable argmin
-  // the join planner starts from) fully, then every other list with
-  // per-level value bounds taken from the seed's columns. Any join match
-  // at level l carries a value present in the seed's level-l column, so a
-  // partial column covering the seed's [first, last] value range is a
-  // superset of every run the join can touch — results are bit-identical
-  // to full loads.
-  if (env_->skip_enabled_ && keywords.size() > 1) {
-    size_t seed = 0;
-    for (size_t i = 1; i < keywords.size(); ++i) {
-      if (env_->directory_.find(keywords[i])->second.rows <
-          env_->directory_.find(keywords[seed])->second.rows) {
-        seed = i;
-      }
-    }
-    auto seed_list = LoadList(keywords[seed], l0, options.compute_scores);
-    if (!seed_list.ok()) return seed_list.status();
-    std::vector<ValueBounds> bounds(l0);
-    for (uint32_t l = 1; l <= l0; ++l) {
-      const Column& col = (*seed_list)->column(l);
-      if (col.empty()) {
-        bounds[l - 1] = ValueBounds{1, 0};  // unsatisfiable: no seed runs
-      } else {
-        bounds[l - 1] = ValueBounds{col.runs().front().value,
-                                    col.runs().back().value};
-      }
-    }
-    for (size_t i = 0; i < keywords.size(); ++i) {
-      if (i == seed) continue;
-      auto list = LoadList(keywords[i], l0, options.compute_scores, &bounds);
-      if (!list.ok()) return list.status();
-    }
-  } else {
-    for (const std::string& kw : keywords) {
-      auto list = LoadList(kw, l0, options.compute_scores);
-      if (!list.ok()) return list.status();
-    }
-  }
-  JoinSearch search(view_, options);
+  // The session is the posting source: the shared resolve pipeline loads
+  // the seed list fully and every other list with the seed's per-level
+  // value bounds (skip-decodes when the environment allows them).
+  JoinSearch search(this, options);
   auto results = search.Search(keywords);
   if (stats != nullptr) *stats = search.stats();
+  if (!search.status().ok()) return search.status();
   return results;
 }
 
 StatusOr<std::vector<SearchResult>> DiskJDeweyIndex::SearchTopK(
     const std::vector<std::string>& keywords, TopKSearchOptions options) {
-  std::vector<SearchResult> empty;
-  if (keywords.empty()) return empty;
-  for (const std::string& kw : keywords) {
-    auto it = env_->directory_.find(kw);
-    if (it == env_->directory_.end() || it->second.rows == 0) return empty;
-  }
-  for (const std::string& kw : keywords) {
-    auto list = LoadList(kw, UINT32_MAX, /*need_scores=*/true);
-    if (!list.ok()) return list.status();
-  }
-  // The derived segments cover every list loaded so far (a superset of the
-  // query); building them is linear in the loaded rows.
-  TopKIndex topk = BuildTopKIndexFrom(view_);
-  TopKSearch search(topk, options);
-  return search.Search(keywords);
+  // Posting-source mode: TopKSearch materializes the queried lists fully
+  // (semantic pruning probes arbitrary components) and derives their
+  // score-ordered segments per query.
+  TopKSearch search(this, options);
+  auto results = search.Search(keywords);
+  if (!search.status().ok()) return search.status();
+  return results;
 }
 
 }  // namespace xtopk

@@ -11,6 +11,7 @@
 #include "core/topk_search.h"
 #include "core/search_result.h"
 #include "index/jdewey_index.h"
+#include "index/reader.h"
 #include "storage/buffer_pool.h"
 #include "storage/compression.h"
 #include "storage/decoded_cache.h"
@@ -86,10 +87,12 @@ struct DiskIndexOptions {
   uint32_t retry_backoff_us = 50;
 };
 
-/// Aggregate I/O / cache counters of one disk index environment — a
-/// per-environment shim over the process-wide MetricsRegistry counters
-/// (storage.page_reads, storage.pool.*, storage.decoded.*), kept for
-/// callers that scope stats to one environment.
+/// Aggregate I/O / cache counters of one disk index environment. Page
+/// reads come from the environment's own PageFile; the cache fields are
+/// deltas of the process-wide MetricsRegistry counters (storage.pool.*,
+/// storage.decoded.*) against a baseline captured at Open / ResetIoStats —
+/// exact when one environment is active between reset and read, which is
+/// how every caller scopes them.
 struct DiskIoStats {
   uint64_t pages_read = 0;   ///< physical page reads since last reset
   uint64_t pool_hits = 0;
@@ -173,6 +176,10 @@ class DiskIndexEnv : public std::enable_shared_from_this<DiskIndexEnv> {
   bool skip_enabled_ = true;
   uint32_t io_retries_ = 3;
   uint32_t retry_backoff_us_ = 50;
+  /// Registry counter values at Open / last ResetIoStats; io_stats()
+  /// reports the deltas since then (pages_read excluded — it stays on the
+  /// PageFile instance).
+  DiskIoStats stats_baseline_;
   /// v2 segments: CRC32C of each data page, indexed by PageId; empty for
   /// legacy v1 segments (nothing to verify).
   std::vector<uint32_t> page_crcs_;
@@ -191,7 +198,11 @@ class DiskIndexEnv : public std::enable_shared_from_this<DiskIndexEnv> {
 /// A session is not thread-safe; it is the per-query (or per-worker) view.
 /// All sessions of one environment share its buffer pool and decoded-block
 /// cache, so a list decoded by one query is a memcpy for the next.
-class DiskJDeweyIndex {
+///
+/// A session IS a TermSource: JoinSearch / TopKSearch run directly against
+/// it, which is what makes the disk path share the single implementation of
+/// the paper's algorithms (Resolve = LoadList, bounds = skip-decode).
+class DiskJDeweyIndex : public TermSource {
  public:
   using IoStats = DiskIoStats;
 
@@ -220,9 +231,22 @@ class DiskJDeweyIndex {
       const std::vector<ValueBounds>* level_bounds);
 
   /// Frequency from the directory alone (no data I/O).
-  uint32_t Frequency(const std::string& term) const;
+  uint32_t Frequency(const std::string& term) const override;
   /// Deepest occurrence level from the directory alone.
-  uint32_t MaxLength(const std::string& term) const;
+  uint32_t MaxLength(const std::string& term) const override;
+
+  /// TermSource: Resolve is LoadList (bounded loads become skip-decodes
+  /// when the environment has skip enabled; otherwise bounds are ignored
+  /// inside MaterializeColumns and the full columns load).
+  StatusOr<const JDeweyList*> Resolve(
+      const std::string& term, uint32_t up_to_level, bool need_scores,
+      const std::vector<ValueBounds>* level_bounds) override {
+    return LoadList(term, up_to_level, need_scores, level_bounds);
+  }
+  NodeId NodeAt(uint32_t level, uint32_t value) const override {
+    return view_.NodeAt(level, value);
+  }
+  uint32_t max_level() const override { return view_.max_level(); }
 
   /// Evaluates a complete-result query against the disk-resident index:
   /// computes l0 from the directory, loads only columns 1..l0 of each

@@ -1,0 +1,65 @@
+#include "index/reader.h"
+
+#include <algorithm>
+
+namespace xtopk {
+
+Status ResolveForJoin(TermSource* source,
+                      const std::vector<std::string>& keywords,
+                      bool need_scores,
+                      std::vector<const JDeweyList*>* lists) {
+  lists->clear();
+  if (keywords.empty()) return Status::Ok();
+
+  // l0 from the directory: no LCA of all keywords can sit below the
+  // shallowest of the deepest occurrence levels (§III-B). A missing
+  // keyword means no answers — nothing is materialized.
+  uint32_t l0 = UINT32_MAX;
+  for (const std::string& kw : keywords) {
+    if (source->Frequency(kw) == 0) return Status::Ok();
+    l0 = std::min(l0, source->MaxLength(kw));
+  }
+
+  // Seed on the rarest term (the same stable argmin the join planner
+  // starts from), then bound every other load by the seed's per-level
+  // value ranges. Sources without skip support ignore the bounds, so the
+  // pipeline is uniform across memory / disk / segmented sources.
+  size_t seed = 0;
+  for (size_t i = 1; i < keywords.size(); ++i) {
+    if (source->Frequency(keywords[i]) < source->Frequency(keywords[seed])) {
+      seed = i;
+    }
+  }
+  auto seed_list = source->Resolve(keywords[seed], l0, need_scores, nullptr);
+  if (!seed_list.ok()) return seed_list.status();
+  if (*seed_list == nullptr) return Status::Ok();
+
+  std::vector<ValueBounds> bounds(l0);
+  for (uint32_t l = 1; l <= l0; ++l) {
+    LevelCursor cursor = TermSource::CursorAt(**seed_list, l);
+    bounds[l - 1] = cursor.bounds();
+  }
+
+  // Phase 1: materialize everything. Pointers are NOT collected here — a
+  // later Resolve may grow the source's backing storage (a disk session's
+  // view vector reallocating) and invalidate earlier ones.
+  for (size_t i = 0; i < keywords.size(); ++i) {
+    if (i == seed) continue;
+    auto list = source->Resolve(keywords[i], l0, need_scores, &bounds);
+    if (!list.ok()) return list.status();
+    if (*list == nullptr) return Status::Ok();
+  }
+  // Phase 2: everything is materialized; re-fetching is pure lookup and
+  // the pointers stay stable for the rest of the query.
+  std::vector<const JDeweyList*> resolved(keywords.size(), nullptr);
+  for (size_t i = 0; i < keywords.size(); ++i) {
+    const std::vector<ValueBounds>* b = i == seed ? nullptr : &bounds;
+    auto list = source->Resolve(keywords[i], l0, need_scores, b);
+    if (!list.ok()) return list.status();
+    resolved[i] = *list;
+  }
+  *lists = std::move(resolved);
+  return Status::Ok();
+}
+
+}  // namespace xtopk

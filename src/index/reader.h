@@ -1,0 +1,157 @@
+#ifndef XTOPK_INDEX_READER_H_
+#define XTOPK_INDEX_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/jdewey_index.h"
+#include "storage/compression.h"
+#include "util/status.h"
+
+namespace xtopk {
+
+/// A cursor over one level of one term's posting list: the runs of a
+/// Column in value order. This is the unit the join layer consumes —
+/// every posting source (in-memory index, disk session, segmented index)
+/// materializes columns, and a LevelCursor walks them identically.
+///
+/// Runs arrive in non-decreasing value order (Property 3.1), so SkipTo is
+/// a forward-only binary search and bounds() is just the first/last run.
+class LevelCursor {
+ public:
+  LevelCursor() = default;
+  explicit LevelCursor(const Column* column) : column_(column) {}
+
+  bool Valid() const {
+    return column_ != nullptr && pos_ < column_->run_count();
+  }
+  const Run& Current() const { return column_->runs()[pos_]; }
+
+  /// Advances to the next run.
+  void Next() { ++pos_; }
+
+  /// Positions the cursor at the first run with value >= `value`
+  /// (forward-only). Returns Valid() afterwards.
+  bool SkipTo(uint32_t value) {
+    if (column_ == nullptr) return false;
+    if (Valid() && Current().value >= value) return true;
+    size_t lo = column_->LowerBoundValue(value);
+    pos_ = lo > pos_ ? lo : pos_;
+    return Valid();
+  }
+
+  /// Value range [lo, hi] the remaining runs span; {1, 0} (unsatisfiable)
+  /// when exhausted. The same min/max the on-disk block skip directory
+  /// carries, so a seed cursor's bounds translate directly into bounded
+  /// column loads.
+  ValueBounds bounds() const {
+    if (!Valid()) return ValueBounds{1, 0};
+    return ValueBounds{column_->runs()[pos_].value,
+                       column_->runs().back().value};
+  }
+
+  size_t run_count() const {
+    return column_ == nullptr ? 0 : column_->run_count();
+  }
+  const Column* column() const { return column_; }
+
+ private:
+  const Column* column_ = nullptr;
+  size_t pos_ = 0;
+};
+
+/// The posting-source abstraction the search algorithms run against: one
+/// interface over the in-memory JDeweyIndex, a DiskJDeweyIndex session,
+/// and the SegmentedIndex, so JoinSearch / TopKSearch exist exactly once.
+///
+/// The contract mirrors the paper's I/O story (§III-B): Frequency and
+/// MaxLength come from the directory alone (no data I/O); Resolve
+/// materializes a term's list down to the requested level, optionally
+/// restricted to per-level value bounds. A bounded resolve may return a
+/// superset of the runs inside the bounds (partial columns are sound
+/// whenever the caller joins against a list whose values all lie inside
+/// them); sources without skip support simply ignore the bounds.
+class TermSource {
+ public:
+  virtual ~TermSource() = default;
+
+  /// Document frequency (list length); 0 for unknown terms. No data I/O.
+  virtual uint32_t Frequency(const std::string& term) const = 0;
+
+  /// Deepest occurrence level of `term`; 0 for unknown terms. No data I/O.
+  virtual uint32_t MaxLength(const std::string& term) const = 0;
+
+  /// Materializes `term`'s list with columns 1..up_to_level (clamped to
+  /// the list's max length). `level_bounds`, when non-null, gives the
+  /// value range the query can touch at each level (index = level - 1);
+  /// skip-capable sources load only the overlapping blocks. Returns
+  /// nullptr (ok) for unknown terms; repeated calls may widen an earlier
+  /// materialization and return the same pointer.
+  virtual StatusOr<const JDeweyList*> Resolve(
+      const std::string& term, uint32_t up_to_level, bool need_scores,
+      const std::vector<ValueBounds>* level_bounds) = 0;
+
+  /// Node with JDewey number `value` at `level`; kInvalidNode if none.
+  virtual NodeId NodeAt(uint32_t level, uint32_t value) const = 0;
+
+  /// Deepest level of the encoded tree.
+  virtual uint32_t max_level() const = 0;
+
+  /// Cursor over a resolved list's column at `level` (1-based). Null
+  /// column (level beyond the list) yields an exhausted cursor.
+  static LevelCursor CursorAt(const JDeweyList& list, uint32_t level) {
+    if (level == 0 || level > list.max_length) return LevelCursor();
+    return LevelCursor(&list.column(level));
+  }
+};
+
+/// TermSource over an in-memory JDeweyIndex: everything is already
+/// materialized, so Resolve is a map lookup and bounds are ignored.
+class MemoryTermSource : public TermSource {
+ public:
+  explicit MemoryTermSource(const JDeweyIndex& index) : index_(index) {}
+
+  uint32_t Frequency(const std::string& term) const override {
+    return index_.Frequency(term);
+  }
+  uint32_t MaxLength(const std::string& term) const override {
+    const JDeweyList* list = index_.GetList(term);
+    return list == nullptr ? 0 : list->max_length;
+  }
+  StatusOr<const JDeweyList*> Resolve(
+      const std::string& term, uint32_t /*up_to_level*/, bool /*need_scores*/,
+      const std::vector<ValueBounds>* /*level_bounds*/) override {
+    return index_.GetList(term);
+  }
+  NodeId NodeAt(uint32_t level, uint32_t value) const override {
+    return index_.NodeAt(level, value);
+  }
+  uint32_t max_level() const override { return index_.max_level(); }
+
+  const JDeweyIndex& index() const { return index_; }
+
+ private:
+  const JDeweyIndex& index_;
+};
+
+/// Shared resolve pipeline of the complete-result search (used by
+/// JoinSearch; kept here so every TermSource benefits identically):
+/// computes l0 = min over keywords of MaxLength, resolves the seed list
+/// (fewest rows) fully, derives per-level value bounds from the seed's
+/// columns, and resolves every other list restricted to those bounds.
+/// Any join match at level l carries a value present in the seed's
+/// level-l column, so partial columns covering the seed's [first, last]
+/// range are supersets of every run the join can touch — results are
+/// bit-identical to full loads.
+///
+/// On success `lists` is keyword-aligned. When a keyword is unknown or
+/// empty, `lists` is left empty (ok status) — the query has no answers.
+Status ResolveForJoin(TermSource* source,
+                      const std::vector<std::string>& keywords,
+                      bool need_scores,
+                      std::vector<const JDeweyList*>* lists);
+
+}  // namespace xtopk
+
+#endif  // XTOPK_INDEX_READER_H_

@@ -1,0 +1,131 @@
+#ifndef XTOPK_INDEX_SEGMENT_H_
+#define XTOPK_INDEX_SEGMENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/disk_index.h"
+#include "index/jdewey_index.h"
+#include "index/reader.h"
+#include "storage/segment_manifest.h"
+#include "util/status.h"
+
+namespace xtopk {
+
+/// A TermSource over N immutable sealed segments plus one mutable
+/// memtable — the LSM shape incremental indexing wants: inserts only ever
+/// touch the small in-memory tail, sealed segments are written once and
+/// never rewritten (until Compact folds them into one).
+///
+/// Every child indexes a disjoint set of nodes of ONE tree under ONE
+/// shared JDewey encoding, and stores raw term frequencies in its score
+/// slots (segment_builder.h). Resolve merges the children's rows of a term
+/// by JDewey sequence — a k-way sorted merge, since Property 3.1 holds per
+/// child — and converts tf to the normalized tf·idf local score using
+/// corpus-global statistics aggregated from the segment manifests:
+/// df(t) = sum of per-segment rows, the normalizer = max over terms of
+/// RawLocalScore(max_tf, df, N). The result is bit-identical to the list a
+/// single monolithic index build would produce, so JoinSearch / TopKSearch
+/// answers are too.
+///
+/// Merged lists are cached per term; any mutation (AddMemorySegment /
+/// AddDiskSegment / SetMemtable / SetCorpusNodes / Compact) bumps an
+/// internal version that invalidates the cache and the aggregated
+/// statistics. Not thread-safe — one SegmentedIndex per writer, like a
+/// DiskJDeweyIndex session.
+class SegmentedIndex : public TermSource {
+ public:
+  SegmentedIndex() = default;
+  SegmentedIndex(SegmentedIndex&&) = default;
+  SegmentedIndex& operator=(SegmentedIndex&&) = default;
+
+  /// Seals `segment` (raw-tf scores, built by BuildSegmentIndex) as an
+  /// in-memory immutable segment. `covered_nodes` is bookkeeping for the
+  /// manifest written if this segment is later compacted to disk.
+  void AddMemorySegment(JDeweyIndex segment, uint64_t covered_nodes = 0);
+
+  /// Opens a sealed on-disk segment: `path` must hold a DiskIndexWriter
+  /// page file with scores, `path + ".manifest"` its SegmentManifest.
+  Status AddDiskSegment(const std::string& path,
+                        DiskIndexOptions options = {});
+
+  /// Attaches (or detaches, with nullptr) the memtable: a raw-tf segment
+  /// index covering the not-yet-sealed nodes. Borrowed — the caller keeps
+  /// it alive and calls SetMemtable again after rebuilding it.
+  void SetMemtable(const JDeweyIndex* memtable);
+
+  /// Total nodes of the shared tree (the N of the idf term). Score
+  /// normalization needs it; the owner refreshes it as the tree grows.
+  void SetCorpusNodes(uint64_t corpus_nodes);
+
+  /// Merges ALL sealed segments (memory and disk) into one on-disk
+  /// segment at `path` (+ ".manifest") and replaces them with it. The
+  /// memtable is untouched; query results are unchanged. No-op when
+  /// nothing is sealed.
+  Status Compact(const std::string& path, DiskIndexOptions options = {});
+
+  /// Drops every sealed segment and the memtable (full-rebuild path).
+  void Clear();
+
+  size_t sealed_count() const { return sealed_.size(); }
+  bool has_memtable() const { return memtable_ != nullptr; }
+  uint64_t corpus_nodes() const { return corpus_nodes_; }
+  uint64_t version() const { return version_; }
+
+  // TermSource. Frequency/MaxLength aggregate manifests (no data I/O);
+  // Resolve merges + normalizes (up_to_level and bounds are ignored — a
+  // merged list is always full, which the contract allows as a superset).
+  uint32_t Frequency(const std::string& term) const override;
+  uint32_t MaxLength(const std::string& term) const override;
+  StatusOr<const JDeweyList*> Resolve(
+      const std::string& term, uint32_t up_to_level, bool need_scores,
+      const std::vector<ValueBounds>* level_bounds) override;
+  NodeId NodeAt(uint32_t level, uint32_t value) const override;
+  uint32_t max_level() const override;
+
+ private:
+  struct Sealed {
+    std::unique_ptr<JDeweyIndex> memory;  ///< in-memory sealed segment, or
+    std::shared_ptr<DiskIndexEnv> env;    ///< ... its on-disk counterpart
+    std::unique_ptr<DiskJDeweyIndex> session;
+    SegmentManifest manifest;
+    /// term -> (rows, max_tf), the lookup form of the manifest.
+    std::unordered_map<std::string, std::pair<uint32_t, uint32_t>> stats;
+  };
+
+  struct TermGlobal {
+    uint64_t df = 0;
+    uint32_t max_tf = 0;
+  };
+
+  void Bump();
+  /// Rebuilds globals_ / max_raw_ from the manifests + memtable.
+  void RefreshGlobals();
+  /// All children's lists holding `term` (loads disk lists). Also counts
+  /// the fanout into core.join.segment_fanout.
+  Status CollectParts(const std::string& term,
+                      std::vector<const JDeweyList*>* parts);
+  /// K-way merge of `parts` by JDewey sequence into one raw-tf list.
+  JDeweyList MergeParts(const std::vector<const JDeweyList*>& parts) const;
+
+  std::vector<Sealed> sealed_;
+  const JDeweyIndex* memtable_ = nullptr;
+  uint64_t corpus_nodes_ = 0;
+  uint64_t version_ = 1;
+
+  // Per-version caches.
+  uint64_t globals_version_ = 0;
+  std::unordered_map<std::string, TermGlobal> globals_;
+  double max_raw_ = 1.0;
+  uint64_t cache_version_ = 0;
+  /// Merged + normalized lists; node-based map, so pointers handed to the
+  /// search layer stay stable across inserts.
+  std::unordered_map<std::string, JDeweyList> cache_;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_INDEX_SEGMENT_H_

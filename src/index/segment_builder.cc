@@ -1,0 +1,125 @@
+#include "index/segment_builder.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "index/index_access.h"
+#include "xml/tokenizer.h"
+
+namespace xtopk {
+
+JDeweyIndex BuildSegmentIndex(const XmlTree& tree, const JDeweyEncoding& enc,
+                              const std::vector<NodeId>& nodes,
+                              const IndexBuildOptions& options) {
+  JDeweyIndex index;
+  auto* term_ids = IndexIoAccess::TermIds(&index);
+  auto* terms = IndexIoAccess::Terms(&index);
+  auto* lists = IndexIoAccess::Lists(&index);
+  auto* level_nodes = IndexIoAccess::LevelNodes(&index);
+  uint32_t* max_level = IndexIoAccess::MaxLevel(&index);
+
+  struct Occ {
+    NodeId node = kInvalidNode;
+    uint32_t tf = 0;
+  };
+  std::vector<std::vector<Occ>> occurrences;
+
+  Tokenizer tokenizer(options.tokenizer);
+  for (NodeId id : nodes) {
+    auto tf_map = tokenizer.TermFrequencies(tree.text(id));
+    if (options.index_tag_names) {
+      for (const auto& tag_token : tokenizer.Tokenize(tree.TagName(id))) {
+        ++tf_map[tag_token];
+      }
+    }
+    for (const auto& [term, tf] : tf_map) {
+      auto [it, inserted] =
+          term_ids->emplace(term, static_cast<uint32_t>(occurrences.size()));
+      if (inserted) occurrences.emplace_back();
+      occurrences[it->second].push_back(Occ{id, tf});
+    }
+  }
+
+  // The sequences drive both the row sort and the column fill; compute each
+  // covered node's once.
+  std::unordered_map<NodeId, JDeweySeq> seqs;
+  seqs.reserve(nodes.size());
+  for (const auto& occs : occurrences) {
+    for (const Occ& occ : occs) {
+      if (seqs.count(occ.node) == 0) {
+        seqs.emplace(occ.node, enc.SequenceOf(tree, occ.node));
+      }
+    }
+  }
+
+  terms->resize(term_ids->size());
+  for (const auto& [term, id] : *term_ids) (*terms)[id] = term;
+
+  lists->resize(occurrences.size());
+  for (size_t t = 0; t < occurrences.size(); ++t) {
+    auto& occs = occurrences[t];
+    std::sort(occs.begin(), occs.end(), [&](const Occ& a, const Occ& b) {
+      return CompareJDewey(seqs.at(a.node), seqs.at(b.node)) < 0;
+    });
+    JDeweyList& list = (*lists)[t];
+    uint32_t rows = static_cast<uint32_t>(occs.size());
+    list.lengths.resize(rows);
+    list.scores.resize(rows);
+    list.nodes.resize(rows);
+    for (uint32_t row = 0; row < rows; ++row) {
+      const JDeweySeq& seq = seqs.at(occs[row].node);
+      uint16_t len = static_cast<uint16_t>(seq.size());
+      list.lengths[row] = len;
+      list.scores[row] = static_cast<float>(occs[row].tf);
+      list.nodes[row] = occs[row].node;
+      if (len > list.max_length) list.max_length = len;
+      if (list.columns.size() < len) list.columns.resize(len);
+      for (uint16_t level = 1; level <= len; ++level) {
+        list.columns[level - 1].Append(row, seq[level - 1]);
+      }
+    }
+  }
+
+  // (level, value) -> node over the covered nodes and their ancestors, so
+  // results above the segment's own rows still resolve to tree nodes.
+  std::vector<char> seen(tree.node_count(), 0);
+  uint32_t deepest = 0;
+  for (NodeId id : nodes) {
+    for (NodeId cur = id; cur != kInvalidNode && !seen[cur];
+         cur = tree.parent(cur)) {
+      seen[cur] = 1;
+      uint32_t level = tree.level(cur);
+      deepest = std::max(deepest, level);
+      if (level_nodes->size() < level) level_nodes->resize(level);
+      (*level_nodes)[level - 1].emplace_back(enc.NumberOf(cur), cur);
+    }
+  }
+  for (auto& level : *level_nodes) std::sort(level.begin(), level.end());
+  *max_level = deepest;
+  return index;
+}
+
+SegmentManifest ManifestFromSegment(const JDeweyIndex& segment) {
+  SegmentManifest manifest;
+  manifest.terms.reserve(segment.term_count());
+  const auto& terms = segment.terms();
+  const auto& lists = segment.lists();
+  for (size_t t = 0; t < terms.size(); ++t) {
+    SegmentTermStats stats;
+    stats.term = terms[t];
+    stats.rows = lists[t].num_rows();
+    for (float tf : lists[t].scores) {
+      stats.max_tf = std::max(stats.max_tf, static_cast<uint32_t>(tf));
+    }
+    manifest.terms.push_back(std::move(stats));
+  }
+  std::sort(manifest.terms.begin(), manifest.terms.end(),
+            [](const SegmentTermStats& a, const SegmentTermStats& b) {
+              return a.term < b.term;
+            });
+  return manifest;
+}
+
+}  // namespace xtopk

@@ -1,0 +1,48 @@
+#ifndef XTOPK_INDEX_SEGMENT_BUILDER_H_
+#define XTOPK_INDEX_SEGMENT_BUILDER_H_
+
+#include <vector>
+
+#include "index/index_builder.h"
+#include "index/jdewey_index.h"
+#include "storage/segment_manifest.h"
+#include "xml/jdewey.h"
+#include "xml/xml_tree.h"
+
+namespace xtopk {
+
+/// Builds the partial inverted index of one segment: the column-oriented
+/// lists of exactly the nodes in `nodes`, numbered by the SHARED (possibly
+/// incrementally maintained) encoding `enc` rather than a fresh assignment.
+///
+/// Two deliberate differences from IndexBuilder::BuildJDeweyIndex:
+///
+///  - Scores carry the RAW term frequency of each occurrence, not the
+///    normalized tf·idf local score. Normalization needs corpus-global
+///    statistics (per-term df, the global max raw score, the corpus node
+///    count) that one segment cannot know — the SegmentedIndex applies the
+///    transform at query time from the union of every segment's manifest,
+///    which reproduces the single-index scores bit for bit because
+///    RawLocalScore is monotone in tf for a fixed df.
+///
+///  - Rows are sorted by actual JDewey sequence (CompareJDewey), not by
+///    document order: under a maintained encoding a partially re-encoded
+///    subtree can put creation order out of value order, and Property 3.1
+///    (non-decreasing column values) must hold per segment for the
+///    cursor-layer merge to be a plain sorted merge.
+///
+/// The (level, value) -> node mapping covers `nodes` plus all their
+/// ancestors, so ELCA/SLCA answers that land above the segment's own nodes
+/// still materialize.
+JDeweyIndex BuildSegmentIndex(const XmlTree& tree, const JDeweyEncoding& enc,
+                              const std::vector<NodeId>& nodes,
+                              const IndexBuildOptions& options);
+
+/// Derives the sidecar manifest of a segment index whose scores carry raw
+/// term frequencies. `covered_nodes` is left 0 — the caller knows the
+/// covered-node count, the index does not.
+SegmentManifest ManifestFromSegment(const JDeweyIndex& segment);
+
+}  // namespace xtopk
+
+#endif  // XTOPK_INDEX_SEGMENT_BUILDER_H_

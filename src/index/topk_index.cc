@@ -30,38 +30,42 @@ bool TopKList::HasLength(uint32_t level) const {
   return FindSegment(static_cast<uint16_t>(level)) != nullptr;
 }
 
+TopKList BuildTopKListFor(const JDeweyList& jlist) {
+  TopKList list;
+  list.base = &jlist;
+  // Group rows by sequence length, then order each group by score
+  // descending (row-ascending tie-break for determinism).
+  std::unordered_map<uint16_t, std::vector<uint32_t>> groups;
+  for (uint32_t row = 0; row < jlist.num_rows(); ++row) {
+    groups[jlist.lengths[row]].push_back(row);
+  }
+  for (auto& [length, rows] : groups) {
+    std::sort(rows.begin(), rows.end(), [&](uint32_t a, uint32_t b) {
+      if (jlist.scores[a] != jlist.scores[b]) {
+        return jlist.scores[a] > jlist.scores[b];
+      }
+      return a < b;
+    });
+    ScoreSegment seg;
+    seg.length = length;
+    seg.max_score = jlist.scores[rows.front()];
+    seg.rows = std::move(rows);
+    list.segments.push_back(std::move(seg));
+  }
+  std::sort(list.segments.begin(), list.segments.end(),
+            [](const ScoreSegment& a, const ScoreSegment& b) {
+              return a.length < b.length;
+            });
+  return list;
+}
+
 TopKIndex BuildTopKIndexFrom(const JDeweyIndex& base) {
   TopKIndex index;
   index.base_ = &base;
   index.lists_.resize(base.terms().size());
   for (uint32_t t = 0; t < base.terms().size(); ++t) {
     index.term_ids_.emplace(base.terms()[t], t);
-    const JDeweyList& jlist = base.lists()[t];
-    TopKList& list = index.lists_[t];
-    list.base = &jlist;
-    // Group rows by sequence length, then order each group by score
-    // descending (row-ascending tie-break for determinism).
-    std::unordered_map<uint16_t, std::vector<uint32_t>> groups;
-    for (uint32_t row = 0; row < jlist.num_rows(); ++row) {
-      groups[jlist.lengths[row]].push_back(row);
-    }
-    for (auto& [length, rows] : groups) {
-      std::sort(rows.begin(), rows.end(), [&](uint32_t a, uint32_t b) {
-        if (jlist.scores[a] != jlist.scores[b]) {
-          return jlist.scores[a] > jlist.scores[b];
-        }
-        return a < b;
-      });
-      ScoreSegment seg;
-      seg.length = length;
-      seg.max_score = jlist.scores[rows.front()];
-      seg.rows = std::move(rows);
-      list.segments.push_back(std::move(seg));
-    }
-    std::sort(list.segments.begin(), list.segments.end(),
-              [](const ScoreSegment& a, const ScoreSegment& b) {
-                return a.length < b.length;
-              });
+    index.lists_[t] = BuildTopKListFor(base.lists()[t]);
   }
   return index;
 }

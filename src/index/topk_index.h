@@ -74,6 +74,11 @@ class TopKIndex {
 /// outlive the result.
 TopKIndex BuildTopKIndexFrom(const JDeweyIndex& base);
 
+/// Derives one list's score-ordered segments (the per-term unit of
+/// BuildTopKIndexFrom). Lets a posting source build top-K companions for
+/// just the queried terms. `list` must outlive the result.
+TopKList BuildTopKListFor(const JDeweyList& list);
+
 }  // namespace xtopk
 
 #endif  // XTOPK_INDEX_TOPK_INDEX_H_

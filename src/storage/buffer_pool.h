@@ -49,13 +49,9 @@ class BufferPool {
   /// The page contents (kPageSize bytes), from cache or disk.
   StatusOr<std::shared_ptr<const std::string>> GetPage(PageId id);
 
-  /// Per-instance hit/miss/eviction shims. The canonical counters are the
-  /// registry's `storage.pool.hits` / `.misses` / `.evictions`, aggregated
-  /// across all pools; these instance accessors remain for callers that
-  /// scope stats to one pool and will be retired after one release.
-  uint64_t hits() const { return cache_.hits(); }
-  uint64_t misses() const { return cache_.misses(); }
-  uint64_t evictions() const { return cache_.evictions(); }
+  /// Hit/miss/eviction counters live in the metrics registry
+  /// (`storage.pool.hits` / `.misses` / `.evictions`, aggregated across
+  /// pools); scope to one pool by diffing registry values around the work.
   size_t cached_pages() const { return cache_.entry_count(); }
   size_t shard_count() const { return cache_.shard_count(); }
   void ResetStats() { cache_.ResetStats(); }

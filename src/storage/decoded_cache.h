@@ -80,12 +80,9 @@ class DecodedBlockCache {
   void PutScores(uint64_t column_id,
                  std::shared_ptr<const std::vector<float>> scores);
 
-  /// Per-instance shims; the canonical counters are the registry's
-  /// `storage.decoded.hits` / `.misses` / `.evictions` (aggregated across
-  /// instances). Kept one release for callers that scope to one cache.
-  uint64_t hits() const { return cache_.hits(); }
-  uint64_t misses() const { return cache_.misses(); }
-  uint64_t evictions() const { return cache_.evictions(); }
+  /// Hit/miss/eviction counters live in the metrics registry
+  /// (`storage.decoded.hits` / `.misses` / `.evictions`, aggregated across
+  /// instances); scope to one cache by diffing registry values.
   size_t bytes_used() const { return cache_.cost_used(); }
   size_t entry_count() const { return cache_.entry_count(); }
   size_t byte_budget() const { return byte_budget_; }

@@ -1,0 +1,97 @@
+#include "storage/segment_manifest.h"
+
+#include <cstdio>
+
+#include "util/crc32c.h"
+#include "util/varint.h"
+
+namespace xtopk {
+
+namespace {
+constexpr char kMagic[] = "XTKSMAN1";
+constexpr size_t kMagicLen = 8;
+
+void PutFixed32(std::string* out, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
+  }
+}
+}  // namespace
+
+Status SegmentManifest::Save(const std::string& path) const {
+  std::string buf(kMagic, kMagicLen);
+  varint::PutU64(&buf, covered_nodes);
+  varint::PutU64(&buf, terms.size());
+  for (const SegmentTermStats& t : terms) {
+    varint::PutU64(&buf, t.term.size());
+    buf.append(t.term);
+    varint::PutU32(&buf, t.rows);
+    varint::PutU32(&buf, t.max_tf);
+  }
+  PutFixed32(&buf, crc32c::Compute(buf));
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot create manifest: " + path);
+  }
+  size_t written = std::fwrite(buf.data(), 1, buf.size(), f);
+  int closed = std::fclose(f);
+  if (written != buf.size() || closed != 0) {
+    return Status::IoError("short manifest write: " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<SegmentManifest> SegmentManifest::Load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open manifest: " + path);
+  }
+  std::string buf;
+  char chunk[4096];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    buf.append(chunk, n);
+  }
+  std::fclose(f);
+
+  if (buf.size() < kMagicLen + 4 || buf.compare(0, kMagicLen, kMagic) != 0) {
+    return Status::Corruption("bad manifest magic: " + path);
+  }
+  std::string body = buf.substr(0, buf.size() - 4);
+  uint32_t stored = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored |= static_cast<uint32_t>(
+                  static_cast<unsigned char>(buf[buf.size() - 4 + i]))
+              << (8 * i);
+  }
+  if (crc32c::Compute(body) != stored) {
+    return Status::Corruption("manifest checksum mismatch: " + path);
+  }
+
+  SegmentManifest manifest;
+  size_t pos = kMagicLen;
+  uint64_t term_count = 0;
+  Status s = varint::GetU64(body, &pos, &manifest.covered_nodes);
+  if (s.ok()) s = varint::GetU64(body, &pos, &term_count);
+  if (!s.ok()) return s;
+  manifest.terms.reserve(term_count);
+  for (uint64_t i = 0; i < term_count; ++i) {
+    SegmentTermStats t;
+    uint64_t len = 0;
+    s = varint::GetU64(body, &pos, &len);
+    if (!s.ok()) return s;
+    if (pos + len > body.size()) {
+      return Status::Corruption("manifest term overruns buffer: " + path);
+    }
+    t.term.assign(body, pos, len);
+    pos += len;
+    s = varint::GetU32(body, &pos, &t.rows);
+    if (s.ok()) s = varint::GetU32(body, &pos, &t.max_tf);
+    if (!s.ok()) return s;
+    manifest.terms.push_back(std::move(t));
+  }
+  return manifest;
+}
+
+}  // namespace xtopk

@@ -1,0 +1,46 @@
+#ifndef XTOPK_STORAGE_SEGMENT_MANIFEST_H_
+#define XTOPK_STORAGE_SEGMENT_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xtopk {
+
+/// Per-term statistics of one sealed segment. `rows` is the segment's
+/// inverted-list length (its contribution to the corpus-wide document
+/// frequency); `max_tf` the largest raw term frequency of any row. Both
+/// are what query-time score normalization needs from a segment WITHOUT
+/// loading its lists: df(t) = sum of rows over segments, and the global
+/// normalizer max_raw = max over terms of RawLocalScore(max_tf, df, N)
+/// (RawLocalScore is monotone in tf for fixed df, so the per-term max is
+/// attained at max_tf).
+struct SegmentTermStats {
+  std::string term;
+  uint32_t rows = 0;
+  uint32_t max_tf = 0;
+};
+
+/// Sidecar metadata of a sealed segment (stored next to the page file as
+/// `<segment>.manifest`). Byte layout:
+///
+///   magic "XTKSMAN1" | varint covered_nodes | varint term_count
+///   per term: varint term_len | term bytes | varint rows | varint max_tf
+///   fixed32 LE CRC32C over all preceding bytes
+///
+/// Load verifies the magic and the checksum and returns Corruption on any
+/// mismatch or truncation, so a damaged manifest is detected before its
+/// statistics can skew scores.
+struct SegmentManifest {
+  uint64_t covered_nodes = 0;          ///< nodes this segment indexed
+  std::vector<SegmentTermStats> terms; ///< sorted by term
+
+  Status Save(const std::string& path) const;
+  static StatusOr<SegmentManifest> Load(const std::string& path);
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_STORAGE_SEGMENT_MANIFEST_H_

@@ -48,6 +48,14 @@ JDeweyEncoding JDeweyBuilder::Assign(const XmlTree& tree, uint32_t gap) {
 
 size_t JDeweyBuilder::InsertAssign(const XmlTree& tree, NodeId node,
                                    uint32_t gap, JDeweyEncoding* enc) {
+  NodeId ignored;
+  return InsertAssign(tree, node, gap, enc, &ignored);
+}
+
+size_t JDeweyBuilder::InsertAssign(const XmlTree& tree, NodeId node,
+                                   uint32_t gap, JDeweyEncoding* enc,
+                                   NodeId* reencoded_root) {
+  *reencoded_root = kInvalidNode;
   assert(node == tree.node_count() - 1 &&
          "InsertAssign must follow the AddChild that created `node`");
   // Grow the per-node arrays for the new node.
@@ -97,6 +105,7 @@ size_t JDeweyBuilder::InsertAssign(const XmlTree& tree, NodeId node,
     enc->next_free_[l] = enc->child_end_[parent];
     return 1;
   }
+  *reencoded_root = a;
   return ReencodeSubtree(tree, a, gap, enc);
 }
 
@@ -109,6 +118,18 @@ size_t JDeweyBuilder::ReencodeSubtree(const XmlTree& tree, NodeId root,
   uint32_t root_level = tree.level(root);
   enc->jnum_[root] = enc->next_free_[root_level]++;
   ++changed;
+
+  // The move was safe because root's parent owned the topmost child range
+  // of this level; re-grant it a fresh range above the moved node so it
+  // still does. Without this, the next overflow anywhere else on the level
+  // finds no safely movable ancestor below the tree root and escalates to
+  // a full re-encode.
+  NodeId g = tree.parent(root);
+  if (g != kInvalidNode) {
+    enc->child_next_[g] = enc->next_free_[root_level];
+    enc->child_end_[g] = enc->next_free_[root_level] + gap;
+    enc->next_free_[root_level] = enc->child_end_[g];
+  }
 
   std::vector<NodeId> current = {root};
   uint32_t level = root_level;

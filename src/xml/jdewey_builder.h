@@ -36,6 +36,15 @@ class JDeweyBuilder {
   static size_t InsertAssign(const XmlTree& tree, NodeId node, uint32_t gap,
                              JDeweyEncoding* enc);
 
+  /// As above, and reports which subtree moved: `*reencoded_root` is
+  /// kInvalidNode when the insert fit an existing or in-place-extended
+  /// reserved range (only `node` gained a number), or the root of the
+  /// re-encoded subtree otherwise. Incremental indexes use this to tell
+  /// "only the new node needs indexing" apart from "numbers under
+  /// `*reencoded_root` are stale".
+  static size_t InsertAssign(const XmlTree& tree, NodeId node, uint32_t gap,
+                             JDeweyEncoding* enc, NodeId* reencoded_root);
+
  private:
   /// Re-assigns fresh end-of-level numbers to the subtree rooted at `root`,
   /// reserving `gap` slots per parent. Returns the subtree size.

@@ -20,7 +20,11 @@
 #include "core/topk_search.h"
 #include "index/disk_index.h"
 #include "index/index_builder.h"
+#include "index/segment.h"
+#include "index/segment_builder.h"
+#include "storage/segment_manifest.h"
 #include "testing/corpus.h"
+#include "xml/jdewey_builder.h"
 
 namespace xtopk {
 namespace {
@@ -127,6 +131,36 @@ TEST_P(DifferentialTest, AllEnginesAgreeOnSeededCorpus) {
     paths.push_back(std::move(path));
   }
 
+  // Segmented configuration: the same corpus split round-robin across
+  // 1 + (seed % 3) sealed disk segments plus one in-memory memtable, all
+  // merged at the cursor layer into the same JoinSearch/TopKSearch
+  // implementations the monolithic configurations use.
+  JDeweyEncoding enc = JDeweyBuilder::Assign(tree, build_options.jdewey_gap);
+  size_t sealed_parts = 1 + static_cast<size_t>(seed % 3);
+  std::vector<std::vector<NodeId>> groups(sealed_parts + 1);
+  for (NodeId id = 0; id < tree.node_count(); ++id) {
+    groups[id % groups.size()].push_back(id);
+  }
+  JDeweyIndex memtable =
+      BuildSegmentIndex(tree, enc, groups.back(), build_options);
+  SegmentedIndex segmented;
+  segmented.SetCorpusNodes(tree.node_count());
+  for (size_t i = 0; i < sealed_parts; ++i) {
+    JDeweyIndex segment = BuildSegmentIndex(tree, enc, groups[i], build_options);
+    std::string path = TempPath("differential_" + std::to_string(seed) +
+                                "_seg" + std::to_string(i));
+    ASSERT_TRUE(
+        DiskIndexWriter::Write(segment, /*include_scores=*/true, path).ok());
+    SegmentManifest manifest = ManifestFromSegment(segment);
+    manifest.covered_nodes = groups[i].size();
+    ASSERT_TRUE(manifest.Save(path + ".manifest").ok());
+    ASSERT_TRUE(segmented.AddDiskSegment(path).ok());
+    paths.push_back(std::move(path));
+    paths.push_back(paths.back() + ".manifest");
+  }
+  segmented.SetMemtable(&memtable);
+  std::vector<std::vector<SearchResult>> segmented_complete;
+
   for (size_t qi = 0; qi < workload.size(); ++qi) {
     const WorkloadQuery& query = workload[qi];
     std::string label = "seed=" + std::to_string(seed) +
@@ -190,6 +224,51 @@ TEST_P(DifferentialTest, AllEnginesAgreeOnSeededCorpus) {
                               << got.status().ToString();
         ExpectTopKMatchesComplete(*got, want, query.k,
                                   label + " topk " + kConfigs[c].name);
+      }
+    }
+
+    // Segmented: sealed disk segments + memtable, same answers.
+    {
+      JoinSearchOptions options;
+      options.semantics = query.semantics;
+      JoinSearch search(&segmented, options);
+      auto got = search.Search(query.keywords);
+      ExpectSameResults(got, want, label + " segmented");
+      segmented_complete.push_back(got);
+
+      TopKSearchOptions topk_options;
+      topk_options.semantics = query.semantics;
+      topk_options.k = query.k;
+      TopKSearch topk(&segmented, topk_options);
+      ExpectTopKMatchesComplete(topk.Search(query.keywords), want, query.k,
+                                label + " segmented topk");
+    }
+  }
+
+  // Compaction folds every sealed segment into one disk segment; the
+  // memtable keeps riding on top. Results must be bit-identical to the
+  // pre-compaction merge, not merely close.
+  {
+    std::string compacted =
+        TempPath("differential_" + std::to_string(seed) + "_compacted");
+    ASSERT_TRUE(segmented.Compact(compacted).ok());
+    paths.push_back(compacted);
+    paths.push_back(compacted + ".manifest");
+    EXPECT_EQ(segmented.sealed_count(), 1u);
+    for (size_t qi = 0; qi < workload.size(); ++qi) {
+      const WorkloadQuery& query = workload[qi];
+      JoinSearchOptions options;
+      options.semantics = query.semantics;
+      JoinSearch search(&segmented, options);
+      std::vector<SearchResult> got = search.Search(query.keywords);
+      std::vector<SearchResult> want_exact = segmented_complete[qi];
+      SortByNode(&got);
+      SortByNode(&want_exact);
+      ASSERT_EQ(got.size(), want_exact.size()) << "post-compact q" << qi;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].node, want_exact[i].node) << "post-compact q" << qi;
+        EXPECT_EQ(got[i].score, want_exact[i].score)
+            << "post-compact q" << qi << " node " << got[i].node;
       }
     }
   }

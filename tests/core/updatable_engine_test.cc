@@ -2,12 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
+#include "core/multi_doc.h"
 #include "testing/corpus.h"
 #include "util/rng.h"
 #include "xml/xml_parser.h"
 
 namespace xtopk {
 namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
 
 TEST(UpdatableEngineTest, InsertionsBecomeSearchable) {
   UpdatableEngine engine(ParseXmlStringOrDie("<db><paper>xml</paper></db>"));
@@ -20,19 +27,71 @@ TEST(UpdatableEngineTest, InsertionsBecomeSearchable) {
   ASSERT_EQ(hits.size(), 1u);
   EXPECT_EQ(hits[0].node, paper);
   EXPECT_FALSE(engine.dirty());
-  EXPECT_EQ(engine.rebuilds(), 1u);
+  // Appends land in the memtable; the base segment is untouched.
+  EXPECT_EQ(engine.rebuilds(), 0u);
+  EXPECT_EQ(engine.memtable_refreshes(), 1u);
 }
 
-TEST(UpdatableEngineTest, RebuildsAreBatched) {
+TEST(UpdatableEngineTest, MemtableRefreshesAreBatched) {
   UpdatableEngine engine(ParseXmlStringOrDie("<db><p>seed</p></db>"));
   for (int i = 0; i < 50; ++i) {
     engine.AddElement(engine.tree().root(), "p", "word" + std::to_string(i));
   }
-  EXPECT_EQ(engine.rebuilds(), 0u);  // no query yet, no rebuild
+  EXPECT_EQ(engine.memtable_refreshes(), 0u);  // no query yet, no refresh
   engine.Search({"word0"});
   engine.Search({"word1"});
   engine.Search({"word2"});
-  EXPECT_EQ(engine.rebuilds(), 1u);  // one rebuild served all three
+  EXPECT_EQ(engine.memtable_refreshes(), 1u);  // one refresh served all three
+  EXPECT_EQ(engine.rebuilds(), 0u);            // and nothing was rebuilt
+}
+
+TEST(UpdatableEngineTest, AppendOnlyWorkloadNeverRebuilds) {
+  // With a gap wide enough that the sealed root's reservation is never
+  // exhausted, re-encodes only ever move memtable nodes. (Overflowing a
+  // sealed node's gap legitimately rebuilds — that is the fallback path,
+  // covered by AppendTextToSealedNodeRebuilds.)
+  EngineOptions options;
+  options.index.jdewey_gap = 64;
+  UpdatableEngine engine(ParseXmlStringOrDie("<db><p>seed</p></db>"), options);
+  // Interleave appends (always under freshly added nodes or the root) with
+  // queries: the sealed base never goes stale, so rebuilds() must stay 0.
+  NodeId last = engine.tree().root();
+  for (int i = 0; i < 40; ++i) {
+    last = engine.AddElement(i % 4 == 0 ? engine.tree().root() : last, "n",
+                             "tok" + std::to_string(i));
+    if (i % 10 == 9) {
+      EXPECT_FALSE(engine.Search({"tok" + std::to_string(i)}).empty());
+    }
+  }
+  EXPECT_EQ(engine.rebuilds(), 0u);
+  EXPECT_GT(engine.memtable_refreshes(), 0u);
+  ASSERT_TRUE(engine.ValidateEncoding().ok());
+}
+
+TEST(UpdatableEngineTest, EmptyAppendTextIsNoOp) {
+  UpdatableEngine engine(ParseXmlStringOrDie("<db><p>seed</p></db>"));
+  ASSERT_FALSE(engine.Search({"seed"}).empty());
+  EXPECT_FALSE(engine.dirty());
+  // Regression: a no-op mutation must not dirty the index (it used to
+  // force a full rebuild on the next query).
+  engine.AppendText(engine.tree().root(), "");
+  engine.AppendText(1, "");
+  EXPECT_FALSE(engine.dirty());
+  uint64_t refreshes = engine.memtable_refreshes();
+  ASSERT_FALSE(engine.Search({"seed"}).empty());
+  EXPECT_EQ(engine.rebuilds(), 0u);
+  EXPECT_EQ(engine.memtable_refreshes(), refreshes);
+}
+
+TEST(UpdatableEngineTest, AppendTextToSealedNodeRebuilds) {
+  UpdatableEngine engine(ParseXmlStringOrDie("<db><p>seed</p></db>"));
+  // Node 1 (<p>) is below the watermark: its rows live in the sealed base.
+  engine.AppendText(1, "amended");
+  EXPECT_TRUE(engine.dirty());
+  auto hits = engine.Search({"amended"});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].node, 1u);
+  EXPECT_EQ(engine.rebuilds(), 1u);
 }
 
 TEST(UpdatableEngineTest, EncodingMaintainedAcrossManyInserts) {
@@ -67,6 +126,83 @@ TEST(UpdatableEngineTest, CheapInsertsUseReservedGaps) {
     engine.AddElement(engine.tree().root(), "c");
   }
   EXPECT_EQ(engine.encoding_updates() - before, 8u);
+}
+
+TEST(UpdatableEngineTest, AddDocumentMatchesMultiDocCorpus) {
+  const char* docs[] = {
+      "<paper><title>xml keyword search</title><author>ann</author></paper>",
+      "<paper><title>top k ranking</title><author>bo</author></paper>",
+      "<book><title>xml databases</title></book>",
+  };
+  MultiDocCorpus corpus;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(corpus.AddDocumentXml("d" + std::to_string(i), docs[i]).ok());
+  }
+  Engine monolithic(corpus.tree());
+
+  XmlTree shell;
+  shell.CreateRoot("collection");
+  UpdatableEngine incremental(std::move(shell));
+  for (int i = 0; i < 3; ++i) {
+    incremental.AddDocument("d" + std::to_string(i),
+                            ParseXmlStringOrDie(docs[i]));
+  }
+
+  for (const auto& query : std::vector<std::vector<std::string>>{
+           {"xml"}, {"xml", "title"}, {"title", "author"}, {"k", "top"}}) {
+    auto want = monolithic.Search(query);
+    auto got = incremental.Search(query);
+    ASSERT_EQ(got.size(), want.size()) << query[0];
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].node, want[i].node);
+      EXPECT_EQ(got[i].level, want[i].level);
+      EXPECT_DOUBLE_EQ(got[i].score, want[i].score);
+    }
+  }
+  EXPECT_EQ(incremental.rebuilds(), 0u);
+  EXPECT_EQ(incremental.memtable_docs(), 3u);
+}
+
+TEST(UpdatableEngineTest, SealAndCompactPreserveResults) {
+  std::string seg1 = TempPath("upd_seal1.seg");
+  std::string seg2 = TempPath("upd_seal2.seg");
+  std::string compacted = TempPath("upd_compacted.seg");
+
+  UpdatableEngine engine(ParseXmlStringOrDie("<db><p>xml data</p></db>"));
+  engine.AddElement(engine.tree().root(), "p", "xml keyword");
+  auto before = engine.Search({"xml"});
+  ASSERT_FALSE(before.empty());
+
+  ASSERT_TRUE(engine.SealMemtable(seg1).ok());
+  EXPECT_EQ(engine.memtable_docs(), 0u);
+  auto after_seal = engine.Search({"xml"});
+  ASSERT_EQ(after_seal.size(), before.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(after_seal[i].node, before[i].node);
+    EXPECT_DOUBLE_EQ(after_seal[i].score, before[i].score);
+  }
+
+  engine.AddElement(engine.tree().root(), "p", "xml ranking");
+  ASSERT_TRUE(engine.SealMemtable(seg2).ok());
+  EXPECT_GE(engine.segment_count(), 3u);  // base + two sealed
+
+  auto pre_compact = engine.Search({"xml"});
+  ASSERT_TRUE(engine.Compact(compacted).ok());
+  EXPECT_EQ(engine.segment_count(), 1u);
+  auto post_compact = engine.Search({"xml"});
+  ASSERT_EQ(post_compact.size(), pre_compact.size());
+  for (size_t i = 0; i < pre_compact.size(); ++i) {
+    EXPECT_EQ(post_compact[i].node, pre_compact[i].node);
+    EXPECT_DOUBLE_EQ(post_compact[i].score, pre_compact[i].score);
+  }
+  EXPECT_EQ(engine.rebuilds(), 0u);
+
+  std::remove(seg1.c_str());
+  std::remove((seg1 + ".manifest").c_str());
+  std::remove(seg2.c_str());
+  std::remove((seg2 + ".manifest").c_str());
+  std::remove(compacted.c_str());
+  std::remove((compacted + ".manifest").c_str());
 }
 
 }  // namespace

@@ -1,0 +1,223 @@
+#include "index/segment.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/join_search.h"
+#include "index/index_builder.h"
+#include "index/segment_builder.h"
+#include "obs/metrics.h"
+#include "storage/segment_manifest.h"
+#include "xml/jdewey_builder.h"
+#include "xml/xml_parser.h"
+
+namespace xtopk {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+constexpr char kXml[] =
+    "<db>"
+    "  <conf><paper><title>xml keyword search</title>"
+    "    <author>ann</author></paper>"
+    "  <paper><title>top k ranking for xml</title>"
+    "    <author>bo</author></paper></conf>"
+    "  <journal><article><title>xml databases</title>"
+    "    <note>keyword ranking</note></article></journal>"
+    "</db>";
+
+/// Splits the tree's nodes round-robin into `parts` disjoint groups.
+std::vector<std::vector<NodeId>> Partition(const XmlTree& tree, size_t parts) {
+  std::vector<std::vector<NodeId>> groups(parts);
+  for (NodeId id = 0; id < tree.node_count(); ++id) {
+    groups[id % parts].push_back(id);
+  }
+  return groups;
+}
+
+void ExpectListsEqual(const JDeweyList& got, const JDeweyList& want,
+                      const std::string& term) {
+  ASSERT_EQ(got.num_rows(), want.num_rows()) << term;
+  EXPECT_EQ(got.lengths, want.lengths) << term;
+  EXPECT_EQ(got.max_length, want.max_length) << term;
+  for (uint32_t r = 0; r < want.num_rows(); ++r) {
+    EXPECT_EQ(got.scores[r], want.scores[r]) << term << " row " << r;
+  }
+  ASSERT_EQ(got.columns.size(), want.columns.size()) << term;
+  for (size_t l = 0; l < want.columns.size(); ++l) {
+    EXPECT_EQ(got.columns[l].runs(), want.columns[l].runs())
+        << term << " level " << (l + 1);
+  }
+}
+
+TEST(SegmentedIndexTest, MergedListsMatchMonolithicBuild) {
+  XmlTree tree = ParseXmlStringOrDie(kXml);
+  IndexBuildOptions options;
+  JDeweyEncoding enc = JDeweyBuilder::Assign(tree, options.jdewey_gap);
+
+  IndexBuilder builder(tree, options);
+  JDeweyIndex monolithic = builder.BuildJDeweyIndex();
+
+  SegmentedIndex segmented;
+  segmented.SetCorpusNodes(tree.node_count());
+  for (const auto& group : Partition(tree, 3)) {
+    segmented.AddMemorySegment(BuildSegmentIndex(tree, enc, group, options),
+                               group.size());
+  }
+  EXPECT_EQ(segmented.sealed_count(), 3u);
+
+  for (const TermInfo& info : builder.terms()) {
+    EXPECT_EQ(segmented.Frequency(info.term), info.frequency);
+    const JDeweyList* want = monolithic.GetList(info.term);
+    ASSERT_NE(want, nullptr);
+    auto got = segmented.Resolve(info.term, UINT32_MAX, true, nullptr);
+    ASSERT_TRUE(got.ok());
+    ASSERT_NE(*got, nullptr);
+    ExpectListsEqual(**got, *want, info.term);
+    // Node backfill: every merged row resolves to the same node.
+    for (uint32_t r = 0; r < want->num_rows(); ++r) {
+      EXPECT_EQ((*got)->nodes[r], want->nodes[r]) << info.term;
+    }
+  }
+  EXPECT_EQ(segmented.max_level(), monolithic.max_level());
+  auto missing = segmented.Resolve("zebra", UINT32_MAX, true, nullptr);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(*missing, nullptr);
+}
+
+TEST(SegmentedIndexTest, MemtableParticipatesInMergeAndFrequencies) {
+  XmlTree tree = ParseXmlStringOrDie(kXml);
+  IndexBuildOptions options;
+  JDeweyEncoding enc = JDeweyBuilder::Assign(tree, options.jdewey_gap);
+
+  IndexBuilder builder(tree, options);
+  JDeweyIndex monolithic = builder.BuildJDeweyIndex();
+
+  // Last partition plays the memtable; the others are sealed.
+  auto groups = Partition(tree, 3);
+  SegmentedIndex segmented;
+  segmented.SetCorpusNodes(tree.node_count());
+  segmented.AddMemorySegment(BuildSegmentIndex(tree, enc, groups[0], options),
+                             groups[0].size());
+  segmented.AddMemorySegment(BuildSegmentIndex(tree, enc, groups[1], options),
+                             groups[1].size());
+  JDeweyIndex memtable = BuildSegmentIndex(tree, enc, groups[2], options);
+  segmented.SetMemtable(&memtable);
+
+  for (const TermInfo& info : builder.terms()) {
+    EXPECT_EQ(segmented.Frequency(info.term), info.frequency);
+    auto got = segmented.Resolve(info.term, UINT32_MAX, true, nullptr);
+    ASSERT_TRUE(got.ok());
+    ExpectListsEqual(**got, *monolithic.GetList(info.term), info.term);
+  }
+
+  // The cursor-layer merge feeds the one JoinSearch implementation.
+  JoinSearchOptions join_options;
+  join_options.compute_scores = true;
+  JoinSearch over_segments(&segmented, join_options);
+  JoinSearch over_monolithic(monolithic, join_options);
+  for (const auto& query : std::vector<std::vector<std::string>>{
+           {"xml", "keyword"}, {"title", "ranking"}, {"xml", "ann"}}) {
+    auto got = over_segments.Search(query);
+    auto want = over_monolithic.Search(query);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].node, want[i].node);
+      EXPECT_EQ(got[i].level, want[i].level);
+      EXPECT_DOUBLE_EQ(got[i].score, want[i].score);
+    }
+  }
+}
+
+TEST(SegmentedIndexTest, DiskSegmentsAndCompactionPreserveLists) {
+  XmlTree tree = ParseXmlStringOrDie(kXml);
+  IndexBuildOptions options;
+  JDeweyEncoding enc = JDeweyBuilder::Assign(tree, options.jdewey_gap);
+  IndexBuilder builder(tree, options);
+  JDeweyIndex monolithic = builder.BuildJDeweyIndex();
+
+  auto groups = Partition(tree, 2);
+  std::vector<std::string> paths = {TempPath("segtest_a.seg"),
+                                    TempPath("segtest_b.seg")};
+  SegmentedIndex segmented;
+  segmented.SetCorpusNodes(tree.node_count());
+  for (size_t i = 0; i < groups.size(); ++i) {
+    JDeweyIndex segment = BuildSegmentIndex(tree, enc, groups[i], options);
+    ASSERT_TRUE(DiskIndexWriter::Write(segment, true, paths[i]).ok());
+    SegmentManifest manifest = ManifestFromSegment(segment);
+    manifest.covered_nodes = groups[i].size();
+    ASSERT_TRUE(manifest.Save(paths[i] + ".manifest").ok());
+    ASSERT_TRUE(segmented.AddDiskSegment(paths[i]).ok());
+  }
+  EXPECT_EQ(obs::MetricsRegistry::Global().GetGauge("index.segments").value(),
+            2);
+
+  for (const TermInfo& info : builder.terms()) {
+    auto got = segmented.Resolve(info.term, UINT32_MAX, true, nullptr);
+    ASSERT_TRUE(got.ok());
+    ExpectListsEqual(**got, *monolithic.GetList(info.term), info.term);
+  }
+
+  std::string compacted = TempPath("segtest_compacted.seg");
+  uint64_t compactions_before =
+      obs::MetricsRegistry::Global().GetCounter("index.compactions").value();
+  ASSERT_TRUE(segmented.Compact(compacted).ok());
+  EXPECT_EQ(segmented.sealed_count(), 1u);
+  EXPECT_EQ(
+      obs::MetricsRegistry::Global().GetCounter("index.compactions").value(),
+      compactions_before + 1);
+
+  for (const TermInfo& info : builder.terms()) {
+    EXPECT_EQ(segmented.Frequency(info.term), info.frequency);
+    auto got = segmented.Resolve(info.term, UINT32_MAX, true, nullptr);
+    ASSERT_TRUE(got.ok());
+    ExpectListsEqual(**got, *monolithic.GetList(info.term), info.term);
+  }
+
+  for (const std::string& p : paths) {
+    std::remove(p.c_str());
+    std::remove((p + ".manifest").c_str());
+  }
+  std::remove(compacted.c_str());
+  std::remove((compacted + ".manifest").c_str());
+}
+
+TEST(SegmentManifestTest, RoundTripAndCorruptionDetection) {
+  SegmentManifest manifest;
+  manifest.covered_nodes = 42;
+  manifest.terms = {{"alpha", 3, 2}, {"beta", 7, 5}, {"xml", 100, 9}};
+  std::string path = TempPath("manifest_roundtrip");
+  ASSERT_TRUE(manifest.Save(path).ok());
+
+  auto loaded = SegmentManifest::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->covered_nodes, 42u);
+  ASSERT_EQ(loaded->terms.size(), 3u);
+  EXPECT_EQ(loaded->terms[1].term, "beta");
+  EXPECT_EQ(loaded->terms[1].rows, 7u);
+  EXPECT_EQ(loaded->terms[1].max_tf, 5u);
+
+  // Flip one byte in the middle: the checksum must catch it.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(12);
+    char c;
+    f.seekg(12);
+    f.get(c);
+    f.seekp(12);
+    f.put(static_cast<char>(c ^ 0x40));
+  }
+  auto damaged = SegmentManifest::Load(path);
+  EXPECT_FALSE(damaged.ok());
+  EXPECT_EQ(damaged.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace xtopk

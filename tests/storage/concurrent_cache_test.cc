@@ -15,6 +15,7 @@
 #include "core/join_search.h"
 #include "index/disk_index.h"
 #include "index/index_builder.h"
+#include "obs/metrics.h"
 #include "storage/buffer_pool.h"
 #include "storage/decoded_cache.h"
 #include "storage/page_file.h"
@@ -87,6 +88,10 @@ TEST(BufferPoolTest, ConcurrentGetPageIsCoherent) {
   PageFile file;
   ASSERT_TRUE(file.Open(path, /*create=*/false).ok());
   BufferPool pool(&file, /*capacity_pages=*/16, /*shards=*/4);
+  const uint64_t hits_before =
+      obs::MetricsRegistry::Global().GetCounter("storage.pool.hits").value();
+  const uint64_t misses_before =
+      obs::MetricsRegistry::Global().GetCounter("storage.pool.misses").value();
 
   std::atomic<int> mismatches{0};
   std::vector<std::thread> threads;
@@ -106,11 +111,13 @@ TEST(BufferPoolTest, ConcurrentGetPageIsCoherent) {
   }
   for (auto& thread : threads) thread.join();
   EXPECT_EQ(mismatches.load(), 0);
-  EXPECT_EQ(pool.hits() + pool.misses(), 8u * 400u);
+  const uint64_t hits_after =
+      obs::MetricsRegistry::Global().GetCounter("storage.pool.hits").value();
+  const uint64_t misses_after =
+      obs::MetricsRegistry::Global().GetCounter("storage.pool.misses").value();
+  EXPECT_EQ((hits_after - hits_before) + (misses_after - misses_before),
+            8u * 400u);
   EXPECT_LE(pool.cached_pages(), 16u);
-  pool.ResetStats();
-  EXPECT_EQ(pool.hits(), 0u);
-  EXPECT_EQ(pool.misses(), 0u);
   std::remove(path.c_str());
 }
 

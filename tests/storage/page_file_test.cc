@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "obs/metrics.h"
 #include "storage/buffer_pool.h"
 #include "util/rng.h"
 
@@ -12,6 +13,10 @@ namespace {
 
 std::string TempPath(const char* name) {
   return ::testing::TempDir() + "/" + name;
+}
+
+uint64_t RegistryCounter(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name).value();
 }
 
 TEST(PageFileTest, AppendAndReadBack) {
@@ -99,18 +104,20 @@ TEST(BufferPoolTest, CachesAndEvictsLru) {
                     .ok());
   }
   BufferPool pool(&file, /*capacity_pages=*/3);
+  const uint64_t hits_before = RegistryCounter("storage.pool.hits");
+  const uint64_t misses_before = RegistryCounter("storage.pool.misses");
   // Misses fill the pool.
   for (PageId id = 0; id < 3; ++id) {
     auto page = pool.GetPage(id);
     ASSERT_TRUE(page.ok());
     EXPECT_EQ((**page)[0], static_cast<char>('a' + id));
   }
-  EXPECT_EQ(pool.misses(), 3u);
-  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(RegistryCounter("storage.pool.misses") - misses_before, 3u);
+  EXPECT_EQ(RegistryCounter("storage.pool.hits") - hits_before, 0u);
   // Hits don't touch the file.
   uint64_t reads_before = file.pages_read();
   ASSERT_TRUE(pool.GetPage(1).ok());
-  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(RegistryCounter("storage.pool.hits") - hits_before, 1u);
   EXPECT_EQ(file.pages_read(), reads_before);
   // Page 0 is now LRU... order after hits: 1,2,0 -> inserting 3 evicts 0.
   ASSERT_TRUE(pool.GetPage(3).ok());
@@ -143,6 +150,8 @@ TEST(BufferPoolTest, RandomizedAgainstDirectReads) {
     ASSERT_TRUE(file.AppendPage(std::string(8, static_cast<char>(i))).ok());
   }
   BufferPool pool(&file, 7);
+  const uint64_t hits_before = RegistryCounter("storage.pool.hits");
+  const uint64_t misses_before = RegistryCounter("storage.pool.misses");
   Rng rng(31337);
   for (int trial = 0; trial < 2000; ++trial) {
     PageId id = static_cast<PageId>(rng.NextBounded(kPages));
@@ -151,8 +160,8 @@ TEST(BufferPoolTest, RandomizedAgainstDirectReads) {
     ASSERT_EQ((**page)[0], static_cast<char>(id));
     ASSERT_LE(pool.cached_pages(), 7u);
   }
-  EXPECT_GT(pool.hits(), 0u);
-  EXPECT_GT(pool.misses(), 0u);
+  EXPECT_GT(RegistryCounter("storage.pool.hits"), hits_before);
+  EXPECT_GT(RegistryCounter("storage.pool.misses"), misses_before);
   std::remove(path.c_str());
 }
 
