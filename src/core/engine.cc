@@ -82,6 +82,7 @@ BatchQueryResult Engine::RunQuery(const BatchQuery& query,
     join_options.semantics = query.semantics;
     join_options.compute_scores = true;
     join_options.scoring = options_.scoring;
+    join_options.plan_cache = &plan_cache_;
     join_options.trace = trace;
     JoinSearch search(jdewey_index_, join_options);
     std::vector<SearchResult> found = search.Search(normalized);
@@ -95,6 +96,7 @@ BatchQueryResult Engine::RunQuery(const BatchQuery& query,
     topk_options.semantics = query.semantics;
     topk_options.k = query.k;
     topk_options.scoring = options_.scoring;
+    topk_options.plan_cache = &plan_cache_;
     topk_options.trace = trace;
     TopKSearch search(topk_index_, topk_options);
     std::vector<SearchResult> found = search.Search(normalized);

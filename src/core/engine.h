@@ -130,6 +130,8 @@ class Engine {
   const JDeweyIndex& jdewey_index() const { return jdewey_index_; }
   const TopKIndex& topk_index() const { return topk_index_; }
   const IndexBuilder& builder() const { return *builder_; }
+  /// The join-plan cache (tests assert hit/miss behavior through it).
+  PlanCache& plan_cache() const { return plan_cache_; }
 
  private:
   /// The single execution path behind Search, SearchTopK, RunBatch and
@@ -147,6 +149,10 @@ class Engine {
   std::unique_ptr<IndexBuilder> builder_;
   JDeweyIndex jdewey_index_;
   TopKIndex topk_index_;
+  /// Shared join-plan cache (the indexes are immutable, so entries never
+  /// go stale). mutable: RunQuery is const and may plan from RunBatch's
+  /// worker threads — PlanCache is internally synchronized.
+  mutable PlanCache plan_cache_;
 };
 
 }  // namespace xtopk

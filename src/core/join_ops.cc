@@ -114,25 +114,58 @@ std::vector<LevelMatch> IndexIntersect(std::vector<LevelMatch> matches,
   return out;
 }
 
+namespace {
+
+std::vector<LevelMatch> RunStep(std::vector<LevelMatch> matches,
+                                const Column& next, JoinAlgo algo,
+                                JoinOpStats* stats) {
+  switch (algo) {
+    case JoinAlgo::kIndex:
+      return IndexIntersect(std::move(matches), next, stats);
+    case JoinAlgo::kGallop:
+      return GallopIntersect(std::move(matches), next, stats);
+    case JoinAlgo::kMerge:
+      break;
+  }
+  return MergeIntersect(std::move(matches), next, stats);
+}
+
+}  // namespace
+
 std::vector<LevelMatch> IntersectColumns(
     const std::vector<const Column*>& columns, const PlannerOptions& planner,
     JoinOpStats* stats, const IntersectStepFn& on_step) {
   if (columns.empty()) return {};
   std::vector<LevelMatch> matches = SeedMatches(*columns[0]);
-  for (size_t j = 1; j < columns.size() && !matches.empty(); ++j) {
+  for (size_t j = 1; j < columns.size(); ++j) {
+    if (matches.empty()) {
+      // Empty intersection: the remaining columns at this level cannot
+      // resurrect it, so skip them instead of running degenerate merges.
+      ++stats->early_empty;
+      break;
+    }
     const Column& next = *columns[j];
     JoinAlgo algo = ChooseJoinAlgo(matches.size(), next.run_count(), planner);
-    switch (algo) {
-      case JoinAlgo::kIndex:
-        matches = IndexIntersect(std::move(matches), next, stats);
-        break;
-      case JoinAlgo::kGallop:
-        matches = GallopIntersect(std::move(matches), next, stats);
-        break;
-      case JoinAlgo::kMerge:
-        matches = MergeIntersect(std::move(matches), next, stats);
-        break;
+    matches = RunStep(std::move(matches), next, algo, stats);
+    if (on_step) on_step(j, algo, next.run_count(), matches.size());
+  }
+  return matches;
+}
+
+std::vector<LevelMatch> IntersectColumnsPlanned(
+    const std::vector<const Column*>& columns,
+    const std::vector<JoinAlgo>& algos, JoinOpStats* stats,
+    const IntersectStepFn& on_step) {
+  if (columns.empty()) return {};
+  std::vector<LevelMatch> matches = SeedMatches(*columns[0]);
+  for (size_t j = 1; j < columns.size(); ++j) {
+    if (matches.empty()) {
+      ++stats->early_empty;
+      break;
     }
+    const Column& next = *columns[j];
+    JoinAlgo algo = algos[j - 1];
+    matches = RunStep(std::move(matches), next, algo, stats);
     if (on_step) on_step(j, algo, next.run_count(), matches.size());
   }
   return matches;

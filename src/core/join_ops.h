@@ -28,6 +28,10 @@ struct JoinOpStats {
   uint64_t run_comparisons = 0;  ///< merge/gallop cursor steps
   uint64_t probes = 0;           ///< index-join binary searches
   uint64_t gallops = 0;          ///< exponential searches performed
+  /// Levels whose intersection emptied before the last column, skipping
+  /// the remaining steps (an empty left side would otherwise still be fed
+  /// to ChooseJoinAlgo as a degenerate merge).
+  uint64_t early_empty = 0;
 };
 
 /// Sort-merge intersection of the current matches with `column` (both are
@@ -69,6 +73,17 @@ using IntersectStepFn =
 std::vector<LevelMatch> IntersectColumns(
     const std::vector<const Column*>& columns, const PlannerOptions& planner,
     JoinOpStats* stats, const IntersectStepFn& on_step = nullptr);
+
+/// Plan-driven variant: step j (1-based over `columns`) runs
+/// `algos[j - 1]`, fixed ahead of execution from the cost-based planner's
+/// ESTIMATED sizes, instead of re-reading the observed sizes per step.
+/// Output is identical to IntersectColumns — every operator computes the
+/// same intersection — only the work differs. `algos` must have
+/// columns.size() - 1 entries.
+std::vector<LevelMatch> IntersectColumnsPlanned(
+    const std::vector<const Column*>& columns,
+    const std::vector<JoinAlgo>& algos, JoinOpStats* stats,
+    const IntersectStepFn& on_step = nullptr);
 
 }  // namespace xtopk
 

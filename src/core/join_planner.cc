@@ -1,6 +1,9 @@
 #include "core/join_planner.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <numeric>
 
 namespace xtopk {
@@ -46,6 +49,380 @@ std::vector<size_t> PlanJoinOrder(const std::vector<size_t>& list_sizes) {
     return list_sizes[a] < list_sizes[b];
   });
   return order;
+}
+
+std::vector<size_t> PlanJoinOrder(const std::vector<size_t>& list_sizes,
+                                  const std::vector<std::string>& terms) {
+  std::vector<size_t> order(list_sizes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (list_sizes[a] != list_sizes[b]) return list_sizes[a] < list_sizes[b];
+    return terms[a] < terms[b];
+  });
+  return order;
+}
+
+uint64_t PlanFingerprint(const std::vector<std::string>& terms) {
+  std::vector<std::string> sorted = terms;
+  std::sort(sorted.begin(), sorted.end());
+  // FNV-1a, with a NUL mixed in after every term so term boundaries hash.
+  uint64_t h = 14695981039346656037ull;
+  for (const std::string& term : sorted) {
+    for (char c : term) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    h ^= 0xFFu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+bool PlannerDisabledByEnv() {
+  const char* env = std::getenv("XTOPK_DISABLE_PLANNER");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
+std::vector<size_t> MapPlanOrder(const JoinPlan& plan,
+                                 const std::vector<std::string>& keywords,
+                                 uint32_t start_level) {
+  size_t k = keywords.size();
+  if (plan.steps.size() != k || plan.start_level != start_level) return {};
+  std::vector<size_t> order;
+  order.reserve(k);
+  std::vector<char> consumed(k, 0);
+  for (const JoinPlanStep& step : plan.steps) {
+    size_t pos = k;
+    for (size_t i = 0; i < k; ++i) {
+      if (!consumed[i] && keywords[i] == step.term) {
+        pos = i;
+        break;
+      }
+    }
+    if (pos == k) return {};
+    consumed[pos] = 1;
+    order.push_back(pos);
+  }
+  return order;
+}
+
+namespace {
+
+/// Estimated distinct-value count of one keyword's column at `level`
+/// (1-based): histogram total when available, the list length otherwise
+/// (a safe upper bound — runs never outnumber rows).
+double CountAt(const TermPlanInput& input, uint32_t level) {
+  if (input.stats != nullptr && level <= input.stats->levels.size() &&
+      !input.stats->levels[level - 1].empty()) {
+    return input.stats->levels[level - 1].total();
+  }
+  return static_cast<double>(input.rows);
+}
+
+const LevelHistogram* HistAt(const TermPlanInput& input, uint32_t level) {
+  if (input.stats == nullptr || level > input.stats->levels.size()) {
+    return nullptr;
+  }
+  const LevelHistogram& h = input.stats->levels[level - 1];
+  return h.empty() ? nullptr : &h;
+}
+
+size_t Rounded(double v) {
+  if (v <= 0.0) return 0;
+  return static_cast<size_t>(std::llround(v));
+}
+
+/// Estimated cost of one intersection step with `m` surviving matches on
+/// the left and an `r`-run column on the right, under `algo`. The units
+/// are cursor steps / probes — the same quantities JoinOpStats counts.
+double StepCost(double m, double r, JoinAlgo algo) {
+  double lo = std::min(m, r);
+  double hi = std::max(m, r);
+  switch (algo) {
+    case JoinAlgo::kMerge:
+      return m + r;
+    case JoinAlgo::kGallop:
+      return lo * (std::log2(hi / std::max(lo, 1.0) + 2.0) + 1.0) + 1.0;
+    case JoinAlgo::kIndex:
+      return m * (std::log2(r + 2.0) + 1.0) + 1.0;
+  }
+  return m + r;
+}
+
+struct StepPick {
+  JoinAlgo algo = JoinAlgo::kMerge;
+  double cost = 0.0;
+};
+
+/// Picks the step algorithm from the ESTIMATED sizes with the same
+/// thresholds the observed-size heuristic uses, then prices it.
+StepPick PickStep(double m, double r, const PlannerOptions& options) {
+  StepPick pick;
+  pick.algo = ChooseJoinAlgo(Rounded(m), Rounded(r), options);
+  pick.cost = StepCost(m, r, pick.algo);
+  return pick;
+}
+
+/// All O(k^2) pairwise overlap estimates at every level; symmetric.
+/// Without histograms on both sides the overlap defaults to min(counts) —
+/// selectivity 1, which reproduces the size-ordering heuristic.
+struct PairwiseOverlap {
+  size_t k = 0;
+  uint32_t levels = 0;
+  std::vector<double> ov;  // [(a * k + b) * levels + (l - 1)]
+
+  double At(size_t a, size_t b, uint32_t level) const {
+    return ov[(a * k + b) * levels + (level - 1)];
+  }
+};
+
+PairwiseOverlap ComputeOverlaps(const std::vector<TermPlanInput>& inputs,
+                                uint32_t start_level) {
+  PairwiseOverlap pw;
+  pw.k = inputs.size();
+  pw.levels = start_level;
+  pw.ov.assign(pw.k * pw.k * start_level, 0.0);
+  for (size_t a = 0; a < pw.k; ++a) {
+    for (size_t b = a + 1; b < pw.k; ++b) {
+      for (uint32_t l = 1; l <= start_level; ++l) {
+        const LevelHistogram* ha = HistAt(inputs[a], l);
+        const LevelHistogram* hb = HistAt(inputs[b], l);
+        double estimate;
+        if (ha != nullptr && hb != nullptr) {
+          estimate = ha->EstimateOverlap(*hb);
+        } else {
+          estimate = std::min(CountAt(inputs[a], l), CountAt(inputs[b], l));
+        }
+        size_t idx_ab = (a * pw.k + b) * start_level + (l - 1);
+        size_t idx_ba = (b * pw.k + a) * start_level + (l - 1);
+        pw.ov[idx_ab] = estimate;
+        pw.ov[idx_ba] = estimate;
+      }
+    }
+  }
+  return pw;
+}
+
+/// Order-independent cardinality estimate of intersecting a keyword set at
+/// one level: anchor on the smallest column and attenuate it by each other
+/// term's overlap selectivity against the anchor (clamped to [0, 1]).
+double SubsetEstimate(const std::vector<TermPlanInput>& inputs,
+                      const PairwiseOverlap& pw,
+                      const std::vector<size_t>& members, uint32_t level) {
+  size_t anchor = members[0];
+  double anchor_count = CountAt(inputs[anchor], level);
+  for (size_t m : members) {
+    double c = CountAt(inputs[m], level);
+    if (c < anchor_count) {
+      anchor_count = c;
+      anchor = m;
+    }
+  }
+  if (anchor_count <= 0.0) return 0.0;
+  double estimate = anchor_count;
+  for (size_t m : members) {
+    if (m == anchor) continue;
+    double sel = pw.At(anchor, m, level) / anchor_count;
+    estimate *= std::clamp(sel, 0.0, 1.0);
+  }
+  return estimate;
+}
+
+std::vector<size_t> MaskMembers(uint32_t mask) {
+  std::vector<size_t> members;
+  for (size_t i = 0; mask != 0; ++i, mask >>= 1) {
+    if (mask & 1u) members.push_back(i);
+  }
+  return members;
+}
+
+/// Cost of seeding the match list from keyword `i` (SeedMatches copies
+/// every run at every level).
+double SeedCost(const std::vector<TermPlanInput>& inputs, size_t i,
+                uint32_t start_level) {
+  double cost = 0.0;
+  for (uint32_t l = 1; l <= start_level; ++l) cost += CountAt(inputs[i], l);
+  return cost;
+}
+
+/// Marginal cost of folding keyword `t` into a prefix whose per-level
+/// estimates are `prefix_est`.
+double TransitionCost(const std::vector<TermPlanInput>& inputs,
+                      const std::vector<double>& prefix_est, size_t t,
+                      uint32_t start_level, const PlannerOptions& options) {
+  double cost = 0.0;
+  for (uint32_t l = 1; l <= start_level; ++l) {
+    cost += PickStep(prefix_est[l - 1], CountAt(inputs[t], l), options).cost;
+  }
+  return cost;
+}
+
+/// Exhaustive left-deep search: Selinger-style DP over keyword subsets.
+/// best[S] is the cheapest way to have intersected exactly the keywords in
+/// S; the per-level estimate of S is order-independent (SubsetEstimate),
+/// so the DP is admissible. Deterministic: masks ascend and candidates are
+/// tried in canonical (rows, term) order, so ties resolve identically
+/// everywhere and degrade to shortest-first when costs are flat.
+std::vector<size_t> DpOrder(const std::vector<TermPlanInput>& inputs,
+                            const PairwiseOverlap& pw, uint32_t start_level,
+                            const PlannerOptions& options, double* cost_out) {
+  size_t k = inputs.size();
+  uint32_t full = (1u << k) - 1;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> best(full + 1, kInf);
+  std::vector<int> last(full + 1, -1);
+  std::vector<std::vector<double>> est(full + 1);
+
+  for (size_t i = 0; i < k; ++i) {
+    uint32_t mask = 1u << i;
+    best[mask] = SeedCost(inputs, i, start_level);
+    last[mask] = static_cast<int>(i);
+  }
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    if (best[mask] == kInf) continue;
+    if (est[mask].empty()) {
+      std::vector<size_t> members = MaskMembers(mask);
+      est[mask].resize(start_level);
+      for (uint32_t l = 1; l <= start_level; ++l) {
+        est[mask][l - 1] = SubsetEstimate(inputs, pw, members, l);
+      }
+    }
+    for (size_t t = 0; t < k; ++t) {
+      uint32_t bit = 1u << t;
+      if (mask & bit) continue;
+      double cost = best[mask] +
+                    TransitionCost(inputs, est[mask], t, start_level, options);
+      if (cost < best[mask | bit]) {
+        best[mask | bit] = cost;
+        last[mask | bit] = static_cast<int>(t);
+      }
+    }
+  }
+
+  std::vector<size_t> order;
+  order.reserve(k);
+  for (uint32_t mask = full; mask != 0;) {
+    size_t t = static_cast<size_t>(last[mask]);
+    order.push_back(t);
+    mask &= ~(1u << t);
+  }
+  std::reverse(order.begin(), order.end());
+  *cost_out = best[full];
+  return order;
+}
+
+/// Greedy nearest-addition fallback for wide queries: cheapest seed first,
+/// then repeatedly the keyword whose fold-in is cheapest against the
+/// current prefix estimate.
+std::vector<size_t> GreedyOrder(const std::vector<TermPlanInput>& inputs,
+                                const PairwiseOverlap& pw,
+                                uint32_t start_level,
+                                const PlannerOptions& options,
+                                double* cost_out) {
+  size_t k = inputs.size();
+  std::vector<char> used(k, 0);
+  std::vector<size_t> order;
+  order.reserve(k);
+
+  size_t seed = 0;
+  double seed_cost = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < k; ++i) {
+    double c = SeedCost(inputs, i, start_level);
+    if (c < seed_cost) {
+      seed_cost = c;
+      seed = i;
+    }
+  }
+  order.push_back(seed);
+  used[seed] = 1;
+  double total = seed_cost;
+
+  std::vector<double> prefix_est(start_level);
+  for (uint32_t l = 1; l <= start_level; ++l) {
+    prefix_est[l - 1] = CountAt(inputs[seed], l);
+  }
+  while (order.size() < k) {
+    size_t pick = k;
+    double pick_cost = std::numeric_limits<double>::infinity();
+    for (size_t t = 0; t < k; ++t) {
+      if (used[t]) continue;
+      double c = TransitionCost(inputs, prefix_est, t, start_level, options);
+      if (c < pick_cost) {
+        pick_cost = c;
+        pick = t;
+      }
+    }
+    order.push_back(pick);
+    used[pick] = 1;
+    total += pick_cost;
+    std::vector<size_t> members;
+    for (size_t i = 0; i < k; ++i) {
+      if (used[i]) members.push_back(i);
+    }
+    for (uint32_t l = 1; l <= start_level; ++l) {
+      prefix_est[l - 1] = SubsetEstimate(inputs, pw, members, l);
+    }
+  }
+  *cost_out = total;
+  return order;
+}
+
+}  // namespace
+
+JoinPlan PlanJoin(std::vector<TermPlanInput> inputs, uint32_t start_level,
+                  const PlannerOptions& options) {
+  JoinPlan plan;
+  plan.start_level = start_level;
+  if (inputs.empty() || start_level == 0) return plan;
+
+  // Canonical input order: rows ascending, then term. Both search loops
+  // keep the first candidate on a cost tie, so ties degrade to the
+  // shortest-first heuristic (then term identity), independent of the
+  // caller's keyword order.
+  std::sort(inputs.begin(), inputs.end(),
+            [](const TermPlanInput& a, const TermPlanInput& b) {
+              if (a.rows != b.rows) return a.rows < b.rows;
+              return a.term < b.term;
+            });
+
+  PairwiseOverlap pw = ComputeOverlaps(inputs, start_level);
+  size_t k = inputs.size();
+  std::vector<size_t> order;
+  // The DP's mask arithmetic needs k bits; 31 is the hard ceiling, the
+  // option the practical one.
+  plan.exact = k <= options.exact_dp_max_terms && k < 31;
+  if (plan.exact) {
+    order = DpOrder(inputs, pw, start_level, options, &plan.est_cost);
+  } else {
+    order = GreedyOrder(inputs, pw, start_level, options, &plan.est_cost);
+  }
+
+  plan.steps.reserve(k);
+  std::vector<size_t> members;
+  std::vector<double> prefix_est(start_level);
+  for (size_t j = 0; j < order.size(); ++j) {
+    const TermPlanInput& input = inputs[order[j]];
+    JoinPlanStep step;
+    step.term = input.term;
+    step.est_out.resize(start_level);
+    if (j > 0) step.algos.resize(start_level);
+    members.push_back(order[j]);
+    for (uint32_t l = 1; l <= start_level; ++l) {
+      if (j > 0) {
+        step.algos[l - 1] =
+            PickStep(prefix_est[l - 1], CountAt(input, l), options).algo;
+      }
+      double out = j == 0 ? CountAt(input, l)
+                          : SubsetEstimate(inputs, pw, members, l);
+      step.est_out[l - 1] = out;
+    }
+    for (uint32_t l = 1; l <= start_level; ++l) {
+      prefix_est[l - 1] = step.est_out[l - 1];
+    }
+    plan.steps.push_back(std::move(step));
+  }
+  return plan;
 }
 
 }  // namespace xtopk

@@ -3,7 +3,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
+
+#include "storage/histogram.h"
 
 namespace xtopk {
 
@@ -27,6 +30,10 @@ struct PlannerOptions {
   /// linear merge is O(m + n); galloping is O(m log(n/m)), which wins once
   /// the ratio clears a small constant.
   double gallop_ratio = 8.0;
+  /// PlanJoin runs the Selinger-style subset DP exactly up to this many
+  /// keywords and falls back to greedy nearest-addition above (the DP is
+  /// O(2^k * k * levels)).
+  size_t exact_dp_max_terms = 12;
 };
 
 /// The intersection operator one join step should run (§III-C "dynamic
@@ -44,12 +51,84 @@ bool UseIndexJoin(size_t left_size, size_t right_size,
 /// Three-way pick for the next intersection: index join when the left side
 /// is far smaller than the column, galloping when the sizes are skewed by
 /// at least gallop_ratio in either direction, linear merge otherwise.
+/// left_size == 0 degenerates to a no-op merge; callers short-circuit an
+/// empty intersection before ever reaching the pick (join_ops counts those
+/// in JoinOpStats::early_empty).
 JoinAlgo ChooseJoinAlgo(size_t left_size, size_t right_size,
                         const PlannerOptions& options);
 
 /// Left-deep join order: indexes of `list_sizes` sorted ascending by size
 /// ("from the shortest inverted list to the longest", §III-C).
 std::vector<size_t> PlanJoinOrder(const std::vector<size_t>& list_sizes);
+
+/// Tie-broken variant: equal-size lists order by term (lexicographic)
+/// instead of input position, so the heuristic order — and any plan
+/// fingerprinted from it — is identical across backends regardless of how
+/// a query spelled its keywords. `terms` is position-aligned with
+/// `list_sizes`.
+std::vector<size_t> PlanJoinOrder(const std::vector<size_t>& list_sizes,
+                                  const std::vector<std::string>& terms);
+
+/// One keyword's planner input: its term, list length, and (optionally)
+/// the per-level value histograms a TermSource exposes via Stats().
+/// `stats == nullptr` (or histogram-less stats) degrades that term to
+/// row-count-based estimates.
+struct TermPlanInput {
+  std::string term;
+  uint32_t rows = 0;
+  const TermStats* stats = nullptr;
+};
+
+/// One step of a left-deep join plan. steps[0] seeds the match list (no
+/// algorithm); every later step folds `term`'s column in with
+/// `algos[level - 1]`, chosen from ESTIMATED sizes at plan time instead of
+/// the observed sizes the §III-C heuristic re-reads per step.
+/// `est_out[level - 1]` is the estimated number of distinct values alive
+/// after this step at that level — Explain renders it next to the actual.
+struct JoinPlanStep {
+  std::string term;
+  std::vector<JoinAlgo> algos;
+  std::vector<double> est_out;
+};
+
+/// A complete join plan for one keyword set against one index state.
+struct JoinPlan {
+  std::vector<JoinPlanStep> steps;  ///< left-deep join order
+  uint32_t start_level = 0;         ///< deepest level the plan covers
+  double est_cost = 0.0;            ///< summed per-level step costs
+  bool exact = false;               ///< subset DP (true) or greedy fallback
+  uint64_t fingerprint = 0;         ///< PlanFingerprint of the term set
+  uint64_t watermark = 0;           ///< TermSource::PlanWatermark at plan time
+};
+
+/// Order-insensitive 64-bit fingerprint of a keyword set (terms are hashed
+/// in sorted order), the plan-cache key.
+uint64_t PlanFingerprint(const std::vector<std::string>& terms);
+
+/// True when XTOPK_DISABLE_PLANNER is set to anything but "0" — the
+/// runtime escape hatch that forces the observed-size heuristic in every
+/// search path regardless of options.
+bool PlannerDisabledByEnv();
+
+/// Maps `plan`'s steps (terms in join order) to positions of `keywords`.
+/// Duplicate keywords consume matching steps one at a time — any bijection
+/// is correct since equal terms share one inverted list. Returns empty when
+/// the plan does not fit (term mismatch, wrong arity, or start_level drift
+/// — defensively possible under a fingerprint collision), in which case the
+/// caller falls back to the heuristic order.
+std::vector<size_t> MapPlanOrder(const JoinPlan& plan,
+                                 const std::vector<std::string>& keywords,
+                                 uint32_t start_level);
+
+/// Cost-based join planning: estimates every subset's intersection
+/// cardinality per level from histogram overlap, then searches join orders
+/// — exhaustively via subset DP up to options.exact_dp_max_terms keywords,
+/// greedily above — and fixes each step's merge/gallop/index choice from
+/// the estimated sizes. Deterministic: inputs are ordered by term before
+/// planning, so equal-cost plans resolve identically on every backend.
+/// The caller stamps fingerprint/watermark for caching.
+JoinPlan PlanJoin(std::vector<TermPlanInput> inputs, uint32_t start_level,
+                  const PlannerOptions& options);
 
 }  // namespace xtopk
 

@@ -24,6 +24,8 @@ void FlushJoinStatsToRegistry(const JoinSearchStats& stats) {
       .Add(stats.join_ops.run_comparisons);
   XTOPK_COUNTER("core.join.probes").Add(stats.join_ops.probes);
   XTOPK_COUNTER("core.join.gallops").Add(stats.join_ops.gallops);
+  XTOPK_COUNTER("core.join.early_empty").Add(stats.join_ops.early_empty);
+  if (stats.planned) XTOPK_COUNTER("core.plan.planned_queries").Add(1);
 }
 
 }  // namespace
@@ -122,17 +124,71 @@ std::vector<SearchResult> JoinSearch::SearchWithTrace(
   }
   const size_t k = lists.size();
 
-  // Left-deep join order: shortest list first (§III-C).
-  std::vector<size_t> sizes(k);
-  for (size_t i = 0; i < k; ++i) sizes[i] = lists[i]->num_rows();
-  std::vector<size_t> order = PlanJoinOrder(sizes);
-
   // The scan starts at the lowest level that every keyword reaches: there
   // cannot be an LCA of all keywords lower than min over lists of their
   // deepest occurrence level.
   uint32_t start_level = lists[0]->max_length;
   for (const JDeweyList* list : lists) {
     start_level = std::min(start_level, list->max_length);
+  }
+
+  // Join order + per-step algorithms. With the cost-based planner the
+  // order comes from the histogram DP (cached per term set + index
+  // watermark); otherwise it is the §III-C heuristic — shortest list
+  // first, ties broken by term so the order is backend-independent.
+  std::vector<size_t> sizes(k);
+  for (size_t i = 0; i < k; ++i) sizes[i] = lists[i]->num_rows();
+  std::shared_ptr<const JoinPlan> plan;
+  if (options_.use_planner && !PlannerDisabledByEnv()) {
+    uint64_t fingerprint = PlanFingerprint(keywords);
+    uint64_t watermark = source_->PlanWatermark();
+    if (options_.plan_cache != nullptr) {
+      plan = options_.plan_cache->Lookup(fingerprint, watermark);
+      stats_.plan_cache_hit = plan != nullptr;
+    }
+    if (plan == nullptr) {
+      std::vector<TermPlanInput> inputs(k);
+      for (size_t i = 0; i < k; ++i) {
+        inputs[i].term = keywords[i];
+        inputs[i].rows = lists[i]->num_rows();
+        inputs[i].stats = source_->Stats(keywords[i]);
+      }
+      auto built = std::make_shared<JoinPlan>(
+          PlanJoin(std::move(inputs), start_level, options_.planner));
+      built->fingerprint = fingerprint;
+      built->watermark = watermark;
+      if (options_.plan_cache != nullptr) options_.plan_cache->Insert(built);
+      plan = std::move(built);
+    }
+  }
+
+  // Map plan steps (terms in join order) back to query positions; an
+  // unmappable plan is discarded and the heuristic order takes over.
+  std::vector<size_t> order;
+  if (plan != nullptr) {
+    order = MapPlanOrder(*plan, keywords, start_level);
+    if (order.empty()) plan = nullptr;
+  }
+  if (plan == nullptr) {
+    order = PlanJoinOrder(sizes, keywords);
+  } else {
+    stats_.planned = true;
+  }
+  if (options_.trace != nullptr) {
+    obs::ScopedSpan plan_span(options_.trace, "join_plan");
+    plan_span.Label("mode", plan == nullptr          ? "heuristic"
+                            : plan->exact            ? "dp"
+                                                     : "greedy");
+    // Cache hit/miss is deliberately NOT a span label: traces of identical
+    // queries must be field-for-field deterministic (engine_batch_test);
+    // hit rates live in JoinSearchStats and the registry counters instead.
+    if (plan != nullptr) plan_span.Stat("est_cost", plan->est_cost);
+    std::string rendered;
+    for (size_t j = 0; j < k; ++j) {
+      if (j > 0) rendered += ",";
+      rendered += keywords[order[j]];
+    }
+    plan_span.Label("order", rendered);
   }
 
   std::vector<Erasure> erasure;
@@ -163,17 +219,39 @@ std::vector<SearchResult> JoinSearch::SearchWithTrace(
     std::vector<const Column*> columns(k);
     for (size_t j = 0; j < k; ++j) columns[j] = &lists[order[j]]->column(level);
     IntersectStepFn on_step;
-    if (trace != nullptr) {
+    if (trace != nullptr || level_span.enabled()) {
       on_step = [&](size_t j, JoinAlgo algo, uint64_t input_runs,
                     uint64_t output_matches) {
-        level_trace.steps.push_back(JoinStepTrace{order[j],
-                                                  algo == JoinAlgo::kIndex,
-                                                  algo, input_runs,
-                                                  output_matches});
+        JoinStepTrace step{order[j], algo == JoinAlgo::kIndex, algo,
+                           input_runs, output_matches, -1.0};
+        if (plan != nullptr) step.est_output = plan->steps[j].est_out[level - 1];
+        level_trace.steps.push_back(std::move(step));
       };
     }
-    std::vector<LevelMatch> matches =
-        IntersectColumns(columns, options_.planner, &stats_.join_ops, on_step);
+    std::vector<LevelMatch> matches;
+    if (plan != nullptr) {
+      std::vector<JoinAlgo> algos(k - 1);
+      for (size_t j = 1; j < k; ++j) algos[j - 1] = plan->steps[j].algos[level - 1];
+      matches =
+          IntersectColumnsPlanned(columns, algos, &stats_.join_ops, on_step);
+    } else {
+      matches = IntersectColumns(columns, options_.planner, &stats_.join_ops,
+                                 on_step);
+    }
+    if (level_span.enabled()) {
+      // One child span per executed join step, carrying the planner's
+      // estimated output next to the actual (Explain's est-vs-actual view).
+      for (const JoinStepTrace& step : level_trace.steps) {
+        obs::ScopedSpan step_span(options_.trace, "join_step");
+        step_span.Label("term", keywords[step.query_position]);
+        step_span.Label("algo", step.algo == JoinAlgo::kIndex    ? "index"
+                                : step.algo == JoinAlgo::kGallop ? "gallop"
+                                                                 : "merge");
+        step_span.Stat("input_runs", static_cast<double>(step.input_runs));
+        step_span.Stat("actual_out", static_cast<double>(step.output_matches));
+        if (step.est_output >= 0.0) step_span.Stat("est_out", step.est_output);
+      }
+    }
 
     for (const LevelMatch& match : matches) {
       ++stats_.candidates;

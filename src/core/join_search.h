@@ -8,6 +8,7 @@
 
 #include "core/join_ops.h"
 #include "core/join_planner.h"
+#include "core/plan_cache.h"
 #include "core/scoring.h"
 #include "core/search_result.h"
 #include "index/reader.h"
@@ -28,6 +29,15 @@ struct JoinSearchOptions {
   bool use_range_check = true;
   PlannerOptions planner;
   ScoringParams scoring;
+  /// Cost-based planning: derive the join order AND each step's
+  /// merge/gallop/index choice from histogram statistics (PlanJoin)
+  /// instead of the observed-size heuristic. Results are bit-identical
+  /// either way. The XTOPK_DISABLE_PLANNER environment variable (any
+  /// value but "0") forces this off — the escape hatch for A/B runs.
+  bool use_planner = true;
+  /// Shared plan cache (usually owned by the engine). Null plans every
+  /// query from scratch.
+  PlanCache* plan_cache = nullptr;
   /// Per-query span tree ("join_search" root, one span per level with
   /// candidates/results/erasure stats). Null disables tracing at zero cost.
   obs::QueryTrace* trace = nullptr;
@@ -44,6 +54,10 @@ struct JoinSearchStats {
   /// visited in range mode, individual rows touched in per-row mode. This
   /// is the cost the paper's range checking optimizes (ablation A4).
   uint64_t erasure_touches = 0;
+  /// Whether the last query ran a cost-based plan (vs the size heuristic)
+  /// and whether that plan came out of the cache.
+  bool planned = false;
+  bool plan_cache_hit = false;
 };
 
 /// One join step inside a level (EXPLAIN output).
@@ -54,6 +68,9 @@ struct JoinStepTrace {
   JoinAlgo algo = JoinAlgo::kMerge;  ///< the dynamic three-way choice
   uint64_t input_runs = 0;    ///< right-hand column's run count
   uint64_t output_matches = 0;
+  /// Planner's estimated output cardinality for this step; negative when
+  /// the query ran the observed-size heuristic (no estimate exists).
+  double est_output = -1.0;
 };
 
 /// Per-level EXPLAIN record of Algorithm 1's execution.

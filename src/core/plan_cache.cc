@@ -1,0 +1,59 @@
+#include "core/plan_cache.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace xtopk {
+
+std::shared_ptr<const JoinPlan> PlanCache::Lookup(uint64_t fingerprint,
+                                                  uint64_t watermark) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = plans_.find(fingerprint);
+  if (it != plans_.end() && it->second->watermark == watermark) {
+    ++hits_;
+    XTOPK_COUNTER("core.plan.cache_hits").Add(1);
+    return it->second;
+  }
+  ++misses_;
+  XTOPK_COUNTER("core.plan.cache_misses").Add(1);
+  return nullptr;
+}
+
+void PlanCache::Insert(std::shared_ptr<const JoinPlan> plan) {
+  if (plan == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t key = plan->fingerprint;
+  auto [it, inserted] = plans_.insert_or_assign(key, std::move(plan));
+  (void)it;
+  if (inserted) {
+    insertion_order_.push_back(key);
+    while (plans_.size() > capacity_ && !insertion_order_.empty()) {
+      plans_.erase(insertion_order_.front());
+      insertion_order_.erase(insertion_order_.begin());
+    }
+  }
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  plans_.clear();
+  insertion_order_.clear();
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_.size();
+}
+
+uint64_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace xtopk

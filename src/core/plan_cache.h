@@ -1,0 +1,54 @@
+#ifndef XTOPK_CORE_PLAN_CACHE_H_
+#define XTOPK_CORE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/join_planner.h"
+
+namespace xtopk {
+
+/// Bounded cache of join plans, keyed by the term-set fingerprint. A hit
+/// additionally requires the cached plan's watermark to equal the
+/// caller's current TermSource::PlanWatermark — a stale entry (the index
+/// sealed, ingested, or compacted since) counts as a miss and is replaced
+/// on the next Insert, so invalidation is free: no mutation path ever has
+/// to reach into the cache.
+///
+/// Thread-safe (Engine::RunBatch plans from worker threads); plans are
+/// immutable and handed out as shared_ptr so a replaced entry stays valid
+/// for queries still holding it. Hits and misses are counted both locally
+/// and in the process-wide registry (core.plan.cache_hits / _misses).
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity = 256) : capacity_(capacity) {}
+
+  /// The cached plan for `fingerprint` if present AND planned at
+  /// `watermark`; nullptr otherwise (counted as a miss).
+  std::shared_ptr<const JoinPlan> Lookup(uint64_t fingerprint,
+                                         uint64_t watermark);
+
+  /// Caches `plan` under its own fingerprint/watermark, replacing any
+  /// prior entry. Evicts in insertion order when over capacity.
+  void Insert(std::shared_ptr<const JoinPlan> plan);
+
+  void Clear();
+  size_t size() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::unordered_map<uint64_t, std::shared_ptr<const JoinPlan>> plans_;
+  std::vector<uint64_t> insertion_order_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_CORE_PLAN_CACHE_H_

@@ -282,6 +282,44 @@ std::vector<SearchResult> TopKSearch::Search(
     start_level = std::min<uint32_t>(start_level, list->base->max_length);
   }
 
+  // One cost-based plan per query for the §V-D complete-join sweeps:
+  // histogram-estimated join order and per-step algorithms, shared across
+  // every swept level (cached exactly like the complete-search path; a
+  // prebuilt TopKIndex is immutable, so its watermark is constant).
+  std::shared_ptr<const JoinPlan> plan;
+  std::vector<size_t> plan_order;
+  if (options_.use_planner && options_.hybrid_min_matches > 0.0 &&
+      !PlannerDisabledByEnv()) {
+    uint64_t fingerprint = PlanFingerprint(keywords);
+    uint64_t watermark = source_ != nullptr ? source_->PlanWatermark() : 1;
+    if (options_.plan_cache != nullptr) {
+      plan = options_.plan_cache->Lookup(fingerprint, watermark);
+      stats_.plan_cache_hit = plan != nullptr;
+    }
+    if (plan == nullptr) {
+      std::vector<TermPlanInput> inputs(k_sources);
+      for (size_t i = 0; i < k_sources; ++i) {
+        inputs[i].term = keywords[i];
+        inputs[i].rows = lists[i]->base->num_rows();
+        inputs[i].stats = source_ != nullptr
+                              ? source_->Stats(keywords[i])
+                              : index_->base()->StatsOf(keywords[i]);
+      }
+      auto built = std::make_shared<JoinPlan>(
+          PlanJoin(std::move(inputs), start_level, PlannerOptions{}));
+      built->fingerprint = fingerprint;
+      built->watermark = watermark;
+      if (options_.plan_cache != nullptr) options_.plan_cache->Insert(built);
+      plan = std::move(built);
+    }
+    plan_order = MapPlanOrder(*plan, keywords, start_level);
+    if (plan_order.empty()) {
+      plan = nullptr;
+    } else {
+      stats_.planned = true;
+    }
+  }
+
   // Static per-column upper bounds B(l) = Σ_i s_m^i(l) and the running
   // maximum over the columns above the current one (§IV-C; the paper's
   // column-skip rule — a column no sequence ends at is dominated by the one
@@ -392,19 +430,33 @@ std::vector<SearchResult> TopKSearch::Search(
         EstimateLevelMatches(lists, level, options_.hybrid_sample_runs) <
             options_.hybrid_min_matches) {
       ++stats_.columns_complete_join;
-      // Left-deep intersection of the base columns, shortest first.
-      std::vector<size_t> sizes(k_sources);
-      for (size_t i = 0; i < k_sources; ++i) {
-        sizes[i] = lists[i]->base->column(level).run_count();
-      }
-      std::vector<size_t> order = PlanJoinOrder(sizes);
+      // Left-deep intersection of the base columns: planned order and
+      // algorithms when a plan exists, otherwise shortest-run-count first.
+      std::vector<size_t> order;
       JoinOpStats join_stats;
       std::vector<const Column*> columns(k_sources);
-      for (size_t j = 0; j < k_sources; ++j) {
-        columns[j] = &lists[order[j]]->base->column(level);
+      std::vector<LevelMatch> matches;
+      if (plan != nullptr) {
+        order = plan_order;
+        for (size_t j = 0; j < k_sources; ++j) {
+          columns[j] = &lists[order[j]]->base->column(level);
+        }
+        std::vector<JoinAlgo> algos(k_sources - 1);
+        for (size_t j = 1; j < k_sources; ++j) {
+          algos[j - 1] = plan->steps[j].algos[level - 1];
+        }
+        matches = IntersectColumnsPlanned(columns, algos, &join_stats);
+      } else {
+        std::vector<size_t> sizes(k_sources);
+        for (size_t i = 0; i < k_sources; ++i) {
+          sizes[i] = lists[i]->base->column(level).run_count();
+        }
+        order = PlanJoinOrder(sizes, keywords);
+        for (size_t j = 0; j < k_sources; ++j) {
+          columns[j] = &lists[order[j]]->base->column(level);
+        }
+        matches = IntersectColumns(columns, PlannerOptions{}, &join_stats);
       }
-      std::vector<LevelMatch> matches =
-          IntersectColumns(columns, PlannerOptions{}, &join_stats);
       for (const LevelMatch& match : matches) {
         // Per keyword: the best non-excluded occurrence in the run. A
         // keyword whose run is fully consumed kills the candidate — the

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/plan_cache.h"
 #include "core/scoring.h"
 #include "core/search_result.h"
 #include "core/topk_star_join.h"
@@ -36,6 +37,13 @@ struct TopKSearchOptions {
   /// The ranges come from the columns' first/last runs, i.e. the same
   /// min/max the on-disk block skip directory carries.
   bool value_range_skip = true;
+  /// Cost-based planning for the §V-D complete-join sweeps: join order and
+  /// per-step algorithms come from the histogram planner (one plan per
+  /// query, cached) instead of per-level run counts. Star-join columns are
+  /// unaffected. XTOPK_DISABLE_PLANNER forces this off.
+  bool use_planner = true;
+  /// Shared plan cache (usually the engine's). Null plans per query.
+  PlanCache* plan_cache = nullptr;
   ScoringParams scoring;
   /// Per-query span tree ("topk_search" root, one span per column round
   /// with entries-read/threshold/emission stats). Null disables tracing at
@@ -52,6 +60,10 @@ struct TopKSearchStats {
   uint32_t columns_star_join = 0;      ///< per-level hybrid: star-join mode
   uint32_t columns_complete_join = 0;  ///< per-level hybrid: sweep mode
   uint32_t columns_value_skipped = 0;  ///< empty value-range intersection
+  /// Whether the last query carried a cost-based plan for its sweeps, and
+  /// whether that plan came out of the cache.
+  bool planned = false;
+  bool plan_cache_hit = false;
 };
 
 /// The join-based top-K keyword search (paper §IV-C): inverted lists are

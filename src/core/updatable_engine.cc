@@ -220,6 +220,7 @@ std::vector<QueryHit> UpdatableEngine::Search(
   join_options.semantics = semantics;
   join_options.compute_scores = true;
   join_options.scoring = options_.scoring;
+  join_options.plan_cache = &plan_cache_;
   JoinSearch search(&segments_, join_options);
   std::vector<SearchResult> found = search.Search(Normalize(keywords));
   SortByScoreDesc(&found);
@@ -233,6 +234,7 @@ std::vector<QueryHit> UpdatableEngine::SearchTopK(
   topk_options.semantics = semantics;
   topk_options.k = k;
   topk_options.scoring = options_.scoring;
+  topk_options.plan_cache = &plan_cache_;
   TopKSearch search(&segments_, topk_options);
   return Materialize(search.Search(Normalize(keywords)));
 }

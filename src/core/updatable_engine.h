@@ -91,6 +91,9 @@ class UpdatableEngine {
   /// JDewey requirements.
   Status ValidateEncoding() const { return encoding_.Validate(tree_); }
 
+  /// The join-plan cache (tests assert invalidation-on-seal through it).
+  PlanCache& plan_cache() { return plan_cache_; }
+
  private:
   void EnsureFresh();
   void FullRebuild();
@@ -107,6 +110,10 @@ class UpdatableEngine {
   EngineOptions options_;
   JDeweyEncoding encoding_;
   SegmentedIndex segments_;
+  /// Join-plan cache over the segmented index. Entries carry the index
+  /// version as their watermark, so a seal / compact / ingest silently
+  /// invalidates them — no explicit hook needed.
+  PlanCache plan_cache_;
   std::unique_ptr<JDeweyIndex> memtable_;
   NodeId watermark_ = 0;
   bool memtable_dirty_ = false;

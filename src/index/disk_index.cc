@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "index/index_access.h"
+#include "index/segment_builder.h"
 #include "obs/metrics.h"
 #include "storage/compression.h"
 #include "storage/fault_pagefile.h"
@@ -278,7 +279,19 @@ Status DiskIndexWriter::Write(const JDeweyIndex& index, bool include_scores,
   if (!footer_page.ok()) return footer_page.status();
   s = file.Sync();
   if (!s.ok()) return s;
-  return file.Close();
+  s = file.Close();
+  if (!s.ok()) return s;
+
+  // Planner-statistics sidecar: when the index carries build-time
+  // histograms, persist them as `<path>.manifest` so a later Open can
+  // plan joins from real statistics. Callers that maintain a full
+  // segment manifest (Seal, Compact, the segment tests) overwrite this
+  // file right afterwards with covered_nodes filled in; the sidecar is
+  // advisory either way, so its write failure does not fail Write.
+  if (index.has_stats()) {
+    ManifestFromSegment(index).Save(path + ".manifest").ok();
+  }
+  return Status::Ok();
 }
 
 StatusOr<std::shared_ptr<DiskIndexEnv>> DiskIndexEnv::Open(
@@ -425,6 +438,23 @@ StatusOr<std::shared_ptr<DiskIndexEnv>> DiskIndexEnv::Open(
       level.emplace_back(prev_value, static_cast<NodeId>(prev_node));
     }
   }
+
+  // Planner-statistics sidecar: lenient on purpose. A missing, damaged,
+  // or histogram-less (v1) manifest costs plan quality, never the Open —
+  // queries then run on Frequency-based estimates.
+  if (StatusOr<SegmentManifest> sidecar =
+          SegmentManifest::Load(path + ".manifest");
+      sidecar.ok()) {
+    for (SegmentTermStats& t : sidecar->terms) {
+      if (t.levels.empty()) continue;
+      auto dir_it = env->directory_.find(t.term);
+      if (dir_it == env->directory_.end()) continue;
+      TermStats stats;
+      stats.rows = dir_it->second.rows;  // directory is authoritative
+      stats.levels = std::move(t.levels);
+      env->term_stats_.emplace(t.term, std::move(stats));
+    }
+  }
   return env;
 }
 
@@ -511,6 +541,11 @@ uint32_t DiskIndexEnv::Frequency(const std::string& term) const {
 uint32_t DiskIndexEnv::MaxLength(const std::string& term) const {
   auto it = directory_.find(term);
   return it == directory_.end() ? 0 : it->second.max_length;
+}
+
+const TermStats* DiskIndexEnv::Stats(const std::string& term) const {
+  auto it = term_stats_.find(term);
+  return it == term_stats_.end() ? nullptr : &it->second;
 }
 
 DiskIoStats DiskIndexEnv::io_stats() const {

@@ -123,6 +123,11 @@ class DiskIndexEnv : public std::enable_shared_from_this<DiskIndexEnv> {
   /// Frequency / deepest level from the directory alone (no data I/O).
   uint32_t Frequency(const std::string& term) const;
   uint32_t MaxLength(const std::string& term) const;
+  /// Planner statistics from the optional `<path>.manifest` sidecar;
+  /// nullptr when the sidecar is absent, damaged, or has no histograms
+  /// for `term`. The sidecar is advisory — a missing or corrupt one never
+  /// fails Open, it only costs plan quality.
+  const TermStats* Stats(const std::string& term) const;
   size_t term_count() const { return directory_.size(); }
   bool has_scores() const { return has_scores_; }
   /// Whether sessions may skip-decode (options.enable_skip, unless the
@@ -184,6 +189,9 @@ class DiskIndexEnv : public std::enable_shared_from_this<DiskIndexEnv> {
   /// legacy v1 segments (nothing to verify).
   std::vector<uint32_t> page_crcs_;
   std::unordered_map<std::string, TermInfo> directory_;
+  /// Per-term planner statistics from the manifest sidecar (empty when
+  /// none was found). Immutable after Open, so shared across sessions.
+  std::unordered_map<std::string, TermStats> term_stats_;
   /// Holds only the (level, value) -> node mapping + max level; sessions
   /// borrow it instead of copying it (it can dominate the directory size).
   JDeweyIndex node_map_;
@@ -247,6 +255,9 @@ class DiskJDeweyIndex : public TermSource {
     return view_.NodeAt(level, value);
   }
   uint32_t max_level() const override { return view_.max_level(); }
+  const TermStats* Stats(const std::string& term) const override {
+    return env_->Stats(term);
+  }
 
   /// Evaluates a complete-result query against the disk-resident index:
   /// computes l0 from the directory, loads only columns 1..l0 of each

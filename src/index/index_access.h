@@ -39,6 +39,9 @@ struct IndexIoAccess {
     index->borrowed_level_nodes_ = &LevelNodes(owner);
   }
   static uint32_t* MaxLevel(JDeweyIndex* index) { return &index->max_level_; }
+  static std::vector<TermStats>* Stats(JDeweyIndex* index) {
+    return &index->stats_;
+  }
 
   static std::unordered_map<std::string, uint32_t>* TermIds(
       DeweyIndex* index) {

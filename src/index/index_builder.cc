@@ -102,6 +102,7 @@ JDeweyIndex IndexBuilder::BuildJDeweyIndex() const {
   index.max_level_ = tree_.max_level();
 
   index.lists_.resize(occurrences_.size());
+  if (options_.stats_buckets > 0) index.stats_.resize(occurrences_.size());
   // Per-term materialization is index-disjoint: safe (and deterministic)
   // to parallelize.
   ParallelFor(occurrences_.size(), options_.build_threads, [&](size_t t) {
@@ -126,6 +127,9 @@ JDeweyIndex IndexBuilder::BuildJDeweyIndex() const {
       for (uint16_t level = 1; level <= len; ++level) {
         list.columns[level - 1].Append(row, seq[level - 1]);
       }
+    }
+    if (options_.stats_buckets > 0) {
+      index.stats_[t] = ComputeListStats(list, options_.stats_buckets);
     }
   });
 

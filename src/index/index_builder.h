@@ -35,6 +35,9 @@ struct IndexBuildOptions {
   /// Results are bit-identical across thread counts: every term writes to
   /// its own pre-sized slot.
   size_t build_threads = 1;
+  /// Equal-height histogram buckets per (term, level) in the planner
+  /// statistics computed at build time. 0 disables statistics.
+  size_t stats_buckets = kDefaultStatsBuckets;
 };
 
 /// A term and its document frequency (inverted-list length); the query

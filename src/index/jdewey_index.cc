@@ -38,6 +38,23 @@ uint32_t JDeweyIndex::Frequency(const std::string& term) const {
   return list == nullptr ? 0 : list->num_rows();
 }
 
+const TermStats* JDeweyIndex::StatsOf(const std::string& term) const {
+  if (stats_.empty()) return nullptr;
+  auto it = term_ids_.find(term);
+  if (it == term_ids_.end() || it->second >= stats_.size()) return nullptr;
+  return &stats_[it->second];
+}
+
+TermStats ComputeListStats(const JDeweyList& list, size_t max_buckets) {
+  TermStats stats;
+  stats.rows = list.num_rows();
+  stats.levels.reserve(list.columns.size());
+  for (const Column& column : list.columns) {
+    stats.levels.push_back(LevelHistogram::FromColumn(column, max_buckets));
+  }
+  return stats;
+}
+
 NodeId JDeweyIndex::NodeAt(uint32_t level, uint32_t value) const {
   const auto& level_nodes =
       borrowed_level_nodes_ != nullptr ? *borrowed_level_nodes_ : level_nodes_;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "storage/column.h"
+#include "storage/histogram.h"
 #include "storage/sparse_index.h"
 #include "util/status.h"
 #include "xml/jdewey.h"
@@ -79,6 +80,14 @@ class JDeweyIndex {
   /// All lists, index-aligned with terms() (term id order).
   const std::vector<JDeweyList>& lists() const { return lists_; }
 
+  /// Planner statistics of `term` (per-level value histograms), or nullptr
+  /// when the term is absent or the index carries no statistics (e.g. it
+  /// was deserialized from the score-less in-memory format).
+  const TermStats* StatsOf(const std::string& term) const;
+
+  /// Whether this index carries build-time planner statistics.
+  bool has_stats() const { return !stats_.empty(); }
+
  private:
   friend class IndexBuilder;
   friend struct IndexIoAccess;
@@ -86,6 +95,9 @@ class JDeweyIndex {
   std::unordered_map<std::string, uint32_t> term_ids_;
   std::vector<std::string> terms_;
   std::vector<JDeweyList> lists_;
+  /// Per-term planner statistics, index-aligned with lists_; empty when the
+  /// index was built without statistics.
+  std::vector<TermStats> stats_;
   /// Per level (1-based), (value, node) pairs sorted by value.
   std::vector<std::vector<std::pair<uint32_t, NodeId>>> level_nodes_;
   /// When set, NodeAt resolves against this mapping instead of
@@ -96,6 +108,13 @@ class JDeweyIndex {
       borrowed_level_nodes_ = nullptr;
   uint32_t max_level_ = 0;
 };
+
+/// Computes the planner statistics of one list: its row count plus one
+/// equal-height histogram (<= `max_buckets` buckets) per level over the
+/// list's distinct JDewey values. Used at build time by IndexBuilder and
+/// BuildSegmentIndex, and by Compact when re-deriving exact statistics for
+/// a merged segment.
+TermStats ComputeListStats(const JDeweyList& list, size_t max_buckets);
 
 }  // namespace xtopk
 

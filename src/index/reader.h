@@ -98,6 +98,19 @@ class TermSource {
   /// Deepest level of the encoded tree.
   virtual uint32_t max_level() const = 0;
 
+  /// Planner statistics of `term` (row count + per-level value
+  /// histograms), or nullptr when the source carries none — the planner
+  /// then falls back to Frequency-based estimates. No data I/O; the
+  /// pointer stays valid until the source's PlanWatermark changes.
+  virtual const TermStats* Stats(const std::string& /*term*/) const {
+    return nullptr;
+  }
+
+  /// Monotone version of this source's contents: cached join plans are
+  /// keyed on it and discarded when it moves (seal, compact, ingest).
+  /// Immutable sources keep the default constant.
+  virtual uint64_t PlanWatermark() const { return 1; }
+
   /// Cursor over a resolved list's column at `level` (1-based). Null
   /// column (level beyond the list) yields an exhausted cursor.
   static LevelCursor CursorAt(const JDeweyList& list, uint32_t level) {
@@ -128,6 +141,9 @@ class MemoryTermSource : public TermSource {
     return index_.NodeAt(level, value);
   }
   uint32_t max_level() const override { return index_.max_level(); }
+  const TermStats* Stats(const std::string& term) const override {
+    return index_.StatsOf(term);
+  }
 
   const JDeweyIndex& index() const { return index_; }
 

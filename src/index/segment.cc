@@ -104,6 +104,48 @@ uint32_t SegmentedIndex::MaxLength(const std::string& term) const {
   return deepest;
 }
 
+const TermStats* SegmentedIndex::Stats(const std::string& term) const {
+  if (stats_version_ != version_) {
+    stats_cache_.clear();
+    stats_version_ = version_;
+  }
+  auto cached = stats_cache_.find(term);
+  if (cached != stats_cache_.end()) {
+    return cached->second.rows == 0 ? nullptr : &cached->second;
+  }
+
+  TermStats merged;
+  for (const Sealed& seg : sealed_) {
+    // Manifests are sorted by term.
+    auto it = std::lower_bound(
+        seg.manifest.terms.begin(), seg.manifest.terms.end(), term,
+        [](const SegmentTermStats& a, const std::string& t) {
+          return a.term < t;
+        });
+    if (it == seg.manifest.terms.end() || it->term != term ||
+        it->rows == 0) {
+      continue;
+    }
+    TermStats part;
+    part.rows = it->rows;
+    part.levels = it->levels;  // empty for v1 manifests -> rows only
+    merged.Merge(part, kMergedStatsBuckets);
+  }
+  if (memtable_ != nullptr && memtable_->Frequency(term) > 0) {
+    const TermStats* mt = memtable_->StatsOf(term);
+    if (mt != nullptr) {
+      merged.Merge(*mt, kMergedStatsBuckets);
+    } else {
+      TermStats part;
+      part.rows = memtable_->Frequency(term);
+      merged.Merge(part, kMergedStatsBuckets);
+    }
+  }
+  auto [it, inserted] = stats_cache_.emplace(term, std::move(merged));
+  (void)inserted;
+  return it->second.rows == 0 ? nullptr : &it->second;
+}
+
 NodeId SegmentedIndex::NodeAt(uint32_t level, uint32_t value) const {
   if (memtable_ != nullptr) {
     NodeId node = memtable_->NodeAt(level, value);

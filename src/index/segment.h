@@ -85,6 +85,17 @@ class SegmentedIndex : public TermSource {
       const std::vector<ValueBounds>* level_bounds) override;
   NodeId NodeAt(uint32_t level, uint32_t value) const override;
   uint32_t max_level() const override;
+  /// Corpus-global planner statistics for `term`, aggregated from the
+  /// segment manifests + memtable alone — no posting scan. Histograms are
+  /// merged by boundary-union addition, which over-counts only the shared
+  /// ancestors that appear in several segments at shallow levels (an
+  /// estimate either way). A v1 (histogram-less) part degrades the term
+  /// to row-count-only statistics. Cached per version; the pointer stays
+  /// valid until the next mutation.
+  const TermStats* Stats(const std::string& term) const override;
+  /// Cached plans key on the segment version: any seal / ingest / compact
+  /// bumps it, so stale plans never survive an index mutation.
+  uint64_t PlanWatermark() const override { return version_; }
 
  private:
   struct Sealed {
@@ -124,6 +135,10 @@ class SegmentedIndex : public TermSource {
   /// Merged + normalized lists; node-based map, so pointers handed to the
   /// search layer stay stable across inserts.
   std::unordered_map<std::string, JDeweyList> cache_;
+  /// Merged planner statistics per term (Stats() is const, hence mutable);
+  /// entries with rows == 0 memoize "term absent".
+  mutable uint64_t stats_version_ = 0;
+  mutable std::unordered_map<std::string, TermStats> stats_cache_;
 };
 
 }  // namespace xtopk

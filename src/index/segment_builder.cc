@@ -58,6 +58,8 @@ JDeweyIndex BuildSegmentIndex(const XmlTree& tree, const JDeweyEncoding& enc,
   for (const auto& [term, id] : *term_ids) (*terms)[id] = term;
 
   lists->resize(occurrences.size());
+  auto* stats = IndexIoAccess::Stats(&index);
+  stats->resize(occurrences.size());
   for (size_t t = 0; t < occurrences.size(); ++t) {
     auto& occs = occurrences[t];
     std::sort(occs.begin(), occs.end(), [&](const Occ& a, const Occ& b) {
@@ -80,6 +82,7 @@ JDeweyIndex BuildSegmentIndex(const XmlTree& tree, const JDeweyEncoding& enc,
         list.columns[level - 1].Append(row, seq[level - 1]);
       }
     }
+    (*stats)[t] = ComputeListStats(list, options.stats_buckets);
   }
 
   // (level, value) -> node over the covered nodes and their ancestors, so
@@ -112,6 +115,16 @@ SegmentManifest ManifestFromSegment(const JDeweyIndex& segment) {
     stats.rows = lists[t].num_rows();
     for (float tf : lists[t].scores) {
       stats.max_tf = std::max(stats.max_tf, static_cast<uint32_t>(tf));
+    }
+    // Planner histograms: reuse the build-time statistics when the index
+    // carries them, otherwise derive them from the columns directly (the
+    // Compact path hands in a merged index assembled via IndexIoAccess).
+    const TermStats* list_stats = segment.StatsOf(terms[t]);
+    if (list_stats != nullptr && list_stats->has_histograms()) {
+      stats.levels = list_stats->levels;
+    } else {
+      stats.levels =
+          ComputeListStats(lists[t], kDefaultStatsBuckets).levels;
     }
     manifest.terms.push_back(std::move(stats));
   }

@@ -1,0 +1,211 @@
+#include "storage/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace xtopk {
+
+LevelHistogram LevelHistogram::FromColumn(const Column& column,
+                                          size_t max_buckets) {
+  LevelHistogram hist;
+  const std::vector<Run>& runs = column.runs();
+  if (runs.empty() || max_buckets == 0) return hist;
+  size_t n = runs.size();
+  size_t buckets = std::min(max_buckets, n);
+  hist.buckets_.reserve(buckets);
+  // Equal-height split: bucket i covers runs [i*n/B, (i+1)*n/B). Distinct
+  // run values are strictly increasing, so consecutive buckets get disjoint
+  // [lo, hi] ranges.
+  for (size_t i = 0; i < buckets; ++i) {
+    size_t begin = i * n / buckets;
+    size_t end = (i + 1) * n / buckets;
+    if (begin == end) continue;
+    Bucket b;
+    b.lo = runs[begin].value;
+    b.hi = runs[end - 1].value;
+    b.count = static_cast<double>(end - begin);
+    hist.buckets_.push_back(b);
+  }
+  hist.total_ = static_cast<double>(n);
+  return hist;
+}
+
+bool LevelHistogram::AssignChecked(std::vector<Bucket> buckets) {
+  double total = 0.0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const Bucket& b = buckets[i];
+    if (b.hi < b.lo || b.count < 0.0) return false;
+    if (i > 0 && buckets[i - 1].hi >= b.lo) return false;
+    total += b.count;
+  }
+  buckets_ = std::move(buckets);
+  total_ = total;
+  return true;
+}
+
+namespace {
+
+double Width(uint32_t lo, uint32_t hi) {
+  return static_cast<double>(hi) - static_cast<double>(lo) + 1.0;
+}
+
+/// Density (values per integer position) of a bucket.
+double Density(const LevelHistogram::Bucket& b) {
+  return b.count / Width(b.lo, b.hi);
+}
+
+}  // namespace
+
+void LevelHistogram::Merge(const LevelHistogram& other, size_t max_buckets) {
+  if (other.buckets_.empty()) return;
+  if (buckets_.empty()) {
+    buckets_ = other.buckets_;
+    total_ = other.total_;
+    Coalesce(max_buckets);
+    return;
+  }
+  // Union of both inputs' boundaries: cut points are bucket starts and
+  // one-past-ends so every elementary interval has constant density on
+  // both sides. Walk the cuts, summing the two step densities.
+  std::vector<uint64_t> cuts;
+  cuts.reserve(2 * (buckets_.size() + other.buckets_.size()));
+  for (const Bucket& b : buckets_) {
+    cuts.push_back(b.lo);
+    cuts.push_back(static_cast<uint64_t>(b.hi) + 1);
+  }
+  for (const Bucket& b : other.buckets_) {
+    cuts.push_back(b.lo);
+    cuts.push_back(static_cast<uint64_t>(b.hi) + 1);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  std::vector<Bucket> merged;
+  size_t ia = 0;
+  size_t ib = 0;
+  for (size_t c = 0; c + 1 < cuts.size(); ++c) {
+    uint64_t lo = cuts[c];
+    uint64_t hi = cuts[c + 1] - 1;
+    while (ia < buckets_.size() && buckets_[ia].hi < lo) ++ia;
+    while (ib < other.buckets_.size() && other.buckets_[ib].hi < lo) ++ib;
+    double density = 0.0;
+    if (ia < buckets_.size() && buckets_[ia].lo <= lo &&
+        lo <= buckets_[ia].hi) {
+      density += Density(buckets_[ia]);
+    }
+    if (ib < other.buckets_.size() && other.buckets_[ib].lo <= lo &&
+        lo <= other.buckets_[ib].hi) {
+      density += Density(other.buckets_[ib]);
+    }
+    if (density <= 0.0) continue;
+    Bucket b;
+    b.lo = static_cast<uint32_t>(lo);
+    b.hi = static_cast<uint32_t>(hi);
+    b.count = density * Width(b.lo, b.hi);
+    // Fuse with the previous interval when density is continuous across
+    // the cut — keeps the merged histogram from fragmenting needlessly.
+    if (!merged.empty() && merged.back().hi + 1 == b.lo) {
+      double prev_density = Density(merged.back());
+      if (std::abs(prev_density - density) <=
+          1e-9 * std::max(1.0, prev_density)) {
+        merged.back().hi = b.hi;
+        merged.back().count += b.count;
+        continue;
+      }
+    }
+    merged.push_back(b);
+  }
+  buckets_ = std::move(merged);
+  total_ = 0.0;
+  for (const Bucket& b : buckets_) total_ += b.count;
+  Coalesce(max_buckets);
+}
+
+void LevelHistogram::Coalesce(size_t max_buckets) {
+  if (max_buckets == 0) max_buckets = 1;
+  while (buckets_.size() > max_buckets) {
+    // Merge the adjacent pair with the smallest combined count: cheapest
+    // loss of resolution where the least mass lives.
+    size_t best = 0;
+    double best_count = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i + 1 < buckets_.size(); ++i) {
+      double combined = buckets_[i].count + buckets_[i + 1].count;
+      if (combined < best_count) {
+        best_count = combined;
+        best = i;
+      }
+    }
+    buckets_[best].hi = buckets_[best + 1].hi;
+    buckets_[best].count += buckets_[best + 1].count;
+    buckets_.erase(buckets_.begin() + static_cast<ptrdiff_t>(best) + 1);
+  }
+}
+
+double LevelHistogram::EstimateOverlap(const LevelHistogram& other) const {
+  if (buckets_.empty() || other.buckets_.empty()) return 0.0;
+  double overlap = 0.0;
+  size_t ia = 0;
+  size_t ib = 0;
+  while (ia < buckets_.size() && ib < other.buckets_.size()) {
+    const Bucket& a = buckets_[ia];
+    const Bucket& b = other.buckets_[ib];
+    uint32_t lo = std::max(a.lo, b.lo);
+    uint32_t hi = std::min(a.hi, b.hi);
+    if (lo <= hi) {
+      double width = Width(lo, hi);
+      double da = Density(a) * width;  // expected values of A in [lo, hi]
+      double db = Density(b) * width;  // expected values of B in [lo, hi]
+      // Between the two classic bucket estimates: independence (da*db /
+      // width — right for unrelated sets, blind to co-location when both
+      // sides are sparse in the slice) and containment (min(da, db) — the
+      // System-R equi-join bound, right for correlated sets, optimistic
+      // for unrelated ones). Their geometric mean keeps disjoint slices
+      // at zero and dense-identical slices at the full count while giving
+      // sparse co-located sets a visible signal; containment stays the
+      // hard cap.
+      double independence = da * db / width;
+      double containment = std::min(da, db);
+      overlap += std::min(containment, std::sqrt(independence * containment));
+    }
+    if (a.hi <= b.hi) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+  return overlap;
+}
+
+double LevelHistogram::EstimateInRange(uint32_t lo, uint32_t hi) const {
+  if (hi < lo) return 0.0;
+  double count = 0.0;
+  for (const Bucket& b : buckets_) {
+    if (b.hi < lo) continue;
+    if (b.lo > hi) break;
+    uint32_t ilo = std::max(b.lo, lo);
+    uint32_t ihi = std::min(b.hi, hi);
+    count += Density(b) * Width(ilo, ihi);
+  }
+  return count;
+}
+
+void TermStats::Merge(const TermStats& other, size_t max_buckets) {
+  // A side with rows but no histograms poisons the merge: the combined
+  // value distribution is unknown, so keep only the row total.
+  bool poisoned = (rows > 0 && !has_histograms()) ||
+                  (other.rows > 0 && !other.has_histograms());
+  rows += other.rows;
+  if (poisoned) {
+    levels.clear();
+    return;
+  }
+  if (other.levels.size() > levels.size()) {
+    levels.resize(other.levels.size());
+  }
+  for (size_t l = 0; l < other.levels.size(); ++l) {
+    levels[l].Merge(other.levels[l], max_buckets);
+  }
+}
+
+}  // namespace xtopk

@@ -1,5 +1,6 @@
 #include "storage/segment_manifest.h"
 
+#include <cmath>
 #include <cstdio>
 
 #include "util/crc32c.h"
@@ -8,7 +9,8 @@
 namespace xtopk {
 
 namespace {
-constexpr char kMagic[] = "XTKSMAN1";
+constexpr char kMagicV1[] = "XTKSMAN1";
+constexpr char kMagicV2[] = "XTKSMAN2";
 constexpr size_t kMagicLen = 8;
 
 void PutFixed32(std::string* out, uint32_t value) {
@@ -16,20 +18,59 @@ void PutFixed32(std::string* out, uint32_t value) {
     out->push_back(static_cast<char>((value >> (8 * i)) & 0xFF));
   }
 }
-}  // namespace
 
-Status SegmentManifest::Save(const std::string& path) const {
-  std::string buf(kMagic, kMagicLen);
-  varint::PutU64(&buf, covered_nodes);
-  varint::PutU64(&buf, terms.size());
-  for (const SegmentTermStats& t : terms) {
-    varint::PutU64(&buf, t.term.size());
-    buf.append(t.term);
-    varint::PutU32(&buf, t.rows);
-    varint::PutU32(&buf, t.max_tf);
+void PutHistogram(std::string* buf, const LevelHistogram& hist) {
+  varint::PutU64(buf, hist.buckets().size());
+  uint64_t prev_hi = 0;
+  for (const LevelHistogram::Bucket& b : hist.buckets()) {
+    varint::PutU64(buf, b.lo - prev_hi);
+    varint::PutU32(buf, b.hi - b.lo);
+    varint::PutU64(buf, static_cast<uint64_t>(std::llround(b.count)));
+    prev_hi = b.hi;
   }
-  PutFixed32(&buf, crc32c::Compute(buf));
+}
 
+Status GetHistogram(const std::string& body, size_t* pos, const char* path,
+                    LevelHistogram* hist) {
+  uint64_t bucket_count = 0;
+  Status s = varint::GetU64(body, pos, &bucket_count);
+  if (!s.ok()) return s;
+  if (bucket_count > body.size()) {  // each bucket needs >= 3 bytes
+    return Status::Corruption(std::string("manifest histogram overruns: ") +
+                              path);
+  }
+  std::vector<LevelHistogram::Bucket> buckets;
+  buckets.reserve(bucket_count);
+  uint64_t prev_hi = 0;
+  for (uint64_t i = 0; i < bucket_count; ++i) {
+    uint64_t lo_delta = 0;
+    uint32_t width = 0;
+    uint64_t count = 0;
+    s = varint::GetU64(body, pos, &lo_delta);
+    if (s.ok()) s = varint::GetU32(body, pos, &width);
+    if (s.ok()) s = varint::GetU64(body, pos, &count);
+    if (!s.ok()) return s;
+    LevelHistogram::Bucket b;
+    uint64_t lo = prev_hi + lo_delta;
+    uint64_t hi = lo + width;
+    if (hi > 0xFFFFFFFFull) {
+      return Status::Corruption(std::string("manifest bucket out of range: ") +
+                                path);
+    }
+    b.lo = static_cast<uint32_t>(lo);
+    b.hi = static_cast<uint32_t>(hi);
+    b.count = static_cast<double>(count);
+    prev_hi = hi;
+    buckets.push_back(b);
+  }
+  if (!hist->AssignChecked(std::move(buckets))) {
+    return Status::Corruption(std::string("manifest histogram invalid: ") +
+                              path);
+  }
+  return Status::Ok();
+}
+
+Status WriteBuffer(const std::string& buf, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     return Status::IoError("cannot create manifest: " + path);
@@ -40,6 +81,36 @@ Status SegmentManifest::Save(const std::string& path) const {
     return Status::IoError("short manifest write: " + path);
   }
   return Status::Ok();
+}
+
+Status SaveImpl(const SegmentManifest& manifest, const std::string& path,
+                bool with_histograms) {
+  std::string buf(with_histograms ? kMagicV2 : kMagicV1, kMagicLen);
+  varint::PutU64(&buf, manifest.covered_nodes);
+  varint::PutU64(&buf, manifest.terms.size());
+  for (const SegmentTermStats& t : manifest.terms) {
+    varint::PutU64(&buf, t.term.size());
+    buf.append(t.term);
+    varint::PutU32(&buf, t.rows);
+    varint::PutU32(&buf, t.max_tf);
+    if (with_histograms) {
+      varint::PutU64(&buf, t.levels.size());
+      for (const LevelHistogram& hist : t.levels) {
+        PutHistogram(&buf, hist);
+      }
+    }
+  }
+  PutFixed32(&buf, crc32c::Compute(buf));
+  return WriteBuffer(buf, path);
+}
+}  // namespace
+
+Status SegmentManifest::Save(const std::string& path) const {
+  return SaveImpl(*this, path, /*with_histograms=*/true);
+}
+
+Status SegmentManifest::SaveV1(const std::string& path) const {
+  return SaveImpl(*this, path, /*with_histograms=*/false);
 }
 
 StatusOr<SegmentManifest> SegmentManifest::Load(const std::string& path) {
@@ -55,7 +126,11 @@ StatusOr<SegmentManifest> SegmentManifest::Load(const std::string& path) {
   }
   std::fclose(f);
 
-  if (buf.size() < kMagicLen + 4 || buf.compare(0, kMagicLen, kMagic) != 0) {
+  if (buf.size() < kMagicLen + 4) {
+    return Status::Corruption("bad manifest magic: " + path);
+  }
+  bool v2 = buf.compare(0, kMagicLen, kMagicV2) == 0;
+  if (!v2 && buf.compare(0, kMagicLen, kMagicV1) != 0) {
     return Status::Corruption("bad manifest magic: " + path);
   }
   std::string body = buf.substr(0, buf.size() - 4);
@@ -75,6 +150,9 @@ StatusOr<SegmentManifest> SegmentManifest::Load(const std::string& path) {
   Status s = varint::GetU64(body, &pos, &manifest.covered_nodes);
   if (s.ok()) s = varint::GetU64(body, &pos, &term_count);
   if (!s.ok()) return s;
+  if (term_count > body.size()) {
+    return Status::Corruption("manifest term count overruns buffer: " + path);
+  }
   manifest.terms.reserve(term_count);
   for (uint64_t i = 0; i < term_count; ++i) {
     SegmentTermStats t;
@@ -89,6 +167,20 @@ StatusOr<SegmentManifest> SegmentManifest::Load(const std::string& path) {
     s = varint::GetU32(body, &pos, &t.rows);
     if (s.ok()) s = varint::GetU32(body, &pos, &t.max_tf);
     if (!s.ok()) return s;
+    if (v2) {
+      uint64_t level_count = 0;
+      s = varint::GetU64(body, &pos, &level_count);
+      if (!s.ok()) return s;
+      if (level_count > body.size()) {
+        return Status::Corruption("manifest level count overruns buffer: " +
+                                  path);
+      }
+      t.levels.resize(level_count);
+      for (uint64_t l = 0; l < level_count; ++l) {
+        s = GetHistogram(body, &pos, path.c_str(), &t.levels[l]);
+        if (!s.ok()) return s;
+      }
+    }
     manifest.terms.push_back(std::move(t));
   }
   return manifest;

@@ -1,0 +1,194 @@
+// Cost-based planner units: the term-set fingerprint, the tie-broken
+// heuristic order, the plan/keyword mapping, and PlanJoin itself — which
+// must reproduce shortest-first ordering without statistics, exploit
+// histogram overlap when it has them, and stay deterministic under input
+// permutation.
+
+#include "core/join_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "storage/histogram.h"
+
+namespace xtopk {
+namespace {
+
+Column MakeColumnOfValues(const std::vector<uint32_t>& values) {
+  Column col;
+  uint32_t row = 0;
+  for (uint32_t v : values) col.Append(row++, v);
+  return col;
+}
+
+/// rows values first, first+stride, ... at level 1 only.
+TermStats MakeStats(uint32_t first, uint32_t stride, uint32_t rows) {
+  std::vector<uint32_t> values;
+  for (uint32_t i = 0; i < rows; ++i) values.push_back(first + i * stride);
+  TermStats stats;
+  stats.rows = rows;
+  stats.levels.push_back(
+      LevelHistogram::FromColumn(MakeColumnOfValues(values), 32));
+  return stats;
+}
+
+TEST(PlanFingerprintTest, OrderInsensitiveAndSetSensitive) {
+  uint64_t ab = PlanFingerprint({"alpha", "beta"});
+  uint64_t ba = PlanFingerprint({"beta", "alpha"});
+  EXPECT_EQ(ab, ba);
+  EXPECT_NE(ab, PlanFingerprint({"alpha"}));
+  EXPECT_NE(ab, PlanFingerprint({"alpha", "beta", "gamma"}));
+  // Term boundaries must hash: {"ab", "c"} != {"a", "bc"}.
+  EXPECT_NE(PlanFingerprint({"ab", "c"}), PlanFingerprint({"a", "bc"}));
+  // Duplicates are part of the set signature.
+  EXPECT_NE(PlanFingerprint({"alpha", "alpha"}), PlanFingerprint({"alpha"}));
+}
+
+TEST(PlanJoinOrderTest, TieBrokenByTermNotPosition) {
+  std::vector<size_t> sizes = {5, 5, 5};
+  std::vector<std::string> terms = {"cherry", "apple", "banana"};
+  std::vector<size_t> order = PlanJoinOrder(sizes, terms);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(terms[order[0]], "apple");
+  EXPECT_EQ(terms[order[1]], "banana");
+  EXPECT_EQ(terms[order[2]], "cherry");
+  // Size still dominates the tie-break.
+  sizes = {5, 9, 5};
+  order = PlanJoinOrder(sizes, terms);
+  EXPECT_EQ(terms[order[2]], "apple");  // largest list last
+}
+
+TEST(PlanJoinTest, NoStatsReproducesShortestFirst) {
+  std::vector<TermPlanInput> inputs(3);
+  inputs[0] = {"big", 900, nullptr};
+  inputs[1] = {"small", 10, nullptr};
+  inputs[2] = {"mid", 100, nullptr};
+  JoinPlan plan = PlanJoin(std::move(inputs), 3, PlannerOptions{});
+  ASSERT_EQ(plan.steps.size(), 3u);
+  EXPECT_TRUE(plan.exact);
+  EXPECT_EQ(plan.steps[0].term, "small");
+  EXPECT_EQ(plan.steps[1].term, "mid");
+  EXPECT_EQ(plan.steps[2].term, "big");
+  // Step 0 seeds (no algorithms); later steps carry one pick per level.
+  EXPECT_TRUE(plan.steps[0].algos.empty());
+  EXPECT_EQ(plan.steps[1].algos.size(), 3u);
+  EXPECT_EQ(plan.steps[2].algos.size(), 3u);
+  // 10 vs 900 clears the default index-join ratio on estimated sizes.
+  EXPECT_EQ(plan.steps[2].algos[0], JoinAlgo::kIndex);
+}
+
+TEST(PlanJoinTest, HistogramOverlapBeatsSizeOrdering) {
+  // Three equally-sized lists: "a" and "b" share the same value range
+  // (large intersection) while "far" lives in a disjoint one. Size
+  // ordering is a three-way tie, but the histograms show a ∩ far ~= 0:
+  // joining the disjoint pair first collapses the intermediate to ~0 and
+  // turns the final step into a single probe, so the correlated term must
+  // come LAST — never be part of the opening pair.
+  TermStats a = MakeStats(0, 1, 100);
+  TermStats b = MakeStats(0, 1, 100);
+  TermStats far = MakeStats(100000, 1, 100);
+  std::vector<TermPlanInput> inputs(3);
+  inputs[0] = {"a", 100, &a};
+  inputs[1] = {"b", 100, &b};
+  inputs[2] = {"far", 100, &far};
+  JoinPlan plan = PlanJoin(std::move(inputs), 1, PlannerOptions{});
+  ASSERT_EQ(plan.steps.size(), 3u);
+  EXPECT_TRUE(plan.exact);
+  // "far" must be one of the first two steps, leaving a correlated term
+  // for the now-nearly-free final fold.
+  EXPECT_TRUE(plan.steps[0].term == "far" || plan.steps[1].term == "far");
+  EXPECT_LT(plan.steps[1].est_out[0], 5.0)
+      << "opening pair must be the disjoint one";
+  // Cost reflects the collapse: seed + one merge + one cheap probe step,
+  // well under the 500 units the correlated-first order would price at.
+  EXPECT_LT(plan.est_cost, 400.0);
+}
+
+TEST(PlanJoinTest, DeterministicUnderInputPermutation) {
+  TermStats a = MakeStats(0, 2, 50);
+  TermStats b = MakeStats(10, 3, 80);
+  TermStats c = MakeStats(1000, 1, 60);
+  std::vector<TermPlanInput> forward(3), backward(3);
+  forward[0] = {"a", 50, &a};
+  forward[1] = {"b", 80, &b};
+  forward[2] = {"c", 60, &c};
+  backward[0] = forward[2];
+  backward[1] = forward[1];
+  backward[2] = forward[0];
+  JoinPlan p1 = PlanJoin(std::move(forward), 2, PlannerOptions{});
+  JoinPlan p2 = PlanJoin(std::move(backward), 2, PlannerOptions{});
+  ASSERT_EQ(p1.steps.size(), p2.steps.size());
+  for (size_t j = 0; j < p1.steps.size(); ++j) {
+    EXPECT_EQ(p1.steps[j].term, p2.steps[j].term);
+    EXPECT_EQ(p1.steps[j].algos, p2.steps[j].algos);
+    for (size_t l = 0; l < p1.steps[j].est_out.size(); ++l) {
+      EXPECT_DOUBLE_EQ(p1.steps[j].est_out[l], p2.steps[j].est_out[l]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(p1.est_cost, p2.est_cost);
+}
+
+TEST(PlanJoinTest, WideQueryFallsBackToGreedy) {
+  PlannerOptions options;
+  options.exact_dp_max_terms = 3;
+  std::vector<TermPlanInput> inputs;
+  for (int i = 0; i < 5; ++i) {
+    inputs.push_back({"t" + std::to_string(i),
+                      static_cast<uint32_t>(10 * (i + 1)), nullptr});
+  }
+  JoinPlan plan = PlanJoin(std::move(inputs), 2, options);
+  EXPECT_FALSE(plan.exact);
+  ASSERT_EQ(plan.steps.size(), 5u);
+  EXPECT_EQ(plan.steps[0].term, "t0");  // cheapest seed still first
+}
+
+TEST(MapPlanOrderTest, MapsTermsAndHandlesDuplicates) {
+  std::vector<TermPlanInput> inputs(3);
+  inputs[0] = {"x", 30, nullptr};
+  inputs[1] = {"x", 30, nullptr};
+  inputs[2] = {"y", 5, nullptr};
+  JoinPlan plan = PlanJoin(std::move(inputs), 1, PlannerOptions{});
+  std::vector<std::string> keywords = {"x", "y", "x"};
+  std::vector<size_t> order = MapPlanOrder(plan, keywords, 1);
+  ASSERT_EQ(order.size(), 3u);
+  // A bijection: every position consumed exactly once.
+  std::vector<char> seen(3, 0);
+  for (size_t pos : order) {
+    ASSERT_LT(pos, 3u);
+    EXPECT_EQ(seen[pos], 0);
+    seen[pos] = 1;
+  }
+  // And each position's keyword matches its step's term.
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(keywords[order[j]], plan.steps[j].term);
+  }
+}
+
+TEST(MapPlanOrderTest, RejectsMismatchedPlans) {
+  std::vector<TermPlanInput> inputs(2);
+  inputs[0] = {"a", 3, nullptr};
+  inputs[1] = {"b", 4, nullptr};
+  JoinPlan plan = PlanJoin(std::move(inputs), 2, PlannerOptions{});
+  EXPECT_TRUE(MapPlanOrder(plan, {"a", "c"}, 2).empty());   // wrong term
+  EXPECT_TRUE(MapPlanOrder(plan, {"a"}, 2).empty());        // wrong arity
+  EXPECT_TRUE(MapPlanOrder(plan, {"a", "b"}, 3).empty());   // level drift
+  EXPECT_EQ(MapPlanOrder(plan, {"a", "b"}, 2).size(), 2u);
+}
+
+TEST(PlannerEnvTest, DisableFlagParsing) {
+  unsetenv("XTOPK_DISABLE_PLANNER");
+  EXPECT_FALSE(PlannerDisabledByEnv());
+  setenv("XTOPK_DISABLE_PLANNER", "0", 1);
+  EXPECT_FALSE(PlannerDisabledByEnv());
+  setenv("XTOPK_DISABLE_PLANNER", "1", 1);
+  EXPECT_TRUE(PlannerDisabledByEnv());
+  setenv("XTOPK_DISABLE_PLANNER", "yes", 1);
+  EXPECT_TRUE(PlannerDisabledByEnv());
+  unsetenv("XTOPK_DISABLE_PLANNER");
+}
+
+}  // namespace
+}  // namespace xtopk
