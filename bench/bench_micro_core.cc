@@ -12,9 +12,11 @@
 #include <string>
 
 #include "btree/btree.h"
+#include "core/engine.h"
 #include "core/join_ops.h"
 #include "index/disk_index.h"
 #include "index/index_builder.h"
+#include "obs/slow_log.h"
 #include "util/interval_set.h"
 #include "util/rng.h"
 #include "xml/jdewey.h"
@@ -243,6 +245,98 @@ void BM_DiskFullDecodeLegacy(benchmark::State& state) {
   DiskFullDecode(state, DiskFixture().v1_path);
 }
 BENCHMARK(BM_DiskFullDecodeLegacy);
+
+/// In-memory engine + query batch for the telemetry overhead pair. The
+/// queries pair a rare term with common ones: join work stays large (long
+/// common lists) while result sets stay small — the realistic slow-query
+/// shape, and the regime where capture cost is pure per-query overhead
+/// rather than being smuggled into per-hit fingerprinting.
+struct TelemetryBenchFixture {
+  xtopk::XmlTree tree;
+  std::unique_ptr<xtopk::Engine> engine;
+  std::vector<xtopk::BatchQuery> batch;
+
+  TelemetryBenchFixture() {
+    const std::vector<std::string> common = {"alpha", "beta", "gamma",
+                                             "delta"};
+    xtopk::Rng rng(13);
+    tree.CreateRoot("r");
+    std::vector<xtopk::NodeId> frontier = {tree.root()};
+    while (tree.node_count() < 20000 && !frontier.empty()) {
+      size_t pick = rng.NextBounded(frontier.size());
+      xtopk::NodeId parent = frontier[pick];
+      if (tree.level(parent) >= 12) {
+        frontier.erase(frontier.begin() + static_cast<ptrdiff_t>(pick));
+        continue;
+      }
+      xtopk::NodeId child = tree.AddChild(parent, "n");
+      frontier.push_back(child);
+      for (const std::string& term : common) {
+        if (rng.NextBernoulli(0.2)) tree.AppendText(child, term);
+      }
+      for (int i = 0; i < 4; ++i) {
+        if (rng.NextBernoulli(0.002)) {
+          tree.AppendText(child, "rare" + std::to_string(i));
+        }
+      }
+      if (rng.NextBernoulli(0.2) || tree.Children(parent).size() >= 6) {
+        frontier.erase(frontier.begin() + static_cast<ptrdiff_t>(pick));
+      }
+    }
+    engine = std::make_unique<xtopk::Engine>(tree);
+    auto add = [this](std::vector<std::string> keywords, size_t k) {
+      xtopk::BatchQuery query;
+      query.keywords = std::move(keywords);
+      query.k = k;
+      batch.push_back(std::move(query));
+    };
+    add({"rare0", "alpha"}, 0);
+    add({"rare1", "beta"}, 10);
+    add({"rare2", "gamma", "delta"}, 5);
+    add({"rare3", "delta"}, 0);
+  }
+};
+
+const TelemetryBenchFixture& TelemetryFixture() {
+  static TelemetryBenchFixture fixture;
+  return fixture;
+}
+
+/// Telemetry overhead pair. Idle = telemetry compiled in but quiescent
+/// (accounting hooks + windowed records run, slow log at its default
+/// 100ms threshold never fires). Armed = slow-query capture-all into the
+/// in-memory ring, so every query additionally pays fingerprinting, JSON
+/// serialization, and the ring push. CI perf-smoke gates armed/idle at
+/// the PR 2 noise budget (<= 2%).
+void EngineBatchTelemetry(benchmark::State& state, bool armed) {
+  const TelemetryBenchFixture& fixture = TelemetryFixture();
+  auto& slow_log = xtopk::obs::SlowQueryLog::Global();
+  if (armed) {
+    xtopk::obs::SlowLogOptions options;  // no path: memory ring only
+    options.latency_threshold_us = 0;    // capture every query
+    options.memory_entries = 64;
+    slow_log.Reconfigure(options);
+  }
+  uint64_t hits = 0;
+  for (auto _ : state) {
+    auto results = fixture.engine->RunBatch(fixture.batch, 1);
+    for (const auto& result : results) hits += result.hits.size();
+  }
+  benchmark::DoNotOptimize(hits);
+  if (armed) slow_log.Reconfigure(xtopk::obs::SlowLogOptions::FromEnv());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fixture.batch.size()));
+}
+
+void BM_EngineBatchTelemetryIdle(benchmark::State& state) {
+  EngineBatchTelemetry(state, /*armed=*/false);
+}
+BENCHMARK(BM_EngineBatchTelemetryIdle);
+
+void BM_EngineBatchTelemetryArmed(benchmark::State& state) {
+  EngineBatchTelemetry(state, /*armed=*/true);
+}
+BENCHMARK(BM_EngineBatchTelemetryArmed);
 
 }  // namespace
 

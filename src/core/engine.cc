@@ -1,13 +1,59 @@
 #include "core/engine.h"
 
+#include <cstdio>
 #include <unordered_set>
 
 #include "obs/metrics.h"
+#include "obs/slow_log.h"
+#include "obs/windowed.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 #include "xml/tokenizer.h"
 
 namespace xtopk {
+
+namespace {
+
+const char* PlannerModeName(bool planned, bool cache_hit) {
+  if (!planned) return "heuristic";
+  return cache_hit ? "planned_cached" : "planned";
+}
+
+/// Builds and records a slow-log capture. Called only after the cheap
+/// ShouldCapture check passed.
+void CaptureSlowQuery(const BatchQuery& query,
+                      const std::vector<std::string>& normalized,
+                      const BatchQueryResult& result,
+                      const obs::QueryTrace* trace) {
+  obs::SlowQueryCapture capture;
+  capture.ts_us = obs::MonotonicNowUs();
+  capture.keywords = normalized;
+  capture.k = query.k;
+  capture.semantics = query.semantics == Semantics::kElca ? "elca" : "slca";
+  capture.wall_us = result.accounting.wall_us;
+  capture.hits = result.hits.size();
+  capture.result_fingerprint = ResultFingerprint(result.hits);
+  capture.accounting = result.accounting;
+  if (trace != nullptr) capture.trace_json = trace->ToJson();
+  obs::SlowQueryLog::Global().Record(capture);
+}
+
+}  // namespace
+
+std::string ResultFingerprint(const std::vector<QueryHit>& hits) {
+  std::string blob;
+  blob.reserve(hits.size() * 32);
+  char buf[64];
+  for (const QueryHit& hit : hits) {
+    // %.9g makes the digest robust to sub-ulp score differences between
+    // builds (FMA contraction and the like) while still distinguishing any
+    // real scoring change.
+    std::snprintf(buf, sizeof(buf), "%u:%u:%.9g;", hit.node, hit.level,
+                  hit.score);
+    blob += buf;
+  }
+  return obs::FingerprintHex(blob);
+}
 
 Engine::Engine(const XmlTree& tree, EngineOptions options)
     : tree_(tree), options_(options) {
@@ -50,7 +96,10 @@ std::vector<std::string> Engine::Normalize(
 BatchQueryResult Engine::RunQuery(const BatchQuery& query,
                                   obs::QueryTrace* trace) const {
   Timer timer;
+  const double cpu_start = obs::ThreadCpuMicros();
   BatchQueryResult out;
+  // Every storage/index/core hook below this point bills this query.
+  obs::ScopedAccounting accounting_scope(&out.accounting);
   obs::ScopedSpan root(trace, "query");
   if (root.enabled()) {
     root.Label("semantics",
@@ -91,6 +140,8 @@ BatchQueryResult Engine::RunQuery(const BatchQuery& query,
     out.hits = Materialize(found);
     span.Stat("hits", static_cast<double>(out.hits.size()));
     out.join_stats = search.stats();
+    out.accounting.planner_mode = PlannerModeName(
+        search.stats().planned, search.stats().plan_cache_hit);
   } else {
     TopKSearchOptions topk_options;
     topk_options.semantics = query.semantics;
@@ -103,13 +154,35 @@ BatchQueryResult Engine::RunQuery(const BatchQuery& query,
     obs::ScopedSpan span(trace, "materialize");
     out.hits = Materialize(found);
     span.Stat("hits", static_cast<double>(out.hits.size()));
+    out.accounting.planner_mode = PlannerModeName(
+        search.stats().planned, search.stats().plan_cache_hit);
   }
   root.Stat("hits", static_cast<double>(out.hits.size()));
+  // Only run-invariant resource stats may go on the span: batch traces are
+  // compared span-for-span against Explain traces, so anything cache- or
+  // timing-dependent (hit counts, planner_mode, wall time) stays off the
+  // tree and rides in `accounting` instead.
+  root.Stat("pages_read", static_cast<double>(out.accounting.pages_read));
+  root.Stat("bytes_decoded",
+            static_cast<double>(out.accounting.bytes_decoded));
+  root.Stat("rows_joined", static_cast<double>(out.accounting.rows_joined));
   root.Close();
+
+  const double wall_us = timer.ElapsedMicros();
+  out.accounting.wall_us = wall_us;
+  out.accounting.cpu_us = obs::ThreadCpuMicros() - cpu_start;
 
   XTOPK_COUNTER("engine.queries").Add(1);
   XTOPK_HISTOGRAM("engine.query_us")
-      .Record(static_cast<uint64_t>(timer.ElapsedMicros()));
+      .Record(static_cast<uint64_t>(wall_us));
+  XTOPK_WINDOWED_COUNTER("engine.queries").Add(1);
+  XTOPK_WINDOWED_HISTOGRAM("engine.query_us")
+      .Record(static_cast<uint64_t>(wall_us));
+
+  obs::SlowQueryLog& slow_log = obs::SlowQueryLog::Global();
+  if (slow_log.ShouldCapture(wall_us, out.accounting.pages_read)) {
+    CaptureSlowQuery(query, normalized, out, trace);
+  }
   return out;
 }
 
@@ -207,6 +280,7 @@ ExplainResult Engine::Explain(const BatchQuery& query) const {
   BatchQueryResult result = RunQuery(query, &explained.trace);
   explained.hits = std::move(result.hits);
   explained.join_stats = result.join_stats;
+  explained.accounting = std::move(result.accounting);
   return explained;
 }
 

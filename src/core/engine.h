@@ -12,6 +12,7 @@
 #include "index/index_builder.h"
 #include "index/jdewey_index.h"
 #include "index/topk_index.h"
+#include "obs/accounting.h"
 #include "obs/trace.h"
 #include "xml/xml_tree.h"
 
@@ -46,6 +47,9 @@ struct BatchQueryResult {
   std::vector<QueryHit> hits;
   /// Complete-search queries only (k == 0); top-k queries leave defaults.
   JoinSearchStats join_stats;
+  /// What this query cost: pages, decoded bytes, cache traffic, joined
+  /// rows, wall/CPU time, planner mode. Filled for every query.
+  obs::ResourceAccounting accounting;
   /// Per-query span tree; set only when RunBatch collects traces (or the
   /// query ran through Explain). Single-query and batch execution share one
   /// code path, so the trace carries identical span/stat fields either way.
@@ -60,7 +64,15 @@ struct ExplainResult {
   /// Complete-search queries only (k == 0).
   JoinSearchStats join_stats;
   obs::QueryTrace trace;
+  /// Per-query resource bill (same struct RunBatch results carry).
+  obs::ResourceAccounting accounting;
 };
+
+/// Stable digest of a result set: 16-hex-digit FNV-1a over every hit's
+/// (node, level, score rounded via %.9g). Two runs that return the same
+/// answers produce the same fingerprint; tools/xtopk_replay compares these
+/// instead of shipping full result sets around.
+std::string ResultFingerprint(const std::vector<QueryHit>& hits);
 
 /// Marks every occurrence of `keywords` (tokenizer-normalized, whole-token
 /// matches, case-insensitive) in `text` with `open`/`close`, e.g.

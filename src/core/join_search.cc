@@ -3,14 +3,17 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/accounting.h"
 #include "obs/metrics.h"
 
 namespace xtopk {
 namespace {
 
 /// Folds the final per-query counters into the process-wide registry (one
-/// batch of relaxed adds per query, nothing per row).
+/// batch of relaxed adds per query, nothing per row). Also the per-query
+/// attribution point: candidates are the rows this query materialized.
 void FlushJoinStatsToRegistry(const JoinSearchStats& stats) {
+  obs::AccountRowsJoined(stats.candidates);
   XTOPK_COUNTER("core.join.queries").Add(1);
   XTOPK_COUNTER("core.join.levels").Add(stats.levels_processed);
   XTOPK_COUNTER("core.join.candidates").Add(stats.candidates);

@@ -7,6 +7,7 @@
 
 #include "core/join_ops.h"
 #include "core/join_planner.h"
+#include "obs/accounting.h"
 #include "obs/metrics.h"
 
 namespace xtopk {
@@ -14,6 +15,7 @@ namespace {
 
 /// One batch of relaxed adds per query — nothing per entry.
 void FlushTopKStatsToRegistry(const TopKSearchStats& stats) {
+  obs::AccountRowsJoined(stats.candidates);
   XTOPK_COUNTER("core.topk.queries").Add(1);
   XTOPK_COUNTER("core.topk.entries_read").Add(stats.entries_read);
   XTOPK_COUNTER("core.topk.excluded_skips").Add(stats.excluded_skips);

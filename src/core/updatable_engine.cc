@@ -8,7 +8,10 @@
 #include "index/disk_index.h"
 #include "index/segment_builder.h"
 #include "obs/metrics.h"
+#include "obs/slow_log.h"
+#include "obs/windowed.h"
 #include "storage/segment_manifest.h"
+#include "util/timer.h"
 #include "xml/jdewey_builder.h"
 #include "xml/tokenizer.h"
 
@@ -216,27 +219,85 @@ std::vector<std::string> UpdatableEngine::Normalize(
 std::vector<QueryHit> UpdatableEngine::Search(
     const std::vector<std::string>& keywords, Semantics semantics) {
   EnsureFresh();
-  JoinSearchOptions join_options;
-  join_options.semantics = semantics;
-  join_options.compute_scores = true;
-  join_options.scoring = options_.scoring;
-  join_options.plan_cache = &plan_cache_;
-  JoinSearch search(&segments_, join_options);
-  std::vector<SearchResult> found = search.Search(Normalize(keywords));
-  SortByScoreDesc(&found);
-  return Materialize(found);
+  Timer timer;
+  const double cpu_start = obs::ThreadCpuMicros();
+  obs::ResourceAccounting accounting;
+  std::vector<std::string> normalized = Normalize(keywords);
+  std::vector<QueryHit> hits;
+  {
+    obs::ScopedAccounting scope(&accounting);
+    JoinSearchOptions join_options;
+    join_options.semantics = semantics;
+    join_options.compute_scores = true;
+    join_options.scoring = options_.scoring;
+    join_options.plan_cache = &plan_cache_;
+    JoinSearch search(&segments_, join_options);
+    std::vector<SearchResult> found = search.Search(normalized);
+    SortByScoreDesc(&found);
+    hits = Materialize(found);
+    accounting.planner_mode =
+        search.stats().planned
+            ? (search.stats().plan_cache_hit ? "planned_cached" : "planned")
+            : "heuristic";
+  }
+  FinishQuery(normalized, /*k=*/0, semantics, timer.ElapsedMicros(),
+              obs::ThreadCpuMicros() - cpu_start, hits, &accounting);
+  return hits;
 }
 
 std::vector<QueryHit> UpdatableEngine::SearchTopK(
     const std::vector<std::string>& keywords, size_t k, Semantics semantics) {
   EnsureFresh();
-  TopKSearchOptions topk_options;
-  topk_options.semantics = semantics;
-  topk_options.k = k;
-  topk_options.scoring = options_.scoring;
-  topk_options.plan_cache = &plan_cache_;
-  TopKSearch search(&segments_, topk_options);
-  return Materialize(search.Search(Normalize(keywords)));
+  Timer timer;
+  const double cpu_start = obs::ThreadCpuMicros();
+  obs::ResourceAccounting accounting;
+  std::vector<std::string> normalized = Normalize(keywords);
+  std::vector<QueryHit> hits;
+  {
+    obs::ScopedAccounting scope(&accounting);
+    TopKSearchOptions topk_options;
+    topk_options.semantics = semantics;
+    topk_options.k = k;
+    topk_options.scoring = options_.scoring;
+    topk_options.plan_cache = &plan_cache_;
+    TopKSearch search(&segments_, topk_options);
+    hits = Materialize(search.Search(normalized));
+    accounting.planner_mode =
+        search.stats().planned
+            ? (search.stats().plan_cache_hit ? "planned_cached" : "planned")
+            : "heuristic";
+  }
+  FinishQuery(normalized, k, semantics, timer.ElapsedMicros(),
+              obs::ThreadCpuMicros() - cpu_start, hits, &accounting);
+  return hits;
+}
+
+void UpdatableEngine::FinishQuery(const std::vector<std::string>& normalized,
+                                  size_t k, Semantics semantics,
+                                  double wall_us, double cpu_us,
+                                  const std::vector<QueryHit>& hits,
+                                  obs::ResourceAccounting* accounting) {
+  accounting->wall_us = wall_us;
+  accounting->cpu_us = cpu_us;
+  last_accounting_ = *accounting;
+  XTOPK_COUNTER("engine.queries").Add(1);
+  XTOPK_HISTOGRAM("engine.query_us").Record(static_cast<uint64_t>(wall_us));
+  XTOPK_WINDOWED_COUNTER("engine.queries").Add(1);
+  XTOPK_WINDOWED_HISTOGRAM("engine.query_us")
+      .Record(static_cast<uint64_t>(wall_us));
+  obs::SlowQueryLog& slow_log = obs::SlowQueryLog::Global();
+  if (slow_log.ShouldCapture(wall_us, accounting->pages_read)) {
+    obs::SlowQueryCapture capture;
+    capture.ts_us = obs::MonotonicNowUs();
+    capture.keywords = normalized;
+    capture.k = k;
+    capture.semantics = semantics == Semantics::kElca ? "elca" : "slca";
+    capture.wall_us = wall_us;
+    capture.hits = hits.size();
+    capture.result_fingerprint = ResultFingerprint(hits);
+    capture.accounting = *accounting;
+    obs::SlowQueryLog::Global().Record(capture);
+  }
 }
 
 }  // namespace xtopk

@@ -94,6 +94,12 @@ class UpdatableEngine {
   /// The join-plan cache (tests assert invalidation-on-seal through it).
   PlanCache& plan_cache() { return plan_cache_; }
 
+  /// Resource bill of the most recent Search/SearchTopK (the Search APIs
+  /// return bare hit vectors, so the accounting rides on the side).
+  const obs::ResourceAccounting& last_accounting() const {
+    return last_accounting_;
+  }
+
  private:
   void EnsureFresh();
   void FullRebuild();
@@ -105,6 +111,13 @@ class UpdatableEngine {
       const std::vector<SearchResult>& results) const;
   std::vector<std::string> Normalize(
       const std::vector<std::string>& keywords) const;
+  /// Shared query epilogue: finalize the accounting, fold it into the
+  /// process metrics (cumulative + windowed), and capture to the slow log
+  /// when the thresholds say so.
+  void FinishQuery(const std::vector<std::string>& normalized, size_t k,
+                   Semantics semantics, double wall_us, double cpu_us,
+                   const std::vector<QueryHit>& hits,
+                   obs::ResourceAccounting* accounting);
 
   XmlTree tree_;
   EngineOptions options_;
@@ -122,6 +135,7 @@ class UpdatableEngine {
   uint64_t rebuilds_ = 0;
   uint64_t memtable_refreshes_ = 0;
   size_t memtable_docs_ = 0;
+  obs::ResourceAccounting last_accounting_;
 };
 
 }  // namespace xtopk

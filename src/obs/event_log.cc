@@ -1,0 +1,120 @@
+#include "obs/event_log.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/windowed.h"
+
+namespace xtopk {
+namespace obs {
+namespace {
+
+void AppendEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+void CopyTruncated(char* dst, size_t cap, std::string_view src) {
+  size_t n = std::min(cap - 1, src.size());
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+}  // namespace
+
+EventLog& EventLog::Global() {
+  static EventLog* log = new EventLog();  // never destroyed
+  return *log;
+}
+
+void EventLog::Append(std::string_view kind, std::string_view text) {
+  uint64_t sequence = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[static_cast<size_t>(sequence % kCapacity)];
+  // Seqlock write: odd marks in-progress. Two writers lapping each other on
+  // the same slot (kCapacity appends apart) can interleave; the slot then
+  // holds a blend and stays marked unstable until the last writer finishes,
+  // which readers handle by skipping it.
+  uint64_t seq = slot.seq.fetch_add(1, std::memory_order_acq_rel);
+  (void)seq;
+  slot.sequence = sequence;
+  slot.ts_us = MonotonicNowUs();
+  CopyTruncated(slot.kind, kKindBytes, kind);
+  CopyTruncated(slot.text, kTextBytes, text);
+  slot.seq.fetch_add(1, std::memory_order_release);
+  XTOPK_COUNTER("obs.events.logged").Add(1);
+}
+
+std::vector<EventLog::Event> EventLog::Snapshot(size_t max) const {
+  std::vector<Event> events;
+  events.reserve(kCapacity);
+  for (const Slot& slot : slots_) {
+    uint64_t before = slot.seq.load(std::memory_order_acquire);
+    if (before == 0 || (before & 1) != 0) continue;  // empty or mid-write
+    Event event;
+    event.sequence = slot.sequence;
+    event.ts_us = slot.ts_us;
+    event.kind = slot.kind;
+    event.text = slot.text;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_acquire) != before) continue;  // torn
+    events.push_back(std::move(event));
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) {
+              return a.sequence < b.sequence;
+            });
+  if (max != 0 && events.size() > max) {
+    events.erase(events.begin(),
+                 events.end() - static_cast<ptrdiff_t>(max));
+  }
+  return events;
+}
+
+std::string EventLog::ToJson(size_t max) const {
+  std::string out = "{\"events\":[";
+  bool first = true;
+  for (const Event& event : Snapshot(max)) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"seq\":" + std::to_string(event.sequence);
+    out += ",\"ts_us\":" + std::to_string(event.ts_us);
+    out += ",\"kind\":\"";
+    AppendEscaped(&out, event.kind);
+    out += "\",\"text\":\"";
+    AppendEscaped(&out, event.text);
+    out += "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+void LogEvent(std::string_view kind, std::string_view text) {
+  EventLog::Global().Append(kind, text);
+}
+
+}  // namespace obs
+}  // namespace xtopk

@@ -1,0 +1,73 @@
+#ifndef XTOPK_OBS_EVENT_LOG_H_
+#define XTOPK_OBS_EVENT_LOG_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xtopk {
+namespace obs {
+
+/// A fixed-size, lock-free-for-writers ring of recent structured events
+/// (segment flushes, slow queries, fault injections, config changes).
+/// Writers claim a slot with one fetch_add and publish it with a per-slot
+/// sequence number (seqlock): readers that race a writer simply skip the
+/// torn slot. Old events are overwritten; this is a flight recorder, not a
+/// durable log.
+class EventLog {
+ public:
+  static constexpr size_t kCapacity = 256;
+  static constexpr size_t kKindBytes = 32;
+  static constexpr size_t kTextBytes = 224;
+
+  struct Event {
+    uint64_t sequence = 0;  ///< global append index, monotonically increasing
+    uint64_t ts_us = 0;     ///< MonotonicNowUs at append
+    std::string kind;
+    std::string text;
+  };
+
+  /// The process-wide flight recorder.
+  static EventLog& Global();
+
+  /// Appends one event; truncates kind/text to the fixed slot size. Safe
+  /// from any thread; never blocks readers or other writers.
+  void Append(std::string_view kind, std::string_view text);
+
+  /// The most recent events, oldest first, at most `max` (0 = all). Slots
+  /// being concurrently rewritten are skipped.
+  std::vector<Event> Snapshot(size_t max = 0) const;
+
+  /// Total events ever appended (including overwritten ones).
+  uint64_t appended() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  /// {"events":[{"seq":...,"ts_us":...,"kind":"...","text":"..."},...]}
+  std::string ToJson(size_t max = 0) const;
+
+ private:
+  struct Slot {
+    /// Even = stable, odd = being written. A reader validates the slot by
+    /// reading seq, copying the payload, and re-reading seq.
+    std::atomic<uint64_t> seq{0};
+    uint64_t sequence = 0;
+    uint64_t ts_us = 0;
+    char kind[kKindBytes] = {};
+    char text[kTextBytes] = {};
+  };
+
+  std::atomic<uint64_t> next_{0};
+  mutable std::array<Slot, kCapacity> slots_{};
+};
+
+/// Convenience: EventLog::Global().Append(kind, text).
+void LogEvent(std::string_view kind, std::string_view text);
+
+}  // namespace obs
+}  // namespace xtopk
+
+#endif  // XTOPK_OBS_EVENT_LOG_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/windowed.h"
+
 namespace xtopk {
 namespace obs {
 namespace {
@@ -25,7 +27,7 @@ double PercentileFromBuckets(
     const std::array<uint64_t, Histogram::kNumBuckets>& buckets, double q) {
   uint64_t total = 0;
   for (uint64_t c : buckets) total += c;
-  if (total == 0) return 0.0;
+  if (total == 0) return kEmptyPercentile;
   q = std::min(1.0, std::max(0.0, q));
   // Rank of the q-th sample, 1-based; q=0 maps to the first sample.
   uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total - 1)) + 1;
@@ -90,6 +92,29 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
   return *it->second;
 }
 
+WindowedHistogram& MetricsRegistry::GetWindowedHistogram(
+    std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = windowed_histograms_.find(name);
+  if (it == windowed_histograms_.end()) {
+    it = windowed_histograms_
+             .emplace(std::string(name), std::make_unique<WindowedHistogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+WindowedCounter& MetricsRegistry::GetWindowedCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = windowed_counters_.find(name);
+  if (it == windowed_counters_.end()) {
+    it = windowed_counters_
+             .emplace(std::string(name), std::make_unique<WindowedCounter>())
+             .first;
+  }
+  return *it->second;
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snapshot;
@@ -114,6 +139,42 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     data.p95 = PercentileFromBuckets(data.buckets, 0.95);
     data.p99 = PercentileFromBuckets(data.buckets, 0.99);
     snapshot.histograms.push_back(std::move(data));
+  }
+  uint64_t now_us = MonotonicNowUs();
+  auto scalar = [](const WindowedHistogram::WindowSnapshot& w) {
+    MetricsSnapshot::WindowStats stats;
+    stats.window_us = w.window_us;
+    stats.count = w.count;
+    stats.sum = w.sum;
+    stats.p50 = w.p50;
+    stats.p99 = w.p99;
+    stats.p999 = w.p999;
+    stats.rate_per_sec = w.rate_per_sec;
+    return stats;
+  };
+  snapshot.windowed_histograms.reserve(windowed_histograms_.size());
+  for (const auto& [name, histogram] : windowed_histograms_) {
+    MetricsSnapshot::WindowedHistogramData data;
+    data.name = name;
+    data.w10s = scalar(
+        histogram->WindowAt(WindowedHistogram::kWindow10sUs, now_us));
+    data.w60s = scalar(
+        histogram->WindowAt(WindowedHistogram::kWindow60sUs, now_us));
+    snapshot.windowed_histograms.push_back(std::move(data));
+  }
+  snapshot.windowed_counters.reserve(windowed_counters_.size());
+  for (const auto& [name, counter] : windowed_counters_) {
+    MetricsSnapshot::WindowedCounterData data;
+    data.name = name;
+    data.sum_10s =
+        counter->SumInWindowAt(WindowedHistogram::kWindow10sUs, now_us);
+    data.sum_60s =
+        counter->SumInWindowAt(WindowedHistogram::kWindow60sUs, now_us);
+    data.rate_10s =
+        counter->RateInWindowAt(WindowedHistogram::kWindow10sUs, now_us);
+    data.rate_60s =
+        counter->RateInWindowAt(WindowedHistogram::kWindow60sUs, now_us);
+    snapshot.windowed_counters.push_back(std::move(data));
   }
   return snapshot;
 }
@@ -166,6 +227,44 @@ std::string MetricsSnapshot::ToJson() const {
     }
     out += "}}";
   }
+  out += "},\"windows\":{";
+  first = true;
+  auto append_window = [&out](const char* key, const WindowStats& w) {
+    out += '"';
+    out += key;
+    out += "\":{\"count\":" + std::to_string(w.count) +
+           ",\"sum\":" + std::to_string(w.sum) + ",\"rate_per_sec\":";
+    AppendDouble(&out, w.rate_per_sec);
+    out += ",\"p50\":";
+    AppendDouble(&out, w.p50);
+    out += ",\"p99\":";
+    AppendDouble(&out, w.p99);
+    out += ",\"p999\":";
+    AppendDouble(&out, w.p999);
+    out += '}';
+  };
+  for (const WindowedHistogramData& w : windowed_histograms) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonKey(&out, w.name);
+    out += '{';
+    append_window("10s", w.w10s);
+    out += ',';
+    append_window("60s", w.w60s);
+    out += '}';
+  }
+  for (const WindowedCounterData& w : windowed_counters) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonKey(&out, w.name);
+    out += "{\"10s\":{\"count\":" + std::to_string(w.sum_10s) +
+           ",\"rate_per_sec\":";
+    AppendDouble(&out, w.rate_10s);
+    out += "},\"60s\":{\"count\":" + std::to_string(w.sum_60s) +
+           ",\"rate_per_sec\":";
+    AppendDouble(&out, w.rate_60s);
+    out += "}}";
+  }
   out += "}}";
   return out;
 }
@@ -203,6 +302,31 @@ std::string MetricsSnapshot::ToPrometheusText() const {
     out += n + "_sum " + std::to_string(h.sum) + "\n";
     out += n + "_count " + std::to_string(h.count) + "\n";
   }
+  // Windowed metrics export as gauges (a recent-window percentile is a
+  // point-in-time level, not a cumulative series). Empty windows export
+  // the -1 sentinel.
+  auto append_gauge = [&out](const std::string& name, double value) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.4f", value);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + buf + "\n";
+  };
+  for (const WindowedHistogramData& w : windowed_histograms) {
+    std::string n = flat(w.name);
+    append_gauge(n + "_w10s_p50", w.w10s.p50);
+    append_gauge(n + "_w10s_p99", w.w10s.p99);
+    append_gauge(n + "_w10s_p999", w.w10s.p999);
+    append_gauge(n + "_w10s_rate", w.w10s.rate_per_sec);
+    append_gauge(n + "_w60s_p50", w.w60s.p50);
+    append_gauge(n + "_w60s_p99", w.w60s.p99);
+    append_gauge(n + "_w60s_p999", w.w60s.p999);
+    append_gauge(n + "_w60s_rate", w.w60s.rate_per_sec);
+  }
+  for (const WindowedCounterData& w : windowed_counters) {
+    std::string n = flat(w.name);
+    append_gauge(n + "_w10s_rate", w.rate_10s);
+    append_gauge(n + "_w60s_rate", w.rate_60s);
+  }
   return out;
 }
 
@@ -238,6 +362,39 @@ void MetricsSnapshot::AppendCompactJson(std::string* out) const {
     out->push_back(',');
     AppendJsonKey(out, h.name + "_p99");
     AppendDouble(out, h.p99);
+  }
+  // Recent-window view: only windows that actually hold samples, as
+  // name_w10s_*/name_w60s_* scalars (the last-window p99 next to the
+  // since-boot percentiles above).
+  for (const WindowedHistogramData& w : windowed_histograms) {
+    for (const auto* stats : {&w.w10s, &w.w60s}) {
+      if (stats->count == 0) continue;
+      std::string prefix =
+          w.name + (stats == &w.w10s ? "_w10s" : "_w60s");
+      if (!first) out->push_back(',');
+      first = false;
+      AppendJsonKey(out, prefix + "_count");
+      *out += std::to_string(stats->count);
+      out->push_back(',');
+      AppendJsonKey(out, prefix + "_p50");
+      AppendDouble(out, stats->p50);
+      out->push_back(',');
+      AppendJsonKey(out, prefix + "_p99");
+      AppendDouble(out, stats->p99);
+      out->push_back(',');
+      AppendJsonKey(out, prefix + "_rate");
+      AppendDouble(out, stats->rate_per_sec);
+    }
+  }
+  for (const WindowedCounterData& w : windowed_counters) {
+    if (w.sum_60s == 0) continue;
+    if (!first) out->push_back(',');
+    first = false;
+    AppendJsonKey(out, w.name + "_w60s_count");
+    *out += std::to_string(w.sum_60s);
+    out->push_back(',');
+    AppendJsonKey(out, w.name + "_w60s_rate");
+    AppendDouble(out, w.rate_60s);
   }
   out->push_back('}');
 }

@@ -14,6 +14,9 @@
 namespace xtopk {
 namespace obs {
 
+class WindowedHistogram;
+class WindowedCounter;
+
 /// A monotonically increasing event count. Lock-free; safe to Add from any
 /// number of threads. Handles returned by the registry are stable for the
 /// process lifetime, so hot paths resolve the name once (XTOPK_COUNTER) and
@@ -112,8 +115,21 @@ class Histogram {
   std::atomic<uint64_t> sum_{0};
 };
 
+/// Sentinel returned by PercentileFromBuckets for an empty histogram, so
+/// dashboards can distinguish "no data" (-1) from "everything was fast"
+/// (0). Negative on purpose: no real sample can produce it.
+inline constexpr double kEmptyPercentile = -1.0;
+
 /// Quantile estimate over a raw bucket-count array (same layout as
 /// Histogram). Lets callers diff two snapshots and query the delta.
+///
+/// Edge behavior (pinned by tests):
+///  - empty buckets -> kEmptyPercentile (-1), never 0;
+///  - q is clamped to [0, 1];
+///  - interpolation is uniform inside the bucket holding the q-th sample,
+///    including the first bucket (value 0, bounds [0, 1)) and the last
+///    bucket, whose upper bound saturates at UINT64_MAX because 2^64 does
+///    not fit a uint64 — so a last-bucket estimate can be huge but finite.
 double PercentileFromBuckets(
     const std::array<uint64_t, Histogram::kNumBuckets>& buckets, double q);
 
@@ -126,14 +142,40 @@ struct MetricsSnapshot {
     uint64_t count = 0;
     uint64_t sum = 0;
     std::array<uint64_t, Histogram::kNumBuckets> buckets{};
+    /// kEmptyPercentile (-1) when count == 0.
     double p50 = 0, p95 = 0, p99 = 0;
+  };
+
+  /// Recent-window aggregate of one windowed metric (scalar view of
+  /// WindowedHistogram::WindowSnapshot — the registry snapshot drops the
+  /// bucket array).
+  struct WindowStats {
+    uint64_t window_us = 0;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    double p50 = kEmptyPercentile, p99 = kEmptyPercentile,
+           p999 = kEmptyPercentile;
+    double rate_per_sec = 0;
+  };
+  struct WindowedHistogramData {
+    std::string name;
+    WindowStats w10s, w60s;
+  };
+  struct WindowedCounterData {
+    std::string name;
+    uint64_t sum_10s = 0, sum_60s = 0;
+    double rate_10s = 0, rate_60s = 0;
   };
 
   std::vector<std::pair<std::string, uint64_t>> counters;  // name-sorted
   std::vector<std::pair<std::string, int64_t>> gauges;
   std::vector<HistogramData> histograms;
+  std::vector<WindowedHistogramData> windowed_histograms;
+  std::vector<WindowedCounterData> windowed_counters;
 
-  /// Full document: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Full document: {"counters":{...},"gauges":{...},"histograms":{...},
+  /// "windows":{...}} — "windows" maps each windowed metric to its 10s/60s
+  /// recent-window stats.
   std::string ToJson() const;
   /// `# TYPE`-annotated Prometheus text format (histograms as cumulative
   /// `_bucket{le=...}` series).
@@ -157,6 +199,11 @@ class MetricsRegistry {
   Counter& GetCounter(std::string_view name);
   Gauge& GetGauge(std::string_view name);
   Histogram& GetHistogram(std::string_view name);
+  /// Windowed metrics live in their own namespaces, so a windowed metric
+  /// may (and usually does) share its name with the cumulative metric it
+  /// shadows — "engine.query_us" exists both since-boot and windowed.
+  WindowedHistogram& GetWindowedHistogram(std::string_view name);
+  WindowedCounter& GetWindowedCounter(std::string_view name);
 
   MetricsSnapshot Snapshot() const;
 
@@ -170,6 +217,10 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>, std::less<>>
+      windowed_histograms_;
+  std::map<std::string, std::unique_ptr<WindowedCounter>, std::less<>>
+      windowed_counters_;
 };
 
 }  // namespace obs

@@ -1,0 +1,108 @@
+#ifndef XTOPK_OBS_SLOW_LOG_H_
+#define XTOPK_OBS_SLOW_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/accounting.h"
+
+namespace xtopk {
+namespace obs {
+
+/// Slow-query log configuration. The global instance reads its defaults
+/// from the environment once at first use:
+///   XTOPK_SLOWLOG_PATH          on-disk JSON-lines file ("" = memory only)
+///   XTOPK_SLOWLOG_THRESHOLD_US  wall-clock threshold (default 100ms;
+///                               0 = capture every query — replay recording)
+///   XTOPK_SLOWLOG_PAGES         pages_read threshold (default: disabled)
+///   XTOPK_SLOWLOG_MAX_BYTES     file size bound before rotation (default 8MB)
+struct SlowLogOptions {
+  std::string path;
+  uint64_t latency_threshold_us = 100 * 1000;
+  /// A query also qualifies when it reads at least this many pages
+  /// (UINT64_MAX = latency only).
+  uint64_t pages_threshold = UINT64_MAX;
+  uint64_t max_file_bytes = 8ull * 1024 * 1024;
+  size_t memory_entries = 128;
+
+  /// Options as the environment configures them (unset vars keep the
+  /// defaults above).
+  static SlowLogOptions FromEnv();
+};
+
+/// One captured query: enough to triage it from a dashboard and to re-run
+/// it bit-for-bit through tools/xtopk_replay.
+struct SlowQueryCapture {
+  uint64_t ts_us = 0;  ///< MonotonicNowUs at capture
+  std::vector<std::string> keywords;  ///< normalized, as executed
+  uint64_t k = 0;
+  std::string semantics;  ///< "elca" | "slca"
+  double wall_us = 0;
+  uint64_t hits = 0;
+  /// FNV-1a over (node, level, score rounded via %.9g) of every hit, as a
+  /// 16-hex-digit string — replay compares fingerprints, not full results.
+  std::string result_fingerprint;
+  ResourceAccounting accounting;
+  /// The query's span tree (QueryTrace::ToJson) when the caller had tracing
+  /// on; empty otherwise — replay re-executes with tracing to get one.
+  std::string trace_json;
+
+  /// One JSON line, no trailing newline.
+  std::string ToJsonLine() const;
+};
+
+/// Bounded capture sink for queries that exceed the thresholds: a
+/// mutex-guarded in-memory ring of recent captures (served by /slowlog)
+/// plus an optional JSON-lines file. The file is bounded: when it would
+/// exceed max_file_bytes, it is truncated and restarted (the in-memory
+/// ring still covers the most recent captures across the rotation).
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(SlowLogOptions options = SlowLogOptions())
+      : options_(std::move(options)) {}
+
+  /// The process-wide log, configured from the environment at first use.
+  static SlowQueryLog& Global();
+
+  /// Cheap predicate for the hot path: should a query with this wall time /
+  /// page count be captured at all? Callers check this before building the
+  /// (comparatively expensive) capture.
+  bool ShouldCapture(double wall_us, uint64_t pages_read) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return wall_us >= static_cast<double>(options_.latency_threshold_us) ||
+           pages_read >= options_.pages_threshold;
+  }
+
+  void Record(const SlowQueryCapture& capture);
+
+  /// Most recent captures, oldest first, at most `max` (0 = all retained).
+  std::vector<SlowQueryCapture> Recent(size_t max = 0) const;
+
+  /// {"slow_queries":[<capture>,...]}
+  std::string ToJson(size_t max = 0) const;
+
+  /// Swaps in new options (tests, tools). Clears nothing: retained
+  /// captures stay.
+  void Reconfigure(SlowLogOptions options);
+  SlowLogOptions options() const;
+
+  /// Captures recorded / dropped-by-rotation counters live in the metrics
+  /// registry: obs.slowlog.captures, obs.slowlog.rotations.
+
+ private:
+  mutable std::mutex mu_;
+  SlowLogOptions options_;
+  std::deque<SlowQueryCapture> recent_;
+  uint64_t file_bytes_ = 0;  ///< bytes written since last rotation
+};
+
+/// 16-hex-digit FNV-1a over the byte string `data`.
+std::string FingerprintHex(const std::string& data);
+
+}  // namespace obs
+}  // namespace xtopk
+
+#endif  // XTOPK_OBS_SLOW_LOG_H_

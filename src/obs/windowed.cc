@@ -1,0 +1,136 @@
+#include "obs/windowed.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace xtopk {
+namespace obs {
+
+uint64_t MonotonicNowUs() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+void WindowedHistogram::RotateSlot(Slot& slot, uint64_t epoch) {
+  bool expected = false;
+  while (!slot.rotating.compare_exchange_weak(expected, true,
+                                              std::memory_order_acquire)) {
+    expected = false;
+  }
+  // Re-check under the lock: another writer may have rotated first. Never
+  // rotate backwards — a straggler with an older epoch keeps the newer slot.
+  uint64_t current = slot.epoch.load(std::memory_order_relaxed);
+  if (current == kIdleEpoch || (current < epoch && epoch != kIdleEpoch)) {
+    for (auto& bucket : slot.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    slot.sum.store(0, std::memory_order_relaxed);
+    slot.epoch.store(epoch, std::memory_order_release);
+  }
+  slot.rotating.store(false, std::memory_order_release);
+}
+
+void WindowedHistogram::RecordAt(uint64_t value, uint64_t now_us) {
+  uint64_t epoch = now_us / slot_width_us_;
+  Slot& slot = SlotFor(epoch);
+  if (slot.epoch.load(std::memory_order_acquire) != epoch) {
+    RotateSlot(slot, epoch);
+  }
+  slot.buckets[Histogram::BucketOf(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  slot.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+WindowedHistogram::WindowSnapshot WindowedHistogram::WindowAt(
+    uint64_t window_us, uint64_t now_us) const {
+  WindowSnapshot snapshot;
+  snapshot.window_us = window_us;
+  uint64_t now_epoch = now_us / slot_width_us_;
+  // Slots whose *start* lies within (now - window, now]: the current slot
+  // plus enough full slots to cover the window.
+  uint64_t span = window_us / slot_width_us_;
+  uint64_t min_epoch = now_epoch >= span ? now_epoch - span : 0;
+  for (const Slot& slot : slots_) {
+    uint64_t epoch = slot.epoch.load(std::memory_order_acquire);
+    if (epoch == kIdleEpoch || epoch < min_epoch || epoch > now_epoch) {
+      continue;
+    }
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      uint64_t c = slot.buckets[i].load(std::memory_order_relaxed);
+      snapshot.buckets[i] += c;
+      snapshot.count += c;
+    }
+    snapshot.sum += slot.sum.load(std::memory_order_relaxed);
+  }
+  snapshot.p50 = PercentileFromBuckets(snapshot.buckets, 0.50);
+  snapshot.p99 = PercentileFromBuckets(snapshot.buckets, 0.99);
+  snapshot.p999 = PercentileFromBuckets(snapshot.buckets, 0.999);
+  double seconds = static_cast<double>(window_us) / 1e6;
+  snapshot.rate_per_sec =
+      seconds > 0 ? static_cast<double>(snapshot.count) / seconds : 0.0;
+  snapshot.mean = snapshot.count > 0 ? static_cast<double>(snapshot.sum) /
+                                           static_cast<double>(snapshot.count)
+                                     : 0.0;
+  return snapshot;
+}
+
+void WindowedHistogram::WindowSnapshot::AppendJson(std::string* out) const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "{\"count\":%llu,\"sum\":%llu,\"rate_per_sec\":%.4f,"
+                "\"mean\":%.4f,\"p50\":%.4f,\"p99\":%.4f,\"p999\":%.4f}",
+                static_cast<unsigned long long>(count),
+                static_cast<unsigned long long>(sum), rate_per_sec, mean, p50,
+                p99, p999);
+  *out += buf;
+}
+
+void WindowedCounter::RotateSlot(Slot& slot, uint64_t epoch) {
+  bool expected = false;
+  while (!slot.rotating.compare_exchange_weak(expected, true,
+                                              std::memory_order_acquire)) {
+    expected = false;
+  }
+  uint64_t current = slot.epoch.load(std::memory_order_relaxed);
+  if (current == ~0ull || current < epoch) {
+    slot.value.store(0, std::memory_order_relaxed);
+    slot.epoch.store(epoch, std::memory_order_release);
+  }
+  slot.rotating.store(false, std::memory_order_release);
+}
+
+void WindowedCounter::AddAt(uint64_t delta, uint64_t now_us) {
+  uint64_t epoch = now_us / slot_width_us_;
+  Slot& slot = slots_[static_cast<size_t>(epoch % kSlots)];
+  if (slot.epoch.load(std::memory_order_acquire) != epoch) {
+    RotateSlot(slot, epoch);
+  }
+  slot.value.fetch_add(delta, std::memory_order_relaxed);
+}
+
+uint64_t WindowedCounter::SumInWindowAt(uint64_t window_us,
+                                        uint64_t now_us) const {
+  uint64_t now_epoch = now_us / slot_width_us_;
+  uint64_t span = window_us / slot_width_us_;
+  uint64_t min_epoch = now_epoch >= span ? now_epoch - span : 0;
+  uint64_t total = 0;
+  for (const Slot& slot : slots_) {
+    uint64_t epoch = slot.epoch.load(std::memory_order_acquire);
+    if (epoch == ~0ull || epoch < min_epoch || epoch > now_epoch) continue;
+    total += slot.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double WindowedCounter::RateInWindowAt(uint64_t window_us,
+                                       uint64_t now_us) const {
+  double seconds = static_cast<double>(window_us) / 1e6;
+  if (seconds <= 0) return 0.0;
+  return static_cast<double>(SumInWindowAt(window_us, now_us)) / seconds;
+}
+
+}  // namespace obs
+}  // namespace xtopk

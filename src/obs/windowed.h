@@ -1,0 +1,154 @@
+#ifndef XTOPK_OBS_WINDOWED_H_
+#define XTOPK_OBS_WINDOWED_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace xtopk {
+namespace obs {
+
+/// Monotonic process clock in microseconds (steady_clock since first use).
+/// The windowed metrics derive their slot epochs from this; tests pass
+/// explicit timestamps instead and never touch the real clock.
+uint64_t MonotonicNowUs();
+
+/// A rotating-bucket view over the lock-free log2 histogram: kSlots
+/// sub-histograms, each covering `slot_width_us` of wall time, reused
+/// round-robin. Recording costs one epoch check plus the usual pair of
+/// relaxed adds; a window query sums the slots that fall inside the
+/// requested window, so snapshots report *recent* percentiles and rates
+/// (last 10s / last 60s) instead of since-boot aggregates.
+///
+/// Rotation: the first writer to touch a slot whose epoch is stale takes a
+/// per-slot spinlock, zeroes it, and publishes the new epoch. A concurrent
+/// writer that read the old epoch just before the flip may land one sample
+/// in the freshly-zeroed slot or lose it to the retiring one — a bounded,
+/// sub-slot-width error that telemetry tolerates (the exact-sum tests pin
+/// the no-rotation case; production windows are statistical). Window reads
+/// copy bucket counts into plain integers first, so a snapshot is isolated
+/// from rotations that happen after it.
+class WindowedHistogram {
+ public:
+  static constexpr size_t kSlots = 16;
+  /// 5s slots: a 10s window spans 2 full slots, a 60s window 12, and the
+  /// ring covers 80s — enough to answer the 60s window with slack.
+  static constexpr uint64_t kDefaultSlotWidthUs = 5ull * 1000 * 1000;
+  static constexpr uint64_t kWindow10sUs = 10ull * 1000 * 1000;
+  static constexpr uint64_t kWindow60sUs = 60ull * 1000 * 1000;
+
+  explicit WindowedHistogram(uint64_t slot_width_us = kDefaultSlotWidthUs)
+      : slot_width_us_(slot_width_us == 0 ? 1 : slot_width_us) {}
+
+  void Record(uint64_t value) { RecordAt(value, MonotonicNowUs()); }
+  /// Deterministic-time variant (tests; also the batch-import path).
+  void RecordAt(uint64_t value, uint64_t now_us);
+
+  /// Aggregate of the slots covering (now - window_us, now].
+  struct WindowSnapshot {
+    uint64_t window_us = 0;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    std::array<uint64_t, Histogram::kNumBuckets> buckets{};
+    /// kEmptyPercentile (-1) when the window holds no samples, so
+    /// dashboards can tell "no data" from "fast".
+    double p50 = 0, p99 = 0, p999 = 0;
+    double rate_per_sec = 0;  ///< count / window seconds
+    double mean = 0;          ///< sum / count, 0 when empty
+
+    /// {"count":...,"rate_per_sec":...,"p50":...,"p99":...,"p999":...}
+    void AppendJson(std::string* out) const;
+  };
+
+  WindowSnapshot Window(uint64_t window_us) const {
+    return WindowAt(window_us, MonotonicNowUs());
+  }
+  WindowSnapshot WindowAt(uint64_t window_us, uint64_t now_us) const;
+
+  uint64_t slot_width_us() const { return slot_width_us_; }
+
+ private:
+  struct Slot {
+    /// Slot epoch = now / slot_width. kIdleEpoch marks a never-used slot.
+    std::atomic<uint64_t> epoch{kIdleEpoch};
+    std::atomic<uint64_t> sum{0};
+    std::array<std::atomic<uint64_t>, Histogram::kNumBuckets> buckets{};
+    /// Rotation spinlock (taken once per slot width, never on the fast
+    /// path).
+    std::atomic<bool> rotating{false};
+  };
+  static constexpr uint64_t kIdleEpoch = ~0ull;
+
+  Slot& SlotFor(uint64_t epoch) const {
+    return slots_[static_cast<size_t>(epoch % kSlots)];
+  }
+  void RotateSlot(Slot& slot, uint64_t epoch);
+
+  uint64_t slot_width_us_;
+  mutable std::array<Slot, kSlots> slots_{};
+};
+
+/// The counter analogue: per-slot sums answering "how many in the last N
+/// seconds" and the derived rate. Same rotation contract as the histogram.
+class WindowedCounter {
+ public:
+  static constexpr size_t kSlots = WindowedHistogram::kSlots;
+
+  explicit WindowedCounter(
+      uint64_t slot_width_us = WindowedHistogram::kDefaultSlotWidthUs)
+      : slot_width_us_(slot_width_us == 0 ? 1 : slot_width_us) {}
+
+  void Add(uint64_t delta = 1) { AddAt(delta, MonotonicNowUs()); }
+  void AddAt(uint64_t delta, uint64_t now_us);
+
+  /// Sum of the slots covering (now - window_us, now].
+  uint64_t SumInWindow(uint64_t window_us) const {
+    return SumInWindowAt(window_us, MonotonicNowUs());
+  }
+  uint64_t SumInWindowAt(uint64_t window_us, uint64_t now_us) const;
+  /// SumInWindow / window seconds.
+  double RateInWindow(uint64_t window_us) const {
+    return RateInWindowAt(window_us, MonotonicNowUs());
+  }
+  double RateInWindowAt(uint64_t window_us, uint64_t now_us) const;
+
+  uint64_t slot_width_us() const { return slot_width_us_; }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> epoch{~0ull};
+    std::atomic<uint64_t> value{0};
+    std::atomic<bool> rotating{false};
+  };
+
+  void RotateSlot(Slot& slot, uint64_t epoch);
+
+  uint64_t slot_width_us_;
+  mutable std::array<Slot, kSlots> slots_{};
+};
+
+}  // namespace obs
+}  // namespace xtopk
+
+/// Static-handle accessors mirroring XTOPK_COUNTER / XTOPK_HISTOGRAM. A
+/// windowed metric shares its name with the cumulative one it shadows
+/// (e.g. both "engine.query_us" histograms exist: since-boot and windowed).
+#define XTOPK_WINDOWED_HISTOGRAM(name)                                     \
+  ([]() -> ::xtopk::obs::WindowedHistogram& {                              \
+    static ::xtopk::obs::WindowedHistogram& histogram =                    \
+        ::xtopk::obs::MetricsRegistry::Global().GetWindowedHistogram(      \
+            name);                                                         \
+    return histogram;                                                      \
+  }())
+#define XTOPK_WINDOWED_COUNTER(name)                                       \
+  ([]() -> ::xtopk::obs::WindowedCounter& {                                \
+    static ::xtopk::obs::WindowedCounter& counter =                        \
+        ::xtopk::obs::MetricsRegistry::Global().GetWindowedCounter(name);  \
+    return counter;                                                        \
+  }())
+
+#endif  // XTOPK_OBS_WINDOWED_H_

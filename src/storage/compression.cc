@@ -4,6 +4,7 @@
 #include <cassert>
 #include <vector>
 
+#include "obs/accounting.h"
 #include "obs/metrics.h"
 #include "storage/sparse_index.h"
 #include "util/simd.h"
@@ -215,6 +216,7 @@ Status DecodeColumnImpl(const std::string& data, size_t* pos,
                         const ValueBounds* bounds, Column* column,
                         SkipDecodeStats* stats) {
   if (*pos >= data.size()) return Status::Corruption("column: empty buffer");
+  const size_t start = *pos;
   uint8_t codec_byte = static_cast<uint8_t>(data[(*pos)++]);
   uint32_t count = 0;
   Status s = varint::GetU32(data, pos, &count);
@@ -222,17 +224,23 @@ Status DecodeColumnImpl(const std::string& data, size_t* pos,
   switch (static_cast<ColumnCodec>(codec_byte)) {
     case ColumnCodec::kRunLength:
       XTOPK_COUNTER("storage.codec.rle_decodes").Add(1);
-      return DecodeRunLength(data, pos, count, column);
+      s = DecodeRunLength(data, pos, count, column);
+      break;
     case ColumnCodec::kDelta:
       XTOPK_COUNTER("storage.codec.delta_decodes").Add(1);
-      return DecodeDelta(data, pos, count, present_rows, column);
+      s = DecodeDelta(data, pos, count, present_rows, column);
+      break;
     case ColumnCodec::kGroupVarint:
       XTOPK_COUNTER("storage.codec.gvb_decodes").Add(1);
-      return DecodeGvbBody(data, pos, count, present_rows, bounds, column,
-                           stats);
+      s = DecodeGvbBody(data, pos, count, present_rows, bounds, column, stats);
+      break;
     default:
       return Status::Corruption("column: unknown codec byte");
   }
+  // Attribute the consumed encoded bytes (header included) to the in-flight
+  // query, whether the decode was full or skip-based.
+  if (s.ok()) obs::AccountBytesDecoded(*pos - start);
+  return s;
 }
 
 }  // namespace

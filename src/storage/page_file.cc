@@ -3,6 +3,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "obs/accounting.h"
 #include "obs/metrics.h"
 
 namespace xtopk {
@@ -108,6 +109,7 @@ Status PageFile::ReadPage(PageId id, std::string* out) {
   }
   pages_read_.fetch_add(1, std::memory_order_relaxed);
   XTOPK_COUNTER("storage.page_reads").Add(1);
+  obs::AccountPagesRead(1);
   return Status::Ok();
 }
 

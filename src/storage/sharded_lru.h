@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/accounting.h"
 #include "obs/metrics.h"
 
 namespace xtopk {
@@ -65,11 +66,19 @@ class ShardedLruCache {
     auto it = shard.map.find(key);
     if (it == shard.map.end()) {
       misses_.fetch_add(1, std::memory_order_relaxed);
-      if (misses_metric_ != nullptr) misses_metric_->Add(1);
+      if (misses_metric_ != nullptr) {
+        misses_metric_->Add(1);
+        // Only named caches (buffer pool, decoded cache) attribute to the
+        // in-flight query; anonymous helper caches stay out of the bill.
+        obs::AccountCacheMiss(1);
+      }
       return std::nullopt;
     }
     hits_.fetch_add(1, std::memory_order_relaxed);
-    if (hits_metric_ != nullptr) hits_metric_->Add(1);
+    if (hits_metric_ != nullptr) {
+      hits_metric_->Add(1);
+      obs::AccountCacheHit(1);
+    }
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return it->second->value;
   }

@@ -1,0 +1,104 @@
+#include "obs/event_log.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace xtopk {
+namespace obs {
+namespace {
+
+TEST(EventLogTest, AppendAndSnapshotInOrder) {
+  EventLog log;
+  log.Append("seal", "segment 1 sealed");
+  log.Append("compact", "2 segments -> 1");
+  auto events = log.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, "seal");
+  EXPECT_EQ(events[0].text, "segment 1 sealed");
+  EXPECT_EQ(events[1].kind, "compact");
+  EXPECT_LT(events[0].sequence, events[1].sequence);
+  EXPECT_EQ(log.appended(), 2u);
+}
+
+TEST(EventLogTest, RingOverwritesOldestAndKeepsNewest) {
+  EventLog log;
+  for (size_t i = 0; i < EventLog::kCapacity + 10; ++i) {
+    log.Append("k", "event " + std::to_string(i));
+  }
+  auto events = log.Snapshot();
+  EXPECT_EQ(events.size(), EventLog::kCapacity);
+  // The survivors are exactly the newest kCapacity appends.
+  EXPECT_EQ(events.front().sequence, 10u);
+  EXPECT_EQ(events.back().sequence, EventLog::kCapacity + 9);
+  EXPECT_EQ(log.appended(), EventLog::kCapacity + 10);
+}
+
+TEST(EventLogTest, SnapshotMaxReturnsNewest) {
+  EventLog log;
+  for (int i = 0; i < 20; ++i) log.Append("k", std::to_string(i));
+  auto events = log.Snapshot(/*max=*/5);
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events.front().text, "15");
+  EXPECT_EQ(events.back().text, "19");
+}
+
+TEST(EventLogTest, TruncatesOversizedPayloads) {
+  EventLog log;
+  std::string long_kind(100, 'k');
+  std::string long_text(1000, 't');
+  log.Append(long_kind, long_text);
+  auto events = log.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind.size(), EventLog::kKindBytes - 1);
+  EXPECT_EQ(events[0].text.size(), EventLog::kTextBytes - 1);
+}
+
+TEST(EventLogTest, JsonEscapesPayloads) {
+  EventLog log;
+  log.Append("quote", "say \"hi\"\nnewline");
+  std::string json = log.ToJson();
+  EXPECT_NE(json.find("\\\"hi\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // one line
+}
+
+TEST(EventLogTest, ConcurrentAppendersNeverTearReads) {
+  EventLog log;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Append("thread" + std::to_string(t),
+                   "payload-" + std::to_string(t) + "-" + std::to_string(i));
+      }
+    });
+  }
+  // Read concurrently: every snapshotted event must be internally
+  // consistent (kind and text from the same append).
+  for (int reads = 0; reads < 50; ++reads) {
+    for (const auto& event : log.Snapshot()) {
+      ASSERT_EQ(event.kind.substr(0, 6), "thread");
+      std::string thread_id = event.kind.substr(6);
+      ASSERT_EQ(event.text.substr(0, 9 + thread_id.size()),
+                "payload-" + thread_id + "-");
+    }
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(log.appended(), static_cast<uint64_t>(kThreads * kPerThread));
+  auto events = log.Snapshot();
+  EXPECT_LE(events.size(), EventLog::kCapacity);
+  // Sequences are unique.
+  std::set<uint64_t> sequences;
+  for (const auto& event : events) sequences.insert(event.sequence);
+  EXPECT_EQ(sequences.size(), events.size());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace xtopk

@@ -73,7 +73,42 @@ TEST(MetricsTest, HistogramRecordAndPercentiles) {
   EXPECT_GE(p99, 512.0);
   EXPECT_LE(p99, 1024.0);
   EXPECT_GE(p99, p50);
-  EXPECT_EQ(Histogram().Percentile(0.5), 0.0);
+}
+
+TEST(MetricsTest, EmptyHistogramPercentileIsSentinel) {
+  // "No data" must be distinguishable from "all samples were 0".
+  EXPECT_EQ(Histogram().Percentile(0.5), kEmptyPercentile);
+  EXPECT_EQ(Histogram().Percentile(0.0), kEmptyPercentile);
+  EXPECT_EQ(Histogram().Percentile(1.0), kEmptyPercentile);
+  Histogram zeros;
+  zeros.Record(0);
+  EXPECT_GE(zeros.Percentile(0.5), 0.0);
+  EXPECT_LT(zeros.Percentile(0.5), 1.0);
+}
+
+TEST(MetricsTest, FirstBucketInterpolatesWithinZeroOne) {
+  // Bucket 0 holds only the value 0 (bounds [0, 1)): every quantile of an
+  // all-zero histogram interpolates inside that range.
+  Histogram histogram;
+  for (int i = 0; i < 100; ++i) histogram.Record(0);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    double p = histogram.Percentile(q);
+    EXPECT_GE(p, 0.0) << "q=" << q;
+    EXPECT_LT(p, 1.0) << "q=" << q;
+  }
+}
+
+TEST(MetricsTest, LastBucketInterpolationIsFinite) {
+  // The last bucket's upper bound saturates at UINT64_MAX (2^64 does not
+  // fit); the estimate must stay within [lower bound, UINT64_MAX].
+  Histogram histogram;
+  histogram.Record(UINT64_MAX);
+  double p = histogram.Percentile(0.99);
+  EXPECT_GE(p, static_cast<double>(Histogram::BucketLowerBound(64)));
+  EXPECT_LE(p, static_cast<double>(UINT64_MAX));
+  // Quantiles are clamped into [0, 1].
+  EXPECT_EQ(histogram.Percentile(-0.5), histogram.Percentile(0.0));
+  EXPECT_EQ(histogram.Percentile(1.5), histogram.Percentile(1.0));
 }
 
 TEST(MetricsTest, HistogramMerge) {

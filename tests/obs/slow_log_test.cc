@@ -1,0 +1,159 @@
+#include "obs/slow_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/engine.h"
+#include "xml/xml_parser.h"
+
+namespace xtopk {
+namespace obs {
+namespace {
+
+SlowQueryCapture MakeCapture(double wall_us, const std::string& keyword) {
+  SlowQueryCapture capture;
+  capture.ts_us = 123;
+  capture.keywords = {keyword, "data"};
+  capture.k = 5;
+  capture.semantics = "elca";
+  capture.wall_us = wall_us;
+  capture.hits = 2;
+  capture.result_fingerprint = "00ff00ff00ff00ff";
+  capture.accounting.pages_read = 4;
+  capture.accounting.planner_mode = "planned";
+  return capture;
+}
+
+TEST(SlowLogTest, ThresholdFiltersByLatencyOrPages) {
+  SlowLogOptions options;
+  options.latency_threshold_us = 1000;
+  options.pages_threshold = 50;
+  SlowQueryLog log(options);
+  EXPECT_FALSE(log.ShouldCapture(/*wall_us=*/10, /*pages_read=*/0));
+  EXPECT_TRUE(log.ShouldCapture(1000, 0));
+  EXPECT_TRUE(log.ShouldCapture(10, 50));  // page threshold alone qualifies
+  EXPECT_FALSE(log.ShouldCapture(999.9, 49));
+}
+
+TEST(SlowLogTest, ThresholdZeroCapturesEverything) {
+  SlowLogOptions options;
+  options.latency_threshold_us = 0;
+  SlowQueryLog log(options);
+  EXPECT_TRUE(log.ShouldCapture(0.0, 0));
+}
+
+TEST(SlowLogTest, JsonLineShape) {
+  std::string line = MakeCapture(2500.5, "xml").ToJsonLine();
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("\"keywords\":[\"xml\",\"data\"]"), std::string::npos);
+  EXPECT_NE(line.find("\"k\":5"), std::string::npos);
+  EXPECT_NE(line.find("\"semantics\":\"elca\""), std::string::npos);
+  EXPECT_NE(line.find("\"wall_us\":2500.500"), std::string::npos);
+  EXPECT_NE(line.find("\"hits\":2"), std::string::npos);
+  EXPECT_NE(line.find("\"result_fingerprint\":\"00ff00ff00ff00ff\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"accounting\":{\"pages_read\":4"), std::string::npos);
+  // No trace collected -> no trace key at all.
+  EXPECT_EQ(line.find("\"trace\""), std::string::npos);
+
+  SlowQueryCapture traced = MakeCapture(1.0, "xml");
+  traced.trace_json = "{\"name\":\"query\"}";
+  EXPECT_NE(traced.ToJsonLine().find("\"trace\":{\"name\":\"query\"}"),
+            std::string::npos);
+}
+
+TEST(SlowLogTest, RecentRingIsBounded) {
+  SlowLogOptions options;
+  options.memory_entries = 3;
+  SlowQueryLog log(options);
+  for (int i = 0; i < 10; ++i) {
+    log.Record(MakeCapture(1000.0 + i, "q" + std::to_string(i)));
+  }
+  auto recent = log.Recent();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0].keywords[0], "q7");
+  EXPECT_EQ(recent[2].keywords[0], "q9");
+  EXPECT_EQ(log.Recent(/*max=*/2).size(), 2u);
+  EXPECT_EQ(log.Recent(2)[1].keywords[0], "q9");
+}
+
+TEST(SlowLogTest, WritesJsonLinesToFileAndRotates) {
+  std::string path = testing::TempDir() + "/slowlog_test.jsonl";
+  std::remove(path.c_str());
+  SlowLogOptions options;
+  options.path = path;
+  // Each line is ~260 bytes; cap at ~3 lines to force a rotation.
+  options.max_file_bytes = 800;
+  SlowQueryLog log(options);
+  for (int i = 0; i < 10; ++i) {
+    log.Record(MakeCapture(5000.0, "rotating" + std::to_string(i)));
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  size_t lines = 0;
+  std::string last;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    last = line;
+    ++lines;
+  }
+  // Rotation truncated: far fewer than 10 lines on disk, newest survives.
+  EXPECT_GE(lines, 1u);
+  EXPECT_LT(lines, 10u);
+  EXPECT_NE(last.find("rotating9"), std::string::npos);
+  // The memory ring bridged the rotation.
+  EXPECT_EQ(log.Recent().size(), 10u);
+  std::remove(path.c_str());
+}
+
+TEST(SlowLogTest, ToJsonWrapsRecentCaptures) {
+  SlowQueryLog log((SlowLogOptions()));
+  log.Record(MakeCapture(1500.0, "wrapped"));
+  std::string json = log.ToJson();
+  EXPECT_EQ(json.find("{\"slow_queries\":["), 0u);
+  EXPECT_NE(json.find("wrapped"), std::string::npos);
+}
+
+TEST(SlowLogTest, FingerprintHexIsDeterministic) {
+  EXPECT_EQ(FingerprintHex("abc"), FingerprintHex("abc"));
+  EXPECT_NE(FingerprintHex("abc"), FingerprintHex("abd"));
+  EXPECT_EQ(FingerprintHex("").size(), 16u);
+  for (char c : FingerprintHex("xyz")) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+  }
+}
+
+TEST(SlowLogTest, EngineCapturesQueriesPastTheGlobalThreshold) {
+  // Reconfigure the global log to capture-all, run a query, and expect it
+  // in the recent ring; then restore a high threshold.
+  SlowQueryLog& global = SlowQueryLog::Global();
+  SlowLogOptions original = global.options();
+  SlowLogOptions capture_all;
+  capture_all.latency_threshold_us = 0;
+  global.Reconfigure(capture_all);
+
+  XmlTree tree = ParseXmlStringOrDie(
+      "<root><a>xml data</a><b>xml search</b></root>");
+  Engine engine(tree);
+  size_t before = global.Recent().size();
+  engine.Search({"xml"});
+  auto recent = global.Recent();
+  ASSERT_GT(recent.size(), before);
+  const SlowQueryCapture& captured = recent.back();
+  EXPECT_EQ(captured.keywords, std::vector<std::string>{"xml"});
+  EXPECT_GT(captured.wall_us, 0.0);
+  EXPECT_EQ(captured.result_fingerprint.size(), 16u);
+
+  global.Reconfigure(original);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace xtopk

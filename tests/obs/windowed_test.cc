@@ -1,0 +1,189 @@
+#include "obs/windowed.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace xtopk {
+namespace obs {
+namespace {
+
+constexpr uint64_t kSlotUs = WindowedHistogram::kDefaultSlotWidthUs;
+constexpr uint64_t k10s = WindowedHistogram::kWindow10sUs;
+constexpr uint64_t k60s = WindowedHistogram::kWindow60sUs;
+
+TEST(WindowedHistogramTest, EmptyWindowReportsSentinelPercentiles) {
+  WindowedHistogram histogram;
+  auto window = histogram.WindowAt(k10s, /*now_us=*/kSlotUs * 100);
+  EXPECT_EQ(window.count, 0u);
+  EXPECT_EQ(window.p50, kEmptyPercentile);
+  EXPECT_EQ(window.p99, kEmptyPercentile);
+  EXPECT_EQ(window.p999, kEmptyPercentile);
+  EXPECT_EQ(window.rate_per_sec, 0.0);
+}
+
+TEST(WindowedHistogramTest, RecordsLandInTheCurrentWindow) {
+  WindowedHistogram histogram;
+  uint64_t now = kSlotUs * 10;
+  for (uint64_t v = 1; v <= 100; ++v) histogram.RecordAt(v, now);
+  auto window = histogram.WindowAt(k10s, now);
+  EXPECT_EQ(window.count, 100u);
+  EXPECT_EQ(window.sum, 5050u);
+  EXPECT_GT(window.p50, 0.0);
+  EXPECT_GE(window.p99, window.p50);
+  // 100 samples over a 10s window.
+  EXPECT_DOUBLE_EQ(window.rate_per_sec, 10.0);
+  EXPECT_DOUBLE_EQ(window.mean, 50.5);
+}
+
+TEST(WindowedHistogramTest, OldSamplesExpireFromTheWindow) {
+  WindowedHistogram histogram;
+  histogram.RecordAt(5, kSlotUs * 10);
+  // Same ring slot would be reused 16 slots later; before that, advancing
+  // past the window must already hide the sample.
+  EXPECT_EQ(histogram.WindowAt(k10s, kSlotUs * 10).count, 1u);
+  EXPECT_EQ(histogram.WindowAt(k10s, kSlotUs * 13).count, 0u);
+  // The 60s window still covers it (12 slots).
+  EXPECT_EQ(histogram.WindowAt(k60s, kSlotUs * 13).count, 1u);
+  EXPECT_EQ(histogram.WindowAt(k60s, kSlotUs * 30).count, 0u);
+}
+
+TEST(WindowedHistogramTest, SlotRotationReclaimsLappedSlots) {
+  WindowedHistogram histogram;
+  histogram.RecordAt(7, kSlotUs * 2);
+  // 16 slots later the same slot is reused for a new epoch; the old count
+  // must not leak into the new window.
+  uint64_t later = kSlotUs * (2 + WindowedHistogram::kSlots);
+  histogram.RecordAt(9, later);
+  auto window = histogram.WindowAt(k10s, later);
+  EXPECT_EQ(window.count, 1u);
+  EXPECT_EQ(window.sum, 9u);
+}
+
+TEST(WindowedHistogramTest, StaleWriterNeverRotatesBackwards) {
+  WindowedHistogram histogram;
+  uint64_t later = kSlotUs * (3 + WindowedHistogram::kSlots);
+  histogram.RecordAt(11, later);
+  // A straggler carrying the lapped epoch for the same slot must not wipe
+  // the newer slot; its sample lands there (bounded error by design).
+  histogram.RecordAt(100, kSlotUs * 3);
+  auto window = histogram.WindowAt(k10s, later);
+  EXPECT_EQ(window.count, 2u);
+  EXPECT_EQ(window.sum, 111u);
+}
+
+TEST(WindowedHistogramTest, SnapshotIsIsolatedAcrossRotation) {
+  WindowedHistogram histogram;
+  uint64_t now = kSlotUs * 5;
+  for (int i = 0; i < 50; ++i) histogram.RecordAt(10, now);
+  auto before = histogram.WindowAt(k10s, now);
+  // Lap the ring: every slot the snapshot summed gets rotated and reused.
+  for (size_t s = 0; s <= WindowedHistogram::kSlots; ++s) {
+    histogram.RecordAt(9999, now + kSlotUs * (s + 1));
+  }
+  // The snapshot took plain-integer copies; later rotations cannot reach it.
+  EXPECT_EQ(before.count, 50u);
+  EXPECT_EQ(before.sum, 500u);
+}
+
+TEST(WindowedHistogramTest, EightThreadsSumExactlyWithoutRotation) {
+  // All writers share one fixed timestamp, so no rotation happens and the
+  // count must be exact (the lock-free fast path is just atomic adds).
+  WindowedHistogram histogram;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  constexpr uint64_t kNow = kSlotUs * 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        histogram.RecordAt(static_cast<uint64_t>(t) * 100 + (i % 13), kNow);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  auto window = histogram.WindowAt(k10s, kNow);
+  EXPECT_EQ(window.count, kThreads * kPerThread);
+}
+
+TEST(WindowedHistogramTest, ConcurrentRotationKeepsCountsSane) {
+  // Writers race across slot boundaries; rotation races may misplace a
+  // bounded number of samples but must never corrupt counts beyond the
+  // total written or crash.
+  WindowedHistogram histogram(/*slot_width_us=*/100);
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        histogram.RecordAt(i % 50, i);  // epoch advances every 100 ticks
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // now = last timestamp; a 100*16-wide ring at width 100 means the window
+  // covering everything is 5000 ticks wide at most kSlots slots.
+  auto window = histogram.WindowAt(/*window_us=*/1500, kPerThread - 1);
+  EXPECT_LE(window.count, kThreads * kPerThread);
+}
+
+TEST(WindowedHistogramTest, WallClockRecordIsVisibleInWindow) {
+  WindowedHistogram& histogram =
+      MetricsRegistry::Global().GetWindowedHistogram("test.windowed.wall");
+  histogram.Record(42);
+  auto window = histogram.Window(k10s);
+  EXPECT_GE(window.count, 1u);
+}
+
+TEST(WindowedCounterTest, SumsAndRatesPerWindow) {
+  WindowedCounter counter;
+  counter.AddAt(3, kSlotUs * 10);
+  counter.AddAt(4, kSlotUs * 11);
+  EXPECT_EQ(counter.SumInWindowAt(k10s, kSlotUs * 11), 7u);
+  EXPECT_DOUBLE_EQ(counter.RateInWindowAt(k10s, kSlotUs * 11), 0.7);
+  // First add expires out of the 10s window two slots later.
+  EXPECT_EQ(counter.SumInWindowAt(k10s, kSlotUs * 13), 4u);
+  EXPECT_EQ(counter.SumInWindowAt(k60s, kSlotUs * 13), 7u);
+}
+
+TEST(WindowedCounterTest, LappedSlotIsReclaimed) {
+  WindowedCounter counter;
+  counter.AddAt(100, kSlotUs * 1);
+  uint64_t later = kSlotUs * (1 + WindowedCounter::kSlots);
+  counter.AddAt(1, later);
+  EXPECT_EQ(counter.SumInWindowAt(k10s, later), 1u);
+}
+
+TEST(WindowedRegistryTest, SnapshotCarriesWindowedMetrics) {
+  MetricsRegistry::Global()
+      .GetWindowedHistogram("test.windowed.snap_hist")
+      .Record(5);
+  MetricsRegistry::Global().GetWindowedCounter("test.windowed.snap_ctr").Add(2);
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  bool saw_histogram = false, saw_counter = false;
+  for (const auto& w : snapshot.windowed_histograms) {
+    if (w.name == "test.windowed.snap_hist") {
+      saw_histogram = true;
+      EXPECT_GE(w.w60s.count, 1u);
+    }
+  }
+  for (const auto& w : snapshot.windowed_counters) {
+    if (w.name == "test.windowed.snap_ctr") {
+      saw_counter = true;
+      EXPECT_GE(w.sum_60s, 2u);
+    }
+  }
+  EXPECT_TRUE(saw_histogram);
+  EXPECT_TRUE(saw_counter);
+  // Both serializations include the windows section.
+  EXPECT_NE(snapshot.ToJson().find("\"windows\""), std::string::npos);
+  EXPECT_NE(snapshot.ToPrometheusText().find("_w60s_p99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace xtopk

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Lint metric names at XTOPK_* registration call sites.
+
+Scans src/ for string-literal names passed to the metric macros
+(XTOPK_COUNTER, XTOPK_GAUGE, XTOPK_HISTOGRAM, XTOPK_WINDOWED_COUNTER,
+XTOPK_WINDOWED_HISTOGRAM) and the registry accessors (GetCounter, ...),
+and enforces the repo naming convention:
+
+  layer.noun[.noun].verb_or_unit     e.g. storage.pool.hits
+
+ - all lowercase, segments of [a-z0-9_]+ joined by dots, 2-4 segments;
+ - the first segment names the owning layer (engine, core, storage,
+   index, obs);
+ - histogram names end in a unit suffix (us, ms, bytes, rows, pages,
+   docs, peak) so dashboards know what they plot;
+ - one name, one metric kind: the same name must not register as both a
+   counter and a gauge (a windowed metric may shadow the cumulative
+   metric of the same kind — that pairing is the designed layout).
+
+Names built at runtime (prefix + ".hits") are out of scope; the
+registration sites that matter for dashboards are the literal ones.
+
+Usage: check_metric_names.py [src_dir]    (default: <repo>/src)
+"""
+
+import os
+import re
+import sys
+
+LAYERS = {"engine", "core", "storage", "index", "obs"}
+UNIT_SUFFIXES = {"us", "ms", "bytes", "rows", "pages", "docs", "peak"}
+SEGMENT = re.compile(r"^[a-z][a-z0-9_]*$")
+
+# macro/accessor -> metric kind (windowed variants map to the same kind:
+# shadowing cumulative metrics of the same kind is the designed layout).
+SITES = {
+    "XTOPK_COUNTER": "counter",
+    "XTOPK_GAUGE": "gauge",
+    "XTOPK_HISTOGRAM": "histogram",
+    "XTOPK_WINDOWED_COUNTER": "counter",
+    "XTOPK_WINDOWED_HISTOGRAM": "histogram",
+    "GetCounter": "counter",
+    "GetGauge": "gauge",
+    "GetHistogram": "histogram",
+    "GetWindowedCounter": "counter",
+    "GetWindowedHistogram": "histogram",
+}
+CALL = re.compile(
+    r"\b(" + "|".join(SITES) + r")\s*\(\s*\"([^\"]+)\"\s*[),]")
+
+
+def check_name(name, kind):
+    """Returns a list of problems with one metric name."""
+    problems = []
+    segments = name.split(".")
+    if not 2 <= len(segments) <= 4:
+        problems.append(f"has {len(segments)} segments (want 2-4)")
+    bad = [s for s in segments if not SEGMENT.match(s)]
+    if bad:
+        problems.append(
+            f"segment(s) {bad} not lowercase [a-z][a-z0-9_]*")
+    if segments and SEGMENT.match(segments[0]) and segments[0] not in LAYERS:
+        problems.append(
+            f"layer {segments[0]!r} not in {sorted(LAYERS)}")
+    if kind == "histogram":
+        last = segments[-1]
+        if not any(last == u or last.endswith("_" + u)
+                   for u in UNIT_SUFFIXES):
+            problems.append(
+                f"histogram lacks a unit suffix {sorted(UNIT_SUFFIXES)}")
+    return problems
+
+
+def main(argv):
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    src = argv[1] if len(argv) > 1 else os.path.join(repo, "src")
+
+    registrations = {}  # name -> set of kinds
+    failures = 0
+    sites = 0
+    for root, _dirs, files in os.walk(src):
+        for filename in sorted(files):
+            if not filename.endswith((".h", ".cc")):
+                continue
+            path = os.path.join(root, filename)
+            with open(path, encoding="utf-8") as f:
+                for lineno, line in enumerate(f, start=1):
+                    for match in CALL.finditer(line):
+                        site, name = match.group(1), match.group(2)
+                        kind = SITES[site]
+                        sites += 1
+                        registrations.setdefault(name, set()).add(kind)
+                        where = f"{os.path.relpath(path, repo)}:{lineno}"
+                        for problem in check_name(name, kind):
+                            print(f"FAIL: {where}: {name!r} {problem}")
+                            failures += 1
+
+    for name, kinds in sorted(registrations.items()):
+        if len(kinds) > 1:
+            print(f"FAIL: {name!r} registered as multiple kinds: "
+                  f"{sorted(kinds)}")
+            failures += 1
+
+    if sites == 0:
+        print(f"FAIL: found no metric call sites under {src}")
+        return 1
+    if failures:
+        return 1
+    print(f"OK: {len(registrations)} metric names at {sites} call sites "
+          "follow the naming convention")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

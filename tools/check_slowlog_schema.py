@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Validate a slow-query log (JSON lines) against tools/slowlog_schema.json.
+
+Each non-empty line must parse as JSON and match the per-line schema.
+Reuses the stdlib-only JSON Schema subset validator from
+check_profile_schema.py.
+
+Usage:
+  check_slowlog_schema.py slowlog.jsonl
+  cat slowlog.jsonl | check_slowlog_schema.py -
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from check_profile_schema import validate  # noqa: E402
+
+
+def main(argv):
+    schema_path = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               "slowlog_schema.json")
+    with open(schema_path, encoding="utf-8") as f:
+        schema = json.load(f)
+
+    if len(argv) == 2 and argv[1] != "-":
+        with open(argv[1], encoding="utf-8") as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+
+    failures = 0
+    lines = 0
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        lines += 1
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            print(f"FAIL: line {lineno} is not valid JSON: {exc}")
+            failures += 1
+            continue
+        for error in validate(entry, schema, schema, path=f"line {lineno}"):
+            print(f"FAIL: {error}")
+            failures += 1
+
+    if lines == 0:
+        print("FAIL: no entries to validate")
+        return 1
+    if failures:
+        return 1
+    print(f"OK: {lines} schema-valid slow-log entries")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,26 @@
+# Record -> schema-check -> replay round trip for xtopk_replay (driven by
+# the replay_roundtrip ctest entry). Fails if any stage exits non-zero.
+set(capture "${WORK_DIR}/replay_roundtrip.jsonl")
+
+execute_process(
+  COMMAND "${REPLAY_BIN}" --record "${capture}"
+  RESULT_VARIABLE record_rc)
+if(NOT record_rc EQUAL 0)
+  message(FATAL_ERROR "record failed: ${record_rc}")
+endif()
+
+execute_process(
+  COMMAND "${PYTHON}" "${TOOLS_DIR}/check_slowlog_schema.py" "${capture}"
+  RESULT_VARIABLE schema_rc)
+if(NOT schema_rc EQUAL 0)
+  message(FATAL_ERROR "slow-log schema check failed: ${schema_rc}")
+endif()
+
+execute_process(
+  COMMAND "${REPLAY_BIN}" "${capture}"
+  RESULT_VARIABLE replay_rc)
+if(NOT replay_rc EQUAL 0)
+  message(FATAL_ERROR "replay failed: ${replay_rc}")
+endif()
+
+file(REMOVE "${capture}")

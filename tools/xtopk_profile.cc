@@ -17,44 +17,13 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "demo_doc.h"
 #include "obs/metrics.h"
 #include "xml/xml_parser.h"
 
 namespace {
 
-// The built-in document is a generated bibliography large enough that a
-// query's wall time is dominated by actual search work (tiny toy documents
-// would profile the tracer, not the engine).
-std::string BuildDemoXml() {
-  const char* topics[] = {"storage", "ranking",  "indexing", "joins",
-                          "caching", "parsing",  "scoring",  "pruning"};
-  const char* authors[] = {"alice", "bob", "carol", "dave", "erin"};
-  std::string xml = "<bib>\n";
-  for (int i = 0; i < 400; ++i) {
-    const char* topic = topics[i % 8];
-    xml += "<book year=\"" + std::to_string(1990 + i % 30) + "\">";
-    xml += "<title>xml " + std::string(topic) + " techniques volume " +
-           std::to_string(i) + "</title>";
-    xml += "<author>" + std::string(authors[i % 5]) + "</author>";
-    if (i % 3 == 0) {
-      xml += "<chapter>keyword search over xml data</chapter>";
-    }
-    if (i % 5 == 0) {
-      xml += "<chapter>top k query processing and " + std::string(topic) +
-             "</chapter>";
-    }
-    xml += "<chapter>notes on " + std::string(topics[(i + 3) % 8]) +
-           " and data management</chapter>";
-    xml += "</book>\n";
-  }
-  xml +=
-      "<article><title>supporting top k keyword search in xml databases"
-      "</title><author>alice</author><author>bob</author>"
-      "<abstract>keyword search queries over xml data with top k ranking"
-      "</abstract></article>\n";
-  xml += "</bib>\n";
-  return xml;
-}
+using xtopk_tools::BuildDemoXml;
 
 struct ProfileQuery {
   std::vector<std::string> keywords;
@@ -157,6 +126,7 @@ int main(int argc, char** argv) {
     std::snprintf(buf, sizeof(buf), ",\"coverage\":%.4f",
                   explained.trace.ChildCoverage());
     out += buf;
+    out += ",\"accounting\":" + explained.accounting.ToJson();
     out += ",\"trace\":" + explained.trace.ToJson() + "}";
   }
   out += "],\"metrics\":";

@@ -1,0 +1,238 @@
+// xtopk_replay: slow-query capture recorder and replayer.
+//
+// Record mode runs the built-in 10-query workload against the demo
+// document with the slow log in capture-all mode and writes the capture
+// file (the same JSON-lines format XTOPK_SLOWLOG_PATH produces):
+//
+//   ./xtopk_replay --record capture.jsonl
+//
+// Replay mode re-executes every captured query against the demo document
+// and diffs then-vs-now: result fingerprints must match bit-for-bit
+// (exit 1 otherwise), and per-query latency / resource / planner deltas
+// are reported so a regression shows up as numbers, not vibes:
+//
+//   ./xtopk_replay capture.jsonl
+//
+// Captures recorded against a *different* document replay meaninglessly;
+// the tool is built for the demo workload and for captures taken from
+// production runs of the same corpus (pass the XML as --doc file.xml).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "demo_doc.h"
+#include "json_mini.h"
+#include "obs/slow_log.h"
+#include "xml/xml_parser.h"
+
+namespace {
+
+using xtopk_tools::JsonParser;
+using xtopk_tools::JsonValue;
+
+struct ReplayEntry {
+  std::vector<std::string> keywords;
+  size_t k = 0;
+  xtopk::Semantics semantics = xtopk::Semantics::kElca;
+  double recorded_wall_us = 0;
+  std::string recorded_fingerprint;
+  uint64_t recorded_pages = 0;
+  uint64_t recorded_rows = 0;
+  std::string recorded_planner;
+};
+
+// The deterministic workload --record captures: a spread of complete and
+// top-k queries over both semantics, wide and narrow terms.
+std::vector<xtopk::BatchQuery> BuiltinWorkload() {
+  auto make = [](std::vector<std::string> keywords, size_t k,
+                 xtopk::Semantics semantics) {
+    xtopk::BatchQuery query;
+    query.keywords = std::move(keywords);
+    query.k = k;
+    query.semantics = semantics;
+    return query;
+  };
+  using xtopk::Semantics;
+  return {
+      make({"xml", "data"}, 0, Semantics::kElca),
+      make({"keyword", "search"}, 0, Semantics::kElca),
+      make({"top", "k"}, 10, Semantics::kElca),
+      make({"xml", "ranking"}, 5, Semantics::kElca),
+      make({"storage", "techniques"}, 0, Semantics::kSlca),
+      make({"alice", "xml"}, 0, Semantics::kSlca),
+      make({"data", "management"}, 25, Semantics::kElca),
+      make({"xml", "keyword", "search"}, 0, Semantics::kElca),
+      make({"top", "k", "xml"}, 10, Semantics::kSlca),
+      make({"databases", "ranking"}, 3, Semantics::kElca),
+  };
+}
+
+int Record(xtopk::Engine& engine, const std::string& path) {
+  // Capture-all: threshold 0 routes every query into the capture file.
+  xtopk::obs::SlowLogOptions options;
+  options.path = path;
+  options.latency_threshold_us = 0;
+  std::remove(path.c_str());
+  xtopk::obs::SlowQueryLog::Global().Reconfigure(options);
+
+  size_t recorded = 0;
+  for (const xtopk::BatchQuery& query : BuiltinWorkload()) {
+    xtopk::ExplainResult result = engine.Explain(query);
+    std::fprintf(stderr, "recorded: k=%zu hits=%zu wall=%.0fus\n", query.k,
+                 result.hits.size(), result.accounting.wall_us);
+    ++recorded;
+  }
+  // Stop capturing before the process exits.
+  xtopk::obs::SlowQueryLog::Global().Reconfigure(xtopk::obs::SlowLogOptions());
+  std::printf("recorded %zu queries to %s\n", recorded, path.c_str());
+  return 0;
+}
+
+bool ParseEntry(const std::string& line, ReplayEntry* entry,
+                std::string* error) {
+  JsonValue value;
+  if (!JsonParser::Parse(line, &value, error)) return false;
+  if (!value.is_object()) {
+    *error = "entry is not an object";
+    return false;
+  }
+  const JsonValue* keywords = value.Find("keywords");
+  if (keywords == nullptr || !keywords->is_array() ||
+      keywords->array.empty()) {
+    *error = "missing keywords";
+    return false;
+  }
+  for (const JsonValue& keyword : keywords->array) {
+    entry->keywords.push_back(keyword.string);
+  }
+  entry->k = static_cast<size_t>(value.Num("k"));
+  entry->semantics = value.Str("semantics") == "slca"
+                         ? xtopk::Semantics::kSlca
+                         : xtopk::Semantics::kElca;
+  entry->recorded_wall_us = value.Num("wall_us");
+  entry->recorded_fingerprint = value.Str("result_fingerprint");
+  if (const JsonValue* accounting = value.Find("accounting")) {
+    entry->recorded_pages =
+        static_cast<uint64_t>(accounting->Num("pages_read"));
+    entry->recorded_rows =
+        static_cast<uint64_t>(accounting->Num("rows_joined"));
+    entry->recorded_planner = accounting->Str("planner_mode");
+  }
+  return true;
+}
+
+int Replay(xtopk::Engine& engine, const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<ReplayEntry> entries;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    ReplayEntry entry;
+    std::string error;
+    if (!ParseEntry(line, &entry, &error)) {
+      std::fprintf(stderr, "error: %s line %zu: %s\n", path.c_str(), lineno,
+                   error.c_str());
+      return 1;
+    }
+    entries.push_back(std::move(entry));
+  }
+  if (entries.empty()) {
+    std::fprintf(stderr, "error: %s holds no captures\n", path.c_str());
+    return 1;
+  }
+
+  std::printf("%-34s %10s %10s %8s %9s %6s  %s\n", "query", "then_us",
+              "now_us", "delta%", "rows_join", "match", "planner");
+  size_t mismatches = 0;
+  double total_then = 0, total_now = 0;
+  for (const ReplayEntry& entry : entries) {
+    xtopk::BatchQuery query;
+    query.keywords = entry.keywords;
+    query.k = entry.k;
+    query.semantics = entry.semantics;
+    xtopk::ExplainResult result = engine.Explain(query);
+    std::string fingerprint = xtopk::ResultFingerprint(result.hits);
+    bool match = fingerprint == entry.recorded_fingerprint;
+    if (!match) ++mismatches;
+    total_then += entry.recorded_wall_us;
+    total_now += result.accounting.wall_us;
+
+    std::string name;
+    for (const std::string& keyword : entry.keywords) {
+      if (!name.empty()) name.push_back(' ');
+      name += keyword;
+    }
+    if (entry.k > 0) name += ":" + std::to_string(entry.k);
+    double delta_pct =
+        entry.recorded_wall_us > 0
+            ? 100.0 * (result.accounting.wall_us - entry.recorded_wall_us) /
+                  entry.recorded_wall_us
+            : 0.0;
+    std::string planner = result.accounting.planner_mode;
+    if (planner != entry.recorded_planner && !entry.recorded_planner.empty()) {
+      planner = entry.recorded_planner + "->" + planner;
+    }
+    std::printf("%-34s %10.1f %10.1f %+7.1f%% %9llu %6s  %s\n", name.c_str(),
+                entry.recorded_wall_us, result.accounting.wall_us, delta_pct,
+                static_cast<unsigned long long>(result.accounting.rows_joined),
+                match ? "ok" : "DIFF", planner.c_str());
+    if (!match) {
+      std::printf("  fingerprint then=%s now=%s (hits now=%zu)\n",
+                  entry.recorded_fingerprint.c_str(), fingerprint.c_str(),
+                  result.hits.size());
+    }
+  }
+  std::printf("replayed %zu queries: %zu result mismatches, "
+              "wall %0.1fus -> %0.1fus\n",
+              entries.size(), mismatches, total_then, total_now);
+  return mismatches == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool record = false;
+  std::string doc_path;
+  std::string capture_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--record") == 0) {
+      record = true;
+    } else if (std::strcmp(argv[i], "--doc") == 0 && i + 1 < argc) {
+      doc_path = argv[++i];
+    } else {
+      capture_path = argv[i];
+    }
+  }
+  if (capture_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: xtopk_replay [--record] [--doc file.xml] "
+                 "capture.jsonl\n");
+    return 2;
+  }
+
+  xtopk::XmlTree tree;
+  if (doc_path.empty()) {
+    tree = xtopk::ParseXmlStringOrDie(xtopk_tools::BuildDemoXml());
+  } else {
+    auto parsed = xtopk::ParseXmlFile(doc_path);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    tree = std::move(parsed).value();
+  }
+  xtopk::Engine engine(tree);
+
+  return record ? Record(engine, capture_path) : Replay(engine, capture_path);
+}

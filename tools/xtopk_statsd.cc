@@ -1,0 +1,103 @@
+// xtopk_statsd: live telemetry demo daemon. Builds the demo engine,
+// drives a steady background query load against it, and serves the
+// observability endpoints so dashboards (or curl) can watch the windowed
+// percentiles move:
+//
+//   ./xtopk_statsd                      # ephemeral port, runs until ^C
+//   ./xtopk_statsd --port 9100 --duration-s 30
+//
+//   curl localhost:<port>/metrics       # Prometheus text
+//   curl localhost:<port>/vars          # JSON incl. last-10s/60s windows
+//   curl localhost:<port>/slowlog       # recent slow-query captures
+//
+// Prints "listening on 127.0.0.1:<port>" on stdout once ready (the CI
+// smoke job scrapes that line for the port).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "demo_doc.h"
+#include "obs/event_log.h"
+#include "obs/exposition.h"
+#include "obs/slow_log.h"
+#include "xml/xml_parser.h"
+
+int main(int argc, char** argv) {
+  uint16_t port = 0;
+  int duration_s = -1;  // -1 = run until killed
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--duration-s") == 0 && i + 1 < argc) {
+      duration_s = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: xtopk_statsd [--port N] [--duration-s N]\n");
+      return 2;
+    }
+  }
+
+  xtopk::XmlTree tree =
+      xtopk::ParseXmlStringOrDie(xtopk_tools::BuildDemoXml());
+  xtopk::Engine engine(tree);
+  xtopk::obs::LogEvent("statsd", "demo engine built");
+
+  xtopk::obs::ExpositionServer::Options server_options;
+  server_options.port = port;
+  xtopk::obs::ExpositionServer server(server_options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("listening on 127.0.0.1:%u\n", server.port());
+  std::fflush(stdout);
+
+  // Background load: a rotating mix of cheap and heavier queries, so the
+  // windowed histograms have something to show.
+  std::atomic<bool> stop{false};
+  std::thread load([&engine, &stop] {
+    const std::vector<xtopk::BatchQuery> workload = [] {
+      std::vector<xtopk::BatchQuery> queries;
+      auto add = [&queries](std::vector<std::string> keywords, size_t k) {
+        xtopk::BatchQuery query;
+        query.keywords = std::move(keywords);
+        query.k = k;
+        queries.push_back(std::move(query));
+      };
+      add({"xml", "data"}, 0);
+      add({"keyword", "search"}, 10);
+      add({"top", "k"}, 5);
+      add({"storage", "ranking"}, 0);
+      add({"data", "management"}, 25);
+      return queries;
+    }();
+    size_t i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      engine.Search(workload[i % workload.size()].keywords);
+      if (workload[i % workload.size()].k > 0) {
+        engine.SearchTopK(workload[i % workload.size()].keywords,
+                          workload[i % workload.size()].k);
+      }
+      ++i;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  if (duration_s < 0) {
+    load.join();  // effectively forever
+  } else {
+    std::this_thread::sleep_for(std::chrono::seconds(duration_s));
+    stop.store(true, std::memory_order_release);
+    load.join();
+  }
+  server.Stop();
+  return 0;
+}
