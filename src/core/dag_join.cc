@@ -1,0 +1,152 @@
+#include "core/dag_join.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "obs/metrics.h"
+
+namespace xtopk {
+
+namespace {
+
+std::vector<LevelMatch> IntersectPlain(
+    const std::vector<const Column*>& columns,
+    const std::vector<JoinAlgo>* algos, const PlannerOptions& planner,
+    JoinOpStats* stats, const IntersectStepFn& on_step) {
+  if (algos != nullptr) {
+    return IntersectColumnsPlanned(columns, *algos, stats, on_step);
+  }
+  return IntersectColumns(columns, planner, stats, on_step);
+}
+
+}  // namespace
+
+std::vector<LevelMatch> IntersectListsAtLevel(
+    const std::vector<const JDeweyList*>& ordered_lists, uint32_t level,
+    const std::vector<JoinAlgo>* algos, const PlannerOptions& planner,
+    JoinOpStats* stats, const IntersectStepFn& on_step,
+    std::deque<Run>* arena) {
+  const size_t k = ordered_lists.size();
+  std::vector<const Column*> full(k);
+  for (size_t j = 0; j < k; ++j) full[j] = &ordered_lists[j]->column(level);
+
+  // Pick dedup columns where they exist; bail to the exact path when no
+  // list is deduplicated at this level, or the lists disagree on the
+  // catalog (never happens for lists of one source; cheap to guard).
+  const DagCatalog* catalog = nullptr;
+  std::vector<const Column*> join_cols(k);
+  bool used_dag = false, consistent = true;
+  for (size_t j = 0; j < k; ++j) {
+    const JDeweyList* list = ordered_lists[j];
+    join_cols[j] = full[j];
+    if (list->dag == nullptr) continue;
+    if (catalog == nullptr) {
+      catalog = list->dag->catalog.get();
+    } else if (catalog != list->dag->catalog.get()) {
+      consistent = false;
+    }
+    const Column* dedup = list->dag->JoinColumn(level, full[j]);
+    if (dedup != full[j]) {
+      join_cols[j] = dedup;
+      used_dag = true;
+    }
+  }
+  if (!used_dag || !consistent || catalog == nullptr) {
+    return IntersectPlain(full, algos, planner, stats, on_step);
+  }
+
+  std::vector<LevelMatch> matches =
+      IntersectPlain(join_cols, algos, planner, stats, on_step);
+  if (matches.empty()) return matches;
+
+  // Fan matched shared regions out to their instances. Matches arrive in
+  // ascending value order; representative intervals are disjoint, so one
+  // forward sweep partitions them into literal stretches and per-class
+  // representative slices.
+  struct Unit {
+    size_t begin = 0, end = 0;  // slice of `matches`
+    uint32_t cls = 0, depth = 0;
+    int32_t inst = -1;  // -1: literal (emit as-is)
+  };
+  const auto& reps = catalog->RepsAt(level);
+  std::vector<Unit> units;
+  size_t extra = 0;
+  {
+    size_t i = 0, r = 0;
+    while (i < matches.size()) {
+      uint32_t v = matches[i].value;
+      while (r < reps.size() && reps[r].hi < v) ++r;
+      if (r == reps.size() || v < reps[r].lo) {
+        size_t begin = i;
+        uint32_t stop = r < reps.size() ? reps[r].lo : UINT32_MAX;
+        while (i < matches.size() && matches[i].value < stop) ++i;
+        units.push_back(Unit{begin, i, 0, 0, -1});
+        continue;
+      }
+      // Representative slice of class reps[r].cls.
+      size_t begin = i;
+      while (i < matches.size() && matches[i].value <= reps[r].hi) ++i;
+      // Every term of a match inside a representative interval must carry
+      // this class's row deltas (identical subtrees share term sets). If
+      // one doesn't, the premise is broken — redo this level exactly.
+      for (size_t j = 0; j < k; ++j) {
+        const JDeweyList* list = ordered_lists[j];
+        if (list->dag == nullptr ||
+            list->dag->row_deltas.find(reps[r].cls) ==
+                list->dag->row_deltas.end()) {
+          XTOPK_COUNTER("core.dag.expand_fallbacks").Add(1);
+          return IntersectPlain(full, algos, planner, stats, on_step);
+        }
+      }
+      units.push_back(Unit{begin, i, reps[r].cls, reps[r].depth, -1});
+      const DagClassInfo& cls = catalog->classes[reps[r].cls];
+      for (size_t inst = 0; inst < cls.instances.size(); ++inst) {
+        int64_t vd = cls.instances[inst].value_delta[reps[r].depth];
+        units.push_back(Unit{begin, i, reps[r].cls, reps[r].depth,
+                             static_cast<int32_t>(inst)});
+        extra += i - begin;
+      }
+    }
+  }
+  if (extra == 0) return matches;  // no shared region actually matched
+  XTOPK_COUNTER("core.dag.levels_expanded").Add(1);
+  XTOPK_COUNTER("core.dag.matches_fanned_out").Add(extra);
+
+  std::vector<LevelMatch> out;
+  out.reserve(matches.size() + extra);
+  for (const Unit& u : units) {
+    if (u.inst < 0) {
+      for (size_t m = u.begin; m < u.end; ++m) out.push_back(matches[m]);
+      continue;
+    }
+    const DagClassInfo& cls = catalog->classes[u.cls];
+    int64_t vd = cls.instances[u.inst].value_delta[u.depth];
+    for (size_t m = u.begin; m < u.end; ++m) {
+      const LevelMatch& src = matches[m];
+      LevelMatch nm;
+      nm.value = static_cast<uint32_t>(int64_t(src.value) + vd);
+      nm.runs.reserve(k);
+      for (size_t j = 0; j < k; ++j) {
+        int64_t rd = ordered_lists[j]->dag->row_deltas.at(u.cls)[u.inst];
+        const Run& run = *src.runs[j];
+        arena->push_back(
+            Run{static_cast<uint32_t>(int64_t(run.value) + vd),
+                static_cast<uint32_t>(int64_t(run.first_row) + rd),
+                run.count});
+        nm.runs.push_back(&arena->back());
+      }
+      out.push_back(std::move(nm));
+    }
+  }
+  // Literal matches interleave in value space with translated instance
+  // values (unshared siblings can sit between shared copies), so unit
+  // order is not global order — sort the emitted matches by value, which
+  // is unique per level (Property 3.1) and equals the exact join order.
+  std::sort(out.begin(), out.end(),
+            [](const LevelMatch& a, const LevelMatch& b) {
+              return a.value < b.value;
+            });
+  return out;
+}
+
+}  // namespace xtopk

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <deque>
 
+#include "core/dag_join.h"
 #include "obs/accounting.h"
 #include "obs/metrics.h"
 
@@ -218,9 +220,11 @@ std::vector<SearchResult> JoinSearch::SearchWithTrace(
 
     // Left-deep pipeline over this level's columns in join order. The
     // merge/gallop/probe decision is re-made per step inside
-    // IntersectColumns (§III-C dynamic optimization).
-    std::vector<const Column*> columns(k);
-    for (size_t j = 0; j < k; ++j) columns[j] = &lists[order[j]]->column(level);
+    // IntersectColumns (§III-C dynamic optimization). Lists carrying DAG
+    // data join their dedup columns and fan shared matches out afterwards
+    // (bit-identical, see core/dag_join.h).
+    std::vector<const JDeweyList*> ordered(k);
+    for (size_t j = 0; j < k; ++j) ordered[j] = lists[order[j]];
     IntersectStepFn on_step;
     if (trace != nullptr || level_span.enabled()) {
       on_step = [&](size_t j, JoinAlgo algo, uint64_t input_runs,
@@ -231,15 +235,16 @@ std::vector<SearchResult> JoinSearch::SearchWithTrace(
         level_trace.steps.push_back(std::move(step));
       };
     }
+    std::deque<Run> dag_arena;  // backs translated runs for this level
     std::vector<LevelMatch> matches;
     if (plan != nullptr) {
       std::vector<JoinAlgo> algos(k - 1);
       for (size_t j = 1; j < k; ++j) algos[j - 1] = plan->steps[j].algos[level - 1];
-      matches =
-          IntersectColumnsPlanned(columns, algos, &stats_.join_ops, on_step);
+      matches = IntersectListsAtLevel(ordered, level, &algos, options_.planner,
+                                      &stats_.join_ops, on_step, &dag_arena);
     } else {
-      matches = IntersectColumns(columns, options_.planner, &stats_.join_ops,
-                                 on_step);
+      matches = IntersectListsAtLevel(ordered, level, nullptr, options_.planner,
+                                      &stats_.join_ops, on_step, &dag_arena);
     }
     if (level_span.enabled()) {
       // One child span per executed join step, carrying the planner's

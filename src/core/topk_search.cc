@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <deque>
 #include <queue>
 #include <unordered_map>
 
+#include "core/dag_join.h"
 #include "core/join_ops.h"
 #include "core/join_planner.h"
 #include "obs/accounting.h"
@@ -434,20 +436,25 @@ std::vector<SearchResult> TopKSearch::Search(
       ++stats_.columns_complete_join;
       // Left-deep intersection of the base columns: planned order and
       // algorithms when a plan exists, otherwise shortest-run-count first.
+      // DAG-carrying lists intersect their dedup columns and fan shared
+      // matches out (bit-identical, see core/dag_join.h).
       std::vector<size_t> order;
       JoinOpStats join_stats;
-      std::vector<const Column*> columns(k_sources);
+      std::vector<const JDeweyList*> ordered(k_sources);
+      std::deque<Run> dag_arena;  // backs translated runs for this level
       std::vector<LevelMatch> matches;
       if (plan != nullptr) {
         order = plan_order;
         for (size_t j = 0; j < k_sources; ++j) {
-          columns[j] = &lists[order[j]]->base->column(level);
+          ordered[j] = lists[order[j]]->base;
         }
         std::vector<JoinAlgo> algos(k_sources - 1);
         for (size_t j = 1; j < k_sources; ++j) {
           algos[j - 1] = plan->steps[j].algos[level - 1];
         }
-        matches = IntersectColumnsPlanned(columns, algos, &join_stats);
+        matches = IntersectListsAtLevel(ordered, level, &algos,
+                                        PlannerOptions{}, &join_stats, nullptr,
+                                        &dag_arena);
       } else {
         std::vector<size_t> sizes(k_sources);
         for (size_t i = 0; i < k_sources; ++i) {
@@ -455,9 +462,11 @@ std::vector<SearchResult> TopKSearch::Search(
         }
         order = PlanJoinOrder(sizes, keywords);
         for (size_t j = 0; j < k_sources; ++j) {
-          columns[j] = &lists[order[j]]->base->column(level);
+          ordered[j] = lists[order[j]]->base;
         }
-        matches = IntersectColumns(columns, PlannerOptions{}, &join_stats);
+        matches = IntersectListsAtLevel(ordered, level, nullptr,
+                                        PlannerOptions{}, &join_stats, nullptr,
+                                        &dag_arena);
       }
       for (const LevelMatch& match : matches) {
         // Per keyword: the best non-excluded occurrence in the run. A

@@ -1,0 +1,533 @@
+#include "index/dag.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+#include "index/jdewey_index.h"
+#include "util/varint.h"
+
+namespace xtopk {
+
+namespace {
+
+bool EnvDisabled(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && std::strcmp(value, "0") != 0;
+}
+
+/// Per-depth value intervals of one subtree instance.
+struct InstanceIntervals {
+  std::vector<uint32_t> lo, hi;
+};
+
+InstanceIntervals IntervalsOf(const XmlTree& tree, const JDeweyEncoding& enc,
+                              NodeId root, uint32_t base_level,
+                              uint32_t depth) {
+  InstanceIntervals iv;
+  iv.lo.assign(depth, UINT32_MAX);
+  iv.hi.assign(depth, 0);
+  for (NodeId id : SubtreeNodes(tree, root)) {
+    uint32_t d = tree.level(id) - base_level;
+    uint32_t v = enc.NumberOf(id);
+    iv.lo[d] = std::min(iv.lo[d], v);
+    iv.hi[d] = std::max(iv.hi[d], v);
+  }
+  return iv;
+}
+
+/// Runs of `column` with value in [lo, hi], as [begin, end) run indices.
+std::pair<size_t, size_t> SliceRuns(const Column& column, uint32_t lo,
+                                    uint32_t hi) {
+  size_t begin = column.LowerBoundValue(lo);
+  size_t end = hi == UINT32_MAX ? column.run_count()
+                                : column.LowerBoundValue(hi + 1);
+  return {begin, end};
+}
+
+}  // namespace
+
+bool DagDisabledByEnv() { return EnvDisabled("XTOPK_DISABLE_DAG"); }
+bool DictDisabledByEnv() { return EnvDisabled("XTOPK_DISABLE_DICT"); }
+
+void DagCatalog::BuildLevelIndex(uint32_t max_level) {
+  level_reps_.assign(max_level, {});
+  for (uint32_t c = 0; c < classes.size(); ++c) {
+    const DagClassInfo& cls = classes[c];
+    for (uint32_t d = 0; d < cls.depth; ++d) {
+      uint32_t level = cls.base_level + d;
+      if (level == 0 || level > max_level) continue;
+      level_reps_[level - 1].push_back(
+          RepInterval{cls.rep_lo[d], cls.rep_hi[d], c, d});
+    }
+  }
+  for (auto& reps : level_reps_) {
+    std::sort(reps.begin(), reps.end(),
+              [](const RepInterval& a, const RepInterval& b) {
+                return a.lo < b.lo;
+              });
+  }
+}
+
+const std::vector<DagCatalog::RepInterval>& DagCatalog::RepsAt(
+    uint32_t level) const {
+  static const std::vector<RepInterval> kEmpty;
+  if (level == 0 || level > level_reps_.size()) return kEmpty;
+  return level_reps_[level - 1];
+}
+
+const DagCatalog::RepInterval* DagCatalog::FindRep(uint32_t level,
+                                                   uint32_t value) const {
+  const auto& reps = RepsAt(level);
+  auto it = std::upper_bound(
+      reps.begin(), reps.end(), value,
+      [](uint32_t v, const RepInterval& r) { return v < r.lo; });
+  if (it == reps.begin()) return nullptr;
+  --it;
+  return value <= it->hi ? &*it : nullptr;
+}
+
+uint64_t DagCatalog::ResidentBytes() const {
+  uint64_t bytes = sizeof(*this);
+  for (const DagClassInfo& cls : classes) {
+    bytes += sizeof(cls) + (cls.rep_lo.size() + cls.rep_hi.size()) * 4;
+    for (const DagInstance& inst : cls.instances) {
+      bytes += sizeof(inst) + inst.value_delta.size() * 8;
+    }
+  }
+  for (const auto& reps : level_reps_) bytes += reps.size() * sizeof(RepInterval);
+  return bytes;
+}
+
+void DagCatalog::Serialize(std::string* out) const {
+  varint::PutU32(out, static_cast<uint32_t>(classes.size()));
+  for (const DagClassInfo& cls : classes) {
+    varint::PutU32(out, cls.base_level);
+    varint::PutU32(out, cls.depth);
+    for (uint32_t d = 0; d < cls.depth; ++d) {
+      varint::PutU32(out, cls.rep_lo[d]);
+      varint::PutU32(out, cls.rep_hi[d] - cls.rep_lo[d]);
+    }
+    varint::PutU32(out, static_cast<uint32_t>(cls.instances.size()));
+    // One column per depth, delta-encoded across instances: copies of a
+    // shared subtree sit at near-evenly spaced values, so consecutive
+    // instance deltas differ by a small, near-constant stride and the
+    // second-order form packs into 1-2 byte varints.
+    for (uint32_t d = 0; d < cls.depth; ++d) {
+      int64_t prev = 0;
+      for (const DagInstance& inst : cls.instances) {
+        varint::PutS64(out, inst.value_delta[d] - prev);
+        prev = inst.value_delta[d];
+      }
+    }
+  }
+}
+
+StatusOr<std::shared_ptr<const DagCatalog>> DagCatalog::Deserialize(
+    const std::string& data, size_t* pos, uint32_t max_level) {
+  auto catalog = std::make_shared<DagCatalog>();
+  uint32_t num_classes = 0;
+  Status s = varint::GetU32(data, pos, &num_classes);
+  if (!s.ok()) return s;
+  if (num_classes > (1u << 24)) {
+    return Status::Corruption("dag catalog: implausible class count");
+  }
+  catalog->classes.resize(num_classes);
+  for (DagClassInfo& cls : catalog->classes) {
+    s = varint::GetU32(data, pos, &cls.base_level);
+    if (s.ok()) s = varint::GetU32(data, pos, &cls.depth);
+    if (!s.ok()) return s;
+    if (cls.base_level == 0 || cls.depth == 0 || cls.depth > 1024 ||
+        cls.base_level + cls.depth - 1 > max_level) {
+      return Status::Corruption("dag catalog: class levels out of range");
+    }
+    cls.rep_lo.resize(cls.depth);
+    cls.rep_hi.resize(cls.depth);
+    for (uint32_t d = 0; d < cls.depth; ++d) {
+      uint32_t lo = 0, width = 0;
+      s = varint::GetU32(data, pos, &lo);
+      if (s.ok()) s = varint::GetU32(data, pos, &width);
+      if (!s.ok()) return s;
+      if (uint64_t(lo) + width > UINT32_MAX) {
+        return Status::Corruption("dag catalog: interval overflow");
+      }
+      cls.rep_lo[d] = lo;
+      cls.rep_hi[d] = lo + width;
+    }
+    uint32_t num_instances = 0;
+    s = varint::GetU32(data, pos, &num_instances);
+    if (!s.ok()) return s;
+    if (num_instances == 0 || num_instances > (1u << 24)) {
+      return Status::Corruption("dag catalog: implausible instance count");
+    }
+    cls.instances.resize(num_instances);
+    for (DagInstance& inst : cls.instances) inst.value_delta.resize(cls.depth);
+    for (uint32_t d = 0; d < cls.depth; ++d) {
+      int64_t prev = 0;
+      for (DagInstance& inst : cls.instances) {
+        int64_t step = 0;
+        s = varint::GetS64(data, pos, &step);
+        if (!s.ok()) return s;
+        // Accumulate with an explicit overflow guard: `step` is untrusted
+        // and signed-add overflow would be UB before any range check.
+        int64_t delta = 0;
+        if (__builtin_add_overflow(prev, step, &delta)) {
+          return Status::Corruption("dag catalog: instance delta overflow");
+        }
+        int64_t lo = int64_t(cls.rep_lo[d]) + delta;
+        int64_t hi = int64_t(cls.rep_hi[d]) + delta;
+        if (lo < 0 || hi > int64_t(UINT32_MAX)) {
+          return Status::Corruption("dag catalog: instance interval overflow");
+        }
+        inst.value_delta[d] = delta;
+        prev = delta;
+      }
+    }
+  }
+  catalog->BuildLevelIndex(max_level);
+  return std::shared_ptr<const DagCatalog>(std::move(catalog));
+}
+
+uint64_t DagListData::ResidentBytes() const {
+  uint64_t bytes = sizeof(*this) + has_dedup.size();
+  for (const Column& col : dedup) bytes += col.run_count() * sizeof(Run);
+  for (const auto& [cls, deltas] : row_deltas) {
+    (void)cls;
+    bytes += 16 + deltas.size() * 8;
+  }
+  return bytes;
+}
+
+Column ExpandDedupColumn(
+    const Column& dedup, const DagCatalog& catalog,
+    const std::unordered_map<uint32_t, std::vector<int64_t>>& row_deltas,
+    uint32_t level) {
+  // Literal (unshared) runs interleave arbitrarily in value space with the
+  // translated instance intervals — an unshared sibling can sit between two
+  // shared copies — so the expansion collects every output run individually
+  // and restores the exact global order by sorting on value: per-level
+  // values are unique (Property 3.1), which makes value order total and
+  // identical to the original column's row order.
+  std::vector<Run> out;
+  const auto& runs = dedup.runs();
+  const auto& reps = catalog.RepsAt(level);
+  size_t i = 0, r = 0;
+  while (i < runs.size()) {
+    // Advance to the rep interval that could contain this run.
+    while (r < reps.size() && reps[r].hi < runs[i].value) ++r;
+    if (r == reps.size() || runs[i].value < reps[r].lo) {
+      out.push_back(runs[i]);
+      ++i;
+      continue;
+    }
+    // Representative slice of class reps[r] at this level.
+    auto [begin, end] = SliceRuns(dedup, reps[r].lo, reps[r].hi);
+    assert(begin == i && end > begin);
+    const DagClassInfo& cls = catalog.classes[reps[r].cls];
+    // The representative's own runs stay in place.
+    for (size_t k = begin; k < end; ++k) out.push_back(runs[k]);
+    auto it = row_deltas.find(reps[r].cls);
+    // A term with runs in a representative interval always participates in
+    // the class (identical subtrees carry identical term sets); the guard
+    // only protects against inconsistent hand-built data.
+    if (it != row_deltas.end()) {
+      for (size_t j = 0; j < cls.instances.size(); ++j) {
+        int64_t vd = cls.instances[j].value_delta[reps[r].depth];
+        int64_t rd = it->second[j];
+        for (size_t k = begin; k < end; ++k) {
+          out.push_back(
+              Run{static_cast<uint32_t>(int64_t(runs[k].value) + vd),
+                  static_cast<uint32_t>(int64_t(runs[k].first_row) + rd),
+                  runs[k].count});
+        }
+      }
+    }
+    i = end;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Run& a, const Run& b) { return a.value < b.value; });
+  Column result;
+  result.ReserveRuns(out.size());
+  for (const Run& run : out) {
+    result.AppendRun(run.first_row, run.value, run.count);
+  }
+  return result;
+}
+
+StatusOr<Column> ExpandDedupColumnChecked(
+    const Column& dedup, const DagCatalog& catalog,
+    const std::unordered_map<uint32_t, std::vector<int64_t>>& row_deltas,
+    uint32_t level) {
+  std::vector<Run> out;
+  const auto& runs = dedup.runs();
+  const auto& reps = catalog.RepsAt(level);
+  size_t i = 0, r = 0;
+  while (i < runs.size()) {
+    while (r < reps.size() && reps[r].hi < runs[i].value) ++r;
+    if (r == reps.size() || runs[i].value < reps[r].lo) {
+      out.push_back(runs[i]);
+      ++i;
+      continue;
+    }
+    // Representative slice: every run from here with value <= hi belongs
+    // to it (the loop guarantees runs[i].value is inside [lo, hi]).
+    size_t begin = i;
+    while (i < runs.size() && runs[i].value <= reps[r].hi) ++i;
+    if (i == begin) {
+      return Status::Corruption("dag: empty representative slice");
+    }
+    if (reps[r].cls >= catalog.classes.size()) {
+      return Status::Corruption("dag: rep interval class out of range");
+    }
+    const DagClassInfo& cls = catalog.classes[reps[r].cls];
+    for (size_t k = begin; k < i; ++k) out.push_back(runs[k]);
+    auto it = row_deltas.find(reps[r].cls);
+    if (it != row_deltas.end()) {
+      if (it->second.size() != cls.instances.size()) {
+        return Status::Corruption("dag: row delta count mismatch");
+      }
+      for (size_t j = 0; j < cls.instances.size(); ++j) {
+        if (reps[r].depth >= cls.instances[j].value_delta.size()) {
+          return Status::Corruption("dag: value delta depth out of range");
+        }
+        int64_t vd = cls.instances[j].value_delta[reps[r].depth];
+        int64_t rd = it->second[j];
+        for (size_t k = begin; k < i; ++k) {
+          int64_t value = int64_t(runs[k].value) + vd;
+          int64_t row = int64_t(runs[k].first_row) + rd;
+          if (value < 0 || value > int64_t(UINT32_MAX) || row < 0 ||
+              row > int64_t(UINT32_MAX)) {
+            return Status::Corruption("dag: translated run out of range");
+          }
+          out.push_back(Run{static_cast<uint32_t>(value),
+                            static_cast<uint32_t>(row), runs[k].count});
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Run& a, const Run& b) { return a.value < b.value; });
+  Column result;
+  result.ReserveRuns(out.size());
+  for (const Run& run : out) {
+    if (!result.AppendRunChecked(run.first_row, run.value, run.count)) {
+      return Status::Corruption("dag: expanded column not monotonic");
+    }
+  }
+  return result;
+}
+
+DagBuildStats AttachDagData(const XmlTree& tree, const JDeweyEncoding& enc,
+                            const SubtreeDagResult& detected,
+                            uint32_t max_level,
+                            std::vector<JDeweyList>* lists) {
+  DagBuildStats stats;
+  if (detected.classes.empty()) return stats;
+
+  // Value-space geometry of every detected class.
+  struct ClassGeom {
+    const SubtreeClass* cls = nullptr;
+    InstanceIntervals rep;
+    std::vector<InstanceIntervals> instances;  // non-rep, document order
+    std::vector<std::vector<int64_t>> vdeltas;  // per instance per depth
+    bool valid = true;
+  };
+  std::vector<ClassGeom> geoms;
+  geoms.reserve(detected.classes.size());
+  for (const SubtreeClass& cls : detected.classes) {
+    ClassGeom g;
+    g.cls = &cls;
+    g.rep = IntervalsOf(tree, enc, cls.roots[0], cls.level, cls.depth);
+    for (size_t j = 1; j < cls.roots.size(); ++j) {
+      InstanceIntervals iv =
+          IntervalsOf(tree, enc, cls.roots[j], cls.level, cls.depth);
+      std::vector<int64_t> vd(cls.depth);
+      for (uint32_t d = 0; d < cls.depth && g.valid; ++d) {
+        // Identical local structure must yield identical interval widths;
+        // anything else means the translation premise fails — drop the
+        // class rather than risk an inexact share.
+        if (iv.hi[d] - iv.lo[d] != g.rep.hi[d] - g.rep.lo[d]) {
+          g.valid = false;
+          break;
+        }
+        vd[d] = int64_t(iv.lo[d]) - int64_t(g.rep.lo[d]);
+      }
+      g.instances.push_back(std::move(iv));
+      g.vdeltas.push_back(std::move(vd));
+    }
+    geoms.push_back(std::move(g));
+  }
+
+  // Verify the translation against every term's materialized columns.
+  // Participation of term t in class c is detected at the root level: the
+  // representative root's value appears in t's base-level column iff t
+  // occurs in the shared subtree.
+  const size_t num_terms = lists->size();
+  // participation[t] holds (geom index, per-instance row deltas).
+  std::vector<std::vector<std::pair<uint32_t, std::vector<int64_t>>>>
+      participation(num_terms);
+  for (size_t t = 0; t < num_terms; ++t) {
+    const JDeweyList& list = (*lists)[t];
+    for (uint32_t gi = 0; gi < geoms.size(); ++gi) {
+      ClassGeom& g = geoms[gi];
+      if (!g.valid) continue;
+      uint32_t base = g.cls->level;
+      if (base == 0 || base > list.max_length) continue;
+      const Column& base_col = list.column(base);
+      const Run* rep_run = base_col.FindValue(g.rep.lo[0]);
+      if (rep_run == nullptr) {
+        // Term absent from the representative: it must be absent from
+        // every instance too, or the subtrees were not truly identical.
+        for (const InstanceIntervals& iv : g.instances) {
+          if (base_col.FindValue(iv.lo[0]) != nullptr) {
+            g.valid = false;
+            break;
+          }
+        }
+        continue;
+      }
+      std::vector<int64_t> row_delta(g.instances.size());
+      bool ok = true;
+      for (size_t j = 0; j < g.instances.size() && ok; ++j) {
+        const Run* inst_run = base_col.FindValue(g.instances[j].lo[0]);
+        if (inst_run == nullptr || inst_run->count != rep_run->count) {
+          ok = false;
+          break;
+        }
+        row_delta[j] =
+            int64_t(inst_run->first_row) - int64_t(rep_run->first_row);
+      }
+      // Deeper levels: every instance slice must equal the representative
+      // slice under (value + vdelta, row + row_delta).
+      for (uint32_t d = 0; d < g.cls->depth && ok; ++d) {
+        uint32_t level = base + d;
+        if (level > list.max_length) break;
+        const Column& col = list.column(level);
+        auto [rb, re] = SliceRuns(col, g.rep.lo[d], g.rep.hi[d]);
+        for (size_t j = 0; j < g.instances.size() && ok; ++j) {
+          auto [ib, ie] =
+              SliceRuns(col, g.instances[j].lo[d], g.instances[j].hi[d]);
+          if (ie - ib != re - rb) {
+            ok = false;
+            break;
+          }
+          for (size_t k = 0; k < re - rb; ++k) {
+            const Run& rr = col.runs()[rb + k];
+            const Run& ir = col.runs()[ib + k];
+            if (int64_t(ir.value) !=
+                    int64_t(rr.value) + g.vdeltas[j][d] ||
+                int64_t(ir.first_row) !=
+                    int64_t(rr.first_row) + row_delta[j] ||
+                ir.count != rr.count) {
+              ok = false;
+              break;
+            }
+          }
+        }
+      }
+      if (!ok) {
+        g.valid = false;
+        continue;
+      }
+      participation[t].emplace_back(gi, std::move(row_delta));
+    }
+  }
+
+  // Compact the surviving classes into the catalog.
+  std::vector<uint32_t> remap(geoms.size(), UINT32_MAX);
+  auto catalog = std::make_shared<DagCatalog>();
+  for (uint32_t gi = 0; gi < geoms.size(); ++gi) {
+    const ClassGeom& g = geoms[gi];
+    if (!g.valid) {
+      ++stats.classes_rejected;
+      continue;
+    }
+    remap[gi] = static_cast<uint32_t>(catalog->classes.size());
+    DagClassInfo info;
+    info.base_level = g.cls->level;
+    info.depth = g.cls->depth;
+    info.rep_lo = g.rep.lo;
+    info.rep_hi = g.rep.hi;
+    for (const auto& vd : g.vdeltas) {
+      info.instances.push_back(DagInstance{vd});
+    }
+    catalog->classes.push_back(std::move(info));
+    ++stats.classes;
+    stats.shared_instances += g.instances.size();
+  }
+  if (catalog->classes.empty()) return stats;
+  catalog->BuildLevelIndex(max_level);
+  std::shared_ptr<const DagCatalog> shared_catalog = catalog;
+
+  // Build the dedup columns of every participating term, then round-trip
+  // check each one against the full column it replaces. The check can only
+  // fail on a bug; if it ever does, the term keeps its exact columns and
+  // no DAG data (never a wrong share).
+  for (size_t t = 0; t < num_terms; ++t) {
+    if (participation[t].empty()) continue;
+    auto data = std::make_shared<DagListData>();
+    data->catalog = shared_catalog;
+    for (auto& [gi, row_delta] : participation[t]) {
+      if (remap[gi] == UINT32_MAX) continue;
+      data->row_deltas.emplace(remap[gi], std::move(row_delta));
+    }
+    if (data->row_deltas.empty()) continue;
+    JDeweyList& list = (*lists)[t];
+    data->dedup.resize(list.columns.size());
+    data->has_dedup.assign(list.columns.size(), 0);
+    bool any = false, ok = true;
+    for (uint32_t level = 1; level <= list.max_length && ok; ++level) {
+      // Removal intervals: every instance interval of every class this
+      // term participates in that touches this level.
+      std::vector<std::pair<uint32_t, uint32_t>> removals;
+      for (const auto& [ci, deltas] : data->row_deltas) {
+        (void)deltas;
+        const DagClassInfo& cls = shared_catalog->classes[ci];
+        if (level < cls.base_level || level >= cls.base_level + cls.depth) {
+          continue;
+        }
+        uint32_t d = level - cls.base_level;
+        for (const DagInstance& inst : cls.instances) {
+          removals.emplace_back(
+              static_cast<uint32_t>(cls.rep_lo[d] + inst.value_delta[d]),
+              static_cast<uint32_t>(cls.rep_hi[d] + inst.value_delta[d]));
+        }
+      }
+      if (removals.empty()) continue;
+      std::sort(removals.begin(), removals.end());
+      const Column& full = list.column(level);
+      Column dedup;
+      size_t ri = 0;
+      uint64_t removed = 0;
+      for (const Run& run : full.runs()) {
+        while (ri < removals.size() && removals[ri].second < run.value) ++ri;
+        if (ri < removals.size() && run.value >= removals[ri].first) {
+          ++removed;
+          continue;
+        }
+        dedup.AppendRun(run.first_row, run.value, run.count);
+      }
+      if (removed == 0) continue;
+      // Exactness gate: expansion must reproduce the full column.
+      Column rebuilt = ExpandDedupColumn(dedup, *shared_catalog,
+                                         data->row_deltas, level);
+      if (rebuilt.runs() != full.runs()) {
+        assert(false && "dag dedup round-trip mismatch");
+        ok = false;
+        break;
+      }
+      stats.runs_removed += removed;
+      data->dedup[level - 1] = std::move(dedup);
+      data->has_dedup[level - 1] = 1;
+      any = true;
+    }
+    if (ok && any) {
+      list.dag = std::move(data);
+      ++stats.terms_affected;
+    }
+  }
+  return stats;
+}
+
+}  // namespace xtopk

@@ -1,0 +1,157 @@
+#ifndef XTOPK_INDEX_DAG_H_
+#define XTOPK_INDEX_DAG_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/column.h"
+#include "util/status.h"
+#include "xml/jdewey.h"
+#include "xml/subtree_dag.h"
+#include "xml/xml_tree.h"
+
+namespace xtopk {
+
+struct JDeweyList;
+
+/// One shared (non-representative) copy of a DAG class's subtree, described
+/// entirely in JDewey value space: at depth d (level = base_level + d) the
+/// instance's values are exactly the representative's values shifted by
+/// value_delta[d]. This is the translation Property 3.1 guarantees for
+/// identical same-level subtrees (level-order assignment walks both copies
+/// with the same local structure) — and which the builder VERIFIES against
+/// the materialized columns before it dares share anything (DESIGN.md §15).
+struct DagInstance {
+  std::vector<int64_t> value_delta;  ///< per depth, instance − representative
+};
+
+/// One verified class of shared subtrees in value space.
+struct DagClassInfo {
+  uint32_t base_level = 0;  ///< level of the subtree roots (1-based)
+  uint32_t depth = 0;       ///< levels spanned (>= 1)
+  /// Representative value interval per depth d: the values of the
+  /// representative subtree's nodes at level base_level + d. Subtree slots
+  /// are contiguous per level, so the interval contains no foreign values.
+  std::vector<uint32_t> rep_lo, rep_hi;
+  std::vector<DagInstance> instances;  ///< non-representative copies
+};
+
+/// Index-wide catalog of verified shared-subtree classes, plus a per-level
+/// interval index for "which class does this matched value expand through".
+/// Shared by every list of the index (and by disk sessions reading the v3
+/// sidecar); immutable once built.
+class DagCatalog {
+ public:
+  struct RepInterval {
+    uint32_t lo = 0, hi = 0;
+    uint32_t cls = 0;    ///< index into classes
+    uint32_t depth = 0;  ///< d such that level == base_level + d
+  };
+
+  std::vector<DagClassInfo> classes;
+
+  /// Rebuilds the per-level interval index from `classes`. Must be called
+  /// after classes changes (Build / Deserialize do it).
+  void BuildLevelIndex(uint32_t max_level);
+
+  /// Sorted representative intervals of `level` (1-based); empty past the
+  /// indexed range.
+  const std::vector<RepInterval>& RepsAt(uint32_t level) const;
+
+  /// The representative interval containing `value` at `level`, or nullptr.
+  const RepInterval* FindRep(uint32_t level, uint32_t value) const;
+
+  bool empty() const { return classes.empty(); }
+
+  uint64_t ResidentBytes() const;
+
+  void Serialize(std::string* out) const;
+  static StatusOr<std::shared_ptr<const DagCatalog>> Deserialize(
+      const std::string& data, size_t* pos, uint32_t max_level);
+
+ private:
+  std::vector<std::vector<RepInterval>> level_reps_;
+};
+
+/// Per-term DAG companion data, attached to a JDeweyList. `dedup[l-1]`
+/// (when has_dedup[l-1]) is the list's level-l column with every run that
+/// lies inside a shared instance's value interval removed; the removed runs
+/// are recoverable exactly — value-shifted by the class's per-depth delta
+/// and row-shifted by this term's per-instance row delta.
+struct DagListData {
+  std::shared_ptr<const DagCatalog> catalog;
+  std::vector<Column> dedup;    ///< aligned with JDeweyList::columns
+  std::vector<char> has_dedup;  ///< aligned; 0 = level not deduplicated
+  /// class index -> per-instance row delta of this term (instance rows =
+  /// representative rows + delta; one constant per instance because rows
+  /// are document-ordered and subtrees are contiguous).
+  std::unordered_map<uint32_t, std::vector<int64_t>> row_deltas;
+
+  /// Column to intersect at `level`: the dedup column when one exists,
+  /// otherwise `full`.
+  const Column* JoinColumn(uint32_t level, const Column* full) const {
+    size_t i = level - 1;
+    return (i < has_dedup.size() && has_dedup[i]) ? &dedup[i] : full;
+  }
+
+  uint64_t ResidentBytes() const;
+};
+
+/// Build-time summary (metrics / benches).
+struct DagBuildStats {
+  uint64_t classes = 0;
+  uint64_t shared_instances = 0;  ///< non-representative copies
+  uint64_t runs_removed = 0;      ///< runs dropped across all dedup columns
+  uint64_t terms_affected = 0;
+  uint64_t classes_rejected = 0;  ///< detected but failed verification
+};
+
+/// Verifies `detected` against the materialized lists and attaches DAG data
+/// to every affected list: for each class, every term's runs inside each
+/// instance interval must be the representative's runs under a constant
+/// per-depth value shift and per-instance row shift — classes failing any
+/// check for any term are dropped whole. After verification, dedup columns
+/// are built and each one is round-trip checked (ExpandDedupColumn ==
+/// original) so the shared form can never silently diverge from the exact
+/// one. `lists` is term-id aligned; `terms` only labels error paths.
+DagBuildStats AttachDagData(const XmlTree& tree, const JDeweyEncoding& enc,
+                            const SubtreeDagResult& detected,
+                            uint32_t max_level,
+                            std::vector<JDeweyList>* lists);
+
+/// Exact inverse of the dedup removal: re-inserts, in global value order,
+/// one translated copy of the representative's runs per instance of every
+/// class this term participates in. Used by disk-format v3 reads to
+/// reconstruct bit-identical full columns, and by the build-time round-trip
+/// check.
+Column ExpandDedupColumn(
+    const Column& dedup, const DagCatalog& catalog,
+    const std::unordered_map<uint32_t, std::vector<int64_t>>& row_deltas,
+    uint32_t level);
+
+/// ExpandDedupColumn for untrusted (deserialized) inputs: instead of
+/// assuming the build-time invariants — dedup runs align with the
+/// catalog's representative intervals, per-class delta vectors are
+/// consistently sized, translated runs stay monotonic — it re-validates
+/// them and returns a typed Corruption status on any violation. The disk
+/// reader reconstructs columns through this so a damaged DAG sidecar can
+/// never crash, hang, or silently produce a wrong column.
+StatusOr<Column> ExpandDedupColumnChecked(
+    const Column& dedup, const DagCatalog& catalog,
+    const std::unordered_map<uint32_t, std::vector<int64_t>>& row_deltas,
+    uint32_t level);
+
+/// True when the XTOPK_DISABLE_DAG environment variable disables subtree
+/// sharing (any value but "0").
+bool DagDisabledByEnv();
+
+/// True when the XTOPK_DISABLE_DICT environment variable disables
+/// dictionary encoding (any value but "0").
+bool DictDisabledByEnv();
+
+}  // namespace xtopk
+
+#endif  // XTOPK_INDEX_DAG_H_

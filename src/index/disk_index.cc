@@ -24,6 +24,14 @@ constexpr char kMagicV1[8] = {'X', 'T', 'K', 'D', 'I', 'S', 'K', '1'};
 /// Checksummed layout: per-page CRC32C table + self-checksummed footer.
 constexpr char kMagicV2[8] = {'X', 'T', 'K', 'D', 'I', 'S', 'K', '2'};
 constexpr uint32_t kFormatVersionV2 = 2;
+/// v2 plus the structure-aware compression sidecar (same magic — the
+/// version field after it is what distinguishes the two).
+constexpr uint32_t kFormatVersionV3 = 3;
+
+/// v3 sidecar flag bits.
+constexpr uint8_t kSidecarDictTerms = 1u << 0;
+constexpr uint8_t kSidecarDag = 1u << 1;
+constexpr uint8_t kSidecarDictRows = 1u << 2;
 
 /// Appends byte streams to a PageFile, handing out extents. Blobs are
 /// packed back to back and may span pages. Each flushed page's CRC32C
@@ -96,13 +104,14 @@ Status GetExtent(const std::string& data, size_t* pos, BlobExtent* extent) {
   return s;
 }
 
-/// Parsed segment footer, either format version.
+/// Parsed segment footer, any format version.
 struct FooterInfo {
   uint32_t version = 1;
   BlobExtent dir_extent;
-  BlobExtent table_extent;       // v2 only
-  uint32_t data_page_count = 0;  // v2 only
-  uint32_t table_crc = 0;        // v2 only
+  BlobExtent table_extent;       // v2+
+  BlobExtent sidecar_extent;     // v3 only (compression sidecar)
+  uint32_t data_page_count = 0;  // v2+
+  uint32_t table_crc = 0;        // v2+
 };
 
 /// Read failures worth retrying: transient I/O errors, and corruption —
@@ -137,12 +146,15 @@ Status ParseFooter(const std::string& footer, FooterInfo* info) {
   uint32_t version = 0;
   Status s = varint::GetU32(footer, &pos, &version);
   if (!s.ok()) return s;
-  if (version != kFormatVersionV2) {
+  if (version != kFormatVersionV2 && version != kFormatVersionV3) {
     return Status::Corruption("disk index: unsupported format version");
   }
   info->version = version;
   s = GetExtent(footer, &pos, &info->dir_extent);
   if (s.ok()) s = GetExtent(footer, &pos, &info->table_extent);
+  if (s.ok() && version >= kFormatVersionV3) {
+    s = GetExtent(footer, &pos, &info->sidecar_extent);
+  }
   if (s.ok()) s = varint::GetU32(footer, &pos, &info->data_page_count);
   if (s.ok()) s = ser::GetFixed32(footer, &pos, &info->table_crc);
   if (!s.ok()) return s;
@@ -172,6 +184,26 @@ DiskIoStats RegistryIoCounters() {
   return s;
 }
 
+/// Serialized-size accounting of one DiskIndexWriter::Write call,
+/// published as storage.disk_write.bytes.* gauges so the Table-1 bench
+/// can break a segment into components (tree / postings / dictionaries)
+/// without re-parsing the file. Gauges, not counters: each Write
+/// overwrites the previous call's figures.
+struct WriteAccounting {
+  uint64_t lengths = 0, scores = 0, columns = 0, tree = 0, directory = 0,
+           sidecar = 0;
+  void Publish() const {
+    XTOPK_GAUGE("storage.disk_write.bytes.postings")
+        .Set(static_cast<int64_t>(lengths + scores + columns));
+    XTOPK_GAUGE("storage.disk_write.bytes.tree")
+        .Set(static_cast<int64_t>(tree));
+    XTOPK_GAUGE("storage.disk_write.bytes.directory")
+        .Set(static_cast<int64_t>(directory));
+    XTOPK_GAUGE("storage.disk_write.bytes.sidecar")
+        .Set(static_cast<int64_t>(sidecar));
+  }
+};
+
 /// Saturating delta: a registry ResetAll between baseline and read would
 /// otherwise wrap; report the post-reset absolute value instead.
 uint64_t CounterDelta(uint64_t now, uint64_t baseline) {
@@ -193,6 +225,7 @@ Status DiskIndexWriter::Write(const JDeweyIndex& index, bool include_scores,
   varint::PutU32(&directory, index.max_level());
   varint::PutU32(&directory, static_cast<uint32_t>(index.terms().size()));
 
+  WriteAccounting acc;
   for (size_t t = 0; t < index.terms().size(); ++t) {
     const JDeweyList& list = index.lists()[t];
     ser::PutLengthPrefixed(&directory, index.terms()[t]);
@@ -201,11 +234,13 @@ Status DiskIndexWriter::Write(const JDeweyIndex& index, bool include_scores,
 
     std::string lengths_blob;
     for (uint16_t len : list.lengths) varint::PutU32(&lengths_blob, len);
+    acc.lengths += lengths_blob.size();
     PutExtent(&directory, writer.Append(lengths_blob));
 
     if (include_scores) {
       std::string scores_blob;
       for (float score : list.scores) ser::PutFloat(&scores_blob, score);
+      acc.scores += scores_blob.size();
       PutExtent(&directory, writer.Append(scores_blob));
     } else {
       PutExtent(&directory, BlobExtent{});
@@ -214,6 +249,7 @@ Status DiskIndexWriter::Write(const JDeweyIndex& index, bool include_scores,
     for (const Column& column : list.columns) {
       std::string column_blob;
       EncodeColumn(column, codec, &column_blob);
+      acc.columns += column_blob.size();
       PutExtent(&directory, writer.Append(column_blob));
     }
     if (!writer.status().ok()) return writer.status();
@@ -236,6 +272,9 @@ Status DiskIndexWriter::Write(const JDeweyIndex& index, bool include_scores,
   }
   BlobExtent nodes_extent = writer.Append(nodes_blob);
   PutExtent(&directory, nodes_extent);
+  acc.tree = nodes_blob.size();
+  acc.directory = directory.size();
+  acc.Publish();
 
   BlobExtent dir_extent = writer.Append(directory);
   s = writer.Finish();
@@ -290,6 +329,232 @@ Status DiskIndexWriter::Write(const JDeweyIndex& index, bool include_scores,
   // advisory either way, so its write failure does not fail Write.
   if (index.has_stats()) {
     ManifestFromSegment(index).Save(path + ".manifest").ok();
+  }
+  return Status::Ok();
+}
+
+Status DiskIndexWriter::Write(const JDeweyIndex& index, const std::string& path,
+                              const Options& options) {
+  if (!options.compressed()) {
+    // No compression knob set: byte-identical legacy output.
+    return Write(index, options.include_scores, path, options.codec,
+                 options.write_checksums);
+  }
+
+  PageFile file;
+  Status s = file.Open(path, /*create=*/true);
+  if (!s.ok()) return s;
+  BlobWriter writer(&file);
+
+  const size_t term_count = index.terms().size();
+  // File term order: sorted by term when the names move into the
+  // dictionary (file term id == dictionary code), build order otherwise.
+  std::vector<uint32_t> order(term_count);
+  for (uint32_t t = 0; t < term_count; ++t) order[t] = t;
+  if (options.dict_terms) {
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return index.terms()[a] < index.terms()[b];
+    });
+  }
+
+  // The catalog is index-wide: every DAG-carrying list shares one.
+  std::shared_ptr<const DagCatalog> catalog;
+  if (options.dag) {
+    for (const JDeweyList& list : index.lists()) {
+      if (list.dag != nullptr && list.dag->catalog != nullptr &&
+          !list.dag->catalog->empty()) {
+        catalog = list.dag->catalog;
+        break;
+      }
+    }
+  }
+  const bool write_dag = catalog != nullptr;
+
+  std::string directory;
+  directory.push_back(options.include_scores ? 1 : 0);
+  varint::PutU32(&directory, index.max_level());
+  varint::PutU32(&directory, static_cast<uint32_t>(term_count));
+
+  // Per-term DAG metadata collected as the terms stream out, keyed by
+  // file term id: (id, has_dedup flags, row deltas).
+  std::string dag_terms_blob;
+  uint32_t dag_term_count = 0;
+
+  WriteAccounting acc;
+  for (uint32_t ft = 0; ft < term_count; ++ft) {
+    const uint32_t t = order[ft];
+    const JDeweyList& list = index.lists()[t];
+    if (!options.dict_terms) {
+      ser::PutLengthPrefixed(&directory, index.terms()[t]);
+    }
+    varint::PutU32(&directory, list.num_rows());
+    varint::PutU32(&directory, list.max_length);
+
+    std::string lengths_blob;
+    if (options.dict_rows) {
+      std::vector<uint32_t> rows(list.lengths.begin(), list.lengths.end());
+      EncodeDictRows(rows, &lengths_blob);
+    } else {
+      for (uint16_t len : list.lengths) varint::PutU32(&lengths_blob, len);
+    }
+    acc.lengths += lengths_blob.size();
+    PutExtent(&directory, writer.Append(lengths_blob));
+
+    if (options.include_scores) {
+      std::string scores_blob;
+      if (options.dict_rows) {
+        // Scores travel as their float bit patterns: bit-exact, and the
+        // few distinct tf·idf values repetitive corpora produce pack
+        // into a handful of dictionary codes.
+        std::vector<uint32_t> bits(list.scores.size());
+        for (size_t r = 0; r < list.scores.size(); ++r) {
+          std::memcpy(&bits[r], &list.scores[r], sizeof(uint32_t));
+        }
+        EncodeDictRows(bits, &scores_blob);
+      } else {
+        for (float score : list.scores) ser::PutFloat(&scores_blob, score);
+      }
+      acc.scores += scores_blob.size();
+      PutExtent(&directory, writer.Append(scores_blob));
+    } else {
+      PutExtent(&directory, BlobExtent{});
+    }
+
+    const DagListData* dag =
+        (write_dag && list.dag != nullptr) ? list.dag.get() : nullptr;
+    bool any_dedup = false;
+    for (uint32_t l = 0; l < list.max_length; ++l) {
+      const bool dedup_level =
+          dag != nullptr && l < dag->has_dedup.size() && dag->has_dedup[l];
+      any_dedup |= dedup_level;
+      std::string column_blob;
+      // Deduplicated levels must be self-contained on disk (their row ids
+      // are not derivable from the lengths stream), hence kDict.
+      EncodeColumn(dedup_level ? dag->dedup[l] : list.columns[l],
+                   dedup_level ? ColumnCodec::kDict : options.codec,
+                   &column_blob);
+      acc.columns += column_blob.size();
+      PutExtent(&directory, writer.Append(column_blob));
+    }
+    if (!writer.status().ok()) return writer.status();
+
+    if (dag != nullptr && (any_dedup || !dag->row_deltas.empty())) {
+      ++dag_term_count;
+      varint::PutU32(&dag_terms_blob, ft);
+      varint::PutU32(&dag_terms_blob, list.max_length);
+      for (uint32_t l = 0; l < list.max_length; ++l) {
+        dag_terms_blob.push_back(
+            (l < dag->has_dedup.size() && dag->has_dedup[l]) ? 1 : 0);
+      }
+      std::vector<uint32_t> classes;
+      classes.reserve(dag->row_deltas.size());
+      for (const auto& [cls, deltas] : dag->row_deltas) classes.push_back(cls);
+      std::sort(classes.begin(), classes.end());  // deterministic bytes
+      varint::PutU32(&dag_terms_blob, static_cast<uint32_t>(classes.size()));
+      for (uint32_t cls : classes) {
+        const std::vector<int64_t>& deltas = dag->row_deltas.at(cls);
+        varint::PutU32(&dag_terms_blob, cls);
+        varint::PutU32(&dag_terms_blob, static_cast<uint32_t>(deltas.size()));
+        // Delta-encoded across instances (like the catalog's value
+        // deltas): each copy contributes the same number of rows, so the
+        // stride is near-constant and second-order deltas stay tiny.
+        int64_t prev = 0;
+        for (int64_t d : deltas) {
+          varint::PutS64(&dag_terms_blob, d - prev);
+          prev = d;
+        }
+      }
+    }
+  }
+
+  // Node mapping, delta-encoded per level (same shape as v2).
+  const auto& level_nodes = IndexIoAccess::LevelNodes(index);
+  std::string nodes_blob;
+  varint::PutU32(&nodes_blob, static_cast<uint32_t>(level_nodes.size()));
+  for (const auto& level : level_nodes) {
+    varint::PutU32(&nodes_blob, static_cast<uint32_t>(level.size()));
+    uint32_t prev_value = 0;
+    int64_t prev_node = 0;
+    for (const auto& [value, node] : level) {
+      varint::PutU32(&nodes_blob, value - prev_value);
+      varint::PutS64(&nodes_blob, static_cast<int64_t>(node) - prev_node);
+      prev_value = value;
+      prev_node = static_cast<int64_t>(node);
+    }
+  }
+  BlobExtent nodes_extent = writer.Append(nodes_blob);
+  PutExtent(&directory, nodes_extent);
+
+  // Compression sidecar: flags, term dictionary, DAG catalog + per-term
+  // expansion metadata. Written through BlobWriter so the per-page CRCs
+  // cover it like any data blob.
+  std::string sidecar;
+  uint8_t flags = 0;
+  if (options.dict_terms) flags |= kSidecarDictTerms;
+  if (write_dag) flags |= kSidecarDag;
+  if (options.dict_rows) flags |= kSidecarDictRows;
+  sidecar.push_back(static_cast<char>(flags));
+  if (options.dict_terms) {
+    std::vector<std::string> sorted_terms;
+    sorted_terms.reserve(term_count);
+    for (uint32_t t : order) sorted_terms.push_back(index.terms()[t]);
+    auto dict = FrontCodedDict::Build(sorted_terms);
+    if (!dict.ok()) return dict.status();
+    dict->Serialize(&sidecar);
+  }
+  if (write_dag) {
+    catalog->Serialize(&sidecar);
+    varint::PutU32(&sidecar, dag_term_count);
+    sidecar.append(dag_terms_blob);
+  }
+  BlobExtent sidecar_extent = writer.Append(sidecar);
+  acc.tree = nodes_blob.size();
+  acc.directory = directory.size();
+  acc.sidecar = sidecar.size();
+  acc.Publish();
+
+  BlobExtent dir_extent = writer.Append(directory);
+  s = writer.Finish();
+  if (!s.ok()) return s;
+
+  // v3 is always checksummed — the sidecar redefines how columns decode,
+  // so it never ships without page CRCs.
+  const std::vector<uint32_t>& crcs = writer.page_crcs();
+  std::string table;
+  table.reserve(crcs.size() * 4);
+  for (uint32_t crc : crcs) ser::PutFixed32(&table, crc);
+  BlobExtent table_extent;
+  table_extent.start_page = file.page_count();
+  table_extent.start_offset = 0;
+  table_extent.length = table.size();
+  for (size_t off = 0; off < table.size(); off += PageFile::kPageSize) {
+    auto page = file.AppendPage(
+        table.substr(off, std::min(PageFile::kPageSize, table.size() - off)));
+    if (!page.ok()) return page.status();
+  }
+  if (table.empty()) table_extent.start_page = 0;
+
+  std::string footer;
+  footer.assign(kMagicV2, sizeof(kMagicV2));
+  varint::PutU32(&footer, kFormatVersionV3);
+  PutExtent(&footer, dir_extent);
+  PutExtent(&footer, table_extent);
+  PutExtent(&footer, sidecar_extent);
+  varint::PutU32(&footer, static_cast<uint32_t>(crcs.size()));
+  ser::PutFixed32(&footer, crc32c::Compute(table));
+  ser::PutFixed32(&footer, crc32c::Compute(footer));
+  auto footer_page = file.AppendPage(footer);
+  if (!footer_page.ok()) return footer_page.status();
+  s = file.Sync();
+  if (!s.ok()) return s;
+  s = file.Close();
+  if (!s.ok()) return s;
+
+  if (index.has_stats()) {
+    // Compressed segments get the dictionary-encoded (v3) manifest; Load
+    // reads every version, so mixing manifest versions across a
+    // segmented index is fine.
+    ManifestFromSegment(index).SaveV3(path + ".manifest").ok();
   }
   return Status::Ok();
 }
@@ -374,6 +639,33 @@ StatusOr<std::shared_ptr<DiskIndexEnv>> DiskIndexEnv::Open(
     XTOPK_COUNTER("storage.checksum.legacy_segments").Add(1);
   }
 
+  // v3 compression sidecar, part 1: the flags byte and term dictionary
+  // must be parsed before the directory (they decide whether directory
+  // entries carry inline names); the DAG section needs the directory's
+  // max_level and term count, so its parse resumes below.
+  std::string sidecar;
+  size_t sidecar_pos = 0;
+  bool dict_terms = false, has_dag = false;
+  if (footer_info.version >= kFormatVersionV3) {
+    s = env->ReadBlob(footer_info.sidecar_extent, &sidecar);
+    if (!s.ok()) return s;
+    if (sidecar.empty()) {
+      return Status::Corruption("disk index: empty compression sidecar");
+    }
+    uint8_t flags = static_cast<uint8_t>(sidecar[sidecar_pos++]);
+    if ((flags & ~(kSidecarDictTerms | kSidecarDag | kSidecarDictRows)) != 0) {
+      return Status::Corruption("disk index: unknown sidecar flags");
+    }
+    dict_terms = (flags & kSidecarDictTerms) != 0;
+    has_dag = (flags & kSidecarDag) != 0;
+    env->dict_rows_ = (flags & kSidecarDictRows) != 0;
+    if (dict_terms) {
+      auto dict = FrontCodedDict::Deserialize(sidecar, &sidecar_pos);
+      if (!dict.ok()) return dict.status();
+      env->term_dict_ = std::move(*dict);
+    }
+  }
+
   std::string directory;
   s = env->ReadBlob(footer_info.dir_extent, &directory);
   if (!s.ok()) return s;
@@ -386,11 +678,16 @@ StatusOr<std::shared_ptr<DiskIndexEnv>> DiskIndexEnv::Open(
   if (s.ok()) s = varint::GetU32(directory, &pos, &term_count);
   if (!s.ok()) return s;
   *IndexIoAccess::MaxLevel(&env->node_map_) = max_level;
+  if (dict_terms && env->term_dict_.size() != term_count) {
+    return Status::Corruption("disk index: term dictionary size mismatch");
+  }
 
   for (uint32_t t = 0; t < term_count; ++t) {
     std::string term;
-    s = ser::GetLengthPrefixed(directory, &pos, &term);
-    if (!s.ok()) return s;
+    if (!dict_terms) {
+      s = ser::GetLengthPrefixed(directory, &pos, &term);
+      if (!s.ok()) return s;
+    }
     TermInfo info;
     info.term_id = t;
     s = varint::GetU32(directory, &pos, &info.rows);
@@ -403,7 +700,97 @@ StatusOr<std::shared_ptr<DiskIndexEnv>> DiskIndexEnv::Open(
       s = GetExtent(directory, &pos, &info.columns[l]);
       if (!s.ok()) return s;
     }
-    env->directory_.emplace(std::move(term), std::move(info));
+    if (dict_terms) {
+      env->dict_dir_.push_back(std::move(info));  // code == term id == t
+    } else {
+      env->directory_.emplace(std::move(term), std::move(info));
+    }
+  }
+
+  // v3 sidecar, part 2: DAG catalog + per-term expansion metadata,
+  // validated against the directory before anything trusts it.
+  if (has_dag) {
+    auto catalog = DagCatalog::Deserialize(sidecar, &sidecar_pos, max_level);
+    if (!catalog.ok()) return catalog.status();
+    env->dag_catalog_ = std::move(*catalog);
+    env->dag_meta_.resize(term_count);
+    uint32_t dag_terms = 0;
+    s = varint::GetU32(sidecar, &sidecar_pos, &dag_terms);
+    if (!s.ok()) return s;
+    if (dag_terms > term_count) {
+      return Status::Corruption("disk index: sidecar dag term count");
+    }
+    for (uint32_t i = 0; i < dag_terms; ++i) {
+      uint32_t term_id = 0, levels = 0;
+      s = varint::GetU32(sidecar, &sidecar_pos, &term_id);
+      if (s.ok()) s = varint::GetU32(sidecar, &sidecar_pos, &levels);
+      if (!s.ok()) return s;
+      if (term_id >= term_count || env->dag_meta_[term_id] != nullptr) {
+        return Status::Corruption("disk index: sidecar dag term id");
+      }
+      uint32_t expected_levels = 0;
+      if (dict_terms) {
+        expected_levels = env->dict_dir_[term_id].max_length;
+      } else {
+        // Uncompressed term space: find the entry with this id.
+        for (const auto& [name, ti] : env->directory_) {
+          if (ti.term_id == term_id) expected_levels = ti.max_length;
+        }
+      }
+      if (levels != expected_levels) {
+        return Status::Corruption("disk index: sidecar dag level count");
+      }
+      auto meta = std::make_unique<DagTermMeta>();
+      meta->has_dedup.resize(levels, 0);
+      for (uint32_t l = 0; l < levels; ++l) {
+        if (sidecar_pos >= sidecar.size()) {
+          return Status::Corruption("disk index: sidecar truncated");
+        }
+        char flag = sidecar[sidecar_pos++];
+        if (flag != 0 && flag != 1) {
+          return Status::Corruption("disk index: sidecar dedup flag");
+        }
+        meta->has_dedup[l] = flag;
+      }
+      uint32_t n_classes = 0;
+      s = varint::GetU32(sidecar, &sidecar_pos, &n_classes);
+      if (!s.ok()) return s;
+      if (n_classes > env->dag_catalog_->classes.size()) {
+        return Status::Corruption("disk index: sidecar class count");
+      }
+      for (uint32_t c = 0; c < n_classes; ++c) {
+        uint32_t cls = 0, n_inst = 0;
+        s = varint::GetU32(sidecar, &sidecar_pos, &cls);
+        if (s.ok()) s = varint::GetU32(sidecar, &sidecar_pos, &n_inst);
+        if (!s.ok()) return s;
+        if (cls >= env->dag_catalog_->classes.size() ||
+            n_inst != env->dag_catalog_->classes[cls].instances.size() ||
+            meta->row_deltas.count(cls) != 0) {
+          return Status::Corruption("disk index: sidecar row-delta header");
+        }
+        std::vector<int64_t> deltas(n_inst);
+        int64_t prev = 0;
+        for (uint32_t d = 0; d < n_inst; ++d) {
+          int64_t step = 0;
+          s = varint::GetS64(sidecar, &sidecar_pos, &step);
+          if (!s.ok()) return s;
+          // Untrusted second-order delta: guard the accumulation (signed
+          // overflow is UB) and keep row deltas in a plausible range.
+          if (__builtin_add_overflow(prev, step, &deltas[d]) ||
+              deltas[d] > int64_t(UINT32_MAX) ||
+              deltas[d] < -int64_t(UINT32_MAX)) {
+            return Status::Corruption("disk index: sidecar row delta range");
+          }
+          prev = deltas[d];
+        }
+        meta->row_deltas.emplace(cls, std::move(deltas));
+      }
+      env->dag_meta_[term_id] = std::move(meta);
+    }
+  }
+  if (footer_info.version >= kFormatVersionV3 &&
+      sidecar_pos != sidecar.size()) {
+    return Status::Corruption("disk index: sidecar trailing bytes");
   }
 
   // Node mapping (startup I/O, counted once; shared by all sessions).
@@ -447,15 +834,25 @@ StatusOr<std::shared_ptr<DiskIndexEnv>> DiskIndexEnv::Open(
       sidecar.ok()) {
     for (SegmentTermStats& t : sidecar->terms) {
       if (t.levels.empty()) continue;
-      auto dir_it = env->directory_.find(t.term);
-      if (dir_it == env->directory_.end()) continue;
+      const TermInfo* info = env->FindTerm(t.term);
+      if (info == nullptr) continue;
       TermStats stats;
-      stats.rows = dir_it->second.rows;  // directory is authoritative
+      stats.rows = info->rows;  // directory is authoritative
       stats.levels = std::move(t.levels);
       env->term_stats_.emplace(t.term, std::move(stats));
     }
   }
   return env;
+}
+
+const DiskIndexEnv::TermInfo* DiskIndexEnv::FindTerm(
+    const std::string& term) const {
+  if (!dict_dir_.empty()) {
+    uint32_t code = term_dict_.Lookup(term);
+    return code == FrontCodedDict::kNotFound ? nullptr : &dict_dir_[code];
+  }
+  auto it = directory_.find(term);
+  return it == directory_.end() ? nullptr : &it->second;
 }
 
 std::unique_ptr<DiskJDeweyIndex> DiskIndexEnv::NewSession() {
@@ -530,17 +927,17 @@ Status DiskIndexEnv::VerifyPage(PageId id, const std::string& page) const {
 
 uint32_t DiskIndexEnv::Frequency(const std::string& term) const {
   XTOPK_COUNTER("index.term_lookups").Add(1);
-  auto it = directory_.find(term);
-  if (it == directory_.end()) {
+  const TermInfo* info = FindTerm(term);
+  if (info == nullptr) {
     XTOPK_COUNTER("index.term_lookup_misses").Add(1);
     return 0;
   }
-  return it->second.rows;
+  return info->rows;
 }
 
 uint32_t DiskIndexEnv::MaxLength(const std::string& term) const {
-  auto it = directory_.find(term);
-  return it == directory_.end() ? 0 : it->second.max_length;
+  const TermInfo* info = FindTerm(term);
+  return info == nullptr ? 0 : info->max_length;
 }
 
 const TermStats* DiskIndexEnv::Stats(const std::string& term) const {
@@ -614,18 +1011,44 @@ Status DiskJDeweyIndex::MaterializeBase(const std::string& term,
     if (!s.ok()) return s;
     size_t pos = 0;
     std::vector<uint16_t> lengths(info.rows);
-    for (uint32_t r = 0; r < info.rows; ++r) {
-      uint32_t len = 0;
-      s = varint::GetU32(lengths_blob, &pos, &len);
+    if (env_->dict_rows_) {
+      std::vector<uint32_t> raw;
+      s = DecodeDictRows(lengths_blob, &pos, info.rows, &raw);
       if (!s.ok()) return s;
-      if (len == 0 || len > info.max_length) {
-        return Status::Corruption("disk index: bad row length");
+      for (uint32_t r = 0; r < info.rows; ++r) {
+        if (raw[r] == 0 || raw[r] > info.max_length) {
+          return Status::Corruption("disk index: bad row length");
+        }
+        lengths[r] = static_cast<uint16_t>(raw[r]);
       }
-      lengths[r] = static_cast<uint16_t>(len);
+    } else {
+      for (uint32_t r = 0; r < info.rows; ++r) {
+        uint32_t len = 0;
+        s = varint::GetU32(lengths_blob, &pos, &len);
+        if (!s.ok()) return s;
+        if (len == 0 || len > info.max_length) {
+          return Status::Corruption("disk index: bad row length");
+        }
+        lengths[r] = static_cast<uint16_t>(len);
+      }
     }
     list.lengths = lengths;
     cache.PutLengths(info.term_id, std::make_shared<const std::vector<uint16_t>>(
                                        std::move(lengths)));
+  }
+
+  // v3 DAG term: hang the (session-local) expansion companion off the
+  // list now; its dedup columns flip on as MaterializeColumns loads them.
+  if (info.term_id < env_->dag_meta_.size() &&
+      env_->dag_meta_[info.term_id] != nullptr) {
+    const DiskIndexEnv::DagTermMeta& meta = *env_->dag_meta_[info.term_id];
+    auto dag = std::make_shared<DagListData>();
+    dag->catalog = env_->dag_catalog_;
+    dag->row_deltas = meta.row_deltas;
+    dag->dedup.resize(info.max_length);
+    dag->has_dedup.assign(info.max_length, 0);
+    state->dag = dag;
+    list.dag = dag;
   }
 
   list.scores.assign(info.rows, 0.0f);
@@ -654,9 +1077,19 @@ Status DiskJDeweyIndex::MaterializeScores(const DiskIndexEnv::TermInfo& info,
   if (!s.ok()) return s;
   size_t pos = 0;
   std::vector<float> scores(info.rows);
-  for (uint32_t r = 0; r < info.rows; ++r) {
-    s = ser::GetFloat(scores_blob, &pos, &scores[r]);
+  if (env_->dict_rows_) {
+    std::vector<uint32_t> bits;
+    s = DecodeDictRows(scores_blob, &pos, info.rows, &bits);
     if (!s.ok()) return s;
+    static_assert(sizeof(float) == sizeof(uint32_t));
+    if (info.rows > 0) {
+      std::memcpy(scores.data(), bits.data(), info.rows * sizeof(float));
+    }
+  } else {
+    for (uint32_t r = 0; r < info.rows; ++r) {
+      s = ser::GetFloat(scores_blob, &pos, &scores[r]);
+      if (!s.ok()) return s;
+    }
   }
   list.scores = scores;
   cache.PutScores(info.term_id,
@@ -674,6 +1107,15 @@ Status DiskJDeweyIndex::MaterializeColumns(
     state->coverage.resize(info.max_length);
   }
   if (!env_->skip_enabled_) level_bounds = nullptr;
+  // DAG terms always load full columns: a deduplicated level expands to
+  // the exact full column (never a partial one), and mixing partial
+  // sibling levels with expanded ones would complicate coverage for no
+  // gain — shared-subtree lists are the compressed, small ones.
+  const DiskIndexEnv::DagTermMeta* dag_meta =
+      (info.term_id < env_->dag_meta_.size())
+          ? env_->dag_meta_[info.term_id].get()
+          : nullptr;
+  if (dag_meta != nullptr) level_bounds = nullptr;
   DecodedBlockCache& cache = *env_->decoded_;
 
   for (uint32_t level = 1; level <= up_to_level; ++level) {
@@ -684,6 +1126,45 @@ Status DiskJDeweyIndex::MaterializeColumns(
             ? &(*level_bounds)[level - 1]
             : nullptr;
     XTOPK_COUNTER("index.columns_materialized").Add(1);
+
+    // Deduplicated level of a DAG term: the blob holds the dedup column
+    // (self-contained kDict codec). The decoded cache stores the dedup
+    // form — it is the small one — and every session expands it back to
+    // the bit-identical full column through the checked expander, so a
+    // damaged sidecar or blob surfaces as Corruption, never as wrong
+    // results. The dedup column also lands on the list's DagListData,
+    // which is what lets the join layer intersect shared subtrees once.
+    if (dag_meta != nullptr && dag_meta->has_dedup[level - 1] != 0) {
+      Column dedup;
+      if (auto cached = cache.GetColumn(info.term_id, level)) {
+        dedup = *cached;
+      } else {
+        std::string blob;
+        Status s = env_->ReadBlob(info.columns[level - 1], &blob);
+        if (!s.ok()) return s;
+        size_t pos = 0;
+        s = DecodeColumn(blob, &pos, nullptr, &dedup);
+        if (!s.ok()) return s;
+        cache.PutColumn(info.term_id, level,
+                        std::make_shared<const Column>(dedup));
+      }
+      auto expanded = ExpandDedupColumnChecked(
+          dedup, *env_->dag_catalog_, state->dag->row_deltas, level);
+      if (!expanded.ok()) return expanded.status();
+      uint32_t present_rows = 0;
+      for (uint16_t len : list.lengths) present_rows += (len >= level);
+      if (expanded->row_count() != present_rows) {
+        return Status::Corruption("disk index: dag expansion row mismatch");
+      }
+      XTOPK_COUNTER("index.dag.columns_expanded").Add(1);
+      list.columns[level - 1] = std::move(*expanded);
+      state->dag->dedup[level - 1] = std::move(dedup);
+      state->dag->has_dedup[level - 1] = 1;
+      cov = LevelCoverage{};
+      cov.full = true;
+      continue;
+    }
+
     if (auto cached = cache.GetColumn(info.term_id, level)) {
       list.columns[level - 1] = *cached;  // run-vector copy, no decode
       cov = LevelCoverage{};
@@ -787,11 +1268,11 @@ StatusOr<const JDeweyList*> DiskJDeweyIndex::LoadList(const std::string& term,
 StatusOr<const JDeweyList*> DiskJDeweyIndex::LoadList(
     const std::string& term, uint32_t up_to_level, bool need_scores,
     const std::vector<ValueBounds>* level_bounds) {
-  auto it = env_->directory_.find(term);
-  if (it == env_->directory_.end()) {
+  const DiskIndexEnv::TermInfo* found = env_->FindTerm(term);
+  if (found == nullptr) {
     return static_cast<const JDeweyList*>(nullptr);
   }
-  const DiskIndexEnv::TermInfo& info = it->second;
+  const DiskIndexEnv::TermInfo& info = *found;
   TermState& state = state_[info.term_id];
   if (state.view_id == UINT32_MAX) {
     XTOPK_COUNTER("index.lists_loaded").Add(1);

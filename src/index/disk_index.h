@@ -10,11 +10,13 @@
 #include "core/join_search.h"
 #include "core/topk_search.h"
 #include "core/search_result.h"
+#include "index/dag.h"
 #include "index/jdewey_index.h"
 #include "index/reader.h"
 #include "storage/buffer_pool.h"
 #include "storage/compression.h"
 #include "storage/decoded_cache.h"
+#include "storage/dictionary.h"
 #include "storage/page_file.h"
 #include "util/status.h"
 
@@ -41,6 +43,18 @@ struct BlobExtent {
 ///
 /// Columns are separate blobs on purpose: a query that starts its scan at
 /// level l0 (§III-B) touches only the pages of columns 1..l0.
+///
+/// Format version 3 (DESIGN.md §15) adds an optional compression sidecar
+/// blob whose extent sits in the footer between the checksum-table extent
+/// and the data page count: a flags byte, the front-coded term dictionary
+/// (terms then live only there — directory entries drop their inline
+/// names and file term ids become dictionary codes), the subtree-DAG
+/// catalog, and per-term DAG metadata (which levels are stored
+/// deduplicated, plus per-class row deltas). DAG-deduplicated column
+/// blobs are written with the self-contained kDict codec; readers expand
+/// them back to bit-identical full columns through
+/// ExpandDedupColumnChecked. v1/v2 files stay readable, and Write without
+/// compression options keeps emitting v2 (or v1) bytes.
 class DiskIndexWriter {
  public:
   /// `codec` is forwarded to EncodeColumn for every column blob. The
@@ -57,6 +71,30 @@ class DiskIndexWriter {
                       const std::string& path,
                       ColumnCodec codec = ColumnCodec::kAuto,
                       bool write_checksums = true);
+
+  /// Structure-aware compression knobs of the v3 layout. All off by
+  /// default, in which case Write(…, options) emits exactly the legacy
+  /// v2 (or v1) bytes.
+  struct Options {
+    ColumnCodec codec = ColumnCodec::kAuto;
+    bool include_scores = true;
+    bool write_checksums = true;
+    /// Persist the term space as one front-coded dictionary; directory
+    /// entries are written in sorted term order without inline names.
+    bool dict_terms = false;
+    /// Persist DAG-deduplicated columns (kDict codec) plus the catalog
+    /// and expansion metadata for every list that carries DagListData.
+    /// No-op when the index was built without enable_dag.
+    bool dag = false;
+    /// Dictionary-encode the per-row length and score streams
+    /// (EncodeDictRows) instead of raw varints / floats.
+    bool dict_rows = false;
+
+    bool compressed() const { return dict_terms || dag || dict_rows; }
+  };
+
+  static Status Write(const JDeweyIndex& index, const std::string& path,
+                      const Options& options);
 };
 
 /// Options for opening a disk index's shared read substrate.
@@ -128,7 +166,9 @@ class DiskIndexEnv : public std::enable_shared_from_this<DiskIndexEnv> {
   /// for `term`. The sidecar is advisory — a missing or corrupt one never
   /// fails Open, it only costs plan quality.
   const TermStats* Stats(const std::string& term) const;
-  size_t term_count() const { return directory_.size(); }
+  size_t term_count() const {
+    return dict_dir_.empty() ? directory_.size() : dict_dir_.size();
+  }
   bool has_scores() const { return has_scores_; }
   /// Whether sessions may skip-decode (options.enable_skip, unless the
   /// XTOPK_DISABLE_SKIP environment variable overrode it at Open).
@@ -156,7 +196,20 @@ class DiskIndexEnv : public std::enable_shared_from_this<DiskIndexEnv> {
     std::vector<BlobExtent> columns;  // one per level
   };
 
+  /// v3 sidecar: per-term DAG expansion metadata (which column blobs are
+  /// stored deduplicated, and this term's per-class instance row deltas).
+  struct DagTermMeta {
+    std::vector<char> has_dedup;  ///< index = level - 1
+    std::unordered_map<uint32_t, std::vector<int64_t>> row_deltas;
+  };
+
   DiskIndexEnv() = default;
+
+  /// Directory entry of `term` through whichever term space is active —
+  /// the hash map (v1/v2 and uncompressed v3) or the front-coded
+  /// dictionary (v3 with dict_terms, where code == term id). nullptr when
+  /// absent.
+  const TermInfo* FindTerm(const std::string& term) const;
 
   /// Thread-safe (reads go through the pool / pread). Failed attempts —
   /// transient I/O errors or checksum mismatches — are retried up to
@@ -189,6 +242,14 @@ class DiskIndexEnv : public std::enable_shared_from_this<DiskIndexEnv> {
   /// legacy v1 segments (nothing to verify).
   std::vector<uint32_t> page_crcs_;
   std::unordered_map<std::string, TermInfo> directory_;
+  /// v3 dict_terms segments: the directory keyed by dictionary code
+  /// instead of the hash map above (exactly one of the two is populated).
+  FrontCodedDict term_dict_;
+  std::vector<TermInfo> dict_dir_;
+  /// v3 compression state (empty / false on v1/v2 segments).
+  bool dict_rows_ = false;
+  std::shared_ptr<const DagCatalog> dag_catalog_;
+  std::vector<std::unique_ptr<DagTermMeta>> dag_meta_;  ///< by term id
   /// Per-term planner statistics from the manifest sidecar (empty when
   /// none was found). Immutable after Open, so shared across sessions.
   std::unordered_map<std::string, TermStats> term_stats_;
@@ -309,6 +370,10 @@ class DiskJDeweyIndex : public TermSource {
     uint32_t view_id = UINT32_MAX;
     /// Per-level coverage, index = level - 1 (sized at first load).
     std::vector<LevelCoverage> coverage;
+    /// v3 DAG terms: the session's mutable DagListData (the list holds a
+    /// const view of the same object). has_dedup flips on per level as
+    /// the deduplicated columns materialize.
+    std::shared_ptr<DagListData> dag;
   };
 
   explicit DiskJDeweyIndex(std::shared_ptr<DiskIndexEnv> env);

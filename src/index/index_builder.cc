@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "index/dag.h"
+#include "obs/metrics.h"
 #include "util/parallel.h"
 #include "xml/jdewey_builder.h"
 
@@ -142,6 +144,26 @@ JDeweyIndex IndexBuilder::BuildJDeweyIndex() const {
   for (auto& level : index.level_nodes_) {
     std::sort(level.begin(), level.end());
   }
+
+  // Structure-aware compression (DESIGN.md §15): share verified identical
+  // subtrees and compact the term dictionary. Both are additive — the
+  // exact lists above stay the source of truth.
+  if (options_.enable_dag && !DagDisabledByEnv()) {
+    SubtreeDagResult detected = DetectSharedSubtrees(tree_, options_.dag);
+    DagBuildStats dag_stats = AttachDagData(tree_, jdewey_, detected,
+                                            index.max_level_, &index.lists_);
+    XTOPK_COUNTER("index.dag.classes").Add(dag_stats.classes);
+    XTOPK_COUNTER("index.dag.shared_instances")
+        .Add(dag_stats.shared_instances);
+    XTOPK_COUNTER("index.dag.runs_removed").Add(dag_stats.runs_removed);
+    XTOPK_COUNTER("index.dag.terms_affected").Add(dag_stats.terms_affected);
+    XTOPK_COUNTER("index.dag.classes_rejected")
+        .Add(dag_stats.classes_rejected);
+  }
+  if (options_.enable_dict && !DictDisabledByEnv()) {
+    index.CompactTermDictionary();
+  }
+  PublishResidentBytes(MeasureResidentBytes(index));
   return index;
 }
 

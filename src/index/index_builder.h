@@ -14,6 +14,7 @@
 #include "index/topk_index.h"
 #include "xml/dewey.h"
 #include "xml/jdewey.h"
+#include "xml/subtree_dag.h"
 #include "xml/tokenizer.h"
 #include "xml/xml_tree.h"
 
@@ -38,6 +39,18 @@ struct IndexBuildOptions {
   /// Equal-height histogram buckets per (term, level) in the planner
   /// statistics computed at build time. 0 disables statistics.
   size_t stats_buckets = kDefaultStatsBuckets;
+  /// Structure-aware compression (DESIGN.md §15): detect identical
+  /// same-level subtrees, verify the JDewey translation against the
+  /// materialized columns, and attach dedup columns + expansion metadata
+  /// so the join layer processes each shared subtree once. Off by default
+  /// (it perturbs join-step counters on repetitive corpora); the
+  /// XTOPK_DISABLE_DAG environment variable force-disables it even when
+  /// set here.
+  bool enable_dag = false;
+  SubtreeDagOptions dag;
+  /// Compact the term dictionary of the built index into the front-coded
+  /// form (storage/dictionary.h). XTOPK_DISABLE_DICT force-disables.
+  bool enable_dict = false;
 };
 
 /// A term and its document frequency (inverted-list length); the query

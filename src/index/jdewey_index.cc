@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "index/dag.h"
+#include "index/index_access.h"
 #include "obs/metrics.h"
 #include "storage/compression.h"
 
@@ -23,14 +25,24 @@ JDeweySeq JDeweyList::SequenceOf(uint32_t row) const {
   return seq;
 }
 
+uint32_t JDeweyIndex::TermIdOf(const std::string& term) const {
+  if (dictionary_compacted()) {
+    uint32_t code = term_dict_.Lookup(term);
+    return code == FrontCodedDict::kNotFound ? UINT32_MAX
+                                             : dict_code_to_id_[code];
+  }
+  auto it = term_ids_.find(term);
+  return it == term_ids_.end() ? UINT32_MAX : it->second;
+}
+
 const JDeweyList* JDeweyIndex::GetList(const std::string& term) const {
   XTOPK_COUNTER("index.term_lookups").Add(1);
-  auto it = term_ids_.find(term);
-  if (it == term_ids_.end()) {
+  uint32_t id = TermIdOf(term);
+  if (id == UINT32_MAX) {
     XTOPK_COUNTER("index.term_lookup_misses").Add(1);
     return nullptr;
   }
-  return &lists_[it->second];
+  return &lists_[id];
 }
 
 uint32_t JDeweyIndex::Frequency(const std::string& term) const {
@@ -40,9 +52,26 @@ uint32_t JDeweyIndex::Frequency(const std::string& term) const {
 
 const TermStats* JDeweyIndex::StatsOf(const std::string& term) const {
   if (stats_.empty()) return nullptr;
-  auto it = term_ids_.find(term);
-  if (it == term_ids_.end() || it->second >= stats_.size()) return nullptr;
-  return &stats_[it->second];
+  uint32_t id = TermIdOf(term);
+  if (id == UINT32_MAX || id >= stats_.size()) return nullptr;
+  return &stats_[id];
+}
+
+void JDeweyIndex::CompactTermDictionary() {
+  if (dictionary_compacted() || terms_.empty()) return;
+  std::vector<std::string> sorted = terms_;
+  std::sort(sorted.begin(), sorted.end());
+  StatusOr<FrontCodedDict> dict = FrontCodedDict::Build(sorted);
+  assert(dict.ok());  // terms_ is unique by construction
+  if (!dict.ok()) return;
+  term_dict_ = std::move(dict).value();
+  dict_code_to_id_.resize(sorted.size());
+  for (uint32_t code = 0; code < sorted.size(); ++code) {
+    dict_code_to_id_[code] = term_ids_.at(sorted[code]);
+  }
+  term_ids_.clear();
+  // Free the hash map's buckets, not just its entries.
+  std::unordered_map<std::string, uint32_t>().swap(term_ids_);
 }
 
 TermStats ComputeListStats(const JDeweyList& list, size_t max_buckets) {
@@ -97,6 +126,54 @@ uint64_t JDeweyIndex::SparseIndexBytes(uint32_t sample_rate) const {
     }
   }
   return total;
+}
+
+ResidentBytesReport MeasureResidentBytes(const JDeweyIndex& index) {
+  ResidentBytesReport report;
+  const auto& level_nodes = IndexIoAccess::LevelNodes(index);
+  for (const auto& level : level_nodes) {
+    report.tree += level.size() * sizeof(std::pair<uint32_t, NodeId>);
+  }
+  const DagCatalog* catalog = nullptr;
+  for (const JDeweyList& list : index.lists()) {
+    report.postings += list.lengths.size() * sizeof(uint16_t) +
+                       list.scores.size() * sizeof(float) +
+                       list.nodes.size() * sizeof(NodeId);
+    for (const Column& column : list.columns) {
+      report.postings += column.run_count() * sizeof(Run);
+    }
+    if (list.dag != nullptr) {
+      report.postings += list.dag->ResidentBytes();
+      catalog = list.dag->catalog.get();
+    }
+  }
+  if (catalog != nullptr) report.postings += catalog->ResidentBytes();
+  if (index.dictionary_compacted()) {
+    report.dictionary = index.term_dictionary().ResidentBytes() +
+                        index.terms().size() * sizeof(uint32_t);
+  } else {
+    // Hash map estimate: per entry one bucket slot, the key string (SSO
+    // header + spill), and the 4-byte id.
+    for (const std::string& term : index.terms()) {
+      report.dictionary += sizeof(std::string) + 16 + term.size() + 4;
+    }
+  }
+  // The terms_ vector itself (kept in both forms for id -> term decoding).
+  for (const std::string& term : index.terms()) {
+    report.dictionary += sizeof(std::string) + term.size();
+  }
+  return report;
+}
+
+void PublishResidentBytes(const ResidentBytesReport& report) {
+  XTOPK_GAUGE("index.resident_bytes.tree")
+      .Set(static_cast<int64_t>(report.tree));
+  XTOPK_GAUGE("index.resident_bytes.postings")
+      .Set(static_cast<int64_t>(report.postings));
+  XTOPK_GAUGE("index.resident_bytes.dictionary")
+      .Set(static_cast<int64_t>(report.dictionary));
+  XTOPK_GAUGE("index.resident_bytes.total")
+      .Set(static_cast<int64_t>(report.total()));
 }
 
 }  // namespace xtopk

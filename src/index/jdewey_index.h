@@ -2,11 +2,13 @@
 #define XTOPK_INDEX_JDEWEY_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "storage/column.h"
+#include "storage/dictionary.h"
 #include "storage/histogram.h"
 #include "storage/sparse_index.h"
 #include "util/status.h"
@@ -14,6 +16,8 @@
 #include "xml/xml_tree.h"
 
 namespace xtopk {
+
+struct DagListData;
 
 /// The column-oriented inverted list of one keyword (paper §III-A).
 ///
@@ -29,6 +33,12 @@ struct JDeweyList {
   std::vector<NodeId> nodes;      ///< Per row: occurrence node.
   std::vector<Column> columns;    ///< columns[l-1] holds level l.
   uint32_t max_length = 0;        ///< Deepest occurrence level.
+  /// Structure-aware compression companion (DESIGN.md §15): per-level
+  /// deduplicated columns plus the exact expansion metadata. Null for
+  /// terms untouched by subtree sharing (and whenever the builder ran
+  /// with the DAG disabled); the full `columns` above always stay the
+  /// source of truth, so every consumer that ignores `dag` is unaffected.
+  std::shared_ptr<const DagListData> dag;
 
   uint32_t num_rows() const { return static_cast<uint32_t>(lengths.size()); }
 
@@ -88,11 +98,28 @@ class JDeweyIndex {
   /// Whether this index carries build-time planner statistics.
   bool has_stats() const { return !stats_.empty(); }
 
+  /// Replaces the term-id hash map with a front-coded dictionary
+  /// (storage/dictionary.h): lookups translate through dictionary codes,
+  /// term ids stay stable via a code -> id permutation. Only valid on a
+  /// static index — incremental ingestion paths (disk sessions, index IO)
+  /// mutate the hash map and must not run after compaction.
+  void CompactTermDictionary();
+  bool dictionary_compacted() const { return term_dict_.size() > 0; }
+  const FrontCodedDict& term_dictionary() const { return term_dict_; }
+
  private:
   friend class IndexBuilder;
   friend struct IndexIoAccess;
 
+  /// Looks a term up through whichever dictionary form is active; returns
+  /// the term id or UINT32_MAX.
+  uint32_t TermIdOf(const std::string& term) const;
+
   std::unordered_map<std::string, uint32_t> term_ids_;
+  /// Compacted term space (CompactTermDictionary): codes are sorted
+  /// positions; dict_code_to_id_ maps them back to stable term ids.
+  FrontCodedDict term_dict_;
+  std::vector<uint32_t> dict_code_to_id_;
   std::vector<std::string> terms_;
   std::vector<JDeweyList> lists_;
   /// Per-term planner statistics, index-aligned with lists_; empty when the
@@ -115,6 +142,23 @@ class JDeweyIndex {
 /// BuildSegmentIndex, and by Compact when re-deriving exact statistics for
 /// a merged segment.
 TermStats ComputeListStats(const JDeweyList& list, size_t max_buckets);
+
+/// Per-component resident footprint of an in-memory index: what the
+/// index.resident_bytes.{tree,postings,dictionary} gauges report and the
+/// Table I bench breaks down. `tree` is the (level, value) -> node reverse
+/// mapping, `postings` the row arrays + run columns (+ DAG companion
+/// data), `dictionary` the term strings and their lookup structure.
+struct ResidentBytesReport {
+  uint64_t tree = 0;
+  uint64_t postings = 0;
+  uint64_t dictionary = 0;
+  uint64_t total() const { return tree + postings + dictionary; }
+};
+ResidentBytesReport MeasureResidentBytes(const JDeweyIndex& index);
+
+/// Publishes `report` to the index.resident_bytes.* gauges (exposed via
+/// xtopk_statsd /vars and the compact BENCH snapshot).
+void PublishResidentBytes(const ResidentBytesReport& report);
 
 }  // namespace xtopk
 

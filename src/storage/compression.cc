@@ -184,6 +184,63 @@ Status DecodeDelta(const std::string& data, size_t* pos, uint32_t row_count,
   return Status::Ok();
 }
 
+void EncodeDictColumn(const Column& column, std::string* out) {
+  // Dictionary section first: all distinct values as one monotone
+  // delta-coded stream (runs are maximal, so one value per run). Then the
+  // run structure; the run's code is its position, so codes are implicit.
+  uint32_t prev_value = 0;
+  for (const Run& run : column.runs()) {
+    varint::PutU32(out, run.value - prev_value);
+    prev_value = run.value;
+  }
+  uint32_t prev_row = 0;
+  for (const Run& run : column.runs()) {
+    varint::PutU32(out, run.first_row - prev_row);
+    varint::PutU32(out, run.count);
+    prev_row = run.first_row;
+  }
+}
+
+Status DecodeDictColumn(const std::string& data, size_t* pos,
+                        uint32_t run_count, Column* column) {
+  // Each run costs >= 3 bytes across the two sections; bound the count
+  // before reserving (same defense as DecodeRunLength).
+  if (run_count > (data.size() - *pos) / 3) {
+    return Status::Corruption("column: dict run count exceeds buffer");
+  }
+  std::vector<uint32_t> values(run_count);
+  uint32_t prev_value = 0;
+  for (uint32_t i = 0; i < run_count; ++i) {
+    uint32_t dv = 0;
+    Status s = varint::GetU32(data, pos, &dv);
+    if (!s.ok()) return s;
+    uint64_t value = static_cast<uint64_t>(prev_value) + dv;
+    if (value > UINT32_MAX) {
+      return Status::Corruption("column: dict value overflow");
+    }
+    values[i] = static_cast<uint32_t>(value);
+    prev_value = values[i];
+  }
+  uint32_t prev_row = 0;
+  column->ReserveRuns(run_count);
+  for (uint32_t i = 0; i < run_count; ++i) {
+    uint32_t dr = 0, count = 0;
+    Status s = varint::GetU32(data, pos, &dr);
+    if (s.ok()) s = varint::GetU32(data, pos, &count);
+    if (!s.ok()) return s;
+    uint64_t row = static_cast<uint64_t>(prev_row) + dr;
+    if (row > UINT32_MAX) {
+      return Status::Corruption("column: dict row overflow");
+    }
+    if (!column->AppendRunChecked(static_cast<uint32_t>(row), values[i],
+                                  count)) {
+      return Status::Corruption("column: invalid dict run");
+    }
+    prev_row = static_cast<uint32_t>(row);
+  }
+  return Status::Ok();
+}
+
 void EncodeColumnImpl(const Column& column, ColumnCodec codec,
                       std::string* out, bool count_metrics) {
   if (codec == ColumnCodec::kAuto) codec = ChooseCodec(column);
@@ -199,6 +256,11 @@ void EncodeColumnImpl(const Column& column, ColumnCodec codec,
       varint::PutU32(out, column.row_count());
       EncodeGroupVarint(column, out);
       if (count_metrics) XTOPK_COUNTER("storage.codec.gvb_encodes").Add(1);
+      break;
+    case ColumnCodec::kDict:
+      varint::PutU32(out, static_cast<uint32_t>(column.run_count()));
+      EncodeDictColumn(column, out);
+      if (count_metrics) XTOPK_COUNTER("storage.codec.dict_encodes").Add(1);
       break;
     default:
       varint::PutU32(out, column.row_count());
@@ -233,6 +295,10 @@ Status DecodeColumnImpl(const std::string& data, size_t* pos,
     case ColumnCodec::kGroupVarint:
       XTOPK_COUNTER("storage.codec.gvb_decodes").Add(1);
       s = DecodeGvbBody(data, pos, count, present_rows, bounds, column, stats);
+      break;
+    case ColumnCodec::kDict:
+      XTOPK_COUNTER("storage.codec.dict_decodes").Add(1);
+      s = DecodeDictColumn(data, pos, count, column);
       break;
     default:
       return Status::Corruption("column: unknown codec byte");
@@ -420,6 +486,116 @@ size_t EncodedColumnSize(const Column& column, ColumnCodec codec) {
   std::string buf;
   EncodeColumnImpl(column, codec, &buf, /*count_metrics=*/false);
   return buf.size();
+}
+
+void EncodeDictRows(const std::vector<uint32_t>& values, std::string* out) {
+  XTOPK_COUNTER("storage.codec.dict_encodes").Add(1);
+  out->push_back(static_cast<char>(ColumnCodec::kDict));
+  varint::PutU32(out, static_cast<uint32_t>(values.size()));
+  std::vector<uint32_t> distinct = values;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  varint::PutU32(out, static_cast<uint32_t>(distinct.size()));
+  uint32_t prev = 0;
+  for (size_t i = 0; i < distinct.size(); ++i) {
+    varint::PutU32(out, distinct[i] - prev);
+    prev = distinct[i];
+  }
+  uint32_t width = 0;
+  while (distinct.size() > (1ull << width)) ++width;
+  out->push_back(static_cast<char>(width));
+  if (width == 0 || values.empty()) return;
+  uint64_t acc = 0;
+  uint32_t bits = 0;
+  for (uint32_t v : values) {
+    uint32_t code = static_cast<uint32_t>(
+        std::lower_bound(distinct.begin(), distinct.end(), v) -
+        distinct.begin());
+    acc |= static_cast<uint64_t>(code) << bits;
+    bits += width;
+    while (bits >= 8) {
+      out->push_back(static_cast<char>(acc & 0xFF));
+      acc >>= 8;
+      bits -= 8;
+    }
+  }
+  if (bits > 0) out->push_back(static_cast<char>(acc & 0xFF));
+}
+
+Status DecodeDictRows(const std::string& data, size_t* pos,
+                      size_t expected_rows, std::vector<uint32_t>* out) {
+  if (*pos >= data.size()) {
+    return Status::Corruption("dict rows: empty buffer");
+  }
+  if (static_cast<ColumnCodec>(data[(*pos)++]) != ColumnCodec::kDict) {
+    return Status::Corruption("dict rows: bad codec byte");
+  }
+  XTOPK_COUNTER("storage.codec.dict_decodes").Add(1);
+  uint32_t rows = 0, ndistinct = 0;
+  Status s = varint::GetU32(data, pos, &rows);
+  if (s.ok()) s = varint::GetU32(data, pos, &ndistinct);
+  if (!s.ok()) return s;
+  if (rows != expected_rows) {
+    return Status::Corruption("dict rows: row count mismatch");
+  }
+  if (ndistinct > rows || (rows > 0 && ndistinct == 0)) {
+    return Status::Corruption("dict rows: bad distinct count");
+  }
+  // Each distinct value costs >= 1 byte (same defense as the column
+  // decoders: a damaged count must not drive a huge allocation).
+  if (ndistinct > data.size() - *pos) {
+    return Status::Corruption("dict rows: distinct count exceeds buffer");
+  }
+  std::vector<uint32_t> distinct(ndistinct);
+  uint32_t prev = 0;
+  for (uint32_t i = 0; i < ndistinct; ++i) {
+    uint32_t dv = 0;
+    s = varint::GetU32(data, pos, &dv);
+    if (!s.ok()) return s;
+    if (i > 0 && dv == 0) {
+      return Status::Corruption("dict rows: dictionary not strictly sorted");
+    }
+    uint64_t v = static_cast<uint64_t>(prev) + dv;
+    if (v > UINT32_MAX) return Status::Corruption("dict rows: value overflow");
+    distinct[i] = static_cast<uint32_t>(v);
+    prev = distinct[i];
+  }
+  if (*pos >= data.size()) {
+    return Status::Corruption("dict rows: truncated before code width");
+  }
+  uint32_t width = static_cast<uint8_t>(data[(*pos)++]);
+  uint32_t expect_width = 0;
+  while (ndistinct > (1ull << expect_width)) ++expect_width;
+  if (width != expect_width) {
+    return Status::Corruption("dict rows: code width mismatch");
+  }
+  out->assign(rows, ndistinct > 0 ? distinct[0] : 0);
+  if (width == 0 || rows == 0) return Status::Ok();
+  size_t packed_bytes = (static_cast<size_t>(rows) * width + 7) / 8;
+  if (*pos + packed_bytes > data.size()) {
+    return Status::Corruption("dict rows: packed codes truncated");
+  }
+  uint64_t acc = 0;
+  uint32_t bits = 0;
+  size_t byte = *pos;
+  const uint32_t mask =
+      width >= 32 ? UINT32_MAX : (1u << width) - 1;
+  for (uint32_t r = 0; r < rows; ++r) {
+    while (bits < width) {
+      acc |= static_cast<uint64_t>(static_cast<uint8_t>(data[byte++])) << bits;
+      bits += 8;
+    }
+    uint32_t code = static_cast<uint32_t>(acc & mask);
+    acc >>= width;
+    bits -= width;
+    if (code >= ndistinct) {
+      return Status::Corruption("dict rows: code out of range");
+    }
+    (*out)[r] = distinct[code];
+  }
+  *pos += packed_bytes;
+  return Status::Ok();
 }
 
 }  // namespace xtopk

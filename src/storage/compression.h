@@ -30,11 +30,20 @@ namespace xtopk {
 ///   branch-light table-driven kernel (SIMD fast path, see util/simd.h).
 /// * kAuto — pick per column: run-length when the average run length is at
 ///   least kRleThreshold, group-varint otherwise.
+/// * kDict — dictionary layout (DESIGN.md §15): the column's distinct
+///   values are written as one contiguous delta-coded dictionary section,
+///   followed by the run structure (row delta, count) per run. Runs are
+///   maximal so distinct values == runs and the run's dictionary code is
+///   its position; the payoff over kRunLength is the split layout — the
+///   value dictionary compresses as one monotone stream, and it is the
+///   self-contained form the disk format's DAG-deduplicated columns are
+///   stored in (row ids are explicit, so no present-row list is needed).
 enum class ColumnCodec : uint8_t {
   kDelta = 0,
   kRunLength = 1,
   kAuto = 2,
   kGroupVarint = 3,
+  kDict = 4,
 };
 
 /// Average run length at or above which kAuto selects run-length encoding.
@@ -135,6 +144,20 @@ class GvbColumnReader {
   size_t data_start_ = 0;  // first byte of the data section
   size_t end_pos_ = 0;
 };
+
+/// Dictionary codec for low-cardinality per-row streams (the score and
+/// length "columns" of a list, which are row-aligned values rather than
+/// run columns): [kDict byte][row count][#distinct][sorted distinct values,
+/// delta-coded][code bit width][bit-packed codes]. With d distinct values a
+/// row costs ceil(log2 d) bits instead of a full varint/float — on
+/// repetitive corpora (few distinct tf·idf scores, few distinct depths)
+/// this is the dominant row-stream win. Scores are encoded via their
+/// float bit patterns (bit-exact round trip).
+void EncodeDictRows(const std::vector<uint32_t>& values, std::string* out);
+
+/// Decodes an EncodeDictRows stream; `expected_rows` guards the header.
+Status DecodeDictRows(const std::string& data, size_t* pos,
+                      size_t expected_rows, std::vector<uint32_t>* out);
 
 /// Codec kAuto would choose for `column`.
 ColumnCodec ChooseCodec(const Column& column);

@@ -1,0 +1,206 @@
+#include "storage/dictionary.h"
+
+#include <algorithm>
+
+#include "util/varint.h"
+
+namespace xtopk {
+
+namespace {
+
+size_t SharedPrefix(std::string_view a, std::string_view b) {
+  size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+}  // namespace
+
+StatusOr<FrontCodedDict> FrontCodedDict::Build(
+    const std::vector<std::string>& strings) {
+  FrontCodedDict dict;
+  dict.count_ = static_cast<uint32_t>(strings.size());
+  std::string prev;
+  for (uint32_t i = 0; i < strings.size(); ++i) {
+    const std::string& s = strings[i];
+    if (i > 0 && !(prev < s)) {
+      return Status::InvalidArgument(
+          "FrontCodedDict input not sorted/unique at \"" + s + "\"");
+    }
+    size_t prefix = 0;
+    if (i % kRestartInterval == 0) {
+      dict.restarts_.push_back(static_cast<uint32_t>(dict.bytes_.size()));
+    } else {
+      prefix = SharedPrefix(prev, s);
+    }
+    varint::PutU32(&dict.bytes_, static_cast<uint32_t>(prefix));
+    varint::PutU32(&dict.bytes_, static_cast<uint32_t>(s.size() - prefix));
+    dict.bytes_.append(s, prefix, s.size() - prefix);
+    prev = s;
+  }
+  return dict;
+}
+
+template <typename Fn>
+void FrontCodedDict::ScanBlock(uint32_t r, Fn&& fn) const {
+  size_t pos = restarts_[r];
+  uint32_t code = r * kRestartInterval;
+  uint32_t last = std::min(count_, (r + 1) * kRestartInterval);
+  std::string current;
+  for (; code < last; ++code) {
+    uint32_t prefix = 0, suffix = 0;
+    // bytes_ was produced by Build/Deserialize (validated), so these reads
+    // cannot fail; ignore status in this internal scan.
+    (void)varint::GetU32(bytes_, &pos, &prefix);
+    (void)varint::GetU32(bytes_, &pos, &suffix);
+    current.resize(prefix);
+    current.append(bytes_, pos, suffix);
+    pos += suffix;
+    if (!fn(code, std::string_view(current))) return;
+  }
+}
+
+uint32_t FrontCodedDict::Lookup(std::string_view s) const {
+  if (count_ == 0) return kNotFound;
+  // Binary search over restart entries (each is stored in full).
+  uint32_t lo = 0, hi = static_cast<uint32_t>(restarts_.size());
+  // Invariant: restart[lo - 1] <= s (or lo == 0); restart[hi] > s (or end).
+  while (lo < hi) {
+    uint32_t mid = lo + (hi - lo) / 2;
+    size_t pos = restarts_[mid];
+    uint32_t prefix = 0, suffix = 0;
+    (void)varint::GetU32(bytes_, &pos, &prefix);
+    (void)varint::GetU32(bytes_, &pos, &suffix);
+    std::string_view head(bytes_.data() + pos, suffix);
+    if (head <= s) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == 0) return kNotFound;  // s sorts before the first entry
+  uint32_t found = kNotFound;
+  ScanBlock(lo - 1, [&](uint32_t code, std::string_view entry) {
+    if (entry == s) {
+      found = code;
+      return false;
+    }
+    return entry < s;  // stop early once past s
+  });
+  return found;
+}
+
+std::string FrontCodedDict::Decode(uint32_t code) const {
+  std::string out;
+  ScanBlock(code / kRestartInterval, [&](uint32_t c, std::string_view entry) {
+    if (c == code) {
+      out.assign(entry);
+      return false;
+    }
+    return true;
+  });
+  return out;
+}
+
+std::vector<std::string> FrontCodedDict::DecodeAll() const {
+  std::vector<std::string> out;
+  out.reserve(count_);
+  for (uint32_t r = 0; r < restarts_.size(); ++r) {
+    ScanBlock(r, [&](uint32_t, std::string_view entry) {
+      out.emplace_back(entry);
+      return true;
+    });
+  }
+  return out;
+}
+
+void FrontCodedDict::Serialize(std::string* out) const {
+  varint::PutU32(out, count_);
+  varint::PutU32(out, kRestartInterval);
+  varint::PutU32(out, static_cast<uint32_t>(restarts_.size()));
+  uint32_t prev = 0;
+  for (uint32_t off : restarts_) {
+    varint::PutU32(out, off - prev);
+    prev = off;
+  }
+  varint::PutU64(out, bytes_.size());
+  out->append(bytes_);
+}
+
+StatusOr<FrontCodedDict> FrontCodedDict::Deserialize(const std::string& data,
+                                                     size_t* pos) {
+  FrontCodedDict dict;
+  uint32_t interval = 0, num_restarts = 0;
+  Status s = varint::GetU32(data, pos, &dict.count_);
+  if (s.ok()) s = varint::GetU32(data, pos, &interval);
+  if (s.ok()) s = varint::GetU32(data, pos, &num_restarts);
+  if (!s.ok()) return s;
+  if (interval != kRestartInterval) {
+    return Status::Corruption("dictionary restart interval mismatch");
+  }
+  uint32_t expect_restarts =
+      dict.count_ == 0 ? 0 : (dict.count_ + kRestartInterval - 1) / kRestartInterval;
+  if (num_restarts != expect_restarts) {
+    return Status::Corruption("dictionary restart count mismatch");
+  }
+  dict.restarts_.reserve(num_restarts);
+  uint32_t prev = 0;
+  for (uint32_t i = 0; i < num_restarts; ++i) {
+    uint32_t delta = 0;
+    s = varint::GetU32(data, pos, &delta);
+    if (!s.ok()) return s;
+    uint32_t off = (i == 0) ? delta : prev + delta;
+    if (i == 0 && delta != 0) {
+      return Status::Corruption("dictionary first restart not at 0");
+    }
+    dict.restarts_.push_back(off);
+    prev = off;
+  }
+  uint64_t nbytes = 0;
+  s = varint::GetU64(data, pos, &nbytes);
+  if (!s.ok()) return s;
+  if (*pos + nbytes > data.size()) {
+    return Status::Corruption("dictionary body truncated");
+  }
+  dict.bytes_.assign(data, *pos, nbytes);
+  *pos += nbytes;
+  // Validate the entry stream: every restart offset must land on an entry
+  // boundary and the stream must decode exactly count_ strings in order.
+  size_t p = 0;
+  std::string prev_str;
+  for (uint32_t code = 0; code < dict.count_; ++code) {
+    if (code % kRestartInterval == 0) {
+      if (code / kRestartInterval >= dict.restarts_.size() ||
+          dict.restarts_[code / kRestartInterval] != p) {
+        return Status::Corruption("dictionary restart offset mismatch");
+      }
+    }
+    uint32_t prefix = 0, suffix = 0;
+    s = varint::GetU32(dict.bytes_, &p, &prefix);
+    if (s.ok()) s = varint::GetU32(dict.bytes_, &p, &suffix);
+    if (!s.ok()) return Status::Corruption("dictionary entry truncated");
+    if (p + suffix > dict.bytes_.size()) {
+      return Status::Corruption("dictionary entry truncated");
+    }
+    if (code % kRestartInterval == 0 && prefix != 0) {
+      return Status::Corruption("dictionary restart entry carries a prefix");
+    }
+    if (prefix > prev_str.size()) {
+      return Status::Corruption("dictionary prefix exceeds previous entry");
+    }
+    std::string cur = prev_str.substr(0, prefix);
+    cur.append(dict.bytes_, p, suffix);
+    p += suffix;
+    if (code > 0 && !(prev_str < cur)) {
+      return Status::Corruption("dictionary entries out of order");
+    }
+    prev_str = std::move(cur);
+  }
+  if (p != dict.bytes_.size()) {
+    return Status::Corruption("dictionary trailing bytes");
+  }
+  return dict;
+}
+
+}  // namespace xtopk

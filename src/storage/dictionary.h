@@ -1,0 +1,79 @@
+#ifndef XTOPK_STORAGE_DICTIONARY_H_
+#define XTOPK_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xtopk {
+
+/// A sorted, front-coded string dictionary with binary-searchable restart
+/// points (the dictionary-column idea applied to our term and tag spaces).
+///
+/// Strings are stored in sorted order; every kRestartInterval-th string is
+/// a restart written in full, and the strings in between store only
+/// (shared-prefix length, suffix). Lookup binary-searches the restart
+/// array, then scans at most kRestartInterval - 1 entries. Codes are the
+/// sorted positions, so `code` doubles as the term id wherever the caller
+/// keeps per-term arrays sorted by term.
+///
+/// The serialized form is self-contained and position-independent:
+///
+///   [count:varint] [restart_interval:varint]
+///   [num_restarts:varint] [restart byte offsets:varint deltas]
+///   [entries: per string (prefix_len:varint, suffix_len:varint, suffix)]
+///
+/// so it can be embedded as an optional section of the disk-index and
+/// segment-manifest formats and checksummed by their existing envelopes.
+class FrontCodedDict {
+ public:
+  static constexpr uint32_t kRestartInterval = 16;
+
+  FrontCodedDict() = default;
+
+  /// Builds from `strings`, which MUST be sorted ascending and unique
+  /// (Status::InvalidArgument otherwise).
+  static StatusOr<FrontCodedDict> Build(const std::vector<std::string>& strings);
+
+  /// Code of `s`, or kNotFound when absent.
+  static constexpr uint32_t kNotFound = UINT32_MAX;
+  uint32_t Lookup(std::string_view s) const;
+
+  /// String of `code`. Requires code < size().
+  std::string Decode(uint32_t code) const;
+
+  uint32_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Resident footprint of the compressed form (bytes_ + restart array).
+  uint64_t ResidentBytes() const {
+    return bytes_.size() + restarts_.size() * sizeof(uint32_t);
+  }
+
+  /// Appends the serialized dictionary to `out`.
+  void Serialize(std::string* out) const;
+
+  /// Parses a dictionary starting at data[*pos]; advances *pos past it.
+  static StatusOr<FrontCodedDict> Deserialize(const std::string& data,
+                                              size_t* pos);
+
+  /// All strings in code order (tests / reconstruction).
+  std::vector<std::string> DecodeAll() const;
+
+ private:
+  /// Decodes entries starting at restart block `r` until `fn` returns
+  /// false or the block ends. fn(code, string_view-of-built-string).
+  template <typename Fn>
+  void ScanBlock(uint32_t r, Fn&& fn) const;
+
+  uint32_t count_ = 0;
+  std::vector<uint32_t> restarts_;  ///< byte offset of each restart entry
+  std::string bytes_;               ///< front-coded entry stream
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_STORAGE_DICTIONARY_H_

@@ -1,8 +1,10 @@
 #include "storage/segment_manifest.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
+#include "storage/dictionary.h"
 #include "util/crc32c.h"
 #include "util/varint.h"
 
@@ -11,6 +13,7 @@ namespace xtopk {
 namespace {
 constexpr char kMagicV1[] = "XTKSMAN1";
 constexpr char kMagicV2[] = "XTKSMAN2";
+constexpr char kMagicV3[] = "XTKSMAN3";
 constexpr size_t kMagicLen = 8;
 
 void PutFixed32(std::string* out, uint32_t value) {
@@ -113,6 +116,36 @@ Status SegmentManifest::SaveV1(const std::string& path) const {
   return SaveImpl(*this, path, /*with_histograms=*/false);
 }
 
+Status SegmentManifest::SaveV3(const std::string& path) const {
+  // Term order in the file is dictionary-code order (sorted); `terms` is
+  // sorted by convention, but re-derive the order so the writer never
+  // depends on it.
+  std::vector<uint32_t> order(terms.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return terms[a].term < terms[b].term;
+  });
+  std::vector<std::string> names;
+  names.reserve(terms.size());
+  for (uint32_t i : order) names.push_back(terms[i].term);
+  auto dict = FrontCodedDict::Build(names);
+  if (!dict.ok()) return dict.status();
+
+  std::string buf(kMagicV3, kMagicLen);
+  varint::PutU64(&buf, covered_nodes);
+  varint::PutU64(&buf, terms.size());
+  dict->Serialize(&buf);
+  for (uint32_t i : order) {
+    const SegmentTermStats& t = terms[i];
+    varint::PutU32(&buf, t.rows);
+    varint::PutU32(&buf, t.max_tf);
+    varint::PutU64(&buf, t.levels.size());
+    for (const LevelHistogram& hist : t.levels) PutHistogram(&buf, hist);
+  }
+  PutFixed32(&buf, crc32c::Compute(buf));
+  return WriteBuffer(buf, path);
+}
+
 StatusOr<SegmentManifest> SegmentManifest::Load(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
@@ -130,7 +163,8 @@ StatusOr<SegmentManifest> SegmentManifest::Load(const std::string& path) {
     return Status::Corruption("bad manifest magic: " + path);
   }
   bool v2 = buf.compare(0, kMagicLen, kMagicV2) == 0;
-  if (!v2 && buf.compare(0, kMagicLen, kMagicV1) != 0) {
+  bool v3 = buf.compare(0, kMagicLen, kMagicV3) == 0;
+  if (!v2 && !v3 && buf.compare(0, kMagicLen, kMagicV1) != 0) {
     return Status::Corruption("bad manifest magic: " + path);
   }
   std::string body = buf.substr(0, buf.size() - 4);
@@ -153,21 +187,36 @@ StatusOr<SegmentManifest> SegmentManifest::Load(const std::string& path) {
   if (term_count > body.size()) {
     return Status::Corruption("manifest term count overruns buffer: " + path);
   }
+  // v3: the names live in one front-coded dictionary ahead of the
+  // per-term records; code order == record order.
+  std::vector<std::string> dict_names;
+  if (v3) {
+    auto dict = FrontCodedDict::Deserialize(body, &pos);
+    if (!dict.ok()) return dict.status();
+    if (dict->size() != term_count) {
+      return Status::Corruption("manifest dictionary size mismatch: " + path);
+    }
+    dict_names = dict->DecodeAll();
+  }
   manifest.terms.reserve(term_count);
   for (uint64_t i = 0; i < term_count; ++i) {
     SegmentTermStats t;
-    uint64_t len = 0;
-    s = varint::GetU64(body, &pos, &len);
-    if (!s.ok()) return s;
-    if (pos + len > body.size()) {
-      return Status::Corruption("manifest term overruns buffer: " + path);
+    if (v3) {
+      t.term = std::move(dict_names[i]);
+    } else {
+      uint64_t len = 0;
+      s = varint::GetU64(body, &pos, &len);
+      if (!s.ok()) return s;
+      if (pos + len > body.size()) {
+        return Status::Corruption("manifest term overruns buffer: " + path);
+      }
+      t.term.assign(body, pos, len);
+      pos += len;
     }
-    t.term.assign(body, pos, len);
-    pos += len;
     s = varint::GetU32(body, &pos, &t.rows);
     if (s.ok()) s = varint::GetU32(body, &pos, &t.max_tf);
     if (!s.ok()) return s;
-    if (v2) {
+    if (v2 || v3) {
       uint64_t level_count = 0;
       s = varint::GetU64(body, &pos, &level_count);
       if (!s.ok()) return s;

@@ -54,6 +54,12 @@ struct SegmentManifest {
   /// Writes the legacy v1 layout (histograms dropped); kept so the
   /// backward-compat path stays testable without fixture files.
   Status SaveV1(const std::string& path) const;
+  /// Writes v3 ("XTKSMAN3"): identical to v2 except the term strings move
+  /// into one front-coded dictionary (storage/dictionary.h) ahead of the
+  /// per-term records, which then follow in dictionary-code order without
+  /// inline names. Written next to compressed (v3) disk segments; Load
+  /// reads all three versions.
+  Status SaveV3(const std::string& path) const;
   static StatusOr<SegmentManifest> Load(const std::string& path);
 };
 

@@ -1,0 +1,192 @@
+#include "xml/subtree_dag.h"
+
+#include <algorithm>
+#include <string_view>
+#include <unordered_map>
+
+namespace xtopk {
+
+namespace {
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t HashBytes(uint64_t h, std::string_view s) {
+  for (char c : s) h = Mix(h, static_cast<unsigned char>(c));
+  return Mix(h, s.size());
+}
+
+/// Per-node structural fingerprint inputs, computed in one post-order pass.
+struct NodeInfo {
+  uint64_t hash = 0;
+  uint32_t count = 1;  ///< subtree node count
+  uint32_t depth = 1;  ///< subtree level span
+};
+
+/// Exact structural equality of two subtrees (paired document-order walk).
+/// Guards against hash collisions; groups are small so this is cheap.
+bool SubtreesEqual(const XmlTree& tree, NodeId a, NodeId b,
+                   const std::vector<std::string>* attr_text) {
+  std::vector<std::pair<NodeId, NodeId>> stack{{a, b}};
+  while (!stack.empty()) {
+    auto [x, y] = stack.back();
+    stack.pop_back();
+    const XmlNode& nx = tree.node(x);
+    const XmlNode& ny = tree.node(y);
+    if (nx.tag_id != ny.tag_id || nx.text != ny.text) return false;
+    if (attr_text != nullptr && (*attr_text)[x] != (*attr_text)[y]) {
+      return false;
+    }
+    NodeId cx = nx.first_child, cy = ny.first_child;
+    while (cx != kInvalidNode && cy != kInvalidNode) {
+      stack.emplace_back(cx, cy);
+      cx = tree.node(cx).next_sibling;
+      cy = tree.node(cy).next_sibling;
+    }
+    if (cx != cy) return false;  // differing child counts
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<NodeId> SubtreeNodes(const XmlTree& tree, NodeId root) {
+  std::vector<NodeId> out;
+  std::vector<NodeId> stack{root};
+  while (!stack.empty()) {
+    NodeId id = stack.back();
+    stack.pop_back();
+    out.push_back(id);
+    // Push children reversed so the walk pops them in document order.
+    std::vector<NodeId> kids;
+    for (NodeId c = tree.node(id).first_child; c != kInvalidNode;
+         c = tree.node(c).next_sibling) {
+      kids.push_back(c);
+    }
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+SubtreeDagResult DetectSharedSubtrees(const XmlTree& tree,
+                                      const SubtreeDagOptions& options) {
+  SubtreeDagResult result;
+  if (tree.empty()) return result;
+  const size_t n = tree.node_count();
+
+  // Attribute fingerprints, only when the document carries any.
+  std::vector<std::string> attr_text;
+  const std::vector<std::string>* attr_ptr = nullptr;
+  if (!tree.attributes().empty()) {
+    attr_text.assign(n, std::string());
+    for (const XmlAttr& attr : tree.attributes()) {
+      attr_text[attr.node] += attr.name;
+      attr_text[attr.node] += '=';
+      attr_text[attr.node] += attr.value;
+      attr_text[attr.node] += '\x1f';
+    }
+    attr_ptr = &attr_text;
+  }
+
+  // Bottom-up fingerprints. NodeIds are assigned in document (pre-)order,
+  // so a reverse id sweep visits every child before its parent.
+  std::vector<NodeInfo> info(n);
+  for (NodeId id = static_cast<NodeId>(n); id-- > 0;) {
+    const XmlNode& node = tree.node(id);
+    uint64_t h = Mix(0x243f6a8885a308d3ULL, node.tag_id);
+    h = HashBytes(h, node.text);
+    if (attr_ptr != nullptr) h = HashBytes(h, attr_text[id]);
+    uint32_t count = 1, depth = 1;
+    for (NodeId c = node.first_child; c != kInvalidNode;
+         c = tree.node(c).next_sibling) {
+      h = Mix(h, info[c].hash);
+      count += info[c].count;
+      depth = std::max(depth, info[c].depth + 1);
+    }
+    info[id] = NodeInfo{h, count, depth};
+  }
+
+  // Group candidate roots by (fingerprint, level). Only subtrees big
+  // enough to matter enter the table.
+  std::unordered_map<uint64_t, std::vector<NodeId>> groups;
+  for (NodeId id = 0; id < n; ++id) {
+    if (info[id].count < options.min_subtree_nodes) continue;
+    uint64_t key = Mix(info[id].hash, tree.level(id));
+    groups[key].push_back(id);  // document order: ids ascend
+  }
+
+  // Exact-verify each group (collision safety) and split it into true
+  // equivalence classes.
+  std::vector<SubtreeClass> candidates;
+  for (auto& [key, roots] : groups) {
+    (void)key;
+    if (roots.size() < options.min_instances) continue;
+    std::vector<char> used(roots.size(), 0);
+    for (size_t i = 0; i < roots.size(); ++i) {
+      if (used[i]) continue;
+      SubtreeClass cls;
+      cls.level = tree.level(roots[i]);
+      cls.node_count = info[roots[i]].count;
+      cls.depth = info[roots[i]].depth;
+      cls.roots.push_back(roots[i]);
+      for (size_t j = i + 1; j < roots.size(); ++j) {
+        if (used[j]) continue;
+        if (SubtreesEqual(tree, roots[i], roots[j], attr_ptr)) {
+          used[j] = 1;
+          cls.roots.push_back(roots[j]);
+        }
+      }
+      used[i] = 1;
+      if (cls.roots.size() >= options.min_instances) {
+        candidates.push_back(std::move(cls));
+      }
+    }
+  }
+
+  // Greedy disjoint selection, largest structural savings first. The
+  // ordering (and the tie-break on the representative's id) makes the
+  // result deterministic across runs and platforms.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const SubtreeClass& a, const SubtreeClass& b) {
+              uint64_t sa = uint64_t(a.node_count) * (a.roots.size() - 1);
+              uint64_t sb = uint64_t(b.node_count) * (b.roots.size() - 1);
+              if (sa != sb) return sa > sb;
+              return a.roots[0] < b.roots[0];
+            });
+  std::vector<char> covered(n, 0);
+  for (SubtreeClass& cls : candidates) {
+    // Keep only instances disjoint from everything already selected; the
+    // class survives if at least min_instances of them remain.
+    std::vector<NodeId> keep_roots, nodes;
+    for (NodeId root : cls.roots) {
+      std::vector<NodeId> sub = SubtreeNodes(tree, root);
+      bool free = true;
+      for (NodeId id : sub) {
+        if (covered[id]) {
+          free = false;
+          break;
+        }
+      }
+      if (!free) continue;
+      keep_roots.push_back(root);
+      nodes.insert(nodes.end(), sub.begin(), sub.end());
+    }
+    if (keep_roots.size() < options.min_instances) continue;
+    for (NodeId id : nodes) covered[id] = 1;
+    cls.roots = std::move(keep_roots);
+    result.shared_nodes +=
+        uint64_t(cls.node_count) * (cls.roots.size() - 1);
+    result.classes.push_back(std::move(cls));
+  }
+  // Deterministic, document-ordered output (selection order is by size).
+  std::sort(result.classes.begin(), result.classes.end(),
+            [](const SubtreeClass& a, const SubtreeClass& b) {
+              return a.roots[0] < b.roots[0];
+            });
+  return result;
+}
+
+}  // namespace xtopk

@@ -1,0 +1,57 @@
+#ifndef XTOPK_XML_SUBTREE_DAG_H_
+#define XTOPK_XML_SUBTREE_DAG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "xml/xml_tree.h"
+
+namespace xtopk {
+
+/// Knobs of the build-time shared-subtree detection.
+struct SubtreeDagOptions {
+  /// Minimum nodes a subtree must span to be worth sharing. Tiny repeated
+  /// leaves (a lone <title>xml</title>) are everywhere in real corpora but
+  /// sharing them buys nothing and would perturb join statistics, so the
+  /// default skips them.
+  uint32_t min_subtree_nodes = 4;
+  /// Minimum number of identical copies (including the representative).
+  uint32_t min_instances = 2;
+};
+
+/// One equivalence class of identical subtrees: same tag, same direct text,
+/// same attributes, and recursively identical children, with every root at
+/// the same tree level (the precondition for the JDewey translation
+/// argument — see DESIGN.md §15). `roots` is in document order; the first
+/// root is the representative.
+struct SubtreeClass {
+  uint32_t level = 0;       ///< level of the subtree roots (1-based)
+  uint32_t node_count = 0;  ///< nodes per instance
+  uint32_t depth = 0;       ///< levels the subtree spans (root = depth 1)
+  std::vector<NodeId> roots;
+};
+
+/// Detection result: a set of pairwise node-disjoint classes. Disjointness
+/// (no chosen subtree overlaps another chosen class's subtree) keeps the
+/// expansion at query time single-level — a matched value belongs to at
+/// most one shared region.
+struct SubtreeDagResult {
+  std::vector<SubtreeClass> classes;
+  /// Nodes covered by non-representative instances (the structural
+  /// redundancy the DAG removes).
+  uint64_t shared_nodes = 0;
+};
+
+/// Hash-conses identical subtrees of `tree` bottom-up and greedily picks a
+/// disjoint set of classes, largest savings first. Deterministic for a
+/// given tree. O(nodes) hashing plus exact structural verification of each
+/// candidate group (hash collisions cannot produce a false class).
+SubtreeDagResult DetectSharedSubtrees(const XmlTree& tree,
+                                      const SubtreeDagOptions& options = {});
+
+/// All nodes of the subtree rooted at `root`, in document order.
+std::vector<NodeId> SubtreeNodes(const XmlTree& tree, NodeId root);
+
+}  // namespace xtopk
+
+#endif  // XTOPK_XML_SUBTREE_DAG_H_

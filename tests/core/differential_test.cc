@@ -104,6 +104,14 @@ TEST_P(DifferentialTest, AllEnginesAgreeOnSeededCorpus) {
   JDeweyIndex jindex = builder.BuildJDeweyIndex();
   DeweyIndex dindex = builder.BuildDeweyIndex();
 
+  // The same corpus with structure-aware compression enabled: DAG-shared
+  // subtrees plus a compacted term dictionary. Must answer bit-identically.
+  IndexBuildOptions compressed_options = build_options;
+  compressed_options.enable_dag = true;
+  compressed_options.enable_dict = true;
+  IndexBuilder compressed_builder(tree, compressed_options);
+  JDeweyIndex jindex_compressed = compressed_builder.BuildJDeweyIndex();
+
   // Disk segments: the current group-varint/auto checksummed format, the
   // legacy delta codec in both the checksummed and pre-checksum (v1)
   // container, each served with skip-decode on and off.
@@ -115,6 +123,7 @@ TEST_P(DifferentialTest, AllEnginesAgreeOnSeededCorpus) {
       {ColumnCodec::kAuto, false, true, "auto_v1_skip"},
   };
   std::vector<std::shared_ptr<DiskIndexEnv>> envs;
+  std::vector<std::string> config_names;
   std::vector<std::string> paths;
   for (const DiskConfig& config : kConfigs) {
     std::string path = TempPath("differential_" + std::to_string(seed) + "_" +
@@ -128,7 +137,26 @@ TEST_P(DifferentialTest, AllEnginesAgreeOnSeededCorpus) {
     ASSERT_TRUE(env.ok()) << config.name << ": " << env.status().ToString();
     EXPECT_EQ((*env)->checksums_verified(), config.checksums) << config.name;
     envs.push_back(*env);
+    config_names.push_back(config.name);
     paths.push_back(std::move(path));
+  }
+
+  // The compressed v3 container: front-coded term dictionary, DAG sidecar,
+  // dictionary-coded length/score rows — served by the same session layer.
+  {
+    std::string path =
+        TempPath("differential_" + std::to_string(seed) + "_dict_dag_v3");
+    DiskIndexWriter::Options v3;
+    v3.dict_terms = true;
+    v3.dag = true;
+    v3.dict_rows = true;
+    ASSERT_TRUE(DiskIndexWriter::Write(jindex_compressed, path, v3).ok());
+    auto env = DiskIndexEnv::Open(path, DiskIndexOptions{});
+    ASSERT_TRUE(env.ok()) << "dict_dag_v3: " << env.status().ToString();
+    envs.push_back(*env);
+    config_names.push_back("dict_dag_v3");
+    paths.push_back(std::move(path));
+    paths.push_back(paths.back() + ".manifest");
   }
 
   // Segmented configuration: the same corpus split round-robin across
@@ -196,6 +224,10 @@ TEST_P(DifferentialTest, AllEnginesAgreeOnSeededCorpus) {
       ExpectSameResults(search.Search(query.keywords), want,
                         label + " join policy=" +
                             std::to_string(static_cast<int>(policy)));
+      JoinSearch compressed_search(jindex_compressed, options);
+      ExpectSameResults(compressed_search.Search(query.keywords), want,
+                        label + " join compressed policy=" +
+                            std::to_string(static_cast<int>(policy)));
     }
 
     // Disk-resident: every codec/container/skip configuration, each with
@@ -208,10 +240,10 @@ TEST_P(DifferentialTest, AllEnginesAgreeOnSeededCorpus) {
         options.semantics = query.semantics;
         options.planner.policy = policy;
         auto got = session->SearchComplete(query.keywords, options);
-        ASSERT_TRUE(got.ok()) << label << " " << kConfigs[c].name << ": "
+        ASSERT_TRUE(got.ok()) << label << " " << config_names[c] << ": "
                               << got.status().ToString();
         ExpectSameResults(*got, want,
-                          label + " disk " + kConfigs[c].name + " policy=" +
+                          label + " disk " + config_names[c] + " policy=" +
                               std::to_string(static_cast<int>(policy)));
       }
       {
@@ -220,10 +252,10 @@ TEST_P(DifferentialTest, AllEnginesAgreeOnSeededCorpus) {
         options.semantics = query.semantics;
         options.k = query.k;
         auto got = session->SearchTopK(query.keywords, options);
-        ASSERT_TRUE(got.ok()) << label << " " << kConfigs[c].name << ": "
+        ASSERT_TRUE(got.ok()) << label << " " << config_names[c] << ": "
                               << got.status().ToString();
         ExpectTopKMatchesComplete(*got, want, query.k,
-                                  label + " topk " + kConfigs[c].name);
+                                  label + " topk " + config_names[c]);
       }
     }
 
@@ -279,6 +311,112 @@ TEST_P(DifferentialTest, AllEnginesAgreeOnSeededCorpus) {
 
 INSTANTIATE_TEST_SUITE_P(SeededCorpora, DifferentialTest,
                          ::testing::Range<uint64_t>(1, 56),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// High-repetition family: trees built from repeated identical subtrees —
+// the corpus shape the DAG/dictionary compression exists for, so shared
+// classes are plentiful and every query path exercises dedup expansion.
+class HighRepetitionDifferentialTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HighRepetitionDifferentialTest, CompressedEnginesMatchOracle) {
+  const uint64_t seed = GetParam();
+  CorpusSpec spec = testing::MakeHighRepetitionSpec(seed);
+  XmlTree tree = MakeCorpusTree(spec);
+  std::vector<WorkloadQuery> workload = MakeRandomWorkload(spec, 6);
+
+  IndexBuildOptions build_options;
+  build_options.index_tag_names = false;
+  IndexBuilder builder(tree, build_options);
+  JDeweyIndex jindex = builder.BuildJDeweyIndex();
+  DeweyIndex dindex = builder.BuildDeweyIndex();
+
+  IndexBuildOptions compressed_options = build_options;
+  compressed_options.enable_dag = true;
+  compressed_options.enable_dict = true;
+  IndexBuilder compressed_builder(tree, compressed_options);
+  JDeweyIndex jindex_compressed = compressed_builder.BuildJDeweyIndex();
+  // This family must actually trigger the DAG: at least one shared class.
+  size_t dag_lists = 0;
+  for (const std::string& term : spec.terms) {
+    const JDeweyList* list = jindex_compressed.GetList(term);
+    if (list != nullptr && list->dag != nullptr) ++dag_lists;
+  }
+  EXPECT_GT(dag_lists, 0u) << "seed=" << seed
+                           << ": high-repetition corpus built no DAG";
+
+  // Compressed v3 container over the compressed build.
+  std::string v3_path =
+      TempPath("differential_hirep_" + std::to_string(seed) + "_v3");
+  DiskIndexWriter::Options v3;
+  v3.dict_terms = true;
+  v3.dag = true;
+  v3.dict_rows = true;
+  ASSERT_TRUE(DiskIndexWriter::Write(jindex_compressed, v3_path, v3).ok());
+  auto env = DiskIndexEnv::Open(v3_path, DiskIndexOptions{});
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+
+  for (size_t qi = 0; qi < workload.size(); ++qi) {
+    const WorkloadQuery& query = workload[qi];
+    std::string label = "hirep seed=" + std::to_string(seed) +
+                        " query=" + std::to_string(qi) +
+                        (query.semantics == Semantics::kElca ? " ELCA"
+                                                             : " SLCA");
+
+    std::vector<SearchResult> want;
+    {
+      StackSearchOptions options;
+      options.semantics = query.semantics;
+      StackSearch search(tree, dindex, options);
+      want = search.Search(query.keywords);
+    }
+    {
+      IndexedLookupOptions options;
+      options.semantics = query.semantics;
+      options.compute_scores = true;
+      IndexedLookupSearch search(tree, dindex, options);
+      ExpectSameResults(search.Search(query.keywords), want,
+                        label + " indexed-lookup");
+    }
+
+    for (JoinPolicy policy : {JoinPolicy::kDynamic, JoinPolicy::kForceMerge}) {
+      JoinSearchOptions options;
+      options.semantics = query.semantics;
+      options.planner.policy = policy;
+      JoinSearch plain(jindex, options);
+      ExpectSameResults(plain.Search(query.keywords), want, label + " plain");
+      JoinSearch compressed(jindex_compressed, options);
+      ExpectSameResults(compressed.Search(query.keywords), want,
+                        label + " compressed policy=" +
+                            std::to_string(static_cast<int>(policy)));
+
+      auto session = (*env)->NewSession();
+      auto got = session->SearchComplete(query.keywords, options);
+      ASSERT_TRUE(got.ok()) << label << ": " << got.status().ToString();
+      ExpectSameResults(*got, want,
+                        label + " disk v3 policy=" +
+                            std::to_string(static_cast<int>(policy)));
+    }
+    {
+      auto session = (*env)->NewSession();
+      TopKSearchOptions options;
+      options.semantics = query.semantics;
+      options.k = query.k;
+      auto got = session->SearchTopK(query.keywords, options);
+      ASSERT_TRUE(got.ok()) << label << ": " << got.status().ToString();
+      ExpectTopKMatchesComplete(*got, want, query.k, label + " disk v3 topk");
+    }
+  }
+
+  (*env).reset();
+  std::remove(v3_path.c_str());
+  std::remove((v3_path + ".manifest").c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(HighRepetitionCorpora, HighRepetitionDifferentialTest,
+                         ::testing::Range<uint64_t>(1, 21),
                          [](const ::testing::TestParamInfo<uint64_t>& info) {
                            return "seed" + std::to_string(info.param);
                          });

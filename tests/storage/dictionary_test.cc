@@ -1,0 +1,157 @@
+// Front-coded dictionary (storage/dictionary.h): build/lookup/decode
+// round trips, restart-boundary behavior, serialization, and corruption
+// rejection (every truncation / byte flip must yield a typed Status, never
+// a crash or a silently wrong dictionary).
+
+#include "storage/dictionary.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace xtopk {
+namespace {
+
+std::vector<std::string> SortedUnique(std::vector<std::string> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+TEST(FrontCodedDictTest, EmptyDictionary) {
+  auto dict = FrontCodedDict::Build({});
+  ASSERT_TRUE(dict.ok());
+  EXPECT_EQ(dict->size(), 0u);
+  EXPECT_TRUE(dict->empty());
+  EXPECT_EQ(dict->Lookup("anything"), FrontCodedDict::kNotFound);
+  std::string blob;
+  dict->Serialize(&blob);
+  size_t pos = 0;
+  auto back = FrontCodedDict::Deserialize(blob, &pos);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 0u);
+  EXPECT_EQ(pos, blob.size());
+}
+
+TEST(FrontCodedDictTest, LookupAndDecodeRoundTrip) {
+  // Heavily shared prefixes (the case front coding exists for), spanning
+  // several restart blocks.
+  std::vector<std::string> strings;
+  for (int i = 0; i < 100; ++i) {
+    strings.push_back("prefix_shared_" + std::to_string(1000 + i));
+  }
+  strings.push_back("");  // empty string is a valid term edge case
+  strings.push_back("zzz");
+  strings = SortedUnique(strings);
+
+  auto dict = FrontCodedDict::Build(strings);
+  ASSERT_TRUE(dict.ok());
+  ASSERT_EQ(dict->size(), strings.size());
+  for (uint32_t code = 0; code < strings.size(); ++code) {
+    EXPECT_EQ(dict->Decode(code), strings[code]) << code;
+    EXPECT_EQ(dict->Lookup(strings[code]), code) << strings[code];
+  }
+  EXPECT_EQ(dict->DecodeAll(), strings);
+  // Misses: near neighbors of present strings, probing both block interiors
+  // and restart boundaries.
+  EXPECT_EQ(dict->Lookup("prefix_shared_0999"), FrontCodedDict::kNotFound);
+  EXPECT_EQ(dict->Lookup("prefix_shared_1050x"), FrontCodedDict::kNotFound);
+  EXPECT_EQ(dict->Lookup("zzzz"), FrontCodedDict::kNotFound);
+  EXPECT_EQ(dict->Lookup("a"), FrontCodedDict::kNotFound);
+}
+
+TEST(FrontCodedDictTest, RejectsUnsortedAndDuplicates) {
+  EXPECT_FALSE(FrontCodedDict::Build({"b", "a"}).ok());
+  EXPECT_FALSE(FrontCodedDict::Build({"a", "a"}).ok());
+}
+
+TEST(FrontCodedDictTest, RandomizedRoundTrip) {
+  Rng rng(4242);
+  std::vector<std::string> strings;
+  for (int i = 0; i < 500; ++i) {
+    std::string s;
+    size_t len = rng.NextBounded(12);
+    for (size_t j = 0; j < len; ++j) {
+      s.push_back(static_cast<char>('a' + rng.NextBounded(6)));
+    }
+    strings.push_back(std::move(s));
+  }
+  strings = SortedUnique(strings);
+  auto dict = FrontCodedDict::Build(strings);
+  ASSERT_TRUE(dict.ok());
+
+  std::string blob = "envelope-prefix";
+  size_t start = blob.size();
+  dict->Serialize(&blob);
+  blob += "trailing-section";
+  size_t pos = start;
+  auto back = FrontCodedDict::Deserialize(blob, &pos);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(pos, blob.size() - std::string("trailing-section").size());
+  ASSERT_EQ(back->size(), strings.size());
+  for (uint32_t code = 0; code < strings.size(); ++code) {
+    EXPECT_EQ(back->Decode(code), strings[code]);
+    EXPECT_EQ(back->Lookup(strings[code]), code);
+  }
+  // Lookups of absent strings agree between the built and reparsed forms.
+  for (int i = 0; i < 200; ++i) {
+    std::string s;
+    size_t len = rng.NextBounded(12);
+    for (size_t j = 0; j < len; ++j) {
+      s.push_back(static_cast<char>('a' + rng.NextBounded(8)));
+    }
+    EXPECT_EQ(dict->Lookup(s), back->Lookup(s)) << s;
+  }
+}
+
+TEST(FrontCodedDictTest, TruncationAlwaysRejected) {
+  std::vector<std::string> strings;
+  for (int i = 0; i < 40; ++i) strings.push_back("term" + std::to_string(i));
+  strings = SortedUnique(strings);
+  auto dict = FrontCodedDict::Build(strings);
+  ASSERT_TRUE(dict.ok());
+  std::string blob;
+  dict->Serialize(&blob);
+  for (size_t cut = 0; cut < blob.size(); ++cut) {
+    std::string truncated = blob.substr(0, cut);
+    size_t pos = 0;
+    auto result = FrontCodedDict::Deserialize(truncated, &pos);
+    EXPECT_FALSE(result.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(FrontCodedDictTest, ByteFlipsNeverCrashOrYieldWrongOrder) {
+  std::vector<std::string> strings;
+  for (int i = 0; i < 48; ++i) {
+    strings.push_back("shared_stem_" + std::to_string(100 + i));
+  }
+  auto dict = FrontCodedDict::Build(SortedUnique(strings));
+  ASSERT_TRUE(dict.ok());
+  std::string blob;
+  dict->Serialize(&blob);
+  for (size_t i = 0; i < blob.size(); ++i) {
+    for (uint8_t flip : {0x01, 0x80, 0xFF}) {
+      std::string corrupted = blob;
+      corrupted[i] = static_cast<char>(corrupted[i] ^ flip);
+      size_t pos = 0;
+      auto result = FrontCodedDict::Deserialize(corrupted, &pos);
+      if (!result.ok()) continue;  // typed rejection is the expected path
+      // A flip that survives parsing must still decode a sorted, unique
+      // sequence (the invariant binary-searched lookups rely on).
+      std::vector<std::string> all = result->DecodeAll();
+      EXPECT_TRUE(std::is_sorted(all.begin(), all.end()))
+          << "byte " << i << " flip " << int(flip);
+      std::set<std::string> uniq(all.begin(), all.end());
+      EXPECT_EQ(uniq.size(), all.size())
+          << "byte " << i << " flip " << int(flip);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xtopk

@@ -472,6 +472,118 @@ TEST(FaultInjectionTest, ConcurrentSessionsUnderFaultStayConsistent) {
                                       tuple + " post-clear"));
 }
 
+/// Compressed v3 corpus: a high-repetition document indexed with the DAG
+/// and dictionary enabled, written as a v3 container (front-coded term
+/// dictionary, DAG sidecar, dictionary-coded rows). Reuses the SharedCorpus
+/// shape so the same RunOneInjection machinery sweeps it: v2_path holds the
+/// v3 segment and observed_reads_v2 its read count.
+const SharedCorpus& CompressedCorpus() {
+  static SharedCorpus* shared = [] {
+    auto* s = new SharedCorpus;
+    FaultInjector::Global().Clear();
+
+    CorpusSpec spec;
+    spec.seed = 11;
+    spec.repeated = true;
+    spec.rep_groups = 6;
+    spec.rep_copies = 30;
+    spec.terms = {"alpha", "beta", "gamma", "delta"};
+    s->tree = MakeCorpusTree(spec);
+    IndexBuildOptions build_options;
+    build_options.index_tag_names = false;
+    build_options.enable_dag = true;
+    build_options.enable_dict = true;
+    IndexBuilder builder(s->tree, build_options);
+    s->jindex = builder.BuildJDeweyIndex();
+    s->dindex = builder.BuildDeweyIndex();
+    s->workload = MakeRandomWorkload(spec, 4);
+    for (const WorkloadQuery& query : s->workload) {
+      StackSearchOptions options;
+      options.semantics = query.semantics;
+      StackSearch search(s->tree, s->dindex, options);
+      s->expected.push_back(search.Search(query.keywords));
+    }
+
+    s->v2_path = ::testing::TempDir() + "/fault_injection_v3_compressed";
+    DiskIndexWriter::Options v3;
+    v3.dict_terms = true;
+    v3.dag = true;
+    v3.dict_rows = true;
+    if (!DiskIndexWriter::Write(s->jindex, s->v2_path, v3).ok()) std::abort();
+
+    FaultPlan observe;
+    observe.kind = FaultKind::kNone;
+    FaultInjector::Global().SetPlan(observe);
+    auto env = DiskIndexEnv::Open(s->v2_path, SweepOptions());
+    if (!env.ok()) std::abort();
+    if (!RunWorkloadChecked(*s, env->get(), /*strict=*/true, "observe v3")
+             .empty()) {
+      std::abort();
+    }
+    s->observed_reads_v2 = FaultInjector::Global().CallCount("pagefile.read");
+    FaultInjector::Global().Clear();
+    return s;
+  }();
+  return *shared;
+}
+
+/// The sweep for the compressed container: damage at every observed read
+/// index must be detected or recovered exactly like the plain v2 format —
+/// the dictionary, DAG sidecar and dictionary-coded row sections included
+/// (a corrupt sidecar must never crash or silently mistranslate a term,
+/// and a damaged dedup column must never expand to a wrong full column).
+TEST(FaultInjectionTest, SweepCompressedV3SegmentDetectsOrRecovers) {
+  const SharedCorpus& c = CompressedCorpus();
+  const FaultKind kKinds[] = {FaultKind::kBitFlip, FaultKind::kShortRead,
+                              FaultKind::kTransientIoError};
+  const uint64_t reads = std::max<uint64_t>(c.observed_reads_v2, 1);
+  const uint64_t stride = std::max<uint64_t>(1, reads / 48);
+  for (uint64_t damage_seed = 1; damage_seed <= 3; ++damage_seed) {
+    for (FaultKind kind : kKinds) {
+      for (bool persistent : {false, true}) {
+        for (uint64_t trigger = 0; trigger < reads; trigger += stride) {
+          FaultPlan plan;
+          plan.kind = kind;
+          plan.site = "pagefile.read";
+          plan.trigger = trigger;
+          plan.count = persistent ? UINT64_MAX : 1;
+          plan.seed = damage_seed * 1000033ull + trigger;
+          RunOneInjection(c, plan, c.v2_path, "v3_dict_dag");
+          if (HasFailure()) return;
+        }
+      }
+    }
+  }
+}
+
+/// Truncation of the compressed container: the sidecar and footer live in
+/// the lost tail, so Open must fail typed; the undamaged file must serve
+/// correctly once the plan clears.
+TEST(FaultInjectionTest, TruncatedCompressedV3FailsOpenWithTypedStatus) {
+  const SharedCorpus& c = CompressedCorpus();
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    FaultPlan plan;
+    plan.kind = FaultKind::kTruncate;
+    plan.site = "pagefile.open";
+    plan.trigger = 0;
+    plan.seed = seed;
+    const std::string tuple = TupleString(plan, "v3_dict_dag");
+    FaultInjector::Global().SetPlan(plan);
+    auto env = DiskIndexEnv::Open(c.v2_path, FastRetryOptions());
+    if (env.ok() || !TypedStorageFailure(env.status())) {
+      std::string v = tuple + " : truncated open did not fail typed (" +
+                      env.status().ToString() + ")";
+      RecordFailingTuple(v);
+      ADD_FAILURE() << v;
+    }
+    FaultInjector::Global().Clear();
+  }
+  auto env = DiskIndexEnv::Open(c.v2_path, FastRetryOptions());
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+  ReportViolations(RunWorkloadChecked(c, env->get(), /*strict=*/true,
+                                      "v3_dict_dag post-truncate-sweep"));
+}
+
 /// The environment knob drives the same machinery: a parsed
 /// XTOPK_FAULT_INJECT-style spec armed as a plan makes a persistent read
 /// fault surface as a typed error, exactly like the programmatic path.

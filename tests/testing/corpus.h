@@ -108,6 +108,45 @@ inline XmlTree MakeRandomTree(uint64_t seed, size_t max_nodes,
   return tree;
 }
 
+/// High-repetition corpus family: `copies` identical multi-node subtrees
+/// (an item with props/name/payload children carrying the planted terms)
+/// attached under per-group containers, interleaved with unique filler
+/// items so shared and unshared structure coexist. This is the corpus
+/// shape the structure-aware compression layer (DESIGN.md §15) exists
+/// for: every copy of the repeated item produces identical inverted-list
+/// runs that the subtree DAG shares. Deterministic per seed.
+inline XmlTree MakeRepeatedSubtreeTree(uint64_t seed, size_t groups,
+                                       size_t copies_per_group,
+                                       const std::vector<std::string>& terms) {
+  Rng rng(seed * 0xD1B54A32D192ED03ull + 11);
+  XmlTree tree;
+  NodeId root = tree.CreateRoot("catalog");
+  for (size_t g = 0; g < groups; ++g) {
+    NodeId group = tree.AddChild(root, "section");
+    // The repeated item: >= 4 nodes, terms fixed per group so every copy
+    // within the group is structurally identical.
+    size_t t0 = rng.NextBounded(terms.size());
+    size_t t1 = rng.NextBounded(terms.size());
+    for (size_t c = 0; c < copies_per_group; ++c) {
+      NodeId item = tree.AddChild(group, "item");
+      NodeId name = tree.AddChild(item, "name");
+      tree.AppendText(name, terms[t0]);
+      NodeId props = tree.AddChild(item, "props");
+      NodeId payload = tree.AddChild(props, "payload");
+      tree.AppendText(payload, terms[t1] + " " + terms[t0]);
+      // Unique filler sibling between some copies so the shared regions
+      // are not wall-to-wall contiguous.
+      if (rng.NextBernoulli(0.3)) {
+        NodeId filler = tree.AddChild(group, "note");
+        tree.AppendText(filler, terms[rng.NextBounded(terms.size())] +
+                                    " u" + std::to_string(g) + "_" +
+                                    std::to_string(c));
+      }
+    }
+  }
+  return tree;
+}
+
 /// Shape parameters of one seeded random corpus. Derived deterministically
 /// from a seed so a failing (seed) tuple in a differential or fault sweep
 /// reproduces the whole document + workload.
@@ -118,6 +157,11 @@ struct CorpusSpec {
   uint32_t max_depth = 0;
   double term_prob = 0.0;
   std::vector<std::string> terms;
+  /// High-repetition family (MakeHighRepetitionSpec): the tree is built
+  /// from repeated identical subtrees instead of the uniform random shape.
+  bool repeated = false;
+  size_t rep_groups = 0;
+  size_t rep_copies = 0;
 };
 
 /// Deterministic corpus spec for `seed`: tree size, fan-out, depth and
@@ -137,7 +181,28 @@ inline CorpusSpec MakeCorpusSpec(uint64_t seed) {
   return spec;
 }
 
+/// Deterministic spec of the high-repetition family: few distinct subtree
+/// shapes, many identical copies each. The differential harness runs these
+/// seeds with the compressed-index configuration so the DAG/dictionary
+/// layer is exercised against the exact baselines.
+inline CorpusSpec MakeHighRepetitionSpec(uint64_t seed) {
+  Rng rng(seed * 0xBF58476D1CE4E5B9ull + 3);
+  CorpusSpec spec;
+  spec.seed = seed;
+  spec.repeated = true;
+  spec.rep_groups = 2 + rng.NextBounded(4);    // 2..5 distinct shapes
+  spec.rep_copies = 6 + rng.NextBounded(20);   // 6..25 copies each
+  static const char* kVocab[] = {"alpha", "beta", "gamma", "delta", "eps"};
+  size_t term_count = 2 + rng.NextBounded(3);
+  for (size_t i = 0; i < term_count; ++i) spec.terms.push_back(kVocab[i]);
+  return spec;
+}
+
 inline XmlTree MakeCorpusTree(const CorpusSpec& spec) {
+  if (spec.repeated) {
+    return MakeRepeatedSubtreeTree(spec.seed, spec.rep_groups,
+                                   spec.rep_copies, spec.terms);
+  }
   return MakeRandomTree(spec.seed, spec.nodes, spec.max_children,
                         spec.max_depth, spec.terms, spec.term_prob);
 }
