@@ -1,0 +1,306 @@
+// Query-service load generator (DESIGN.md §16 "Query service").
+//
+// Two sections, each emitting one machine-readable BENCH line:
+//
+//   A. closed loop — N clients issue blocking Execute() calls back-to-back
+//      against a QueryService worker pool. Throughput here is the service
+//      capacity (the knee of the latency curve), and the latency
+//      percentiles are the un-queued service times.
+//   B. open loop at 2x overload — a dispatcher offers 2x the measured
+//      capacity with burst-corrected pacing, 25% high / 75% low priority,
+//      every request carrying a 50 ms deadline. Under overload the service
+//      must shed (typed kShedOverload + retry hint) rather than queue
+//      without bound: the line reports goodput (kOk per second), shed
+//      latency p99 (sheds are answered inline, so microseconds), and
+//      queue_collapse — requests still unanswered after the drain window,
+//      which must be zero.
+//
+// The CI perf-smoke gate greps these lines and asserts
+//   goodput >= 0.8 * capacity, shed p99 < 100 ms, queue_collapse == 0.
+//
+// The result cache is sized far below the distinct-query pool so the
+// engine stays on the critical path; the cache hit rate is reported so a
+// future regression (cache suddenly absorbing the load) is visible.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "serve/protocol.h"
+#include "serve/query_service.h"
+#include "workload/dblp_gen.h"
+
+namespace {
+
+using namespace xtopk;
+using serve::Priority;
+using serve::QueryRequest;
+using serve::QueryResponse;
+using serve::QueryService;
+using serve::QueryServiceOptions;
+using serve::ResponseStatus;
+
+constexpr size_t kWorkers = 4;
+constexpr size_t kClosedClients = 8;   // > workers: keeps the pool saturated
+constexpr uint64_t kDeadlineUs = 50'000;
+constexpr uint32_t kRetryAfterMs = 25;
+
+double SecondsEnv(const char* name, double fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return fallback;
+  double v = std::atof(env);
+  return v > 0 ? v : fallback;
+}
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The serving corpus: smaller than the figure benches (the perf gate
+/// runs on every CI push) but with the same planted-frequency shape.
+struct ServeCorpus {
+  XmlTree tree;
+  std::vector<std::vector<std::string>> queries;
+};
+
+ServeCorpus BuildServeCorpus() {
+  DblpGenOptions gen;
+  gen.num_conferences = 30;
+  gen.years_per_conference = 8;
+  gen.papers_per_year = 25 * bench::BenchScale();
+  gen.seed = 2029;
+  for (uint32_t i = 0; i < 4; ++i) {
+    gen.planted.push_back({"hi" + std::to_string(i), 2000, "", 0.0});
+  }
+  for (uint32_t i = 0; i < 8; ++i) {
+    gen.planted.push_back({"lo100q" + std::to_string(i), 100, "", 0.0});
+    gen.planted.push_back({"lo1000q" + std::to_string(i), 1000, "", 0.0});
+  }
+  ServeCorpus corpus;
+  DblpCorpus dblp = GenerateDblp(gen);
+  corpus.tree = std::move(dblp.tree);
+  std::fprintf(stderr, "[bench] serve corpus: %zu nodes\n",
+               corpus.tree.node_count());
+  // 16 distinct mixed-frequency queries — the steady-state recurring mix.
+  for (uint32_t i = 0; i < 8; ++i) {
+    corpus.queries.push_back(
+        {"lo100q" + std::to_string(i), "hi" + std::to_string(i % 4)});
+    corpus.queries.push_back({"lo1000q" + std::to_string(i),
+                              "hi" + std::to_string(i % 4),
+                              "hi" + std::to_string((i + 1) % 4)});
+  }
+  return corpus;
+}
+
+QueryRequest MakeRequest(const ServeCorpus& corpus, uint64_t seq,
+                         Priority priority) {
+  QueryRequest request;
+  request.request_id = static_cast<uint32_t>(seq);
+  request.priority = priority;
+  request.k = 10;
+  request.deadline_us = kDeadlineUs;
+  request.keywords = corpus.queries[seq % corpus.queries.size()];
+  return request;
+}
+
+double PercentileUs(std::vector<uint64_t>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  size_t rank = static_cast<size_t>(q * static_cast<double>(sorted_us.size()));
+  if (rank >= sorted_us.size()) rank = sorted_us.size() - 1;
+  return static_cast<double>(sorted_us[rank]);
+}
+
+QueryServiceOptions ServiceOptions() {
+  QueryServiceOptions options;
+  options.workers = kWorkers;
+  options.max_queue_high = 32;
+  options.max_queue_low = 32;
+  options.retry_after_ms = kRetryAfterMs;
+  // Far below the 16-query rotation x nothing: engine work dominates.
+  options.result_cache_capacity = 4;
+  return options;
+}
+
+struct ClosedLoopResult {
+  double capacity_qps = 0;
+  double p50_us = 0, p99_us = 0, p999_us = 0;
+};
+
+/// Section A: blocking clients back-to-back = service capacity.
+ClosedLoopResult RunClosedLoop(const ServeCorpus& corpus,
+                               serve::EngineBackend& backend,
+                               double seconds) {
+  QueryService service(&backend, ServiceOptions());
+  std::atomic<uint64_t> sequence{0};
+  std::atomic<uint64_t> ok{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<uint64_t>> latencies(kClosedClients);
+
+  // Warm the engine's per-term state once per distinct query.
+  for (size_t i = 0; i < corpus.queries.size(); ++i) {
+    service.Execute(MakeRequest(corpus, i, Priority::kHigh));
+  }
+
+  uint64_t start = NowUs();
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < kClosedClients; ++c) {
+    clients.emplace_back([&, c] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        uint64_t seq = sequence.fetch_add(1, std::memory_order_relaxed);
+        uint64_t begin = NowUs();
+        QueryResponse response =
+            service.Execute(MakeRequest(corpus, seq, Priority::kHigh));
+        if (response.status == ResponseStatus::kOk) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+          latencies[c].push_back(NowUs() - begin);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& client : clients) client.join();
+  double elapsed = static_cast<double>(NowUs() - start) / 1e6;
+  service.Stop();
+
+  std::vector<uint64_t> merged;
+  for (auto& bucket : latencies) {
+    merged.insert(merged.end(), bucket.begin(), bucket.end());
+  }
+  std::sort(merged.begin(), merged.end());
+
+  ClosedLoopResult result;
+  result.capacity_qps = static_cast<double>(ok.load()) / elapsed;
+  result.p50_us = PercentileUs(merged, 0.50);
+  result.p99_us = PercentileUs(merged, 0.99);
+  result.p999_us = PercentileUs(merged, 0.999);
+
+  bench::BenchJson("serve_load")
+      .Field("section", "closed_loop")
+      .Field("clients", static_cast<uint64_t>(kClosedClients))
+      .Field("workers", static_cast<uint64_t>(kWorkers))
+      .Field("ok", ok.load())
+      .Field("capacity_qps", result.capacity_qps)
+      .Field("p50_us", result.p50_us)
+      .Field("p99_us", result.p99_us)
+      .Field("p999_us", result.p999_us)
+      .Emit();
+  return result;
+}
+
+/// Section B: offered load = 2x capacity; the service must shed, not
+/// collapse.
+void RunOverload(const ServeCorpus& corpus, serve::EngineBackend& backend,
+                 double capacity_qps, double seconds) {
+  QueryService service(&backend, ServiceOptions());
+  double offered_qps = 2.0 * capacity_qps;
+
+  std::mutex mu;
+  std::vector<uint64_t> ok_us, shed_us;
+  uint64_t expired = 0, other = 0;
+  std::atomic<uint64_t> answered{0};
+
+  uint64_t submitted = 0;
+  uint64_t start = NowUs();
+  uint64_t horizon = start + static_cast<uint64_t>(seconds * 1e6);
+  while (true) {
+    uint64_t now = NowUs();
+    if (now >= horizon) break;
+    // Burst-corrected pacing: submit the arrival deficit, then nap. At
+    // high offered rates per-request sleeps would under-offer.
+    uint64_t due = static_cast<uint64_t>(
+        offered_qps * static_cast<double>(now - start) / 1e6);
+    while (submitted < due) {
+      Priority priority =
+          (submitted % 4 == 0) ? Priority::kHigh : Priority::kLow;
+      uint64_t begin = NowUs();
+      service.Submit(
+          MakeRequest(corpus, submitted, priority),
+          [&, begin](QueryResponse response) {
+            uint64_t latency = NowUs() - begin;
+            {
+              std::lock_guard<std::mutex> lock(mu);
+              switch (response.status) {
+                case ResponseStatus::kOk:
+                  ok_us.push_back(latency);
+                  break;
+                case ResponseStatus::kShedOverload:
+                  shed_us.push_back(latency);
+                  break;
+                case ResponseStatus::kDeadlineExpired:
+                case ResponseStatus::kPartial:
+                  ++expired;
+                  break;
+                default:
+                  ++other;
+              }
+            }
+            answered.fetch_add(1, std::memory_order_release);
+          });
+      ++submitted;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  double offered_elapsed = static_cast<double>(NowUs() - start) / 1e6;
+
+  // Drain window: every submitted request must be answered promptly —
+  // an unanswered request is queue collapse, the thing shedding exists
+  // to prevent.
+  uint64_t drain_deadline = NowUs() + 2'000'000;
+  while (answered.load(std::memory_order_acquire) < submitted &&
+         NowUs() < drain_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  uint64_t queue_collapse = submitted - answered.load();
+  service.Stop();
+
+  std::lock_guard<std::mutex> lock(mu);
+  std::sort(ok_us.begin(), ok_us.end());
+  std::sort(shed_us.begin(), shed_us.end());
+  double goodput = static_cast<double>(ok_us.size()) / offered_elapsed;
+  serve::QueryServiceStats stats = service.stats();
+
+  bench::BenchJson("serve_load")
+      .Field("section", "overload_2x")
+      .Field("offered_qps", offered_qps)
+      .Field("submitted", submitted)
+      .Field("goodput_qps", goodput)
+      .Field("goodput_ratio",
+             capacity_qps > 0 ? goodput / capacity_qps : 0.0)
+      .Field("ok", static_cast<uint64_t>(ok_us.size()))
+      .Field("shed", static_cast<uint64_t>(shed_us.size()))
+      .Field("expired", expired)
+      .Field("errors", other)
+      .Field("queue_collapse", queue_collapse)
+      .Field("ok_p50_us", PercentileUs(ok_us, 0.50))
+      .Field("ok_p99_us", PercentileUs(ok_us, 0.99))
+      .Field("ok_p999_us", PercentileUs(ok_us, 0.999))
+      .Field("shed_p99_us", PercentileUs(shed_us, 0.99))
+      .Field("cache_hit_rate",
+             bench::HitRate(stats.cache_hits, stats.cache_misses))
+      .Emit();
+}
+
+}  // namespace
+
+int main() {
+  ServeCorpus corpus = BuildServeCorpus();
+  Engine engine(corpus.tree);
+  serve::EngineBackend backend(&engine);
+
+  double closed_seconds = SecondsEnv("XTOPK_SERVE_BENCH_SECONDS", 1.5);
+  ClosedLoopResult capacity = RunClosedLoop(corpus, backend, closed_seconds);
+  RunOverload(corpus, backend, capacity.capacity_qps, closed_seconds);
+  return 0;
+}

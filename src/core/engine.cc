@@ -132,12 +132,14 @@ BatchQueryResult Engine::RunQuery(const BatchQuery& query,
     join_options.compute_scores = true;
     join_options.scoring = options_.scoring;
     join_options.plan_cache = &plan_cache_;
+    join_options.deadline = query.deadline;
     join_options.trace = trace;
     JoinSearch search(jdewey_index_, join_options);
     std::vector<SearchResult> found = search.Search(normalized);
     obs::ScopedSpan span(trace, "materialize");
     SortByScoreDesc(&found);
     out.hits = Materialize(found);
+    out.status = search.status();
     span.Stat("hits", static_cast<double>(out.hits.size()));
     out.join_stats = search.stats();
     out.accounting.planner_mode = PlannerModeName(
@@ -148,11 +150,13 @@ BatchQueryResult Engine::RunQuery(const BatchQuery& query,
     topk_options.k = query.k;
     topk_options.scoring = options_.scoring;
     topk_options.plan_cache = &plan_cache_;
+    topk_options.deadline = query.deadline;
     topk_options.trace = trace;
     TopKSearch search(topk_index_, topk_options);
     std::vector<SearchResult> found = search.Search(normalized);
     obs::ScopedSpan span(trace, "materialize");
     out.hits = Materialize(found);
+    out.status = search.status();
     span.Stat("hits", static_cast<double>(out.hits.size()));
     out.accounting.planner_mode = PlannerModeName(
         search.stats().planned, search.stats().plan_cache_hit);
@@ -173,6 +177,9 @@ BatchQueryResult Engine::RunQuery(const BatchQuery& query,
   out.accounting.cpu_us = obs::ThreadCpuMicros() - cpu_start;
 
   XTOPK_COUNTER("engine.queries").Add(1);
+  if (out.status.code() == StatusCode::kDeadlineExceeded) {
+    XTOPK_COUNTER("engine.deadline_expirations").Add(1);
+  }
   XTOPK_HISTOGRAM("engine.query_us")
       .Record(static_cast<uint64_t>(wall_us));
   XTOPK_WINDOWED_COUNTER("engine.queries").Add(1);

@@ -14,6 +14,8 @@
 #include "index/topk_index.h"
 #include "obs/accounting.h"
 #include "obs/trace.h"
+#include "util/deadline.h"
+#include "util/status.h"
 #include "xml/xml_tree.h"
 
 namespace xtopk {
@@ -40,11 +42,19 @@ struct BatchQuery {
   /// 0 = complete result set (join-based Algorithm 1); > 0 = top-k.
   size_t k = 0;
   Semantics semantics = Semantics::kElca;
+  /// Per-query time budget (default unbounded). Checked at level/column
+  /// boundaries and TermSource::Resolve call sites; on expiry the result
+  /// carries the partial answer and status kDeadlineExceeded.
+  DeadlineToken deadline;
 };
 
 /// Result of one batch query, with its race-free per-query counters.
 struct BatchQueryResult {
   std::vector<QueryHit> hits;
+  /// kDeadlineExceeded when the query's deadline expired mid-execution
+  /// (hits then hold the proven partial answer); non-ok on resolution
+  /// failures the search layers surface. Ok otherwise.
+  Status status = Status::Ok();
   /// Complete-search queries only (k == 0); top-k queries leave defaults.
   JoinSearchStats join_stats;
   /// What this query cost: pages, decoded bytes, cache traffic, joined
@@ -138,6 +148,13 @@ class Engine {
   /// Keyword frequency (inverted-list length); 0 for unknown keywords.
   uint32_t Frequency(const std::string& keyword) const;
 
+  /// The index's analyzer applied to raw query keywords: multi-token
+  /// inputs expand, duplicates drop, order is first-occurrence. Exposed so
+  /// callers that key caches on queries (serve::ResultCache) normalize
+  /// exactly the way RunQuery will.
+  std::vector<std::string> Normalize(
+      const std::vector<std::string>& keywords) const;
+
   const XmlTree& tree() const { return tree_; }
   const JDeweyIndex& jdewey_index() const { return jdewey_index_; }
   const TopKIndex& topk_index() const { return topk_index_; }
@@ -153,8 +170,6 @@ class Engine {
                             obs::QueryTrace* trace) const;
   std::vector<QueryHit> Materialize(
       const std::vector<SearchResult>& results) const;
-  std::vector<std::string> Normalize(
-      const std::vector<std::string>& keywords) const;
 
   const XmlTree& tree_;
   EngineOptions options_;

@@ -31,6 +31,9 @@ void FlushJoinStatsToRegistry(const JoinSearchStats& stats) {
   XTOPK_COUNTER("core.join.gallops").Add(stats.join_ops.gallops);
   XTOPK_COUNTER("core.join.early_empty").Add(stats.join_ops.early_empty);
   if (stats.planned) XTOPK_COUNTER("core.plan.planned_queries").Add(1);
+  if (stats.deadline_expired) {
+    XTOPK_COUNTER("core.join.deadline_expirations").Add(1);
+  }
 }
 
 }  // namespace
@@ -108,6 +111,16 @@ std::vector<SearchResult> JoinSearch::SearchWithTrace(
   std::vector<SearchResult> results;
   if (keywords.empty()) {
     root.Label("termination", "empty_query");
+    FlushJoinStatsToRegistry(stats_);
+    return results;
+  }
+
+  // Deadline gate before any I/O: a query that arrives already expired
+  // (e.g. it sat in an admission queue) must not touch the posting source.
+  if (options_.deadline.expired()) {
+    stats_.deadline_expired = true;
+    last_status_ = Status::DeadlineExceeded("expired before list resolution");
+    root.Label("termination", "deadline");
     FlushJoinStatsToRegistry(stats_);
     return results;
   }
@@ -204,6 +217,16 @@ std::vector<SearchResult> JoinSearch::SearchWithTrace(
   }
 
   for (uint32_t level = start_level; level >= 1; --level) {
+    // Level boundary = deadline checkpoint: each level's joins and erasure
+    // updates run to completion, so stopping here leaves a consistent
+    // partial answer (every level processed so far is exact).
+    if (options_.deadline.expired()) {
+      stats_.deadline_expired = true;
+      last_status_ = Status::DeadlineExceeded(
+          "expired at level " + std::to_string(level) + " of " +
+          std::to_string(start_level));
+      break;
+    }
     ++stats_.levels_processed;
     LevelTrace level_trace;
     level_trace.level = level;
@@ -367,7 +390,8 @@ std::vector<SearchResult> JoinSearch::SearchWithTrace(
     root.Stat("results", static_cast<double>(stats_.results));
     root.Stat("rows_erased", static_cast<double>(stats_.rows_erased));
     root.Stat("erasure_touches", static_cast<double>(stats_.erasure_touches));
-    root.Label("termination", "complete");
+    root.Label("termination",
+               stats_.deadline_expired ? "deadline" : "complete");
   }
   FlushJoinStatsToRegistry(stats_);
   return results;

@@ -13,6 +13,7 @@
 #include "core/search_result.h"
 #include "index/reader.h"
 #include "obs/trace.h"
+#include "util/deadline.h"
 #include "util/interval_set.h"
 #include "util/status.h"
 
@@ -38,6 +39,12 @@ struct JoinSearchOptions {
   /// Shared plan cache (usually owned by the engine). Null plans every
   /// query from scratch.
   PlanCache* plan_cache = nullptr;
+  /// Per-query time budget, checked before list resolution and at every
+  /// level boundary. Expiry stops the scan: Search returns the results of
+  /// the levels already processed (a correct subset — deeper levels are
+  /// complete, shallower ones untouched) and status() reports
+  /// kDeadlineExceeded. Default-constructed = unbounded, zero cost.
+  DeadlineToken deadline;
   /// Per-query span tree ("join_search" root, one span per level with
   /// candidates/results/erasure stats). Null disables tracing at zero cost.
   obs::QueryTrace* trace = nullptr;
@@ -58,6 +65,9 @@ struct JoinSearchStats {
   /// and whether that plan came out of the cache.
   bool planned = false;
   bool plan_cache_hit = false;
+  /// The deadline expired mid-query: the result set covers only the levels
+  /// processed before expiry (status() is kDeadlineExceeded).
+  bool deadline_expired = false;
 };
 
 /// One join step inside a level (EXPLAIN output).

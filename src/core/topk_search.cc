@@ -29,6 +29,9 @@ void FlushTopKStatsToRegistry(const TopKSearchStats& stats) {
       .Add(stats.columns_complete_join);
   XTOPK_COUNTER("core.topk.columns_value_skipped")
       .Add(stats.columns_value_skipped);
+  if (stats.deadline_expired) {
+    XTOPK_COUNTER("core.topk.deadline_expirations").Add(1);
+  }
 }
 
 uint64_t NodeKey(uint32_t level, uint32_t value) {
@@ -229,6 +232,19 @@ std::vector<SearchResult> TopKSearch::Search(
     return emitted;
   }
 
+  // Deadline gate before any resolution work: a query that expired in an
+  // admission queue must not touch the posting source at all.
+  auto deadline_stop = [&](const char* where) {
+    stats_.deadline_expired = true;
+    last_status_ = Status::DeadlineExceeded(where);
+    root.Label("termination", "deadline");
+    FlushTopKStatsToRegistry(stats_);
+  };
+  if (options_.deadline.expired()) {
+    deadline_stop("expired before list resolution");
+    return emitted;
+  }
+
   std::vector<const TopKList*> lists;
   if (source_ != nullptr) {
     // Posting-source mode: materialize every term fully (score-ordered
@@ -236,6 +252,12 @@ std::vector<SearchResult> TopKSearch::Search(
     // derive the score-ordered segments per term. Two phases — a later
     // Resolve may invalidate earlier pointers.
     for (const std::string& kw : keywords) {
+      // Resolve call site = deadline checkpoint: each materialization may
+      // cost real I/O, so the budget is re-checked before every term.
+      if (options_.deadline.expired()) {
+        deadline_stop("expired during list resolution");
+        return emitted;
+      }
       if (source_->Frequency(kw) == 0) {
         root.Label("termination", "missing_term");
         FlushTopKStatsToRegistry(stats_);
@@ -252,6 +274,10 @@ std::vector<SearchResult> TopKSearch::Search(
     }
     query_lists_.reserve(keywords.size());
     for (const std::string& kw : keywords) {
+      if (options_.deadline.expired()) {
+        deadline_stop("expired during list resolution");
+        return emitted;
+      }
       auto list = source_->Resolve(kw, UINT32_MAX, true, nullptr);
       if (!list.ok()) {
         last_status_ = list.status();
@@ -371,6 +397,15 @@ std::vector<SearchResult> TopKSearch::Search(
 
   for (uint32_t level = start_level; level >= 1 && emitted.size() < options_.k;
        --level) {
+    // Column boundary = deadline checkpoint. Everything emitted so far was
+    // proven against every remaining bound, so stopping here returns a
+    // correct prefix of the true top-K.
+    if (options_.deadline.expired()) {
+      stats_.deadline_expired = true;
+      last_status_ = Status::DeadlineExceeded(
+          "expired at column " + std::to_string(level));
+      break;
+    }
     ++stats_.columns_processed;
     obs::ScopedSpan column_span(
         options_.trace, options_.trace != nullptr
@@ -544,6 +579,17 @@ std::vector<SearchResult> TopKSearch::Search(
     size_t rr_next = 0;
 
     while (emitted.size() < options_.k) {
+      // Block boundary inside the star join: one clock read per
+      // kDeadlineCheckStride consumed entries. Results already emitted are
+      // proven; pending candidates stay unemitted (their dominance was
+      // never established), so expiry cannot surface a wrong answer.
+      if (stats_.entries_read % kDeadlineCheckStride == 0 &&
+          options_.deadline.expired()) {
+        stats_.deadline_expired = true;
+        last_status_ = Status::DeadlineExceeded(
+            "expired inside star join at column " + std::to_string(level));
+        break;
+      }
       // Scheduler (§IV-B): round-robin until k results exist, then the
       // source with the highest next damped score.
       size_t chosen = k_sources;
@@ -620,13 +666,22 @@ std::vector<SearchResult> TopKSearch::Search(
       stats_.early_emissions += emitted.size() - before;
     }
 
+    if (stats_.deadline_expired) {
+      // Mid-column stop: the star-join bound still holds for what was
+      // consumed, but the column is incomplete — no release beyond what
+      // the in-loop emit_ready already proved.
+      close_column_span("star_join", threshold.Bound());
+      break;
+    }
+
     // Column done: only the higher columns can still produce results.
     emit_ready(best_above[level]);
     close_column_span("star_join", threshold.Bound());
   }
 
-  // All columns processed: everything left is safe.
-  emit_ready(StarThreshold::kExhausted);
+  // All columns processed: everything left is safe. On deadline expiry the
+  // remaining pending candidates were never proven — they stay unemitted.
+  if (!stats_.deadline_expired) emit_ready(StarThreshold::kExhausted);
   if (root.enabled()) {
     root.Stat("entries_read", static_cast<double>(stats_.entries_read));
     root.Stat("excluded_skips", static_cast<double>(stats_.excluded_skips));
@@ -636,7 +691,8 @@ std::vector<SearchResult> TopKSearch::Search(
     root.Stat("columns_processed",
               static_cast<double>(stats_.columns_processed));
     root.Stat("results", static_cast<double>(emitted.size()));
-    root.Label("termination", emitted.size() >= options_.k
+    root.Label("termination", stats_.deadline_expired ? "deadline"
+                              : emitted.size() >= options_.k
                                   ? "k_reached"
                                   : "columns_exhausted");
   }

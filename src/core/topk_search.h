@@ -13,6 +13,7 @@
 #include "index/reader.h"
 #include "index/topk_index.h"
 #include "obs/trace.h"
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace xtopk {
@@ -44,6 +45,13 @@ struct TopKSearchOptions {
   bool use_planner = true;
   /// Shared plan cache (usually the engine's). Null plans per query.
   PlanCache* plan_cache = nullptr;
+  /// Per-query time budget, checked at every TermSource::Resolve call
+  /// site, at every column boundary, and every kDeadlineCheckStride
+  /// entries inside a column's star join. Expiry stops the scan: Search
+  /// returns only the results already proven (each emitted result's score
+  /// dominated every remaining bound, so the partial answer is a prefix of
+  /// the true top-K) and status() reports kDeadlineExceeded.
+  DeadlineToken deadline;
   ScoringParams scoring;
   /// Per-query span tree ("topk_search" root, one span per column round
   /// with entries-read/threshold/emission stats). Null disables tracing at
@@ -64,7 +72,14 @@ struct TopKSearchStats {
   /// whether that plan came out of the cache.
   bool planned = false;
   bool plan_cache_hit = false;
+  /// The deadline expired mid-query: the result set is a (possibly empty)
+  /// prefix of the true top-K (status() is kDeadlineExceeded).
+  bool deadline_expired = false;
 };
+
+/// Star-join entries consumed between two deadline checks (block boundary
+/// granularity: one clock read per stride, never per entry).
+inline constexpr uint64_t kDeadlineCheckStride = 256;
 
 /// The join-based top-K keyword search (paper §IV-C): inverted lists are
 /// served score-descending per column (length-grouped segments merged on

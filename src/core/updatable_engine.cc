@@ -187,6 +187,14 @@ Status UpdatableEngine::Compact(const std::string& path) {
   return segments_.Compact(path);
 }
 
+uint64_t UpdatableEngine::plan_watermark() {
+  // Fold pending mutations in first: ingest only dirties the memtable and
+  // the version bumps at the lazy refresh, so without this a cache keyed
+  // on the watermark would serve pre-ingest results after an AddDocument.
+  EnsureFresh();
+  return segments_.PlanWatermark();
+}
+
 std::vector<QueryHit> UpdatableEngine::Materialize(
     const std::vector<SearchResult>& results) const {
   std::vector<QueryHit> hits;
@@ -217,7 +225,8 @@ std::vector<std::string> UpdatableEngine::Normalize(
 }
 
 std::vector<QueryHit> UpdatableEngine::Search(
-    const std::vector<std::string>& keywords, Semantics semantics) {
+    const std::vector<std::string>& keywords, Semantics semantics,
+    DeadlineToken deadline) {
   EnsureFresh();
   Timer timer;
   const double cpu_start = obs::ThreadCpuMicros();
@@ -231,10 +240,12 @@ std::vector<QueryHit> UpdatableEngine::Search(
     join_options.compute_scores = true;
     join_options.scoring = options_.scoring;
     join_options.plan_cache = &plan_cache_;
+    join_options.deadline = deadline;
     JoinSearch search(&segments_, join_options);
     std::vector<SearchResult> found = search.Search(normalized);
     SortByScoreDesc(&found);
     hits = Materialize(found);
+    last_status_ = search.status();
     accounting.planner_mode =
         search.stats().planned
             ? (search.stats().plan_cache_hit ? "planned_cached" : "planned")
@@ -246,7 +257,8 @@ std::vector<QueryHit> UpdatableEngine::Search(
 }
 
 std::vector<QueryHit> UpdatableEngine::SearchTopK(
-    const std::vector<std::string>& keywords, size_t k, Semantics semantics) {
+    const std::vector<std::string>& keywords, size_t k, Semantics semantics,
+    DeadlineToken deadline) {
   EnsureFresh();
   Timer timer;
   const double cpu_start = obs::ThreadCpuMicros();
@@ -260,8 +272,10 @@ std::vector<QueryHit> UpdatableEngine::SearchTopK(
     topk_options.k = k;
     topk_options.scoring = options_.scoring;
     topk_options.plan_cache = &plan_cache_;
+    topk_options.deadline = deadline;
     TopKSearch search(&segments_, topk_options);
     hits = Materialize(search.Search(normalized));
+    last_status_ = search.status();
     accounting.planner_mode =
         search.stats().planned
             ? (search.stats().plan_cache_hit ? "planned_cached" : "planned")

@@ -50,12 +50,17 @@ class UpdatableEngine {
   /// segment.
   NodeId AddDocument(const std::string& name, const XmlTree& doc);
 
-  /// Queries (refresh the memtable / rebuild first if needed).
+  /// Queries (refresh the memtable / rebuild first if needed). `deadline`
+  /// bounds the query's time budget (default unbounded); on expiry the
+  /// hits hold the proven partial answer and last_status() reports
+  /// kDeadlineExceeded.
   std::vector<QueryHit> Search(const std::vector<std::string>& keywords,
-                               Semantics semantics = Semantics::kElca);
+                               Semantics semantics = Semantics::kElca,
+                               DeadlineToken deadline = {});
   std::vector<QueryHit> SearchTopK(const std::vector<std::string>& keywords,
                                    size_t k,
-                                   Semantics semantics = Semantics::kElca);
+                                   Semantics semantics = Semantics::kElca,
+                                   DeadlineToken deadline = {});
 
   /// Seals the current memtable to `path` as an immutable on-disk segment
   /// (+ ".manifest") and advances the watermark past it. Queries before
@@ -100,6 +105,22 @@ class UpdatableEngine {
     return last_accounting_;
   }
 
+  /// Status of the most recent Search/SearchTopK (kDeadlineExceeded when
+  /// its deadline expired mid-query; rides on the side like
+  /// last_accounting()).
+  const Status& last_status() const { return last_status_; }
+
+  /// The segmented index's version after folding in any pending mutations
+  /// (EnsureFresh runs first, so an ingest that merely dirtied the
+  /// memtable still bumps the number). Result caches key on this: a seal,
+  /// compact, or ingest moves the watermark and silently invalidates.
+  uint64_t plan_watermark();
+
+  /// Same analyzer as indexing (multi-token inputs expand, duplicates
+  /// drop). Public for cache-key normalization, like Engine::Normalize.
+  std::vector<std::string> Normalize(
+      const std::vector<std::string>& keywords) const;
+
  private:
   void EnsureFresh();
   void FullRebuild();
@@ -109,8 +130,6 @@ class UpdatableEngine {
   Status Seal(const std::string& disk_path);
   std::vector<QueryHit> Materialize(
       const std::vector<SearchResult>& results) const;
-  std::vector<std::string> Normalize(
-      const std::vector<std::string>& keywords) const;
   /// Shared query epilogue: finalize the accounting, fold it into the
   /// process metrics (cumulative + windowed), and capture to the slow log
   /// when the thresholds say so.
@@ -136,6 +155,7 @@ class UpdatableEngine {
   uint64_t memtable_refreshes_ = 0;
   size_t memtable_docs_ = 0;
   obs::ResourceAccounting last_accounting_;
+  Status last_status_ = Status::Ok();
 };
 
 }  // namespace xtopk

@@ -21,6 +21,17 @@ void AppendDouble(std::string* out, double value) {
   *out += buf;
 }
 
+/// A percentile of an empty distribution has no value: emit JSON null
+/// instead of leaking the kEmptyPercentile (-1) sentinel into consumers
+/// that would plot it as a real latency.
+void AppendPercentile(std::string* out, double value) {
+  if (value < 0) {
+    *out += "null";
+    return;
+  }
+  AppendDouble(out, value);
+}
+
 }  // namespace
 
 double PercentileFromBuckets(
@@ -211,11 +222,11 @@ std::string MetricsSnapshot::ToJson() const {
     AppendJsonKey(&out, h.name);
     out += "{\"count\":" + std::to_string(h.count) +
            ",\"sum\":" + std::to_string(h.sum) + ",\"p50\":";
-    AppendDouble(&out, h.p50);
+    AppendPercentile(&out, h.p50);
     out += ",\"p95\":";
-    AppendDouble(&out, h.p95);
+    AppendPercentile(&out, h.p95);
     out += ",\"p99\":";
-    AppendDouble(&out, h.p99);
+    AppendPercentile(&out, h.p99);
     out += ",\"buckets\":{";
     bool first_bucket = true;
     for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
@@ -236,11 +247,11 @@ std::string MetricsSnapshot::ToJson() const {
            ",\"sum\":" + std::to_string(w.sum) + ",\"rate_per_sec\":";
     AppendDouble(&out, w.rate_per_sec);
     out += ",\"p50\":";
-    AppendDouble(&out, w.p50);
+    AppendPercentile(&out, w.p50);
     out += ",\"p99\":";
-    AppendDouble(&out, w.p99);
+    AppendPercentile(&out, w.p99);
     out += ",\"p999\":";
-    AppendDouble(&out, w.p999);
+    AppendPercentile(&out, w.p999);
     out += '}';
   };
   for (const WindowedHistogramData& w : windowed_histograms) {
@@ -303,23 +314,29 @@ std::string MetricsSnapshot::ToPrometheusText() const {
     out += n + "_count " + std::to_string(h.count) + "\n";
   }
   // Windowed metrics export as gauges (a recent-window percentile is a
-  // point-in-time level, not a cumulative series). Empty windows export
-  // the -1 sentinel.
+  // point-in-time level, not a cumulative series). Percentile gauges of
+  // an idle window are omitted — Prometheus has no null, and exporting
+  // the -1 sentinel would plot as a negative latency; the rate gauges
+  // stay (a rate of 0 is a real observation).
   auto append_gauge = [&out](const std::string& name, double value) {
     char buf[40];
     std::snprintf(buf, sizeof(buf), "%.4f", value);
     out += "# TYPE " + name + " gauge\n";
     out += name + " " + buf + "\n";
   };
+  auto append_percentile_gauge = [&append_gauge](const std::string& name,
+                                                 double value) {
+    if (value >= 0) append_gauge(name, value);
+  };
   for (const WindowedHistogramData& w : windowed_histograms) {
     std::string n = flat(w.name);
-    append_gauge(n + "_w10s_p50", w.w10s.p50);
-    append_gauge(n + "_w10s_p99", w.w10s.p99);
-    append_gauge(n + "_w10s_p999", w.w10s.p999);
+    append_percentile_gauge(n + "_w10s_p50", w.w10s.p50);
+    append_percentile_gauge(n + "_w10s_p99", w.w10s.p99);
+    append_percentile_gauge(n + "_w10s_p999", w.w10s.p999);
     append_gauge(n + "_w10s_rate", w.w10s.rate_per_sec);
-    append_gauge(n + "_w60s_p50", w.w60s.p50);
-    append_gauge(n + "_w60s_p99", w.w60s.p99);
-    append_gauge(n + "_w60s_p999", w.w60s.p999);
+    append_percentile_gauge(n + "_w60s_p50", w.w60s.p50);
+    append_percentile_gauge(n + "_w60s_p99", w.w60s.p99);
+    append_percentile_gauge(n + "_w60s_p999", w.w60s.p999);
     append_gauge(n + "_w60s_rate", w.w60s.rate_per_sec);
   }
   for (const WindowedCounterData& w : windowed_counters) {

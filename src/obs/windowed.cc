@@ -81,11 +81,25 @@ void WindowedHistogram::WindowSnapshot::AppendJson(std::string* out) const {
   char buf[192];
   std::snprintf(buf, sizeof(buf),
                 "{\"count\":%llu,\"sum\":%llu,\"rate_per_sec\":%.4f,"
-                "\"mean\":%.4f,\"p50\":%.4f,\"p99\":%.4f,\"p999\":%.4f}",
+                "\"mean\":%.4f",
                 static_cast<unsigned long long>(count),
-                static_cast<unsigned long long>(sum), rate_per_sec, mean, p50,
-                p99, p999);
+                static_cast<unsigned long long>(sum), rate_per_sec, mean);
   *out += buf;
+  // An idle window has no percentiles: emit null, never the -1 sentinel
+  // (a dashboard would plot it as a negative latency).
+  auto append_percentile = [out](const char* key, double value) {
+    char field[48];
+    if (value < 0) {
+      std::snprintf(field, sizeof(field), ",\"%s\":null", key);
+    } else {
+      std::snprintf(field, sizeof(field), ",\"%s\":%.4f", key, value);
+    }
+    *out += field;
+  };
+  append_percentile("p50", p50);
+  append_percentile("p99", p99);
+  append_percentile("p999", p999);
+  out->push_back('}');
 }
 
 void WindowedCounter::RotateSlot(Slot& slot, uint64_t epoch) {

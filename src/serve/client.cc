@@ -1,0 +1,150 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace xtopk {
+namespace serve {
+
+namespace {
+
+Status ConnectSocket(const std::string& host, uint16_t port, int* out_fd) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IoError("connect failed: " + std::string(strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  *out_fd = fd;
+  return Status::Ok();
+}
+
+Status SendAll(int fd, std::string_view bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::IoError("send failed");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  Close();
+  return ConnectSocket(host, port, &fd_);
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  read_buffer_.clear();
+}
+
+Status Client::Send(const QueryRequest& request) {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  std::string payload;
+  EncodeRequest(request, &payload);
+  std::string framed;
+  EncodeFrame(&framed, payload);
+  return SendAll(fd_, framed);
+}
+
+Status Client::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  return SendAll(fd_, bytes);
+}
+
+Status Client::Receive(QueryResponse* response) {
+  if (fd_ < 0) return Status::InvalidArgument("client not connected");
+  for (;;) {
+    std::string payload;
+    bool complete = false;
+    Status s = ExtractFrame(&read_buffer_, &payload, &complete);
+    if (!s.ok()) return s;
+    if (complete) return DecodeResponse(payload, response);
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return Status::IoError("connection closed by server");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("recv failed");
+    }
+    read_buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Status Client::Call(const QueryRequest& request, QueryResponse* response) {
+  Status s = Send(request);
+  if (!s.ok()) return s;
+  return Receive(response);
+}
+
+Status Client::HttpGet(const std::string& host, uint16_t port,
+                       const std::string& target, int* http_status,
+                       std::string* body) {
+  int fd = -1;
+  Status s = ConnectSocket(host, port, &fd);
+  if (!s.ok()) return s;
+  std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+  s = SendAll(fd, request);
+  if (!s.ok()) {
+    ::close(fd);
+    return s;
+  }
+  std::string raw;
+  char chunk[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IoError("recv failed");
+    }
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  // "HTTP/1.0 NNN ..." then headers, blank line, body.
+  if (raw.size() < 12 || raw.compare(0, 5, "HTTP/") != 0) {
+    return Status::IoError("malformed HTTP response");
+  }
+  size_t space = raw.find(' ');
+  if (space == std::string::npos || space + 4 > raw.size()) {
+    return Status::IoError("malformed HTTP status line");
+  }
+  *http_status = 0;
+  for (size_t i = space + 1; i < raw.size() && raw[i] >= '0' && raw[i] <= '9';
+       ++i) {
+    *http_status = *http_status * 10 + (raw[i] - '0');
+  }
+  size_t blank = raw.find("\r\n\r\n");
+  size_t body_start = blank == std::string::npos ? raw.size() : blank + 4;
+  body->assign(raw, body_start, std::string::npos);
+  return Status::Ok();
+}
+
+}  // namespace serve
+}  // namespace xtopk

@@ -1,0 +1,57 @@
+#ifndef XTOPK_SERVE_CLIENT_H_
+#define XTOPK_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "serve/protocol.h"
+#include "util/status.h"
+
+namespace xtopk {
+namespace serve {
+
+/// Blocking binary-protocol client: one TCP connection, framed requests
+/// out, framed responses in. Call() is the simple request/response path;
+/// Send()/Receive() split it for pipelined (open-loop) load generation —
+/// responses come back in completion order, so pipelining callers must
+/// correlate by request_id. Not thread-safe; one client per thread.
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Close(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Send one request and wait for one response.
+  Status Call(const QueryRequest& request, QueryResponse* response);
+
+  /// Fire-and-forget half of a pipelined exchange.
+  Status Send(const QueryRequest& request);
+  /// Blocks until the next whole response frame arrives.
+  Status Receive(QueryResponse* response);
+
+  /// Writes raw bytes on the connection — protocol-robustness tests use
+  /// this to inject malformed frames no Encode* helper would produce.
+  Status SendRaw(std::string_view bytes);
+
+  /// One-shot HTTP GET against the same port (the JSON dialect).
+  /// `*http_status` gets the numeric status code, `*body` the response
+  /// body past the blank line.
+  static Status HttpGet(const std::string& host, uint16_t port,
+                        const std::string& target, int* http_status,
+                        std::string* body);
+
+ private:
+  int fd_ = -1;
+  std::string read_buffer_;
+};
+
+}  // namespace serve
+}  // namespace xtopk
+
+#endif  // XTOPK_SERVE_CLIENT_H_

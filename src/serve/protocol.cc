@@ -1,0 +1,494 @@
+#include "serve/protocol.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace xtopk {
+namespace serve {
+
+namespace {
+
+void PutFixed32(std::string* out, uint32_t value) {
+  char buf[4];
+  buf[0] = static_cast<char>(value & 0xff);
+  buf[1] = static_cast<char>((value >> 8) & 0xff);
+  buf[2] = static_cast<char>((value >> 16) & 0xff);
+  buf[3] = static_cast<char>((value >> 24) & 0xff);
+  out->append(buf, 4);
+}
+
+void PutFixed64(std::string* out, uint64_t value) {
+  PutFixed32(out, static_cast<uint32_t>(value & 0xffffffffu));
+  PutFixed32(out, static_cast<uint32_t>(value >> 32));
+}
+
+void PutByte(std::string* out, uint8_t value) {
+  out->push_back(static_cast<char>(value));
+}
+
+void PutString(std::string* out, std::string_view value) {
+  PutFixed32(out, static_cast<uint32_t>(value.size()));
+  out->append(value.data(), value.size());
+}
+
+/// Bounds-checked readers over an immutable payload view. Every Get*
+/// verifies the remaining bytes BEFORE touching them; a short payload
+/// yields InvalidArgument, never a wild read.
+struct Reader {
+  std::string_view data;
+  size_t pos = 0;
+
+  size_t remaining() const { return data.size() - pos; }
+
+  Status GetByte(uint8_t* value) {
+    if (remaining() < 1) return Status::InvalidArgument("frame truncated: u8");
+    *value = static_cast<uint8_t>(data[pos++]);
+    return Status::Ok();
+  }
+
+  Status GetFixed32(uint32_t* value) {
+    if (remaining() < 4) return Status::InvalidArgument("frame truncated: u32");
+    const unsigned char* p =
+        reinterpret_cast<const unsigned char*>(data.data() + pos);
+    *value = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+             (static_cast<uint32_t>(p[2]) << 16) |
+             (static_cast<uint32_t>(p[3]) << 24);
+    pos += 4;
+    return Status::Ok();
+  }
+
+  Status GetFixed64(uint64_t* value) {
+    uint32_t lo = 0, hi = 0;
+    Status s = GetFixed32(&lo);
+    if (!s.ok()) return s;
+    s = GetFixed32(&hi);
+    if (!s.ok()) return s;
+    *value = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+    return Status::Ok();
+  }
+
+  Status GetString(std::string* value, uint32_t max_len) {
+    uint32_t len = 0;
+    Status s = GetFixed32(&len);
+    if (!s.ok()) return s;
+    if (len > max_len) return Status::InvalidArgument("string too long");
+    if (remaining() < len) {
+      return Status::InvalidArgument("frame truncated: string body");
+    }
+    value->assign(data.data() + pos, len);
+    pos += len;
+    return Status::Ok();
+  }
+};
+
+uint64_t DoubleBits(double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value), "double must be 64-bit");
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+double DoubleFromBits(uint64_t bits) {
+  double value = 0;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+void AppendJsonString(std::string* out, std::string_view value) {
+  out->push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+/// Percent-decodes one query-string component ('+' means space).
+std::string UrlDecode(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    char c = in[i];
+    if (c == '+') {
+      out.push_back(' ');
+    } else if (c == '%' && i + 2 < in.size()) {
+      auto hex = [](char h) -> int {
+        if (h >= '0' && h <= '9') return h - '0';
+        if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+        if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+        return -1;
+      };
+      int hi = hex(in[i + 1]), lo = hex(in[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+      } else {
+        out.push_back(c);
+      }
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Status ParseUint64(std::string_view text, uint64_t* value) {
+  if (text.empty()) return Status::InvalidArgument("empty number");
+  uint64_t result = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return Status::InvalidArgument("bad number");
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (result > (UINT64_MAX - digit) / 10) {
+      return Status::InvalidArgument("number overflow");
+    }
+    result = result * 10 + digit;
+  }
+  *value = result;
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* StatusName(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk:
+      return "ok";
+    case ResponseStatus::kPartial:
+      return "partial";
+    case ResponseStatus::kShedOverload:
+      return "shed_overload";
+    case ResponseStatus::kBadRequest:
+      return "bad_request";
+    case ResponseStatus::kInternalError:
+      return "internal_error";
+    case ResponseStatus::kShuttingDown:
+      return "shutting_down";
+    case ResponseStatus::kDeadlineExpired:
+      return "deadline_expired";
+  }
+  return "unknown";
+}
+
+void EncodeFrame(std::string* out, std::string_view payload) {
+  PutFixed32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload.data(), payload.size());
+}
+
+Status ExtractFrame(std::string* buffer, std::string* payload,
+                    bool* complete) {
+  *complete = false;
+  if (buffer->size() < 4) return Status::Ok();
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(
+      buffer->data());
+  uint32_t len = static_cast<uint32_t>(p[0]) |
+                 (static_cast<uint32_t>(p[1]) << 8) |
+                 (static_cast<uint32_t>(p[2]) << 16) |
+                 (static_cast<uint32_t>(p[3]) << 24);
+  if (len > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame length " + std::to_string(len) +
+                                   " exceeds limit");
+  }
+  if (buffer->size() < 4 + static_cast<size_t>(len)) return Status::Ok();
+  payload->assign(buffer->data() + 4, len);
+  buffer->erase(0, 4 + static_cast<size_t>(len));
+  *complete = true;
+  return Status::Ok();
+}
+
+void EncodeRequest(const QueryRequest& request, std::string* payload) {
+  PutFixed32(payload, request.request_id);
+  PutByte(payload, static_cast<uint8_t>(request.op));
+  PutByte(payload, static_cast<uint8_t>(request.priority));
+  PutByte(payload, request.semantics == Semantics::kSlca ? 1 : 0);
+  PutFixed32(payload, request.k);
+  PutFixed64(payload, request.deadline_us);
+  PutFixed32(payload, static_cast<uint32_t>(request.keywords.size()));
+  for (const std::string& keyword : request.keywords) {
+    PutString(payload, keyword);
+  }
+}
+
+Status DecodeRequest(std::string_view payload, QueryRequest* request) {
+  Reader reader{payload};
+  Status s = reader.GetFixed32(&request->request_id);
+  if (!s.ok()) return s;
+
+  uint8_t op = 0;
+  s = reader.GetByte(&op);
+  if (!s.ok()) return s;
+  if (op != static_cast<uint8_t>(RequestOp::kQuery) &&
+      op != static_cast<uint8_t>(RequestOp::kPing)) {
+    return Status::InvalidArgument("unknown op " + std::to_string(op));
+  }
+  request->op = static_cast<RequestOp>(op);
+
+  uint8_t priority = 0;
+  s = reader.GetByte(&priority);
+  if (!s.ok()) return s;
+  if (priority > 1) {
+    return Status::InvalidArgument("unknown priority " +
+                                   std::to_string(priority));
+  }
+  request->priority = static_cast<Priority>(priority);
+
+  uint8_t semantics = 0;
+  s = reader.GetByte(&semantics);
+  if (!s.ok()) return s;
+  if (semantics > 1) {
+    return Status::InvalidArgument("unknown semantics " +
+                                   std::to_string(semantics));
+  }
+  request->semantics = semantics == 1 ? Semantics::kSlca : Semantics::kElca;
+
+  s = reader.GetFixed32(&request->k);
+  if (!s.ok()) return s;
+  if (request->k > kMaxK) return Status::InvalidArgument("k too large");
+
+  s = reader.GetFixed64(&request->deadline_us);
+  if (!s.ok()) return s;
+
+  uint32_t n_keywords = 0;
+  s = reader.GetFixed32(&n_keywords);
+  if (!s.ok()) return s;
+  if (n_keywords > kMaxKeywords) {
+    return Status::InvalidArgument("too many keywords");
+  }
+  request->keywords.clear();
+  request->keywords.reserve(n_keywords);
+  for (uint32_t i = 0; i < n_keywords; ++i) {
+    std::string keyword;
+    s = reader.GetString(&keyword, kMaxFrameBytes);
+    if (!s.ok()) return s;
+    request->keywords.push_back(std::move(keyword));
+  }
+  if (reader.remaining() != 0) {
+    return Status::InvalidArgument("trailing bytes after request");
+  }
+  if (request->op == RequestOp::kQuery && request->keywords.empty()) {
+    return Status::InvalidArgument("query without keywords");
+  }
+  return Status::Ok();
+}
+
+void EncodeResponse(const QueryResponse& response, std::string* payload) {
+  PutFixed32(payload, response.request_id);
+  PutByte(payload, static_cast<uint8_t>(response.status));
+  PutFixed32(payload, response.retry_after_ms);
+  PutString(payload, response.error);
+  PutFixed32(payload, static_cast<uint32_t>(response.hits.size()));
+  for (const ResponseHit& hit : response.hits) {
+    PutFixed32(payload, hit.node);
+    PutFixed32(payload, hit.level);
+    PutFixed64(payload, DoubleBits(hit.score));
+    PutString(payload, hit.tag);
+    PutString(payload, hit.snippet);
+  }
+}
+
+Status DecodeResponse(std::string_view payload, QueryResponse* response) {
+  Reader reader{payload};
+  Status s = reader.GetFixed32(&response->request_id);
+  if (!s.ok()) return s;
+
+  uint8_t status = 0;
+  s = reader.GetByte(&status);
+  if (!s.ok()) return s;
+  if (status > static_cast<uint8_t>(ResponseStatus::kDeadlineExpired)) {
+    return Status::InvalidArgument("unknown response status");
+  }
+  response->status = static_cast<ResponseStatus>(status);
+
+  s = reader.GetFixed32(&response->retry_after_ms);
+  if (!s.ok()) return s;
+  s = reader.GetString(&response->error, kMaxFrameBytes);
+  if (!s.ok()) return s;
+
+  uint32_t n_hits = 0;
+  s = reader.GetFixed32(&n_hits);
+  if (!s.ok()) return s;
+  // Each hit needs >= 24 bytes; a count the remaining bytes cannot hold is
+  // a forged header, rejected before any allocation.
+  if (static_cast<uint64_t>(n_hits) * 24 > reader.remaining()) {
+    return Status::InvalidArgument("hit count exceeds frame");
+  }
+  response->hits.clear();
+  response->hits.reserve(n_hits);
+  for (uint32_t i = 0; i < n_hits; ++i) {
+    ResponseHit hit;
+    s = reader.GetFixed32(&hit.node);
+    if (!s.ok()) return s;
+    s = reader.GetFixed32(&hit.level);
+    if (!s.ok()) return s;
+    uint64_t bits = 0;
+    s = reader.GetFixed64(&bits);
+    if (!s.ok()) return s;
+    hit.score = DoubleFromBits(bits);
+    s = reader.GetString(&hit.tag, kMaxFrameBytes);
+    if (!s.ok()) return s;
+    s = reader.GetString(&hit.snippet, kMaxFrameBytes);
+    if (!s.ok()) return s;
+    response->hits.push_back(std::move(hit));
+  }
+  if (reader.remaining() != 0) {
+    return Status::InvalidArgument("trailing bytes after response");
+  }
+  return Status::Ok();
+}
+
+bool LooksLikeHttp(std::string_view prefix) {
+  return prefix.substr(0, 4) == "GET " || prefix.substr(0, 5) == "POST " ||
+         prefix.substr(0, 5) == "HEAD ";
+}
+
+Status ParseHttpSearchTarget(std::string_view target, QueryRequest* request) {
+  size_t qmark = target.find('?');
+  std::string_view path = target.substr(0, qmark);
+  if (path != "/search") {
+    return Status::InvalidArgument("unknown path");
+  }
+  *request = QueryRequest();
+  bool have_q = false;
+  std::string_view query =
+      qmark == std::string_view::npos ? "" : target.substr(qmark + 1);
+  while (!query.empty()) {
+    size_t amp = query.find('&');
+    std::string_view pair = query.substr(0, amp);
+    query = amp == std::string_view::npos ? "" : query.substr(amp + 1);
+    size_t eq = pair.find('=');
+    std::string_view key = pair.substr(0, eq);
+    std::string value =
+        eq == std::string_view::npos ? "" : UrlDecode(pair.substr(eq + 1));
+    if (key == "q") {
+      have_q = true;
+      // Space-separated keywords; the engine's tokenizer re-splits anyway.
+      size_t start = 0;
+      while (start < value.size()) {
+        size_t space = value.find(' ', start);
+        std::string word = value.substr(
+            start, space == std::string::npos ? std::string::npos
+                                              : space - start);
+        if (!word.empty()) request->keywords.push_back(std::move(word));
+        if (space == std::string::npos) break;
+        start = space + 1;
+      }
+      if (request->keywords.size() > kMaxKeywords) {
+        return Status::InvalidArgument("too many keywords");
+      }
+    } else if (key == "k") {
+      uint64_t k = 0;
+      Status s = ParseUint64(value, &k);
+      if (!s.ok()) return s;
+      if (k > kMaxK) return Status::InvalidArgument("k too large");
+      request->k = static_cast<uint32_t>(k);
+    } else if (key == "semantics") {
+      if (value == "elca") {
+        request->semantics = Semantics::kElca;
+      } else if (value == "slca") {
+        request->semantics = Semantics::kSlca;
+      } else {
+        return Status::InvalidArgument("unknown semantics value");
+      }
+    } else if (key == "deadline_us") {
+      Status s = ParseUint64(value, &request->deadline_us);
+      if (!s.ok()) return s;
+    } else if (key == "priority") {
+      if (value == "high") {
+        request->priority = Priority::kHigh;
+      } else if (value == "low") {
+        request->priority = Priority::kLow;
+      } else {
+        return Status::InvalidArgument("unknown priority value");
+      }
+    } else if (key == "id") {
+      uint64_t id = 0;
+      Status s = ParseUint64(value, &id);
+      if (!s.ok()) return s;
+      request->request_id = static_cast<uint32_t>(id);
+    } else {
+      return Status::InvalidArgument("unknown parameter: " +
+                                     std::string(key));
+    }
+  }
+  if (!have_q || request->keywords.empty()) {
+    return Status::InvalidArgument("missing q parameter");
+  }
+  return Status::Ok();
+}
+
+std::string ResponseToJson(const QueryResponse& response) {
+  std::string out;
+  out.reserve(256 + response.hits.size() * 96);
+  out += "{\"request_id\":";
+  out += std::to_string(response.request_id);
+  out += ",\"status\":";
+  AppendJsonString(&out, StatusName(response.status));
+  out += ",\"retry_after_ms\":";
+  out += std::to_string(response.retry_after_ms);
+  out += ",\"error\":";
+  AppendJsonString(&out, response.error);
+  out += ",\"hits\":[";
+  char buf[64];
+  for (size_t i = 0; i < response.hits.size(); ++i) {
+    const ResponseHit& hit = response.hits[i];
+    if (i > 0) out.push_back(',');
+    out += "{\"node\":";
+    out += std::to_string(hit.node);
+    out += ",\"level\":";
+    out += std::to_string(hit.level);
+    out += ",\"score\":";
+    std::snprintf(buf, sizeof(buf), "%.9g", hit.score);
+    out += buf;
+    out += ",\"tag\":";
+    AppendJsonString(&out, hit.tag);
+    out += ",\"snippet\":";
+    AppendJsonString(&out, hit.snippet);
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+int HttpStatusFor(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk:
+    case ResponseStatus::kPartial:
+      return 200;
+    case ResponseStatus::kShedOverload:
+      return 503;
+    case ResponseStatus::kBadRequest:
+      return 400;
+    case ResponseStatus::kInternalError:
+      return 500;
+    case ResponseStatus::kShuttingDown:
+      return 503;
+    case ResponseStatus::kDeadlineExpired:
+      return 504;
+  }
+  return 500;
+}
+
+}  // namespace serve
+}  // namespace xtopk

@@ -1,0 +1,160 @@
+#ifndef XTOPK_SERVE_PROTOCOL_H_
+#define XTOPK_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/status.h"
+
+namespace xtopk {
+namespace serve {
+
+/// Wire format of the query service (DESIGN.md §16). Every message is one
+/// frame:
+///
+///   +----------------+---------------------+
+///   | u32 LE length  | payload (length B)  |
+///   +----------------+---------------------+
+///
+/// The length covers the payload only. Frames above kMaxFrameBytes are a
+/// protocol error — the decoder rejects them before buffering, so a hostile
+/// length prefix cannot balloon memory. All integers are little-endian;
+/// strings are u32-length-prefixed UTF-8; doubles travel as their IEEE-754
+/// bit pattern in a u64.
+///
+/// Request payload:
+///   u32 request_id | u8 op | u8 priority | u8 semantics | u32 k
+///   | u64 deadline_us | u32 n_keywords | n x string
+/// Response payload:
+///   u32 request_id | u8 status | u32 retry_after_ms | string error
+///   | u32 n_hits | n x (u32 node | u32 level | u64 score_bits
+///                       | string tag | string snippet)
+///
+/// The same service speaks a line-oriented HTTP/1.0 compatibility dialect
+/// (GET /search?...) that returns JSON; see ParseHttpSearchTarget and
+/// ResponseToJson. Binary and HTTP paths share one request struct, one
+/// execution path, and one result cache.
+
+/// Upper bound on a frame's payload. Large enough for any real response
+/// (hits carry snippets), small enough that a malicious length prefix
+/// cannot reserve unbounded memory.
+inline constexpr uint32_t kMaxFrameBytes = 1u << 20;  // 1 MiB
+
+/// Hard cap on keywords per query — matches what the search layers can
+/// meaningfully join; beyond it the decoder rejects the frame.
+inline constexpr uint32_t kMaxKeywords = 64;
+
+/// Hard cap on k per query (top-K beyond this is a complete-search job).
+inline constexpr uint32_t kMaxK = 10000;
+
+enum class RequestOp : uint8_t {
+  kQuery = 1,
+  kPing = 2,  ///< liveness probe: echoed request_id, no execution
+};
+
+enum class Priority : uint8_t {
+  kHigh = 0,  ///< interactive traffic: shed last
+  kLow = 1,   ///< batch/background traffic: shed first
+};
+
+/// Response status codes (u8 on the wire; JSON uses the lowercase names
+/// from StatusName).
+enum class ResponseStatus : uint8_t {
+  kOk = 0,
+  /// Deadline expired mid-query; hits hold the proven partial prefix.
+  kPartial = 1,
+  /// Admission control refused the query; retry_after_ms is a hint.
+  kShedOverload = 2,
+  kBadRequest = 3,
+  kInternalError = 4,
+  kShuttingDown = 5,
+  /// Deadline expired before the query ran at all (queue wait ate the
+  /// budget); no partial results exist.
+  kDeadlineExpired = 6,
+};
+
+const char* StatusName(ResponseStatus status);
+
+struct QueryRequest {
+  uint32_t request_id = 0;
+  RequestOp op = RequestOp::kQuery;
+  Priority priority = Priority::kHigh;
+  Semantics semantics = Semantics::kElca;
+  /// 0 = complete result set, > 0 = top-k.
+  uint32_t k = 10;
+  /// Time budget in microseconds measured from admission; 0 = unbounded.
+  uint64_t deadline_us = 0;
+  std::vector<std::string> keywords;
+};
+
+struct ResponseHit {
+  uint32_t node = 0;
+  uint32_t level = 0;
+  double score = 0.0;
+  std::string tag;
+  std::string snippet;
+};
+
+struct QueryResponse {
+  uint32_t request_id = 0;
+  ResponseStatus status = ResponseStatus::kOk;
+  /// Only meaningful with kShedOverload: suggested client backoff.
+  uint32_t retry_after_ms = 0;
+  std::string error;  ///< human-readable detail for non-ok statuses
+  std::vector<ResponseHit> hits;
+};
+
+/// -------- binary framing --------
+
+/// Appends `payload` as one length-prefixed frame.
+void EncodeFrame(std::string* out, std::string_view payload);
+
+/// Incremental frame extraction over a receive buffer. Returns:
+///  - Ok with *complete=true and *payload filled when a whole frame was
+///    consumed from the front of `buffer` (the frame bytes are erased);
+///  - Ok with *complete=false when more bytes are needed (buffer intact);
+///  - InvalidArgument when the length prefix exceeds kMaxFrameBytes — the
+///    connection is poisoned and must be closed.
+Status ExtractFrame(std::string* buffer, std::string* payload, bool* complete);
+
+/// Request payload <-> struct. Decode validates every field (op, priority,
+/// semantics, k, keyword count, string bounds) and returns InvalidArgument
+/// with a reason on any malformed input; it never reads out of bounds and
+/// never trusts a count before checking the remaining bytes.
+void EncodeRequest(const QueryRequest& request, std::string* payload);
+Status DecodeRequest(std::string_view payload, QueryRequest* request);
+
+/// Response payload <-> struct. DecodeResponse is the client-side mirror,
+/// hardened the same way.
+void EncodeResponse(const QueryResponse& response, std::string* payload);
+Status DecodeResponse(std::string_view payload, QueryResponse* response);
+
+/// -------- HTTP/JSON compatibility --------
+
+/// True when the first bytes of a connection look like the HTTP dialect
+/// ("GET " / "POST " / "HEAD ") rather than a binary frame.
+bool LooksLikeHttp(std::string_view prefix);
+
+/// Parses "/search?q=xml+data&k=5&semantics=slca&deadline_us=1000&
+/// priority=low" into a QueryRequest. Returns InvalidArgument on unknown
+/// parameters values, bad numbers, or a missing q. Percent-encoding and
+/// '+' for space are handled.
+Status ParseHttpSearchTarget(std::string_view target, QueryRequest* request);
+
+/// The response as a JSON object (the HTTP dialect's body and the schema
+/// tools/serve_schema.json validates):
+/// {"request_id":..,"status":"ok","retry_after_ms":0,"error":"",
+///  "hits":[{"node":..,"level":..,"score":..,"tag":"..","snippet":".."}]}
+std::string ResponseToJson(const QueryResponse& response);
+
+/// Maps a ResponseStatus to the HTTP status code of the JSON dialect
+/// (ok/partial -> 200, shed -> 503, bad request -> 400, ...).
+int HttpStatusFor(ResponseStatus status);
+
+}  // namespace serve
+}  // namespace xtopk
+
+#endif  // XTOPK_SERVE_PROTOCOL_H_

@@ -1,0 +1,197 @@
+#ifndef XTOPK_SERVE_QUERY_SERVICE_H_
+#define XTOPK_SERVE_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/updatable_engine.h"
+#include "serve/protocol.h"
+#include "serve/result_cache.h"
+#include "util/deadline.h"
+
+namespace xtopk {
+namespace serve {
+
+/// What the query service needs from an engine: run one query under a
+/// deadline, normalize keywords the way that engine's tokenizer does, and
+/// report the index version (the result-cache watermark). Implementations
+/// must be safe to call from multiple worker threads.
+class ServeBackend {
+ public:
+  virtual ~ServeBackend() = default;
+
+  /// Executes the query synchronously. On a deadline expiry the hits hold
+  /// the proven partial prefix and the returned status is
+  /// kDeadlineExceeded; other non-ok statuses mean the query failed.
+  virtual Status RunQuery(const QueryRequest& request, DeadlineToken deadline,
+                          std::vector<ResponseHit>* hits) = 0;
+
+  /// The engine's analyzer (multi-token inputs expand, duplicates drop) —
+  /// cache keys must normalize exactly like execution will.
+  virtual std::vector<std::string> Normalize(
+      const std::vector<std::string>& keywords) = 0;
+
+  /// Current index version. Immutable engines return a constant; the
+  /// updatable engine bumps it on seal/compact/ingest, which silently
+  /// invalidates every cached result.
+  virtual uint64_t Watermark() = 0;
+};
+
+/// Backend over the immutable Engine. The engine's indexes are read-only
+/// and RunBatch-safe, so queries run concurrently without locking and the
+/// watermark is constant.
+class EngineBackend : public ServeBackend {
+ public:
+  explicit EngineBackend(const Engine* engine) : engine_(engine) {}
+  Status RunQuery(const QueryRequest& request, DeadlineToken deadline,
+                  std::vector<ResponseHit>* hits) override;
+  std::vector<std::string> Normalize(
+      const std::vector<std::string>& keywords) override;
+  uint64_t Watermark() override { return 1; }
+
+ private:
+  const Engine* engine_;  // not owned
+};
+
+/// Backend over an UpdatableEngine. The engine mutates lazily on query
+/// (memtable refresh), so every call serializes through one mutex;
+/// concurrency comes from the admission queue, not the index.
+class UpdatableBackend : public ServeBackend {
+ public:
+  explicit UpdatableBackend(UpdatableEngine* engine) : engine_(engine) {}
+  Status RunQuery(const QueryRequest& request, DeadlineToken deadline,
+                  std::vector<ResponseHit>* hits) override;
+  std::vector<std::string> Normalize(
+      const std::vector<std::string>& keywords) override;
+  uint64_t Watermark() override;
+
+ private:
+  std::mutex mu_;
+  UpdatableEngine* engine_;  // not owned
+};
+
+struct QueryServiceOptions {
+  /// Worker threads executing admitted queries. 0 starts none — tests
+  /// drive the queues deterministically through RunOnce().
+  size_t workers = 2;
+  /// Bounded depth per priority class. An arriving query that finds its
+  /// class full is shed immediately (kShedOverload + retry hint); it
+  /// never displaces queued work.
+  size_t max_queue_high = 64;
+  size_t max_queue_low = 64;
+  /// Applied when a request carries deadline_us == 0. 0 keeps it
+  /// unbounded.
+  uint64_t default_deadline_us = 0;
+  /// Ceiling on any request's budget (0 = none) — a client cannot pin a
+  /// worker forever by asking for an hour.
+  uint64_t max_deadline_us = 0;
+  /// Backoff hint attached to shed responses.
+  uint32_t retry_after_ms = 50;
+  size_t result_cache_capacity = 1024;
+  /// Injectable clock for deadline arithmetic (tests pass a fake).
+  /// Null uses the process steady clock.
+  DeadlineToken::ClockFn clock = nullptr;
+};
+
+/// Point-in-time counters (tests read these; the same numbers flow into
+/// the process metrics registry as server.* series).
+struct QueryServiceStats {
+  uint64_t admitted = 0;
+  uint64_t executed = 0;
+  uint64_t shed_high = 0;
+  uint64_t shed_low = 0;
+  uint64_t expired_in_queue = 0;  ///< queue wait consumed the whole budget
+  uint64_t partial = 0;           ///< deadline expired mid-execution
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  size_t queue_depth_high = 0;
+  size_t queue_depth_low = 0;
+};
+
+/// The socket-free heart of the query service: a two-priority bounded
+/// admission queue in front of a worker pool, load shedding, deadline
+/// propagation, and a watermark-keyed result cache. QueryServer puts a
+/// byte protocol in front of this; tests call it directly.
+///
+/// Flow: Submit() admits or sheds inline (shed/ping/shutdown responses
+/// are produced on the caller's thread — shedding must stay cheap under
+/// overload, that is its point). Admitted queries wait in their priority
+/// class; workers always drain high before low. On dequeue an
+/// already-expired deadline short-circuits to kDeadlineExpired without
+/// touching the engine; otherwise the query runs with the remaining
+/// budget and an in-flight expiry yields kPartial with the proven prefix.
+class QueryService {
+ public:
+  /// `backend` must outlive the service.
+  QueryService(ServeBackend* backend, QueryServiceOptions options = {});
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Done callbacks run on whichever thread produced the response: the
+  /// submitter's for inline outcomes (shed, ping, shutdown), a worker's
+  /// for executed queries.
+  using DoneFn = std::function<void(QueryResponse)>;
+
+  /// Admits, sheds, or answers inline. Never blocks on query execution.
+  void Submit(const QueryRequest& request, DoneFn done);
+
+  /// Synchronous convenience: Submit + wait for the response. Safe from
+  /// any thread; with workers == 0 the queues are drained inline (the
+  /// deterministic test mode).
+  QueryResponse Execute(const QueryRequest& request);
+
+  /// Dequeues and executes one admitted query (high class first). False
+  /// when both queues are empty. Workers loop this; workers == 0 tests
+  /// call it to step the service deterministically.
+  bool RunOnce();
+
+  /// Stops the workers and answers everything still queued with
+  /// kShuttingDown. Idempotent; Submit after Stop sheds as shutting down.
+  void Stop();
+
+  QueryServiceStats stats() const;
+  ResultCache& result_cache() { return cache_; }
+  const QueryServiceOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    QueryRequest request;
+    DeadlineToken deadline;
+    uint64_t enqueue_us = 0;
+    DoneFn done;
+  };
+
+  void WorkerLoop();
+  /// Executes one admitted query end-to-end (expiry check, cache, engine,
+  /// metrics) and invokes its callback.
+  void ExecuteAdmitted(Pending pending);
+  DeadlineToken MakeDeadline(uint64_t budget_us) const;
+  uint64_t NowUs() const;
+
+  ServeBackend* backend_;  // not owned
+  QueryServiceOptions options_;
+  ResultCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::deque<Pending> queue_high_;
+  std::deque<Pending> queue_low_;
+  bool stopping_ = false;
+  QueryServiceStats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace serve
+}  // namespace xtopk
+
+#endif  // XTOPK_SERVE_QUERY_SERVICE_H_

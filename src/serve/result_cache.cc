@@ -1,0 +1,82 @@
+#include "serve/result_cache.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace xtopk {
+namespace serve {
+
+std::string ResultCache::Key(
+    const std::vector<std::string>& normalized_keywords, Semantics semantics,
+    uint32_t k) {
+  std::string key;
+  key.reserve(16 + normalized_keywords.size() * 8);
+  key += semantics == Semantics::kSlca ? "slca|" : "elca|";
+  key += std::to_string(k);
+  for (const std::string& keyword : normalized_keywords) {
+    // Length-prefixed so no keyword content can forge a separator: the
+    // tokenizer never emits '|', but the key must not depend on that.
+    key.push_back('|');
+    key += std::to_string(keyword.size());
+    key.push_back(':');
+    key += keyword;
+  }
+  return key;
+}
+
+std::shared_ptr<const std::vector<ResponseHit>> ResultCache::Lookup(
+    const std::string& key, uint64_t watermark) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.watermark != watermark) {
+    ++misses_;
+    XTOPK_COUNTER("server.result_cache.misses").Add(1);
+    return nullptr;
+  }
+  ++hits_;
+  XTOPK_COUNTER("server.result_cache.hits").Add(1);
+  return it->second.hits;
+}
+
+void ResultCache::Insert(
+    const std::string& key, uint64_t watermark,
+    std::shared_ptr<const std::vector<ResponseHit>> hits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    if (entries_.size() >= capacity_ && !insertion_order_.empty()) {
+      entries_.erase(insertion_order_.front());
+      insertion_order_.erase(insertion_order_.begin());
+      XTOPK_COUNTER("server.result_cache.evictions").Add(1);
+    }
+    insertion_order_.push_back(key);
+    entries_.emplace(key, Entry{watermark, std::move(hits)});
+  } else {
+    it->second = Entry{watermark, std::move(hits)};
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  insertion_order_.clear();
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace serve
+}  // namespace xtopk

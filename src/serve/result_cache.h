@@ -1,0 +1,73 @@
+#ifndef XTOPK_SERVE_RESULT_CACHE_H_
+#define XTOPK_SERVE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace xtopk {
+namespace serve {
+
+/// Bounded cache of complete query answers, keyed by the normalized query
+/// and the index's plan watermark — the same watermark discipline
+/// PlanCache uses. A hit requires the cached entry's watermark to equal
+/// the caller's current watermark; a seal, compact, or ingest bumps the
+/// index version, so every stale entry silently turns into a miss and no
+/// mutation path ever reaches into the cache.
+///
+/// Only full answers are cached: a partial (deadline-expired) result is a
+/// prefix whose length depends on the expired budget, so caching it would
+/// poison later queries with larger budgets. Callers enforce this by only
+/// calling Insert for ResponseStatus::kOk responses.
+///
+/// Thread-safe; values are immutable and handed out as shared_ptr so a
+/// replaced entry stays valid for responses still being serialized.
+class ResultCache {
+ public:
+  explicit ResultCache(size_t capacity = 1024) : capacity_(capacity) {}
+
+  /// Canonical cache key: normalized keywords (the caller normalizes with
+  /// the engine's own tokenizer) + semantics + k. Keyword order matters —
+  /// normalization already fixed it to first-occurrence order, which the
+  /// engines preserve, so equal queries produce equal keys.
+  static std::string Key(const std::vector<std::string>& normalized_keywords,
+                         Semantics semantics, uint32_t k);
+
+  /// The cached hits if present AND cached at `watermark`; nullptr
+  /// otherwise (counted as a miss either way).
+  std::shared_ptr<const std::vector<ResponseHit>> Lookup(
+      const std::string& key, uint64_t watermark);
+
+  /// Caches `hits` under (key, watermark), replacing any prior entry.
+  /// Evicts in insertion order when over capacity.
+  void Insert(const std::string& key, uint64_t watermark,
+              std::shared_ptr<const std::vector<ResponseHit>> hits);
+
+  void Clear();
+  size_t size() const;
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+ private:
+  struct Entry {
+    uint64_t watermark = 0;
+    std::shared_ptr<const std::vector<ResponseHit>> hits;
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::vector<std::string> insertion_order_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace serve
+}  // namespace xtopk
+
+#endif  // XTOPK_SERVE_RESULT_CACHE_H_

@@ -1,0 +1,78 @@
+#ifndef XTOPK_UTIL_DEADLINE_H_
+#define XTOPK_UTIL_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace xtopk {
+
+/// A per-query time budget checked at coarse execution boundaries (level
+/// rounds, column rounds, star-join entry blocks, TermSource::Resolve call
+/// sites). The token is a plain value — copy it freely; every copy answers
+/// against the same absolute deadline.
+///
+/// The clock is injectable: production tokens read a steady monotonic
+/// clock, deterministic tests install a fake (a function returning a
+/// controlled value) so "the deadline expired mid-query" is reproducible
+/// without sleeping. A default-constructed token is unbounded and costs a
+/// single branch per check — queries without deadlines never read the
+/// clock.
+class DeadlineToken {
+ public:
+  using ClockFn = uint64_t (*)();
+
+  /// Monotonic process clock in microseconds (steady_clock since first
+  /// use). The default clock of every bounded token.
+  static uint64_t NowMicros() {
+    static const auto epoch = std::chrono::steady_clock::now();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+  }
+
+  /// Unbounded: expired() is always false, no clock reads.
+  DeadlineToken() = default;
+
+  /// Expires `budget_us` from now on `clock` (0 = unbounded).
+  static DeadlineToken AfterMicros(uint64_t budget_us,
+                                   ClockFn clock = &NowMicros) {
+    if (budget_us == 0) return DeadlineToken();
+    return DeadlineToken(clock() + budget_us, clock);
+  }
+
+  /// Expires at absolute instant `deadline_us` on `clock`.
+  static DeadlineToken AtMicros(uint64_t deadline_us,
+                                ClockFn clock = &NowMicros) {
+    return DeadlineToken(deadline_us, clock);
+  }
+
+  bool unbounded() const { return clock_ == nullptr; }
+
+  /// True once the clock has reached the deadline. Monotone: once a token
+  /// observes expiry it stays expired (steady clocks never go backwards;
+  /// fake clocks in tests must respect the same contract).
+  bool expired() const {
+    return clock_ != nullptr && clock_() >= deadline_us_;
+  }
+
+  /// Microseconds until expiry; 0 when expired, UINT64_MAX when unbounded.
+  uint64_t remaining_us() const {
+    if (clock_ == nullptr) return UINT64_MAX;
+    uint64_t now = clock_();
+    return now >= deadline_us_ ? 0 : deadline_us_ - now;
+  }
+
+  uint64_t deadline_us() const { return deadline_us_; }
+
+ private:
+  DeadlineToken(uint64_t deadline_us, ClockFn clock)
+      : deadline_us_(deadline_us), clock_(clock) {}
+
+  uint64_t deadline_us_ = 0;
+  ClockFn clock_ = nullptr;  ///< null = unbounded
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_UTIL_DEADLINE_H_

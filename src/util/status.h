@@ -20,6 +20,7 @@ enum class StatusCode {
   kIoError,
   kUnimplemented,
   kInternal,
+  kDeadlineExceeded,
 };
 
 /// Result of a fallible operation: a code plus a human-readable message.
@@ -51,6 +52,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -184,6 +184,51 @@ TEST(WindowedRegistryTest, SnapshotCarriesWindowedMetrics) {
   EXPECT_NE(snapshot.ToPrometheusText().find("_w60s_p99"), std::string::npos);
 }
 
+TEST(WindowedJsonTest, IdleWindowSerializesNullPercentilesNotSentinel) {
+  WindowedHistogram histogram;
+  auto window = histogram.WindowAt(k10s, kSlotUs * 100);
+  ASSERT_EQ(window.count, 0u);
+  std::string json;
+  window.AppendJson(&json);
+  // The -1 sentinel is an in-process convention; on the wire an idle
+  // window's percentiles are null, never a negative "latency".
+  EXPECT_NE(json.find("\"p50\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p999\":null"), std::string::npos) << json;
+  EXPECT_EQ(json.find("-1"), std::string::npos) << json;
+
+  // With samples, real numbers come back.
+  histogram.RecordAt(100, kSlotUs * 100);
+  auto active = histogram.WindowAt(k10s, kSlotUs * 100);
+  std::string active_json;
+  active.AppendJson(&active_json);
+  EXPECT_EQ(active_json.find("null"), std::string::npos) << active_json;
+  EXPECT_NE(active_json.find("\"p50\":"), std::string::npos);
+}
+
+TEST(WindowedJsonTest, RegistrySnapshotNeverLeaksSentinelForIdleWindows) {
+  // Registered but never recorded: both windows are idle at snapshot time.
+  MetricsRegistry::Global().GetWindowedHistogram("test.windowed.idle");
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+
+  std::string json = snapshot.ToJson();
+  size_t at = json.find("\"test.windowed.idle\"");
+  ASSERT_NE(at, std::string::npos);
+  // Both window objects of this metric serialize null percentiles.
+  std::string entry = json.substr(at, 220);
+  EXPECT_NE(entry.find("\"p50\":null"), std::string::npos) << entry;
+  EXPECT_EQ(entry.find("-1.0000"), std::string::npos) << entry;
+
+  // Prometheus has no null: idle-window percentile gauges are omitted
+  // entirely, while the rate gauges (a true 0) stay — the telemetry smoke
+  // checks key on their presence.
+  std::string prom = snapshot.ToPrometheusText();
+  EXPECT_EQ(prom.find("test_windowed_idle_w10s_p50"), std::string::npos);
+  EXPECT_EQ(prom.find("test_windowed_idle_w60s_p999"), std::string::npos);
+  EXPECT_NE(prom.find("test_windowed_idle_w10s_rate"), std::string::npos);
+  EXPECT_NE(prom.find("test_windowed_idle_w60s_rate"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace obs
 }  // namespace xtopk

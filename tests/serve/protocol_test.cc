@@ -1,0 +1,425 @@
+// Protocol robustness: encode/decode roundtrips, truncation and bitflip
+// fuzzing over the frame codecs (every malformed input must fail with a
+// typed error, never crash or read out of bounds), and server-level
+// garbage injection — a live server fed hostile bytes answers with typed
+// errors, stays up, and its result cache stays unpoisoned.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "testing/corpus.h"
+#include "testing/serve_client.h"
+#include "util/rng.h"
+
+namespace xtopk {
+namespace serve {
+namespace {
+
+using xtopk::testing::ExpectHitsBitIdentical;
+using xtopk::testing::MakeSmallCorpus;
+using xtopk::testing::ServeHarness;
+
+QueryRequest SampleRequest() {
+  QueryRequest request;
+  request.request_id = 0xDEADBEEF;
+  request.op = RequestOp::kQuery;
+  request.priority = Priority::kLow;
+  request.semantics = Semantics::kSlca;
+  request.k = 25;
+  request.deadline_us = 1234567;
+  request.keywords = {"xml", "data", "top-k"};
+  return request;
+}
+
+QueryResponse SampleResponse() {
+  QueryResponse response;
+  response.request_id = 77;
+  response.status = ResponseStatus::kPartial;
+  response.retry_after_ms = 125;
+  response.error = "deadline expired \"mid\" query\n";
+  ResponseHit hit;
+  hit.node = 42;
+  hit.level = 3;
+  hit.score = 0.1 + 0.2;  // not exactly representable — bits must survive
+  hit.tag = "paper";
+  hit.snippet = "xml data";
+  response.hits.push_back(hit);
+  hit.node = 7;
+  hit.level = 9;
+  hit.score = std::numeric_limits<double>::denorm_min();
+  hit.tag = "";
+  hit.snippet = std::string("nul\0byte", 8);
+  response.hits.push_back(hit);
+  return response;
+}
+
+TEST(ProtocolRoundtrip, RequestSurvivesEncodeDecode) {
+  QueryRequest original = SampleRequest();
+  std::string payload;
+  EncodeRequest(original, &payload);
+  QueryRequest decoded;
+  ASSERT_TRUE(DecodeRequest(payload, &decoded).ok());
+  EXPECT_EQ(decoded.request_id, original.request_id);
+  EXPECT_EQ(decoded.op, original.op);
+  EXPECT_EQ(decoded.priority, original.priority);
+  EXPECT_EQ(decoded.semantics, original.semantics);
+  EXPECT_EQ(decoded.k, original.k);
+  EXPECT_EQ(decoded.deadline_us, original.deadline_us);
+  EXPECT_EQ(decoded.keywords, original.keywords);
+}
+
+TEST(ProtocolRoundtrip, ResponseSurvivesWithBitIdenticalScores) {
+  QueryResponse original = SampleResponse();
+  std::string payload;
+  EncodeResponse(original, &payload);
+  QueryResponse decoded;
+  ASSERT_TRUE(DecodeResponse(payload, &decoded).ok());
+  EXPECT_EQ(decoded.request_id, original.request_id);
+  EXPECT_EQ(decoded.status, original.status);
+  EXPECT_EQ(decoded.retry_after_ms, original.retry_after_ms);
+  EXPECT_EQ(decoded.error, original.error);
+  ASSERT_EQ(decoded.hits.size(), original.hits.size());
+  for (size_t i = 0; i < original.hits.size(); ++i) {
+    EXPECT_EQ(decoded.hits[i].node, original.hits[i].node);
+    EXPECT_EQ(decoded.hits[i].level, original.hits[i].level);
+    // The wire carries the raw IEEE-754 pattern: compare bytes, so even a
+    // hypothetical NaN would have to roundtrip exactly.
+    EXPECT_EQ(std::memcmp(&decoded.hits[i].score, &original.hits[i].score,
+                          sizeof(double)),
+              0);
+    EXPECT_EQ(decoded.hits[i].tag, original.hits[i].tag);
+    EXPECT_EQ(decoded.hits[i].snippet, original.hits[i].snippet);
+  }
+}
+
+TEST(ProtocolRoundtrip, NanScoreRoundtripsByBits) {
+  QueryResponse response;
+  response.hits.resize(1);
+  response.hits[0].score = std::numeric_limits<double>::quiet_NaN();
+  std::string payload;
+  EncodeResponse(response, &payload);
+  QueryResponse decoded;
+  ASSERT_TRUE(DecodeResponse(payload, &decoded).ok());
+  EXPECT_TRUE(std::isnan(decoded.hits[0].score));
+}
+
+TEST(ProtocolFraming, ExtractFrameIsIncremental) {
+  std::string wire;
+  EncodeFrame(&wire, "hello");
+  EncodeFrame(&wire, "");
+
+  std::string buffer, payload;
+  bool complete = false;
+  // Feed byte by byte: no frame completes until its last byte arrives.
+  size_t completed = 0;
+  for (char byte : wire) {
+    buffer.push_back(byte);
+    for (;;) {
+      ASSERT_TRUE(ExtractFrame(&buffer, &payload, &complete).ok());
+      if (!complete) break;
+      if (completed == 0) EXPECT_EQ(payload, "hello");
+      if (completed == 1) EXPECT_EQ(payload, "");
+      ++completed;
+    }
+  }
+  EXPECT_EQ(completed, 2u);
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(ProtocolFraming, OversizedLengthPrefixRejectedBeforeBuffering) {
+  std::string buffer;
+  uint32_t huge = kMaxFrameBytes + 1;
+  buffer.append(reinterpret_cast<const char*>(&huge), 4);
+  std::string payload;
+  bool complete = false;
+  Status s = ExtractFrame(&buffer, &payload, &complete);
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(complete);
+}
+
+// Every strict prefix of a valid request payload must fail to decode:
+// the format has no optional tail, so truncation anywhere is an error.
+TEST(ProtocolFuzz, AllStrictPrefixesOfRequestFail) {
+  std::string payload;
+  EncodeRequest(SampleRequest(), &payload);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    QueryRequest decoded;
+    EXPECT_FALSE(
+        DecodeRequest(std::string_view(payload.data(), len), &decoded).ok())
+        << "prefix of length " << len << " decoded";
+  }
+}
+
+TEST(ProtocolFuzz, AllStrictPrefixesOfResponseFail) {
+  std::string payload;
+  EncodeResponse(SampleResponse(), &payload);
+  for (size_t len = 0; len < payload.size(); ++len) {
+    QueryResponse decoded;
+    EXPECT_FALSE(
+        DecodeResponse(std::string_view(payload.data(), len), &decoded).ok())
+        << "prefix of length " << len << " decoded";
+  }
+}
+
+TEST(ProtocolFuzz, TrailingBytesRejected) {
+  std::string payload;
+  EncodeRequest(SampleRequest(), &payload);
+  payload.push_back('\0');
+  QueryRequest decoded;
+  EXPECT_FALSE(DecodeRequest(payload, &decoded).ok());
+
+  std::string response_payload;
+  EncodeResponse(SampleResponse(), &response_payload);
+  response_payload.push_back('x');
+  QueryResponse decoded_response;
+  EXPECT_FALSE(DecodeResponse(response_payload, &decoded_response).ok());
+}
+
+// Single-bit flips over a valid payload (the FaultPlan bitflip shape):
+// decode must either fail with a typed error or succeed with every field
+// inside its documented bounds. Either way it must not crash.
+TEST(ProtocolFuzz, RequestBitflipsNeverCrashAndKeepBounds) {
+  std::string payload;
+  EncodeRequest(SampleRequest(), &payload);
+  for (size_t byte = 0; byte < payload.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = payload;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      QueryRequest decoded;
+      Status s = DecodeRequest(mutated, &decoded);
+      if (s.ok()) {
+        EXPECT_LE(decoded.k, kMaxK);
+        EXPECT_LE(decoded.keywords.size(), kMaxKeywords);
+        EXPECT_TRUE(decoded.op == RequestOp::kQuery ||
+                    decoded.op == RequestOp::kPing);
+      }
+    }
+  }
+}
+
+TEST(ProtocolFuzz, ResponseBitflipsNeverCrash) {
+  std::string payload;
+  EncodeResponse(SampleResponse(), &payload);
+  for (size_t byte = 0; byte < payload.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = payload;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      QueryResponse decoded;
+      (void)DecodeResponse(mutated, &decoded);  // must not crash
+    }
+  }
+}
+
+// Pure-random payloads: overwhelmingly invalid, occasionally valid by
+// chance — both outcomes fine, crashes and unbounded allocations are not.
+TEST(ProtocolFuzz, RandomPayloadsNeverCrash) {
+  Rng rng(20260808);
+  for (int round = 0; round < 2000; ++round) {
+    std::string payload;
+    size_t len = rng.NextBounded(128);
+    payload.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      payload.push_back(static_cast<char>(rng.NextBounded(256)));
+    }
+    QueryRequest request;
+    (void)DecodeRequest(payload, &request);
+    QueryResponse response;
+    (void)DecodeResponse(payload, &response);
+  }
+}
+
+// A forged hit count far beyond what the frame can hold must be rejected
+// before any allocation happens (no 4-billion-element reserve).
+TEST(ProtocolFuzz, ForgedHitCountRejected) {
+  std::string payload;
+  QueryResponse empty;
+  EncodeResponse(empty, &payload);
+  // Overwrite the trailing n_hits u32 with UINT32_MAX.
+  ASSERT_GE(payload.size(), 4u);
+  payload[payload.size() - 4] = '\xff';
+  payload[payload.size() - 3] = '\xff';
+  payload[payload.size() - 2] = '\xff';
+  payload[payload.size() - 1] = '\xff';
+  QueryResponse decoded;
+  EXPECT_FALSE(DecodeResponse(payload, &decoded).ok());
+}
+
+TEST(ProtocolHttp, SearchTargetParsing) {
+  QueryRequest request;
+  ASSERT_TRUE(ParseHttpSearchTarget(
+                  "/search?q=xml+data&k=5&semantics=slca&deadline_us=1000"
+                  "&priority=low&id=9",
+                  &request)
+                  .ok());
+  EXPECT_EQ(request.keywords, (std::vector<std::string>{"xml", "data"}));
+  EXPECT_EQ(request.k, 5u);
+  EXPECT_EQ(request.semantics, Semantics::kSlca);
+  EXPECT_EQ(request.deadline_us, 1000u);
+  EXPECT_EQ(request.priority, Priority::kLow);
+  EXPECT_EQ(request.request_id, 9u);
+
+  EXPECT_FALSE(ParseHttpSearchTarget("/search", &request).ok());
+  EXPECT_FALSE(ParseHttpSearchTarget("/search?q=", &request).ok());
+  EXPECT_FALSE(ParseHttpSearchTarget("/search?q=x&k=abc", &request).ok());
+  EXPECT_FALSE(ParseHttpSearchTarget("/search?q=x&bogus=1", &request).ok());
+  EXPECT_FALSE(
+      ParseHttpSearchTarget("/search?q=x&semantics=wat", &request).ok());
+  EXPECT_FALSE(ParseHttpSearchTarget("/other?q=x", &request).ok());
+  // Percent-encoding decodes before splitting.
+  ASSERT_TRUE(ParseHttpSearchTarget("/search?q=xml%20data", &request).ok());
+  EXPECT_EQ(request.keywords, (std::vector<std::string>{"xml", "data"}));
+}
+
+TEST(ProtocolHttp, JsonEscapesControlBytes) {
+  QueryResponse response;
+  response.error = "tab\there \"quote\" back\\slash";
+  std::string json = ResponseToJson(response);
+  EXPECT_NE(json.find("tab\\there"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quote\\\""), std::string::npos);
+  EXPECT_NE(json.find("back\\\\slash"), std::string::npos);
+}
+
+// -------- server-level garbage injection --------
+
+// A well-framed but undecodable payload: the frame boundary held, so the
+// server answers a typed kBadRequest and keeps the connection usable.
+TEST(ServeRobustness, MalformedPayloadGetsTypedErrorConnectionSurvives) {
+  ServeHarness harness(MakeSmallCorpus());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness.port()).ok());
+
+  std::string wire;
+  EncodeFrame(&wire, "garbage that is not a request");
+  ASSERT_TRUE(client.SendRaw(wire).ok());
+  QueryResponse response;
+  ASSERT_TRUE(client.Receive(&response).ok());
+  EXPECT_EQ(response.status, ResponseStatus::kBadRequest);
+  EXPECT_FALSE(response.error.empty());
+
+  // The next frame on the same connection decodes and executes normally.
+  QueryRequest request;
+  request.request_id = 5;
+  request.keywords = {"xml", "data"};
+  request.k = 3;
+  ASSERT_TRUE(client.Call(request, &response).ok());
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+}
+
+// An oversized length prefix can never resynchronize: the server answers
+// once, then closes. The listener itself must survive.
+TEST(ServeRobustness, OversizedFramePoisonsOnlyThatConnection) {
+  ServeHarness harness(MakeSmallCorpus());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness.port()).ok());
+
+  uint32_t huge = kMaxFrameBytes + 7;
+  std::string wire(reinterpret_cast<const char*>(&huge), 4);
+  wire += "trailing bytes the server must not trust";
+  ASSERT_TRUE(client.SendRaw(wire).ok());
+  QueryResponse response;
+  ASSERT_TRUE(client.Receive(&response).ok());
+  EXPECT_EQ(response.status, ResponseStatus::kBadRequest);
+  // The server closes after the error response: the next read hits EOF.
+  EXPECT_FALSE(client.Receive(&response).ok());
+
+  // A fresh connection works as if nothing happened.
+  Client fresh;
+  ASSERT_TRUE(fresh.Connect("127.0.0.1", harness.port()).ok());
+  QueryRequest request;
+  request.request_id = 6;
+  request.keywords = {"xml"};
+  request.k = 2;
+  ASSERT_TRUE(fresh.Call(request, &response).ok());
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+}
+
+// Random byte storms over many short-lived connections: the server must
+// stay up and the result cache must keep serving the pre-storm answer
+// bit-identically (garbage can never poison a cached result).
+TEST(ServeRobustness, GarbageStormLeavesServerAndCacheIntact) {
+  ServeHarness harness(MakeSmallCorpus());
+
+  QueryRequest probe;
+  probe.request_id = 1;
+  probe.keywords = {"xml", "data"};
+  probe.k = 5;
+  QueryResponse before = harness.Call(probe);
+  ASSERT_EQ(before.status, ResponseStatus::kOk);
+
+  Rng rng(4242);
+  for (int round = 0; round < 40; ++round) {
+    Client attacker;
+    ASSERT_TRUE(attacker.Connect("127.0.0.1", harness.port()).ok());
+    std::string junk;
+    size_t len = 1 + rng.NextBounded(256);
+    junk.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      junk.push_back(static_cast<char>(rng.NextBounded(256)));
+    }
+    // Some rounds wrap the junk in a valid frame (undecodable payload),
+    // some send it raw (hostile framing). Both must be harmless.
+    std::string wire;
+    if (round % 2 == 0) {
+      EncodeFrame(&wire, junk);
+    } else {
+      wire = junk;
+    }
+    ASSERT_TRUE(attacker.SendRaw(wire).ok());
+    attacker.Close();  // vanish mid-conversation, like a real bad peer
+  }
+
+  QueryResponse after = harness.Call(probe);
+  ASSERT_EQ(after.status, ResponseStatus::kOk);
+  ASSERT_EQ(after.hits.size(), before.hits.size());
+  for (size_t i = 0; i < before.hits.size(); ++i) {
+    EXPECT_EQ(after.hits[i].node, before.hits[i].node);
+    EXPECT_EQ(std::memcmp(&after.hits[i].score, &before.hits[i].score,
+                          sizeof(double)),
+              0);
+  }
+  ExpectHitsBitIdentical(
+      harness.engine().SearchTopK({"xml", "data"}, 5, Semantics::kElca),
+      after.hits, "post-storm");
+}
+
+// A peer that streams an HTTP request line forever (no newline) gets
+// disconnected by the line-length cap instead of ballooning server memory.
+TEST(ServeRobustness, UnboundedStreamWithoutFramesIsDisconnected) {
+  ServeHarness harness(MakeSmallCorpus());
+  Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness.port()).ok());
+
+  std::string chunk(4096, 'A');
+  bool disconnected = false;
+  // "GET " selects the HTTP dialect; > 8 KiB without a newline trips the
+  // request-line cap. Push well past it.
+  for (int i = 0; i < 16 && !disconnected; ++i) {
+    if (!client.SendRaw(i == 0 ? "GET " + chunk : chunk).ok()) {
+      disconnected = true;
+    }
+  }
+  // Depending on timing the disconnect may surface on send (EPIPE) or on
+  // the next receive; either way the server must have cut us off...
+  if (!disconnected) {
+    QueryResponse response;
+    EXPECT_FALSE(client.Receive(&response).ok());
+  }
+  // ...and must still serve everyone else.
+  QueryRequest request;
+  request.request_id = 9;
+  request.keywords = {"xml"};
+  request.k = 1;
+  QueryResponse response = harness.Call(request);
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace xtopk

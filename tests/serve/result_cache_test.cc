@@ -1,0 +1,117 @@
+// Unit tests of the watermark-keyed result cache: key composition,
+// stale-watermark misses, FIFO eviction, replacement, and counters.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/result_cache.h"
+
+namespace xtopk {
+namespace serve {
+namespace {
+
+std::shared_ptr<const std::vector<ResponseHit>> MakeHits(uint32_t node) {
+  auto hits = std::make_shared<std::vector<ResponseHit>>();
+  ResponseHit hit;
+  hit.node = node;
+  hit.score = 1.5;
+  hits->push_back(hit);
+  return hits;
+}
+
+TEST(ResultCacheKey, ComposedFromQueryShape) {
+  std::string key = ResultCache::Key({"xml", "data"}, Semantics::kElca, 5);
+  // Same inputs, same key.
+  EXPECT_EQ(key, ResultCache::Key({"xml", "data"}, Semantics::kElca, 5));
+  // Every component participates.
+  EXPECT_NE(key, ResultCache::Key({"xml", "data"}, Semantics::kSlca, 5));
+  EXPECT_NE(key, ResultCache::Key({"xml", "data"}, Semantics::kElca, 6));
+  EXPECT_NE(key, ResultCache::Key({"xml"}, Semantics::kElca, 5));
+  // Order matters: normalization fixed it upstream, so the cache must
+  // not conflate distinct normalized sequences.
+  EXPECT_NE(key, ResultCache::Key({"data", "xml"}, Semantics::kElca, 5));
+}
+
+TEST(ResultCacheKey, KeywordsCannotForgeSeparators) {
+  // A keyword containing the separator must not collide with two
+  // keywords. (Real keywords are tokenizer output and can't contain '|',
+  // but the cache shouldn't rely on that.)
+  EXPECT_NE(ResultCache::Key({"a|b"}, Semantics::kElca, 5),
+            ResultCache::Key({"a", "b"}, Semantics::kElca, 5));
+}
+
+TEST(ResultCache, LookupHonorsWatermark) {
+  ResultCache cache(8);
+  const std::string key = ResultCache::Key({"xml"}, Semantics::kElca, 3);
+  EXPECT_EQ(cache.Lookup(key, 1), nullptr);  // cold miss
+
+  cache.Insert(key, /*watermark=*/1, MakeHits(42));
+  auto hit = cache.Lookup(key, 1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ((*hit)[0].node, 42u);
+
+  // The index moved on (seal/compact/ingest): same key, new watermark —
+  // silent miss, and the stale entry never surfaces again.
+  EXPECT_EQ(cache.Lookup(key, 2), nullptr);
+
+  // Re-inserting at the new watermark replaces the stale entry.
+  cache.Insert(key, 2, MakeHits(77));
+  auto fresh = cache.Lookup(key, 2);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ((*fresh)[0].node, 77u);
+  EXPECT_EQ(cache.size(), 1u);  // replaced, not duplicated
+}
+
+TEST(ResultCache, CountsHitsAndMisses) {
+  ResultCache cache(8);
+  const std::string key = ResultCache::Key({"xml"}, Semantics::kElca, 3);
+  cache.Lookup(key, 1);               // miss: absent
+  cache.Insert(key, 1, MakeHits(1));
+  cache.Lookup(key, 1);               // hit
+  cache.Lookup(key, 9);               // miss: stale watermark
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(ResultCache, EvictsInInsertionOrder) {
+  ResultCache cache(3);
+  for (uint32_t i = 0; i < 3; ++i) {
+    cache.Insert("k" + std::to_string(i), 1, MakeHits(i));
+  }
+  EXPECT_EQ(cache.size(), 3u);
+
+  // A fourth insert evicts the oldest entry ("k0").
+  cache.Insert("k3", 1, MakeHits(3));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.Lookup("k0", 1), nullptr);
+  EXPECT_NE(cache.Lookup("k1", 1), nullptr);
+  EXPECT_NE(cache.Lookup("k3", 1), nullptr);
+}
+
+TEST(ResultCache, HandedOutValuesSurviveEviction) {
+  ResultCache cache(1);
+  cache.Insert("a", 1, MakeHits(5));
+  auto held = cache.Lookup("a", 1);
+  ASSERT_NE(held, nullptr);
+  cache.Insert("b", 1, MakeHits(6));  // evicts "a"
+  EXPECT_EQ(cache.Lookup("a", 1), nullptr);
+  // The shared_ptr we took earlier is still valid and unchanged.
+  EXPECT_EQ((*held)[0].node, 5u);
+}
+
+TEST(ResultCache, ClearEmptiesEverything) {
+  ResultCache cache(8);
+  cache.Insert("a", 1, MakeHits(1));
+  cache.Insert("b", 1, MakeHits(2));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup("a", 1), nullptr);
+  EXPECT_EQ(cache.Lookup("b", 1), nullptr);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace xtopk

@@ -1,0 +1,87 @@
+#ifndef XTOPK_TESTS_TESTING_SERVE_CLIENT_H_
+#define XTOPK_TESTS_TESTING_SERVE_CLIENT_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/engine.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/query_service.h"
+#include "serve/server.h"
+#include "xml/xml_tree.h"
+
+namespace xtopk {
+namespace testing {
+
+/// In-process server fixture: owns the document, an Engine over it, and a
+/// QueryServer on an ephemeral loopback port. Tests drive it with real
+/// sockets (serve::Client) and compare wire answers against direct engine
+/// calls — the score travels as its IEEE-754 bit pattern, so "equal"
+/// means bit-identical, not approximately.
+class ServeHarness {
+ public:
+  explicit ServeHarness(XmlTree tree,
+                        serve::QueryServer::Options options =
+                            serve::QueryServer::Options())
+      : tree_(std::move(tree)), engine_(tree_), backend_(&engine_) {
+    server_ = std::make_unique<serve::QueryServer>(&backend_, options);
+    std::string error;
+    started_ = server_->Start(&error);
+    EXPECT_TRUE(started_) << error;
+  }
+
+  ~ServeHarness() {
+    if (server_ != nullptr) server_->Stop();
+  }
+
+  bool started() const { return started_; }
+  uint16_t port() const { return server_->port(); }
+  const Engine& engine() const { return engine_; }
+  serve::QueryServer& server() { return *server_; }
+
+  /// One binary request/response exchange on a fresh connection.
+  serve::QueryResponse Call(const serve::QueryRequest& request) {
+    serve::Client client;
+    Status s = client.Connect("127.0.0.1", port());
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    serve::QueryResponse response;
+    s = client.Call(request, &response);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return response;
+  }
+
+ private:
+  XmlTree tree_;
+  Engine engine_;
+  serve::EngineBackend backend_;
+  std::unique_ptr<serve::QueryServer> server_;
+  bool started_ = false;
+};
+
+/// Asserts the wire answer equals the direct engine answer bit for bit:
+/// same hits, same order, same nodes/levels, byte-identical scores, and
+/// the same presentation strings.
+inline void ExpectHitsBitIdentical(const std::vector<QueryHit>& expected,
+                                   const std::vector<serve::ResponseHit>& got,
+                                   const std::string& context) {
+  ASSERT_EQ(expected.size(), got.size()) << context;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].node, got[i].node) << context << " hit " << i;
+    EXPECT_EQ(expected[i].level, got[i].level) << context << " hit " << i;
+    // Exact double equality on purpose: both sides ran the same code and
+    // the wire carries the raw bit pattern.
+    EXPECT_EQ(expected[i].score, got[i].score) << context << " hit " << i;
+    EXPECT_EQ(expected[i].tag, got[i].tag) << context << " hit " << i;
+    EXPECT_EQ(expected[i].snippet, got[i].snippet)
+        << context << " hit " << i;
+  }
+}
+
+}  // namespace testing
+}  // namespace xtopk
+
+#endif  // XTOPK_TESTS_TESTING_SERVE_CLIENT_H_

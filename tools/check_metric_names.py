@@ -10,7 +10,7 @@ and enforces the repo naming convention:
 
  - all lowercase, segments of [a-z0-9_]+ joined by dots, 2-4 segments;
  - the first segment names the owning layer (engine, core, storage,
-   index, obs);
+   index, obs, server);
  - histogram names end in a unit suffix (us, ms, bytes, rows, pages,
    docs, peak) so dashboards know what they plot;
  - one name, one metric kind: the same name must not register as both a
@@ -27,7 +27,7 @@ import os
 import re
 import sys
 
-LAYERS = {"engine", "core", "storage", "index", "obs"}
+LAYERS = {"engine", "core", "storage", "index", "obs", "server"}
 UNIT_SUFFIXES = {"us", "ms", "bytes", "rows", "pages", "docs", "peak"}
 SEGMENT = re.compile(r"^[a-z][a-z0-9_]*$")
 

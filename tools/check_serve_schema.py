@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""End-to-end smoke check of the xtopk_serve HTTP/JSON dialect.
+
+Spawns the server on an ephemeral port, replays the checked-in query
+script (tools/testdata/serve_queries.txt), and validates every JSON body
+against tools/serve_schema.json. Also exercises the shared telemetry
+surface on the serve port (/healthz, /metrics must report server.*
+series after traffic).
+
+Stdlib-only on purpose (the CI container has no jsonschema package); the
+validator implements the same JSON Schema subset as
+check_profile_schema.py.
+
+Usage:
+  check_serve_schema.py --serve ./build/tools/xtopk_serve \
+      [--queries tools/testdata/serve_queries.txt] [-- extra server args]
+"""
+
+import json
+import subprocess
+import sys
+import urllib.error
+import urllib.request
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "integer": int,
+    "boolean": bool,
+}
+
+KNOWN_STATUSES = {
+    "ok", "partial", "shed_overload", "bad_request", "internal_error",
+    "shutting_down", "deadline_expired",
+}
+
+
+def validate(value, schema, root, path="$"):
+    """Returns a list of error strings (empty = valid)."""
+    errors = []
+    if "$ref" in schema:
+        ref = schema["$ref"]
+        if not ref.startswith("#/definitions/"):
+            return [f"{path}: unsupported $ref {ref!r}"]
+        name = ref[len("#/definitions/"):]
+        try:
+            schema = root["definitions"][name]
+        except KeyError:
+            return [f"{path}: unresolved $ref {ref!r}"]
+
+    expected = schema.get("type")
+    if expected is not None:
+        py_type = TYPES[expected]
+        ok = isinstance(value, py_type)
+        if expected in ("number", "integer") and isinstance(value, bool):
+            ok = False
+        if not ok:
+            return [f"{path}: expected {expected}, got {type(value).__name__}"]
+
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required key {key!r}")
+        for key, subschema in schema.get("properties", {}).items():
+            if key in value:
+                errors += validate(value[key], subschema, root,
+                                   f"{path}.{key}")
+
+    if isinstance(value, list):
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, item in enumerate(value):
+                errors += validate(item, items, root, f"{path}[{i}]")
+
+    return errors
+
+
+def fetch(port, target):
+    """Returns (http_status, body_text)."""
+    url = f"http://127.0.0.1:{port}{target}"
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8")
+
+
+def main(argv):
+    tools_dir = __file__.rsplit("/", 1)[0]
+    serve_bin = None
+    queries_path = tools_dir + "/testdata/serve_queries.txt"
+    extra_args = []
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--serve":
+            serve_bin = argv[i + 1]
+            i += 2
+        elif argv[i] == "--queries":
+            queries_path = argv[i + 1]
+            i += 2
+        elif argv[i] == "--":
+            extra_args = argv[i + 1:]
+            break
+        else:
+            print(f"FAIL: unknown argument {argv[i]!r}")
+            return 2
+    if serve_bin is None:
+        print("FAIL: --serve <binary> is required")
+        return 2
+
+    with open(tools_dir + "/serve_schema.json", encoding="utf-8") as f:
+        schema = json.load(f)
+
+    queries = []
+    with open(queries_path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            expected, target = line.split(None, 1)
+            queries.append((int(expected), target))
+
+    proc = subprocess.Popen([serve_bin, "--port", "0"] + extra_args,
+                            stdin=subprocess.PIPE, stdout=subprocess.PIPE)
+    failures = []
+    try:
+        line = proc.stdout.readline().decode("utf-8").strip()
+        if not line.startswith("LISTENING "):
+            print(f"FAIL: expected LISTENING line, got {line!r}")
+            return 1
+        port = int(line.split()[1])
+
+        status, body = fetch(port, "/healthz")
+        if status != 200 or "ok" not in body:
+            failures.append(f"/healthz: status {status}, body {body!r}")
+
+        checked = 0
+        for expected, target in queries:
+            status, body = fetch(port, target)
+            if status != expected:
+                failures.append(
+                    f"{target}: expected HTTP {expected}, got {status}")
+            try:
+                document = json.loads(body)
+            except json.JSONDecodeError as exc:
+                failures.append(f"{target}: body is not JSON: {exc}")
+                continue
+            for error in validate(document, schema, schema):
+                failures.append(f"{target}: {error}")
+            if document.get("status") not in KNOWN_STATUSES:
+                failures.append(
+                    f"{target}: unknown status {document.get('status')!r}")
+            if expected == 200 and document.get("status") not in (
+                    "ok", "partial"):
+                failures.append(
+                    f"{target}: HTTP 200 with status "
+                    f"{document.get('status')!r}")
+            checked += 1
+
+        # The serve port carries the telemetry surface too, and serving the
+        # queries above must have populated the server.* series.
+        status, metrics = fetch(port, "/metrics")
+        if status != 200:
+            failures.append(f"/metrics: status {status}")
+        elif "server_requests" not in metrics.replace(".", "_"):
+            failures.append("/metrics: no server.requests series after "
+                            "traffic")
+    finally:
+        proc.stdin.close()  # server exits on stdin EOF
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"OK: {checked} queries schema-valid, telemetry live on the "
+          f"serve port")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

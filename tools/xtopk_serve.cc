@@ -1,0 +1,147 @@
+// xtopk_serve: the network query service CLI. Builds an engine over a
+// document (the built-in demo bibliography by default) and serves keyword
+// queries over TCP — binary frames and an HTTP/JSON dialect on one port
+// (serve/protocol.h documents both). The telemetry surface (/metrics,
+// /vars, /slowlog, /events, /healthz) is exposed on the same port.
+//
+//   ./xtopk_serve                        # demo doc, ephemeral port
+//   ./xtopk_serve --port 8080 --file dblp.xml
+//   ./xtopk_serve --updatable --workers 4 --default-deadline-us 50000
+//
+// Prints "LISTENING <port>" on stdout once ready (scripts wait for that
+// line), then runs until SIGINT/SIGTERM or EOF on stdin.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "core/engine.h"
+#include "core/updatable_engine.h"
+#include "demo_doc.h"
+#include "serve/query_service.h"
+#include "serve/server.h"
+#include "xml/xml_parser.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true, std::memory_order_release); }
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --port N                listen port (default 0 = ephemeral)\n"
+      "  --file doc.xml          serve this document (default: demo doc)\n"
+      "  --updatable             use the incremental engine backend\n"
+      "  --workers N             query worker threads (default 2)\n"
+      "  --queue-high N          high-priority queue depth (default 64)\n"
+      "  --queue-low N           low-priority queue depth (default 64)\n"
+      "  --default-deadline-us N budget for requests without one\n"
+      "  --max-deadline-us N     ceiling on any request's budget\n"
+      "  --poll                  force the poll() event loop (no epoll)\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  xtopk::serve::QueryServer::Options options;
+  std::string file;
+  bool updatable = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      options.port = static_cast<uint16_t>(std::stoul(next("--port")));
+    } else if (arg == "--file") {
+      file = next("--file");
+    } else if (arg == "--updatable") {
+      updatable = true;
+    } else if (arg == "--workers") {
+      options.service.workers =
+          static_cast<size_t>(std::stoul(next("--workers")));
+    } else if (arg == "--queue-high") {
+      options.service.max_queue_high =
+          static_cast<size_t>(std::stoul(next("--queue-high")));
+    } else if (arg == "--queue-low") {
+      options.service.max_queue_low =
+          static_cast<size_t>(std::stoul(next("--queue-low")));
+    } else if (arg == "--default-deadline-us") {
+      options.service.default_deadline_us =
+          std::stoull(next("--default-deadline-us"));
+    } else if (arg == "--max-deadline-us") {
+      options.service.max_deadline_us =
+          std::stoull(next("--max-deadline-us"));
+    } else if (arg == "--poll") {
+      options.force_poll = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (options.service.workers == 0) {
+    // 0 is the in-process test mode (callers drive RunOnce themselves); a
+    // live server without workers would queue forever.
+    std::fprintf(stderr, "error: --workers must be >= 1\n");
+    return 2;
+  }
+
+  auto parsed = file.empty()
+                    ? xtopk::XmlParser::Parse(xtopk_tools::BuildDemoXml())
+                    : xtopk::ParseXmlFile(file);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "error: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+
+  // Both backends live for the whole process; only one is constructed.
+  std::unique_ptr<xtopk::Engine> engine;
+  std::unique_ptr<xtopk::UpdatableEngine> updatable_engine;
+  std::unique_ptr<xtopk::serve::ServeBackend> backend;
+  xtopk::XmlTree tree = std::move(parsed).value();
+  if (updatable) {
+    updatable_engine =
+        std::make_unique<xtopk::UpdatableEngine>(std::move(tree));
+    backend = std::make_unique<xtopk::serve::UpdatableBackend>(
+        updatable_engine.get());
+  } else {
+    engine = std::make_unique<xtopk::Engine>(tree);
+    backend = std::make_unique<xtopk::serve::EngineBackend>(engine.get());
+  }
+
+  xtopk::serve::QueryServer server(backend.get(), options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("LISTENING %u\n", server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  // Exit on signal or on stdin EOF (the parent script closing our stdin is
+  // the portable "shut down now" for spawned smoke runs).
+  while (!g_stop.load(std::memory_order_acquire)) {
+    char byte;
+    ssize_t n = ::read(STDIN_FILENO, &byte, 1);
+    if (n <= 0 && errno != EINTR) break;
+  }
+  server.Stop();
+  std::printf("STOPPED\n");
+  return 0;
+}
