@@ -1,0 +1,183 @@
+// Query-latency interference from background compaction (DESIGN.md §17).
+//
+// The segment-lifecycle promise is that maintenance is invisible to
+// readers: queries pin an immutable segment-set version, so a background
+// compaction publish costs them nothing but whatever CPU/IO the merge
+// steals. This bench puts a number on that theft. The same workload —
+// ingest documents, seal every batch, query between batches — runs twice:
+//
+//   quiescent — background compaction off; segments pile up;
+//   busy      — the CompactionScheduler runs concurrently, merging tiers
+//               while the queries execute.
+//
+// Each mode runs kReps times and keeps the MINIMUM p99 (the CI box has
+// one core, so any single rep can be stalled by unrelated noise; min-of-N
+// is the stable estimator). The gate in CI is on p99_ratio = busy/quiet.
+//
+// Correctness rides along: the query stream is deterministic and
+// compaction must not change any answer, so the per-mode result checksum
+// has to be identical between modes — the bench fails hard otherwise.
+//
+// Emits one `BENCH {json}` line:
+//   {"bench":"compaction_interference","p99_quiet_us":...,
+//    "p99_busy_us":...,"p99_ratio":...,"rounds":...,"checksum":...}
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/updatable_engine.h"
+#include "util/rng.h"
+#include "util/timer.h"
+#include "xml/xml_parser.h"
+
+namespace {
+
+using namespace xtopk;
+
+constexpr size_t kReps = 3;
+constexpr size_t kBatches = 12;
+constexpr size_t kQueriesPerBatch = 25;
+
+std::string MakeDocXml(Rng* rng, size_t i) {
+  static const char* const kWords[] = {"xml",   "keyword", "search", "rank",
+                                       "index", "query",   "dewey",  "join",
+                                       "top",   "segment", "merge",  "log"};
+  std::string title;
+  for (int w = 0; w < 5; ++w) {
+    if (w > 0) title += ' ';
+    title += kWords[rng->NextBounded(12)];
+  }
+  return "<paper><title>" + title + "</title><author>a" +
+         std::to_string(rng->NextBounded(100)) + "</author><year>" +
+         std::to_string(2000 + i % 26) + "</year></paper>";
+}
+
+struct RunResult {
+  double p99_us = 0;
+  uint64_t checksum = 0;
+  uint64_t rounds = 0;
+};
+
+// One full workload pass. `busy` starts the background compactor; the
+// data dir is fresh per run so both modes build the identical segment
+// history.
+RunResult RunWorkload(bool busy, size_t rep) {
+  const std::string dir = "bench_compaction_dir." +
+                          std::to_string(static_cast<long>(::getpid())) +
+                          "." + std::to_string(rep) + (busy ? "b" : "q");
+  std::system(("rm -rf " + dir).c_str());
+
+  XmlTree shell;
+  shell.CreateRoot("collection");
+  DurableOptions durable;
+  durable.data_dir = dir;
+  durable.auto_compact = busy;
+  durable.compaction.max_segments = 3;  // keep the compactor hungry
+  auto opened = UpdatableEngine::OpenDurable(std::move(shell), {}, durable);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    std::exit(1);
+  }
+  std::unique_ptr<UpdatableEngine> engine = std::move(opened).value();
+
+  const size_t docs_per_batch = 40 * bench::BenchScale();
+  const std::vector<std::vector<std::string>> queries = {
+      {"xml", "keyword"}, {"rank", "join"}, {"segment", "merge"},
+      {"dewey", "index"}, {"top", "query"}};
+
+  Rng rng(4057);  // same stream in both modes: identical docs, queries
+  obs::Histogram query_us;
+  RunResult result;
+  // Steady-state shape: ingest a batch, query it, then seal (which kicks
+  // the compactor, whose merge overlaps the NEXT batch's ingest). The
+  // queries still race active merges — rounds drain slower than seals
+  // arrive — but not a merge scheduled one microsecond earlier, which
+  // would measure the worst possible phase alignment instead of the
+  // steady state.
+  for (size_t batch = 0; batch < kBatches; ++batch) {
+    for (size_t d = 0; d < docs_per_batch; ++d) {
+      XmlTree doc = ParseXmlStringOrDie(
+          MakeDocXml(&rng, batch * docs_per_batch + d));
+      engine->AddDocument("p" + std::to_string(batch) + "_" +
+                              std::to_string(d),
+                          doc);
+    }
+    for (size_t q = 0; q < kQueriesPerBatch; ++q) {
+      const auto& keywords = queries[q % queries.size()];
+      Timer timer;
+      auto hits = engine->SearchTopK(keywords, 10);
+      query_us.Record(static_cast<uint64_t>(timer.ElapsedMicros()));
+      for (const auto& hit : hits) {
+        result.checksum =
+            result.checksum * 1315423911u + hit.node * 31 + hits.size();
+      }
+    }
+    Status sealed = engine->SealMemtable();
+    if (!sealed.ok()) {
+      std::fprintf(stderr, "seal failed: %s\n", sealed.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  result.p99_us = query_us.Percentile(0.99);
+  if (engine->scheduler() != nullptr) {
+    result.rounds = engine->scheduler()->rounds();
+  }
+  engine.reset();  // stops the scheduler before the rm
+  std::system(("rm -rf " + dir).c_str());
+  return result;
+}
+
+int RunBench() {
+  std::printf("=== Compaction interference: query p99 busy vs quiescent "
+              "===\n");
+  double p99_quiet = 0, p99_busy = 0;
+  uint64_t checksum_quiet = 0, checksum_busy = 0, rounds = 0;
+  for (size_t rep = 0; rep < kReps; ++rep) {
+    RunResult quiet = RunWorkload(/*busy=*/false, rep);
+    RunResult busy = RunWorkload(/*busy=*/true, rep);
+    std::printf("rep %zu: quiet p99 %.0f us, busy p99 %.0f us "
+                "(%llu rounds)\n",
+                rep, quiet.p99_us, busy.p99_us,
+                (unsigned long long)busy.rounds);
+    if (rep == 0) {
+      checksum_quiet = quiet.checksum;
+      checksum_busy = busy.checksum;
+    }
+    if (quiet.checksum != checksum_quiet ||
+        busy.checksum != checksum_quiet) {
+      std::fprintf(stderr,
+                   "REGRESSION: compaction changed query results "
+                   "(quiet %llu, busy %llu)\n",
+                   (unsigned long long)quiet.checksum,
+                   (unsigned long long)busy.checksum);
+      return 1;
+    }
+    p99_quiet = rep == 0 ? quiet.p99_us : std::min(p99_quiet, quiet.p99_us);
+    p99_busy = rep == 0 ? busy.p99_us : std::min(p99_busy, busy.p99_us);
+    rounds += busy.rounds;
+  }
+  const double ratio = p99_quiet > 0 ? p99_busy / p99_quiet : 0.0;
+  std::printf("min-of-%zu: quiet p99 %.0f us, busy p99 %.0f us, ratio "
+              "%.3f\n",
+              kReps, p99_quiet, p99_busy, ratio);
+  bench::BenchJson("compaction_interference")
+      .Field("p99_quiet_us", p99_quiet)
+      .Field("p99_busy_us", p99_busy)
+      .Field("p99_ratio", ratio)
+      .Field("rounds", rounds)
+      .Field("checksum", checksum_busy)
+      .Emit();
+  return 0;
+}
+
+}  // namespace
+
+int main() { return RunBench(); }

@@ -1,0 +1,126 @@
+#include "core/compaction.h"
+
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <utility>
+
+namespace xtopk {
+
+std::vector<size_t> PickTieredCompaction(const std::vector<uint64_t>& sizes,
+                                         const CompactionOptions& options) {
+  if (sizes.size() <= options.max_segments || sizes.size() < 2) return {};
+
+  std::vector<size_t> order(sizes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return sizes[a] < sizes[b]; });
+
+  // The longest size-sorted prefix within tier_ratio of the smallest:
+  // those are tier peers, and merging peers keeps write amplification
+  // logarithmic. Sizes of 0 (in-memory segments) count as peers of
+  // anything — they are the cheapest possible merge inputs.
+  uint64_t smallest = sizes[order[0]];
+  size_t run = 1;
+  while (run < order.size()) {
+    uint64_t size = sizes[order[run]];
+    if (smallest > 0 &&
+        static_cast<double>(size) >
+            static_cast<double>(smallest) * options.tier_ratio)
+      break;
+    if (smallest == 0) smallest = size;
+    ++run;
+  }
+  // Over the count bound, a merge must happen even when the two smallest
+  // are not tier peers — otherwise a geometric size spread would let the
+  // segment count grow without bound.
+  run = std::max<size_t>(run, 2);
+  order.resize(run);
+  return order;
+}
+
+CompactionScheduler::CompactionScheduler(std::function<bool()> work)
+    : work_raw_(std::move(work)) {
+  work_ = [this] {
+    bool progressed = work_raw_();
+    if (progressed) rounds_.fetch_add(1, std::memory_order_relaxed);
+    return progressed;
+  };
+}
+
+CompactionScheduler::~CompactionScheduler() { Stop(); }
+
+bool CompactionScheduler::BackgroundDisabled() {
+  const char* env = std::getenv("XTOPK_DISABLE_BG_COMPACT");
+  return env != nullptr && env[0] != '\0';
+}
+
+void CompactionScheduler::Start() {
+  if (BackgroundDisabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread(&CompactionScheduler::Loop, this);
+}
+
+void CompactionScheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+void CompactionScheduler::Notify() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    wake_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool CompactionScheduler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+uint64_t CompactionScheduler::rounds() const {
+  return rounds_.load(std::memory_order_relaxed);
+}
+
+void CompactionScheduler::Loop() {
+  // Lowest CPU priority: a merge burst on a loaded (or single-core) box
+  // must lose the scheduler fight to query threads, not stall their tail
+  // latency. On Linux, nice is per-thread and who == 0 names the calling
+  // thread, so this demotes only the maintenance loop. Queries never wait
+  // on this thread — the engine's merge work runs off every lock — so a
+  // starved round merely finishes later.
+  ::setpriority(PRIO_PROCESS, 0, 19);
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // The timeout bounds the damage of a lost Notify to one period —
+      // background maintenance must not hinge on perfect signaling.
+      cv_.wait_for(lock, std::chrono::milliseconds(100),
+                   [this] { return stop_ || wake_; });
+      if (stop_) return;
+      wake_ = false;
+    }
+    // Drain: keep compacting while rounds make progress, so a burst of
+    // seals converges instead of leaving one round per notification.
+    while (work_()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) return;
+    }
+  }
+}
+
+}  // namespace xtopk

@@ -1,0 +1,95 @@
+#ifndef XTOPK_CORE_COMPACTION_H_
+#define XTOPK_CORE_COMPACTION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xtopk {
+
+/// Tiered-compaction policy knobs (DESIGN.md §17).
+struct CompactionOptions {
+  /// Background compaction triggers when more than this many disk
+  /// segments are live.
+  size_t max_segments = 4;
+  /// A run of same-tier segments is merged when the largest member is
+  /// within this factor of the smallest (size-ratio tiering: merge peers,
+  /// never a huge segment with a tiny one).
+  double tier_ratio = 4.0;
+  /// Crude write-rate throttle: after a round that wrote B bytes, the
+  /// maintenance thread sleeps B / throttle_bytes_per_sec seconds before
+  /// the next round. 0 = unthrottled.
+  uint64_t throttle_bytes_per_sec = 0;
+};
+
+/// Picks the segments (by index into `sizes`, ascending sizes assumed
+/// NOT required — any order) one tiered round should merge, or an empty
+/// vector when the set is healthy. Policy: nothing to do while
+/// count <= max_segments; otherwise merge the longest prefix of the
+/// size-sorted list whose members stay within tier_ratio of the
+/// smallest (at least 2 — when even the two smallest violate the ratio,
+/// merge those two: the count bound dominates the tier preference).
+std::vector<size_t> PickTieredCompaction(const std::vector<uint64_t>& sizes,
+                                         const CompactionOptions& options);
+
+/// Runs a work function on a dedicated background thread until stopped:
+/// the engine hands it "do one compaction round if one is due" and
+/// notifies it after every seal. The loop re-runs immediately while work
+/// reports progress (true) and waits on a condition variable (with a
+/// periodic timeout, so missed notifications only delay work) otherwise.
+///
+/// The XTOPK_DISABLE_BG_COMPACT environment variable (any non-empty
+/// value) makes Start a no-op — the escape hatch for debugging and for
+/// tests that need a quiescent engine; RunOnce still works.
+class CompactionScheduler {
+ public:
+  /// `work` returns true when it made progress (another round may be due
+  /// immediately). It runs on the scheduler thread only.
+  explicit CompactionScheduler(std::function<bool()> work);
+  ~CompactionScheduler();
+  CompactionScheduler(const CompactionScheduler&) = delete;
+  CompactionScheduler& operator=(const CompactionScheduler&) = delete;
+
+  /// Launches the background thread (idempotent; no-op when disabled by
+  /// the environment).
+  void Start();
+  /// Stops and joins the thread. Safe to call repeatedly; the destructor
+  /// calls it.
+  void Stop();
+  /// Wakes the background thread (a seal happened; work may be due).
+  void Notify();
+  /// Runs the work function once on the CALLER's thread — the manual /
+  /// test path, independent of Start.
+  bool RunOnce() { return work_(); }
+
+  bool running() const;
+  /// Rounds that reported progress, across both the thread and RunOnce.
+  uint64_t rounds() const;
+
+  /// Whether XTOPK_DISABLE_BG_COMPACT suppresses Start in this process.
+  static bool BackgroundDisabled();
+
+ private:
+  void Loop();
+
+  std::function<bool()> work_raw_;
+  /// work_raw_ wrapped with the rounds counter.
+  std::function<bool()> work_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool running_ = false;
+  bool stop_ = false;
+  bool wake_ = false;
+  std::atomic<uint64_t> rounds_{0};
+};
+
+}  // namespace xtopk
+
+#endif  // XTOPK_CORE_COMPACTION_H_

@@ -1,6 +1,11 @@
 #include "core/updatable_engine.h"
 
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cstdio>
 #include <numeric>
+#include <thread>
 #include <unordered_set>
 #include <utility>
 
@@ -17,6 +22,21 @@
 
 namespace xtopk {
 
+namespace {
+
+uint64_t FileBytes(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<uint64_t>(st.st_size)
+                                        : 0;
+}
+
+void RemoveSegmentFiles(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".manifest").c_str());
+}
+
+}  // namespace
+
 UpdatableEngine::UpdatableEngine(XmlTree initial, EngineOptions options)
     : tree_(std::move(initial)), options_(options) {
   options_.index.scoring = options_.scoring;
@@ -31,6 +51,111 @@ UpdatableEngine::UpdatableEngine(XmlTree initial, EngineOptions options)
     Status s = Seal("");
     (void)s;  // in-memory seal cannot fail
   }
+}
+
+UpdatableEngine::UpdatableEngine(RecoveryTag, XmlTree initial,
+                                 EngineOptions options)
+    : tree_(std::move(initial)), options_(options) {
+  options_.index.scoring = options_.scoring;
+}
+
+UpdatableEngine::~UpdatableEngine() {
+  if (scheduler_ != nullptr) scheduler_->Stop();
+}
+
+StatusOr<std::unique_ptr<UpdatableEngine>> UpdatableEngine::OpenDurable(
+    XmlTree initial, EngineOptions options, DurableOptions durable) {
+  if (durable.data_dir.empty()) {
+    return Status::InvalidArgument("OpenDurable: data_dir is required");
+  }
+  ::mkdir(durable.data_dir.c_str(), 0755);  // EEXIST is fine
+
+  StatusOr<RecoveredSegmentSet> recovered_or =
+      RecoverSegmentSet(durable.data_dir);
+  if (!recovered_or.ok()) return recovered_or.status();
+  RecoveredSegmentSet rec = std::move(*recovered_or);
+
+  StatusOr<std::unique_ptr<ManifestLog>> log_or =
+      ManifestLog::Open(ManifestLogPath(durable.data_dir));
+  if (!log_or.ok()) return log_or.status();
+
+  std::unique_ptr<UpdatableEngine> engine(
+      new UpdatableEngine(RecoveryTag{}, std::move(initial), options));
+  engine->durable_options_ = durable;
+  engine->log_ = std::move(*log_or);
+  engine->next_segment_id_ = rec.next_segment_id;
+
+  // Resume the maintained encoding + live set. Any failure below drops to
+  // the degraded path: the recovered set cannot be trusted against this
+  // tree, so it is logged away and the whole tree is re-sealed.
+  bool resumed = false;
+  if (!rec.live.empty() && rec.last_seal_id != 0 &&
+      rec.watermark <= engine->tree_.node_count()) {
+    StatusOr<JDeweyEncoding> enc = JDeweyBuilder::LoadEncoding(
+        EncodingFilePath(durable.data_dir, rec.last_seal_id));
+    if (enc.ok() &&
+        enc->node_count() <= engine->tree_.node_count() &&
+        enc->node_count() >= rec.watermark) {
+      engine->encoding_ = std::move(*enc);
+      NodeId reencoded = kInvalidNode;
+      engine->encoding_updates_ += JDeweyBuilder::ExtendAssign(
+          engine->tree_, engine->options_.index.jdewey_gap,
+          &engine->encoding_, &reencoded);
+      bool all_open = true;
+      for (uint64_t id : rec.live) {
+        Status s = engine->segments_.AddDiskSegment(
+            SegmentFilePath(durable.data_dir, id), durable.disk, id);
+        if (!s.ok()) {
+          all_open = false;
+          break;
+        }
+      }
+      if (all_open) {
+        engine->watermark_ = static_cast<NodeId>(rec.watermark);
+        engine->enc_id_ = rec.last_seal_id;
+        if (reencoded != kInvalidNode && reencoded < engine->watermark_) {
+          engine->needs_full_rebuild_ = true;
+        }
+        engine->memtable_dirty_ =
+            engine->watermark_ < engine->tree_.node_count();
+        resumed = true;
+      } else {
+        engine->segments_.Clear();
+      }
+    }
+  }
+  if (!resumed) {
+    // Degraded (or fresh-directory) path: log the stale set away, delete
+    // its files, start the encoding from scratch and durably seal the
+    // whole tree so reopen covers it.
+    for (uint64_t id : rec.live) {
+      ManifestRecord drop;
+      drop.type = ManifestRecordType::kDrop;
+      drop.id = id;
+      Status s = engine->log_->Append(drop);
+      if (!s.ok()) return s;
+      RemoveSegmentFiles(SegmentFilePath(durable.data_dir, id));
+    }
+    if (rec.last_seal_id != 0) {
+      std::remove(
+          EncodingFilePath(durable.data_dir, rec.last_seal_id).c_str());
+    }
+    engine->encoding_ =
+        JDeweyBuilder::Assign(engine->tree_, engine->options_.index.jdewey_gap);
+    engine->watermark_ = 0;
+    if (engine->tree_.node_count() > 1) {
+      std::lock_guard<std::mutex> lock(engine->maintenance_mu_);
+      Status s = engine->SealDurableLocked();
+      if (!s.ok()) return s;
+    }
+  }
+  engine->segments_.SetCorpusNodes(engine->tree_.node_count());
+
+  UpdatableEngine* raw = engine.get();
+  engine->scheduler_ = std::make_unique<CompactionScheduler>(
+      [raw] { return raw->CompactRound(/*merge_all=*/false); });
+  if (durable.auto_compact) engine->scheduler_->Start();
+  return engine;
 }
 
 NodeId UpdatableEngine::AddElement(NodeId parent, const std::string& tag,
@@ -100,8 +225,103 @@ void UpdatableEngine::FullRebuild() {
       BuildSegmentIndex(tree_, encoding_, nodes, options_.index),
       nodes.size());
   watermark_ = static_cast<NodeId>(tree_.node_count());
-  memtable_ = nullptr;
-  segments_.SetMemtable(nullptr);
+  memtable_.reset();
+  segments_.SetMemtable(std::shared_ptr<const JDeweyIndex>());
+  memtable_dirty_ = false;
+  needs_full_rebuild_ = false;
+  memtable_docs_ = 0;
+  XTOPK_GAUGE("index.memtable_docs").Set(0);
+  ++rebuilds_;
+  XTOPK_COUNTER("engine.rebuilds").Add(1);
+}
+
+void UpdatableEngine::DurableFullRebuild() {
+  std::lock_guard<std::mutex> lock(maintenance_mu_);
+  std::shared_ptr<const SegmentSetVersion> pinned = segments_.Pin();
+  std::vector<uint64_t> old_ids;
+  for (const auto& seg : pinned->sealed()) {
+    if (seg->id() != 0) old_ids.push_back(seg->id());
+  }
+
+  size_t count = tree_.node_count();
+  std::vector<NodeId> nodes(count);
+  std::iota(nodes.begin(), nodes.end(), NodeId{0});
+  JDeweyIndex segment =
+      BuildSegmentIndex(tree_, encoding_, nodes, options_.index);
+
+  uint64_t id = next_segment_id_++;
+  std::string path = SegmentFilePath(durable_options_.data_dir, id);
+  std::string enc_path = EncodingFilePath(durable_options_.data_dir, id);
+  Status s = DiskIndexWriter::Write(segment, /*include_scores=*/true, path);
+  if (s.ok()) {
+    SegmentManifest manifest = ManifestFromSegment(segment);
+    manifest.covered_nodes = count;
+    s = manifest.Save(path + ".manifest");
+  }
+  if (s.ok()) s = JDeweyBuilder::SaveEncoding(encoding_, enc_path);
+  if (s.ok()) {
+    // The atomic switch: a commit whose inputs are the whole live set and
+    // whose watermark covers the whole tree. Recovery lands on the old
+    // set before this record and on the new segment after it.
+    if (!old_ids.empty()) {
+      ManifestRecord begin;
+      begin.type = ManifestRecordType::kCompactBegin;
+      begin.id = id;
+      begin.inputs = old_ids;
+      s = log_->Append(begin);
+      if (s.ok()) {
+        ManifestRecord commit;
+        commit.type = ManifestRecordType::kCompactCommit;
+        commit.id = id;
+        commit.covered_nodes = count;
+        commit.watermark = count;
+        commit.inputs = old_ids;
+        s = log_->Append(commit);
+      }
+    } else {
+      ManifestRecord seal;
+      seal.type = ManifestRecordType::kSeal;
+      seal.id = id;
+      seal.covered_nodes = count;
+      seal.watermark = count;
+      s = log_->Append(seal);
+    }
+  }
+  if (!s.ok()) {
+    // Disk or log went bad: fall back to the in-memory rebuild so queries
+    // stay correct. The log keeps the pre-rebuild set as the recovery
+    // state — stale but consistent.
+    RemoveSegmentFiles(path);
+    std::remove(enc_path.c_str());
+    next_segment_id_ = id;  // the reservation never reached the log
+    FullRebuild();
+    return;
+  }
+
+  segments_.Clear();
+  Status open = segments_.AddDiskSegment(path, durable_options_.disk, id);
+  if (!open.ok()) {
+    // The files are durable and committed but unreadable here (transient
+    // I/O?). Serve from memory; reopen recovers the disk copy.
+    FullRebuild();
+    return;
+  }
+  for (const auto& seg : pinned->sealed()) {
+    if (seg->id() == 0) continue;
+    ManifestRecord drop;
+    drop.type = ManifestRecordType::kDrop;
+    drop.id = seg->id();
+    (void)log_->Append(drop);  // commit already orphaned it for recovery
+    seg->MarkSuperseded();
+  }
+  if (enc_id_ != 0 && enc_id_ != id) {
+    std::remove(
+        EncodingFilePath(durable_options_.data_dir, enc_id_).c_str());
+  }
+  enc_id_ = id;
+  watermark_ = static_cast<NodeId>(count);
+  memtable_.reset();
+  segments_.SetMemtable(std::shared_ptr<const JDeweyIndex>());
   memtable_dirty_ = false;
   needs_full_rebuild_ = false;
   memtable_docs_ = 0;
@@ -113,15 +333,15 @@ void UpdatableEngine::FullRebuild() {
 void UpdatableEngine::RefreshMemtable() {
   size_t count = tree_.node_count();
   if (watermark_ >= count) {
-    memtable_ = nullptr;
-    segments_.SetMemtable(nullptr);
+    memtable_.reset();
+    segments_.SetMemtable(std::shared_ptr<const JDeweyIndex>());
   } else {
     std::vector<NodeId> nodes;
     nodes.reserve(count - watermark_);
     for (NodeId id = watermark_; id < count; ++id) nodes.push_back(id);
-    memtable_ = std::make_unique<JDeweyIndex>(
+    memtable_ = std::make_shared<const JDeweyIndex>(
         BuildSegmentIndex(tree_, encoding_, nodes, options_.index));
-    segments_.SetMemtable(memtable_.get());
+    segments_.SetMemtable(memtable_);
   }
   memtable_dirty_ = false;
   ++memtable_refreshes_;
@@ -132,7 +352,11 @@ void UpdatableEngine::RefreshMemtable() {
 
 void UpdatableEngine::EnsureFresh() {
   if (needs_full_rebuild_) {
-    FullRebuild();
+    if (durable()) {
+      DurableFullRebuild();
+    } else {
+      FullRebuild();
+    }
   } else if (memtable_dirty_) {
     RefreshMemtable();
   }
@@ -162,8 +386,60 @@ Status UpdatableEngine::Seal(const std::string& disk_path) {
     if (!s.ok()) return s;
   }
   watermark_ = static_cast<NodeId>(count);
-  memtable_ = nullptr;
-  segments_.SetMemtable(nullptr);
+  memtable_.reset();
+  segments_.SetMemtable(std::shared_ptr<const JDeweyIndex>());
+  memtable_dirty_ = false;
+  memtable_docs_ = 0;
+  XTOPK_GAUGE("index.memtable_docs").Set(0);
+  return Status::Ok();
+}
+
+Status UpdatableEngine::SealDurableLocked() {
+  size_t count = tree_.node_count();
+  std::vector<NodeId> nodes;
+  nodes.reserve(count - watermark_);
+  for (NodeId id = watermark_; id < count; ++id) nodes.push_back(id);
+  JDeweyIndex segment =
+      BuildSegmentIndex(tree_, encoding_, nodes, options_.index);
+
+  uint64_t id = next_segment_id_++;
+  std::string path = SegmentFilePath(durable_options_.data_dir, id);
+  std::string enc_path = EncodingFilePath(durable_options_.data_dir, id);
+
+  // Files first, then the log record: the record is the commit point, so
+  // a crash before it leaves orphan files recovery deletes, and a crash
+  // after it leaves a fully readable segment.
+  Status s = DiskIndexWriter::Write(segment, /*include_scores=*/true, path);
+  if (s.ok()) {
+    SegmentManifest manifest = ManifestFromSegment(segment);
+    manifest.covered_nodes = nodes.size();
+    s = manifest.Save(path + ".manifest");
+  }
+  if (s.ok()) s = JDeweyBuilder::SaveEncoding(encoding_, enc_path);
+  if (s.ok()) {
+    ManifestRecord seal;
+    seal.type = ManifestRecordType::kSeal;
+    seal.id = id;
+    seal.covered_nodes = nodes.size();
+    seal.watermark = count;
+    s = log_->Append(seal);
+  }
+  if (!s.ok()) {
+    RemoveSegmentFiles(path);
+    std::remove(enc_path.c_str());
+    return s;
+  }
+  s = segments_.AddDiskSegment(path, durable_options_.disk, id);
+  if (!s.ok()) return s;
+
+  if (enc_id_ != 0 && enc_id_ != id) {
+    std::remove(
+        EncodingFilePath(durable_options_.data_dir, enc_id_).c_str());
+  }
+  enc_id_ = id;
+  watermark_ = static_cast<NodeId>(count);
+  memtable_.reset();
+  segments_.SetMemtable(std::shared_ptr<const JDeweyIndex>());
   memtable_dirty_ = false;
   memtable_docs_ = 0;
   XTOPK_GAUGE("index.memtable_docs").Set(0);
@@ -174,7 +450,11 @@ Status UpdatableEngine::SealMemtable(const std::string& path) {
   if (needs_full_rebuild_) {
     // Sealed data went stale; fold everything into a fresh base first so
     // the seal captures sound numbers. The memtable is empty afterwards.
-    FullRebuild();
+    if (durable()) {
+      DurableFullRebuild();
+    } else {
+      FullRebuild();
+    }
   }
   if (watermark_ >= tree_.node_count()) {
     return Status::InvalidArgument("updatable engine: memtable is empty");
@@ -182,9 +462,162 @@ Status UpdatableEngine::SealMemtable(const std::string& path) {
   return Seal(path);
 }
 
+Status UpdatableEngine::SealMemtable() {
+  if (!durable()) {
+    return Status::InvalidArgument(
+        "SealMemtable() needs a durable engine; use SealMemtable(path)");
+  }
+  if (needs_full_rebuild_) DurableFullRebuild();
+  if (watermark_ >= tree_.node_count()) {
+    return Status::InvalidArgument("updatable engine: memtable is empty");
+  }
+  Status s;
+  {
+    std::lock_guard<std::mutex> lock(maintenance_mu_);
+    s = SealDurableLocked();
+  }
+  if (s.ok() && scheduler_ != nullptr) scheduler_->Notify();
+  return s;
+}
+
 Status UpdatableEngine::Compact(const std::string& path) {
   EnsureFresh();
   return segments_.Compact(path);
+}
+
+Status UpdatableEngine::Compact() {
+  if (!durable()) {
+    return Status::InvalidArgument(
+        "Compact() needs a durable engine; use Compact(path)");
+  }
+  EnsureFresh();
+  CompactRound(/*merge_all=*/true);
+  return Status::Ok();
+}
+
+void UpdatableEngine::AbandonOutput(uint64_t id, const std::string& path) {
+  ManifestRecord drop;
+  drop.type = ManifestRecordType::kDrop;
+  drop.id = id;
+  (void)log_->Append(drop);  // recovery deletes the orphan either way
+  RemoveSegmentFiles(path);
+}
+
+bool UpdatableEngine::CompactRound(bool merge_all) {
+  std::shared_ptr<const SegmentSetVersion> pinned = segments_.Pin();
+  std::vector<std::shared_ptr<const SealedSegment>> disks;
+  for (const auto& seg : pinned->sealed()) {
+    if (seg->id() != 0) disks.push_back(seg);
+  }
+
+  std::vector<std::shared_ptr<const SealedSegment>> inputs;
+  if (merge_all) {
+    if (disks.size() < 2) return false;
+    inputs = std::move(disks);
+  } else {
+    std::vector<uint64_t> sizes;
+    sizes.reserve(disks.size());
+    for (const auto& seg : disks) sizes.push_back(seg->data_bytes());
+    std::vector<size_t> picked =
+        PickTieredCompaction(sizes, durable_options_.compaction);
+    if (picked.size() < 2) return false;
+    inputs.reserve(picked.size());
+    for (size_t idx : picked) inputs.push_back(disks[idx]);
+  }
+
+  Timer timer;
+  uint64_t bytes_in = 0;
+  std::vector<uint64_t> input_ids;
+  input_ids.reserve(inputs.size());
+  for (const auto& seg : inputs) {
+    bytes_in += seg->data_bytes();
+    input_ids.push_back(seg->id());
+  }
+
+  uint64_t out_id;
+  std::string out_path;
+  {
+    std::lock_guard<std::mutex> lock(maintenance_mu_);
+    out_id = next_segment_id_++;
+    out_path = SegmentFilePath(durable_options_.data_dir, out_id);
+    ManifestRecord begin;
+    begin.type = ManifestRecordType::kCompactBegin;
+    begin.id = out_id;
+    begin.inputs = input_ids;
+    if (!log_->Append(begin).ok()) return false;
+  }
+
+  // The merge + write runs OFF the maintenance lock: queries keep
+  // serving, seals keep landing. The inputs are immutable, so the merge
+  // is correct regardless of what publishes meanwhile.
+  uint64_t covered = 0;
+  StatusOr<JDeweyIndex> merged = BuildCompactedSegment(inputs, &covered);
+  Status s = merged.ok() ? Status::Ok() : merged.status();
+  if (s.ok()) {
+    s = DiskIndexWriter::Write(*merged, /*include_scores=*/true, out_path);
+  }
+  if (s.ok()) {
+    SegmentManifest manifest = ManifestFromSegment(*merged);
+    manifest.covered_nodes = covered;
+    s = manifest.Save(out_path + ".manifest");
+  }
+  StatusOr<std::shared_ptr<const SealedSegment>> output =
+      s.ok() ? SealedSegment::FromDisk(out_path, durable_options_.disk,
+                                       out_id)
+             : StatusOr<std::shared_ptr<const SealedSegment>>(s);
+  if (!output.ok()) {
+    AbandonOutput(out_id, out_path);
+    return false;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(maintenance_mu_);
+    // Publish BEFORE logging the commit: if a durable rebuild raced us,
+    // the identity match fails and we abandon — the log never claims a
+    // switch the memory state refused.
+    if (!segments_.PublishCompaction(inputs, *output)) {
+      AbandonOutput(out_id, out_path);
+      return false;
+    }
+    ManifestRecord commit;
+    commit.type = ManifestRecordType::kCompactCommit;
+    commit.id = out_id;
+    commit.covered_nodes = covered;
+    commit.inputs = input_ids;
+    if (!log_->Append(commit).ok()) {
+      // The commit never became durable: reopen recovers the INPUTS (the
+      // pre-compaction state) and deletes the output as an orphan. This
+      // process keeps serving the published output — result-identical —
+      // but must NOT delete the input files recovery depends on.
+      return true;
+    }
+    for (const auto& seg : inputs) {
+      ManifestRecord drop;
+      drop.type = ManifestRecordType::kDrop;
+      drop.id = seg->id();
+      (void)log_->Append(drop);  // commit already orphaned it for recovery
+      seg->MarkSuperseded();
+    }
+  }
+
+  uint64_t duration_us = static_cast<uint64_t>(timer.ElapsedMicros());
+  uint64_t bytes_out = FileBytes(out_path);
+  XTOPK_COUNTER("index.compactions").Add(1);
+  XTOPK_COUNTER("index.compaction.runs").Add(1);
+  XTOPK_WINDOWED_COUNTER("index.compaction.runs").Add(1);
+  XTOPK_COUNTER("index.compaction.bytes_in").Add(bytes_in);
+  XTOPK_COUNTER("index.compaction.bytes_out").Add(bytes_out);
+  XTOPK_HISTOGRAM("index.compaction.duration_us").Record(duration_us);
+  XTOPK_WINDOWED_HISTOGRAM("index.compaction.duration_us")
+      .Record(duration_us);
+
+  if (durable_options_.compaction.throttle_bytes_per_sec > 0) {
+    double seconds =
+        static_cast<double>(bytes_out) /
+        static_cast<double>(durable_options_.compaction.throttle_bytes_per_sec);
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+  return true;
 }
 
 uint64_t UpdatableEngine::plan_watermark() {
@@ -235,13 +668,16 @@ std::vector<QueryHit> UpdatableEngine::Search(
   std::vector<QueryHit> hits;
   {
     obs::ScopedAccounting scope(&accounting);
+    // Pin the current version for the query's whole lifetime: background
+    // compaction publishes cannot mutate the list set under the join.
+    SegmentSetReader reader(segments_.Pin());
     JoinSearchOptions join_options;
     join_options.semantics = semantics;
     join_options.compute_scores = true;
     join_options.scoring = options_.scoring;
     join_options.plan_cache = &plan_cache_;
     join_options.deadline = deadline;
-    JoinSearch search(&segments_, join_options);
+    JoinSearch search(&reader, join_options);
     std::vector<SearchResult> found = search.Search(normalized);
     SortByScoreDesc(&found);
     hits = Materialize(found);
@@ -267,13 +703,14 @@ std::vector<QueryHit> UpdatableEngine::SearchTopK(
   std::vector<QueryHit> hits;
   {
     obs::ScopedAccounting scope(&accounting);
+    SegmentSetReader reader(segments_.Pin());
     TopKSearchOptions topk_options;
     topk_options.semantics = semantics;
     topk_options.k = k;
     topk_options.scoring = options_.scoring;
     topk_options.plan_cache = &plan_cache_;
     topk_options.deadline = deadline;
-    TopKSearch search(&segments_, topk_options);
+    TopKSearch search(&reader, topk_options);
     hits = Materialize(search.Search(normalized));
     last_status_ = search.status();
     accounting.planner_mode =

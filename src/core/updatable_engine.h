@@ -2,15 +2,31 @@
 #define XTOPK_CORE_UPDATABLE_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/compaction.h"
 #include "core/engine.h"
 #include "index/segment.h"
+#include "storage/manifest_log.h"
 #include "xml/jdewey.h"
 #include "xml/xml_tree.h"
 
 namespace xtopk {
+
+/// Durable-mode configuration (OpenDurable). The data directory holds the
+/// manifest log, the sealed segment files (`seg-<id>` + `.manifest`), and
+/// the JDewey encoding snapshot of the last seal (`enc-<id>`).
+struct DurableOptions {
+  std::string data_dir;
+  /// Run tiered compaction on the background maintenance thread. The
+  /// XTOPK_DISABLE_BG_COMPACT environment variable overrides this to off.
+  bool auto_compact = true;
+  CompactionOptions compaction;
+  /// Options for opening sealed segment files.
+  DiskIndexOptions disk;
+};
 
 /// A genuinely incremental engine over a mutable document. Node insertions
 /// maintain the JDewey encoding in place (§III-A: reserved gaps, partial
@@ -27,9 +43,36 @@ namespace xtopk {
 ///  - text is appended to a node below the watermark (its sealed term
 ///    rows are now wrong).
 /// Both are detected per mutation and deferred to the next query.
+///
+/// Queries serve from pinned SegmentSetVersion snapshots (DESIGN.md §17),
+/// so the DURABLE mode's background compactor can publish new versions
+/// mid-query without disturbing in-flight reads. Mutations and queries
+/// still follow the single-writer contract: one thread drives
+/// AddElement/AppendText/Search; only the maintenance work (SealMemtable
+/// and compaction rounds) is internally synchronized against the
+/// background thread.
+///
+/// DURABLE MODE (OpenDurable): seals write `seg-<id>` files named by a
+/// crash-safe manifest log; reopening the same directory recovers the
+/// sealed set (deleting orphans from torn operations) and resumes the
+/// maintained encoding from the last seal's snapshot. A background
+/// CompactionScheduler runs tiered compaction; every transition is logged
+/// write-ahead, so a crash at any point reopens to either the pre- or the
+/// post-operation set, never a mix.
 class UpdatableEngine {
  public:
   explicit UpdatableEngine(XmlTree initial, EngineOptions options = {});
+  ~UpdatableEngine();
+
+  /// Opens a durable engine over `durable.data_dir`: replays the manifest
+  /// log, reopens the live sealed segments, resumes the JDewey encoding
+  /// from the last seal's snapshot and extends it over any tree nodes
+  /// beyond the recovered watermark (they become the memtable). A fresh
+  /// directory seals `initial` as the durable base segment. A damaged
+  /// encoding snapshot or unreadable live segment degrades safely: the
+  /// stale set is dropped (logged) and the whole tree is re-sealed.
+  static StatusOr<std::unique_ptr<UpdatableEngine>> OpenDurable(
+      XmlTree initial, EngineOptions options, DurableOptions durable);
 
   /// Adds an element under `parent`, with optional direct text. Returns
   /// the new node. O(1) amortized encoding maintenance; the new node goes
@@ -53,7 +96,8 @@ class UpdatableEngine {
   /// Queries (refresh the memtable / rebuild first if needed). `deadline`
   /// bounds the query's time budget (default unbounded); on expiry the
   /// hits hold the proven partial answer and last_status() reports
-  /// kDeadlineExceeded.
+  /// kDeadlineExceeded. The query pins the current segment version for
+  /// its whole lifetime — background publishes cannot change its answer.
   std::vector<QueryHit> Search(const std::vector<std::string>& keywords,
                                Semantics semantics = Semantics::kElca,
                                DeadlineToken deadline = {});
@@ -64,12 +108,25 @@ class UpdatableEngine {
 
   /// Seals the current memtable to `path` as an immutable on-disk segment
   /// (+ ".manifest") and advances the watermark past it. Queries before
-  /// and after answer identically. Fails on an empty memtable.
+  /// and after answer identically. Fails on an empty memtable. (The
+  /// caller-names-the-path form; durable engines use the no-arg
+  /// overload.)
   Status SealMemtable(const std::string& path);
 
+  /// DURABLE: seals the memtable as the next log-managed segment — files
+  /// first, then the kSeal record (the commit point), so a crash at any
+  /// byte leaves either the old or the new set. Wakes the compactor.
+  Status SealMemtable();
+
   /// Merges every sealed segment into one at `path` (SegmentedIndex::
-  /// Compact). The memtable is untouched.
+  /// Compact). The memtable is untouched. Superseded segment files are
+  /// deleted once the last in-flight query stops pinning them.
   Status Compact(const std::string& path);
+
+  /// DURABLE: synchronously merges all log-managed disk segments into one
+  /// (the same crash-safe kCompactBegin/kCompactCommit/kDrop protocol the
+  /// background rounds use). No-op with fewer than two.
+  Status Compact();
 
   const XmlTree& tree() const { return tree_; }
 
@@ -92,6 +149,12 @@ class UpdatableEngine {
   /// Nodes below this id are covered by sealed segments.
   NodeId watermark() const { return watermark_; }
 
+  /// Whether this engine was opened by OpenDurable.
+  bool durable() const { return log_ != nullptr; }
+  /// The background scheduler (durable mode; nullptr otherwise). Tests
+  /// drive RunOnce / inspect rounds() through it.
+  CompactionScheduler* scheduler() { return scheduler_.get(); }
+
   /// Invariant check (tests): the maintained encoding still satisfies both
   /// JDewey requirements.
   Status ValidateEncoding() const { return encoding_.Validate(tree_); }
@@ -113,7 +176,8 @@ class UpdatableEngine {
   /// The segmented index's version after folding in any pending mutations
   /// (EnsureFresh runs first, so an ingest that merely dirtied the
   /// memtable still bumps the number). Result caches key on this: a seal,
-  /// compact, or ingest moves the watermark and silently invalidates.
+  /// compact, or ingest moves the watermark and silently invalidates —
+  /// including background compaction publishes.
   uint64_t plan_watermark();
 
   /// Same analyzer as indexing (multi-token inputs expand, duplicates
@@ -122,12 +186,37 @@ class UpdatableEngine {
       const std::vector<std::string>& keywords) const;
 
  private:
+  struct RecoveryTag {};
+  /// The OpenDurable constructor: takes the tree but defers encoding
+  /// assignment and base sealing to the recovery logic.
+  UpdatableEngine(RecoveryTag, XmlTree initial, EngineOptions options);
+
   void EnsureFresh();
   void FullRebuild();
+  /// DURABLE full rebuild: seals the whole tree as a new log-managed
+  /// segment and atomically replaces the stale set (compact-record
+  /// protocol, so recovery sees pre- or post-rebuild, never both). Falls
+  /// back to the in-memory FullRebuild when disk writes fail — queries
+  /// stay correct; the log keeps the old set as the recovery state.
+  void DurableFullRebuild();
   void RefreshMemtable();
   /// Seals nodes [watermark_, node_count) as one segment; `disk_path`
   /// empty seals in memory.
   Status Seal(const std::string& disk_path);
+  /// DURABLE seal of [watermark_, node_count): segment + manifest +
+  /// encoding snapshot files first, then the kSeal record. Caller holds
+  /// maintenance_mu_.
+  Status SealDurableLocked();
+  /// One compaction round over the log-managed disk segments: pick
+  /// (tiered, or everything when `merge_all`), kCompactBegin, merge +
+  /// write off-lock, kCompactCommit + publish, kDrop + supersede the
+  /// inputs. Returns true when a merge was published. Runs on the
+  /// maintenance thread or a caller thread — never two at once
+  /// (maintenance_mu_ serializes the log/publish sections).
+  bool CompactRound(bool merge_all);
+  /// Logs a kDrop for the abandoned output id and deletes its files
+  /// (failed/raced compaction cleanup).
+  void AbandonOutput(uint64_t id, const std::string& path);
   std::vector<QueryHit> Materialize(
       const std::vector<SearchResult>& results) const;
   /// Shared query epilogue: finalize the accounting, fold it into the
@@ -146,7 +235,9 @@ class UpdatableEngine {
   /// version as their watermark, so a seal / compact / ingest silently
   /// invalidates them — no explicit hook needed.
   PlanCache plan_cache_;
-  std::unique_ptr<JDeweyIndex> memtable_;
+  /// Shared so pinned versions keep a replaced memtable alive until the
+  /// last in-flight query drops it.
+  std::shared_ptr<const JDeweyIndex> memtable_;
   NodeId watermark_ = 0;
   bool memtable_dirty_ = false;
   bool needs_full_rebuild_ = false;
@@ -156,6 +247,19 @@ class UpdatableEngine {
   size_t memtable_docs_ = 0;
   obs::ResourceAccounting last_accounting_;
   Status last_status_ = Status::Ok();
+
+  // Durable mode (all null/empty in the plain constructor).
+  DurableOptions durable_options_;
+  std::unique_ptr<ManifestLog> log_;
+  std::unique_ptr<CompactionScheduler> scheduler_;
+  /// Serializes maintenance transitions (seal, compaction rounds, durable
+  /// rebuild) between the owner thread and the background thread. Lock
+  /// order: maintenance_mu_ before any SegmentedIndex-internal lock;
+  /// queries take neither.
+  std::mutex maintenance_mu_;
+  uint64_t next_segment_id_ = 1;
+  /// The id whose `enc-<id>` snapshot is authoritative (0 = none yet).
+  uint64_t enc_id_ = 0;
 };
 
 }  // namespace xtopk

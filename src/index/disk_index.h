@@ -177,6 +177,14 @@ class DiskIndexEnv : public std::enable_shared_from_this<DiskIndexEnv> {
   /// environment verifies them on physical reads.
   bool checksums_verified() const { return !page_crcs_.empty(); }
 
+  /// The segment's (level, value) -> node mapping / deepest level, from
+  /// the node map loaded at Open. Immutable, so safe from any thread
+  /// without a session (SegmentSetVersion resolves nodes through these).
+  NodeId NodeAt(uint32_t level, uint32_t value) const {
+    return node_map_.NodeAt(level, value);
+  }
+  uint32_t max_level() const { return node_map_.max_level(); }
+
   DiskIoStats io_stats() const;
   void ResetIoStats();
 

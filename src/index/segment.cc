@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <utility>
 
-#include "core/scoring.h"
-#include "index/index_access.h"
 #include "index/segment_builder.h"
 #include "obs/metrics.h"
 
@@ -12,376 +10,163 @@ namespace xtopk {
 
 namespace {
 
-/// The lookup form of a manifest.
-std::unordered_map<std::string, std::pair<uint32_t, uint32_t>> StatsOf(
-    const SegmentManifest& manifest) {
-  std::unordered_map<std::string, std::pair<uint32_t, uint32_t>> stats;
-  stats.reserve(manifest.terms.size());
-  for (const SegmentTermStats& t : manifest.terms) {
-    stats.emplace(t.term, std::make_pair(t.rows, t.max_tf));
-  }
-  return stats;
+/// Wraps a borrowed pointer for the legacy SetMemtable overload: the
+/// caller owns the memtable and keeps it alive across every version that
+/// may still reference it.
+std::shared_ptr<const JDeweyIndex> Borrow(const JDeweyIndex* memtable) {
+  return std::shared_ptr<const JDeweyIndex>(memtable,
+                                            [](const JDeweyIndex*) {});
 }
 
 }  // namespace
 
-void SegmentedIndex::Bump() {
-  ++version_;
-  XTOPK_GAUGE("index.segments").Set(static_cast<int64_t>(sealed_.size()));
+SegmentedIndex::SegmentedIndex() {
+  head_ = std::make_shared<const SegmentSetVersion>(
+      next_version_++, std::vector<std::shared_ptr<const SealedSegment>>{},
+      nullptr, 0);
+}
+
+std::shared_ptr<const SegmentSetVersion> SegmentedIndex::Pin() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_;
+}
+
+void SegmentedIndex::PublishLocked(
+    std::vector<std::shared_ptr<const SealedSegment>> sealed,
+    std::shared_ptr<const JDeweyIndex> memtable, uint64_t corpus_nodes) {
+  size_t sealed_count = sealed.size();
+  head_ = std::make_shared<const SegmentSetVersion>(
+      next_version_++, std::move(sealed), std::move(memtable), corpus_nodes);
+  XTOPK_GAUGE("index.segments").Set(static_cast<int64_t>(sealed_count));
 }
 
 void SegmentedIndex::AddMemorySegment(JDeweyIndex segment,
                                       uint64_t covered_nodes) {
-  Sealed sealed;
-  sealed.memory = std::make_unique<JDeweyIndex>(std::move(segment));
-  sealed.manifest = ManifestFromSegment(*sealed.memory);
-  sealed.manifest.covered_nodes = covered_nodes;
-  sealed.stats = StatsOf(sealed.manifest);
-  sealed_.push_back(std::move(sealed));
-  Bump();
+  std::shared_ptr<const SealedSegment> sealed =
+      SealedSegment::FromMemory(std::move(segment), covered_nodes);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto list = head_->sealed();
+  list.push_back(std::move(sealed));
+  PublishLocked(std::move(list), head_->memtable_ref(),
+                head_->corpus_nodes());
 }
 
 Status SegmentedIndex::AddDiskSegment(const std::string& path,
-                                      DiskIndexOptions options) {
-  StatusOr<SegmentManifest> manifest =
-      SegmentManifest::Load(path + ".manifest");
-  if (!manifest.ok()) return manifest.status();
-  StatusOr<std::shared_ptr<DiskIndexEnv>> env =
-      DiskIndexEnv::Open(path, options);
-  if (!env.ok()) return env.status();
-  Sealed sealed;
-  sealed.env = *env;
-  sealed.session = sealed.env->NewSession();
-  sealed.manifest = std::move(*manifest);
-  sealed.stats = StatsOf(sealed.manifest);
-  sealed_.push_back(std::move(sealed));
-  Bump();
+                                      DiskIndexOptions options, uint64_t id) {
+  StatusOr<std::shared_ptr<const SealedSegment>> sealed =
+      SealedSegment::FromDisk(path, options, id);
+  if (!sealed.ok()) return sealed.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto list = head_->sealed();
+  list.push_back(std::move(*sealed));
+  PublishLocked(std::move(list), head_->memtable_ref(),
+                head_->corpus_nodes());
   return Status::Ok();
 }
 
 void SegmentedIndex::SetMemtable(const JDeweyIndex* memtable) {
-  memtable_ = memtable;
-  Bump();
+  SetMemtable(memtable == nullptr ? nullptr : Borrow(memtable));
+}
+
+void SegmentedIndex::SetMemtable(std::shared_ptr<const JDeweyIndex> memtable) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PublishLocked(head_->sealed(), std::move(memtable), head_->corpus_nodes());
 }
 
 void SegmentedIndex::SetCorpusNodes(uint64_t corpus_nodes) {
-  if (corpus_nodes == corpus_nodes_) return;
-  corpus_nodes_ = corpus_nodes;
-  Bump();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (corpus_nodes == head_->corpus_nodes()) return;
+  PublishLocked(head_->sealed(), head_->memtable_ref(), corpus_nodes);
 }
 
 void SegmentedIndex::Clear() {
-  sealed_.clear();
-  memtable_ = nullptr;
-  Bump();
+  std::lock_guard<std::mutex> lock(mu_);
+  PublishLocked({}, nullptr, head_->corpus_nodes());
+}
+
+bool SegmentedIndex::PublishCompaction(
+    const std::vector<std::shared_ptr<const SealedSegment>>& inputs,
+    std::shared_ptr<const SealedSegment> output) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto list = head_->sealed();
+  // Identity-match every input in the head; the output takes the first
+  // input's position so publish order is preserved.
+  for (const auto& input : inputs) {
+    if (std::find(list.begin(), list.end(), input) == list.end())
+      return false;
+  }
+  if (inputs.empty()) return false;
+  auto first = std::find(list.begin(), list.end(), inputs.front());
+  *first = std::move(output);
+  list.erase(std::remove_if(list.begin(), list.end(),
+                            [&](const std::shared_ptr<const SealedSegment>&
+                                    seg) {
+                              return std::find(inputs.begin(), inputs.end(),
+                                               seg) != inputs.end();
+                            }),
+             list.end());
+  PublishLocked(std::move(list), head_->memtable_ref(),
+                head_->corpus_nodes());
+  return true;
 }
 
 uint32_t SegmentedIndex::Frequency(const std::string& term) const {
-  uint64_t total = 0;
-  for (const Sealed& seg : sealed_) {
-    auto it = seg.stats.find(term);
-    if (it != seg.stats.end()) total += it->second.first;
-  }
-  if (memtable_ != nullptr) total += memtable_->Frequency(term);
-  return static_cast<uint32_t>(total);
+  return Pin()->Frequency(term);
 }
 
 uint32_t SegmentedIndex::MaxLength(const std::string& term) const {
-  uint32_t deepest = 0;
-  for (const Sealed& seg : sealed_) {
-    if (seg.stats.find(term) == seg.stats.end()) continue;
-    if (seg.memory != nullptr) {
-      const JDeweyList* list = seg.memory->GetList(term);
-      if (list != nullptr) deepest = std::max(deepest, list->max_length);
-    } else {
-      deepest = std::max(deepest, seg.session->MaxLength(term));
-    }
-  }
-  if (memtable_ != nullptr) {
-    const JDeweyList* list = memtable_->GetList(term);
-    if (list != nullptr) deepest = std::max(deepest, list->max_length);
-  }
-  return deepest;
+  return Pin()->MaxLength(term);
 }
 
 const TermStats* SegmentedIndex::Stats(const std::string& term) const {
-  if (stats_version_ != version_) {
-    stats_cache_.clear();
-    stats_version_ = version_;
-  }
-  auto cached = stats_cache_.find(term);
-  if (cached != stats_cache_.end()) {
-    return cached->second.rows == 0 ? nullptr : &cached->second;
-  }
-
-  TermStats merged;
-  for (const Sealed& seg : sealed_) {
-    // Manifests are sorted by term.
-    auto it = std::lower_bound(
-        seg.manifest.terms.begin(), seg.manifest.terms.end(), term,
-        [](const SegmentTermStats& a, const std::string& t) {
-          return a.term < t;
-        });
-    if (it == seg.manifest.terms.end() || it->term != term ||
-        it->rows == 0) {
-      continue;
-    }
-    TermStats part;
-    part.rows = it->rows;
-    part.levels = it->levels;  // empty for v1 manifests -> rows only
-    merged.Merge(part, kMergedStatsBuckets);
-  }
-  if (memtable_ != nullptr && memtable_->Frequency(term) > 0) {
-    const TermStats* mt = memtable_->StatsOf(term);
-    if (mt != nullptr) {
-      merged.Merge(*mt, kMergedStatsBuckets);
-    } else {
-      TermStats part;
-      part.rows = memtable_->Frequency(term);
-      merged.Merge(part, kMergedStatsBuckets);
-    }
-  }
-  auto [it, inserted] = stats_cache_.emplace(term, std::move(merged));
-  (void)inserted;
-  return it->second.rows == 0 ? nullptr : &it->second;
+  return Pin()->Stats(term);
 }
 
 NodeId SegmentedIndex::NodeAt(uint32_t level, uint32_t value) const {
-  if (memtable_ != nullptr) {
-    NodeId node = memtable_->NodeAt(level, value);
-    if (node != kInvalidNode) return node;
-  }
-  for (const Sealed& seg : sealed_) {
-    NodeId node = seg.memory != nullptr ? seg.memory->NodeAt(level, value)
-                                        : seg.session->NodeAt(level, value);
-    if (node != kInvalidNode) return node;
-  }
-  return kInvalidNode;
+  return Pin()->NodeAt(level, value);
 }
 
-uint32_t SegmentedIndex::max_level() const {
-  uint32_t deepest = memtable_ != nullptr ? memtable_->max_level() : 0;
-  for (const Sealed& seg : sealed_) {
-    deepest = std::max(deepest, seg.memory != nullptr
-                                    ? seg.memory->max_level()
-                                    : seg.session->max_level());
-  }
-  return deepest;
-}
-
-void SegmentedIndex::RefreshGlobals() {
-  if (globals_version_ == version_) return;
-  globals_.clear();
-  for (const Sealed& seg : sealed_) {
-    for (const SegmentTermStats& t : seg.manifest.terms) {
-      TermGlobal& g = globals_[t.term];
-      g.df += t.rows;
-      g.max_tf = std::max(g.max_tf, t.max_tf);
-    }
-  }
-  if (memtable_ != nullptr) {
-    const auto& terms = memtable_->terms();
-    const auto& lists = memtable_->lists();
-    for (size_t t = 0; t < terms.size(); ++t) {
-      TermGlobal& g = globals_[terms[t]];
-      g.df += lists[t].num_rows();
-      for (float tf : lists[t].scores) {
-        g.max_tf = std::max(g.max_tf, static_cast<uint32_t>(tf));
-      }
-    }
-  }
-  // The corpus-wide normalizer: RawLocalScore is monotone in tf for a fixed
-  // df, so each term's max raw score is attained at its max tf and the
-  // global max is the max over terms — exactly the max a monolithic build
-  // takes over every occurrence.
-  max_raw_ = 0.0;
-  for (const auto& [term, g] : globals_) {
-    max_raw_ = std::max(max_raw_, RawLocalScore(g.max_tf, g.df, corpus_nodes_));
-  }
-  if (max_raw_ <= 0.0) max_raw_ = 1.0;
-  globals_version_ = version_;
-}
-
-Status SegmentedIndex::CollectParts(const std::string& term,
-                                    std::vector<const JDeweyList*>* parts) {
-  size_t fanout = 0;
-  for (Sealed& seg : sealed_) {
-    if (seg.stats.find(term) == seg.stats.end()) continue;
-    ++fanout;
-    if (seg.memory != nullptr) {
-      const JDeweyList* list = seg.memory->GetList(term);
-      if (list != nullptr) parts->push_back(list);
-    } else {
-      StatusOr<const JDeweyList*> loaded =
-          seg.session->LoadList(term, UINT32_MAX, /*need_scores=*/true,
-                                /*level_bounds=*/nullptr);
-      if (!loaded.ok()) return loaded.status();
-      if (*loaded != nullptr) parts->push_back(*loaded);
-    }
-  }
-  if (memtable_ != nullptr) {
-    const JDeweyList* list = memtable_->GetList(term);
-    if (list != nullptr) {
-      parts->push_back(list);
-      ++fanout;
-    }
-  }
-  XTOPK_COUNTER("core.join.segment_fanout").Add(fanout);
-  return Status::Ok();
-}
-
-JDeweyList SegmentedIndex::MergeParts(
-    const std::vector<const JDeweyList*>& parts) const {
-  struct RowRef {
-    const JDeweyList* list = nullptr;
-    uint32_t row = 0;
-    JDeweySeq seq;
-  };
-  size_t total = 0;
-  for (const JDeweyList* part : parts) total += part->num_rows();
-  std::vector<RowRef> rows;
-  rows.reserve(total);
-  for (const JDeweyList* part : parts) {
-    for (uint32_t r = 0; r < part->num_rows(); ++r) {
-      rows.push_back(RowRef{part, r, part->SequenceOf(r)});
-    }
-  }
-  // Children cover disjoint node sets, so sequences are pairwise distinct
-  // and the comparison is a strict weak order.
-  std::sort(rows.begin(), rows.end(), [](const RowRef& a, const RowRef& b) {
-    return CompareJDewey(a.seq, b.seq) < 0;
-  });
-
-  JDeweyList merged;
-  merged.lengths.resize(total);
-  merged.scores.resize(total);
-  merged.nodes.resize(total, kInvalidNode);
-  for (uint32_t i = 0; i < total; ++i) {
-    const RowRef& ref = rows[i];
-    uint16_t len = ref.list->lengths[ref.row];
-    merged.lengths[i] = len;
-    merged.scores[i] = ref.list->scores[ref.row];
-    if (ref.row < ref.list->nodes.size()) {
-      merged.nodes[i] = ref.list->nodes[ref.row];  // disk lists leave these
-    }
-    if (len > merged.max_length) merged.max_length = len;
-    if (merged.columns.size() < len) merged.columns.resize(len);
-    for (uint16_t level = 1; level <= len; ++level) {
-      merged.columns[level - 1].Append(i, ref.seq[level - 1]);
-    }
-  }
-  return merged;
-}
+uint32_t SegmentedIndex::max_level() const { return Pin()->max_level(); }
 
 StatusOr<const JDeweyList*> SegmentedIndex::Resolve(
     const std::string& term, uint32_t /*up_to_level*/, bool /*need_scores*/,
     const std::vector<ValueBounds>* /*level_bounds*/) {
-  if (cache_version_ != version_) {
-    cache_.clear();
-    cache_version_ = version_;
-  }
-  auto cached = cache_.find(term);
-  if (cached != cache_.end()) return &cached->second;
-  if (Frequency(term) == 0) return static_cast<const JDeweyList*>(nullptr);
-
-  RefreshGlobals();
-  std::vector<const JDeweyList*> parts;
-  Status s = CollectParts(term, &parts);
-  if (!s.ok()) return s;
-  JDeweyList merged = MergeParts(parts);
-
-  // tf -> normalized tf·idf, with the corpus-global df and normalizer.
-  const TermGlobal& global = globals_.at(term);
-  for (uint32_t row = 0; row < merged.num_rows(); ++row) {
-    uint32_t tf = static_cast<uint32_t>(merged.scores[row]);
-    double raw = RawLocalScore(tf, global.df, corpus_nodes_);
-    merged.scores[row] = static_cast<float>(raw / max_raw_);
-  }
-  // Rows that came from disk segments carry no NodeId; the (level, value)
-  // mapping recovers them.
-  for (uint32_t row = 0; row < merged.num_rows(); ++row) {
-    if (merged.nodes[row] != kInvalidNode) continue;
-    JDeweySeq seq = merged.SequenceOf(row);
-    merged.nodes[row] = NodeAt(merged.lengths[row], seq.back());
-  }
-
-  auto [it, inserted] = cache_.emplace(term, std::move(merged));
-  (void)inserted;
-  return &it->second;
+  return Pin()->Resolve(term);
 }
 
 Status SegmentedIndex::Compact(const std::string& path,
                                DiskIndexOptions options) {
-  if (sealed_.empty()) return Status::Ok();
+  std::shared_ptr<const SegmentSetVersion> pinned = Pin();
+  if (pinned->sealed().empty()) return Status::Ok();
 
-  // Term universe and covered-node total from the manifests alone.
   uint64_t covered = 0;
-  std::vector<std::string> all_terms;
-  for (const Sealed& seg : sealed_) {
-    covered += seg.manifest.covered_nodes;
-    for (const SegmentTermStats& t : seg.manifest.terms) {
-      all_terms.push_back(t.term);
-    }
-  }
-  std::sort(all_terms.begin(), all_terms.end());
-  all_terms.erase(std::unique(all_terms.begin(), all_terms.end()),
-                  all_terms.end());
+  StatusOr<JDeweyIndex> merged =
+      BuildCompactedSegment(pinned->sealed(), &covered);
+  if (!merged.ok()) return merged.status();
 
-  JDeweyIndex merged;
-  auto* term_ids = IndexIoAccess::TermIds(&merged);
-  auto* terms = IndexIoAccess::Terms(&merged);
-  auto* lists = IndexIoAccess::Lists(&merged);
-  for (const std::string& term : all_terms) {
-    std::vector<const JDeweyList*> parts;
-    for (Sealed& seg : sealed_) {
-      if (seg.stats.find(term) == seg.stats.end()) continue;
-      if (seg.memory != nullptr) {
-        const JDeweyList* list = seg.memory->GetList(term);
-        if (list != nullptr) parts.push_back(list);
-      } else {
-        StatusOr<const JDeweyList*> loaded =
-            seg.session->LoadList(term, UINT32_MAX, /*need_scores=*/true,
-                                  /*level_bounds=*/nullptr);
-        if (!loaded.ok()) return loaded.status();
-        if (*loaded != nullptr) parts.push_back(*loaded);
-      }
-    }
-    term_ids->emplace(term, static_cast<uint32_t>(lists->size()));
-    terms->push_back(term);
-    lists->push_back(MergeParts(parts));  // raw tf preserved
-  }
-
-  // Union of the children's (level, value) -> node mappings. Shared
-  // ancestors appear in several segments with identical pairs; sort +
-  // unique collapses them.
-  auto* level_nodes = IndexIoAccess::LevelNodes(&merged);
-  for (const Sealed& seg : sealed_) {
-    const auto& child = seg.memory != nullptr
-                            ? IndexIoAccess::LevelNodes(*seg.memory)
-                            : IndexIoAccess::LevelNodes(seg.session->view());
-    if (level_nodes->size() < child.size()) level_nodes->resize(child.size());
-    for (size_t l = 0; l < child.size(); ++l) {
-      auto& dst = (*level_nodes)[l];
-      dst.insert(dst.end(), child[l].begin(), child[l].end());
-    }
-  }
-  for (auto& level : *level_nodes) {
-    std::sort(level.begin(), level.end());
-    level.erase(std::unique(level.begin(), level.end()), level.end());
-  }
-  *IndexIoAccess::MaxLevel(&merged) =
-      static_cast<uint32_t>(level_nodes->size());
-
-  Status s = DiskIndexWriter::Write(merged, /*include_scores=*/true, path);
+  Status s = DiskIndexWriter::Write(*merged, /*include_scores=*/true, path);
   if (!s.ok()) return s;
-  SegmentManifest manifest = ManifestFromSegment(merged);
+  SegmentManifest manifest = ManifestFromSegment(*merged);
   manifest.covered_nodes = covered;
   s = manifest.Save(path + ".manifest");
   if (!s.ok()) return s;
 
-  sealed_.clear();
-  s = AddDiskSegment(path, options);
-  if (!s.ok()) return s;
+  StatusOr<std::shared_ptr<const SealedSegment>> output =
+      SealedSegment::FromDisk(path, options);
+  if (!output.ok()) return output.status();
+
+  if (!PublishCompaction(pinned->sealed(), *output)) {
+    // A concurrent mutation changed the set since the pin; the merge no
+    // longer describes the head. Leave the head alone — the caller sees
+    // the conflict and may retry.
+    return Status::Internal("segment set changed during Compact");
+  }
+  // Superseded inputs' files are deleted when the last pinned version
+  // drops them — except an input living at the output path, which would
+  // delete the file just written.
+  for (const auto& seg : pinned->sealed()) {
+    if (!seg->path().empty() && seg->path() != path) seg->MarkSuperseded();
+  }
   XTOPK_COUNTER("index.compactions").Add(1);
   return Status::Ok();
 }

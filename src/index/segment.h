@@ -3,44 +3,45 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "index/disk_index.h"
 #include "index/jdewey_index.h"
 #include "index/reader.h"
-#include "storage/segment_manifest.h"
+#include "index/segment_view.h"
 #include "util/status.h"
 
 namespace xtopk {
 
-/// A TermSource over N immutable sealed segments plus one mutable
-/// memtable — the LSM shape incremental indexing wants: inserts only ever
-/// touch the small in-memory tail, sealed segments are written once and
-/// never rewritten (until Compact folds them into one).
+/// A TermSource over N immutable sealed segments plus one memtable — the
+/// LSM shape incremental indexing wants: inserts only ever touch the
+/// small in-memory tail, sealed segments are written once and never
+/// rewritten (until a compaction folds them into one).
 ///
-/// Every child indexes a disjoint set of nodes of ONE tree under ONE
-/// shared JDewey encoding, and stores raw term frequencies in its score
-/// slots (segment_builder.h). Resolve merges the children's rows of a term
-/// by JDewey sequence — a k-way sorted merge, since Property 3.1 holds per
-/// child — and converts tf to the normalized tf·idf local score using
-/// corpus-global statistics aggregated from the segment manifests:
-/// df(t) = sum of per-segment rows, the normalizer = max over terms of
-/// RawLocalScore(max_tf, df, N). The result is bit-identical to the list a
-/// single monolithic index build would produce, so JoinSearch / TopKSearch
-/// answers are too.
+/// Since the segment-lifecycle refactor (DESIGN.md §17) this class is a
+/// thread-safe PUBLISHER of immutable SegmentSetVersion snapshots rather
+/// than a mutable container: every mutation (AddMemorySegment /
+/// AddDiskSegment / SetMemtable / SetCorpusNodes / Compact / Clear /
+/// PublishCompaction) builds a fresh version and swaps it in atomically.
+/// Queries call Pin() and read that snapshot for their whole lifetime —
+/// epoch-style reclamation: a superseded segment's files are deleted when
+/// the last version referencing it drops. The merge and normalization
+/// semantics (bit-identical to a monolithic build) live in
+/// SegmentSetVersion; see segment_view.h.
 ///
-/// Merged lists are cached per term; any mutation (AddMemorySegment /
-/// AddDiskSegment / SetMemtable / SetCorpusNodes / Compact) bumps an
-/// internal version that invalidates the cache and the aggregated
-/// statistics. Not thread-safe — one SegmentedIndex per writer, like a
-/// DiskJDeweyIndex session.
+/// The TermSource methods read the current head version, so a bare
+/// SegmentedIndex still works as a query backend when no concurrent
+/// publisher exists (the single-writer contract of the pre-refactor
+/// class); concurrent readers must hold their own Pin().
 class SegmentedIndex : public TermSource {
  public:
-  SegmentedIndex() = default;
-  SegmentedIndex(SegmentedIndex&&) = default;
-  SegmentedIndex& operator=(SegmentedIndex&&) = default;
+  SegmentedIndex();
+
+  /// The current immutable snapshot. Queries keep the returned pointer
+  /// alive for their whole lifetime; publishes never disturb it.
+  std::shared_ptr<const SegmentSetVersion> Pin() const;
 
   /// Seals `segment` (raw-tf scores, built by BuildSegmentIndex) as an
   /// in-memory immutable segment. `covered_nodes` is bookkeeping for the
@@ -49,35 +50,57 @@ class SegmentedIndex : public TermSource {
 
   /// Opens a sealed on-disk segment: `path` must hold a DiskIndexWriter
   /// page file with scores, `path + ".manifest"` its SegmentManifest.
+  /// `id` is the manifest-log segment id (0 = not log-managed).
   Status AddDiskSegment(const std::string& path,
-                        DiskIndexOptions options = {});
+                        DiskIndexOptions options = {}, uint64_t id = 0);
 
   /// Attaches (or detaches, with nullptr) the memtable: a raw-tf segment
-  /// index covering the not-yet-sealed nodes. Borrowed — the caller keeps
-  /// it alive and calls SetMemtable again after rebuilding it.
+  /// index covering the not-yet-sealed nodes. The raw-pointer overload
+  /// borrows (the caller keeps it alive across every version that may
+  /// still reference it); the shared_ptr overload lets pinned versions
+  /// keep a replaced memtable alive on their own.
   void SetMemtable(const JDeweyIndex* memtable);
+  void SetMemtable(std::shared_ptr<const JDeweyIndex> memtable);
 
   /// Total nodes of the shared tree (the N of the idf term). Score
   /// normalization needs it; the owner refreshes it as the tree grows.
+  /// No-op (no new version) when the value is unchanged, so per-query
+  /// refreshes do not invalidate plan caches.
   void SetCorpusNodes(uint64_t corpus_nodes);
 
   /// Merges ALL sealed segments (memory and disk) into one on-disk
   /// segment at `path` (+ ".manifest") and replaces them with it. The
-  /// memtable is untouched; query results are unchanged. No-op when
-  /// nothing is sealed.
+  /// memtable is untouched; query results are unchanged. Superseded disk
+  /// segments' files are deleted once the last pinned version drops them
+  /// (segments at `path` itself are kept — they ARE the output). No-op
+  /// when nothing is sealed.
   Status Compact(const std::string& path, DiskIndexOptions options = {});
 
+  /// Atomically replaces `inputs` (matched by identity against the
+  /// current head) with `output` — the background compactor's publish
+  /// step. Returns false without publishing when any input is no longer
+  /// in the head (a Clear/rebuild won the race); the caller then discards
+  /// `output`. Does NOT mark the inputs superseded — the caller owns file
+  /// GC (it must log drops first for crash safety).
+  bool PublishCompaction(
+      const std::vector<std::shared_ptr<const SealedSegment>>& inputs,
+      std::shared_ptr<const SealedSegment> output);
+
   /// Drops every sealed segment and the memtable (full-rebuild path).
+  /// Files are not deleted: pre-refactor behavior, and the durable engine
+  /// logs drops itself before superseding.
   void Clear();
 
-  size_t sealed_count() const { return sealed_.size(); }
-  bool has_memtable() const { return memtable_ != nullptr; }
-  uint64_t corpus_nodes() const { return corpus_nodes_; }
-  uint64_t version() const { return version_; }
+  size_t sealed_count() const { return Pin()->sealed().size(); }
+  bool has_memtable() const { return Pin()->memtable() != nullptr; }
+  uint64_t corpus_nodes() const { return Pin()->corpus_nodes(); }
+  uint64_t version() const { return Pin()->version(); }
 
-  // TermSource. Frequency/MaxLength aggregate manifests (no data I/O);
-  // Resolve merges + normalizes (up_to_level and bounds are ignored — a
-  // merged list is always full, which the contract allows as a superset).
+  // TermSource, reading the current head. Frequency/MaxLength aggregate
+  // manifests (no data I/O); Resolve merges + normalizes (up_to_level and
+  // bounds are ignored — a merged list is always full, which the contract
+  // allows as a superset). Resolved pointers stay valid until the version
+  // that produced them dies, i.e. at least until the next mutation.
   uint32_t Frequency(const std::string& term) const override;
   uint32_t MaxLength(const std::string& term) const override;
   StatusOr<const JDeweyList*> Resolve(
@@ -86,59 +109,24 @@ class SegmentedIndex : public TermSource {
   NodeId NodeAt(uint32_t level, uint32_t value) const override;
   uint32_t max_level() const override;
   /// Corpus-global planner statistics for `term`, aggregated from the
-  /// segment manifests + memtable alone — no posting scan. Histograms are
-  /// merged by boundary-union addition, which over-counts only the shared
-  /// ancestors that appear in several segments at shallow levels (an
-  /// estimate either way). A v1 (histogram-less) part degrades the term
-  /// to row-count-only statistics. Cached per version; the pointer stays
-  /// valid until the next mutation.
+  /// segment manifests + memtable alone — no posting scan (details in
+  /// segment_view.h). The pointer stays valid as long as the version.
   const TermStats* Stats(const std::string& term) const override;
-  /// Cached plans key on the segment version: any seal / ingest / compact
-  /// bumps it, so stale plans never survive an index mutation.
-  uint64_t PlanWatermark() const override { return version_; }
+  /// Cached plans key on the head version: any seal / ingest / compact
+  /// publish bumps it, so stale plans never survive an index mutation.
+  uint64_t PlanWatermark() const override { return Pin()->version(); }
 
  private:
-  struct Sealed {
-    std::unique_ptr<JDeweyIndex> memory;  ///< in-memory sealed segment, or
-    std::shared_ptr<DiskIndexEnv> env;    ///< ... its on-disk counterpart
-    std::unique_ptr<DiskJDeweyIndex> session;
-    SegmentManifest manifest;
-    /// term -> (rows, max_tf), the lookup form of the manifest.
-    std::unordered_map<std::string, std::pair<uint32_t, uint32_t>> stats;
-  };
+  /// Installs a new head built from `sealed` + `memtable` +
+  /// `corpus_nodes` and refreshes the index.segments gauge. Caller holds
+  /// mu_.
+  void PublishLocked(
+      std::vector<std::shared_ptr<const SealedSegment>> sealed,
+      std::shared_ptr<const JDeweyIndex> memtable, uint64_t corpus_nodes);
 
-  struct TermGlobal {
-    uint64_t df = 0;
-    uint32_t max_tf = 0;
-  };
-
-  void Bump();
-  /// Rebuilds globals_ / max_raw_ from the manifests + memtable.
-  void RefreshGlobals();
-  /// All children's lists holding `term` (loads disk lists). Also counts
-  /// the fanout into core.join.segment_fanout.
-  Status CollectParts(const std::string& term,
-                      std::vector<const JDeweyList*>* parts);
-  /// K-way merge of `parts` by JDewey sequence into one raw-tf list.
-  JDeweyList MergeParts(const std::vector<const JDeweyList*>& parts) const;
-
-  std::vector<Sealed> sealed_;
-  const JDeweyIndex* memtable_ = nullptr;
-  uint64_t corpus_nodes_ = 0;
-  uint64_t version_ = 1;
-
-  // Per-version caches.
-  uint64_t globals_version_ = 0;
-  std::unordered_map<std::string, TermGlobal> globals_;
-  double max_raw_ = 1.0;
-  uint64_t cache_version_ = 0;
-  /// Merged + normalized lists; node-based map, so pointers handed to the
-  /// search layer stay stable across inserts.
-  std::unordered_map<std::string, JDeweyList> cache_;
-  /// Merged planner statistics per term (Stats() is const, hence mutable);
-  /// entries with rows == 0 memoize "term absent".
-  mutable uint64_t stats_version_ = 0;
-  mutable std::unordered_map<std::string, TermStats> stats_cache_;
+  mutable std::mutex mu_;
+  std::shared_ptr<const SegmentSetVersion> head_;
+  uint64_t next_version_ = 1;
 };
 
 }  // namespace xtopk

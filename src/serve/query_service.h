@@ -64,6 +64,14 @@ class EngineBackend : public ServeBackend {
 /// Backend over an UpdatableEngine. The engine mutates lazily on query
 /// (memtable refresh), so every call serializes through one mutex;
 /// concurrency comes from the admission queue, not the index.
+///
+/// A durable engine's background compactor runs OUTSIDE this mutex: it
+/// publishes new segment versions while queries execute. That is benign
+/// by construction — each query pins the version it started on, and a
+/// compaction publish is result-invariant (same rows, merged layout), so
+/// Watermark() moving under a cached entry invalidates a result that the
+/// new version would reproduce bit-identically. The serve-layer
+/// concurrency test asserts exactly this.
 class UpdatableBackend : public ServeBackend {
  public:
   explicit UpdatableBackend(UpdatableEngine* engine) : engine_(engine) {}

@@ -1,0 +1,412 @@
+#include "storage/manifest_log.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/crc32c.h"
+#include "util/fault_env.h"
+#include "util/varint.h"
+
+namespace xtopk {
+
+namespace {
+
+constexpr char kMagic[] = "XTKMLOG1";
+constexpr size_t kMagicSize = 8;
+
+void PutFixed32(std::string* out, uint32_t value) {
+  char buf[4];
+  buf[0] = static_cast<char>(value & 0xff);
+  buf[1] = static_cast<char>((value >> 8) & 0xff);
+  buf[2] = static_cast<char>((value >> 16) & 0xff);
+  buf[3] = static_cast<char>((value >> 24) & 0xff);
+  out->append(buf, 4);
+}
+
+uint32_t ReadFixed32(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24;
+}
+
+bool ValidType(uint8_t type) {
+  return type >= static_cast<uint8_t>(ManifestRecordType::kSeal) &&
+         type <= static_cast<uint8_t>(ManifestRecordType::kDrop);
+}
+
+/// Parses one frame body (type byte + payload). Returns false on any
+/// malformation — the caller treats that exactly like a CRC mismatch.
+bool ParseBody(const std::string& body, ManifestRecord* record) {
+  if (body.empty() || !ValidType(static_cast<uint8_t>(body[0]))) return false;
+  record->type = static_cast<ManifestRecordType>(body[0]);
+  size_t pos = 1;
+  if (!varint::GetU64(body, &pos, &record->id).ok()) return false;
+  record->covered_nodes = 0;
+  record->watermark = 0;
+  record->inputs.clear();
+  switch (record->type) {
+    case ManifestRecordType::kSeal:
+      if (!varint::GetU64(body, &pos, &record->covered_nodes).ok())
+        return false;
+      if (!varint::GetU64(body, &pos, &record->watermark).ok()) return false;
+      break;
+    case ManifestRecordType::kCompactBegin:
+    case ManifestRecordType::kCompactCommit: {
+      if (!varint::GetU64(body, &pos, &record->covered_nodes).ok())
+        return false;
+      if (!varint::GetU64(body, &pos, &record->watermark).ok()) return false;
+      uint64_t count = 0;
+      if (!varint::GetU64(body, &pos, &count).ok()) return false;
+      if (count > body.size()) return false;  // each input is >= 1 byte
+      record->inputs.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        uint64_t input = 0;
+        if (!varint::GetU64(body, &pos, &input).ok()) return false;
+        record->inputs.push_back(input);
+      }
+      break;
+    }
+    case ManifestRecordType::kDrop:
+      break;
+  }
+  return pos == body.size();
+}
+
+Status ReadWholeFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr)
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(size < 0 ? 0 : static_cast<size_t>(size));
+  size_t got = out->empty() ? 0 : std::fread(&(*out)[0], 1, out->size(), f);
+  std::fclose(f);
+  if (got != out->size())
+    return Status::IoError("short read of " + path);
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+const char* ManifestRecordTypeName(ManifestRecordType type) {
+  switch (type) {
+    case ManifestRecordType::kSeal:
+      return "seal";
+    case ManifestRecordType::kCompactBegin:
+      return "compact_begin";
+    case ManifestRecordType::kCompactCommit:
+      return "compact_commit";
+    case ManifestRecordType::kDrop:
+      return "drop";
+  }
+  return "unknown";
+}
+
+ManifestLog::ManifestLog(std::string path, std::FILE* file)
+    : path_(std::move(path)), file_(file) {}
+
+ManifestLog::~ManifestLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+StatusOr<std::unique_ptr<ManifestLog>> ManifestLog::Open(
+    const std::string& path) {
+  // "a+b" creates if missing and positions writes at the end; the header
+  // is written only when the file is empty so reopen never re-stamps it.
+  std::FILE* f = std::fopen(path.c_str(), "a+b");
+  if (f == nullptr)
+    return Status::IoError("cannot open manifest log " + path + ": " +
+                           std::strerror(errno));
+  std::fseek(f, 0, SEEK_END);
+  if (std::ftell(f) == 0) {
+    if (std::fwrite(kMagic, 1, kMagicSize, f) != kMagicSize ||
+        std::fflush(f) != 0 || ::fsync(fileno(f)) != 0) {
+      std::fclose(f);
+      return Status::IoError("cannot write manifest log header " + path);
+    }
+  }
+  return std::unique_ptr<ManifestLog>(new ManifestLog(path, f));
+}
+
+void ManifestLog::EncodeRecord(const ManifestRecord& record,
+                               std::string* out) {
+  std::string body;
+  body.push_back(static_cast<char>(record.type));
+  varint::PutU64(&body, record.id);
+  switch (record.type) {
+    case ManifestRecordType::kSeal:
+      varint::PutU64(&body, record.covered_nodes);
+      varint::PutU64(&body, record.watermark);
+      break;
+    case ManifestRecordType::kCompactBegin:
+    case ManifestRecordType::kCompactCommit:
+      varint::PutU64(&body, record.covered_nodes);
+      varint::PutU64(&body, record.watermark);
+      varint::PutU64(&body, record.inputs.size());
+      for (uint64_t input : record.inputs) varint::PutU64(&body, input);
+      break;
+    case ManifestRecordType::kDrop:
+      break;
+  }
+  varint::PutU64(out, body.size());
+  out->append(body);
+  PutFixed32(out, crc32c::Compute(body.data(), body.size()));
+}
+
+Status ManifestLog::Append(const ManifestRecord& record) {
+  std::string frame;
+  EncodeRecord(record, &frame);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  FaultInjector& injector = FaultInjector::Global();
+  if (injector.active()) {
+    FaultInjector::Decision d = injector.OnCall("manifestlog.append");
+    switch (d.kind) {
+      case FaultKind::kNone:
+        break;
+      case FaultKind::kTransientIoError:
+        // The write never reached the kernel: nothing on disk changed.
+        return Status::IoError("injected transient io error on " + path_);
+      case FaultKind::kTruncate:
+      case FaultKind::kShortRead: {
+        // A torn write: a strict prefix of the frame hits the disk and
+        // the writer dies. (seed + call_index) keeps the cut point
+        // deterministic per sweep position while varying across a sweep.
+        size_t cut = static_cast<size_t>((d.seed + d.call_index) %
+                                         frame.size());
+        if (cut > 0) {
+          std::fwrite(frame.data(), 1, cut, file_);
+          std::fflush(file_);
+          ::fsync(fileno(file_));
+        }
+        return Status::IoError("injected torn write on " + path_);
+      }
+      case FaultKind::kBitFlip: {
+        // Silent media damage: the full frame lands but one bit is wrong.
+        // Append still reports success — only Replay can catch this.
+        size_t bit = static_cast<size_t>((d.seed + d.call_index) %
+                                         (frame.size() * 8));
+        frame[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+        break;
+      }
+    }
+  }
+
+  std::fseek(file_, 0, SEEK_END);
+  long start = std::ftell(file_);
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) == frame.size() &&
+      std::fflush(file_) == 0 && ::fsync(fileno(file_)) == 0) {
+    return Status::Ok();
+  }
+  // A real write failure may have left a torn frame; cut back to the
+  // pre-append length so the log stays clean for later appends. (The
+  // injected torn-write branches above deliberately skip this — they
+  // simulate a crash, where no repair runs.)
+  if (start >= 0) {
+    std::fflush(file_);
+    if (::ftruncate(fileno(file_), static_cast<off_t>(start)) == 0)
+      std::fseek(file_, 0, SEEK_END);
+  }
+  return Status::IoError("manifest log write failed on " + path_);
+}
+
+StatusOr<std::vector<ManifestRecord>> ManifestLog::Replay(
+    const std::string& path, uint64_t* valid_bytes) {
+  std::string data;
+  Status st = ReadWholeFile(path, &data);
+  if (!st.ok()) return st;
+  if (data.size() < kMagicSize ||
+      std::memcmp(data.data(), kMagic, kMagicSize) != 0)
+    return Status::Corruption("bad manifest log magic in " + path);
+
+  std::vector<ManifestRecord> records;
+  size_t pos = kMagicSize;
+  size_t valid = pos;
+  while (pos < data.size()) {
+    uint64_t body_len = 0;
+    size_t p = pos;
+    if (!varint::GetU64(data, &p, &body_len).ok()) break;
+    if (body_len == 0 || body_len > data.size() - p ||
+        data.size() - p - body_len < 4)
+      break;
+    std::string body = data.substr(p, body_len);
+    uint32_t stored_crc = ReadFixed32(data.data() + p + body_len);
+    if (crc32c::Compute(body.data(), body.size()) != stored_crc) break;
+    ManifestRecord record;
+    if (!ParseBody(body, &record)) break;
+    records.push_back(std::move(record));
+    pos = p + body_len + 4;
+    valid = pos;
+  }
+  if (valid_bytes != nullptr) *valid_bytes = valid;
+  return records;
+}
+
+std::string ManifestLogPath(const std::string& dir) {
+  return dir + "/MANIFEST.log";
+}
+
+std::string SegmentFilePath(const std::string& dir, uint64_t id) {
+  return dir + "/seg-" + std::to_string(id);
+}
+
+std::string EncodingFilePath(const std::string& dir, uint64_t id) {
+  return dir + "/enc-" + std::to_string(id);
+}
+
+StatusOr<RecoveredSegmentSet> RecoverSegmentSet(const std::string& dir) {
+  RecoveredSegmentSet out;
+  const std::string log_path = ManifestLogPath(dir);
+  if (!FileExists(log_path)) return out;  // fresh directory
+
+  uint64_t valid_bytes = 0;
+  StatusOr<std::vector<ManifestRecord>> replay =
+      ManifestLog::Replay(log_path, &valid_bytes);
+  if (!replay.ok()) return replay.status();
+
+  // Apply records in order, stopping at the first semantic violation the
+  // same way Replay stops at the first damaged frame: everything after a
+  // record that contradicts the live set is untrusted. `applied_bytes`
+  // tracks the byte length of the applied prefix (encoding is canonical,
+  // so re-encoding reproduces the on-disk frame sizes exactly) — the log
+  // is truncated there so post-recovery appends extend the trusted
+  // prefix rather than landing after an ignored record.
+  std::vector<uint64_t> live;
+  uint64_t max_id = 0;
+  uint64_t applied_bytes = kMagicSize;
+  for (const ManifestRecord& record : replay.value()) {
+    max_id = std::max(max_id, record.id);
+    switch (record.type) {
+      case ManifestRecordType::kSeal: {
+        if (std::find(live.begin(), live.end(), record.id) != live.end())
+          goto done;  // duplicate seal: log damage Replay could not see
+        live.push_back(record.id);
+        out.watermark = record.watermark;
+        out.last_seal_id = record.id;
+        break;
+      }
+      case ManifestRecordType::kCompactBegin:
+        // Only reserves the id (counted through max_id above). The output
+        // is not live until the commit record.
+        break;
+      case ManifestRecordType::kCompactCommit: {
+        bool inputs_live =
+            !record.inputs.empty() &&
+            std::all_of(record.inputs.begin(), record.inputs.end(),
+                        [&](uint64_t id) {
+                          return std::find(live.begin(), live.end(), id) !=
+                                 live.end();
+                        });
+        if (!inputs_live ||
+            std::find(live.begin(), live.end(), record.id) != live.end())
+          goto done;
+        // The output takes the first input's position so publish order is
+        // preserved (matters for stable merge tie-breaks).
+        auto first = std::find(live.begin(), live.end(), record.inputs[0]);
+        *first = record.id;
+        // A durable full rebuild commits with a non-zero watermark: the
+        // output covers the whole tree, and its encoding snapshot becomes
+        // authoritative. Plain compactions leave both fields zero.
+        if (record.watermark > 0) {
+          out.watermark = record.watermark;
+          out.last_seal_id = record.id;
+        }
+        live.erase(std::remove_if(live.begin(), live.end(),
+                                  [&](uint64_t id) {
+                                    return std::find(record.inputs.begin(),
+                                                     record.inputs.end(),
+                                                     id) !=
+                                               record.inputs.end() &&
+                                           id != record.id;
+                                  }),
+                   live.end());
+        break;
+      }
+      case ManifestRecordType::kDrop: {
+        auto it = std::find(live.begin(), live.end(), record.id);
+        if (it != live.end()) live.erase(it);
+        break;
+      }
+    }
+    ++out.records_applied;
+    {
+      std::string frame;
+      ManifestLog::EncodeRecord(record, &frame);
+      applied_bytes += frame.size();
+    }
+  }
+done:
+  out.live = live;
+  out.next_segment_id = max_id + 1;
+
+  // Truncate the torn/untrusted tail so future appends extend a clean log.
+  (void)valid_bytes;  // applied_bytes <= valid_bytes covers both stops
+  struct stat st;
+  if (::stat(log_path.c_str(), &st) == 0 &&
+      static_cast<uint64_t>(st.st_size) > applied_bytes) {
+    if (::truncate(log_path.c_str(), static_cast<off_t>(applied_bytes)) != 0)
+      return Status::IoError("cannot truncate manifest log " + log_path);
+  }
+
+  // Delete every segment/encoding file the live set does not claim:
+  // torn seals, uncommitted compaction outputs, dropped inputs whose
+  // unlink the crash interrupted, and superseded encoding snapshots.
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr)
+    return Status::IoError("cannot scan data dir " + dir + ": " +
+                           std::strerror(errno));
+  std::vector<std::string> doomed;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    uint64_t id = 0;
+    bool is_seg = false, is_enc = false;
+    if (name.rfind("seg-", 0) == 0) {
+      std::string tail = name.substr(4);
+      size_t dot = tail.find('.');
+      if (dot != std::string::npos) {
+        if (tail.substr(dot) != ".manifest") continue;
+        tail = tail.substr(0, dot);
+      }
+      if (tail.empty() ||
+          tail.find_first_not_of("0123456789") != std::string::npos)
+        continue;
+      id = std::strtoull(tail.c_str(), nullptr, 10);
+      is_seg = true;
+    } else if (name.rfind("enc-", 0) == 0) {
+      std::string tail = name.substr(4);
+      if (tail.empty() ||
+          tail.find_first_not_of("0123456789") != std::string::npos)
+        continue;
+      id = std::strtoull(tail.c_str(), nullptr, 10);
+      is_enc = true;
+    } else {
+      continue;
+    }
+    bool keep = is_seg ? std::find(live.begin(), live.end(), id) != live.end()
+                       : (is_enc && id == out.last_seal_id);
+    if (!keep) doomed.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(doomed.begin(), doomed.end());
+  for (const std::string& name : doomed) {
+    if (::unlink((dir + "/" + name).c_str()) == 0)
+      out.removed_files.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace xtopk

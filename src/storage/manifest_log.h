@@ -1,0 +1,142 @@
+#ifndef XTOPK_STORAGE_MANIFEST_LOG_H_
+#define XTOPK_STORAGE_MANIFEST_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace xtopk {
+
+/// The write-ahead log of a durable segment set (DESIGN.md §17). Segment
+/// FILES are immutable once written; what changes over time is the SET of
+/// live segments, and this log is that set's single durable source of
+/// truth. Every transition appends one record; the file itself is the
+/// commit point, so a crash at any byte leaves either "operation fully
+/// logged" or "operation never happened".
+enum class ManifestRecordType : uint8_t {
+  /// A memtable seal: segment `id` now covers `covered_nodes` nodes and
+  /// the sealed watermark advanced to `watermark` (the tree node count at
+  /// seal time). Written AFTER the segment + encoding files are durable.
+  kSeal = 1,
+  /// A compaction reserved output id `id` for merging `inputs`. The
+  /// output file is not durable yet — recovery treats the inputs as still
+  /// live and deletes a half-written output as an orphan.
+  kCompactBegin = 2,
+  /// The compaction's output file is durable: `id` replaces `inputs` in
+  /// the live set. This record is the atomic switch-over.
+  kCompactCommit = 3,
+  /// Segment `id` (already out of the live set, or dropped by a rebuild)
+  /// may be deleted from disk. Makes file GC crash-safe: recovery deletes
+  /// any segment file whose id is not live, logged drop or not.
+  kDrop = 4,
+};
+
+const char* ManifestRecordTypeName(ManifestRecordType type);
+
+/// One log record. Field use by type: kSeal uses id + covered_nodes +
+/// watermark; kCompactBegin/kCompactCommit use id (the output) + inputs
+/// (+ covered_nodes on commit, informational); kDrop uses id only. A
+/// commit with a non-zero watermark is a durable FULL REBUILD: the output
+/// covers the whole tree, the watermark advances, and the output's
+/// encoding snapshot becomes authoritative.
+struct ManifestRecord {
+  ManifestRecordType type = ManifestRecordType::kSeal;
+  uint64_t id = 0;
+  uint64_t covered_nodes = 0;
+  uint64_t watermark = 0;
+  std::vector<uint64_t> inputs;
+};
+
+/// Append-only CRC-framed record log:
+///
+///   magic "XTKMLOG1"
+///   per record: varint body_len | body | fixed32 LE CRC32C(body)
+///   body: u8 type | varint payload (see EncodeRecord)
+///
+/// Append fsyncs, so a returned Ok means the record survives power loss.
+/// Replay stops at the first invalid frame (bad length, bad CRC, unknown
+/// type, short tail) and reports the valid prefix length — the LevelDB
+/// torn-tail policy: everything before the damage is trusted, everything
+/// from it on is discarded.
+///
+/// Appends route through the process-wide FaultInjector at site
+/// "manifestlog.append": kTruncate/kShortRead write a seed-chosen prefix
+/// of the frame and fail (a torn write at the crash point), kBitFlip
+/// flips one frame bit and succeeds (silent media damage, caught by
+/// replay), kTransientIoError writes nothing and fails.
+class ManifestLog {
+ public:
+  /// Opens (creating, with the magic header, if absent or empty) for
+  /// appending. An existing file is NOT validated here — run Replay /
+  /// RecoverSegmentSet first and truncate damage before appending.
+  static StatusOr<std::unique_ptr<ManifestLog>> Open(const std::string& path);
+
+  ~ManifestLog();
+  ManifestLog(const ManifestLog&) = delete;
+  ManifestLog& operator=(const ManifestLog&) = delete;
+
+  /// Appends one framed record and fsyncs. Thread-safe.
+  Status Append(const ManifestRecord& record);
+
+  const std::string& path() const { return path_; }
+
+  /// Serializes one record as its on-disk frame (length + body + CRC).
+  static void EncodeRecord(const ManifestRecord& record, std::string* out);
+
+  /// Parses all valid records. `valid_bytes`, when non-null, receives the
+  /// byte offset of the first invalid frame (== file size when the whole
+  /// log is clean) — the truncation point for recovery. A missing file or
+  /// a bad magic is an error; a damaged tail is NOT (that is the torn
+  /// crash case recovery exists for).
+  static StatusOr<std::vector<ManifestRecord>> Replay(
+      const std::string& path, uint64_t* valid_bytes = nullptr);
+
+ private:
+  ManifestLog(std::string path, std::FILE* file);
+
+  std::mutex mu_;
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+/// The segment set RecoverSegmentSet proved consistent.
+struct RecoveredSegmentSet {
+  /// Live segment ids in publish order (seal order, with compaction
+  /// outputs taking their first input's position).
+  std::vector<uint64_t> live;
+  uint64_t next_segment_id = 1;
+  /// Nodes [0, watermark) are covered by the live segments.
+  uint64_t watermark = 0;
+  /// The seal whose encoding snapshot (enc-<id>) is authoritative; 0 when
+  /// nothing was ever sealed.
+  uint64_t last_seal_id = 0;
+  size_t records_applied = 0;
+  /// Orphaned / dropped files deleted during recovery (file names, not
+  /// paths); tests assert this against the injected crash point.
+  std::vector<std::string> removed_files;
+};
+
+/// File-layout helpers of a durable data directory: the log plus
+/// `seg-<id>` (+ `seg-<id>.manifest`) segment files and `enc-<id>` JDewey
+/// encoding snapshots.
+std::string ManifestLogPath(const std::string& dir);
+std::string SegmentFilePath(const std::string& dir, uint64_t id);
+std::string EncodingFilePath(const std::string& dir, uint64_t id);
+
+/// Replays `dir`'s manifest log and makes the directory agree with it:
+/// truncates the log's torn tail (if any), deletes segment files that no
+/// live id claims (torn seals, uncommitted compaction outputs, dropped
+/// inputs) and encoding snapshots other than the authoritative one. A
+/// missing log yields an empty set (fresh directory). After this returns,
+/// every `seg-<id>` on disk is live and readable-or-never-committed — the
+/// "consistent set on reopen" proof the tests sweep.
+StatusOr<RecoveredSegmentSet> RecoverSegmentSet(const std::string& dir);
+
+}  // namespace xtopk
+
+#endif  // XTOPK_STORAGE_MANIFEST_LOG_H_

@@ -1,9 +1,38 @@
 #include "xml/jdewey_builder.h"
 
 #include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <vector>
 
+#include "util/crc32c.h"
+#include "util/varint.h"
+
 namespace xtopk {
+
+namespace {
+
+constexpr char kEncodingMagic[] = "XTKJENC1";
+constexpr size_t kEncodingMagicSize = 8;
+
+void PutFixed32(std::string* out, uint32_t value) {
+  char buf[4];
+  buf[0] = static_cast<char>(value & 0xff);
+  buf[1] = static_cast<char>((value >> 8) & 0xff);
+  buf[2] = static_cast<char>((value >> 16) & 0xff);
+  buf[3] = static_cast<char>((value >> 24) & 0xff);
+  out->append(buf, 4);
+}
+
+uint32_t ReadFixed32(const char* p) {
+  return static_cast<uint32_t>(static_cast<uint8_t>(p[0])) |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<uint8_t>(p[3])) << 24;
+}
+
+}  // namespace
 
 JDeweyEncoding JDeweyBuilder::Assign(const XmlTree& tree, uint32_t gap) {
   JDeweyEncoding enc;
@@ -55,13 +84,47 @@ size_t JDeweyBuilder::InsertAssign(const XmlTree& tree, NodeId node,
 size_t JDeweyBuilder::InsertAssign(const XmlTree& tree, NodeId node,
                                    uint32_t gap, JDeweyEncoding* enc,
                                    NodeId* reencoded_root) {
-  *reencoded_root = kInvalidNode;
   assert(node == tree.node_count() - 1 &&
          "InsertAssign must follow the AddChild that created `node`");
   // Grow the per-node arrays for the new node.
   enc->jnum_.push_back(0);
   enc->child_next_.push_back(0);
   enc->child_end_.push_back(0);
+  return AssignNewNode(tree, node, gap, enc, reencoded_root);
+}
+
+size_t JDeweyBuilder::ExtendAssign(const XmlTree& tree, uint32_t gap,
+                                   JDeweyEncoding* enc,
+                                   NodeId* reencoded_root) {
+  *reencoded_root = kInvalidNode;
+  size_t old_count = enc->jnum_.size();
+  size_t n = tree.node_count();
+  assert(old_count <= n && "encoding covers nodes the tree does not have");
+  enc->jnum_.resize(n, 0);
+  enc->child_next_.resize(n, 0);
+  enc->child_end_.resize(n, 0);
+
+  size_t changed = 0;
+  for (NodeId node = static_cast<NodeId>(old_count); node < n; ++node) {
+    // A re-encode triggered by an earlier insert may already have numbered
+    // this node (ReencodeSubtree walks tree links, which reach all current
+    // nodes of the subtree, numbered or not). Any numbering that satisfies
+    // the ordering requirements is valid; keep it.
+    if (enc->jnum_[node] != 0) continue;
+    NodeId moved = kInvalidNode;
+    changed += AssignNewNode(tree, node, gap, enc, &moved);
+    if (moved != kInvalidNode &&
+        (*reencoded_root == kInvalidNode || moved < *reencoded_root)) {
+      *reencoded_root = moved;
+    }
+  }
+  return changed;
+}
+
+size_t JDeweyBuilder::AssignNewNode(const XmlTree& tree, NodeId node,
+                                    uint32_t gap, JDeweyEncoding* enc,
+                                    NodeId* reencoded_root) {
+  *reencoded_root = kInvalidNode;
   uint32_t node_level = tree.level(node);
   if (enc->next_free_.size() <= node_level + 1) {
     enc->next_free_.resize(node_level + 2, 1);
@@ -161,6 +224,80 @@ size_t JDeweyBuilder::ReencodeSubtree(const XmlTree& tree, NodeId root,
     ++level;
   }
   return changed;
+}
+
+Status JDeweyBuilder::SaveEncoding(const JDeweyEncoding& enc,
+                                   const std::string& path) {
+  std::string body;
+  varint::PutU64(&body, enc.jnum_.size());
+  for (uint32_t v : enc.jnum_) varint::PutU32(&body, v);
+  for (uint32_t v : enc.child_next_) varint::PutU32(&body, v);
+  for (uint32_t v : enc.child_end_) varint::PutU32(&body, v);
+  varint::PutU64(&body, enc.next_free_.size());
+  for (uint32_t v : enc.next_free_) varint::PutU32(&body, v);
+
+  std::string out;
+  out.append(kEncodingMagic, kEncodingMagicSize);
+  out.append(body);
+  PutFixed32(&out, crc32c::Compute(body.data(), body.size()));
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr)
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != out.size() || !flushed)
+    return Status::IoError("short write of encoding snapshot " + path);
+  return Status::Ok();
+}
+
+StatusOr<JDeweyEncoding> JDeweyBuilder::LoadEncoding(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr)
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string data(size < 0 ? 0 : static_cast<size_t>(size), '\0');
+  size_t got = data.empty() ? 0 : std::fread(&data[0], 1, data.size(), f);
+  std::fclose(f);
+  if (got != data.size()) return Status::IoError("short read of " + path);
+
+  if (data.size() < kEncodingMagicSize + 4 ||
+      std::memcmp(data.data(), kEncodingMagic, kEncodingMagicSize) != 0)
+    return Status::Corruption("bad encoding snapshot magic in " + path);
+  std::string body =
+      data.substr(kEncodingMagicSize, data.size() - kEncodingMagicSize - 4);
+  uint32_t stored_crc = ReadFixed32(data.data() + data.size() - 4);
+  if (crc32c::Compute(body.data(), body.size()) != stored_crc)
+    return Status::Corruption("encoding snapshot checksum mismatch in " +
+                              path);
+
+  JDeweyEncoding enc;
+  size_t pos = 0;
+  uint64_t node_count = 0;
+  if (!varint::GetU64(body, &pos, &node_count).ok() ||
+      node_count > body.size())
+    return Status::Corruption("encoding snapshot truncated: " + path);
+  auto read_array = [&](std::vector<uint32_t>* out, uint64_t count) {
+    out->resize(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      if (!varint::GetU32(body, &pos, &(*out)[i]).ok()) return false;
+    }
+    return true;
+  };
+  uint64_t level_count = 0;
+  if (!read_array(&enc.jnum_, node_count) ||
+      !read_array(&enc.child_next_, node_count) ||
+      !read_array(&enc.child_end_, node_count) ||
+      !varint::GetU64(body, &pos, &level_count).ok() ||
+      level_count > body.size() ||
+      !read_array(&enc.next_free_, level_count) || pos != body.size())
+    return Status::Corruption("encoding snapshot truncated: " + path);
+  return enc;
 }
 
 }  // namespace xtopk

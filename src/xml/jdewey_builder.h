@@ -2,7 +2,9 @@
 #define XTOPK_XML_JDEWEY_BUILDER_H_
 
 #include <cstdint>
+#include <string>
 
+#include "util/status.h"
 #include "xml/jdewey.h"
 #include "xml/xml_tree.h"
 
@@ -45,7 +47,36 @@ class JDeweyBuilder {
   static size_t InsertAssign(const XmlTree& tree, NodeId node, uint32_t gap,
                              JDeweyEncoding* enc, NodeId* reencoded_root);
 
+  /// Assigns numbers to every not-yet-encoded node of `tree` — the nodes a
+  /// loaded encoding snapshot (see SaveEncoding) does not cover — using the
+  /// same reserved-range / partial-re-encode policy as InsertAssign, so a
+  /// durable engine reopening mid-batch converges on an encoding consistent
+  /// with its sealed segments. Nodes are processed in id order (a child's
+  /// id is always greater than its parent's, so parents are encoded first);
+  /// nodes a re-encode already renumbered are skipped. Returns the total
+  /// number of nodes whose numbers were assigned or changed;
+  /// `*reencoded_root` is the minimum-id root of any re-encoded subtree
+  /// (kInvalidNode when every insert fit a reserved range) — callers
+  /// compare it against their sealed watermark to decide whether sealed
+  /// numbers went stale.
+  static size_t ExtendAssign(const XmlTree& tree, uint32_t gap,
+                             JDeweyEncoding* enc, NodeId* reencoded_root);
+
+  /// Persists `enc` to `path` ("XTKJENC1", varint arrays, CRC32C tail) /
+  /// loads it back, verifying magic + CRC. The durable engine snapshots
+  /// the encoding at every seal: a fresh Assign on reopen would NOT
+  /// reproduce the maintained numbering (reserved gaps and past re-encodes
+  /// are history-dependent), and sealed segments bake those numbers in.
+  static Status SaveEncoding(const JDeweyEncoding& enc,
+                             const std::string& path);
+  static StatusOr<JDeweyEncoding> LoadEncoding(const std::string& path);
+
  private:
+  /// Shared insert body: assigns a number to `node`, whose array slots
+  /// exist and hold 0. Exactly InsertAssign minus the growth prologue.
+  static size_t AssignNewNode(const XmlTree& tree, NodeId node, uint32_t gap,
+                              JDeweyEncoding* enc, NodeId* reencoded_root);
+
   /// Re-assigns fresh end-of-level numbers to the subtree rooted at `root`,
   /// reserving `gap` slots per parent. Returns the subtree size.
   static size_t ReencodeSubtree(const XmlTree& tree, NodeId root, uint32_t gap,

@@ -1,0 +1,236 @@
+// Snapshot isolation of SegmentSetVersion (index/segment_view.h): pinned
+// queries are immune to concurrent publishes, superseded segment files
+// survive exactly as long as the last pin, and the version gauge tracks
+// live snapshots.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/join_search.h"
+#include "index/index_builder.h"
+#include "index/segment.h"
+#include "index/segment_builder.h"
+#include "index/segment_view.h"
+#include "obs/metrics.h"
+#include "storage/segment_manifest.h"
+#include "xml/jdewey_builder.h"
+#include "xml/xml_parser.h"
+
+namespace xtopk {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name + "." +
+         std::to_string(static_cast<long>(::getpid()));
+}
+
+constexpr char kXml[] =
+    "<db>"
+    "  <conf><paper><title>xml keyword search</title>"
+    "    <author>ann</author></paper>"
+    "  <paper><title>top k ranking for xml</title>"
+    "    <author>bo</author></paper></conf>"
+    "  <journal><article><title>xml databases</title>"
+    "    <note>keyword ranking</note></article></journal>"
+    "</db>";
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path);
+  return in.good();
+}
+
+struct Fixture {
+  XmlTree tree;
+  IndexBuildOptions options;
+  JDeweyEncoding enc;
+  std::vector<std::string> paths;
+
+  Fixture() : tree(ParseXmlStringOrDie(kXml)) {
+    enc = JDeweyBuilder::Assign(tree, options.jdewey_gap);
+  }
+
+  /// Splits the nodes round-robin into `parts` on-disk segments and adds
+  /// them to `segmented` with ids 1..parts.
+  void AddDiskSegments(SegmentedIndex* segmented, size_t parts,
+                       const std::string& tag) {
+    std::vector<std::vector<NodeId>> groups(parts);
+    for (NodeId id = 0; id < tree.node_count(); ++id) {
+      groups[id % parts].push_back(id);
+    }
+    for (size_t i = 0; i < parts; ++i) {
+      std::string path = TempPath(tag + "_seg" + std::to_string(i));
+      JDeweyIndex segment = BuildSegmentIndex(tree, enc, groups[i], options);
+      ASSERT_TRUE(DiskIndexWriter::Write(segment, true, path).ok());
+      SegmentManifest manifest = ManifestFromSegment(segment);
+      manifest.covered_nodes = groups[i].size();
+      ASSERT_TRUE(manifest.Save(path + ".manifest").ok());
+      ASSERT_TRUE(segmented->AddDiskSegment(path, {}, i + 1).ok());
+      paths.push_back(path);
+    }
+  }
+};
+
+std::vector<SearchResult> RunQuery(
+    const std::shared_ptr<const SegmentSetVersion>& version,
+    const std::vector<std::string>& keywords) {
+  SegmentSetReader reader(version);
+  JoinSearchOptions options;
+  options.compute_scores = true;
+  JoinSearch search(&reader, options);
+  return search.Search(keywords);
+}
+
+void ExpectSameResults(const std::vector<SearchResult>& got,
+                       const std::vector<SearchResult>& want,
+                       const std::string& ctx) {
+  ASSERT_EQ(got.size(), want.size()) << ctx;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].node, want[i].node) << ctx << " i=" << i;
+    EXPECT_EQ(got[i].level, want[i].level) << ctx << " i=" << i;
+    // Bit identity, not approximate equality: compaction must not move a
+    // single mantissa bit.
+    EXPECT_EQ(got[i].score, want[i].score) << ctx << " i=" << i;
+  }
+}
+
+TEST(SegmentVersionTest, PinnedVersionSurvivesCompactionBitIdentically) {
+  Fixture fx;
+  SegmentedIndex segmented;
+  segmented.SetCorpusNodes(fx.tree.node_count());
+  fx.AddDiskSegments(&segmented, 3, "pinbit");
+
+  const std::vector<std::vector<std::string>> queries = {
+      {"xml", "keyword"}, {"title", "ranking"}, {"xml", "ann"}};
+
+  auto pinned = segmented.Pin();
+  const uint64_t version_before = pinned->version();
+  std::vector<std::vector<SearchResult>> before;
+  for (const auto& q : queries) before.push_back(RunQuery(pinned, q));
+
+  std::string compacted = TempPath("pinbit_out");
+  ASSERT_TRUE(segmented.Compact(compacted).ok());
+  EXPECT_EQ(segmented.sealed_count(), 1u);
+  EXPECT_GT(segmented.version(), version_before);
+
+  // The OLD pin still answers from the pre-compaction segments...
+  EXPECT_EQ(pinned->version(), version_before);
+  EXPECT_EQ(pinned->sealed().size(), 3u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExpectSameResults(RunQuery(pinned, queries[i]), before[i], "old pin");
+  }
+  // ...and the NEW version answers bit-identically through the merged
+  // segment.
+  auto fresh = segmented.Pin();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExpectSameResults(RunQuery(fresh, queries[i]), before[i], "fresh pin");
+  }
+
+  pinned.reset();
+  fresh.reset();
+  std::remove(compacted.c_str());
+  std::remove((compacted + ".manifest").c_str());
+}
+
+TEST(SegmentVersionTest, SupersededFilesDeletedWhenLastPinDrops) {
+  Fixture fx;
+  SegmentedIndex segmented;
+  segmented.SetCorpusNodes(fx.tree.node_count());
+  fx.AddDiskSegments(&segmented, 2, "epoch");
+
+  auto pinned = segmented.Pin();  // holds the inputs alive
+  std::string compacted = TempPath("epoch_out");
+  ASSERT_TRUE(segmented.Compact(compacted).ok());
+
+  // The publish superseded the inputs, but the pin still reads them: the
+  // files must survive.
+  for (const std::string& p : fx.paths) {
+    EXPECT_TRUE(FileExists(p)) << p;
+  }
+  // A query through the old pin still works (would crash / corrupt on a
+  // deleted mmap otherwise).
+  EXPECT_FALSE(RunQuery(pinned, {"xml", "keyword"}).empty());
+
+  // Epoch reclamation: the last pin dropping unlinks the superseded
+  // files.
+  pinned.reset();
+  for (const std::string& p : fx.paths) {
+    EXPECT_FALSE(FileExists(p)) << p;
+    EXPECT_FALSE(FileExists(p + ".manifest")) << p;
+  }
+  // The compacted output is NOT superseded and stays.
+  EXPECT_TRUE(FileExists(compacted));
+  std::remove(compacted.c_str());
+  std::remove((compacted + ".manifest").c_str());
+}
+
+TEST(SegmentVersionTest, VersionGaugeTracksLiveSnapshots) {
+  auto& gauge =
+      obs::MetricsRegistry::Global().GetGauge("index.segment_versions_live");
+  Fixture fx;
+  SegmentedIndex segmented;
+  segmented.SetCorpusNodes(fx.tree.node_count());
+  const int64_t base = gauge.value();  // the index's own head version
+
+  auto pin_a = segmented.Pin();
+  auto pin_b = segmented.Pin();
+  // Both pins share the head version object — no new snapshots yet.
+  EXPECT_EQ(gauge.value(), base);
+
+  JDeweyIndex memtable;
+  segmented.SetMemtable(&memtable);  // publish: head replaced
+  auto pin_c = segmented.Pin();
+  // Old version still pinned by a/b + new head = one more live snapshot.
+  EXPECT_EQ(gauge.value(), base + 1);
+
+  pin_a.reset();
+  EXPECT_EQ(gauge.value(), base + 1);  // b still holds the old version
+  pin_b.reset();
+  EXPECT_EQ(gauge.value(), base);  // old snapshot reclaimed
+  pin_c.reset();
+}
+
+TEST(SegmentVersionTest, PublishCompactionAbortsWhenInputsChanged) {
+  Fixture fx;
+  SegmentedIndex segmented;
+  segmented.SetCorpusNodes(fx.tree.node_count());
+  fx.AddDiskSegments(&segmented, 2, "abort");
+
+  auto pinned = segmented.Pin();
+  std::vector<std::shared_ptr<const SealedSegment>> inputs(
+      pinned->sealed().begin(), pinned->sealed().end());
+
+  uint64_t covered = 0;
+  auto merged = BuildCompactedSegment(inputs, &covered);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  auto output = SealedSegment::FromMemory(std::move(*merged), covered);
+
+  // The set changes under the compactor's feet (a rebuild cleared it):
+  // the publish must refuse rather than resurrect stale inputs.
+  segmented.Clear();
+  EXPECT_FALSE(segmented.PublishCompaction(inputs, output));
+  EXPECT_EQ(segmented.sealed_count(), 0u);
+
+  // On an unchanged set the publish succeeds and swaps atomically.
+  SegmentedIndex second;
+  second.SetCorpusNodes(fx.tree.node_count());
+  Fixture fx2;
+  fx2.AddDiskSegments(&second, 2, "abort2");
+  auto pinned2 = second.Pin();
+  std::vector<std::shared_ptr<const SealedSegment>> inputs2(
+      pinned2->sealed().begin(), pinned2->sealed().end());
+  uint64_t covered2 = 0;
+  auto merged2 = BuildCompactedSegment(inputs2, &covered2);
+  ASSERT_TRUE(merged2.ok());
+  EXPECT_TRUE(second.PublishCompaction(
+      inputs2, SealedSegment::FromMemory(std::move(*merged2), covered2)));
+  EXPECT_EQ(second.sealed_count(), 1u);
+}
+
+}  // namespace
+}  // namespace xtopk

@@ -13,6 +13,7 @@
 // upload the exact reproduction recipe.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cmath>
@@ -165,8 +166,14 @@ const SharedCorpus& Corpus() {
       s->expected.push_back(search.Search(query.keywords));
     }
 
-    s->v2_path = ::testing::TempDir() + "/fault_injection_v2_segment";
-    s->v1_path = ::testing::TempDir() + "/fault_injection_v1_segment";
+    // Process-unique paths: ctest runs each TEST as its own process, and
+    // every process rewrites the corpus at static-init — a shared name
+    // lets a parallel sibling observe a half-written file.
+    const std::string pid = std::to_string(static_cast<long>(::getpid()));
+    s->v2_path =
+        ::testing::TempDir() + "/fault_injection_v2_segment." + pid;
+    s->v1_path =
+        ::testing::TempDir() + "/fault_injection_v1_segment." + pid;
     Status w2 = DiskIndexWriter::Write(s->jindex, /*include_scores=*/true,
                                        s->v2_path, ColumnCodec::kAuto,
                                        /*write_checksums=*/true);

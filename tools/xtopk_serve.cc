@@ -40,6 +40,14 @@ int Usage(const char* argv0) {
       "  --port N                listen port (default 0 = ephemeral)\n"
       "  --file doc.xml          serve this document (default: demo doc)\n"
       "  --updatable             use the incremental engine backend\n"
+      "  --data-dir DIR          durable mode: manifest-logged segments in\n"
+      "                          DIR, recovered on restart (implies\n"
+      "                          --updatable)\n"
+      "  --auto-compact on|off   background tiered compaction in durable\n"
+      "                          mode (default on; XTOPK_DISABLE_BG_COMPACT\n"
+      "                          also forces it off)\n"
+      "  --compact-throttle-mb N cap background compaction write rate at\n"
+      "                          N MiB/s (default 0 = unthrottled)\n"
       "  --workers N             query worker threads (default 2)\n"
       "  --queue-high N          high-priority queue depth (default 64)\n"
       "  --queue-low N           low-priority queue depth (default 64)\n"
@@ -56,6 +64,7 @@ int main(int argc, char** argv) {
   xtopk::serve::QueryServer::Options options;
   std::string file;
   bool updatable = false;
+  xtopk::DurableOptions durable;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -72,6 +81,19 @@ int main(int argc, char** argv) {
       file = next("--file");
     } else if (arg == "--updatable") {
       updatable = true;
+    } else if (arg == "--data-dir") {
+      durable.data_dir = next("--data-dir");
+      updatable = true;
+    } else if (arg == "--auto-compact") {
+      std::string value = next("--auto-compact");
+      if (value != "on" && value != "off") {
+        std::fprintf(stderr, "error: --auto-compact takes on|off\n");
+        return 2;
+      }
+      durable.auto_compact = value == "on";
+    } else if (arg == "--compact-throttle-mb") {
+      durable.compaction.throttle_bytes_per_sec =
+          std::stoull(next("--compact-throttle-mb")) * (1024ull * 1024ull);
     } else if (arg == "--workers") {
       options.service.workers =
           static_cast<size_t>(std::stoul(next("--workers")));
@@ -114,8 +136,19 @@ int main(int argc, char** argv) {
   std::unique_ptr<xtopk::serve::ServeBackend> backend;
   xtopk::XmlTree tree = std::move(parsed).value();
   if (updatable) {
-    updatable_engine =
-        std::make_unique<xtopk::UpdatableEngine>(std::move(tree));
+    if (!durable.data_dir.empty()) {
+      auto opened = xtopk::UpdatableEngine::OpenDurable(std::move(tree), {},
+                                                        durable);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     opened.status().ToString().c_str());
+        return 1;
+      }
+      updatable_engine = std::move(opened).value();
+    } else {
+      updatable_engine =
+          std::make_unique<xtopk::UpdatableEngine>(std::move(tree));
+    }
     backend = std::make_unique<xtopk::serve::UpdatableBackend>(
         updatable_engine.get());
   } else {
